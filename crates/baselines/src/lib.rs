@@ -1,0 +1,21 @@
+//! Baseline platforms and published results for the comparison tables.
+//!
+//! The paper's Tables II and III compare the KV260 accelerator against
+//! cloud FPGAs (DFX, FlightLLM, EdgeLLM), edge FPGAs (SECDA-LLM, LlamaF)
+//! and embedded CPUs/GPUs (Raspberry Pi, Jetson AGX Orin / Orin Nano under
+//! llama.cpp, TinyChat and NanoLLM). The paper itself sources the measured
+//! numbers from those works' publications; this crate encodes them as data
+//! ([`published`]) and recomputes every *theoretical* column from first
+//! principles ([`roofline`]) so the utilization percentages are derived,
+//! not restated.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod platform;
+pub mod published;
+pub mod roofline;
+pub mod tables;
+
+pub use platform::Platform;
+pub use tables::{table2_rows, table3_rows, OursResult, Table2Row, Table3Row};

@@ -1,0 +1,78 @@
+//! Hardware platforms appearing in the paper's comparisons.
+
+/// Device class, as the paper's tables group rows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PlatformClass {
+    /// Server FPGA with HBM (Alveo U280, VCU128).
+    CloudFpgaHbm,
+    /// Embedded FPGA with DDR.
+    EdgeFpgaDdr,
+    /// Embedded CPU.
+    EdgeCpu,
+    /// Embedded GPU.
+    EdgeGpu,
+}
+
+/// One hardware platform with the memory bandwidth that bounds its
+/// single-batch decoding speed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Platform {
+    /// Device name as the tables print it.
+    pub name: &'static str,
+    /// Memory bandwidth in GB/s (decimal, as vendors quote it).
+    pub bandwidth_gbps: f64,
+    /// Device class.
+    pub class: PlatformClass,
+}
+
+/// Xilinx Alveo U280 (460 GB/s HBM2).
+pub const U280: Platform =
+    Platform { name: "U280", bandwidth_gbps: 460.0, class: PlatformClass::CloudFpgaHbm };
+/// Pynq-Z2 (16-bit DDR3-533: ~2.1 GB/s).
+pub const PYNQ_Z2: Platform =
+    Platform { name: "PYNQ", bandwidth_gbps: 2.1, class: PlatformClass::EdgeFpgaDdr };
+/// ZCU102 (64-bit DDR4-2666: ~21.3 GB/s).
+pub const ZCU102: Platform =
+    Platform { name: "ZCU102", bandwidth_gbps: 21.3, class: PlatformClass::EdgeFpgaDdr };
+/// Kria KV260 (64-bit DDR4-2400: 19.2 GB/s).
+pub const KV260: Platform =
+    Platform { name: "KV260", bandwidth_gbps: 19.2, class: PlatformClass::EdgeFpgaDdr };
+/// Raspberry Pi 4B 8 GB (32-bit LPDDR4-3200: 12.8 GB/s).
+pub const PI_4B: Platform =
+    Platform { name: "Pi-4B 8GB", bandwidth_gbps: 12.8, class: PlatformClass::EdgeCpu };
+/// Jetson AGX Orin (256-bit LPDDR5: 204.8 GB/s).
+pub const JETSON_AGX_ORIN: Platform = Platform {
+    name: "JetsonAGXOrin",
+    bandwidth_gbps: 204.8,
+    class: PlatformClass::EdgeGpu,
+};
+/// Jetson Orin Nano (128-bit LPDDR5: 68 GB/s).
+pub const JETSON_ORIN_NANO: Platform = Platform {
+    name: "JetsonOrinNano",
+    bandwidth_gbps: 68.0,
+    class: PlatformClass::EdgeGpu,
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bandwidths_match_table_values() {
+        assert_eq!(U280.bandwidth_gbps, 460.0);
+        assert_eq!(KV260.bandwidth_gbps, 19.2);
+        assert_eq!(PI_4B.bandwidth_gbps, 12.8);
+        assert_eq!(JETSON_AGX_ORIN.bandwidth_gbps, 204.8);
+        assert_eq!(JETSON_ORIN_NANO.bandwidth_gbps, 68.0);
+        assert_eq!(ZCU102.bandwidth_gbps, 21.3);
+        assert_eq!(PYNQ_Z2.bandwidth_gbps, 2.1);
+    }
+
+    #[test]
+    fn classes_partition_the_tables() {
+        assert_eq!(U280.class, PlatformClass::CloudFpgaHbm);
+        assert_eq!(KV260.class, PlatformClass::EdgeFpgaDdr);
+        assert_eq!(PI_4B.class, PlatformClass::EdgeCpu);
+        assert_eq!(JETSON_AGX_ORIN.class, PlatformClass::EdgeGpu);
+    }
+}

@@ -1,0 +1,43 @@
+//! Memory-subsystem microbenchmarks: the access patterns behind Fig. 4.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use zllm_ddr::{traffic, MemorySystem};
+use zllm_layout::weight::{fetch_stream, LayoutScheme, WeightFormat};
+
+fn bench_patterns(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ddr");
+    g.sample_size(20);
+    g.bench_function("sequential_16MiB", |b| {
+        b.iter(|| {
+            let mut mem = MemorySystem::kv260();
+            black_box(mem.transfer(&traffic::sequential(0, 16 << 20)))
+        })
+    });
+    g.bench_function("random_4096_beats", |b| {
+        b.iter(|| {
+            let mut mem = MemorySystem::kv260();
+            black_box(mem.transfer(&traffic::random_single(7, 4096, 1 << 30)))
+        })
+    });
+    g.finish();
+}
+
+fn bench_layout_schemes(c: &mut Criterion) {
+    let fmt = WeightFormat::kv260();
+    let n_weights = 4096 * 4096;
+    let mut g = c.benchmark_group("ddr_layout");
+    g.sample_size(15);
+    for scheme in LayoutScheme::ALL {
+        let stream = fetch_stream(scheme, &fmt, n_weights, 0x8000_0000);
+        g.bench_function(scheme.name(), |b| {
+            b.iter(|| {
+                let mut mem = MemorySystem::kv260();
+                black_box(mem.transfer(black_box(&stream)))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_patterns, bench_layout_schemes);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! End-to-end decode benchmarks: the trace-driven 7B token (the Table II
+//! "Ours" measurement) and the functional small-model datapath.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use zllm_accel::{AccelConfig, AccelDecoder, DecodeEngine, QuantizedModel};
+use zllm_model::{ModelConfig, ModelWeights};
+use zllm_quant::group::GroupQuantConfig;
+
+fn bench_trace_7b(c: &mut Criterion) {
+    let mut g = c.benchmark_group("decode_trace");
+    g.sample_size(10);
+    for (name, accel) in [
+        ("llama2_7b_fused_ctx512", AccelConfig::kv260()),
+        ("llama2_7b_coarse_ctx512", AccelConfig::kv260_coarse()),
+    ] {
+        g.bench_function(name, |b| {
+            let mut engine = DecodeEngine::new(accel.clone(), &ModelConfig::llama2_7b(), 1024)
+                .expect("7B fits");
+            b.iter(|| black_box(engine.decode_token(black_box(512))))
+        });
+    }
+    g.finish();
+}
+
+fn bench_functional_small(c: &mut Criterion) {
+    let cfg = ModelConfig::test_small();
+    let weights = ModelWeights::generate(&cfg, 7);
+    let qmodel = QuantizedModel::quantize(&weights, GroupQuantConfig::w4_g128());
+    let mut g = c.benchmark_group("decode_functional");
+    g.sample_size(10);
+    g.bench_function("test_small_token", |b| {
+        b.iter(|| {
+            let mut dec = AccelDecoder::new(&qmodel);
+            black_box(dec.forward(black_box(42)))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_trace_7b, bench_functional_small);
+criterion_main!(benches);

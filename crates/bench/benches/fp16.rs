@@ -1,0 +1,52 @@
+//! Microbenchmarks of the FP16 datapath substrate.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use zllm_fp16::lut::{RopeTable, SineRom};
+use zllm_fp16::vector::{DotEngine, TreePrecision};
+use zllm_fp16::F16;
+
+fn bench_conversions(c: &mut Criterion) {
+    let values: Vec<f32> = (0..4096).map(|i| (i as f32 * 0.37).sin() * 100.0).collect();
+    c.bench_function("fp16/from_f32_4096", |b| {
+        b.iter(|| {
+            for &v in &values {
+                black_box(F16::from_f32(black_box(v)));
+            }
+        })
+    });
+    let halves: Vec<F16> = values.iter().map(|&v| F16::from_f32(v)).collect();
+    c.bench_function("fp16/to_f32_4096", |b| {
+        b.iter(|| {
+            for &h in &halves {
+                black_box(h.to_f32());
+            }
+        })
+    });
+}
+
+fn bench_dot(c: &mut Criterion) {
+    let a: Vec<F16> = (0..128).map(|i| F16::from_f32(i as f32 * 0.01)).collect();
+    let engine32 = DotEngine::new(128, TreePrecision::Fp32);
+    let engine16 = DotEngine::new(128, TreePrecision::Fp16);
+    c.bench_function("fp16/dot128_tree_fp32", |b| {
+        b.iter(|| black_box(engine32.dot(black_box(&a), black_box(&a))))
+    });
+    c.bench_function("fp16/dot128_tree_fp16", |b| {
+        b.iter(|| black_box(engine16.dot(black_box(&a), black_box(&a))))
+    });
+}
+
+fn bench_rope_lut(c: &mut Criterion) {
+    let rom = SineRom::new();
+    let table = RopeTable::new(128);
+    c.bench_function("fp16/rope_sin_cos_64pairs", |b| {
+        b.iter(|| {
+            for pair in 0..64 {
+                black_box(table.sin_cos(&rom, black_box(517), pair));
+            }
+        })
+    });
+}
+
+criterion_group!(benches, bench_conversions, bench_dot, bench_rope_lut);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Microbenchmarks of the data-arrangement formats.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use zllm_layout::kv_pack::KvPackFifo;
+use zllm_layout::weight::{decode, encode, WeightFormat};
+use zllm_quant::group::{GroupQuantConfig, GroupQuantizer};
+
+fn bench_weight_format(c: &mut Criterion) {
+    let values: Vec<f32> = (0..16384 * 4).map(|i| (i as f32 * 0.007).sin()).collect();
+    let tensor = GroupQuantizer::new(GroupQuantConfig::w4_g128()).quantize(&values);
+    let fmt = WeightFormat::kv260();
+    c.bench_function("layout/encode_4superblocks", |b| {
+        b.iter(|| black_box(encode(&fmt, black_box(&tensor))))
+    });
+    let enc = encode(&fmt, &tensor);
+    c.bench_function("layout/decode_4superblocks", |b| {
+        b.iter(|| black_box(decode(black_box(&enc))))
+    });
+}
+
+fn bench_kv_fifo(c: &mut Criterion) {
+    c.bench_function("layout/kv_fifo_2048streams_16tokens", |b| {
+        b.iter(|| {
+            let mut fifo = KvPackFifo::new(2048);
+            let mut flushed = 0usize;
+            for token in 0..16u32 {
+                for s in 0..2048u32 {
+                    if fifo.append(token << 16 | s).is_some() {
+                        flushed += 1;
+                    }
+                }
+            }
+            black_box(flushed)
+        })
+    });
+}
+
+criterion_group!(benches, bench_weight_format, bench_kv_fifo);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Microbenchmarks of the quantization suite.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use zllm_quant::group::{GroupQuantConfig, GroupQuantizer};
+use zllm_quant::kv8::quantize_kv;
+
+fn bench_group_quant(c: &mut Criterion) {
+    let values: Vec<f32> = (0..16384).map(|i| (i as f32 * 0.013).sin()).collect();
+    let quantizer = GroupQuantizer::new(GroupQuantConfig::w4_g128());
+    c.bench_function("quant/w4g128_quantize_16k", |b| {
+        b.iter(|| black_box(quantizer.quantize(black_box(&values))))
+    });
+    let q = quantizer.quantize(&values);
+    c.bench_function("quant/w4g128_dequantize_16k", |b| {
+        b.iter(|| black_box(q.dequantize()))
+    });
+}
+
+fn bench_kv8(c: &mut Criterion) {
+    let head: Vec<f32> = (0..128).map(|i| (i as f32 * 0.21).cos()).collect();
+    c.bench_function("quant/kv8_head128", |b| {
+        b.iter(|| black_box(quantize_kv(black_box(&head))))
+    });
+}
+
+criterion_group!(benches, bench_group_quant, bench_kv8);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Microbenchmarks of the SPU pipelines and the bit-level FP16 operators.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use zllm_accel::spu::{KvQuantizer, RmsNormUnit, RopeUnit, SoftmaxUnit};
+use zllm_fp16::{rtl, F16};
+
+fn f16v(n: usize) -> Vec<F16> {
+    (0..n).map(|i| F16::from_f32((i as f32 * 0.37).sin())).collect()
+}
+
+fn bench_spu(c: &mut Criterion) {
+    let rope = RopeUnit::new(128);
+    let mut head = f16v(128);
+    c.bench_function("spu/rope_head128", |b| {
+        b.iter(|| rope.apply(black_box(&mut head), black_box(517)))
+    });
+
+    let rms = RmsNormUnit::new(1e-5);
+    let x = f16v(4096);
+    let g = vec![F16::ONE; 4096];
+    c.bench_function("spu/rmsnorm_4096", |b| {
+        b.iter(|| black_box(rms.normalize(black_box(&x), black_box(&g))))
+    });
+
+    let softmax = SoftmaxUnit::new();
+    let scores = f16v(1024);
+    c.bench_function("spu/softmax_1024", |b| {
+        b.iter(|| black_box(softmax.softmax(black_box(&scores))))
+    });
+
+    let mut quantizer = KvQuantizer::new(2048);
+    let head = f16v(128);
+    c.bench_function("spu/kv_quantize_head128", |b| {
+        b.iter(|| black_box(quantizer.quantize_head(0, black_box(&head))))
+    });
+}
+
+fn bench_rtl(c: &mut Criterion) {
+    let a = F16::from_f32(1.375);
+    let b_val = F16::from_f32(-0.6238);
+    c.bench_function("rtl/add", |b| {
+        b.iter(|| black_box(rtl::add(black_box(a), black_box(b_val))))
+    });
+    c.bench_function("rtl/mul", |b| {
+        b.iter(|| black_box(rtl::mul(black_box(a), black_box(b_val))))
+    });
+}
+
+criterion_group!(benches, bench_spu, bench_rtl);
+criterion_main!(benches);

@@ -1,0 +1,180 @@
+//! Design-point ablations behind §VI-B's "bandwidth-area balanced"
+//! argument: sweeps of PL frequency, VPU lanes, AXI ports and datamover
+//! depth around the paper's chosen operating point, plus the
+//! prefill-engine trade-off.
+//!
+//! ```text
+//! cargo run --release -p zllm-bench --bin ablations
+//! ```
+
+use zllm_accel::{AccelConfig, DecodeEngine};
+use zllm_bench::{fmt_pct, print_table};
+use zllm_model::ModelConfig;
+
+fn measure(accel: AccelConfig) -> (f64, f64) {
+    let mut engine =
+        DecodeEngine::new(accel, &ModelConfig::llama2_7b(), 1024).expect("7B fits");
+    let r = engine.decode_token(512);
+    (r.tokens_per_s, r.bandwidth_util)
+}
+
+fn main() {
+    let model = ModelConfig::llama2_7b();
+
+    println!("Ablation 1: PL clock frequency (the 300 MHz design point)\n");
+    let mut rows = Vec::new();
+    for mhz in [150.0, 200.0, 250.0, 300.0, 400.0] {
+        let mut cfg = AccelConfig::kv260();
+        cfg.freq_mhz = mhz;
+        cfg.axi.clock_mhz = mhz;
+        let (tps, util) = measure(cfg);
+        let absorb = 64.0 * mhz * 1e6 / 1e9;
+        rows.push(vec![
+            format!("{mhz:.0}"),
+            format!("{absorb:.1}"),
+            format!("{tps:.2}"),
+            fmt_pct(util),
+            if absorb >= 19.2 { "DDR-bound (good)" } else { "PL-bound (starved)" }.to_owned(),
+        ]);
+    }
+    print_table(&["MHz", "PL absorb GB/s", "token/s", "util", "regime"], &rows);
+    println!("Below 300 MHz the 512-bit stream cannot absorb 19.2 GB/s; above it,");
+    println!("nothing improves — 300 MHz is the knee (and the timing-closure limit).\n");
+
+    println!("Ablation 2: VPU lane count (the 128-lane design point)\n");
+    let mut rows = Vec::new();
+    for lanes in [32usize, 64, 128, 256] {
+        let mut cfg = AccelConfig::kv260();
+        cfg.lanes = lanes;
+        let est = zllm_accel::resources::estimate(&cfg);
+        let (tps, util) = measure(cfg);
+        let lut_util = est.total.utilization(&zllm_accel::resources::kv260_device()).lut;
+        rows.push(vec![
+            format!("{lanes}"),
+            format!("{tps:.2}"),
+            fmt_pct(util),
+            format!("{:.0}", est.total.dsp),
+            fmt_pct(lut_util),
+        ]);
+    }
+    print_table(&["lanes", "token/s", "util", "DSPs", "LUT util"], &rows);
+    println!("64 lanes halve throughput (dequantizer starves the bus); 256 lanes");
+    println!("add nothing but blow the LUT budget — 128 is bandwidth-area balanced.\n");
+
+    println!("Ablation 3: AXI HP ports (the 4-port design point)\n");
+    let mut rows = Vec::new();
+    for ports in [1u32, 2, 4] {
+        let mut cfg = AccelConfig::kv260();
+        cfg.axi.ports = ports;
+        let fabric_gbps = cfg.axi.bandwidth_gbps();
+        let (tps, util) = measure(cfg);
+        rows.push(vec![
+            format!("{ports}"),
+            format!("{fabric_gbps:.1}"),
+            format!("{tps:.2}"),
+            fmt_pct(util),
+        ]);
+    }
+    print_table(&["ports", "fabric GB/s", "token/s", "util"], &rows);
+
+    println!("\nAblation 4: datamover outstanding-transaction depth\n");
+    let mut rows = Vec::new();
+    for depth in [1usize, 2, 4, 8, 16] {
+        let mut cfg = AccelConfig::kv260();
+        cfg.mem_lookahead = depth;
+        let (tps, util) = measure(cfg);
+        rows.push(vec![format!("{depth}"), format!("{tps:.2}"), fmt_pct(util)]);
+    }
+    print_table(&["depth", "token/s", "util"], &rows);
+
+    println!("\nAblation 5: prefill — vector engine vs hypothetical matrix engine\n");
+    let mut engine = DecodeEngine::new(AccelConfig::kv260(), &model, 1024).expect("fits");
+    let mut rows = Vec::new();
+    for prompt in [32usize, 128, 512] {
+        let vector_s = engine.prefill_vector_ns(prompt) / 1e9;
+        let matrix_s = engine.prefill_matrix_engine_ns(prompt, 128) / 1e9;
+        let matrix8x_s = engine.prefill_matrix_engine_ns(prompt, 1024) / 1e9;
+        rows.push(vec![
+            format!("{prompt}"),
+            format!("{vector_s:.1} s"),
+            format!("{matrix_s:.1} s"),
+            format!("{matrix8x_s:.1} s"),
+        ]);
+    }
+    print_table(
+        &["prompt tokens", "vector engine (ours)", "matrix engine, 128 MACs", "matrix engine, 1024 MACs"],
+        &rows,
+    );
+    println!("\nWith the KV260's DSP budget a matrix engine barely improves prefill");
+    println!("(both are compute-starved), and its extra area is dead weight during");
+    println!("decode — the paper's rationale for the simple DOT engine (§VI-B).");
+
+    println!("\nAblation 6: what-if memory technologies (§VIII, 'Memory Resources");
+    println!("is Essential') — the same architecture on faster memory\n");
+    let mut rows = Vec::new();
+    let memories: [(&str, zllm_ddr::DdrConfig); 3] = [
+        ("DDR4-2400 (KV260)", zllm_ddr::DdrConfig::ddr4_2400_kv260()),
+        ("DDR4-2666 (ZCU102-class)", zllm_ddr::DdrConfig::ddr4_2666_zcu102()),
+        ("LPDDR5 (Orin-Nano-class)", zllm_ddr::DdrConfig::lpddr5_orin_nano()),
+    ];
+    for (name, ddr) in memories {
+        let peak = ddr.peak_bandwidth_gbps();
+        // As-is: the KV260 PL can only absorb 19.2 GB/s.
+        let mut as_is = AccelConfig::kv260();
+        as_is.ddr = ddr.clone();
+        let (tps_as_is, _) = measure(as_is);
+        // Scaled PL: datapath throughput grown to match the new memory
+        // (timing modelled as a clock scale; area reported for the
+        // equivalent width scale at 300 MHz — the realistic option).
+        let scale = (peak / 19.2).max(1.0);
+        let mut scaled = AccelConfig::kv260();
+        scaled.ddr = ddr;
+        scaled.freq_mhz = 300.0 * scale;
+        scaled.axi.clock_mhz = 300.0 * scale;
+        let (tps_scaled, _) = measure(scaled);
+        let mut wide = AccelConfig::kv260();
+        wide.lanes = ((128.0 * scale).ceil() as usize).next_power_of_two();
+        wide.axi.ports = (4.0 * scale).ceil() as u32;
+        let est = zllm_accel::resources::estimate(&wide);
+        let lut_util = est.total.utilization(&zllm_accel::resources::kv260_device()).lut;
+        rows.push(vec![
+            name.to_owned(),
+            format!("{peak:.1}"),
+            format!("{tps_as_is:.2}"),
+            format!("{tps_scaled:.2}"),
+            fmt_pct(lut_util),
+        ]);
+    }
+    print_table(
+        &["memory", "GB/s", "token/s (KV260 PL)", "token/s (scaled PL)", "scaled-PL LUTs vs K26"],
+        &rows,
+    );
+    println!("\nFaster memory alone buys nothing — the PL must scale with it, and the");
+    println!("scaled design no longer fits a K26. Hence the paper's call for embedded");
+    println!("FPGAs with both more bandwidth *and* more fabric (§VIII).");
+
+    println!("\nAblation 7: batch size (why server FPGAs batch and edge boxes don't, §II)\n");
+    let mut balanced = DecodeEngine::new(AccelConfig::kv260(), &model, 1024).expect("fits");
+    let mut rich_cfg = AccelConfig::kv260();
+    rich_cfg.lanes = 2048; // a server-class MAC budget (would not fit a K26)
+    let mut rich = DecodeEngine::new(rich_cfg, &model, 1024).expect("fits");
+    let mut rows = Vec::new();
+    for batch in [1usize, 2, 4, 8, 16] {
+        let ours = balanced.decode_batch_estimate(512, batch);
+        let server = rich.decode_batch_estimate(512, batch);
+        rows.push(vec![
+            format!("{batch}"),
+            format!("{ours:.2}"),
+            format!("{:.2}", ours / batch as f64),
+            format!("{server:.2}"),
+        ]);
+    }
+    print_table(
+        &["batch", "ours total tok/s", "ours per-user tok/s", "2048-lane engine total tok/s"],
+        &rows,
+    );
+    println!("\nThe bandwidth-area balanced engine has *no* batching headroom — its");
+    println!("compute exactly matches the bus, so batch b just divides each user's");
+    println!("speed by b. Server FPGAs batch because they carry spare MACs; with one");
+    println!("user per edge box, single-batch is the workload that matters (§II).");
+}

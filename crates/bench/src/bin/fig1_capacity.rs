@@ -1,0 +1,69 @@
+//! Regenerates **Figure 1**'s capacity story: the 4 GB bare-metal memory
+//! map with LLaMA2-7B AWQ-4bit weights and a 1024-token KV8 cache,
+//! reaching ~93 % occupancy, with no room left for Linux — and shows that
+//! LLaMA2-13B cannot be placed at all.
+//!
+//! ```text
+//! cargo run -p zllm-bench --bin fig1_capacity
+//! ```
+
+use zllm_accel::image::ModelImage;
+use zllm_bench::{fmt_mib, fmt_pct};
+use zllm_layout::weight::WeightFormat;
+use zllm_model::memory::{kv8_cache_bytes, resident_weight_bytes, WeightPrecision};
+use zllm_model::ModelConfig;
+
+fn main() {
+    let cfg = ModelConfig::llama2_7b();
+    let image = ModelImage::build(&cfg, WeightFormat::kv260(), 1024)
+        .expect("LLaMA2-7B fits the 4GB device");
+
+    println!("Figure 1: LLaMA2-7B on the KV260's 4 GB DDR4\n");
+    println!(
+        "  model weights (W4 interleaved):    {}",
+        fmt_mib(image.weight_stream_bytes() as f64)
+    );
+    println!(
+        "  embedding table (FP16):            {}",
+        fmt_mib((cfg.vocab_size * cfg.d_model * 2) as f64)
+    );
+    println!(
+        "  KV cache, 1024 tokens (KV8):       {}",
+        fmt_mib(kv8_cache_bytes(&cfg, 1024))
+    );
+    println!("  total occupancy:                   {}", fmt_pct(image.occupancy()));
+    println!(
+        "  largest free extent:               {}",
+        fmt_mib(image.map().largest_free_extent() as f64)
+    );
+    println!(
+        "  Linux bootable in the remainder?   {}",
+        if image.linux_bootable() { "yes" } else { "no (hence bare-metal)" }
+    );
+
+    println!("\nAnalytic cross-check (first principles):");
+    println!(
+        "  resident weights: {}   paper: 3556 MB",
+        fmt_mib(resident_weight_bytes(&cfg, WeightPrecision::W4G128))
+    );
+    println!(
+        "  KV cache:         {}   paper: 264 MB",
+        fmt_mib(kv8_cache_bytes(&cfg, 1024))
+    );
+    println!("  paper occupancy:  93.3%");
+
+    // The negative control: 13B does not place.
+    let mut cfg13 = ModelConfig::llama2_7b();
+    cfg13.name = "LLaMA2-13B".into();
+    cfg13.n_layers = 40;
+    cfg13.d_model = 5120;
+    cfg13.n_heads = 40;
+    cfg13.n_kv_heads = 40;
+    cfg13.d_ff = 13824;
+    match ModelImage::build(&cfg13, WeightFormat::kv260(), 1024) {
+        Ok(_) => println!("\nUNEXPECTED: 13B placed — capacity model is broken"),
+        Err(e) => println!("\nLLaMA2-13B placement fails as expected: {e}"),
+    }
+
+    println!("\nFull region map:\n{}", image.map());
+}

@@ -1,0 +1,109 @@
+//! Regenerates **Figure 4**'s two experiments:
+//!
+//! * **4A** — the bus-width-aligned interleaved weight arrangement versus
+//!   split-region and per-group metadata fetching, priced on the DDR4
+//!   model (efficiency, mean burst length, on-chip buffer cost);
+//! * **4B** — the KV scale-zero packing FIFO versus naive scattered
+//!   32-bit writes.
+//!
+//! ```text
+//! cargo run --release -p zllm-bench --bin fig4_format
+//! ```
+
+use zllm_bench::{fmt_pct, print_table};
+use zllm_ddr::MemorySystem;
+use zllm_layout::kv_pack::KvPackFifo;
+use zllm_layout::weight::{fetch_stream, LayoutScheme, WeightFormat};
+use zllm_layout::BurstDescriptor;
+
+fn main() {
+    let fmt = WeightFormat::kv260();
+    // One LLaMA2-7B MLP projection's worth of weights.
+    let n_weights = 4096 * 11008;
+
+    println!("Figure 4A: weight data arrangement ablation ({} M weights)\n", n_weights / 1_000_000);
+    let mut rows = Vec::new();
+    for scheme in LayoutScheme::ALL {
+        let stream = fetch_stream(scheme, &fmt, n_weights, 0x8000_0000);
+        let mean_burst =
+            stream.iter().map(|b| b.beats as f64).sum::<f64>() / stream.len() as f64;
+        let mut mem = MemorySystem::kv260();
+        let report = mem.transfer(&stream);
+        let buffer = match scheme {
+            LayoutScheme::Interleaved => fmt.on_chip_metadata_bytes(),
+            _ => fmt.staged_metadata_bytes(n_weights),
+        };
+        rows.push(vec![
+            scheme.to_string(),
+            format!("{}", stream.len()),
+            format!("{mean_burst:.1}"),
+            format!("{:.2}", report.bandwidth_gbps),
+            fmt_pct(report.efficiency),
+            fmt_pct(report.stats.row_hit_rate()),
+            format!("{:.1} KiB", buffer as f64 / 1024.0),
+        ]);
+    }
+    print_table(
+        &["scheme", "bursts", "mean beats", "GB/s", "efficiency", "row hits", "on-chip metadata"],
+        &rows,
+    );
+    println!(
+        "\nInterleaving metadata with weights keeps the whole layer one burst\n\
+         with a {:.1}% metadata overhead and a {} B working buffer (§V-B1).",
+        fmt.metadata_fraction() * 100.0,
+        fmt.on_chip_metadata_bytes()
+    );
+
+    // --- 4B: KV scale-zero packing ---
+    println!("\nFigure 4B: KV scale-zero packing (LLaMA2-7B, 1024 tokens)\n");
+    let streams = 32 * 32 * 2; // layers × kv heads × {K,V}
+    let tokens = 1024u64;
+    let packed_beats = KvPackFifo::write_beats_for(streams, tokens);
+    let naive_writes = KvPackFifo::naive_writes_for(streams, tokens);
+
+    // Price both write patterns: packed = beat-aligned bursts; naive =
+    // scattered sub-beat writes (each still occupies a full beat slot on
+    // the bus — read-modify-write of a 64-byte word).
+    let mut mem_packed = MemorySystem::kv260();
+    let packed_bursts: Vec<BurstDescriptor> = (0..packed_beats)
+        .map(|i| BurstDescriptor::write(0x4000_0000 + i * 64, 1))
+        .collect();
+    let packed_report = mem_packed.transfer(&packed_bursts);
+
+    let mut mem_naive = MemorySystem::kv260();
+    // Scattered: each stream writes its own 4-byte slot per token —
+    // addresses stride by the stream table pitch.
+    let naive_bursts: Vec<BurstDescriptor> = (0..naive_writes)
+        .map(|i| {
+            let token = i / streams as u64;
+            let stream = i % streams as u64;
+            BurstDescriptor::write(0x4000_0000 + (stream * 4096 + token) * 64, 1)
+        })
+        .collect();
+    let naive_report = mem_naive.transfer(&naive_bursts);
+
+    print_table(
+        &["discipline", "DDR writes", "bytes", "time (µs)", "bus efficiency"],
+        &[
+            vec![
+                "packed FIFO (ours)".into(),
+                format!("{packed_beats}"),
+                format!("{:.1} KiB", packed_report.bytes as f64 / 1024.0),
+                format!("{:.1}", packed_report.wall_ns / 1e3),
+                fmt_pct(packed_report.efficiency),
+            ],
+            vec![
+                "naive scattered".into(),
+                format!("{naive_writes}"),
+                format!("{:.1} KiB", naive_report.bytes as f64 / 1024.0),
+                format!("{:.1}", naive_report.wall_ns / 1e3),
+                fmt_pct(naive_report.efficiency),
+            ],
+        ],
+    );
+    println!(
+        "\nPacking 16 tokens' scale-zero pairs into one 512-bit element cuts\n\
+         metadata write traffic {}x and keeps every transfer bus-aligned (§V-B2).",
+        naive_writes / packed_beats
+    );
+}

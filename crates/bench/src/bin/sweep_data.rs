@@ -1,0 +1,51 @@
+//! Emits plot-ready CSV series for the paper's figure-style sweeps:
+//! decode speed vs. context (fused/coarse), DDR efficiency vs. burst
+//! length, and quantization SQNR vs. group size.
+//!
+//! ```text
+//! cargo run --release -p zllm-bench --bin sweep_data > sweeps.csv
+//! ```
+
+use zllm_accel::{AccelConfig, DecodeEngine};
+use zllm_ddr::{traffic, MemorySystem};
+use zllm_model::ModelConfig;
+use zllm_quant::error::ErrorStats;
+use zllm_quant::group::{GroupQuantConfig, GroupQuantizer};
+
+fn main() {
+    // Series 1: decode speed vs context length.
+    println!("series,ctx,tokens_per_s,bandwidth_util");
+    let model = ModelConfig::llama2_7b();
+    let mut fused = DecodeEngine::new(AccelConfig::kv260(), &model, 1024).expect("7B fits");
+    let mut coarse =
+        DecodeEngine::new(AccelConfig::kv260_coarse(), &model, 1024).expect("7B fits");
+    for ctx in (0..=1023).step_by(128).chain([1023]) {
+        let rf = fused.decode_token(ctx);
+        println!("decode_fused,{ctx},{:.4},{:.4}", rf.tokens_per_s, rf.bandwidth_util);
+        let rc = coarse.decode_token(ctx);
+        println!("decode_coarse,{ctx},{:.4},{:.4}", rc.tokens_per_s, rc.bandwidth_util);
+    }
+
+    // Series 2: DDR efficiency vs burst length.
+    println!("series,burst_beats,bandwidth_gbps,efficiency");
+    for beats in [1u32, 2, 4, 8, 16, 32, 64, 128, 256] {
+        let mut mem = MemorySystem::kv260();
+        let report = mem.transfer(&traffic::strided(0, 512, beats, 1 << 20));
+        println!(
+            "ddr_burst,{beats},{:.4},{:.4}",
+            report.bandwidth_gbps, report.efficiency
+        );
+    }
+
+    // Series 3: quantization SQNR vs group size.
+    println!("series,group_size,sqnr_db,bits_per_weight");
+    let values: Vec<f32> = (0..65536)
+        .map(|i| ((i as f32 * 0.11).sin() + (i as f32 * 0.013).cos() * 0.4) * 0.04)
+        .collect();
+    for group in [32usize, 64, 128, 256, 512, 1024] {
+        let q = GroupQuantizer::new(GroupQuantConfig::new(group, 4)).quantize(&values);
+        let stats = ErrorStats::between(&values, &q.dequantize());
+        let bits = q.storage_bits() as f64 / values.len() as f64;
+        println!("quant_group,{group},{:.3},{:.5}", stats.sqnr_db, bits);
+    }
+}

@@ -1,0 +1,46 @@
+//! Regenerates **Table I**: resource consumption breakdown of the
+//! accelerator, plus the power and clock figures quoted in §VII-B.
+//!
+//! ```text
+//! cargo run -p zllm-bench --bin table1
+//! ```
+
+use zllm_accel::power::estimate_power;
+use zllm_accel::resources::{estimate, kv260_device, ResourceVector};
+use zllm_accel::AccelConfig;
+use zllm_bench::{fmt_pct, print_table};
+
+fn row(name: &str, res: &ResourceVector, device: &ResourceVector) -> Vec<String> {
+    let util = res.utilization(device);
+    vec![
+        name.to_owned(),
+        format!("{:.1}K / {}", res.lut / 1e3, fmt_pct(util.lut)),
+        format!("{:.1}K / {}", res.ff / 1e3, fmt_pct(util.ff)),
+        format!("{:.1}K / {}", res.carry / 1e3, fmt_pct(util.carry)),
+        format!("{:.0} / {}", res.dsp, fmt_pct(util.dsp)),
+        format!("{:.0} / {}", res.uram, fmt_pct(util.uram)),
+        format!("{:.1} / {}", res.bram, fmt_pct(util.bram)),
+    ]
+}
+
+fn main() {
+    let cfg = AccelConfig::kv260();
+    let est = estimate(&cfg);
+    let device = kv260_device();
+
+    println!("Table I: Resource consumption breakdown (estimated)\n");
+    print_table(
+        &["Unit", "LUTs", "FFs", "CARRY", "DSP", "URAM", "BRAM"],
+        &[
+            row("Total", &est.total, &device),
+            row("MemCtrl", &est.mcu, &device),
+            row("VPU", &est.vpu, &device),
+            row("SPU", &est.spu, &device),
+        ],
+    );
+
+    let power = estimate_power(&cfg);
+    println!("\nClock: {:.0} MHz   Power: {power}", cfg.freq_mhz);
+    println!("Paper reference: 78K/67% LUT, 105K/45% FF, 3.8K/26% CARRY,");
+    println!("                 291/24% DSP, 10/16% URAM, 36.5/25% BRAM, 6.57 W @ 300 MHz");
+}

@@ -1,0 +1,43 @@
+//! Regenerates **Table III**: comparison with embedded CPUs and GPUs on
+//! 4-bit LLaMA2-7B decoding. The "Ours" row is simulated; the CPU/GPU
+//! rows use the published measurements the paper cites, with their
+//! theoretical peaks recomputed from each device's bandwidth.
+//!
+//! ```text
+//! cargo run --release -p zllm-bench --bin table3
+//! ```
+
+use zllm_accel::{AccelConfig, DecodeEngine};
+use zllm_baselines::{table3_rows, OursResult};
+use zllm_bench::{fmt_num, fmt_pct, print_table};
+use zllm_model::ModelConfig;
+
+fn main() {
+    println!("Simulating LLaMA2-7B decoding on the KV260 (trace-driven)...");
+    let mut engine = DecodeEngine::new(AccelConfig::kv260(), &ModelConfig::llama2_7b(), 1024)
+        .expect("LLaMA2-7B fits the 4GB device");
+    let run = engine.decode_run_sampled(1024, 8);
+    println!("  simulated: {:.2} token/s\n", run.tokens_per_s);
+
+    let rows = table3_rows(OursResult { tokens_per_s: run.tokens_per_s });
+    println!("Table III: Comparison with embedded CPUs/GPUs, 4-bit LLaMA2-7B\n");
+    let printable: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.device.to_owned(),
+                fmt_num(r.bandwidth_gbps, 1),
+                r.framework.clone(),
+                fmt_num(r.theoretical, 1),
+                fmt_num(r.measured, 2),
+                fmt_pct(r.utilization),
+            ]
+        })
+        .collect();
+    print_table(
+        &["Device", "GB/s", "Framework", "token/s (theo)", "token/s (meas)", "Util."],
+        &printable,
+    );
+    println!("\nPaper reference (Ours row): 5.8 theoretical, 4.9 measured, 84.5% util;");
+    println!("Orin Nano NanoLLM 79.2% is the closest competitor.");
+}

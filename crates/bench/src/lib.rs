@@ -1,0 +1,101 @@
+//! Shared helpers for the table/figure regeneration binaries.
+//!
+//! Each binary under `src/bin/` regenerates one table or figure of the
+//! paper; see `DESIGN.md` for the experiment index and `EXPERIMENTS.md`
+//! for the recorded paper-vs-measured comparison.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Prints an aligned text table.
+///
+/// # Panics
+///
+/// Panics if any row's length differs from the header's.
+///
+/// # Example
+///
+/// ```
+/// zllm_bench::print_table(
+///     &["name", "value"],
+///     &[vec!["a".to_owned(), "1".to_owned()]],
+/// );
+/// ```
+pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
+    let cols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        assert_eq!(row.len(), cols, "ragged table row");
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let line = |sep: &str| {
+        let mut s = String::new();
+        for w in &widths {
+            s.push_str(sep);
+            s.push_str(&"-".repeat(w + 2));
+        }
+        s.push_str(sep);
+        s
+    };
+    println!("{}", line("+"));
+    let mut header = String::new();
+    for (h, w) in headers.iter().zip(&widths) {
+        header.push_str(&format!("| {h:<w$} "));
+    }
+    println!("{header}|");
+    println!("{}", line("+"));
+    for row in rows {
+        let mut out = String::new();
+        for (cell, w) in row.iter().zip(&widths) {
+            out.push_str(&format!("| {cell:<w$} "));
+        }
+        println!("{out}|");
+    }
+    println!("{}", line("+"));
+}
+
+/// Formats a ratio as a percentage string.
+pub fn fmt_pct(x: f64) -> String {
+    format!("{:.1}%", x * 100.0)
+}
+
+/// Formats a float with sensible precision, mapping NaN to "/" as the
+/// paper's tables do for unpublished values.
+pub fn fmt_num(x: f64, decimals: usize) -> String {
+    if x.is_nan() {
+        "/".to_owned()
+    } else {
+        format!("{x:.decimals$}")
+    }
+}
+
+/// Formats bytes as MiB.
+pub fn fmt_mib(bytes: f64) -> String {
+    format!("{:.0} MiB", bytes / (1u64 << 20) as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(fmt_pct(0.845), "84.5%");
+        assert_eq!(fmt_num(4.9, 1), "4.9");
+        assert_eq!(fmt_num(f64::NAN, 1), "/");
+        assert_eq!(fmt_mib(264.0 * 1024.0 * 1024.0), "264 MiB");
+    }
+
+    #[test]
+    fn table_prints_without_panicking() {
+        print_table(&["a", "b"], &[vec!["1".into(), "22".into()]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged table row")]
+    fn ragged_rows_rejected() {
+        print_table(&["a"], &[vec!["1".into(), "2".into()]]);
+    }
+}

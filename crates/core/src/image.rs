@@ -1,0 +1,348 @@
+//! The model's DDR image and the bare-metal memory map (Fig. 1, §VII-A).
+//!
+//! Builds the address map the bare-metal loader would program: the FP16
+//! embedding table, every projection's interleaved 4-bit weight stream,
+//! the per-layer KV-cache code regions and the packed scale-zero region.
+//! Placement prefers the high 2 GB window (as the paper does for the
+//! embedding table, weights and early-layer KV space) and spills to the
+//! low window when full.
+
+use zllm_layout::addr_map::{AllocError, MemoryMap, Region, Window};
+use zllm_layout::weight::WeightFormat;
+use zllm_layout::{BurstDescriptor, BEAT_BYTES};
+use zllm_model::ModelConfig;
+
+/// The seven projections of one layer, in streaming order.
+pub const PROJECTIONS: [&str; 7] = ["wq", "wk", "wv", "wo", "w_gate", "w_up", "w_down"];
+
+/// One placed weight stream.
+#[derive(Debug, Clone)]
+pub struct PlacedProjection {
+    /// Projection name (one of [`PROJECTIONS`] or `"lm_head"`).
+    pub name: &'static str,
+    /// Layer index (`usize::MAX` for the LM head).
+    pub layer: usize,
+    /// Output rows.
+    pub rows: usize,
+    /// Input columns.
+    pub cols: usize,
+    /// Start address of the interleaved stream.
+    pub addr: u64,
+    /// Stream length in 512-bit beats (metadata included).
+    pub beats: u64,
+}
+
+impl PlacedProjection {
+    /// The stream as one consecutive burst.
+    pub fn burst(&self) -> BurstDescriptor {
+        BurstDescriptor::new(self.addr, self.beats as u32)
+    }
+
+    /// Number of weights (before format padding).
+    pub fn n_weights(&self) -> usize {
+        self.rows * self.cols
+    }
+}
+
+/// A placed model image.
+#[derive(Debug, Clone)]
+pub struct ModelImage {
+    model: ModelConfig,
+    format: WeightFormat,
+    ctx_capacity: usize,
+    map: MemoryMap,
+    embedding: Region,
+    projections: Vec<PlacedProjection>,
+    /// Per (layer, K/V): contiguous code region of `ctx_capacity` tokens.
+    kv_regions: Vec<Region>,
+    kv_meta: Region,
+}
+
+impl ModelImage {
+    /// Builds the image for a model at a given context capacity.
+    ///
+    /// # Errors
+    ///
+    /// Returns the allocation failure if the model does not fit the 4 GB
+    /// device (e.g. LLaMA2-13B).
+    pub fn build(
+        model: &ModelConfig,
+        format: WeightFormat,
+        ctx_capacity: usize,
+    ) -> Result<ModelImage, AllocError> {
+        model.validate().map_err(|e| AllocError {
+            name: e,
+            requested: 0,
+            available: 0,
+        })?;
+        let mut map = MemoryMap::kv260();
+
+        let alloc_spill = |map: &mut MemoryMap, name: &str, bytes: u64| {
+            map.alloc(name, bytes, Window::High)
+                .or_else(|_| map.alloc(name, bytes, Window::Low))
+        };
+
+        // FP16 embedding table.
+        let embedding = alloc_spill(
+            &mut map,
+            "embedding table (fp16)",
+            (model.vocab_size * model.d_model * 2) as u64,
+        )?;
+
+        // Per-layer projections, in streaming order.
+        let d = model.d_model;
+        let kv = model.kv_dim();
+        let ff = model.d_ff;
+        let shapes: [(&str, usize, usize); 7] = [
+            ("wq", d, d),
+            ("wk", kv, d),
+            ("wv", kv, d),
+            ("wo", d, d),
+            ("w_gate", ff, d),
+            ("w_up", ff, d),
+            ("w_down", d, ff),
+        ];
+        let mut projections = Vec::with_capacity(model.n_layers * 7 + 1);
+        for layer in 0..model.n_layers {
+            for (name, rows, cols) in shapes {
+                let beats = format.beats_for(rows * cols) as u64;
+                let region = alloc_spill(
+                    &mut map,
+                    &format!("L{layer}.{name}"),
+                    beats * BEAT_BYTES as u64,
+                )?;
+                projections.push(PlacedProjection {
+                    name,
+                    layer,
+                    rows,
+                    cols,
+                    addr: region.base,
+                    beats,
+                });
+            }
+        }
+        let head_beats = format.beats_for(model.vocab_size * d) as u64;
+        let head_region = alloc_spill(&mut map, "lm_head", head_beats * BEAT_BYTES as u64)?;
+        projections.push(PlacedProjection {
+            name: "lm_head",
+            layer: usize::MAX,
+            rows: model.vocab_size,
+            cols: d,
+            addr: head_region.base,
+            beats: head_beats,
+        });
+
+        // KV code regions: one per (layer, K/V), each ctx_capacity × kv_dim
+        // bytes, beat-aligned per token vector.
+        let token_bytes = kv.max(1).next_multiple_of(BEAT_BYTES) as u64;
+        let mut kv_regions = Vec::with_capacity(model.n_layers * 2);
+        for layer in 0..model.n_layers {
+            for which in ["K", "V"] {
+                let r = alloc_spill(
+                    &mut map,
+                    &format!("kv.{which}.L{layer}"),
+                    token_bytes * ctx_capacity as u64,
+                )?;
+                kv_regions.push(r);
+            }
+        }
+
+        // Packed scale-zero region: one beat per stream per 16 tokens.
+        let streams = (model.n_layers * model.n_kv_heads * 2) as u64;
+        let meta_beats = streams * (ctx_capacity as u64).div_ceil(16);
+        let kv_meta = alloc_spill(&mut map, "kv scale-zero packs", meta_beats * 64)?;
+
+        Ok(ModelImage {
+            model: model.clone(),
+            format,
+            ctx_capacity,
+            map,
+            embedding,
+            projections,
+            kv_regions,
+            kv_meta,
+        })
+    }
+
+    /// The model configuration.
+    pub fn model(&self) -> &ModelConfig {
+        &self.model
+    }
+
+    /// The weight format.
+    pub fn format(&self) -> WeightFormat {
+        self.format
+    }
+
+    /// Maximum context length the KV regions hold.
+    pub fn ctx_capacity(&self) -> usize {
+        self.ctx_capacity
+    }
+
+    /// The underlying memory map.
+    pub fn map(&self) -> &MemoryMap {
+        &self.map
+    }
+
+    /// Fraction of the 4 GB device occupied (the paper's 93.3 % number).
+    pub fn occupancy(&self) -> f64 {
+        self.map.occupancy()
+    }
+
+    /// Whether Linux could still boot beside the image (the paper's
+    /// bare-metal argument is that it cannot).
+    pub fn linux_bootable(&self) -> bool {
+        self.map.linux_bootable()
+    }
+
+    /// All placed projections in per-token streaming order.
+    pub fn projections(&self) -> &[PlacedProjection] {
+        &self.projections
+    }
+
+    /// The projections of one layer, in streaming order.
+    pub fn layer_projections(&self, layer: usize) -> &[PlacedProjection] {
+        &self.projections[layer * 7..layer * 7 + 7]
+    }
+
+    /// The LM head projection.
+    pub fn lm_head(&self) -> &PlacedProjection {
+        self.projections.last().expect("image always has an LM head")
+    }
+
+    /// Read burst for one embedding row (FP16).
+    pub fn embedding_row_burst(&self, token: usize) -> BurstDescriptor {
+        let row_bytes = (self.model.d_model * 2) as u64;
+        let beats = row_bytes.div_ceil(BEAT_BYTES as u64) as u32;
+        BurstDescriptor::new(self.embedding.base + token as u64 * row_bytes, beats)
+    }
+
+    /// Bytes one cached token vector occupies (beat-aligned codes).
+    pub fn kv_token_bytes(&self) -> u64 {
+        (self.model.kv_dim().max(1)).next_multiple_of(BEAT_BYTES) as u64
+    }
+
+    /// Read burst of the whole K (or V) history of one layer up to `ctx`
+    /// tokens — one consecutive burst thanks to the per-layer regions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ctx` exceeds the image's context capacity.
+    pub fn kv_read_burst(&self, layer: usize, value: bool, ctx: usize) -> BurstDescriptor {
+        assert!(ctx <= self.ctx_capacity, "context beyond capacity");
+        let region = &self.kv_regions[layer * 2 + usize::from(value)];
+        let beats = (self.kv_token_bytes() * ctx as u64 / BEAT_BYTES as u64) as u32;
+        BurstDescriptor::new(region.base, beats)
+    }
+
+    /// Write burst for the current token's K (or V) vector of one layer.
+    pub fn kv_write_burst(&self, layer: usize, value: bool, token: usize) -> BurstDescriptor {
+        let region = &self.kv_regions[layer * 2 + usize::from(value)];
+        let tb = self.kv_token_bytes();
+        BurstDescriptor::write(region.base + token as u64 * tb, (tb / BEAT_BYTES as u64) as u32)
+    }
+
+    /// Write burst for one flushed scale-zero FIFO element.
+    pub fn kv_meta_write_burst(&self, stream: usize, window16: u64) -> BurstDescriptor {
+        let streams = (self.model.n_layers * self.model.n_kv_heads * 2) as u64;
+        let offset = (window16 * streams + stream as u64) * BEAT_BYTES as u64;
+        BurstDescriptor::write(self.kv_meta.base + offset, 1)
+    }
+
+    /// Total bytes of all weight streams (format padding included).
+    pub fn weight_stream_bytes(&self) -> u64 {
+        self.projections.iter().map(|p| p.beats * BEAT_BYTES as u64).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn llama2_7b_image_reproduces_fig1() {
+        let image = ModelImage::build(
+            &ModelConfig::llama2_7b(),
+            WeightFormat::kv260(),
+            1024,
+        )
+        .expect("7B must fit the 4GB device");
+        let occ = image.occupancy();
+        assert!(
+            (0.90..0.96).contains(&occ),
+            "occupancy {occ:.4} should be ~93%"
+        );
+        assert!(!image.linux_bootable(), "paper: too little room for Linux");
+        assert!(image.map().check_invariants());
+        // Weight stream ≈ 3.3–3.5 GB.
+        let wb = image.weight_stream_bytes() as f64 / (1u64 << 20) as f64;
+        assert!((3100.0..3500.0).contains(&wb), "weight stream {wb:.0} MiB");
+    }
+
+    #[test]
+    fn thirteen_b_does_not_fit() {
+        let mut cfg = ModelConfig::llama2_7b();
+        cfg.name = "LLaMA2-13B".into();
+        cfg.n_layers = 40;
+        cfg.d_model = 5120;
+        cfg.n_heads = 40;
+        cfg.n_kv_heads = 40;
+        cfg.d_ff = 13824;
+        assert!(ModelImage::build(&cfg, WeightFormat::kv260(), 1024).is_err());
+    }
+
+    #[test]
+    fn small_image_geometry() {
+        let cfg = ModelConfig::test_small();
+        let image = ModelImage::build(&cfg, WeightFormat::kv260(), 64).expect("fits");
+        assert_eq!(image.projections().len(), cfg.n_layers * 7 + 1);
+        assert_eq!(image.layer_projections(1).len(), 7);
+        assert_eq!(image.layer_projections(1)[0].name, "wq");
+        assert_eq!(image.lm_head().rows, cfg.vocab_size);
+        assert_eq!(image.ctx_capacity(), 64);
+    }
+
+    #[test]
+    fn kv_bursts_are_contiguous_and_sized() {
+        let cfg = ModelConfig::test_small();
+        let image = ModelImage::build(&cfg, WeightFormat::kv260(), 64).expect("fits");
+        let tb = image.kv_token_bytes();
+        assert_eq!(tb % BEAT_BYTES as u64, 0);
+        let read = image.kv_read_burst(0, false, 10);
+        assert_eq!(read.bytes(), tb * 10);
+        let w0 = image.kv_write_burst(0, false, 0);
+        let w1 = image.kv_write_burst(0, false, 1);
+        assert_eq!(w1.addr - w0.addr, tb);
+        assert!(w0.write);
+        // K and V regions are distinct.
+        let rv = image.kv_read_burst(0, true, 10);
+        assert_ne!(read.addr, rv.addr);
+    }
+
+    #[test]
+    fn embedding_rows_are_addressable() {
+        let cfg = ModelConfig::test_small();
+        let image = ModelImage::build(&cfg, WeightFormat::kv260(), 64).expect("fits");
+        let b0 = image.embedding_row_burst(0);
+        let b1 = image.embedding_row_burst(1);
+        assert_eq!(b1.addr - b0.addr, (cfg.d_model * 2) as u64);
+        assert_eq!(b0.bytes(), (cfg.d_model * 2) as u64);
+    }
+
+    #[test]
+    fn meta_write_bursts_are_beat_sized() {
+        let cfg = ModelConfig::test_small();
+        let image = ModelImage::build(&cfg, WeightFormat::kv260(), 64).expect("fits");
+        let b = image.kv_meta_write_burst(3, 1);
+        assert_eq!(b.beats, 1);
+        assert!(b.write);
+    }
+
+    #[test]
+    #[should_panic(expected = "context beyond capacity")]
+    fn kv_read_checks_capacity() {
+        let cfg = ModelConfig::test_small();
+        let image = ModelImage::build(&cfg, WeightFormat::kv260(), 16).expect("fits");
+        let _ = image.kv_read_burst(0, false, 17);
+    }
+}

@@ -1,0 +1,182 @@
+//! The Memory Control Unit (Fig. 5A): command generation, the 4×128-bit
+//! port split/merge, and the stream demultiplexer.
+//!
+//! The PS tokenizes the prompt and writes the token index over AXI-Lite;
+//! the command generator expands it into the token's burst schedule, each
+//! command split four ways so the four 128-bit HP ports fetch interleaved
+//! lanes of the same 512-bit words. On-chip the four streams are
+//! synchronised and concatenated back into 512-bit beats, and a
+//! demultiplexer separates zero points, scales and weights according to
+//! the interleaved format's superblock structure.
+
+use zllm_layout::beat::Beat;
+use zllm_layout::weight::WeightFormat;
+use zllm_layout::BurstDescriptor;
+
+/// One 128-bit lane command for a single HP port.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PortCommand {
+    /// Port index (0..4).
+    pub port: u32,
+    /// Byte address of the port's first 128-bit lane word.
+    pub addr: u64,
+    /// Number of 128-bit words the port fetches.
+    pub words: u64,
+    /// Stride between consecutive lane words (the full bus width).
+    pub stride: u64,
+}
+
+/// Splits one 512-bit burst into the four per-port lane commands.
+pub fn split_command(burst: BurstDescriptor) -> [PortCommand; 4] {
+    std::array::from_fn(|p| PortCommand {
+        port: p as u32,
+        addr: burst.addr + 16 * p as u64,
+        words: burst.beats as u64,
+        stride: 64,
+    })
+}
+
+/// Re-merges four synchronized 128-bit lane streams into 512-bit beats —
+/// the inverse of [`split_command`], as the on-chip synchronizer does.
+///
+/// # Panics
+///
+/// Panics if the four streams have different lengths.
+pub fn merge_streams(lanes: &[Vec<[u8; 16]>; 4]) -> Vec<Beat> {
+    let n = lanes[0].len();
+    assert!(
+        lanes.iter().all(|l| l.len() == n),
+        "lane streams must be synchronized"
+    );
+    (0..n)
+        .map(|i| {
+            let mut beat = Beat::zeroed();
+            for (p, lane) in lanes.iter().enumerate() {
+                beat.as_bytes_mut()[16 * p..16 * (p + 1)].copy_from_slice(&lane[i]);
+            }
+            beat
+        })
+        .collect()
+}
+
+/// What one demultiplexed beat contains.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StreamItem {
+    /// A beat of 4-bit zero points (one per group of the superblock).
+    Zeros,
+    /// A beat of FP16 scales.
+    Scales,
+    /// A beat of 4-bit weight codes (one quantization group).
+    Weights,
+}
+
+/// The stream demultiplexer: a counter FSM over the superblock structure.
+///
+/// # Example
+///
+/// ```
+/// use zllm_accel::mcu::{StreamDemux, StreamItem};
+/// use zllm_layout::weight::WeightFormat;
+///
+/// let mut demux = StreamDemux::new(WeightFormat::kv260());
+/// assert_eq!(demux.next_item(), StreamItem::Zeros);
+/// assert_eq!(demux.next_item(), StreamItem::Scales);
+/// ```
+#[derive(Debug, Clone)]
+pub struct StreamDemux {
+    format: WeightFormat,
+    /// Position within the current superblock, in beats.
+    pos: usize,
+}
+
+impl StreamDemux {
+    /// Creates a demux for the given format, positioned at a superblock
+    /// boundary.
+    pub fn new(format: WeightFormat) -> StreamDemux {
+        StreamDemux { format, pos: 0 }
+    }
+
+    /// Classifies the next incoming beat and advances the FSM.
+    pub fn next_item(&mut self) -> StreamItem {
+        let scale_beats = self.format.scale_beats_per_superblock();
+        let item = if self.pos == 0 {
+            StreamItem::Zeros
+        } else if self.pos <= scale_beats {
+            StreamItem::Scales
+        } else {
+            StreamItem::Weights
+        };
+        self.pos = (self.pos + 1) % self.format.superblock_beats();
+        item
+    }
+
+    /// Classifies a whole stream.
+    pub fn classify(&mut self, beats: usize) -> Vec<StreamItem> {
+        (0..beats).map(|_| self.next_item()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_covers_all_lanes() {
+        let cmds = split_command(BurstDescriptor::new(0x1000, 8));
+        assert_eq!(cmds[0].addr, 0x1000);
+        assert_eq!(cmds[3].addr, 0x1000 + 48);
+        assert!(cmds.iter().all(|c| c.words == 8 && c.stride == 64));
+    }
+
+    #[test]
+    fn split_then_merge_is_identity() {
+        // Build a known 2-beat memory image, split it across ports, merge.
+        let mut memory = vec![0u8; 128];
+        for (i, b) in memory.iter_mut().enumerate() {
+            *b = (i * 7 % 251) as u8;
+        }
+        let burst = BurstDescriptor::new(0, 2);
+        let cmds = split_command(burst);
+        let lanes: [Vec<[u8; 16]>; 4] = std::array::from_fn(|p| {
+            (0..cmds[p].words)
+                .map(|w| {
+                    let base = (cmds[p].addr + w * cmds[p].stride) as usize;
+                    let mut lane = [0u8; 16];
+                    lane.copy_from_slice(&memory[base..base + 16]);
+                    lane
+                })
+                .collect()
+        });
+        let beats = merge_streams(&lanes);
+        assert_eq!(beats.len(), 2);
+        for (i, beat) in beats.iter().enumerate() {
+            assert_eq!(&beat.as_bytes()[..], &memory[i * 64..(i + 1) * 64]);
+        }
+    }
+
+    #[test]
+    fn demux_follows_superblock_structure() {
+        let fmt = WeightFormat::kv260();
+        let mut demux = StreamDemux::new(fmt);
+        let items = demux.classify(fmt.superblock_beats() * 2);
+        assert_eq!(items[0], StreamItem::Zeros);
+        for item in items.iter().take(5).skip(1) {
+            assert_eq!(*item, StreamItem::Scales);
+        }
+        for item in items.iter().take(133).skip(5) {
+            assert_eq!(*item, StreamItem::Weights);
+        }
+        // Second superblock starts over.
+        assert_eq!(items[133], StreamItem::Zeros);
+        let weights = items.iter().filter(|i| **i == StreamItem::Weights).count();
+        assert_eq!(weights, 256);
+    }
+
+    #[test]
+    #[should_panic(expected = "synchronized")]
+    fn merge_requires_synchronized_lanes() {
+        let lanes: [Vec<[u8; 16]>; 4] =
+            [vec![[0; 16]], vec![[0; 16]], vec![[0; 16]], vec![[0; 16], [0; 16]]];
+        let _ = merge_streams(&lanes);
+    }
+}

@@ -1,0 +1,246 @@
+//! The fine-grained head-wise fused pipeline of Fig. 3, and its
+//! coarse-grained comparison point.
+//!
+//! For one attention head the fused dataflow sequences:
+//!
+//! 1. **Q projection** (RoPE applied to Q on the fly as elements emerge),
+//! 2. **K projection** (RoPE + current-token Q·K product on the fly;
+//!    K quantization runs concurrently),
+//! 3. **DOT** of the rotated Q against the historical key cache,
+//! 4. **V projection** (V quantization concurrent; *softmax runs here*,
+//!    which is legal because three passes over `ctx` scores finish before
+//!    `head_dim × d_model / lanes` projection cycles do),
+//! 5. **weighted V sum** over the historical value cache.
+//!
+//! [`head_timeline`] produces the stage intervals of both modes, and
+//! [`softmax_hides`] checks the inequality that makes stage 4's fusion
+//! sound — the load-bearing claim of §V-A.
+
+use crate::config::PipelineMode;
+use zllm_model::ModelConfig;
+
+/// One pipeline stage of a single head's processing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Stage {
+    /// Stage name.
+    pub name: &'static str,
+    /// Start cycle (relative to the head's first cycle).
+    pub start: u64,
+    /// End cycle (exclusive).
+    pub end: u64,
+    /// `true` if this stage occupies the memory/VPU stream; `false` for
+    /// SPU work running concurrently.
+    pub dense: bool,
+}
+
+impl Stage {
+    /// Stage duration in cycles.
+    pub fn cycles(&self) -> u64 {
+        self.end - self.start
+    }
+}
+
+/// Per-head stage lengths (cycles at one beat per cycle).
+#[derive(Debug, Clone, Copy)]
+pub struct HeadShape {
+    /// Cycles to stream one head's Q (or K, or V) projection rows.
+    pub proj: u64,
+    /// Cycles to stream the K (or V) history of one head.
+    pub hist: u64,
+    /// RoPE cycles for one head vector.
+    pub rope: u64,
+    /// Softmax cycles over `ctx + 1` scores.
+    pub softmax: u64,
+    /// KV quantization cycles for one head vector.
+    pub quant: u64,
+}
+
+impl HeadShape {
+    /// Computes the stage lengths for a model at context length `ctx`
+    /// with `lanes` VPU lanes.
+    pub fn new(model: &ModelConfig, ctx: usize, lanes: usize) -> HeadShape {
+        let hd = model.head_dim() as u64;
+        let d = model.d_model as u64;
+        let beats_per_row = d.div_ceil(lanes as u64);
+        // One head's projection: head_dim output rows.
+        let proj = hd * beats_per_row;
+        // History: ctx vectors of head_dim 8-bit codes, beat-aligned.
+        let hist = (ctx as u64) * hd.div_ceil(64).max(1);
+        HeadShape {
+            proj,
+            hist,
+            rope: hd,
+            softmax: 3 * (ctx as u64 + 1),
+            quant: 2 * hd,
+        }
+    }
+}
+
+/// The §V-A soundness condition: the three softmax passes fit inside the
+/// value projection, so probabilities are ready when the weighted sum
+/// starts.
+pub fn softmax_hides(model: &ModelConfig, ctx: usize, lanes: usize) -> bool {
+    let s = HeadShape::new(model, ctx, lanes);
+    s.softmax <= s.proj
+}
+
+/// Builds the stage timeline of one head.
+///
+/// In fused mode the dense stages abut seamlessly and the miscellaneous
+/// stages overlap them; in coarse mode every stage serializes.
+pub fn head_timeline(model: &ModelConfig, ctx: usize, lanes: usize, mode: PipelineMode) -> Vec<Stage> {
+    let s = HeadShape::new(model, ctx, lanes);
+    let mut stages = Vec::new();
+    let mut t = 0u64;
+    let dense = |name: &'static str, len: u64, t: &mut u64, out: &mut Vec<Stage>| {
+        out.push(Stage { name, start: *t, end: *t + len, dense: true });
+        *t += len;
+    };
+
+    match mode {
+        PipelineMode::Fused => {
+            dense("q_proj", s.proj, &mut t, &mut stages);
+            // RoPE(Q) overlaps the tail of the Q projection.
+            stages.push(Stage {
+                name: "rope_q",
+                start: t.saturating_sub(s.rope),
+                end: t,
+                dense: false,
+            });
+            dense("k_proj", s.proj, &mut t, &mut stages);
+            stages.push(Stage {
+                name: "rope_k+qk_dot",
+                start: t.saturating_sub(s.rope),
+                end: t,
+                dense: false,
+            });
+            stages.push(Stage {
+                name: "k_quant",
+                start: t.saturating_sub(s.quant),
+                end: t,
+                dense: false,
+            });
+            dense("k_hist_dot", s.hist, &mut t, &mut stages);
+            let v_start = t;
+            dense("v_proj", s.proj, &mut t, &mut stages);
+            // Softmax runs inside the V projection window.
+            stages.push(Stage {
+                name: "softmax",
+                start: v_start,
+                end: v_start + s.softmax,
+                dense: false,
+            });
+            stages.push(Stage {
+                name: "v_quant",
+                start: t.saturating_sub(s.quant),
+                end: t,
+                dense: false,
+            });
+            dense("weighted_v", s.hist, &mut t, &mut stages);
+        }
+        PipelineMode::Coarse => {
+            dense("q_proj", s.proj, &mut t, &mut stages);
+            dense("k_proj", s.proj, &mut t, &mut stages);
+            dense("v_proj", s.proj, &mut t, &mut stages);
+            // Serialized miscellaneous work.
+            let misc = |name: &'static str, len: u64, t: &mut u64, out: &mut Vec<Stage>| {
+                out.push(Stage { name, start: *t, end: *t + len, dense: false });
+                *t += len;
+            };
+            misc("rope_q", s.rope, &mut t, &mut stages);
+            misc("rope_k", s.rope, &mut t, &mut stages);
+            misc("k_quant", s.quant, &mut t, &mut stages);
+            dense("k_hist_dot", s.hist, &mut t, &mut stages);
+            misc("softmax", s.softmax, &mut t, &mut stages);
+            dense("weighted_v", s.hist, &mut t, &mut stages);
+            misc("v_quant", s.quant, &mut t, &mut stages);
+        }
+    }
+    stages
+}
+
+/// Total cycles of one head (the end of its last stage).
+pub fn head_cycles(model: &ModelConfig, ctx: usize, lanes: usize, mode: PipelineMode) -> u64 {
+    head_timeline(model, ctx, lanes, mode)
+        .iter()
+        .map(|s| s.end)
+        .max()
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn softmax_hides_for_llama2_7b_at_1024() {
+        // The paper's design point: 3·(1024+1) = 3075 ≤ 128·32 = 4096.
+        let cfg = ModelConfig::llama2_7b();
+        assert!(softmax_hides(&cfg, 1023, 128));
+        // And the condition genuinely breaks somewhere past the budget.
+        assert!(!softmax_hides(&cfg, 2000, 128));
+    }
+
+    #[test]
+    fn fused_head_is_pure_dense_time() {
+        let cfg = ModelConfig::llama2_7b();
+        let ctx = 512;
+        let fused = head_cycles(&cfg, ctx, 128, PipelineMode::Fused);
+        let s = HeadShape::new(&cfg, ctx, 128);
+        // Dense stages only: 3 projections + 2 history passes.
+        assert_eq!(fused, 3 * s.proj + 2 * s.hist);
+    }
+
+    #[test]
+    fn coarse_head_is_strictly_slower() {
+        let cfg = ModelConfig::llama2_7b();
+        for ctx in [0usize, 64, 512, 1023] {
+            let fused = head_cycles(&cfg, ctx, 128, PipelineMode::Fused);
+            let coarse = head_cycles(&cfg, ctx, 128, PipelineMode::Coarse);
+            assert!(coarse > fused, "ctx {ctx}: coarse {coarse} vs fused {fused}");
+        }
+    }
+
+    #[test]
+    fn coarse_gap_grows_with_context() {
+        let cfg = ModelConfig::llama2_7b();
+        let gap = |ctx| {
+            head_cycles(&cfg, ctx, 128, PipelineMode::Coarse)
+                - head_cycles(&cfg, ctx, 128, PipelineMode::Fused)
+        };
+        assert!(gap(1023) > gap(64));
+    }
+
+    #[test]
+    fn fused_timeline_misc_stages_overlap_dense() {
+        let cfg = ModelConfig::llama2_7b();
+        let stages = head_timeline(&cfg, 256, 128, PipelineMode::Fused);
+        let dense_end = stages.iter().filter(|s| s.dense).map(|s| s.end).max().expect("has dense");
+        for s in stages.iter().filter(|s| !s.dense) {
+            assert!(
+                s.end <= dense_end,
+                "misc stage {} ends at {} beyond dense end {dense_end}",
+                s.name,
+                s.end
+            );
+        }
+    }
+
+    #[test]
+    fn fused_dense_stages_abut() {
+        let cfg = ModelConfig::test_small();
+        let stages = head_timeline(&cfg, 8, 128, PipelineMode::Fused);
+        let dense: Vec<&Stage> = stages.iter().filter(|s| s.dense).collect();
+        for pair in dense.windows(2) {
+            assert_eq!(pair[0].end, pair[1].start, "{} → {}", pair[0].name, pair[1].name);
+        }
+    }
+
+    #[test]
+    fn stage_durations_positive_for_nonzero_ctx() {
+        let cfg = ModelConfig::test_small();
+        for s in head_timeline(&cfg, 4, 128, PipelineMode::Coarse) {
+            assert!(s.cycles() > 0, "stage {} has zero cycles", s.name);
+        }
+    }
+}

@@ -1,0 +1,127 @@
+//! Activity-based power estimation, calibrated to the paper's 6.57 W
+//! Vivado report.
+//!
+//! Total on-chip power = PS subsystem (APU running the bare-metal
+//! program, DDR controller and PHY) + PL static + PL dynamic. PL dynamic
+//! is modelled per resource class with per-primitive coefficients at
+//! 300 MHz and scales linearly with clock frequency.
+
+use crate::config::AccelConfig;
+use crate::resources::{estimate, ResourceVector};
+
+/// Power breakdown in watts.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerEstimate {
+    /// Processing-system power (APU + DDR controller/PHY).
+    pub ps: f64,
+    /// PL static leakage.
+    pub pl_static: f64,
+    /// PL dynamic power.
+    pub pl_dynamic: f64,
+}
+
+impl PowerEstimate {
+    /// Total on-chip power.
+    pub fn total(&self) -> f64 {
+        self.ps + self.pl_static + self.pl_dynamic
+    }
+}
+
+impl std::fmt::Display for PowerEstimate {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{:.2} W (PS {:.2}, PL static {:.2}, PL dynamic {:.2})",
+            self.total(),
+            self.ps,
+            self.pl_static,
+            self.pl_dynamic
+        )
+    }
+}
+
+/// Per-primitive dynamic coefficients at 300 MHz (watts per instance).
+const LUT_W: f64 = 20e-6;
+const FF_W: f64 = 5e-6;
+const DSP_W: f64 = 2.5e-3;
+const BRAM_W: f64 = 8e-3;
+const URAM_W: f64 = 12e-3;
+/// PS subsystem (APU + DDRC + PHY) under the decode workload.
+const PS_W: f64 = 2.8;
+/// PL static leakage of the K26 at nominal temperature.
+const PL_STATIC_W: f64 = 0.55;
+
+/// Dynamic power of a resource vector at a given clock.
+pub fn dynamic_power(res: &ResourceVector, freq_mhz: f64) -> f64 {
+    let at_300 = res.lut * LUT_W
+        + res.ff * FF_W
+        + res.dsp * DSP_W
+        + res.bram * BRAM_W
+        + res.uram * URAM_W;
+    at_300 * freq_mhz / 300.0
+}
+
+/// Estimates the design's power.
+///
+/// # Example
+///
+/// ```
+/// use zllm_accel::{power, AccelConfig};
+///
+/// let p = power::estimate_power(&AccelConfig::kv260());
+/// assert!((6.0..7.2).contains(&p.total())); // paper: 6.57 W
+/// ```
+pub fn estimate_power(cfg: &AccelConfig) -> PowerEstimate {
+    let res = estimate(cfg).total;
+    PowerEstimate {
+        ps: PS_W,
+        pl_static: PL_STATIC_W,
+        pl_dynamic: dynamic_power(&res, cfg.freq_mhz),
+    }
+}
+
+/// Energy per decoded token in joules, given a decode speed.
+pub fn energy_per_token(power_w: f64, tokens_per_s: f64) -> f64 {
+    power_w / tokens_per_s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_power_matches_paper() {
+        let p = estimate_power(&AccelConfig::kv260());
+        assert!(
+            (p.total() - 6.57).abs() < 0.35,
+            "total {} should be near the paper's 6.57 W",
+            p.total()
+        );
+        assert!(!format!("{p}").is_empty());
+    }
+
+    #[test]
+    fn dynamic_power_scales_with_frequency() {
+        let mut slow = AccelConfig::kv260();
+        slow.freq_mhz = 150.0;
+        let p300 = estimate_power(&AccelConfig::kv260());
+        let p150 = estimate_power(&slow);
+        assert!((p300.pl_dynamic / p150.pl_dynamic - 2.0).abs() < 1e-9);
+        // Static and PS terms don't scale.
+        assert_eq!(p300.ps, p150.ps);
+    }
+
+    #[test]
+    fn energy_per_token_at_paper_operating_point() {
+        // ~6.57 W at ~4.9 token/s → ~1.34 J/token.
+        let e = energy_per_token(6.57, 4.9);
+        assert!((1.2..1.5).contains(&e), "energy {e}");
+    }
+
+    #[test]
+    fn more_lanes_cost_more_power() {
+        let mut big = AccelConfig::kv260();
+        big.lanes = 256;
+        assert!(estimate_power(&big).total() > estimate_power(&AccelConfig::kv260()).total());
+    }
+}

@@ -1,0 +1,234 @@
+//! Parametric FPGA resource estimation, calibrated to Table I.
+//!
+//! Vivado reports are unavailable offline, so Table I is *regenerated*
+//! from an analytic model: per-primitive costs (an FP16 multiplier, an
+//! FP32 tree adder, a datamover channel, each SPU pipeline) scaled by the
+//! architecture parameters (lanes, AXI ports). The per-primitive constants
+//! are calibrated so the default KV260 configuration reproduces the
+//! paper's numbers; changing `lanes` or `ports` then predicts how the
+//! design scales — which is what an estimator is for.
+
+use crate::config::AccelConfig;
+
+/// A vector of FPGA resource counts.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ResourceVector {
+    /// Look-up tables.
+    pub lut: f64,
+    /// Flip-flops.
+    pub ff: f64,
+    /// CARRY8 blocks.
+    pub carry: f64,
+    /// DSP48/DSP58 slices.
+    pub dsp: f64,
+    /// 36 Kb block RAMs (halves allowed).
+    pub bram: f64,
+    /// UltraRAMs.
+    pub uram: f64,
+}
+
+impl std::ops::Add for ResourceVector {
+    type Output = ResourceVector;
+    fn add(self, r: ResourceVector) -> ResourceVector {
+        ResourceVector {
+            lut: self.lut + r.lut,
+            ff: self.ff + r.ff,
+            carry: self.carry + r.carry,
+            dsp: self.dsp + r.dsp,
+            bram: self.bram + r.bram,
+            uram: self.uram + r.uram,
+        }
+    }
+}
+
+impl ResourceVector {
+    /// Element-wise utilization against a device budget.
+    pub fn utilization(&self, device: &ResourceVector) -> ResourceVector {
+        ResourceVector {
+            lut: self.lut / device.lut,
+            ff: self.ff / device.ff,
+            carry: self.carry / device.carry,
+            dsp: self.dsp / device.dsp,
+            bram: self.bram / device.bram,
+            uram: self.uram / device.uram,
+        }
+    }
+
+    /// The largest utilization component (the binding constraint).
+    pub fn max_component(&self) -> f64 {
+        [self.lut, self.ff, self.carry, self.dsp, self.bram, self.uram]
+            .into_iter()
+            .fold(0.0, f64::max)
+    }
+}
+
+/// The KV260's Kria K26 device budget.
+pub fn kv260_device() -> ResourceVector {
+    ResourceVector {
+        lut: 117_120.0,
+        ff: 234_240.0,
+        carry: 14_640.0,
+        dsp: 1_248.0,
+        bram: 144.0,
+        uram: 64.0,
+    }
+}
+
+/// Per-unit breakdown of the accelerator (the rows of Table I).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AccelEstimate {
+    /// Memory Control Unit.
+    pub mcu: ResourceVector,
+    /// Vector Processing Unit.
+    pub vpu: ResourceVector,
+    /// Scalar Processing Unit.
+    pub spu: ResourceVector,
+    /// Whole design (units + top-level glue).
+    pub total: ResourceVector,
+}
+
+/// Estimates the design's resource consumption for a configuration.
+///
+/// # Example
+///
+/// ```
+/// use zllm_accel::{resources, AccelConfig};
+///
+/// let est = resources::estimate(&AccelConfig::kv260());
+/// let util = est.total.utilization(&resources::kv260_device());
+/// assert!(util.lut > 0.6 && util.lut < 0.75); // the paper's 67%
+/// ```
+pub fn estimate(cfg: &AccelConfig) -> AccelEstimate {
+    let ports = cfg.axi.ports as f64;
+    let lanes = cfg.lanes as f64;
+    let tree_adders = (cfg.lanes.saturating_sub(1)) as f64;
+
+    // MCU: one datamover channel per port + command generator + merge
+    // buffers (URAM) sized by the merged bus width.
+    let mcu = ResourceVector {
+        lut: 3_000.0 * ports + 2_000.0,
+        ff: 4_800.0 * ports + 1_800.0,
+        carry: 150.0 * ports,
+        dsp: 1.0,
+        bram: 7.0 * ports + 2.0,
+        uram: 1.75 * ports,
+    };
+
+    // VPU: per-lane FP16 multiplier + FP32 adder tree + scale/accumulate.
+    let vpu = ResourceVector {
+        lut: 60.0 * lanes + 205.0 * tree_adders,
+        ff: 90.0 * lanes + 255.0 * tree_adders,
+        carry: 16.5 * tree_adders,
+        dsp: lanes + tree_adders + 11.0,
+        bram: 0.0,
+        uram: 0.0,
+    };
+
+    // SPU: fixed pipelines (RoPE, softmax, RMSNorm, SiLU, quantizer) plus
+    // the hidden-state FIFOs (URAM) and serial↔parallel adapters.
+    let spu = ResourceVector {
+        lut: 29_000.0,
+        ff: 40_000.0,
+        carry: 1_000.0,
+        dsp: 24.0,
+        bram: 6.5,
+        uram: 3.0,
+    };
+
+    // Top-level glue (reset trees, AXI-Lite, debug).
+    let glue = ResourceVector {
+        lut: 1_000.0,
+        ff: 1_000.0,
+        carry: 100.0,
+        dsp: 0.0,
+        bram: 0.0,
+        uram: 0.0,
+    };
+
+    AccelEstimate { mcu, vpu, spu, total: mcu + vpu + spu + glue }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(got: f64, want: f64, tol: f64) -> bool {
+        (got - want).abs() <= want * tol
+    }
+
+    #[test]
+    fn default_estimate_reproduces_table_i_per_unit() {
+        let est = estimate(&AccelConfig::kv260());
+        // MCU row: 14K LUT, 21K FF, 0.6K CARRY, 1 DSP, 30 BRAM, 7 URAM.
+        assert!(close(est.mcu.lut, 14_000.0, 0.05), "mcu lut {}", est.mcu.lut);
+        assert!(close(est.mcu.ff, 21_000.0, 0.05));
+        assert!(close(est.mcu.carry, 600.0, 0.05));
+        assert_eq!(est.mcu.dsp, 1.0);
+        assert_eq!(est.mcu.bram, 30.0);
+        assert_eq!(est.mcu.uram, 7.0);
+        // VPU row: 34K LUT, 44K FF, 2.1K CARRY, 266 DSP.
+        assert!(close(est.vpu.lut, 34_000.0, 0.05), "vpu lut {}", est.vpu.lut);
+        assert!(close(est.vpu.ff, 44_000.0, 0.05));
+        assert!(close(est.vpu.carry, 2_100.0, 0.05));
+        assert!(close(est.vpu.dsp, 266.0, 0.01), "vpu dsp {}", est.vpu.dsp);
+        // SPU row: 29K LUT, 40K FF, 24 DSP, 6.5 BRAM, 3 URAM.
+        assert_eq!(est.spu.lut, 29_000.0);
+        assert_eq!(est.spu.dsp, 24.0);
+    }
+
+    #[test]
+    fn default_totals_match_table_i() {
+        let est = estimate(&AccelConfig::kv260());
+        assert!(close(est.total.lut, 78_000.0, 0.04), "lut {}", est.total.lut);
+        assert!(close(est.total.ff, 105_000.0, 0.04), "ff {}", est.total.ff);
+        assert!(close(est.total.carry, 3_800.0, 0.05), "carry {}", est.total.carry);
+        assert!(close(est.total.dsp, 291.0, 0.02), "dsp {}", est.total.dsp);
+        assert!(close(est.total.bram, 36.5, 0.02), "bram {}", est.total.bram);
+        assert_eq!(est.total.uram, 10.0);
+    }
+
+    #[test]
+    fn utilization_matches_papers_percentages() {
+        let est = estimate(&AccelConfig::kv260());
+        let util = est.total.utilization(&kv260_device());
+        assert!((0.62..0.72).contains(&util.lut), "lut util {}", util.lut);
+        assert!((0.40..0.50).contains(&util.ff));
+        assert!((0.21..0.30).contains(&util.carry));
+        assert!((0.20..0.27).contains(&util.dsp));
+        assert!((0.22..0.28).contains(&util.bram));
+        assert!((0.14..0.18).contains(&util.uram));
+        // LUTs are the binding constraint, as the paper emphasises
+        // ("up to 70% system LUT utilization").
+        assert_eq!(util.max_component(), util.lut);
+    }
+
+    #[test]
+    fn design_fits_the_device() {
+        let est = estimate(&AccelConfig::kv260());
+        let util = est.total.utilization(&kv260_device());
+        assert!(util.max_component() < 1.0);
+    }
+
+    #[test]
+    fn doubling_lanes_roughly_doubles_vpu() {
+        let mut cfg = AccelConfig::kv260();
+        cfg.lanes = 256;
+        let big = estimate(&cfg);
+        let base = estimate(&AccelConfig::kv260());
+        assert!(big.vpu.dsp > base.vpu.dsp * 1.9);
+        assert!(big.vpu.lut > base.vpu.lut * 1.9);
+        // A 256-lane VPU would overflow the paper's LUT headroom.
+        let util = big.total.utilization(&kv260_device());
+        assert!(util.lut > 0.9, "256 lanes should nearly exhaust LUTs: {}", util.lut);
+    }
+
+    #[test]
+    fn fewer_ports_shrink_the_mcu() {
+        let mut cfg = AccelConfig::kv260();
+        cfg.axi.ports = 2;
+        let est = estimate(&cfg);
+        let base = estimate(&AccelConfig::kv260());
+        assert!(est.mcu.lut < base.mcu.lut);
+        assert!(est.mcu.bram < base.mcu.bram);
+    }
+}

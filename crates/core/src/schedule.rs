@@ -1,0 +1,258 @@
+//! The per-token memory/compute operation schedule.
+//!
+//! For each decoded token the MCU issues a fixed sequence of bursts:
+//! the embedding row, then per layer the seven projections interleaved
+//! with the KV-cache history reads and the current token's KV write-back,
+//! then the LM head. Every operation carries its VPU beat count and — for
+//! the coarse-pipeline baseline — the miscellaneous SPU cycles that would
+//! be *exposed* without operator fusion (§V-A).
+
+use crate::config::PipelineMode;
+use crate::image::ModelImage;
+use zllm_layout::BurstDescriptor;
+
+/// One scheduled operation.
+#[derive(Debug, Clone)]
+pub struct MemOp {
+    /// Human-readable label ("L3.w_gate", "L3.kv_read.K", …).
+    pub label: String,
+    /// The bursts this operation issues.
+    pub bursts: Vec<BurstDescriptor>,
+    /// Beats the VPU consumes (one per cycle).
+    pub vpu_beats: u64,
+    /// SPU cycles serialized after this op in the coarse pipeline
+    /// (zero in the fused pipeline, where they hide under the next dense
+    /// stream).
+    pub exposed_misc: u64,
+}
+
+impl MemOp {
+    fn new(label: String, bursts: Vec<BurstDescriptor>) -> MemOp {
+        let vpu_beats = bursts.iter().filter(|b| !b.write).map(|b| b.beats as u64).sum();
+        MemOp { label, bursts, vpu_beats, exposed_misc: 0 }
+    }
+
+    /// Total bytes moved.
+    pub fn bytes(&self) -> u64 {
+        self.bursts.iter().map(BurstDescriptor::bytes).sum()
+    }
+}
+
+/// The complete schedule of one decode step.
+#[derive(Debug, Clone)]
+pub struct TokenSchedule {
+    /// Operations in issue order.
+    pub ops: Vec<MemOp>,
+    /// The context length this schedule serves.
+    pub ctx: usize,
+}
+
+impl TokenSchedule {
+    /// Total bytes moved in this step.
+    pub fn total_bytes(&self) -> u64 {
+        self.ops.iter().map(MemOp::bytes).sum()
+    }
+
+    /// Total VPU beats.
+    pub fn total_vpu_beats(&self) -> u64 {
+        self.ops.iter().map(|o| o.vpu_beats).sum()
+    }
+
+    /// Total exposed miscellaneous cycles (coarse mode only).
+    pub fn total_exposed_misc(&self) -> u64 {
+        self.ops.iter().map(|o| o.exposed_misc).sum()
+    }
+}
+
+/// Builds the schedule for decoding one token with `ctx` tokens already
+/// cached (position `ctx` is being produced; its KV is written back).
+///
+/// # Panics
+///
+/// Panics if `ctx >= image.ctx_capacity()`.
+pub fn token_schedule(image: &ModelImage, ctx: usize, mode: PipelineMode) -> TokenSchedule {
+    assert!(ctx < image.ctx_capacity(), "context beyond image capacity");
+    let model = image.model();
+    let d = model.d_model;
+    let hd = model.head_dim();
+    let heads = model.n_heads;
+    let mut ops: Vec<MemOp> = Vec::with_capacity(model.n_layers * 12 + 2);
+
+    // Miscellaneous SPU latencies, exposed only in coarse mode.
+    let rmsnorm = 2 * d as u64;
+    let rope_all = (heads + model.n_kv_heads) as u64 * hd as u64;
+    let softmax_all = 3 * (ctx as u64 + 1) * heads as u64;
+    let quant_all = 2 * 2 * model.kv_dim() as u64; // K and V, two passes
+    let silu = model.d_ff as u64;
+
+    ops.push(MemOp::new("embedding".into(), vec![image.embedding_row_burst(0)]));
+
+    for layer in 0..model.n_layers {
+        let projs = image.layer_projections(layer);
+        let find = |name: &str| {
+            projs
+                .iter()
+                .find(|p| p.name == name)
+                .unwrap_or_else(|| panic!("projection {name} missing"))
+        };
+
+        // Pre-attention RMSNorm exposes before Q in the coarse pipeline.
+        let mut qkv = MemOp::new(
+            format!("L{layer}.qkv"),
+            vec![find("wq").burst(), find("wk").burst(), find("wv").burst()],
+        );
+        if mode == PipelineMode::Coarse {
+            qkv.exposed_misc = rmsnorm + rope_all + quant_all;
+        }
+        ops.push(qkv);
+
+        // KV history reads (the attention DOT and weighted-value sums).
+        if ctx > 0 {
+            let mut kv_read = MemOp::new(
+                format!("L{layer}.kv_read"),
+                vec![
+                    image.kv_read_burst(layer, false, ctx),
+                    image.kv_read_burst(layer, true, ctx),
+                ],
+            );
+            if mode == PipelineMode::Coarse {
+                kv_read.exposed_misc = softmax_all;
+            }
+            ops.push(kv_read);
+        } else if mode == PipelineMode::Coarse {
+            // Even with no history the current token's scores need softmax.
+            if let Some(last) = ops.last_mut() {
+                last.exposed_misc += softmax_all;
+            }
+        }
+
+        // Current token's KV write-back (codes; metadata beats amortized).
+        ops.push(MemOp::new(
+            format!("L{layer}.kv_write"),
+            vec![
+                image.kv_write_burst(layer, false, ctx),
+                image.kv_write_burst(layer, true, ctx),
+            ],
+        ));
+
+        ops.push(MemOp::new(format!("L{layer}.wo"), vec![find("wo").burst()]));
+
+        let mut mlp = MemOp::new(
+            format!("L{layer}.mlp"),
+            vec![find("w_gate").burst(), find("w_up").burst(), find("w_down").burst()],
+        );
+        if mode == PipelineMode::Coarse {
+            mlp.exposed_misc = rmsnorm + silu;
+        }
+        ops.push(mlp);
+    }
+
+    // Scale-zero FIFO flush: every 16th token writes one beat per stream.
+    if (ctx + 1) % 16 == 0 {
+        let streams = model.n_layers * model.n_kv_heads * 2;
+        let window = (ctx as u64 + 1) / 16 - 1;
+        let bursts = (0..streams)
+            .map(|s| image.kv_meta_write_burst(s, window))
+            .collect();
+        ops.push(MemOp::new("kv_meta_flush".into(), bursts));
+    }
+
+    let mut head = MemOp::new("lm_head".into(), vec![image.lm_head().burst()]);
+    if mode == PipelineMode::Coarse {
+        head.exposed_misc = rmsnorm;
+    }
+    ops.push(head);
+
+    TokenSchedule { ops, ctx }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zllm_layout::weight::WeightFormat;
+    use zllm_model::ModelConfig;
+
+    fn image() -> ModelImage {
+        ModelImage::build(&ModelConfig::test_small(), WeightFormat::kv260(), 32)
+            .expect("test model fits")
+    }
+
+    #[test]
+    fn schedule_covers_all_weights() {
+        let image = image();
+        let sched = token_schedule(&image, 4, PipelineMode::Fused);
+        // Every projection byte appears exactly once.
+        let weight_bytes: u64 = image.weight_stream_bytes();
+        let sched_weight_bytes: u64 = sched
+            .ops
+            .iter()
+            .filter(|o| {
+                o.label.contains(".qkv")
+                    || o.label.contains(".wo")
+                    || o.label.contains(".mlp")
+                    || o.label == "lm_head"
+            })
+            .map(MemOp::bytes)
+            .sum();
+        assert_eq!(sched_weight_bytes, weight_bytes);
+    }
+
+    #[test]
+    fn fused_mode_exposes_nothing() {
+        let sched = token_schedule(&image(), 4, PipelineMode::Fused);
+        assert_eq!(sched.total_exposed_misc(), 0);
+    }
+
+    #[test]
+    fn coarse_mode_exposure_grows_with_context() {
+        let image = image();
+        let short = token_schedule(&image, 2, PipelineMode::Coarse);
+        let long = token_schedule(&image, 30, PipelineMode::Coarse);
+        assert!(short.total_exposed_misc() > 0);
+        assert!(long.total_exposed_misc() > short.total_exposed_misc());
+    }
+
+    #[test]
+    fn kv_reads_scale_with_context() {
+        let image = image();
+        let b4 = token_schedule(&image, 4, PipelineMode::Fused).total_bytes();
+        let b16 = token_schedule(&image, 16, PipelineMode::Fused).total_bytes();
+        assert!(b16 > b4);
+    }
+
+    #[test]
+    fn zero_context_schedules_no_history_reads() {
+        let sched = token_schedule(&image(), 0, PipelineMode::Fused);
+        assert!(!sched.ops.iter().any(|o| o.label.contains("kv_read")));
+        // But KV write-back still happens.
+        assert!(sched.ops.iter().any(|o| o.label.contains("kv_write")));
+    }
+
+    #[test]
+    fn meta_flush_every_16_tokens() {
+        let image = image();
+        let s15 = token_schedule(&image, 15, PipelineMode::Fused);
+        assert!(s15.ops.iter().any(|o| o.label == "kv_meta_flush"));
+        let s14 = token_schedule(&image, 14, PipelineMode::Fused);
+        assert!(!s14.ops.iter().any(|o| o.label == "kv_meta_flush"));
+    }
+
+    #[test]
+    fn writes_do_not_count_as_vpu_beats() {
+        let sched = token_schedule(&image(), 4, PipelineMode::Fused);
+        let write_op = sched
+            .ops
+            .iter()
+            .find(|o| o.label.contains("kv_write"))
+            .expect("has write op");
+        assert_eq!(write_op.vpu_beats, 0);
+        assert!(write_op.bytes() > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "context beyond image capacity")]
+    fn capacity_checked() {
+        let image = image();
+        let _ = token_schedule(&image, 32, PipelineMode::Fused);
+    }
+}

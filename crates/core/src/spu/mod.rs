@@ -1,0 +1,19 @@
+//! The Scalar Processing Unit (Fig. 5C): the miscellaneous pipelines that
+//! run concurrently with the VPU so the dense stream never stalls.
+//!
+//! Each submodule models one hardware pipeline both *functionally* (FP16
+//! in, FP16 out, with the exact intermediate precisions) and *temporally*
+//! (a `cycles(…)` latency model the pipeline scheduler uses to check that
+//! the fused dataflow really hides the operation).
+
+pub mod quantizer;
+pub mod rmsnorm;
+pub mod rope;
+pub mod silu;
+pub mod softmax;
+
+pub use quantizer::KvQuantizer;
+pub use rmsnorm::RmsNormUnit;
+pub use rope::RopeUnit;
+pub use silu::SiluUnit;
+pub use softmax::SoftmaxUnit;

@@ -1,0 +1,145 @@
+//! The online KV quantization submodule (Fig. 5C6) + serial-to-parallel
+//! write-back path (Fig. 5C3).
+//!
+//! As each K/V head vector is produced it is quantized in two passes
+//! (range scan, then code emission), its scale-zero pack goes to the
+//! packing FIFO (Fig. 4B), and the codes go through a serial-to-parallel
+//! unit that assembles full 512-bit beats for the write channel.
+
+use zllm_fp16::F16;
+use zllm_layout::beat::{Beat, BEAT_BYTES};
+use zllm_layout::kv_pack::{FlushedElement, KvPackFifo};
+use zllm_quant::kv8::{quantize_kv, QuantizedKv};
+
+/// The on-chip KV quantizer: quantization + metadata packing + beat
+/// assembly.
+///
+/// # Example
+///
+/// ```
+/// use zllm_accel::spu::KvQuantizer;
+/// use zllm_fp16::F16;
+///
+/// let mut q = KvQuantizer::new(4); // 4 metadata streams
+/// let head: Vec<F16> = (0..64).map(|i| F16::from_f32(i as f32 / 64.0)).collect();
+/// let out = q.quantize_head(0, &head);
+/// assert_eq!(out.codes.len(), 64);
+/// ```
+#[derive(Debug, Clone)]
+pub struct KvQuantizer {
+    fifo: KvPackFifo,
+}
+
+/// Result of quantizing one head vector.
+#[derive(Debug, Clone)]
+pub struct QuantizedHead {
+    /// The quantized vector (codes + metadata).
+    pub codes: QuantizedKv,
+    /// A metadata beat, if this pack completed a FIFO element.
+    pub flushed_meta: Option<FlushedElement>,
+}
+
+impl KvQuantizer {
+    /// Creates the quantizer with `streams` metadata streams (layers ×
+    /// kv-heads × 2 for a full model).
+    pub fn new(streams: usize) -> KvQuantizer {
+        KvQuantizer { fifo: KvPackFifo::new(streams) }
+    }
+
+    /// Quantizes one head vector in two passes and feeds its scale-zero
+    /// pack into the FIFO. `stream` is only used for assertions in tests;
+    /// packs must arrive in the fixed head-wise, layer-wise order.
+    pub fn quantize_head(&mut self, _stream: usize, head: &[F16]) -> QuantizedHead {
+        let f32s: Vec<f32> = head.iter().map(|v| v.to_f32()).collect();
+        let codes = quantize_kv(&f32s);
+        let flushed_meta = self.fifo.append(codes.meta().to_pack());
+        QuantizedHead { codes, flushed_meta }
+    }
+
+    /// Assembles 8-bit codes into full write beats (serial-to-parallel).
+    /// Returns the beats plus the number of valid bytes in the last one.
+    pub fn serialize_codes(codes: &[u8]) -> (Vec<Beat>, usize) {
+        let mut beats = Vec::with_capacity(codes.len().div_ceil(BEAT_BYTES));
+        for chunk in codes.chunks(BEAT_BYTES) {
+            let mut beat = Beat::zeroed();
+            for (i, &b) in chunk.iter().enumerate() {
+                beat.set_byte(i, b);
+            }
+            beats.push(beat);
+        }
+        let tail = if codes.is_empty() { 0 } else { codes.len() - (beats.len() - 1) * BEAT_BYTES };
+        (beats, tail)
+    }
+
+    /// Two passes over the vector.
+    pub fn cycles(&self, len: usize) -> u64 {
+        2 * len as u64
+    }
+
+    /// Metadata streams in the FIFO.
+    pub fn streams(&self) -> usize {
+        self.fifo.streams()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn head(seed: usize, len: usize) -> Vec<F16> {
+        (0..len)
+            .map(|i| F16::from_f32((((i + seed) * 37) % 101) as f32 / 50.0 - 1.0))
+            .collect()
+    }
+
+    #[test]
+    fn quantize_matches_offline_kv8() {
+        let mut q = KvQuantizer::new(2);
+        let h = head(3, 128);
+        let out = q.quantize_head(0, &h);
+        let direct = quantize_kv(&h.iter().map(|v| v.to_f32()).collect::<Vec<_>>());
+        assert_eq!(out.codes.codes(), direct.codes());
+        assert_eq!(out.codes.meta(), direct.meta());
+    }
+
+    #[test]
+    fn fifo_flushes_every_16_tokens() {
+        let streams = 4;
+        let mut q = KvQuantizer::new(streams);
+        let mut flushes = 0;
+        for _token in 0..16 {
+            for s in 0..streams {
+                if q.quantize_head(s, &head(s, 64)).flushed_meta.is_some() {
+                    flushes += 1;
+                }
+            }
+        }
+        assert_eq!(flushes, streams);
+        assert_eq!(q.streams(), streams);
+    }
+
+    #[test]
+    fn serialize_codes_packs_beats() {
+        let codes: Vec<u8> = (0..130).map(|i| i as u8).collect();
+        let (beats, tail) = KvQuantizer::serialize_codes(&codes);
+        assert_eq!(beats.len(), 3);
+        assert_eq!(tail, 2);
+        assert_eq!(beats[0].byte(0), 0);
+        assert_eq!(beats[1].byte(0), 64);
+        assert_eq!(beats[2].byte(1), 129);
+        // Padding is zero.
+        assert_eq!(beats[2].byte(2), 0);
+    }
+
+    #[test]
+    fn serialize_empty() {
+        let (beats, tail) = KvQuantizer::serialize_codes(&[]);
+        assert!(beats.is_empty());
+        assert_eq!(tail, 0);
+    }
+
+    #[test]
+    fn latency_is_two_passes() {
+        assert_eq!(KvQuantizer::new(1).cycles(128), 256);
+    }
+}

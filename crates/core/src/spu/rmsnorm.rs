@@ -1,0 +1,119 @@
+//! The RMSNorm submodule (Fig. 5C2): two sequential passes.
+//!
+//! Pass 1 accumulates the square sum (skippable when the DOT engine
+//! already produced it — the fused pipeline computes the post-attention
+//! square sum *during* the output projection, §V-A); pass 2 multiplies
+//! each element by `1/√(mean + ε)` and the per-channel gain.
+
+use zllm_fp16::{math, F16};
+
+/// The RMSNorm hardware unit.
+///
+/// # Example
+///
+/// ```
+/// use zllm_accel::spu::RmsNormUnit;
+/// use zllm_fp16::F16;
+///
+/// let unit = RmsNormUnit::new(1e-5);
+/// let x = vec![F16::from_f32(3.0); 8];
+/// let g = vec![F16::ONE; 8];
+/// let y = unit.normalize(&x, &g);
+/// assert!((y[0].to_f32() - 1.0).abs() < 1e-2);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct RmsNormUnit {
+    eps: f32,
+}
+
+impl RmsNormUnit {
+    /// Creates the unit with the model's ε.
+    pub fn new(eps: f32) -> RmsNormUnit {
+        RmsNormUnit { eps }
+    }
+
+    /// Pass 1: the square sum, accumulated in f32 (the DSP accumulator is
+    /// wider than FP16).
+    pub fn square_sum(&self, x: &[F16]) -> f32 {
+        x.iter().map(|v| {
+            let f = v.to_f32();
+            f * f
+        }).sum()
+    }
+
+    /// Pass 2: normalisation given a precomputed square sum.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` and `gain` lengths differ or `x` is empty.
+    pub fn normalize_with_sum(&self, x: &[F16], gain: &[F16], square_sum: f32) -> Vec<F16> {
+        assert_eq!(x.len(), gain.len(), "gain length mismatch");
+        assert!(!x.is_empty(), "empty input");
+        let mean = square_sum / x.len() as f32 + self.eps;
+        let inv = math::rsqrt(F16::from_f32(mean));
+        x.iter().zip(gain).map(|(&v, &g)| v * inv * g).collect()
+    }
+
+    /// Both passes.
+    pub fn normalize(&self, x: &[F16], gain: &[F16]) -> Vec<F16> {
+        self.normalize_with_sum(x, gain, self.square_sum(x))
+    }
+
+    /// Cycles when both passes run on the SPU.
+    pub fn cycles(&self, len: usize) -> u64 {
+        2 * len as u64
+    }
+
+    /// Cycles when the square sum was computed by the DOT engine for free.
+    pub fn cycles_sum_bypassed(&self, len: usize) -> u64 {
+        len as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn f16v(v: &[f32]) -> Vec<F16> {
+        v.iter().map(|&x| F16::from_f32(x)).collect()
+    }
+
+    #[test]
+    fn matches_f32_reference() {
+        let x = [0.5f32, -1.25, 2.0, 0.125, -0.75, 1.5, -2.25, 0.25];
+        let g = [1.1f32, 0.9, 1.0, 1.2, 0.8, 1.05, 0.95, 1.0];
+        let unit = RmsNormUnit::new(1e-5);
+        let got = unit.normalize(&f16v(&x), &f16v(&g));
+        let want = zllm_model::reference::rmsnorm(&x, &g, 1e-5);
+        for (a, b) in got.iter().zip(&want) {
+            assert!((a.to_f32() - b).abs() < 5e-3, "{} vs {b}", a.to_f32());
+        }
+    }
+
+    #[test]
+    fn bypassed_sum_matches_two_pass() {
+        let x = f16v(&[1.0, 2.0, 3.0, 4.0]);
+        let g = f16v(&[1.0; 4]);
+        let unit = RmsNormUnit::new(0.0);
+        let two_pass = unit.normalize(&x, &g);
+        let sum = unit.square_sum(&x);
+        let bypassed = unit.normalize_with_sum(&x, &g, sum);
+        for (a, b) in two_pass.iter().zip(&bypassed) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn latency_model() {
+        let unit = RmsNormUnit::new(1e-5);
+        assert_eq!(unit.cycles(4096), 8192);
+        assert_eq!(unit.cycles_sum_bypassed(4096), 4096);
+    }
+
+    #[test]
+    fn zero_vector_stays_finite() {
+        let unit = RmsNormUnit::new(1e-5);
+        let y = unit.normalize(&f16v(&[0.0; 8]), &f16v(&[1.0; 8]));
+        assert!(y.iter().all(|v| v.is_finite()));
+    }
+}

@@ -1,0 +1,125 @@
+//! The RoPE submodule (Fig. 5C1): rotator + sin/cos generator + address
+//! generator.
+//!
+//! The rotator caches the first half of the query/key head vector as it
+//! streams in, then emits rotation pairs `(x_i, x_{i+d/2})`; the address
+//! generator converts `(token position, lane pair)` into a read address of
+//! the quarter-wave sine ROM; the rotated pair is produced with four FP16
+//! multiplies and two adds.
+
+use zllm_fp16::lut::{RopeTable, SineRom};
+use zllm_fp16::F16;
+
+/// The RoPE hardware unit for a fixed head dimension.
+///
+/// # Example
+///
+/// ```
+/// use zllm_accel::spu::RopeUnit;
+/// use zllm_fp16::F16;
+///
+/// let rope = RopeUnit::new(64);
+/// let mut head: Vec<F16> = (0..64).map(|i| F16::from_f32(i as f32 / 64.0)).collect();
+/// let orig = head.clone();
+/// rope.apply(&mut head, 0);
+/// // Position 0 rotates by zero everywhere.
+/// assert_eq!(head[5].to_bits(), orig[5].to_bits());
+/// ```
+#[derive(Debug, Clone)]
+pub struct RopeUnit {
+    rom: SineRom,
+    table: RopeTable,
+}
+
+impl RopeUnit {
+    /// Builds the unit (elaborates both ROMs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `head_dim` is zero or odd.
+    pub fn new(head_dim: usize) -> RopeUnit {
+        RopeUnit { rom: SineRom::new(), table: RopeTable::new(head_dim) }
+    }
+
+    /// The head dimension served.
+    pub fn head_dim(&self) -> usize {
+        self.table.head_dim()
+    }
+
+    /// Rotates one head vector in place for token position `pos`, using
+    /// LUT-quantised sin/cos and FP16 arithmetic — the exact on-chip
+    /// numerics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vector length differs from the unit's head dimension.
+    pub fn apply(&self, head: &mut [F16], pos: u32) {
+        assert_eq!(head.len(), self.head_dim(), "head length mismatch");
+        let half = head.len() / 2;
+        for i in 0..half {
+            let (sin, cos) = self.table.sin_cos(&self.rom, pos, i);
+            let a = head[i];
+            let b = head[i + half];
+            head[i] = a * cos - b * sin;
+            head[i + half] = a * sin + b * cos;
+        }
+    }
+
+    /// Pipeline cycles to rotate one head vector: the rotator consumes one
+    /// element per cycle (it must see the full first half before emitting,
+    /// which the `head_dim/2` buffer provides without extra stalls).
+    pub fn cycles(&self) -> u64 {
+        self.head_dim() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn to_f32(v: &[F16]) -> Vec<f32> {
+        v.iter().map(|x| x.to_f32()).collect()
+    }
+
+    #[test]
+    fn matches_reference_rope_within_lut_precision() {
+        let unit = RopeUnit::new(32);
+        for pos in [1u32, 9, 100, 1000] {
+            let mut head: Vec<F16> =
+                (0..32).map(|i| F16::from_f32(((i * 3) % 7) as f32 / 7.0 - 0.5)).collect();
+            let mut reference: Vec<f32> = to_f32(&head);
+            unit.apply(&mut head, pos);
+            zllm_model::reference::rope_rotate(&mut reference, pos as usize, 10000.0);
+            for (h, r) in head.iter().zip(&reference) {
+                assert!(
+                    (h.to_f32() - r).abs() < 5e-3,
+                    "pos {pos}: accel {} vs reference {r}",
+                    h.to_f32()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rotation_preserves_norm() {
+        let unit = RopeUnit::new(16);
+        let mut head: Vec<F16> = (0..16).map(|i| F16::from_f32((i as f32).sin())).collect();
+        let n0: f32 = head.iter().map(|v| v.to_f32() * v.to_f32()).sum();
+        unit.apply(&mut head, 321);
+        let n1: f32 = head.iter().map(|v| v.to_f32() * v.to_f32()).sum();
+        assert!((n0 - n1).abs() < 0.02 * n0.max(1.0));
+    }
+
+    #[test]
+    fn latency_is_one_element_per_cycle() {
+        assert_eq!(RopeUnit::new(128).cycles(), 128);
+    }
+
+    #[test]
+    #[should_panic(expected = "head length mismatch")]
+    fn length_checked() {
+        let unit = RopeUnit::new(8);
+        let mut v = vec![F16::ZERO; 6];
+        unit.apply(&mut v, 0);
+    }
+}

@@ -1,0 +1,86 @@
+//! The SiLU submodule (Fig. 5C5): the `x / (1 + e^{-x})` gate pipeline.
+//!
+//! In the MLP the SiLU of the gate projection multiplies the up projection
+//! output element-by-element as both stream out of the VPU, producing the
+//! down-projection input with no extra passes.
+
+use zllm_fp16::{math, F16};
+
+/// The SiLU hardware unit.
+///
+/// # Example
+///
+/// ```
+/// use zllm_accel::spu::SiluUnit;
+/// use zllm_fp16::F16;
+///
+/// let unit = SiluUnit::new();
+/// assert_eq!(unit.silu(F16::ZERO).to_f32(), 0.0);
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SiluUnit;
+
+impl SiluUnit {
+    /// Creates the unit.
+    pub fn new() -> SiluUnit {
+        SiluUnit
+    }
+
+    /// SiLU of one element.
+    pub fn silu(&self, x: F16) -> F16 {
+        math::silu(x)
+    }
+
+    /// The fused MLP gating: `silu(gate_i) · up_i` element-wise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices differ in length.
+    pub fn gate(&self, gate: &[F16], up: &[F16]) -> Vec<F16> {
+        assert_eq!(gate.len(), up.len(), "gate/up length mismatch");
+        gate.iter().zip(up).map(|(&g, &u)| self.silu(g) * u).collect()
+    }
+
+    /// One element per cycle.
+    pub fn cycles(&self, len: usize) -> u64 {
+        len as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_f32_reference() {
+        let unit = SiluUnit::new();
+        for v in [-4.0f32, -1.0, 0.0, 0.5, 2.0, 6.0] {
+            let got = unit.silu(F16::from_f32(v)).to_f32();
+            let want = zllm_model::reference::silu(v);
+            assert!((got - want).abs() < 4e-3, "silu({v}): {got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn gate_combines_streams() {
+        let unit = SiluUnit::new();
+        let gate: Vec<F16> = [1.0f32, -1.0, 2.0].iter().map(|&v| F16::from_f32(v)).collect();
+        let up: Vec<F16> = [2.0f32, 2.0, 0.5].iter().map(|&v| F16::from_f32(v)).collect();
+        let out = unit.gate(&gate, &up);
+        for (i, o) in out.iter().enumerate() {
+            let want = zllm_model::reference::silu(gate[i].to_f32()) * up[i].to_f32();
+            assert!((o.to_f32() - want).abs() < 5e-3);
+        }
+    }
+
+    #[test]
+    fn latency_model() {
+        assert_eq!(SiluUnit::new().cycles(11008), 11008);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn gate_length_checked() {
+        let _ = SiluUnit::new().gate(&[F16::ZERO], &[F16::ZERO, F16::ZERO]);
+    }
+}

@@ -1,0 +1,158 @@
+//! The softmax submodule (Fig. 5C4): the numerically stable three-pass
+//! variant of Milakov & Gimelshein.
+//!
+//! Pass 1 scans for the maximum, pass 2 accumulates `Σ e^{x−m}`, pass 3
+//! emits `e^{x−m}/d`. The fused dataflow schedules these passes during the
+//! value projection so the probabilities are ready exactly when the
+//! weighted value sum begins (§V-A).
+//!
+//! The exponential can be evaluated exactly (a deep FP pipeline) or via
+//! the 512-entry table pipeline of [`zllm_fp16::math::ExpLut`] — the
+//! cheaper implementation an area-pressed design would choose; both are
+//! provided so the accuracy cost is measurable.
+
+use zllm_fp16::math::{self, ExpLut};
+use zllm_fp16::F16;
+
+#[derive(Debug, Clone, Default)]
+enum ExpImpl {
+    /// Correctly rounded FP16 exponential.
+    #[default]
+    Exact,
+    /// Table-driven pipeline (one BRAM read + exponent add).
+    Lut(ExpLut),
+}
+
+/// The softmax hardware unit.
+///
+/// # Example
+///
+/// ```
+/// use zllm_accel::spu::SoftmaxUnit;
+/// use zllm_fp16::F16;
+///
+/// let unit = SoftmaxUnit::new();
+/// let p = unit.softmax(&[F16::ONE, F16::ONE]);
+/// assert!((p[0].to_f32() - 0.5).abs() < 1e-3);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct SoftmaxUnit {
+    exp_impl: ExpImpl,
+}
+
+impl SoftmaxUnit {
+    /// Creates the unit with the exact exponential.
+    pub fn new() -> SoftmaxUnit {
+        SoftmaxUnit { exp_impl: ExpImpl::Exact }
+    }
+
+    /// Creates the unit with the table-driven exponential pipeline.
+    pub fn with_lut() -> SoftmaxUnit {
+        SoftmaxUnit { exp_impl: ExpImpl::Lut(ExpLut::new()) }
+    }
+
+    fn exp(&self, x: F16) -> F16 {
+        match &self.exp_impl {
+            ExpImpl::Exact => math::exp(x),
+            ExpImpl::Lut(lut) => lut.eval(x),
+        }
+    }
+
+    /// Pass 1: running maximum.
+    pub fn max_scan(&self, x: &[F16]) -> F16 {
+        x.iter().fold(F16::NEG_INFINITY, |m, &v| m.max(v))
+    }
+
+    /// Pass 2: normalisation term `Σ e^{x−m}`, accumulated in f32.
+    pub fn denom(&self, x: &[F16], m: F16) -> f32 {
+        x.iter().map(|&v| self.exp(v - m).to_f32()).sum()
+    }
+
+    /// All three passes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is empty.
+    pub fn softmax(&self, x: &[F16]) -> Vec<F16> {
+        assert!(!x.is_empty(), "softmax of empty slice");
+        let m = self.max_scan(x);
+        let d = self.denom(x, m);
+        let inv = 1.0 / d;
+        x.iter()
+            .map(|&v| F16::from_f32(self.exp(v - m).to_f32() * inv))
+            .collect()
+    }
+
+    /// Cycles for the three passes over `len` scores.
+    pub fn cycles(&self, len: usize) -> u64 {
+        3 * len as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn f16v(v: &[f32]) -> Vec<F16> {
+        v.iter().map(|&x| F16::from_f32(x)).collect()
+    }
+
+    #[test]
+    fn matches_f32_reference() {
+        let x = [0.1f32, -2.0, 3.5, 1.0, 0.0];
+        let got = SoftmaxUnit::new().softmax(&f16v(&x));
+        let want = zllm_model::reference::softmax(&x);
+        for (a, b) in got.iter().zip(&want) {
+            assert!((a.to_f32() - b).abs() < 3e-3, "{} vs {b}", a.to_f32());
+        }
+    }
+
+    #[test]
+    fn sums_to_one() {
+        let unit = SoftmaxUnit::new();
+        let x = f16v(&[5.0, 5.0, 5.0, 5.0]);
+        let p = unit.softmax(&x);
+        let s: f32 = p.iter().map(|v| v.to_f32()).sum();
+        assert!((s - 1.0).abs() < 2e-3);
+    }
+
+    #[test]
+    fn stable_with_large_scores() {
+        // Raw e^30 overflows FP16; the max-subtraction keeps it finite.
+        let x = f16v(&[30.0, 29.0]);
+        let p = SoftmaxUnit::new().softmax(&x);
+        assert!(p.iter().all(|v| v.is_finite()));
+        assert!(p[0] > p[1]);
+    }
+
+    #[test]
+    fn single_element_is_one() {
+        let p = SoftmaxUnit::new().softmax(&[F16::from_f32(-7.0)]);
+        assert!((p[0].to_f32() - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn lut_variant_tracks_exact_variant() {
+        let exact = SoftmaxUnit::new();
+        let lut = SoftmaxUnit::with_lut();
+        let x = f16v(&[0.3, -1.7, 2.2, 0.9, -0.4, 1.1, 3.0, -2.8]);
+        let pe = exact.softmax(&x);
+        let pl = lut.softmax(&x);
+        for (a, b) in pe.iter().zip(&pl) {
+            assert!(
+                (a.to_f32() - b.to_f32()).abs() < 4e-3,
+                "{} vs {}",
+                a.to_f32(),
+                b.to_f32()
+            );
+        }
+        let s: f32 = pl.iter().map(|v| v.to_f32()).sum();
+        assert!((s - 1.0).abs() < 5e-3);
+    }
+
+    #[test]
+    fn latency_model() {
+        assert_eq!(SoftmaxUnit::new().cycles(1024), 3072);
+        assert_eq!(SoftmaxUnit::with_lut().cycles(1024), 3072);
+    }
+}

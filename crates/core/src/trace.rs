@@ -1,0 +1,500 @@
+//! The trace-driven performance engine: prices a decode step's schedule
+//! through the DDR/AXI model and produces the token/s and bandwidth
+//! utilization numbers of Tables II/III.
+//!
+//! This path never touches tensor data — for a bandwidth-bound workload
+//! the wall time is governed entirely by the memory stream and the
+//! pipeline's exposed cycles, both of which the schedule captures. The
+//! numerically faithful datapath lives in [`crate::functional`] and shares
+//! the same schedule generator, so the two views are consistent by
+//! construction.
+
+use crate::config::AccelConfig;
+use crate::image::ModelImage;
+use crate::schedule::{token_schedule, TokenSchedule};
+use crate::vpu::Vpu;
+use zllm_ddr::MemorySystem;
+use zllm_layout::addr_map::AllocError;
+use zllm_model::{memory, ModelConfig};
+
+/// Performance report of one decoded token.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TokenReport {
+    /// Context length at this step.
+    pub ctx: usize,
+    /// Bytes moved (reads + writes).
+    pub bytes: u64,
+    /// DDR busy time in nanoseconds.
+    pub mem_ns: f64,
+    /// VPU streaming cycles (PL domain).
+    pub vpu_cycles: u64,
+    /// Exposed miscellaneous cycles (coarse pipeline only).
+    pub exposed_misc_cycles: u64,
+    /// Pipeline fill/drain bubbles (fused pipeline bookkeeping).
+    pub bubble_cycles: u64,
+    /// End-to-end time for this token in nanoseconds.
+    pub wall_ns: f64,
+    /// Decoding speed if every token cost this much.
+    pub tokens_per_s: f64,
+    /// Measured speed over the paper's weight-transfer roofline
+    /// (`bandwidth / (params × 4 bits)` — Table II's "Util. %").
+    pub bandwidth_util: f64,
+    /// Bytes per operation category (label prefix → bytes), for
+    /// breakdown displays.
+    pub breakdown: Vec<(String, u64)>,
+}
+
+impl TokenReport {
+    /// Bytes attributed to categories whose label contains `needle`.
+    pub fn bytes_for(&self, needle: &str) -> u64 {
+        self.breakdown
+            .iter()
+            .filter(|(label, _)| label.contains(needle))
+            .map(|(_, b)| b)
+            .sum()
+    }
+}
+
+/// Averaged report over a generation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunReport {
+    /// Tokens generated.
+    pub tokens: usize,
+    /// Mean tokens/s across the run.
+    pub tokens_per_s: f64,
+    /// Mean bandwidth utilization.
+    pub bandwidth_util: f64,
+    /// Per-token reports.
+    pub steps: Vec<TokenReport>,
+}
+
+/// The trace-driven decode engine.
+///
+/// # Example
+///
+/// ```
+/// use zllm_accel::{AccelConfig, DecodeEngine};
+/// use zllm_model::ModelConfig;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut engine = DecodeEngine::new(AccelConfig::kv260(), &ModelConfig::test_small(), 32)?;
+/// let report = engine.decode_token(4);
+/// assert!(report.tokens_per_s > 0.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct DecodeEngine {
+    accel: AccelConfig,
+    model: ModelConfig,
+    image: ModelImage,
+    mem: MemorySystem,
+    vpu: Vpu,
+    /// The paper's theoretical roofline for this model on this bandwidth.
+    roofline_tokens_per_s: f64,
+}
+
+impl DecodeEngine {
+    /// Builds the engine, placing the model image in the 4 GB map.
+    ///
+    /// # Errors
+    ///
+    /// Returns the allocation error if the model does not fit.
+    pub fn new(
+        accel: AccelConfig,
+        model: &ModelConfig,
+        ctx_capacity: usize,
+    ) -> Result<DecodeEngine, AllocError> {
+        let image = ModelImage::build(model, accel.format, ctx_capacity)?;
+        let mem = MemorySystem::new(accel.ddr.clone(), accel.axi, accel.mem_lookahead);
+        let roofline = memory::weight_roofline_tokens_per_s(
+            model,
+            memory::WeightPrecision::Effective(4.0),
+            accel.axi.bandwidth_gbps().min(accel.ddr.peak_bandwidth_gbps()),
+        );
+        Ok(DecodeEngine {
+            vpu: Vpu::new(accel.lanes, zllm_fp16::vector::TreePrecision::Fp32),
+            accel,
+            model: model.clone(),
+            image,
+            mem,
+            roofline_tokens_per_s: roofline,
+        })
+    }
+
+    /// The placed model image.
+    pub fn image(&self) -> &ModelImage {
+        &self.image
+    }
+
+    /// The model configuration.
+    pub fn model(&self) -> &ModelConfig {
+        &self.model
+    }
+
+    /// The accelerator configuration.
+    pub fn accel(&self) -> &AccelConfig {
+        &self.accel
+    }
+
+    /// The paper's theoretical peak for this model (pure 4-bit weight
+    /// transfers at full bandwidth).
+    pub fn roofline_tokens_per_s(&self) -> f64 {
+        self.roofline_tokens_per_s
+    }
+
+    /// Prices one decode step at context length `ctx`.
+    pub fn decode_token(&mut self, ctx: usize) -> TokenReport {
+        let sched = token_schedule(&self.image, ctx, self.accel.pipeline);
+        self.price(&sched)
+    }
+
+    /// PL cycles needed per 512-bit read beat: the slower of the VPU's
+    /// dequantize-and-multiply rate (a beat carries `weights_per_beat`
+    /// codes, the VPU retires `lanes` per cycle) and the AXI fabric's
+    /// delivery rate (`bytes_per_cycle` of the configured port set).
+    fn cycles_per_beat(&self) -> u64 {
+        let vpu = (self.accel.format.weights_per_beat() as u64)
+            .div_ceil(self.accel.lanes as u64);
+        let fabric = (zllm_layout::BEAT_BYTES as u64)
+            .div_ceil(self.accel.axi.bytes_per_cycle().max(1));
+        vpu.max(fabric)
+    }
+
+    fn price(&mut self, sched: &TokenSchedule) -> TokenReport {
+        // Memory time: the whole step's bursts through the DDR model.
+        let all_bursts: Vec<_> =
+            sched.ops.iter().flat_map(|o| o.bursts.iter().copied()).collect();
+        let report = self.mem.transfer(&all_bursts);
+
+        let vpu_cycles = sched.total_vpu_beats() * self.cycles_per_beat();
+        let exposed = sched.total_exposed_misc();
+        // Fused-pipeline bubbles: one VPU fill/drain per operation
+        // boundary (dependency handoff).
+        let bubbles = sched.ops.len() as u64 * self.vpu.pipeline_latency();
+
+        let compute_ns = self.accel.cycles_to_ns(vpu_cycles + bubbles);
+        let exposed_ns = self.accel.cycles_to_ns(exposed);
+        let wall_ns = report.wall_ns.max(compute_ns) + exposed_ns;
+        let tokens_per_s = 1e9 / wall_ns;
+
+        // Aggregate bytes by operation kind (strip the layer prefix).
+        let mut breakdown: Vec<(String, u64)> = Vec::new();
+        for op in &sched.ops {
+            let kind = op
+                .label
+                .split_once('.')
+                .map(|(_, k)| k)
+                .unwrap_or(&op.label)
+                .to_owned();
+            match breakdown.iter_mut().find(|(k, _)| *k == kind) {
+                Some((_, b)) => *b += op.bytes(),
+                None => breakdown.push((kind, op.bytes())),
+            }
+        }
+
+        TokenReport {
+            ctx: sched.ctx,
+            bytes: report.bytes,
+            mem_ns: report.wall_ns,
+            vpu_cycles,
+            exposed_misc_cycles: exposed,
+            bubble_cycles: bubbles,
+            wall_ns,
+            tokens_per_s,
+            bandwidth_util: tokens_per_s / self.roofline_tokens_per_s,
+            breakdown,
+        }
+    }
+
+    /// Prices a generation run: contexts `start_ctx .. start_ctx + tokens`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tokens` is zero.
+    pub fn decode_run(&mut self, start_ctx: usize, tokens: usize) -> RunReport {
+        assert!(tokens > 0, "at least one token required");
+        let steps: Vec<TokenReport> =
+            (0..tokens).map(|i| self.decode_token(start_ctx + i)).collect();
+        let total_ns: f64 = steps.iter().map(|s| s.wall_ns).sum();
+        let tokens_per_s = tokens as f64 * 1e9 / total_ns;
+        RunReport {
+            tokens,
+            tokens_per_s,
+            bandwidth_util: tokens_per_s / self.roofline_tokens_per_s,
+            steps,
+        }
+    }
+
+    /// Estimates the prefill phase on the paper's *vector* engine, which
+    /// streams the full weight set for every prompt token (no reuse —
+    /// the deliberate sacrifice of §VI-B). Sampled like
+    /// [`Self::decode_run_sampled`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `prompt_len` is zero or exceeds capacity.
+    pub fn prefill_vector_ns(&mut self, prompt_len: usize) -> f64 {
+        assert!(prompt_len > 0, "empty prompt");
+        let samples = prompt_len.min(4);
+        let run = self.decode_run_sampled(prompt_len, samples);
+        let mean_ns: f64 =
+            run.steps.iter().map(|s| s.wall_ns).sum::<f64>() / run.steps.len() as f64;
+        mean_ns * prompt_len as f64
+    }
+
+    /// Analytic estimate of the same prefill on a hypothetical *matrix*
+    /// engine with `macs` multipliers: weights stream **once** (token
+    /// batch shares the fetch), and the engine is compute-bound at
+    /// `macs` MACs/cycle.
+    ///
+    /// On the KV260's DSP budget this buys almost nothing — prefill flops
+    /// divided by the same multiplier count dominate either way — which
+    /// is exactly why the paper spends the area on a bandwidth-matched
+    /// vector engine instead.
+    pub fn prefill_matrix_engine_ns(&self, prompt_len: usize, macs: usize) -> f64 {
+        assert!(prompt_len > 0, "empty prompt");
+        assert!(macs > 0, "at least one multiplier");
+        let weight_bytes = memory::streamed_weight_bytes(
+            &self.model,
+            memory::WeightPrecision::W4G128,
+        );
+        let mem_ns = weight_bytes / self.accel.axi.bandwidth_gbps();
+        let flops = 2.0
+            * (self.model.param_count() as f64
+                - (self.model.vocab_size * self.model.d_model) as f64)
+            * prompt_len as f64;
+        let compute_ns = flops / (2.0 * macs as f64 * self.accel.freq_mhz * 1e6) * 1e9;
+        mem_ns.max(compute_ns)
+    }
+
+    /// Estimates multi-batch decoding throughput (total tokens/s across
+    /// `batch` concurrent sequences at context `ctx`).
+    ///
+    /// Batching amortizes the weight stream across sequences — the reason
+    /// server FPGAs serve many users (§II) — but each sequence still
+    /// reads its own KV history, and every weight beat now multiplies
+    /// against `batch` activation vectors, needing
+    /// `⌈weights_per_beat · batch / lanes⌉` VPU cycles. On the paper's
+    /// *bandwidth-area balanced* engine (lanes exactly matching the bus)
+    /// total throughput is therefore **flat** in batch size: the design
+    /// deliberately has no batching headroom, which is only sensible for
+    /// the one-user edge workload (§II, §VI-B).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch` is zero.
+    pub fn decode_batch_estimate(&mut self, ctx: usize, batch: usize) -> f64 {
+        assert!(batch > 0, "batch must be at least 1");
+        let single = self.decode_token(ctx);
+        // Split the single-sequence step into shared (weights) and
+        // per-sequence (KV) traffic.
+        let kv_bytes = single.bytes_for("kv_read") + single.bytes_for("kv_write");
+        let shared_bytes = single.bytes - kv_bytes;
+        let total_bytes = shared_bytes + kv_bytes * batch as u64;
+        // Memory time scales with bytes at the measured efficiency.
+        let mem_ns = single.mem_ns * total_bytes as f64 / single.bytes as f64;
+        // Compute: `batch` activations per weight beat, `lanes` MACs/cycle.
+        let beats = single.vpu_cycles / self.cycles_per_beat();
+        let wpb = self.accel.format.weights_per_beat() as u64;
+        let fabric = (zllm_layout::BEAT_BYTES as u64)
+            .div_ceil(self.accel.axi.bytes_per_cycle().max(1));
+        let cpb = (wpb * batch as u64)
+            .div_ceil(self.accel.lanes as u64)
+            .max(fabric);
+        let compute_ns = self.accel.cycles_to_ns(beats * cpb + single.bubble_cycles);
+        let exposed_ns = self.accel.cycles_to_ns(single.exposed_misc_cycles * batch as u64);
+        let wall_ns = mem_ns.max(compute_ns) + exposed_ns;
+        batch as f64 * 1e9 / wall_ns
+    }
+
+    /// Prices a *sampled* long generation cheaply: simulates one token at
+    /// each of `samples` evenly spaced context lengths in
+    /// `[0, ctx_end)` and averages the per-token cost — accurate because
+    /// cost is affine in context length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` is zero or `ctx_end` exceeds capacity.
+    pub fn decode_run_sampled(&mut self, ctx_end: usize, samples: usize) -> RunReport {
+        assert!(samples > 0, "at least one sample required");
+        assert!(ctx_end <= self.image.ctx_capacity(), "context beyond capacity");
+        let step = (ctx_end.max(1) / samples).max(1);
+        let steps: Vec<TokenReport> = (0..samples)
+            .map(|i| self.decode_token((i * step).min(ctx_end.saturating_sub(1))))
+            .collect();
+        let mean_ns: f64 =
+            steps.iter().map(|s| s.wall_ns).sum::<f64>() / steps.len() as f64;
+        let tokens_per_s = 1e9 / mean_ns;
+        RunReport {
+            tokens: samples,
+            tokens_per_s,
+            bandwidth_util: tokens_per_s / self.roofline_tokens_per_s,
+            steps,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PipelineMode;
+
+    fn small_engine(mode: PipelineMode) -> DecodeEngine {
+        let accel = match mode {
+            PipelineMode::Fused => AccelConfig::kv260(),
+            PipelineMode::Coarse => AccelConfig::kv260_coarse(),
+        };
+        DecodeEngine::new(accel, &ModelConfig::test_small(), 32).expect("test model fits")
+    }
+
+    #[test]
+    fn reports_are_self_consistent() {
+        let mut engine = small_engine(PipelineMode::Fused);
+        let r = engine.decode_token(4);
+        assert!(r.bytes > 0);
+        assert!(r.wall_ns >= r.mem_ns);
+        assert!(r.tokens_per_s > 0.0);
+        assert_eq!(r.exposed_misc_cycles, 0);
+        assert!(r.bandwidth_util > 0.0 && r.bandwidth_util <= 1.0);
+        // Breakdown covers every byte exactly once.
+        let sum: u64 = r.breakdown.iter().map(|(_, b)| b).sum();
+        assert_eq!(sum, r.bytes);
+        assert!(r.bytes_for("mlp") > r.bytes_for("kv_read"));
+    }
+
+    #[test]
+    fn coarse_is_slower_than_fused() {
+        let mut fused = small_engine(PipelineMode::Fused);
+        let mut coarse = small_engine(PipelineMode::Coarse);
+        let rf = fused.decode_token(16);
+        let rc = coarse.decode_token(16);
+        assert!(
+            rc.tokens_per_s < rf.tokens_per_s,
+            "coarse {} should be slower than fused {}",
+            rc.tokens_per_s,
+            rf.tokens_per_s
+        );
+        assert!(rc.exposed_misc_cycles > 0);
+    }
+
+    #[test]
+    fn longer_context_costs_more() {
+        let mut engine = small_engine(PipelineMode::Fused);
+        let short = engine.decode_token(1);
+        let long = engine.decode_token(31);
+        assert!(long.bytes > short.bytes);
+        assert!(long.wall_ns > short.wall_ns * 0.99);
+    }
+
+    #[test]
+    fn run_averages_steps() {
+        let mut engine = small_engine(PipelineMode::Fused);
+        let run = engine.decode_run(0, 8);
+        assert_eq!(run.steps.len(), 8);
+        assert!(run.tokens_per_s > 0.0);
+        let min = run.steps.iter().map(|s| s.tokens_per_s).fold(f64::INFINITY, f64::min);
+        let max = run.steps.iter().map(|s| s.tokens_per_s).fold(0.0, f64::max);
+        assert!(run.tokens_per_s >= min * 0.99 && run.tokens_per_s <= max * 1.01);
+    }
+
+    #[test]
+    fn sampled_run_tracks_exact_run() {
+        let mut a = small_engine(PipelineMode::Fused);
+        let mut b = small_engine(PipelineMode::Fused);
+        let exact = a.decode_run(0, 16);
+        let sampled = b.decode_run_sampled(16, 4);
+        let rel = (sampled.tokens_per_s - exact.tokens_per_s).abs() / exact.tokens_per_s;
+        assert!(rel < 0.15, "sampled {} vs exact {}", sampled.tokens_per_s, exact.tokens_per_s);
+    }
+
+    #[test]
+    fn roofline_is_positive_and_exceeds_measured() {
+        let engine = small_engine(PipelineMode::Fused);
+        assert!(engine.roofline_tokens_per_s() > 0.0);
+    }
+
+    #[test]
+    fn cycles_per_beat_tracks_lanes_and_ports() {
+        // 64 lanes: two cycles to retire a 128-code beat.
+        let mut narrow = AccelConfig::kv260();
+        narrow.lanes = 64;
+        let engine = DecodeEngine::new(narrow, &ModelConfig::test_small(), 32).expect("fits");
+        assert_eq!(engine.cycles_per_beat(), 2);
+        // 2 AXI ports: two cycles to deliver 64 bytes.
+        let mut half_ports = AccelConfig::kv260();
+        half_ports.axi.ports = 2;
+        let engine = DecodeEngine::new(half_ports, &ModelConfig::test_small(), 32).expect("fits");
+        assert_eq!(engine.cycles_per_beat(), 2);
+        // The default is perfectly balanced at 1.
+        let engine =
+            DecodeEngine::new(AccelConfig::kv260(), &ModelConfig::test_small(), 32).expect("fits");
+        assert_eq!(engine.cycles_per_beat(), 1);
+    }
+
+    #[test]
+    fn halving_lanes_halves_decode_speed() {
+        let mut narrow = AccelConfig::kv260();
+        narrow.lanes = 64;
+        let base = DecodeEngine::new(AccelConfig::kv260(), &ModelConfig::test_small(), 32)
+            .expect("fits")
+            .decode_token(8)
+            .tokens_per_s;
+        let slow = DecodeEngine::new(narrow, &ModelConfig::test_small(), 32)
+            .expect("fits")
+            .decode_token(8)
+            .tokens_per_s;
+        let ratio = base / slow;
+        assert!((1.7..2.2).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn prefill_vector_vs_matrix_engine() {
+        let mut engine = DecodeEngine::new(AccelConfig::kv260(), &ModelConfig::test_small(), 64)
+            .expect("fits");
+        let vector = engine.prefill_vector_ns(32);
+        // Matrix engine with the same 128 multipliers: no meaningful win
+        // on this compute-starved device (at most the bandwidth ratio).
+        let matrix_same = engine.prefill_matrix_engine_ns(32, 128);
+        assert!(matrix_same <= vector, "matrix {matrix_same} vs vector {vector}");
+        // A 16x bigger engine would help prefill substantially...
+        let matrix_big = engine.prefill_matrix_engine_ns(32, 2048);
+        assert!(matrix_big < matrix_same);
+        // ...but even an infinite engine cannot beat the one-shot weight
+        // stream time.
+        let floor = engine.prefill_matrix_engine_ns(32, usize::MAX / 2);
+        assert!(matrix_big >= floor * 0.999);
+    }
+
+    #[test]
+    fn batching_is_flat_on_the_balanced_engine_but_scales_with_lanes() {
+        // The paper's engine matches compute to bandwidth exactly, so
+        // batching buys (almost) nothing — by design.
+        let mut balanced =
+            DecodeEngine::new(AccelConfig::kv260(), &ModelConfig::test_small(), 32)
+                .expect("fits");
+        let t1 = balanced.decode_batch_estimate(8, 1);
+        let t8 = balanced.decode_batch_estimate(8, 8);
+        assert!(
+            t8 < t1 * 1.3,
+            "balanced engine should have no batching headroom: {t8} vs {t1}"
+        );
+        // Single-batch estimate equals the plain decode (up to refresh
+        // phase drift between consecutive simulations).
+        let plain = balanced.decode_token(8).tokens_per_s;
+        assert!((t1 - plain).abs() / plain < 0.05);
+
+        // A compute-rich (server-class) engine amortizes the weight
+        // stream and scales until the fabric binds.
+        let mut rich_cfg = AccelConfig::kv260();
+        rich_cfg.lanes = 1024;
+        let mut rich = DecodeEngine::new(rich_cfg, &ModelConfig::test_small(), 32)
+            .expect("fits");
+        let r1 = rich.decode_batch_estimate(8, 1);
+        let r8 = rich.decode_batch_estimate(8, 8);
+        assert!(
+            r8 > r1 * 3.0,
+            "compute-rich engine should batch well: {r8} vs {r1}"
+        );
+    }
+}

@@ -1,0 +1,170 @@
+//! The Vector Processing Unit (Fig. 5B): dequantizer + 128-lane FP16 dot
+//! engine with adder tree, scaling multiplier and accumulator.
+//!
+//! The paper deliberately builds a *vector* engine rather than a matrix
+//! engine: decoding is bandwidth-bound, so 128 multipliers — exactly one
+//! dequantized 512-bit weight beat per cycle — saturate the memory system
+//! with no idle compute (§VI-B, "bandwidth-area balanced").
+
+use zllm_fp16::vector::{DotEngine, TreePrecision};
+use zllm_fp16::F16;
+
+/// One beat of dequantized weights with its group scale/zero already
+/// applied — the exact operand the multiplier array receives.
+pub type WeightBeat = Vec<F16>;
+
+/// The VPU model.
+///
+/// # Example
+///
+/// ```
+/// use zllm_accel::vpu::Vpu;
+/// use zllm_fp16::F16;
+///
+/// let vpu = Vpu::kv260();
+/// let w = vec![F16::ONE; 128];
+/// let x = vec![F16::from_f32(0.5); 128];
+/// let y = vpu.dot(&w, &x);
+/// assert_eq!(y, 64.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Vpu {
+    engine: DotEngine,
+}
+
+impl Vpu {
+    /// The paper's VPU: 128 lanes, wide accumulation.
+    pub fn kv260() -> Vpu {
+        Vpu { engine: DotEngine::new(128, TreePrecision::Fp32) }
+    }
+
+    /// A VPU with explicit lane count/precision (for ablations).
+    pub fn new(lanes: usize, precision: TreePrecision) -> Vpu {
+        Vpu { engine: DotEngine::new(lanes, precision) }
+    }
+
+    /// Lane count.
+    pub fn lanes(&self) -> usize {
+        self.engine.lanes()
+    }
+
+    /// One engine invocation: dot of up to `lanes` pairs, result in the
+    /// wide accumulator domain (f32).
+    pub fn dot(&self, w: &[F16], x: &[F16]) -> f32 {
+        self.engine.dot(w, x).to_f32()
+    }
+
+    /// A full row dot product streamed beat by beat, accumulated in f32 —
+    /// one output element of a matrix–vector product.
+    pub fn dot_row(&self, w_row: &[F16], x: &[F16]) -> f32 {
+        assert_eq!(w_row.len(), x.len(), "operand length mismatch");
+        let mut acc = 0.0f32;
+        let lanes = self.lanes();
+        for (wc, xc) in w_row.chunks(lanes).zip(x.chunks(lanes)) {
+            acc += self.engine.dot(wc, xc).to_f32();
+        }
+        acc
+    }
+
+    /// Dequantizes a beat of 4-bit codes into the FP16 lane operands:
+    /// `(q − z) · s` per element, rounded once — what the dequantizer
+    /// between demux and multipliers computes.
+    pub fn dequantize_beat(&self, codes: &[u8], zero: u8, scale: F16) -> WeightBeat {
+        codes
+            .iter()
+            .map(|&q| {
+                let centred = q as i32 - zero as i32;
+                F16::from_f32(centred as f32 * scale.to_f32())
+            })
+            .collect()
+    }
+
+    /// Cycles to stream a matrix–vector product of `rows × cols` weights:
+    /// one beat per cycle, rows are sequential.
+    pub fn matvec_cycles(&self, rows: usize, cols: usize) -> u64 {
+        (rows as u64) * (cols as u64).div_ceil(self.lanes() as u64)
+    }
+
+    /// Pipeline fill/drain latency of one dot product: multiplier stage +
+    /// adder-tree depth + scale + accumulate (a handful of cycles, exposed
+    /// only at dependency boundaries).
+    pub fn pipeline_latency(&self) -> u64 {
+        // 1 (dequant) + 1 (mult) + log2(lanes) (tree) + 1 (scale) + 1 (acc)
+        4 + self.engine.tree_depth() as u64
+    }
+}
+
+impl Default for Vpu {
+    fn default() -> Vpu {
+        Vpu::kv260()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zllm_quant::group::{GroupQuantConfig, GroupQuantizer};
+
+    #[test]
+    fn kv260_geometry() {
+        let vpu = Vpu::kv260();
+        assert_eq!(vpu.lanes(), 128);
+        assert_eq!(vpu.pipeline_latency(), 11);
+        assert_eq!(Vpu::default().lanes(), 128);
+    }
+
+    #[test]
+    fn dot_row_matches_manual_accumulation() {
+        let vpu = Vpu::new(4, TreePrecision::Fp32);
+        let w: Vec<F16> = (0..10).map(|i| F16::from_f32(i as f32 * 0.1)).collect();
+        let x: Vec<F16> = (0..10).map(|i| F16::from_f32(1.0 - i as f32 * 0.05)).collect();
+        let got = vpu.dot_row(&w, &x);
+        let want: f32 = w
+            .chunks(4)
+            .zip(x.chunks(4))
+            .map(|(a, b)| vpu.dot(a, b))
+            .sum();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn dequantize_beat_matches_quant_crate() {
+        let values: Vec<f32> = (0..128).map(|i| (i as f32 * 0.11).sin()).collect();
+        let q = GroupQuantizer::new(GroupQuantConfig::w4_g128()).quantize(&values);
+        let vpu = Vpu::kv260();
+        let beat = vpu.dequantize_beat(q.codes(), q.zeros()[0], q.scales()[0]);
+        let reference = q.dequantize_f16();
+        for (a, b) in beat.iter().zip(&reference) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn matvec_cycles_counts_beats() {
+        let vpu = Vpu::kv260();
+        // 4096×4096 at 128 lanes: 32 beats per row.
+        assert_eq!(vpu.matvec_cycles(4096, 4096), 4096 * 32);
+        // Ragged cols round up.
+        assert_eq!(vpu.matvec_cycles(10, 130), 20);
+    }
+
+    #[test]
+    fn quantized_matvec_tracks_f32() {
+        // End-to-end: quantize a row, dequantize beat-wise, dot against an
+        // activation — must track the f32 product within quantization error.
+        let cols = 256;
+        let w: Vec<f32> = (0..cols).map(|i| ((i * 13) % 31) as f32 / 31.0 - 0.5).collect();
+        let x: Vec<f32> = (0..cols).map(|i| ((i * 7) % 17) as f32 / 17.0 - 0.5).collect();
+        let q = GroupQuantizer::new(GroupQuantConfig::w4_g128()).quantize(&w);
+        let vpu = Vpu::kv260();
+
+        let x16: Vec<F16> = x.iter().map(|&v| F16::from_f32(v)).collect();
+        let mut acc = 0.0f32;
+        for (g, chunk) in q.codes().chunks(128).enumerate() {
+            let beat = vpu.dequantize_beat(chunk, q.zeros()[g], q.scales()[g]);
+            acc += vpu.dot(&beat, &x16[g * 128..g * 128 + chunk.len()]);
+        }
+        let exact: f32 = w.iter().zip(&x).map(|(a, b)| a * b).sum();
+        assert!((acc - exact).abs() < 0.3, "accel {acc} vs exact {exact}");
+    }
+}

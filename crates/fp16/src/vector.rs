@@ -1,0 +1,296 @@
+//! The Vector Processing Unit datapath: 128 FP16 multipliers, a binary
+//! adder tree, a scaling multiplier and a wide accumulator (§VI-B, Fig. 5B).
+//!
+//! The numerics of a hardware dot product differ from naive serial
+//! summation: products are rounded once, then summed pairwise through a
+//! `log2(N)`-deep adder tree, with the tree nodes either FP16 (smallest
+//! area) or FP32 (one extra DSP column). [`DotEngine`] reproduces both
+//! orderings so experiments can quantify the accuracy/area trade-off the
+//! paper's "bandwidth-area balanced" engine makes.
+
+use crate::F16;
+
+/// Precision of the adder-tree internal nodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum TreePrecision {
+    /// Every tree node rounds to binary16 (minimum area).
+    Fp16,
+    /// Tree nodes accumulate in binary32; only the final result rounds to
+    /// FP16. This is what DSP58/DSP48 cascades typically provide and is the
+    /// configuration the paper's engine uses (products dequantised to FP16,
+    /// accumulation wide).
+    #[default]
+    Fp32,
+}
+
+/// A model of the VPU dot engine.
+///
+/// One hardware invocation multiplies `lanes` pairs of FP16 operands,
+/// reduces them through the adder tree, optionally multiplies by a scale
+/// (the dequantisation scale factor) and adds into a running accumulator.
+///
+/// # Example
+///
+/// ```
+/// use zllm_fp16::{F16, vector::{DotEngine, TreePrecision}};
+///
+/// let engine = DotEngine::new(128, TreePrecision::Fp32);
+/// let a: Vec<F16> = (0..128).map(|i| F16::from_f32(i as f32 / 64.0)).collect();
+/// let b = vec![F16::ONE; 128];
+/// let dot = engine.dot(&a, &b);
+/// assert!((dot.to_f32() - 127.0 * 128.0 / 2.0 / 64.0).abs() < 0.5);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DotEngine {
+    lanes: usize,
+    precision: TreePrecision,
+}
+
+impl DotEngine {
+    /// Creates an engine with the given lane count and tree precision.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lanes` is zero or not a power of two (the adder tree is a
+    /// full binary tree in hardware).
+    pub fn new(lanes: usize, precision: TreePrecision) -> DotEngine {
+        assert!(lanes > 0 && lanes.is_power_of_two(), "lanes must be a power of two");
+        DotEngine { lanes, precision }
+    }
+
+    /// The paper's configuration: 128 lanes, wide accumulation.
+    pub fn kv260() -> DotEngine {
+        DotEngine::new(128, TreePrecision::Fp32)
+    }
+
+    /// Number of multiplier lanes.
+    pub fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    /// Tree node precision.
+    pub fn precision(&self) -> TreePrecision {
+        self.precision
+    }
+
+    /// Adder-tree depth in stages (`log2(lanes)`).
+    pub fn tree_depth(&self) -> u32 {
+        self.lanes.trailing_zeros()
+    }
+
+    /// One beat of the engine: elementwise products then tree reduction.
+    /// Inputs shorter than the lane count are zero-padded (lanes with no
+    /// operand contribute nothing, exactly like masked hardware lanes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` and `b` have different lengths or exceed the lane count.
+    pub fn dot(&self, a: &[F16], b: &[F16]) -> F16 {
+        assert_eq!(a.len(), b.len(), "operand length mismatch");
+        assert!(a.len() <= self.lanes, "operands exceed lane count");
+        let mut prods: Vec<F16> = Vec::with_capacity(self.lanes);
+        for i in 0..self.lanes {
+            let p = if i < a.len() { a[i] * b[i] } else { F16::ZERO };
+            prods.push(p);
+        }
+        self.reduce(&prods)
+    }
+
+    /// Tree-reduces a full vector of lane values.
+    fn reduce(&self, lanes: &[F16]) -> F16 {
+        match self.precision {
+            TreePrecision::Fp16 => {
+                let mut level: Vec<F16> = lanes.to_vec();
+                while level.len() > 1 {
+                    level = level.chunks(2).map(|p| p[0] + p[1]).collect();
+                }
+                level[0]
+            }
+            TreePrecision::Fp32 => {
+                let mut level: Vec<f32> = lanes.iter().map(|x| x.to_f32()).collect();
+                while level.len() > 1 {
+                    level = level.chunks(2).map(|p| p[0] + p[1]).collect();
+                }
+                F16::from_f32(level[0])
+            }
+        }
+    }
+
+    /// A full matrix-row · vector dot product streamed through the engine in
+    /// beats of `lanes` elements, scaled per beat and accumulated in FP32
+    /// (the engine's "scaling multiplier + accumulator" back end).
+    ///
+    /// `scales` supplies one dequantisation scale per beat; pass `None` for
+    /// unscaled operation.
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatch between `row` and `x`, or if `scales` is
+    /// provided with a length different from the number of beats.
+    pub fn dot_streamed(&self, row: &[F16], x: &[F16], scales: Option<&[F16]>) -> f32 {
+        assert_eq!(row.len(), x.len(), "operand length mismatch");
+        let beats = row.len().div_ceil(self.lanes);
+        if let Some(s) = scales {
+            assert_eq!(s.len(), beats, "one scale per beat required");
+        }
+        let mut acc = 0.0f32;
+        for beat in 0..beats {
+            let lo = beat * self.lanes;
+            let hi = (lo + self.lanes).min(row.len());
+            let partial = self.dot(&row[lo..hi], &x[lo..hi]);
+            let scaled = match scales {
+                Some(s) => partial * s[beat],
+                None => partial,
+            };
+            acc += scaled.to_f32();
+        }
+        acc
+    }
+}
+
+impl Default for DotEngine {
+    fn default() -> DotEngine {
+        DotEngine::kv260()
+    }
+}
+
+/// Serial FP16 dot product (single multiplier + single adder), the minimal
+/// reference datapath used in tests and accuracy comparisons.
+pub fn dot_serial(a: &[F16], b: &[F16]) -> F16 {
+    assert_eq!(a.len(), b.len(), "operand length mismatch");
+    let mut acc = F16::ZERO;
+    for (x, y) in a.iter().zip(b) {
+        acc += *x * *y;
+    }
+    acc
+}
+
+/// Exact f64 dot product of FP16 operands — the "infinitely wide" reference.
+pub fn dot_exact(a: &[F16], b: &[F16]) -> f64 {
+    assert_eq!(a.len(), b.len(), "operand length mismatch");
+    a.iter().zip(b).map(|(x, y)| x.to_f64() * y.to_f64()).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn f16_vec(n: usize) -> impl Strategy<Value = Vec<F16>> {
+        proptest::collection::vec((-4.0f32..4.0).prop_map(F16::from_f32), n)
+    }
+
+    #[test]
+    fn engine_config() {
+        let e = DotEngine::kv260();
+        assert_eq!(e.lanes(), 128);
+        assert_eq!(e.tree_depth(), 7);
+        assert_eq!(e.precision(), TreePrecision::Fp32);
+        assert_eq!(DotEngine::default().lanes(), 128);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_power_of_two_lanes() {
+        let _ = DotEngine::new(100, TreePrecision::Fp32);
+    }
+
+    #[test]
+    fn short_operands_are_zero_padded() {
+        let e = DotEngine::new(8, TreePrecision::Fp32);
+        let a = vec![F16::ONE; 3];
+        let b = vec![F16::from_f32(2.0); 3];
+        assert_eq!(e.dot(&a, &b).to_f32(), 6.0);
+    }
+
+    #[test]
+    fn ones_dot_counts_lanes() {
+        let e = DotEngine::new(128, TreePrecision::Fp32);
+        let v = vec![F16::ONE; 128];
+        assert_eq!(e.dot(&v, &v).to_f32(), 128.0);
+        let e16 = DotEngine::new(128, TreePrecision::Fp16);
+        assert_eq!(e16.dot(&v, &v).to_f32(), 128.0);
+    }
+
+    #[test]
+    fn streamed_matches_single_beat_composition() {
+        let e = DotEngine::new(4, TreePrecision::Fp32);
+        let row: Vec<F16> = (0..12).map(|i| F16::from_f32(i as f32 * 0.25)).collect();
+        let x: Vec<F16> = (0..12).map(|i| F16::from_f32(1.0 - i as f32 * 0.05)).collect();
+        let got = e.dot_streamed(&row, &x, None);
+        let want: f32 = row
+            .chunks(4)
+            .zip(x.chunks(4))
+            .map(|(r, v)| e.dot(r, v).to_f32())
+            .sum();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn per_beat_scales_apply() {
+        let e = DotEngine::new(4, TreePrecision::Fp32);
+        let row = vec![F16::ONE; 8];
+        let x = vec![F16::ONE; 8];
+        let scales = vec![F16::from_f32(0.5), F16::from_f32(2.0)];
+        // beat0: 4 * 0.5 = 2, beat1: 4 * 2 = 8.
+        assert_eq!(e.dot_streamed(&row, &x, Some(&scales)), 10.0);
+    }
+
+    #[test]
+    fn fp32_tree_is_at_least_as_accurate_as_fp16_tree() {
+        // A cancellation-heavy vector: alternating large +/- values with a
+        // small residue. The FP16 tree loses the residue; FP32 keeps it.
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        for i in 0..128 {
+            let sign = if i % 2 == 0 { 1.0 } else { -1.0 };
+            a.push(F16::from_f32(sign * 1000.0));
+            b.push(F16::ONE);
+        }
+        a[127] = F16::from_f32(-1000.25);
+        let exact = dot_exact(&a, &b);
+        let e32 = DotEngine::new(128, TreePrecision::Fp32).dot(&a, &b).to_f64();
+        let e16 = DotEngine::new(128, TreePrecision::Fp16).dot(&a, &b).to_f64();
+        assert!((e32 - exact).abs() <= (e16 - exact).abs());
+    }
+
+    proptest! {
+        #[test]
+        fn tree_dot_close_to_exact(a in f16_vec(128), b in f16_vec(128)) {
+            let e = DotEngine::new(128, TreePrecision::Fp32);
+            let got = e.dot(&a, &b).to_f64();
+            let exact = dot_exact(&a, &b);
+            // FP32 tree over FP16 products: error bounded by product
+            // rounding (≤ 2^-11 relative each) plus final rounding.
+            let bound = 1e-2 * (1.0 + exact.abs()) + 0.6;
+            prop_assert!((got - exact).abs() < bound, "got {got}, exact {exact}");
+        }
+
+        #[test]
+        fn dot_is_symmetric(a in f16_vec(64), b in f16_vec(64)) {
+            let e = DotEngine::new(64, TreePrecision::Fp32);
+            prop_assert_eq!(e.dot(&a, &b).to_bits(), e.dot(&b, &a).to_bits());
+        }
+
+        #[test]
+        fn zero_vector_gives_zero(a in f16_vec(32)) {
+            let e = DotEngine::new(32, TreePrecision::Fp16);
+            let z = vec![F16::ZERO; 32];
+            prop_assert_eq!(e.dot(&a, &z).to_f32(), 0.0);
+        }
+
+        #[test]
+        fn serial_and_tree_agree_on_nonnegative_inputs(
+            a in proptest::collection::vec((0.0f32..2.0).prop_map(F16::from_f32), 16)
+        ) {
+            // With all-positive values there is no cancellation; serial and
+            // tree orderings agree to within a few ulps.
+            let e = DotEngine::new(16, TreePrecision::Fp32);
+            let tree = e.dot(&a, &a).to_f64();
+            let serial = dot_serial(&a, &a).to_f64();
+            let exact = dot_exact(&a, &a);
+            prop_assert!((tree - exact).abs() <= 0.05 * exact.abs() + 0.1);
+            prop_assert!((serial - exact).abs() <= 0.05 * exact.abs() + 0.2);
+        }
+    }
+}

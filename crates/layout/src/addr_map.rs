@@ -1,0 +1,321 @@
+//! The bare-metal 4 GB address map (Fig. 1, §VII-A).
+//!
+//! The KV260's Zynq UltraScale+ exposes its 4 GB of DDR4 as two windows:
+//! the lower 2 GB at `0x0000_0000–0x7FF0_0000` (the compiler reserves the
+//! first megabyte for the bare-metal program) and the upper 2 GB at
+//! `0x8000_0000–0xFFFF_FFFF`. The paper places the embedding table, model
+//! weights and the KV-cache space of the first 16 layers in the high
+//! window and the rest low, filling 93.3 % of the device — too little
+//! slack to boot Linux, which is why the system is bare-metal.
+//!
+//! [`MemoryMap`] is a simple bump allocator over the two windows with the
+//! occupancy accounting the capacity experiment reports.
+
+use std::fmt;
+
+/// Which DDR window a region is placed in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Window {
+    /// `0x0000_0000–0x7FF0_0000`, first 1 MiB reserved by the compiler.
+    Low,
+    /// `0x8000_0000–0xFFFF_FFFF`.
+    High,
+}
+
+/// A named, placed region.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Region {
+    /// Human-readable name ("model weights", "kv cache L0-15", …).
+    pub name: String,
+    /// Start byte address.
+    pub base: u64,
+    /// Size in bytes.
+    pub size: u64,
+    /// The window it lives in.
+    pub window: Window,
+}
+
+impl Region {
+    /// One-past-the-end address.
+    pub fn end(&self) -> u64 {
+        self.base + self.size
+    }
+}
+
+/// Error returned when a region does not fit its window.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllocError {
+    /// Region name that failed to place.
+    pub name: String,
+    /// Bytes requested.
+    pub requested: u64,
+    /// Bytes still free in the window.
+    pub available: u64,
+}
+
+impl fmt::Display for AllocError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "region '{}' needs {} bytes but only {} remain in its window",
+            self.name, self.requested, self.available
+        )
+    }
+}
+
+impl std::error::Error for AllocError {}
+
+/// The KV260 bare-metal memory map: a bump allocator over the two windows.
+///
+/// # Example
+///
+/// ```
+/// use zllm_layout::addr_map::{MemoryMap, Window};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut map = MemoryMap::kv260();
+/// let w = map.alloc("weights", 1900 << 20, Window::High)?;
+/// assert_eq!(w.base, 0x8000_0000);
+/// assert!(map.occupancy() > 0.4);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct MemoryMap {
+    total_bytes: u64,
+    low_base: u64,
+    low_end: u64,
+    high_base: u64,
+    high_end: u64,
+    low_cursor: u64,
+    high_cursor: u64,
+    reserved_bytes: u64,
+    regions: Vec<Region>,
+}
+
+impl MemoryMap {
+    /// The KV260's 4 GB map with the paper's window boundaries.
+    pub fn kv260() -> MemoryMap {
+        const MIB: u64 = 1 << 20;
+        let low_base = MIB; // 1 MiB reserved by the compiler
+        let low_end = 0x7FF0_0000;
+        let high_base = 0x8000_0000;
+        let high_end = 0x1_0000_0000;
+        MemoryMap {
+            total_bytes: 4 << 30,
+            low_base,
+            low_end,
+            high_base,
+            high_end,
+            low_cursor: low_base,
+            high_cursor: high_base,
+            reserved_bytes: (4 << 30) - (low_end - low_base) - (high_end - high_base),
+            regions: Vec::new(),
+        }
+    }
+
+    /// Total physical DDR bytes (4 GiB on the KV260).
+    pub fn total_bytes(&self) -> u64 {
+        self.total_bytes
+    }
+
+    /// Bytes unusable by data (compiler reservation + window gap).
+    pub fn reserved_bytes(&self) -> u64 {
+        self.reserved_bytes
+    }
+
+    /// Allocates a region at the current cursor of the chosen window,
+    /// aligned up to 64 bytes (one bus beat).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AllocError`] if the window cannot hold the region.
+    pub fn alloc(&mut self, name: &str, size: u64, window: Window) -> Result<Region, AllocError> {
+        let align = 64;
+        let (cursor, end) = match window {
+            Window::Low => (&mut self.low_cursor, self.low_end),
+            Window::High => (&mut self.high_cursor, self.high_end),
+        };
+        let base = (*cursor).div_ceil(align) * align;
+        if base + size > end {
+            return Err(AllocError {
+                name: name.to_owned(),
+                requested: size,
+                available: end.saturating_sub(base),
+            });
+        }
+        *cursor = base + size;
+        let region = Region { name: name.to_owned(), base, size, window };
+        self.regions.push(region.clone());
+        Ok(region)
+    }
+
+    /// All placed regions in allocation order.
+    pub fn regions(&self) -> &[Region] {
+        &self.regions
+    }
+
+    /// Looks a region up by name.
+    pub fn region(&self, name: &str) -> Option<&Region> {
+        self.regions.iter().find(|r| r.name == name)
+    }
+
+    /// Bytes allocated to regions.
+    pub fn allocated_bytes(&self) -> u64 {
+        self.regions.iter().map(|r| r.size).sum()
+    }
+
+    /// Fraction of the physical DDR used by data regions — the paper's
+    /// capacity-utilization metric (93.3 % for the 7B deployment).
+    pub fn occupancy(&self) -> f64 {
+        self.allocated_bytes() as f64 / self.total_bytes as f64
+    }
+
+    /// Bytes still free in a window.
+    pub fn free_bytes(&self, window: Window) -> u64 {
+        match window {
+            Window::Low => self.low_end - self.low_cursor,
+            Window::High => self.high_end - self.high_cursor,
+        }
+    }
+
+    /// Largest single free extent across both windows.
+    pub fn largest_free_extent(&self) -> u64 {
+        self.free_bytes(Window::Low).max(self.free_bytes(Window::High))
+    }
+
+    /// Whether a Linux kernel could still be loaded. A minimal headless
+    /// ARM64 Linux with initramfs wants on the order of 512 MiB of
+    /// contiguous memory; the 7B deployment leaves nowhere near that,
+    /// which is the paper's argument for going bare-metal.
+    pub fn linux_bootable(&self) -> bool {
+        self.largest_free_extent() >= 512 << 20
+    }
+
+    /// Verifies the structural invariant that no two regions overlap and
+    /// every region sits inside its window. (The bump allocator guarantees
+    /// this by construction; the method exists for property tests.)
+    pub fn check_invariants(&self) -> bool {
+        let mut sorted: Vec<&Region> = self.regions.iter().collect();
+        sorted.sort_by_key(|r| r.base);
+        for pair in sorted.windows(2) {
+            if pair[0].end() > pair[1].base {
+                return false;
+            }
+        }
+        self.regions.iter().all(|r| match r.window {
+            Window::Low => r.base >= self.low_base && r.end() <= self.low_end,
+            Window::High => r.base >= self.high_base && r.end() <= self.high_end,
+        })
+    }
+}
+
+impl fmt::Display for MemoryMap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "KV260 4GB DDR map ({:.1}% occupied)", self.occupancy() * 100.0)?;
+        for r in &self.regions {
+            writeln!(
+                f,
+                "  {:<24} {:#010x}..{:#010x}  {:>9.1} MiB  [{}]",
+                r.name,
+                r.base,
+                r.end(),
+                r.size as f64 / (1 << 20) as f64,
+                match r.window {
+                    Window::Low => "low",
+                    Window::High => "high",
+                }
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn windows_match_paper_boundaries() {
+        let map = MemoryMap::kv260();
+        assert_eq!(map.total_bytes(), 4 << 30);
+        assert_eq!(map.free_bytes(Window::Low), 0x7FF0_0000 - (1 << 20));
+        assert_eq!(map.free_bytes(Window::High), 2 << 30);
+        // Reserved: the compiler megabyte plus the 1 MiB window gap at the
+        // top of the low window.
+        assert_eq!(map.reserved_bytes(), 2 << 20);
+    }
+
+    #[test]
+    fn alloc_bumps_and_aligns() {
+        let mut map = MemoryMap::kv260();
+        let a = map.alloc("a", 100, Window::Low).expect("fits");
+        let b = map.alloc("b", 100, Window::Low).expect("fits");
+        assert_eq!(a.base % 64, 0);
+        assert_eq!(b.base, a.base + 128); // 100 rounded up to 128
+        assert!(map.check_invariants());
+    }
+
+    #[test]
+    fn windows_are_independent() {
+        let mut map = MemoryMap::kv260();
+        let lo = map.alloc("lo", 1 << 20, Window::Low).expect("fits");
+        let hi = map.alloc("hi", 1 << 20, Window::High).expect("fits");
+        assert!(lo.end() <= 0x7FF0_0000);
+        assert_eq!(hi.base, 0x8000_0000);
+    }
+
+    #[test]
+    fn over_allocation_errors() {
+        let mut map = MemoryMap::kv260();
+        let err = map.alloc("huge", 3 << 30, Window::High).expect_err("cannot fit");
+        assert_eq!(err.requested, 3 << 30);
+        assert!(err.available <= 2 << 30);
+        assert!(err.to_string().contains("huge"));
+    }
+
+    #[test]
+    fn occupancy_and_linux_check() {
+        let mut map = MemoryMap::kv260();
+        assert!(map.linux_bootable());
+        map.alloc("weights", 1_900 << 20, Window::High).expect("fits");
+        map.alloc("more", 1_700 << 20, Window::Low).expect("fits");
+        assert!(map.occupancy() > 0.8);
+        assert!(!map.linux_bootable());
+    }
+
+    #[test]
+    fn region_lookup() {
+        let mut map = MemoryMap::kv260();
+        map.alloc("kv cache", 264 << 20, Window::High).expect("fits");
+        assert!(map.region("kv cache").is_some());
+        assert!(map.region("nonexistent").is_none());
+        assert_eq!(map.regions().len(), 1);
+    }
+
+    #[test]
+    fn display_lists_regions() {
+        let mut map = MemoryMap::kv260();
+        map.alloc("embedding", 250 << 20, Window::High).expect("fits");
+        let s = map.to_string();
+        assert!(s.contains("embedding"));
+        assert!(s.contains("250.0 MiB"));
+    }
+
+    proptest! {
+        #[test]
+        fn invariants_hold_for_arbitrary_allocations(
+            sizes in proptest::collection::vec(1u64..(64 << 20), 1..40),
+            windows in proptest::collection::vec(proptest::bool::ANY, 40),
+        ) {
+            let mut map = MemoryMap::kv260();
+            for (i, &size) in sizes.iter().enumerate() {
+                let w = if windows[i] { Window::High } else { Window::Low };
+                let _ = map.alloc(&format!("r{i}"), size, w);
+            }
+            prop_assert!(map.check_invariants());
+            prop_assert!(map.allocated_bytes() <= map.total_bytes());
+        }
+    }
+}

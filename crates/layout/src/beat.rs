@@ -1,0 +1,240 @@
+//! The 512-bit bus beat: the unit of data the merged 4×128-bit AXI stream
+//! delivers to the PL logic every cycle (§VI-A, Fig. 5A).
+
+use std::fmt;
+
+/// Bytes per 512-bit beat.
+pub const BEAT_BYTES: usize = 64;
+
+/// One 512-bit bus word.
+///
+/// Helper accessors pack/unpack the three element widths the accelerator
+/// streams: 4-bit nibbles (weights, zero points), 16-bit halves (scales),
+/// and 8-bit bytes (KV codes).
+///
+/// # Example
+///
+/// ```
+/// use zllm_layout::Beat;
+///
+/// let mut b = Beat::zeroed();
+/// b.set_nibble(5, 0xA);
+/// assert_eq!(b.nibble(5), 0xA);
+/// b.set_half(10, 0x3C00);
+/// assert_eq!(b.half(10), 0x3C00);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Beat([u8; BEAT_BYTES]);
+
+impl Beat {
+    /// Nibbles per beat (4-bit elements).
+    pub const NIBBLES: usize = BEAT_BYTES * 2;
+    /// 16-bit halves per beat.
+    pub const HALVES: usize = BEAT_BYTES / 2;
+    /// 32-bit words per beat.
+    pub const WORDS: usize = BEAT_BYTES / 4;
+
+    /// An all-zero beat.
+    pub const fn zeroed() -> Beat {
+        Beat([0; BEAT_BYTES])
+    }
+
+    /// Builds a beat from raw bytes.
+    pub const fn from_bytes(bytes: [u8; BEAT_BYTES]) -> Beat {
+        Beat(bytes)
+    }
+
+    /// The raw bytes.
+    pub fn as_bytes(&self) -> &[u8; BEAT_BYTES] {
+        &self.0
+    }
+
+    /// Mutable raw bytes.
+    pub fn as_bytes_mut(&mut self) -> &mut [u8; BEAT_BYTES] {
+        &mut self.0
+    }
+
+    /// Reads 4-bit element `i` (little-endian nibble order: even indices are
+    /// low nibbles).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= Self::NIBBLES`.
+    pub fn nibble(&self, i: usize) -> u8 {
+        let byte = self.0[i / 2];
+        if i % 2 == 0 {
+            byte & 0x0F
+        } else {
+            byte >> 4
+        }
+    }
+
+    /// Writes 4-bit element `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= Self::NIBBLES` or `v > 0xF`.
+    pub fn set_nibble(&mut self, i: usize, v: u8) {
+        assert!(v <= 0xF, "nibble value out of range");
+        let byte = &mut self.0[i / 2];
+        if i % 2 == 0 {
+            *byte = (*byte & 0xF0) | v;
+        } else {
+            *byte = (*byte & 0x0F) | (v << 4);
+        }
+    }
+
+    /// Reads 16-bit element `i` (little-endian).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= Self::HALVES`.
+    pub fn half(&self, i: usize) -> u16 {
+        u16::from_le_bytes([self.0[2 * i], self.0[2 * i + 1]])
+    }
+
+    /// Writes 16-bit element `i` (little-endian).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= Self::HALVES`.
+    pub fn set_half(&mut self, i: usize, v: u16) {
+        let [lo, hi] = v.to_le_bytes();
+        self.0[2 * i] = lo;
+        self.0[2 * i + 1] = hi;
+    }
+
+    /// Reads 32-bit element `i` (little-endian).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= Self::WORDS`.
+    pub fn word(&self, i: usize) -> u32 {
+        u32::from_le_bytes([
+            self.0[4 * i],
+            self.0[4 * i + 1],
+            self.0[4 * i + 2],
+            self.0[4 * i + 3],
+        ])
+    }
+
+    /// Writes 32-bit element `i` (little-endian).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= Self::WORDS`.
+    pub fn set_word(&mut self, i: usize, v: u32) {
+        self.0[4 * i..4 * i + 4].copy_from_slice(&v.to_le_bytes());
+    }
+
+    /// Reads byte `i`.
+    pub fn byte(&self, i: usize) -> u8 {
+        self.0[i]
+    }
+
+    /// Writes byte `i`.
+    pub fn set_byte(&mut self, i: usize, v: u8) {
+        self.0[i] = v;
+    }
+}
+
+impl Default for Beat {
+    fn default() -> Beat {
+        Beat::zeroed()
+    }
+}
+
+impl fmt::Debug for Beat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Beat(")?;
+        for b in self.0.iter().rev() {
+            write!(f, "{b:02x}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl From<[u8; BEAT_BYTES]> for Beat {
+    fn from(bytes: [u8; BEAT_BYTES]) -> Beat {
+        Beat(bytes)
+    }
+}
+
+impl AsRef<[u8]> for Beat {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn element_counts() {
+        assert_eq!(Beat::NIBBLES, 128);
+        assert_eq!(Beat::HALVES, 32);
+        assert_eq!(Beat::WORDS, 16);
+    }
+
+    #[test]
+    fn nibble_packing_is_little_endian_within_byte() {
+        let mut b = Beat::zeroed();
+        b.set_nibble(0, 0x3);
+        b.set_nibble(1, 0xC);
+        assert_eq!(b.as_bytes()[0], 0xC3);
+        assert_eq!(b.nibble(0), 0x3);
+        assert_eq!(b.nibble(1), 0xC);
+    }
+
+    #[test]
+    fn half_and_word_roundtrip() {
+        let mut b = Beat::zeroed();
+        b.set_half(31, 0xBEEF);
+        assert_eq!(b.half(31), 0xBEEF);
+        b.set_word(15, 0xDEAD_BEEF);
+        assert_eq!(b.word(15), 0xDEAD_BEEF);
+        assert_eq!(b.byte(62), 0xAD);
+    }
+
+    #[test]
+    #[should_panic(expected = "nibble value out of range")]
+    fn nibble_value_checked() {
+        Beat::zeroed().set_nibble(0, 0x10);
+    }
+
+    #[test]
+    fn debug_shows_hex() {
+        let mut b = Beat::zeroed();
+        b.set_byte(63, 0xAB);
+        let s = format!("{b:?}");
+        assert!(s.starts_with("Beat(ab"));
+    }
+
+    proptest! {
+        #[test]
+        fn nibbles_are_independent(values in proptest::collection::vec(0u8..16, 128)) {
+            let mut b = Beat::zeroed();
+            for (i, &v) in values.iter().enumerate() {
+                b.set_nibble(i, v);
+            }
+            for (i, &v) in values.iter().enumerate() {
+                prop_assert_eq!(b.nibble(i), v);
+            }
+        }
+
+        #[test]
+        fn words_overlay_bytes(words in proptest::collection::vec(proptest::num::u32::ANY, 16)) {
+            let mut b = Beat::zeroed();
+            for (i, &w) in words.iter().enumerate() {
+                b.set_word(i, w);
+            }
+            for (i, &w) in words.iter().enumerate() {
+                prop_assert_eq!(b.word(i), w);
+                prop_assert_eq!(b.half(2 * i), (w & 0xFFFF) as u16);
+                prop_assert_eq!(b.half(2 * i + 1), (w >> 16) as u16);
+            }
+        }
+    }
+}

@@ -1,0 +1,246 @@
+//! The KV-cache scale-zero packing FIFO of Fig. 4B.
+//!
+//! KV-cache quantization metadata is produced on the fly: one 32-bit
+//! scale-zero pack per (layer, head, K/V) stream per token. Writing each
+//! pack to DDR as it appears would be a 4-byte scattered write — the exact
+//! anti-pattern §V-B exists to avoid. Instead the accelerator keeps one
+//! 512-bit FIFO element per stream; as inference proceeds head-wise and
+//! layer-wise it pops the front element, appends the new pack, and pushes
+//! the element back. After 16 tokens every element holds 16 valid packs
+//! (a full bus word) and is written back to DDR as one aligned beat.
+
+use crate::beat::Beat;
+use std::collections::VecDeque;
+
+/// Scale-zero packs per 512-bit FIFO element.
+pub const PACKS_PER_ELEMENT: usize = Beat::WORDS;
+
+/// One flushed FIFO element: a full beat of 16 packs belonging to one
+/// metadata stream, plus which stream and token window it covers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlushedElement {
+    /// Stream index (the position in layer/head/KV iteration order).
+    pub stream: usize,
+    /// First token index covered by this beat.
+    pub first_token: u64,
+    /// The packed beat.
+    pub beat: Beat,
+}
+
+/// The scale-zero packing FIFO.
+///
+/// `streams` is the number of metadata streams per token: for LLaMA2-7B,
+/// 32 layers × 32 heads × 2 (K and V) = 2048. The hardware FIFO holds one
+/// element per stream; this model replays its exact pop-update-push
+/// discipline and emits a [`FlushedElement`] whenever an element fills.
+///
+/// # Example
+///
+/// ```
+/// use zllm_layout::kv_pack::{KvPackFifo, PACKS_PER_ELEMENT};
+///
+/// let mut fifo = KvPackFifo::new(4);
+/// let mut flushed = Vec::new();
+/// for token in 0..PACKS_PER_ELEMENT as u64 {
+///     for stream in 0..4 {
+///         let pack = (token as u32) << 8 | stream as u32;
+///         if let Some(el) = fifo.append(pack) {
+///             flushed.push(el);
+///         }
+///     }
+/// }
+/// // All four elements filled on the 16th token.
+/// assert_eq!(flushed.len(), 4);
+/// assert!(flushed.iter().all(|e| e.first_token == 0));
+/// ```
+#[derive(Debug, Clone)]
+pub struct KvPackFifo {
+    streams: usize,
+    /// Per-stream accumulation state, kept in FIFO order.
+    slots: VecDeque<Slot>,
+    /// How many packs have been appended in total.
+    appended: u64,
+}
+
+#[derive(Debug, Clone)]
+struct Slot {
+    stream: usize,
+    first_token: u64,
+    valid: usize,
+    beat: Beat,
+}
+
+impl KvPackFifo {
+    /// Creates the FIFO with one element per metadata stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `streams` is zero.
+    pub fn new(streams: usize) -> KvPackFifo {
+        assert!(streams > 0, "at least one stream required");
+        let slots = (0..streams)
+            .map(|stream| Slot { stream, first_token: 0, valid: 0, beat: Beat::zeroed() })
+            .collect();
+        KvPackFifo { streams, slots, appended: 0 }
+    }
+
+    /// Number of metadata streams (FIFO depth).
+    pub fn streams(&self) -> usize {
+        self.streams
+    }
+
+    /// The token index the next appended pack belongs to.
+    pub fn current_token(&self) -> u64 {
+        self.appended / self.streams as u64
+    }
+
+    /// Appends the next pack in iteration order (the hardware's
+    /// pop-update-push). Returns a full beat when the element fills.
+    pub fn append(&mut self, pack: u32) -> Option<FlushedElement> {
+        let token = self.current_token();
+        let mut slot = self.slots.pop_front().expect("fifo is never empty");
+        if slot.valid == 0 {
+            slot.first_token = token;
+        }
+        slot.beat.set_word(slot.valid, pack);
+        slot.valid += 1;
+        self.appended += 1;
+
+        let flushed = if slot.valid == PACKS_PER_ELEMENT {
+            let el = FlushedElement {
+                stream: slot.stream,
+                first_token: slot.first_token,
+                beat: slot.beat,
+            };
+            slot.valid = 0;
+            slot.beat = Beat::zeroed();
+            Some(el)
+        } else {
+            None
+        };
+        self.slots.push_back(slot);
+        flushed
+    }
+
+    /// Flushes all partially filled elements (end of generation): returns
+    /// the beats with their valid pack counts so the caller can mask them.
+    pub fn drain_partial(&mut self) -> Vec<(FlushedElement, usize)> {
+        let mut out = Vec::new();
+        for slot in self.slots.iter_mut() {
+            if slot.valid > 0 {
+                out.push((
+                    FlushedElement {
+                        stream: slot.stream,
+                        first_token: slot.first_token,
+                        beat: slot.beat,
+                    },
+                    slot.valid,
+                ));
+                slot.valid = 0;
+                slot.beat = Beat::zeroed();
+            }
+        }
+        out
+    }
+
+    /// Count of DDR write beats this FIFO discipline produces for `tokens`
+    /// tokens across all streams (full elements only).
+    pub fn write_beats_for(streams: usize, tokens: u64) -> u64 {
+        streams as u64 * (tokens / PACKS_PER_ELEMENT as u64)
+    }
+
+    /// Count of 4-byte scattered writes the naive discipline would issue.
+    pub fn naive_writes_for(streams: usize, tokens: u64) -> u64 {
+        streams as u64 * tokens
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sixteen_tokens_fill_every_element() {
+        let streams = 8;
+        let mut fifo = KvPackFifo::new(streams);
+        let mut flushed = Vec::new();
+        for token in 0..16u64 {
+            for s in 0..streams {
+                assert_eq!(fifo.current_token(), token);
+                if let Some(el) = fifo.append(((token as u32) << 16) | s as u32) {
+                    flushed.push(el);
+                }
+            }
+        }
+        assert_eq!(flushed.len(), streams);
+        for (i, el) in flushed.iter().enumerate() {
+            assert_eq!(el.stream, i);
+            assert_eq!(el.first_token, 0);
+            // Word t of the beat is token t's pack for this stream.
+            for t in 0..PACKS_PER_ELEMENT {
+                assert_eq!(el.beat.word(t), ((t as u32) << 16) | i as u32);
+            }
+        }
+    }
+
+    #[test]
+    fn no_flush_before_sixteenth_token() {
+        let mut fifo = KvPackFifo::new(4);
+        for token in 0..15u64 {
+            for s in 0..4 {
+                assert!(fifo.append((token * 4 + s) as u32).is_none());
+            }
+        }
+    }
+
+    #[test]
+    fn second_window_restarts_token_base() {
+        let mut fifo = KvPackFifo::new(2);
+        let mut flushed = Vec::new();
+        for token in 0..32u64 {
+            for s in 0..2 {
+                if let Some(el) = fifo.append((token * 2 + s) as u32) {
+                    flushed.push(el);
+                }
+            }
+        }
+        assert_eq!(flushed.len(), 4);
+        assert_eq!(flushed[0].first_token, 0);
+        assert_eq!(flushed[2].first_token, 16);
+    }
+
+    #[test]
+    fn drain_partial_returns_masked_elements() {
+        let mut fifo = KvPackFifo::new(3);
+        for token in 0..5u64 {
+            for s in 0..3 {
+                let _ = fifo.append((token * 3 + s) as u32);
+            }
+        }
+        let partial = fifo.drain_partial();
+        assert_eq!(partial.len(), 3);
+        for (el, valid) in &partial {
+            assert_eq!(*valid, 5);
+            assert_eq!(el.first_token, 0);
+        }
+        // Draining again yields nothing.
+        assert!(fifo.drain_partial().is_empty());
+    }
+
+    #[test]
+    fn write_amplification_accounting() {
+        // 1024 tokens, 2048 streams (LLaMA2-7B): the FIFO turns 2M scattered
+        // 4-byte writes into 128K aligned 64-byte beats.
+        let beats = KvPackFifo::write_beats_for(2048, 1024);
+        let naive = KvPackFifo::naive_writes_for(2048, 1024);
+        assert_eq!(beats, 2048 * 64);
+        assert_eq!(naive, 2048 * 1024);
+        assert_eq!(naive / beats, 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one stream")]
+    fn zero_streams_rejected() {
+        let _ = KvPackFifo::new(0);
+    }
+}

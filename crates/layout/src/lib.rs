@@ -1,0 +1,33 @@
+//! Bus-width aligned data arrangement formats and the bare-metal memory map
+//! (§V-B and Fig. 1/4 of the paper).
+//!
+//! Sustained DDR bandwidth depends on *how* data is laid out far more than
+//! on how much is moved: large consecutive bursts run near the pin rate,
+//! while short scattered reads pay row-activation and bus-turnaround
+//! penalties on every access. This crate implements the paper's two layout
+//! contributions plus the address map that makes a 7B model fit in 4 GB:
+//!
+//! * [`weight`] — the interleaved zero-point/scale/weight arrangement of
+//!   Fig. 4A that turns an entire quantized linear layer into one long
+//!   sequential burst, with the split-region and per-group alternatives
+//!   needed for the ablation study.
+//! * [`kv_pack`] — the scale-zero packing FIFO of Fig. 4B that batches the
+//!   32-bit KV-cache quantization metadata of 16 tokens into full 512-bit
+//!   bus words before writing them back to DDR.
+//! * [`addr_map`] — the bare-metal 4 GB address map of Fig. 1 (lower 2 GB
+//!   minus the compiler-reserved megabyte, upper 2 GB) with region
+//!   accounting for the 93.3 % capacity-utilization figure.
+//! * [`beat`] / [`burst`] — 512-bit bus beats and burst descriptors, the
+//!   currency both the layouts and the DDR simulator trade in.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod addr_map;
+pub mod beat;
+pub mod burst;
+pub mod kv_pack;
+pub mod weight;
+
+pub use beat::{Beat, BEAT_BYTES};
+pub use burst::BurstDescriptor;

@@ -1,0 +1,576 @@
+//! The compact interleaved model-weight arrangement of Fig. 4A, plus the
+//! alternative layouts it is evaluated against.
+//!
+//! A quantized linear layer consists of 4-bit codes plus per-group FP16
+//! scales and 4-bit zero points. Fetching the metadata "group by group"
+//! issues tiny scattered reads; staging a whole layer's metadata on-chip
+//! overflows BRAM. The paper's format interleaves metadata with the codes
+//! so the *entire layer* streams as one consecutive burst: each
+//! *superblock* packs one zero-point beat, then the scale beats, then the
+//! weight beats of as many groups as one zero beat covers.
+//!
+//! With a 512-bit beat, 4-bit codes and groups of 128 this gives
+//! `1 (zeros) + 4 (scales) + 128 (weights) = 133` beats per 128 groups —
+//! a 3.76 % metadata overhead and an on-chip metadata buffer of just five
+//! beats.
+
+use crate::beat::{Beat, BEAT_BYTES};
+use crate::burst::BurstDescriptor;
+use zllm_fp16::F16;
+use zllm_quant::group::QuantizedTensor;
+
+/// Geometry of the interleaved weight format.
+///
+/// # Example
+///
+/// ```
+/// use zllm_layout::weight::WeightFormat;
+///
+/// let fmt = WeightFormat::kv260();
+/// assert_eq!(fmt.superblock_beats(), 133);
+/// assert!((fmt.metadata_fraction() - 5.0 / 133.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct WeightFormat {
+    /// Bus transaction width in bits (512 for the merged 4×128-bit stream).
+    pub bus_bits: usize,
+    /// Weight/zero-point code width in bits.
+    pub weight_bits: u32,
+    /// Elements per quantization group.
+    pub group_size: usize,
+}
+
+impl WeightFormat {
+    /// The accelerator's native geometry: 512-bit beats, W4, groups of 128.
+    pub const fn kv260() -> WeightFormat {
+        WeightFormat { bus_bits: 512, weight_bits: 4, group_size: 128 }
+    }
+
+    /// The geometry as enumerated in the paper's Fig. 4A prose (64 weights
+    /// or 16 scales per transaction, i.e. 256-bit transactions).
+    pub const fn paper_fig4() -> WeightFormat {
+        WeightFormat { bus_bits: 256, weight_bits: 4, group_size: 128 }
+    }
+
+    /// Creates a format, validating divisibility constraints.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `bus_bits` is a multiple of 16, `weight_bits` divides
+    /// `bus_bits`, and a group's codes fill a whole number of beats.
+    pub fn new(bus_bits: usize, weight_bits: u32, group_size: usize) -> WeightFormat {
+        assert!(bus_bits % 16 == 0, "bus must carry whole FP16 scales");
+        assert!(
+            bus_bits % weight_bits as usize == 0,
+            "weight codes must pack the bus exactly"
+        );
+        let group_bits = group_size * weight_bits as usize;
+        assert!(
+            group_bits % bus_bits == 0,
+            "a group's codes must fill a whole number of beats"
+        );
+        WeightFormat { bus_bits, weight_bits, group_size }
+    }
+
+    /// Weight codes per beat.
+    pub fn weights_per_beat(&self) -> usize {
+        self.bus_bits / self.weight_bits as usize
+    }
+
+    /// Zero points per beat (same width as weight codes).
+    pub fn zeros_per_beat(&self) -> usize {
+        self.weights_per_beat()
+    }
+
+    /// FP16 scales per beat.
+    pub fn scales_per_beat(&self) -> usize {
+        self.bus_bits / 16
+    }
+
+    /// Groups covered by one superblock (one full zero-point beat).
+    pub fn groups_per_superblock(&self) -> usize {
+        self.zeros_per_beat()
+    }
+
+    /// Scale beats per superblock.
+    pub fn scale_beats_per_superblock(&self) -> usize {
+        self.groups_per_superblock().div_ceil(self.scales_per_beat())
+    }
+
+    /// Weight beats per group.
+    pub fn weight_beats_per_group(&self) -> usize {
+        self.group_size * self.weight_bits as usize / self.bus_bits
+    }
+
+    /// Total beats per superblock (zeros + scales + weights).
+    pub fn superblock_beats(&self) -> usize {
+        1 + self.scale_beats_per_superblock()
+            + self.groups_per_superblock() * self.weight_beats_per_group()
+    }
+
+    /// Weights per superblock.
+    pub fn weights_per_superblock(&self) -> usize {
+        self.groups_per_superblock() * self.group_size
+    }
+
+    /// Fraction of the stream that is metadata rather than weight codes.
+    pub fn metadata_fraction(&self) -> f64 {
+        let meta = 1 + self.scale_beats_per_superblock();
+        meta as f64 / self.superblock_beats() as f64
+    }
+
+    /// Beats needed to stream `n_weights` codes with their metadata
+    /// (the final superblock is padded to full size, as the converter pads
+    /// the DDR image).
+    pub fn beats_for(&self, n_weights: usize) -> usize {
+        let supers = n_weights.div_ceil(self.weights_per_superblock());
+        supers * self.superblock_beats()
+    }
+
+    /// On-chip metadata buffer required while streaming: one zero beat plus
+    /// the scale beats of the current superblock, in bytes.
+    pub fn on_chip_metadata_bytes(&self) -> usize {
+        (1 + self.scale_beats_per_superblock()) * (self.bus_bits / 8)
+    }
+
+    /// Metadata bytes a *split-region* layout would have to stage on-chip
+    /// to avoid scattered reads: all scales and zeros of a layer with
+    /// `n_weights` weights. This is the quantity the paper argues exceeds
+    /// BRAM/URAM capacity (§V-B1).
+    pub fn staged_metadata_bytes(&self, n_weights: usize) -> usize {
+        let groups = n_weights.div_ceil(self.group_size);
+        // 16-bit scale + code-width zero point per group, padded to bytes.
+        groups * 2 + (groups * self.weight_bits as usize).div_ceil(8)
+    }
+}
+
+impl Default for WeightFormat {
+    fn default() -> WeightFormat {
+        WeightFormat::kv260()
+    }
+}
+
+/// A quantized tensor encoded into the interleaved beat stream.
+#[derive(Debug, Clone)]
+pub struct EncodedWeights {
+    format: WeightFormat,
+    n_weights: usize,
+    beats: Vec<Beat>,
+}
+
+impl EncodedWeights {
+    /// The format geometry.
+    pub fn format(&self) -> WeightFormat {
+        self.format
+    }
+
+    /// Number of weight codes encoded (before padding).
+    pub fn n_weights(&self) -> usize {
+        self.n_weights
+    }
+
+    /// The interleaved beat stream.
+    pub fn beats(&self) -> &[Beat] {
+        &self.beats
+    }
+
+    /// Byte size of the stream.
+    pub fn bytes(&self) -> usize {
+        self.beats.len() * BEAT_BYTES
+    }
+}
+
+/// Encodes a quantized tensor into the interleaved layout (512-bit beats).
+///
+/// # Panics
+///
+/// Panics if the tensor's group size differs from the format's, if the code
+/// width is not 4 bits, or if the format is not 512-bit (only the native
+/// geometry is materialised; other geometries are used analytically).
+pub fn encode(fmt: &WeightFormat, tensor: &QuantizedTensor) -> EncodedWeights {
+    assert_eq!(fmt.bus_bits, 512, "only the 512-bit geometry is materialised");
+    assert_eq!(fmt.weight_bits, 4, "interleaved encoding is defined for 4-bit codes");
+    assert_eq!(
+        tensor.config().group_size,
+        fmt.group_size,
+        "tensor group size must match the format"
+    );
+    assert_eq!(tensor.config().bits, 4, "tensor must be 4-bit quantized");
+
+    let gps = fmt.groups_per_superblock();
+    let sb_beats = fmt.superblock_beats();
+    let scale_beats = fmt.scale_beats_per_superblock();
+    let spb = fmt.scales_per_beat();
+    let n_groups = tensor.num_groups();
+    let supers = n_groups.div_ceil(gps);
+    let mut beats = vec![Beat::zeroed(); supers * sb_beats];
+
+    for sb in 0..supers {
+        let base = sb * sb_beats;
+        for local_g in 0..gps {
+            let g = sb * gps + local_g;
+            if g >= n_groups {
+                break;
+            }
+            // Zero points: nibble `local_g` of the superblock's first beat.
+            beats[base].set_nibble(local_g, tensor.zeros()[g]);
+            // Scales: half `local_g % spb` of scale beat `local_g / spb`.
+            beats[base + 1 + local_g / spb]
+                .set_half(local_g % spb, tensor.scales()[g].to_bits());
+            // Weight codes of group g: one beat (128 nibbles).
+            let wbeat = base + 1 + scale_beats + local_g;
+            let lo = g * fmt.group_size;
+            let hi = (lo + fmt.group_size).min(tensor.len());
+            for (n, idx) in (lo..hi).enumerate() {
+                beats[wbeat].set_nibble(n, tensor.codes()[idx]);
+            }
+        }
+    }
+
+    EncodedWeights { format: *fmt, n_weights: tensor.len(), beats }
+}
+
+/// Decoded view of an interleaved stream: the demultiplexer output (§VI-A).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DecodedWeights {
+    /// Weight codes in logical order.
+    pub codes: Vec<u8>,
+    /// Per-group scales.
+    pub scales: Vec<F16>,
+    /// Per-group zero points.
+    pub zeros: Vec<u8>,
+}
+
+/// Decodes an interleaved stream back into codes and metadata — the inverse
+/// of [`encode`], i.e. what the MCU's stream demultiplexer does on-chip.
+pub fn decode(enc: &EncodedWeights) -> DecodedWeights {
+    let fmt = enc.format;
+    let gps = fmt.groups_per_superblock();
+    let sb_beats = fmt.superblock_beats();
+    let scale_beats = fmt.scale_beats_per_superblock();
+    let spb = fmt.scales_per_beat();
+    let n_groups = enc.n_weights.div_ceil(fmt.group_size);
+
+    let mut codes = Vec::with_capacity(enc.n_weights);
+    let mut scales = Vec::with_capacity(n_groups);
+    let mut zeros = Vec::with_capacity(n_groups);
+
+    for g in 0..n_groups {
+        let sb = g / gps;
+        let local_g = g % gps;
+        let base = sb * sb_beats;
+        zeros.push(enc.beats[base].nibble(local_g));
+        scales.push(F16::from_bits(
+            enc.beats[base + 1 + local_g / spb].half(local_g % spb),
+        ));
+        let wbeat = base + 1 + scale_beats + local_g;
+        let lo = g * fmt.group_size;
+        let hi = (lo + fmt.group_size).min(enc.n_weights);
+        for n in 0..(hi - lo) {
+            codes.push(enc.beats[wbeat].nibble(n));
+        }
+    }
+
+    DecodedWeights { codes, scales, zeros }
+}
+
+/// The layouts compared in the Fig. 4 ablation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LayoutScheme {
+    /// The paper's interleaved arrangement: one long consecutive stream.
+    Interleaved,
+    /// Zeros, scales and weights in three separate DDR regions, fetched at
+    /// superblock granularity in processing order (three rotating streams).
+    SplitRegions,
+    /// Metadata fetched group-by-group as consumed: one tiny metadata read
+    /// followed by one group of weights, repeated (the strawman of §V-B1).
+    PerGroupFetch,
+}
+
+impl LayoutScheme {
+    /// All schemes, in the order the ablation reports them.
+    pub const ALL: [LayoutScheme; 3] = [
+        LayoutScheme::Interleaved,
+        LayoutScheme::SplitRegions,
+        LayoutScheme::PerGroupFetch,
+    ];
+
+    /// Human-readable name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            LayoutScheme::Interleaved => "interleaved",
+            LayoutScheme::SplitRegions => "split-regions",
+            LayoutScheme::PerGroupFetch => "per-group-fetch",
+        }
+    }
+}
+
+impl std::fmt::Display for LayoutScheme {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Generates the read-burst stream for fetching `n_weights` quantized
+/// weights under a given scheme. `base` is the start address of the layer's
+/// data; split schemes place their regions at `base`, `base + 256 MiB` and
+/// `base + 512 MiB` to model the distinct DDR regions a linker would choose.
+pub fn fetch_stream(
+    scheme: LayoutScheme,
+    fmt: &WeightFormat,
+    n_weights: usize,
+    base: u64,
+) -> Vec<BurstDescriptor> {
+    const REGION_STRIDE: u64 = 256 << 20;
+    let beat = BEAT_BYTES as u64;
+    match scheme {
+        LayoutScheme::Interleaved => {
+            vec![BurstDescriptor::new(base, fmt.beats_for(n_weights) as u32)]
+        }
+        LayoutScheme::SplitRegions => {
+            let zeros_base = base;
+            let scales_base = base + REGION_STRIDE;
+            let weights_base = base + 2 * REGION_STRIDE;
+            let gps = fmt.groups_per_superblock();
+            let scale_beats = fmt.scale_beats_per_superblock() as u32;
+            let wbeats = (gps * fmt.weight_beats_per_group()) as u32;
+            let supers = n_weights.div_ceil(fmt.weights_per_superblock());
+            let mut out = Vec::with_capacity(supers * 3);
+            for sb in 0..supers as u64 {
+                out.push(BurstDescriptor::new(zeros_base + sb * beat, 1));
+                out.push(BurstDescriptor::new(
+                    scales_base + sb * scale_beats as u64 * beat,
+                    scale_beats,
+                ));
+                out.push(BurstDescriptor::new(
+                    weights_base + sb * wbeats as u64 * beat,
+                    wbeats,
+                ));
+            }
+            out
+        }
+        LayoutScheme::PerGroupFetch => {
+            let meta_base = base;
+            let weights_base = base + 2 * REGION_STRIDE;
+            let wbpg = fmt.weight_beats_per_group() as u32;
+            let groups = n_weights.div_ceil(fmt.group_size);
+            let mut out = Vec::with_capacity(groups * 2);
+            for g in 0..groups as u64 {
+                // The scale+zero of one group occupy a few bytes; the bus
+                // still moves (at least) one beat per read.
+                out.push(BurstDescriptor::new(meta_base + g * beat, 1));
+                out.push(BurstDescriptor::new(
+                    weights_base + g * wbpg as u64 * beat,
+                    wbpg,
+                ));
+            }
+            out
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::burst::{mean_burst_beats, total_bytes};
+    use zllm_quant::group::{GroupQuantConfig, GroupQuantizer};
+
+    fn sample_tensor(n: usize) -> QuantizedTensor {
+        let values: Vec<f32> = (0..n).map(|i| ((i * 29) % 257) as f32 / 64.0 - 2.0).collect();
+        GroupQuantizer::new(GroupQuantConfig::w4_g128()).quantize(&values)
+    }
+
+    #[test]
+    fn kv260_geometry_matches_paper_ratios() {
+        let fmt = WeightFormat::kv260();
+        assert_eq!(fmt.weights_per_beat(), 128);
+        assert_eq!(fmt.scales_per_beat(), 32);
+        assert_eq!(fmt.groups_per_superblock(), 128);
+        assert_eq!(fmt.scale_beats_per_superblock(), 4);
+        assert_eq!(fmt.weight_beats_per_group(), 1);
+        assert_eq!(fmt.superblock_beats(), 133);
+        assert_eq!(fmt.weights_per_superblock(), 16384);
+        assert_eq!(fmt.on_chip_metadata_bytes(), 5 * 64);
+    }
+
+    #[test]
+    fn paper_fig4_geometry() {
+        // The 256-bit "transaction" reading of Fig. 4A: 64 weights or
+        // 16 scales per transaction; one scale transaction covers 2048
+        // weights = 32 weight transactions.
+        let fmt = WeightFormat::paper_fig4();
+        assert_eq!(fmt.weights_per_beat(), 64);
+        assert_eq!(fmt.scales_per_beat(), 16);
+        assert_eq!(fmt.weight_beats_per_group(), 2);
+        let weights_per_scale_beat = fmt.scales_per_beat() * fmt.group_size;
+        assert_eq!(weights_per_scale_beat, 2048);
+        assert_eq!(weights_per_scale_beat / fmt.weights_per_beat(), 32);
+    }
+
+    #[test]
+    fn metadata_overhead_is_under_four_percent() {
+        let fmt = WeightFormat::kv260();
+        assert!((fmt.metadata_fraction() - 5.0 / 133.0).abs() < 1e-12);
+        assert!(fmt.metadata_fraction() < 0.04);
+    }
+
+    #[test]
+    fn beats_for_pads_final_superblock() {
+        let fmt = WeightFormat::kv260();
+        assert_eq!(fmt.beats_for(0), 0);
+        assert_eq!(fmt.beats_for(1), 133);
+        assert_eq!(fmt.beats_for(16384), 133);
+        assert_eq!(fmt.beats_for(16385), 266);
+    }
+
+    #[test]
+    fn staged_metadata_exceeds_bram_for_7b_layers() {
+        // A 4096×11008 LLaMA2-7B MLP projection has 45M weights; staging
+        // its scales+zeros needs ~880 KB — more than the KV260's ~1.3 MB of
+        // BRAM+URAM could spare alongside everything else, and over 200×
+        // the interleaved format's 320 B working buffer.
+        let fmt = WeightFormat::kv260();
+        let staged = fmt.staged_metadata_bytes(4096 * 11008);
+        assert!(staged > 800 << 10, "staged metadata only {staged} bytes");
+        assert!(staged / fmt.on_chip_metadata_bytes() > 200);
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let t = sample_tensor(16384 * 2 + 300);
+        let fmt = WeightFormat::kv260();
+        let enc = encode(&fmt, &t);
+        assert_eq!(enc.beats().len(), fmt.beats_for(t.len()));
+        assert_eq!(enc.n_weights(), t.len());
+        let dec = decode(&enc);
+        assert_eq!(dec.codes, t.codes());
+        assert_eq!(dec.zeros, t.zeros());
+        assert_eq!(dec.scales.len(), t.scales().len());
+        for (a, b) in dec.scales.iter().zip(t.scales()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn encode_single_group() {
+        let t = sample_tensor(128);
+        let enc = encode(&WeightFormat::kv260(), &t);
+        assert_eq!(enc.beats().len(), 133);
+        assert_eq!(enc.bytes(), 133 * 64);
+        let dec = decode(&enc);
+        assert_eq!(dec.codes.len(), 128);
+        assert_eq!(dec.scales.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "group size must match")]
+    fn encode_rejects_mismatched_group() {
+        let values = vec![0.5f32; 64];
+        let t = GroupQuantizer::new(GroupQuantConfig::new(64, 4)).quantize(&values);
+        let _ = encode(&WeightFormat::kv260(), &t);
+    }
+
+    #[test]
+    fn fetch_stream_interleaved_is_one_burst() {
+        let fmt = WeightFormat::kv260();
+        let s = fetch_stream(LayoutScheme::Interleaved, &fmt, 16384 * 4, 0x8000_0000);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s[0].beats as usize, 133 * 4);
+    }
+
+    #[test]
+    fn fetch_stream_totals_are_comparable_but_burst_lengths_differ() {
+        let fmt = WeightFormat::kv260();
+        let n = 16384 * 8;
+        let inter = fetch_stream(LayoutScheme::Interleaved, &fmt, n, 0);
+        let split = fetch_stream(LayoutScheme::SplitRegions, &fmt, n, 0);
+        let pergroup = fetch_stream(LayoutScheme::PerGroupFetch, &fmt, n, 0);
+        // All schemes move the same weight payload; metadata padding makes
+        // per-group slightly larger (a whole beat per group).
+        let w_bytes = total_bytes(&fetch_stream(LayoutScheme::Interleaved, &fmt, n, 0));
+        assert!(total_bytes(&split) <= w_bytes + (64 << 10));
+        assert!(total_bytes(&pergroup) >= w_bytes);
+        // The headline difference: mean burst length.
+        assert!(mean_burst_beats(&inter) > 500.0);
+        assert!(mean_burst_beats(&split) > 40.0 && mean_burst_beats(&split) < 50.0);
+        assert!(mean_burst_beats(&pergroup) <= 1.0);
+    }
+
+    #[test]
+    fn split_stream_rotates_three_regions() {
+        let fmt = WeightFormat::kv260();
+        let s = fetch_stream(LayoutScheme::SplitRegions, &fmt, 16384 * 2, 0);
+        assert_eq!(s.len(), 6);
+        // Region bases 256 MiB apart.
+        assert!(s[1].addr >= 256 << 20);
+        assert!(s[2].addr >= 512 << 20);
+    }
+
+    #[test]
+    fn scheme_names() {
+        assert_eq!(LayoutScheme::Interleaved.to_string(), "interleaved");
+        assert_eq!(LayoutScheme::ALL.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "whole number of beats")]
+    fn format_validates_group_divisibility() {
+        let _ = WeightFormat::new(512, 4, 100);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(32))]
+
+            /// Encode → decode is the identity for any tensor size.
+            #[test]
+            fn roundtrip_any_size(
+                n in 1usize..40_000,
+                seed in proptest::num::u64::ANY,
+            ) {
+                let values: Vec<f32> = (0..n)
+                    .map(|i| (((i as u64).wrapping_mul(seed | 1) >> 16) % 1000) as f32 / 500.0 - 1.0)
+                    .collect();
+                let t = GroupQuantizer::new(GroupQuantConfig::w4_g128()).quantize(&values);
+                let enc = encode(&WeightFormat::kv260(), &t);
+                let dec = decode(&enc);
+                prop_assert_eq!(&dec.codes, t.codes());
+                prop_assert_eq!(&dec.zeros, t.zeros());
+                for (a, b) in dec.scales.iter().zip(t.scales()) {
+                    prop_assert_eq!(a.to_bits(), b.to_bits());
+                }
+            }
+
+            /// The stream length formula matches the materialized stream.
+            #[test]
+            fn beats_for_matches_encode(n in 1usize..60_000) {
+                let values = vec![0.25f32; n];
+                let t = GroupQuantizer::new(GroupQuantConfig::w4_g128()).quantize(&values);
+                let fmt = WeightFormat::kv260();
+                let enc = encode(&fmt, &t);
+                prop_assert_eq!(enc.beats().len(), fmt.beats_for(n));
+            }
+
+            /// Every fetch scheme moves at least the payload bytes and
+            /// produces beat-aligned addresses.
+            #[test]
+            fn fetch_streams_are_well_formed(
+                n in 1usize..100_000,
+                base in (0u64..(1 << 30)).prop_map(|a| a & !63),
+            ) {
+                let fmt = WeightFormat::kv260();
+                for scheme in LayoutScheme::ALL {
+                    let stream = fetch_stream(scheme, &fmt, n, base);
+                    let payload = (n as u64 * 4).div_ceil(8);
+                    prop_assert!(total_bytes(&stream) >= payload, "{scheme}");
+                    for b in &stream {
+                        prop_assert_eq!(b.addr % 64, 0, "{} misaligned", scheme);
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,279 @@
+//! Model geometries for every model the paper's evaluation touches.
+
+/// Geometry of a LLaMA-family decoder-only transformer.
+///
+/// GPT-2 and ChatGLM presets are expressed in LLaMA-equivalent shapes
+/// (their parameter counts and therefore their bandwidth footprints match;
+/// architectural differences such as learned positional embeddings do not
+/// affect the decode-bandwidth story the paper studies).
+///
+/// # Example
+///
+/// ```
+/// use zllm_model::ModelConfig;
+///
+/// let cfg = ModelConfig::llama2_7b();
+/// let params = cfg.param_count();
+/// assert!((6.5e9..7.0e9).contains(&(params as f64)));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelConfig {
+    /// Human-readable name.
+    pub name: String,
+    /// Number of transformer blocks.
+    pub n_layers: usize,
+    /// Hidden (model) dimension.
+    pub d_model: usize,
+    /// Attention heads.
+    pub n_heads: usize,
+    /// Key/value heads (< `n_heads` for GQA/MQA).
+    pub n_kv_heads: usize,
+    /// MLP intermediate dimension.
+    pub d_ff: usize,
+    /// Vocabulary size.
+    pub vocab_size: usize,
+    /// Maximum context length the deployment supports.
+    pub max_seq_len: usize,
+    /// RMSNorm epsilon.
+    pub norm_eps: f32,
+    /// RoPE base frequency.
+    pub rope_base: f64,
+}
+
+impl ModelConfig {
+    /// LLaMA2-7B: the model the paper deploys (context capped at 1024 by
+    /// the KV260's capacity budget).
+    pub fn llama2_7b() -> ModelConfig {
+        ModelConfig {
+            name: "LLaMA2-7B".to_owned(),
+            n_layers: 32,
+            d_model: 4096,
+            n_heads: 32,
+            n_kv_heads: 32,
+            d_ff: 11008,
+            vocab_size: 32000,
+            max_seq_len: 1024,
+            norm_eps: 1e-5,
+            rope_base: 10000.0,
+        }
+    }
+
+    /// TinyLlama-1.1B (SECDA-LLM and LlamaF's workload).
+    pub fn tiny_llama_1_1b() -> ModelConfig {
+        ModelConfig {
+            name: "TinyLlama-1.1B".to_owned(),
+            n_layers: 22,
+            d_model: 2048,
+            n_heads: 32,
+            n_kv_heads: 4,
+            d_ff: 5632,
+            vocab_size: 32000,
+            max_seq_len: 2048,
+            norm_eps: 1e-5,
+            rope_base: 10000.0,
+        }
+    }
+
+    /// GPT-2 XL, 1.5B (DFX's workload), in LLaMA-equivalent shapes.
+    pub fn gpt2_xl_1_5b() -> ModelConfig {
+        ModelConfig {
+            name: "GPT2-1.5B".to_owned(),
+            n_layers: 48,
+            d_model: 1600,
+            n_heads: 25,
+            n_kv_heads: 25,
+            // GPT-2's MLP is 2 matrices of 4d; a 3-matrix SwiGLU of 8d/3
+            // has the same parameter count.
+            d_ff: 4267,
+            vocab_size: 50257,
+            max_seq_len: 1024,
+            norm_eps: 1e-5,
+            rope_base: 10000.0,
+        }
+    }
+
+    /// ChatGLM2-6B (EdgeLLM's workload), in LLaMA-equivalent shapes
+    /// (multi-query attention with 2 KV heads).
+    pub fn chatglm2_6b() -> ModelConfig {
+        ModelConfig {
+            name: "ChatGLM-6B".to_owned(),
+            n_layers: 28,
+            d_model: 4096,
+            n_heads: 32,
+            n_kv_heads: 2,
+            d_ff: 13696,
+            vocab_size: 65024,
+            max_seq_len: 2048,
+            norm_eps: 1e-5,
+            rope_base: 10000.0,
+        }
+    }
+
+    /// A small shape for functional tests: same structure, minutes-not-days
+    /// simulation scale.
+    pub fn test_small() -> ModelConfig {
+        ModelConfig {
+            name: "test-small".to_owned(),
+            n_layers: 2,
+            d_model: 128,
+            n_heads: 4,
+            n_kv_heads: 4,
+            d_ff: 256,
+            vocab_size: 512,
+            max_seq_len: 64,
+            norm_eps: 1e-5,
+            rope_base: 10000.0,
+        }
+    }
+
+    /// A small GQA shape (KV heads < heads) for functional tests.
+    pub fn test_small_gqa() -> ModelConfig {
+        ModelConfig {
+            name: "test-small-gqa".to_owned(),
+            n_kv_heads: 2,
+            ..ModelConfig::test_small()
+        }
+    }
+
+    /// Dimension of one attention head.
+    pub fn head_dim(&self) -> usize {
+        self.d_model / self.n_heads
+    }
+
+    /// KV dimension (`n_kv_heads × head_dim`).
+    pub fn kv_dim(&self) -> usize {
+        self.n_kv_heads * self.head_dim()
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.d_model % self.n_heads != 0 {
+            return Err(format!(
+                "d_model {} not divisible by n_heads {}",
+                self.d_model, self.n_heads
+            ));
+        }
+        if self.n_heads % self.n_kv_heads != 0 {
+            return Err(format!(
+                "n_heads {} not divisible by n_kv_heads {}",
+                self.n_heads, self.n_kv_heads
+            ));
+        }
+        if self.head_dim() % 2 != 0 {
+            return Err(format!("head_dim {} must be even for RoPE", self.head_dim()));
+        }
+        if self.n_layers == 0 || self.vocab_size == 0 || self.d_ff == 0 {
+            return Err("layer count, vocabulary and d_ff must be non-zero".to_owned());
+        }
+        Ok(())
+    }
+
+    /// Parameters per transformer layer.
+    pub fn params_per_layer(&self) -> u64 {
+        let d = self.d_model as u64;
+        let kv = self.kv_dim() as u64;
+        let ff = self.d_ff as u64;
+        // Q and O are d×d, K and V are kv×d; SwiGLU gate/up are ff×d and
+        // down is d×ff; two RMSNorm vectors.
+        2 * d * d + 2 * kv * d + 3 * d * ff + 2 * d
+    }
+
+    /// Total parameter count (embedding + layers + final norm + LM head).
+    pub fn param_count(&self) -> u64 {
+        let d = self.d_model as u64;
+        let v = self.vocab_size as u64;
+        v * d + self.n_layers as u64 * self.params_per_layer() + d + v * d
+    }
+}
+
+impl std::fmt::Display for ModelConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} ({} layers, d={}, heads={}/{}, ff={}, vocab={})",
+            self.name,
+            self.n_layers,
+            self.d_model,
+            self.n_heads,
+            self.n_kv_heads,
+            self.d_ff,
+            self.vocab_size
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_presets_validate() {
+        for cfg in [
+            ModelConfig::llama2_7b(),
+            ModelConfig::tiny_llama_1_1b(),
+            ModelConfig::gpt2_xl_1_5b(),
+            ModelConfig::chatglm2_6b(),
+            ModelConfig::test_small(),
+            ModelConfig::test_small_gqa(),
+        ] {
+            cfg.validate().unwrap_or_else(|e| panic!("{}: {e}", cfg.name));
+        }
+    }
+
+    #[test]
+    fn llama2_7b_parameter_count() {
+        let cfg = ModelConfig::llama2_7b();
+        let params = cfg.param_count() as f64;
+        // ~6.74B including untied LM head.
+        assert!((6.6e9..6.9e9).contains(&params), "params {params}");
+        assert_eq!(cfg.head_dim(), 128);
+        assert_eq!(cfg.kv_dim(), 4096);
+    }
+
+    #[test]
+    fn tiny_llama_parameter_count() {
+        let params = ModelConfig::tiny_llama_1_1b().param_count() as f64;
+        assert!((1.0e9..1.3e9).contains(&params), "params {params}");
+    }
+
+    #[test]
+    fn gpt2_parameter_count() {
+        let params = ModelConfig::gpt2_xl_1_5b().param_count() as f64;
+        assert!((1.4e9..1.8e9).contains(&params), "params {params}");
+    }
+
+    #[test]
+    fn chatglm_parameter_count() {
+        let params = ModelConfig::chatglm2_6b().param_count() as f64;
+        assert!((5.5e9..6.8e9).contains(&params), "params {params}");
+    }
+
+    #[test]
+    fn gqa_preset_reduces_kv_dim() {
+        let cfg = ModelConfig::test_small_gqa();
+        assert_eq!(cfg.kv_dim(), 2 * 32);
+        assert!(cfg.kv_dim() < cfg.d_model);
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        let mut cfg = ModelConfig::test_small();
+        cfg.n_heads = 3;
+        assert!(cfg.validate().is_err());
+        let mut cfg = ModelConfig::test_small();
+        cfg.n_kv_heads = 3;
+        assert!(cfg.validate().is_err());
+        let mut cfg = ModelConfig::test_small();
+        cfg.n_layers = 0;
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn display_contains_name() {
+        assert!(ModelConfig::llama2_7b().to_string().contains("LLaMA2-7B"));
+    }
+}

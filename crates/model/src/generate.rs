@@ -1,0 +1,193 @@
+//! A shared generation loop over any decoder-shaped step function.
+//!
+//! Examples and tests all need the same prefill → sample → feed-back
+//! loop; this module provides it once, over a `FnMut(usize) -> Vec<f32>`
+//! step so it works with the f32 reference, the functional accelerator
+//! decoder, or anything else that produces logits.
+
+use crate::sampler::{argmax, TopKSampler};
+
+/// How to pick the next token.
+#[derive(Debug, Clone)]
+pub enum Sampling {
+    /// Greedy argmax.
+    Greedy,
+    /// Top-k with temperature, seeded.
+    TopK {
+        /// Candidates kept.
+        k: usize,
+        /// Softmax temperature.
+        temperature: f32,
+        /// RNG seed.
+        seed: u64,
+    },
+}
+
+/// Generation settings.
+#[derive(Debug, Clone)]
+pub struct GenerateOptions {
+    /// Maximum tokens to generate.
+    pub max_tokens: usize,
+    /// Sampling strategy.
+    pub sampling: Sampling,
+    /// Stop early when this token is produced (e.g. EOS).
+    pub stop_token: Option<usize>,
+}
+
+impl Default for GenerateOptions {
+    fn default() -> GenerateOptions {
+        GenerateOptions { max_tokens: 32, sampling: Sampling::Greedy, stop_token: None }
+    }
+}
+
+/// Outcome of a generation run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Generation {
+    /// Generated token ids (stop token excluded).
+    pub tokens: Vec<usize>,
+    /// `true` if the stop token ended the run.
+    pub stopped: bool,
+}
+
+/// Runs prefill over `prompt` then generates per `options`.
+///
+/// `forward` processes one token and returns next-token logits (the
+/// signature of both [`crate::reference::Decoder::forward`] and the
+/// accelerator's functional decoder).
+///
+/// # Panics
+///
+/// Panics if `prompt` is empty.
+///
+/// # Example
+///
+/// ```
+/// use zllm_model::generate::{generate, GenerateOptions, Sampling};
+/// use zllm_model::kv_cache::KvCacheF32;
+/// use zllm_model::reference::Decoder;
+/// use zllm_model::{ModelConfig, ModelWeights};
+///
+/// let cfg = ModelConfig::test_small();
+/// let weights = ModelWeights::generate(&cfg, 1);
+/// let mut dec = Decoder::new(&weights, KvCacheF32::new(&cfg));
+/// let out = generate(|t| dec.forward(t), &[1, 2, 3], &GenerateOptions {
+///     max_tokens: 4,
+///     sampling: Sampling::Greedy,
+///     stop_token: None,
+/// });
+/// assert_eq!(out.tokens.len(), 4);
+/// ```
+pub fn generate<F>(mut forward: F, prompt: &[usize], options: &GenerateOptions) -> Generation
+where
+    F: FnMut(usize) -> Vec<f32>,
+{
+    assert!(!prompt.is_empty(), "empty prompt");
+    let mut logits = Vec::new();
+    for &t in prompt {
+        logits = forward(t);
+    }
+
+    let mut sampler = match options.sampling {
+        Sampling::Greedy => None,
+        Sampling::TopK { k, temperature, seed } => {
+            Some(TopKSampler::new(k, temperature, seed))
+        }
+    };
+
+    let mut tokens = Vec::with_capacity(options.max_tokens);
+    for step in 0..options.max_tokens {
+        let next = match &mut sampler {
+            None => argmax(&logits),
+            Some(s) => s.sample(&logits),
+        };
+        if options.stop_token == Some(next) {
+            return Generation { tokens, stopped: true };
+        }
+        tokens.push(next);
+        if step + 1 < options.max_tokens {
+            logits = forward(next);
+        }
+    }
+    Generation { tokens, stopped: false }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kv_cache::KvCacheF32;
+    use crate::reference::Decoder;
+    use crate::{ModelConfig, ModelWeights};
+
+    fn setup() -> (ModelConfig, ModelWeights) {
+        let cfg = ModelConfig::test_small();
+        let w = ModelWeights::generate(&cfg, 77);
+        (cfg, w)
+    }
+
+    #[test]
+    fn greedy_generation_is_deterministic() {
+        let (cfg, w) = setup();
+        let run = |_: ()| {
+            let mut d = Decoder::new(&w, KvCacheF32::new(&cfg));
+            generate(|t| d.forward(t), &[5, 6], &GenerateOptions::default())
+        };
+        let a = run(());
+        let b = run(());
+        assert_eq!(a, b);
+        assert_eq!(a.tokens.len(), 32);
+        assert!(!a.stopped);
+    }
+
+    #[test]
+    fn stop_token_halts_generation() {
+        let (cfg, w) = setup();
+        // Find what greedy emits first, then use it as the stop token.
+        let mut d = Decoder::new(&w, KvCacheF32::new(&cfg));
+        let first = generate(|t| d.forward(t), &[9], &GenerateOptions {
+            max_tokens: 1,
+            ..GenerateOptions::default()
+        })
+        .tokens[0];
+
+        let mut d = Decoder::new(&w, KvCacheF32::new(&cfg));
+        let out = generate(|t| d.forward(t), &[9], &GenerateOptions {
+            max_tokens: 16,
+            sampling: Sampling::Greedy,
+            stop_token: Some(first),
+        });
+        assert!(out.stopped);
+        assert!(out.tokens.is_empty());
+    }
+
+    #[test]
+    fn topk_generation_is_seeded() {
+        let (cfg, w) = setup();
+        let run = |seed| {
+            let mut d = Decoder::new(&w, KvCacheF32::new(&cfg));
+            generate(|t| d.forward(t), &[3, 4], &GenerateOptions {
+                max_tokens: 8,
+                sampling: Sampling::TopK { k: 8, temperature: 1.0, seed },
+                stop_token: None,
+            })
+        };
+        assert_eq!(run(1), run(1));
+        assert_ne!(run(1).tokens, run(2).tokens);
+    }
+
+    #[test]
+    fn generation_respects_context_budget() {
+        let (cfg, w) = setup();
+        let mut d = Decoder::new(&w, KvCacheF32::new(&cfg));
+        let out = generate(|t| d.forward(t), &[1], &GenerateOptions {
+            max_tokens: cfg.max_seq_len - 1,
+            ..GenerateOptions::default()
+        });
+        assert_eq!(out.tokens.len(), cfg.max_seq_len - 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty prompt")]
+    fn empty_prompt_rejected() {
+        let _ = generate(|_| vec![0.0], &[], &GenerateOptions::default());
+    }
+}

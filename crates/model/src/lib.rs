@@ -1,0 +1,37 @@
+//! LLaMA-family transformer substrate: configurations, synthetic weights,
+//! an f32 reference implementation, KV caches, tokenizer and samplers.
+//!
+//! The paper deploys LLaMA2-7B; its comparison tables additionally involve
+//! TinyLlama-1.1B, GPT-2-1.5B and ChatGLM-6B. This crate provides:
+//!
+//! * [`config`] — model geometries ([`config::ModelConfig`]) with presets
+//!   for every model the paper mentions plus scaled-down test shapes;
+//! * [`weights`] — seeded synthetic weights at any geometry (trained
+//!   checkpoints are unavailable offline; quantization, layout and
+//!   bandwidth behaviour depend only on shapes and statistics);
+//! * [`mod@reference`] — an exact f32 decoder (RMSNorm, RoPE, causal
+//!   attention with GQA, SwiGLU) used as ground truth for the accelerator;
+//! * [`kv_cache`] — f32 and KV8-quantized caches;
+//! * [`tokenizer`] / [`sampler`] — the "PS side" of the system: byte-level
+//!   tokenization and greedy/top-k sampling;
+//! * [`memory`] — byte accounting for weights and KV cache, and the
+//!   bandwidth rooflines every comparison table derives from.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod calibration;
+pub mod config;
+pub mod eval;
+pub mod generate;
+pub mod kv_cache;
+pub mod memory;
+pub mod reference;
+pub mod sampler;
+pub mod tensor;
+pub mod tokenizer;
+pub mod weights;
+
+pub use config::ModelConfig;
+pub use tensor::Matrix;
+pub use weights::ModelWeights;

@@ -1,0 +1,329 @@
+//! Exact f32 reference decoder: the ground truth the accelerator's FP16
+//! datapath is validated against.
+//!
+//! Implements the LLaMA block exactly as Fig. 2C describes it: RMSNorm →
+//! QKV projections with RoPE on Q/K → causal multi-head attention over the
+//! cache → output projection → residual; then RMSNorm → SwiGLU MLP →
+//! residual. GQA is supported by sharing KV heads across query-head groups.
+
+use crate::kv_cache::KvStore;
+use crate::tensor::dot;
+use crate::weights::ModelWeights;
+
+/// RMS normalisation: `x_i · g_i / √(mean(x²) + ε)`.
+pub fn rmsnorm(x: &[f32], gain: &[f32], eps: f32) -> Vec<f32> {
+    assert_eq!(x.len(), gain.len(), "gain length mismatch");
+    let ms = x.iter().map(|v| v * v).sum::<f32>() / x.len() as f32;
+    let inv = 1.0 / (ms + eps).sqrt();
+    x.iter().zip(gain).map(|(v, g)| v * inv * g).collect()
+}
+
+/// Numerically stable softmax (three-pass, as the SPU implements it).
+pub fn softmax(x: &[f32]) -> Vec<f32> {
+    assert!(!x.is_empty(), "softmax of empty slice");
+    let m = x.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+    let exps: Vec<f32> = x.iter().map(|v| (v - m).exp()).collect();
+    let d: f32 = exps.iter().sum();
+    exps.iter().map(|e| e / d).collect()
+}
+
+/// SiLU activation.
+pub fn silu(x: f32) -> f32 {
+    x / (1.0 + (-x).exp())
+}
+
+/// Applies RoPE in place to one head vector (half-offset pairing: lane `i`
+/// rotates with lane `i + d/2`, the convention LLaMA uses and the paper's
+/// rotator implements by "caching half of the query or key").
+pub fn rope_rotate(head: &mut [f32], pos: usize, base: f64) {
+    let d = head.len();
+    assert!(d % 2 == 0, "head dimension must be even");
+    let half = d / 2;
+    for i in 0..half {
+        let theta = pos as f64 * base.powf(-2.0 * i as f64 / d as f64);
+        let (sin, cos) = (theta.sin() as f32, theta.cos() as f32);
+        let a = head[i];
+        let b = head[i + half];
+        head[i] = a * cos - b * sin;
+        head[i + half] = a * sin + b * cos;
+    }
+}
+
+/// The reference decoder: owns weights and a cache, processes one token at
+/// a time.
+///
+/// # Example
+///
+/// ```
+/// use zllm_model::{ModelConfig, ModelWeights};
+/// use zllm_model::kv_cache::KvCacheF32;
+/// use zllm_model::reference::Decoder;
+///
+/// let cfg = ModelConfig::test_small();
+/// let weights = ModelWeights::generate(&cfg, 1);
+/// let mut dec = Decoder::new(&weights, KvCacheF32::new(&cfg));
+/// let logits = dec.forward(7);
+/// assert_eq!(logits.len(), cfg.vocab_size);
+/// ```
+#[derive(Debug)]
+pub struct Decoder<'w, C> {
+    weights: &'w ModelWeights,
+    cache: C,
+    pos: usize,
+}
+
+impl<'w, C: KvStore> Decoder<'w, C> {
+    /// Creates a decoder at position zero.
+    pub fn new(weights: &'w ModelWeights, cache: C) -> Decoder<'w, C> {
+        Decoder { weights, cache, pos: 0 }
+    }
+
+    /// Tokens processed so far.
+    pub fn pos(&self) -> usize {
+        self.pos
+    }
+
+    /// Read access to the cache.
+    pub fn cache(&self) -> &C {
+        &self.cache
+    }
+
+    /// Processes one token and returns the next-token logits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `token` is out of vocabulary or the context is full.
+    pub fn forward(&mut self, token: usize) -> Vec<f32> {
+        let cfg = self.weights.config();
+        assert!(token < cfg.vocab_size, "token {token} out of vocabulary");
+        assert!(self.pos < cfg.max_seq_len, "context window exhausted");
+        let pos = self.pos;
+        let d = cfg.d_model;
+        let hd = cfg.head_dim();
+        let group = cfg.n_heads / cfg.n_kv_heads;
+
+        let mut x: Vec<f32> = self.weights.embedding.row(token).to_vec();
+
+        for (layer_idx, layer) in self.weights.layers.iter().enumerate() {
+            // --- Attention block ---
+            let xn = rmsnorm(&x, &layer.attn_norm, cfg.norm_eps);
+            let mut q = layer.wq.matvec(&xn);
+            let mut k = layer.wk.matvec(&xn);
+            let v = layer.wv.matvec(&xn);
+
+            for h in 0..cfg.n_heads {
+                rope_rotate(&mut q[h * hd..(h + 1) * hd], pos, cfg.rope_base);
+            }
+            for h in 0..cfg.n_kv_heads {
+                rope_rotate(&mut k[h * hd..(h + 1) * hd], pos, cfg.rope_base);
+            }
+            self.cache.append(layer_idx, &k, &v);
+
+            let scale = 1.0 / (hd as f32).sqrt();
+            let mut attn_out = vec![0.0f32; d];
+            for h in 0..cfg.n_heads {
+                let kv_head = h / group;
+                let qh = &q[h * hd..(h + 1) * hd];
+                let scores: Vec<f32> = (0..=pos)
+                    .map(|t| {
+                        let kt = self.cache.key(layer_idx, t, kv_head);
+                        dot(qh, &kt) * scale
+                    })
+                    .collect();
+                let probs = softmax(&scores);
+                let out = &mut attn_out[h * hd..(h + 1) * hd];
+                for (t, &p) in probs.iter().enumerate() {
+                    let vt = self.cache.value(layer_idx, t, kv_head);
+                    for (o, &vv) in out.iter_mut().zip(&vt) {
+                        *o += p * vv;
+                    }
+                }
+            }
+
+            let proj = layer.wo.matvec(&attn_out);
+            for (xi, pi) in x.iter_mut().zip(&proj) {
+                *xi += pi;
+            }
+
+            // --- MLP block ---
+            let xn = rmsnorm(&x, &layer.mlp_norm, cfg.norm_eps);
+            let gate = layer.w_gate.matvec(&xn);
+            let up = layer.w_up.matvec(&xn);
+            let inner: Vec<f32> =
+                gate.iter().zip(&up).map(|(&g, &u)| silu(g) * u).collect();
+            let down = layer.w_down.matvec(&inner);
+            for (xi, di) in x.iter_mut().zip(&down) {
+                *xi += di;
+            }
+        }
+
+        let xn = rmsnorm(&x, &self.weights.final_norm, cfg.norm_eps);
+        self.pos += 1;
+        self.weights.lm_head.matvec(&xn)
+    }
+
+    /// Runs the prefill phase over a prompt, returning the logits after its
+    /// last token.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the prompt is empty.
+    pub fn prefill(&mut self, prompt: &[usize]) -> Vec<f32> {
+        assert!(!prompt.is_empty(), "empty prompt");
+        let mut logits = Vec::new();
+        for &t in prompt {
+            logits = self.forward(t);
+        }
+        logits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ModelConfig;
+    use crate::kv_cache::{KvCacheF32, KvCacheQ8};
+    use crate::weights::ModelWeights;
+
+    #[test]
+    fn rmsnorm_unit_output_scale() {
+        let x = vec![3.0f32; 8];
+        let g = vec![1.0f32; 8];
+        let y = rmsnorm(&x, &g, 0.0);
+        for v in y {
+            assert!((v - 1.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn rmsnorm_applies_gain() {
+        let x = vec![1.0, -1.0];
+        let g = vec![2.0, 0.5];
+        let y = rmsnorm(&x, &g, 0.0);
+        assert!((y[0] - 2.0).abs() < 1e-6);
+        assert!((y[1] + 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn softmax_sums_to_one_and_orders() {
+        let p = softmax(&[1.0, 2.0, 3.0]);
+        assert!((p.iter().sum::<f32>() - 1.0).abs() < 1e-6);
+        assert!(p[2] > p[1] && p[1] > p[0]);
+        // Stability with huge inputs.
+        let p = softmax(&[1000.0, 1000.0]);
+        assert!((p[0] - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn rope_preserves_norm_and_is_identity_at_pos0() {
+        let mut h = vec![0.3, -0.7, 0.2, 0.9];
+        let orig = h.clone();
+        rope_rotate(&mut h, 0, 10000.0);
+        assert_eq!(h, orig);
+        rope_rotate(&mut h, 13, 10000.0);
+        let n0: f32 = orig.iter().map(|v| v * v).sum();
+        let n1: f32 = h.iter().map(|v| v * v).sum();
+        assert!((n0 - n1).abs() < 1e-5);
+        assert_ne!(h, orig);
+    }
+
+    #[test]
+    fn rope_is_relative() {
+        // <RoPE(q, m), RoPE(k, n)> depends only on m - n.
+        let q = vec![0.5, -0.2, 0.8, 0.1];
+        let k = vec![-0.3, 0.9, 0.4, -0.6];
+        let pairs = [(3usize, 1usize), (7, 5), (12, 10)];
+        let mut dots = Vec::new();
+        for (m, n) in pairs {
+            let mut qm = q.clone();
+            let mut kn = k.clone();
+            rope_rotate(&mut qm, m, 10000.0);
+            rope_rotate(&mut kn, n, 10000.0);
+            dots.push(dot(&qm, &kn));
+        }
+        assert!((dots[0] - dots[1]).abs() < 1e-5);
+        assert!((dots[1] - dots[2]).abs() < 1e-5);
+    }
+
+    #[test]
+    fn decoder_is_deterministic_and_bounded() {
+        let cfg = ModelConfig::test_small();
+        let w = ModelWeights::generate(&cfg, 3);
+        let mut d1 = Decoder::new(&w, KvCacheF32::new(&cfg));
+        let mut d2 = Decoder::new(&w, KvCacheF32::new(&cfg));
+        let l1 = d1.prefill(&[1, 2, 3]);
+        let l2 = d2.prefill(&[1, 2, 3]);
+        assert_eq!(l1, l2);
+        assert!(l1.iter().all(|v| v.is_finite()));
+        assert_eq!(d1.pos(), 3);
+        assert_eq!(d1.cache().len(), 3);
+    }
+
+    #[test]
+    fn context_matters() {
+        let cfg = ModelConfig::test_small();
+        let w = ModelWeights::generate(&cfg, 3);
+        let mut a = Decoder::new(&w, KvCacheF32::new(&cfg));
+        let mut b = Decoder::new(&w, KvCacheF32::new(&cfg));
+        let la = a.prefill(&[5, 9]);
+        let lb = b.prefill(&[8, 9]);
+        // Same final token, different history → different logits.
+        assert_ne!(la, lb);
+    }
+
+    #[test]
+    fn kv8_cache_tracks_f32_closely() {
+        let cfg = ModelConfig::test_small();
+        let w = ModelWeights::generate(&cfg, 11);
+        let mut exact = Decoder::new(&w, KvCacheF32::new(&cfg));
+        let mut quant = Decoder::new(&w, KvCacheQ8::new(&cfg));
+        let prompt = [1usize, 4, 7, 2, 9];
+        let le = exact.prefill(&prompt);
+        let lq = quant.prefill(&prompt);
+        // KV8 perturbs logits slightly; the argmax and coarse structure
+        // must survive.
+        let am_e = le
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .map(|(i, _)| i);
+        let am_q = lq
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .map(|(i, _)| i);
+        assert_eq!(am_e, am_q, "KV8 flipped the argmax");
+        let rmse: f32 = (le.iter().zip(&lq).map(|(a, b)| (a - b) * (a - b)).sum::<f32>()
+            / le.len() as f32)
+            .sqrt();
+        assert!(rmse < 0.05, "KV8 rmse {rmse}");
+    }
+
+    #[test]
+    fn gqa_runs_and_differs_from_mha() {
+        let cfg = ModelConfig::test_small_gqa();
+        let w = ModelWeights::generate(&cfg, 3);
+        let mut d = Decoder::new(&w, KvCacheF32::new(&cfg));
+        let logits = d.prefill(&[1, 2, 3, 4]);
+        assert!(logits.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of vocabulary")]
+    fn vocabulary_checked() {
+        let cfg = ModelConfig::test_small();
+        let w = ModelWeights::generate(&cfg, 0);
+        let mut d = Decoder::new(&w, KvCacheF32::new(&cfg));
+        let _ = d.forward(cfg.vocab_size);
+    }
+
+    #[test]
+    #[should_panic(expected = "context window exhausted")]
+    fn context_limit_enforced() {
+        let mut cfg = ModelConfig::test_small();
+        cfg.max_seq_len = 2;
+        let w = ModelWeights::generate(&cfg, 0);
+        let mut d = Decoder::new(&w, KvCacheF32::new(&cfg));
+        let _ = d.prefill(&[1, 2, 3]);
+    }
+}

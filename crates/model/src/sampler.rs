@@ -1,0 +1,129 @@
+//! Token samplers for the decode loop.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Greedy argmax over logits.
+///
+/// # Panics
+///
+/// Panics if `logits` is empty.
+///
+/// # Example
+///
+/// ```
+/// use zllm_model::sampler::argmax;
+///
+/// assert_eq!(argmax(&[0.1, 0.9, 0.3]), 1);
+/// ```
+pub fn argmax(logits: &[f32]) -> usize {
+    assert!(!logits.is_empty(), "empty logits");
+    logits
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.total_cmp(b.1))
+        .map(|(i, _)| i)
+        .expect("nonempty")
+}
+
+/// Seeded top-k temperature sampler.
+#[derive(Debug, Clone)]
+pub struct TopKSampler {
+    k: usize,
+    temperature: f32,
+    rng: StdRng,
+}
+
+impl TopKSampler {
+    /// Creates a sampler.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0` or `temperature <= 0`.
+    pub fn new(k: usize, temperature: f32, seed: u64) -> TopKSampler {
+        assert!(k > 0, "k must be positive");
+        assert!(temperature > 0.0, "temperature must be positive");
+        TopKSampler { k, temperature, rng: StdRng::seed_from_u64(seed) }
+    }
+
+    /// Samples a token id from the top-k renormalised distribution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `logits` is empty.
+    pub fn sample(&mut self, logits: &[f32]) -> usize {
+        assert!(!logits.is_empty(), "empty logits");
+        let mut indexed: Vec<(usize, f32)> =
+            logits.iter().cloned().enumerate().collect();
+        indexed.sort_by(|a, b| b.1.total_cmp(&a.1));
+        indexed.truncate(self.k);
+        let m = indexed[0].1;
+        let weights: Vec<f32> = indexed
+            .iter()
+            .map(|(_, l)| ((l - m) / self.temperature).exp())
+            .collect();
+        let total: f32 = weights.iter().sum();
+        let mut draw = self.rng.gen_range(0.0..total);
+        for ((idx, _), w) in indexed.iter().zip(&weights) {
+            if draw < *w {
+                return *idx;
+            }
+            draw -= w;
+        }
+        indexed[0].0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn argmax_picks_largest() {
+        assert_eq!(argmax(&[-1.0, 5.0, 2.0]), 1);
+        assert_eq!(argmax(&[3.0]), 0);
+    }
+
+    #[test]
+    fn top1_sampler_is_greedy() {
+        let mut s = TopKSampler::new(1, 1.0, 7);
+        for _ in 0..10 {
+            assert_eq!(s.sample(&[0.0, 3.0, 1.0]), 1);
+        }
+    }
+
+    #[test]
+    fn sampler_is_seeded_deterministic() {
+        let logits = vec![1.0, 1.1, 0.9, 1.05];
+        let mut a = TopKSampler::new(4, 1.0, 42);
+        let mut b = TopKSampler::new(4, 1.0, 42);
+        let seq_a: Vec<usize> = (0..20).map(|_| a.sample(&logits)).collect();
+        let seq_b: Vec<usize> = (0..20).map(|_| b.sample(&logits)).collect();
+        assert_eq!(seq_a, seq_b);
+    }
+
+    #[test]
+    fn low_temperature_concentrates() {
+        let logits = vec![0.0, 1.0];
+        let mut cold = TopKSampler::new(2, 0.05, 1);
+        let picks: Vec<usize> = (0..50).map(|_| cold.sample(&logits)).collect();
+        let ones = picks.iter().filter(|&&p| p == 1).count();
+        assert!(ones >= 48, "cold sampling picked the max only {ones}/50 times");
+    }
+
+    #[test]
+    fn sampler_respects_k() {
+        let logits = vec![10.0, 9.0, -50.0, -60.0];
+        let mut s = TopKSampler::new(2, 5.0, 3);
+        for _ in 0..50 {
+            let p = s.sample(&logits);
+            assert!(p < 2, "sampled outside top-k: {p}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty logits")]
+    fn empty_logits_rejected() {
+        let _ = argmax(&[]);
+    }
+}

@@ -1,0 +1,164 @@
+//! A minimal row-major f32 matrix — all the linear algebra the reference
+//! implementation needs.
+
+/// Row-major matrix of `f32`.
+///
+/// # Example
+///
+/// ```
+/// use zllm_model::Matrix;
+///
+/// let m = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+/// assert_eq!(m.matvec(&[1.0, 1.0]), vec![3.0, 7.0]);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl Matrix {
+    /// Creates a matrix from a flat row-major buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    pub fn new(rows: usize, cols: usize, data: Vec<f32>) -> Matrix {
+        assert_eq!(data.len(), rows * cols, "buffer does not match dimensions");
+        Matrix { rows, cols, data }
+    }
+
+    /// A zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Matrix {
+        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Builds from row slices (for tests and examples).
+    ///
+    /// # Panics
+    ///
+    /// Panics if rows have differing lengths or there are none.
+    pub fn from_rows(rows: &[&[f32]]) -> Matrix {
+        assert!(!rows.is_empty(), "at least one row required");
+        let cols = rows[0].len();
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for r in rows {
+            assert_eq!(r.len(), cols, "ragged rows");
+            data.extend_from_slice(r);
+        }
+        Matrix { rows: rows.len(), cols, data }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// The flat row-major buffer.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable flat buffer.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Row `r` as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= rows`.
+    pub fn row(&self, r: usize) -> &[f32] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Matrix–vector product `y = A x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != cols`.
+    pub fn matvec(&self, x: &[f32]) -> Vec<f32> {
+        assert_eq!(x.len(), self.cols, "operand length mismatch");
+        (0..self.rows)
+            .map(|r| {
+                let row = self.row(r);
+                let mut acc = 0.0f32;
+                for (a, b) in row.iter().zip(x) {
+                    acc += a * b;
+                }
+                acc
+            })
+            .collect()
+    }
+
+    /// Element access.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range indices.
+    pub fn get(&self, r: usize, c: usize) -> f32 {
+        assert!(r < self.rows && c < self.cols, "index out of range");
+        self.data[r * self.cols + c]
+    }
+}
+
+/// Dot product of two equal-length slices.
+///
+/// # Panics
+///
+/// Panics on length mismatch.
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "operand length mismatch");
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_access() {
+        let m = Matrix::new(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(m.rows(), 2);
+        assert_eq!(m.cols(), 3);
+        assert_eq!(m.row(1), &[4.0, 5.0, 6.0]);
+        assert_eq!(m.get(0, 2), 3.0);
+        assert_eq!(m.data().len(), 6);
+    }
+
+    #[test]
+    fn matvec_known_result() {
+        let m = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 2.0], &[1.0, 1.0]]);
+        assert_eq!(m.matvec(&[3.0, 5.0]), vec![3.0, 10.0, 8.0]);
+    }
+
+    #[test]
+    fn zeros_matvec() {
+        let m = Matrix::zeros(4, 4);
+        assert_eq!(m.matvec(&[1.0; 4]), vec![0.0; 4]);
+    }
+
+    #[test]
+    fn dot_product() {
+        assert_eq!(dot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "buffer does not match")]
+    fn dimension_mismatch_rejected() {
+        let _ = Matrix::new(2, 2, vec![0.0; 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "operand length mismatch")]
+    fn matvec_length_checked() {
+        let _ = Matrix::zeros(2, 3).matvec(&[0.0; 2]);
+    }
+}

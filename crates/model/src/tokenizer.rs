@@ -1,0 +1,163 @@
+//! A deterministic byte-level tokenizer — the "tokenizer & decode program"
+//! that runs on the PS side of the deployment (Fig. 1).
+//!
+//! Real LLaMA tokenizers are BPE over a trained vocabulary; for a synthetic
+//! model any deterministic, reversible mapping exercises the same PS↔PL
+//! interface. This one maps bytes to ids (offset past the special tokens)
+//! and adds a greedy digram-merge layer seeded from the vocabulary size so
+//! that larger vocabularies genuinely produce shorter token streams.
+
+/// Byte-level tokenizer with synthetic digram merges.
+///
+/// # Example
+///
+/// ```
+/// use zllm_model::tokenizer::Tokenizer;
+///
+/// let tok = Tokenizer::new(512);
+/// let ids = tok.encode("hello hardware");
+/// assert_eq!(tok.decode(&ids), "hello hardware");
+/// ```
+#[derive(Debug, Clone)]
+pub struct Tokenizer {
+    vocab_size: usize,
+    /// Digram merge table: (left id, right id) pairs, rank-ordered.
+    merges: Vec<(u32, u32)>,
+}
+
+/// Beginning-of-sequence token id.
+pub const BOS: u32 = 0;
+/// End-of-sequence token id.
+pub const EOS: u32 = 1;
+/// First byte token id (byte `b` is id `BYTE_BASE + b`).
+pub const BYTE_BASE: u32 = 2;
+
+impl Tokenizer {
+    /// Creates a tokenizer whose ids fit in `vocab_size`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vocab_size < 258` (specials + bytes).
+    pub fn new(vocab_size: usize) -> Tokenizer {
+        assert!(vocab_size >= 258, "vocabulary must cover specials + bytes");
+        let n_merges = vocab_size - 258;
+        // Deterministic synthetic merges: pair frequent ASCII letters.
+        let common = b"etaoinshrdlucmfwypvbgkjqxz ";
+        let mut merges = Vec::with_capacity(n_merges);
+        'outer: for &a in common {
+            for &b in common {
+                if merges.len() >= n_merges {
+                    break 'outer;
+                }
+                merges.push((BYTE_BASE + a as u32, BYTE_BASE + b as u32));
+            }
+        }
+        Tokenizer { vocab_size, merges }
+    }
+
+    /// The vocabulary size ids are drawn from.
+    pub fn vocab_size(&self) -> usize {
+        self.vocab_size
+    }
+
+    /// Encodes text to token ids (without BOS/EOS).
+    pub fn encode(&self, text: &str) -> Vec<u32> {
+        let mut ids: Vec<u32> = text.bytes().map(|b| BYTE_BASE + b as u32).collect();
+        // Greedy merge passes in rank order, as BPE applies them.
+        for (rank, &(a, b)) in self.merges.iter().enumerate() {
+            let merged_id = 258 + rank as u32;
+            let mut out = Vec::with_capacity(ids.len());
+            let mut i = 0;
+            while i < ids.len() {
+                if i + 1 < ids.len() && ids[i] == a && ids[i + 1] == b {
+                    out.push(merged_id);
+                    i += 2;
+                } else {
+                    out.push(ids[i]);
+                    i += 1;
+                }
+            }
+            ids = out;
+        }
+        ids
+    }
+
+    /// Decodes token ids back to text (lossy on invalid UTF-8).
+    pub fn decode(&self, ids: &[u32]) -> String {
+        let mut bytes = Vec::with_capacity(ids.len());
+        for &id in ids {
+            self.push_bytes(id, &mut bytes);
+        }
+        String::from_utf8_lossy(&bytes).into_owned()
+    }
+
+    fn push_bytes(&self, id: u32, out: &mut Vec<u8>) {
+        if id == BOS || id == EOS {
+            return;
+        }
+        if id < 258 {
+            out.push((id - BYTE_BASE) as u8);
+            return;
+        }
+        let (a, b) = self.merges[(id - 258) as usize];
+        self.push_bytes(a, out);
+        self.push_bytes(b, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn roundtrip_ascii() {
+        let tok = Tokenizer::new(512);
+        for text in ["hello world", "the rain in spain", "", "a", "zzzz  zzzz"] {
+            assert_eq!(tok.decode(&tok.encode(text)), text);
+        }
+    }
+
+    #[test]
+    fn roundtrip_utf8() {
+        let tok = Tokenizer::new(300);
+        let text = "héllo wörld — 你好";
+        assert_eq!(tok.decode(&tok.encode(text)), text);
+    }
+
+    #[test]
+    fn merges_shorten_common_text() {
+        let small = Tokenizer::new(258); // no merges
+        let big = Tokenizer::new(2048);
+        let text = "the theory of the thing is that the theory theorises";
+        assert!(big.encode(text).len() < small.encode(text).len());
+    }
+
+    #[test]
+    fn ids_stay_in_vocabulary() {
+        let tok = Tokenizer::new(400);
+        for id in tok.encode("some representative text with spaces") {
+            assert!((id as usize) < tok.vocab_size());
+        }
+    }
+
+    #[test]
+    fn specials_decode_to_nothing() {
+        let tok = Tokenizer::new(258);
+        assert_eq!(tok.decode(&[BOS, EOS]), "");
+    }
+
+    #[test]
+    #[should_panic(expected = "must cover specials")]
+    fn tiny_vocab_rejected() {
+        let _ = Tokenizer::new(100);
+    }
+
+    proptest! {
+        #[test]
+        fn roundtrip_arbitrary_strings(text in ".*") {
+            let tok = Tokenizer::new(1024);
+            prop_assert_eq!(tok.decode(&tok.encode(&text)), text);
+        }
+    }
+}

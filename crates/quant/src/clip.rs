@@ -1,0 +1,209 @@
+//! AWQ's second component: per-group weight-clipping search.
+//!
+//! After per-channel scaling, AWQ additionally searches a clipping ratio
+//! per quantization group: shrinking the dynamic range sacrifices the
+//! few largest weights but shrinks the step for everything else, often a
+//! net win. The objective is activation-weighted reconstruction error
+//! (`Σ m_j²·(w_j − ŵ_j)²` with `m_j` the channel's mean activation
+//! magnitude), so salient channels steer the decision.
+
+use crate::group::{GroupQuantConfig, QuantizedTensor};
+use zllm_fp16::F16;
+
+/// Quantizes one tensor with a per-group clip search.
+///
+/// * `values` — the weights (one logical row; groups are consecutive).
+/// * `act_mag` — per-element activation magnitudes (same length), e.g.
+///   the channel magnitudes repeated per group; pass all-ones for a
+///   plain (unweighted) clip search.
+/// * `ratios` — candidate clip ratios; `1.0` (no clipping) should be
+///   included so the search can only improve on round-to-nearest.
+///
+/// # Panics
+///
+/// Panics on length mismatch or an empty ratio list.
+///
+/// # Example
+///
+/// ```
+/// use zllm_quant::clip::quantize_clipped;
+/// use zllm_quant::group::GroupQuantConfig;
+///
+/// let w: Vec<f32> = (0..128).map(|i| if i == 7 { 3.0 } else { (i as f32 * 0.1).sin() * 0.1 }).collect();
+/// let mag = vec![1.0f32; 128];
+/// let q = quantize_clipped(&w, &mag, GroupQuantConfig::w4_g128(), &[1.0, 0.8, 0.6, 0.4]);
+/// assert_eq!(q.len(), 128);
+/// ```
+pub fn quantize_clipped(
+    values: &[f32],
+    act_mag: &[f32],
+    cfg: GroupQuantConfig,
+    ratios: &[f32],
+) -> QuantizedTensor {
+    assert_eq!(
+        values.len(),
+        act_mag.len(),
+        "activation magnitude length mismatch"
+    );
+    assert!(!ratios.is_empty(), "empty clip-ratio list");
+    let gs = cfg.group_size;
+    let levels = cfg.levels() as f32;
+    let max_code = cfg.max_code();
+
+    let mut codes = Vec::with_capacity(values.len());
+    let mut scales = Vec::new();
+    let mut zeros = Vec::new();
+
+    for (group, mags) in values.chunks(gs).zip(act_mag.chunks(gs)) {
+        let (min, max) = group
+            .iter()
+            .fold((f32::INFINITY, f32::NEG_INFINITY), |(lo, hi), &v| {
+                (lo.min(v), hi.max(v))
+            });
+        let (min0, max0) = (min.min(0.0), max.max(0.0));
+
+        let mut best: Option<(f64, F16, u8, Vec<u8>)> = None;
+        // Two-sided search: an outlier usually sits on one side only, so
+        // the two range ends clip independently.
+        for &rmin in ratios {
+            for &rmax in ratios {
+                let (cmin, cmax) = (min0 * rmin, max0 * rmax);
+                let range = cmax - cmin;
+                let scale_f32 = if range > 0.0 { range / levels } else { 1.0 };
+                let scale = F16::from_f32(scale_f32);
+                let s = scale.to_f32().max(f32::MIN_POSITIVE);
+                let zero = (-cmin / s).round().clamp(0.0, levels) as u8;
+                let mut err = 0.0f64;
+                let group_codes: Vec<u8> = group
+                    .iter()
+                    .zip(mags)
+                    .map(|(&v, &m)| {
+                        let q =
+                            ((v / s + zero as f32).round().clamp(0.0, levels) as u8).min(max_code);
+                        let deq = (q as i32 - zero as i32) as f32 * s;
+                        let e = (v - deq) as f64 * m as f64;
+                        err += e * e;
+                        q
+                    })
+                    .collect();
+                match &best {
+                    Some((e, ..)) if *e <= err => {}
+                    _ => best = Some((err, scale, zero, group_codes)),
+                }
+            }
+        }
+        let (_, scale, zero, group_codes) = best.expect("ratio list is non-empty");
+        scales.push(scale);
+        zeros.push(zero);
+        codes.extend(group_codes);
+    }
+
+    QuantizedTensor::from_parts(cfg, codes, scales, zeros)
+}
+
+/// The default ratio grid AWQ-style clip searches use.
+pub fn default_ratios() -> Vec<f32> {
+    (0..=10).map(|i| 1.0 - i as f32 * 0.05).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::group::GroupQuantizer;
+
+    /// A group with one extreme outlier: clipping it shrinks the step for
+    /// the other 127 weights.
+    fn outlier_group() -> Vec<f32> {
+        let mut v: Vec<f32> = (0..128)
+            .map(|i| ((i * 13) % 41) as f32 / 410.0 - 0.05)
+            .collect();
+        v[77] = 2.0;
+        v
+    }
+
+    fn weighted_mse(a: &[f32], b: &[f32], m: &[f32]) -> f64 {
+        a.iter()
+            .zip(b)
+            .zip(m)
+            .map(|((&x, &y), &w)| ((x - y) as f64 * w as f64).powi(2))
+            .sum::<f64>()
+            / a.len() as f64
+    }
+
+    #[test]
+    fn clipping_beats_rtn_when_the_outlier_is_unimportant() {
+        // The AWQ insight in miniature: if activations say the outlier
+        // channel barely matters, clipping its range shrinks the step for
+        // the 127 weights that do matter — a strict weighted-error win.
+        // (With uniform weighting, 4-bit clipping of one extreme outlier
+        // is a wash; `never_worse_than_rtn_when_ratio_one_included`
+        // covers that regime.)
+        let v = outlier_group();
+        let mut mag = vec![1.0f32; 128];
+        mag[77] = 0.01;
+        let cfg = GroupQuantConfig::w4_g128();
+        // The outlier is 40× the bulk range, so the search needs deep
+        // ratios to find the optimum.
+        let ratios = [1.0f32, 0.5, 0.2, 0.1, 0.05];
+        let clipped = quantize_clipped(&v, &mag, cfg, &ratios);
+        let rtn = GroupQuantizer::new(cfg).quantize(&v);
+        let e_clip = weighted_mse(&v, &clipped.dequantize(), &mag);
+        let e_rtn = weighted_mse(&v, &rtn.dequantize(), &mag);
+        assert!(
+            e_clip < e_rtn * 0.5,
+            "clip search {e_clip} should decisively beat RTN {e_rtn}"
+        );
+    }
+
+    #[test]
+    fn ratio_one_matches_rtn_exactly() {
+        let v = outlier_group();
+        let mag = vec![1.0f32; 128];
+        let cfg = GroupQuantConfig::w4_g128();
+        let clipped = quantize_clipped(&v, &mag, cfg, &[1.0]);
+        let rtn = GroupQuantizer::new(cfg).quantize(&v);
+        assert_eq!(clipped.codes(), rtn.codes());
+        assert_eq!(clipped.zeros(), rtn.zeros());
+    }
+
+    #[test]
+    fn activation_weighting_protects_salient_channels() {
+        // With huge activation magnitude on the outlier channel, the
+        // search must not clip it away.
+        let v = outlier_group();
+        let mut mag = vec![1.0f32; 128];
+        mag[77] = 1000.0;
+        let cfg = GroupQuantConfig::w4_g128();
+        let q = quantize_clipped(&v, &mag, cfg, &default_ratios());
+        let deq = q.dequantize();
+        // The outlier must survive nearly intact.
+        assert!(
+            (deq[77] - v[77]).abs() < 0.15,
+            "salient weight clipped: {} vs {}",
+            deq[77],
+            v[77]
+        );
+    }
+
+    #[test]
+    fn never_worse_than_rtn_when_ratio_one_included() {
+        for seed in 0..5u64 {
+            let v: Vec<f32> = (0..256)
+                .map(|i| ((i as u64 * 2654435761 + seed * 97) % 1000) as f32 / 500.0 - 1.0)
+                .collect();
+            let mag = vec![1.0f32; 256];
+            let cfg = GroupQuantConfig::w4_g128();
+            let clipped = quantize_clipped(&v, &mag, cfg, &default_ratios());
+            let rtn = GroupQuantizer::new(cfg).quantize(&v);
+            let e_clip = weighted_mse(&v, &clipped.dequantize(), &mag);
+            let e_rtn = weighted_mse(&v, &rtn.dequantize(), &mag);
+            assert!(e_clip <= e_rtn * 1.0001, "seed {seed}: {e_clip} vs {e_rtn}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty clip-ratio list")]
+    fn empty_ratios_rejected() {
+        let _ = quantize_clipped(&[1.0], &[1.0], GroupQuantConfig::w4_g128(), &[]);
+    }
+}

@@ -1,0 +1,154 @@
+//! Quantization error metrics used by the accuracy experiments.
+
+/// Summary statistics comparing a reconstructed signal against a reference.
+///
+/// # Example
+///
+/// ```
+/// use zllm_quant::error::ErrorStats;
+///
+/// let stats = ErrorStats::between(&[1.0, 2.0, 3.0], &[1.0, 2.1, 2.9]);
+/// assert!(stats.max_abs <= 0.1 + 1e-6);
+/// assert!(stats.sqnr_db > 20.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ErrorStats {
+    /// Largest absolute deviation.
+    pub max_abs: f64,
+    /// Root-mean-square error.
+    pub rmse: f64,
+    /// Signal-to-quantization-noise ratio in decibels
+    /// (`10·log10(‖x‖² / ‖x−x̂‖²)`; infinite for an exact reconstruction).
+    pub sqnr_db: f64,
+    /// Cosine similarity between reference and reconstruction.
+    pub cosine: f64,
+}
+
+impl ErrorStats {
+    /// Computes the statistics between `reference` and `reconstructed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices have different lengths or are empty.
+    pub fn between(reference: &[f32], reconstructed: &[f32]) -> ErrorStats {
+        assert_eq!(reference.len(), reconstructed.len(), "length mismatch");
+        assert!(!reference.is_empty(), "empty input");
+        let n = reference.len() as f64;
+        let mut max_abs = 0.0f64;
+        let mut sq_err = 0.0f64;
+        let mut sq_sig = 0.0f64;
+        let mut dot = 0.0f64;
+        let mut sq_rec = 0.0f64;
+        for (&a, &b) in reference.iter().zip(reconstructed) {
+            let (a, b) = (a as f64, b as f64);
+            let e = a - b;
+            max_abs = max_abs.max(e.abs());
+            sq_err += e * e;
+            sq_sig += a * a;
+            sq_rec += b * b;
+            dot += a * b;
+        }
+        let rmse = (sq_err / n).sqrt();
+        let sqnr_db = if sq_err == 0.0 {
+            f64::INFINITY
+        } else if sq_sig == 0.0 {
+            f64::NEG_INFINITY
+        } else {
+            10.0 * (sq_sig / sq_err).log10()
+        };
+        let cosine = if sq_sig == 0.0 || sq_rec == 0.0 {
+            if sq_sig == sq_rec {
+                1.0
+            } else {
+                0.0
+            }
+        } else {
+            dot / (sq_sig.sqrt() * sq_rec.sqrt())
+        };
+        ErrorStats { max_abs, rmse, sqnr_db, cosine }
+    }
+}
+
+impl std::fmt::Display for ErrorStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "max|e|={:.4e} rmse={:.4e} sqnr={:.1} dB cos={:.6}",
+            self.max_abs, self.rmse, self.sqnr_db, self.cosine
+        )
+    }
+}
+
+/// Mean squared error between two slices.
+///
+/// # Panics
+///
+/// Panics if lengths differ or the slices are empty.
+pub fn mse(a: &[f32], b: &[f32]) -> f64 {
+    assert_eq!(a.len(), b.len(), "length mismatch");
+    assert!(!a.is_empty(), "empty input");
+    a.iter()
+        .zip(b)
+        .map(|(&x, &y)| {
+            let e = (x - y) as f64;
+            e * e
+        })
+        .sum::<f64>()
+        / a.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_reconstruction() {
+        let v = [1.0f32, -2.0, 3.5];
+        let s = ErrorStats::between(&v, &v);
+        assert_eq!(s.max_abs, 0.0);
+        assert_eq!(s.rmse, 0.0);
+        assert!(s.sqnr_db.is_infinite() && s.sqnr_db > 0.0);
+        assert!((s.cosine - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn known_error() {
+        let a = [0.0f32, 0.0, 0.0, 0.0];
+        let b = [1.0f32, 1.0, 1.0, 1.0];
+        let s = ErrorStats::between(&a, &b);
+        assert_eq!(s.max_abs, 1.0);
+        assert_eq!(s.rmse, 1.0);
+        assert!(s.sqnr_db.is_infinite() && s.sqnr_db < 0.0);
+        assert_eq!(mse(&a, &b), 1.0);
+    }
+
+    #[test]
+    fn cosine_of_opposite_vectors() {
+        let a = [1.0f32, 2.0];
+        let b = [-1.0f32, -2.0];
+        let s = ErrorStats::between(&a, &b);
+        assert!((s.cosine + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let s = ErrorStats::between(&[1.0], &[0.9]);
+        assert!(!format!("{s}").is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn length_mismatch_panics() {
+        let _ = ErrorStats::between(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn sqnr_scales_with_noise() {
+        let reference: Vec<f32> = (0..100).map(|i| (i as f32 * 0.1).sin()).collect();
+        let noisy_small: Vec<f32> = reference.iter().map(|v| v + 0.001).collect();
+        let noisy_big: Vec<f32> = reference.iter().map(|v| v + 0.1).collect();
+        let s_small = ErrorStats::between(&reference, &noisy_small);
+        let s_big = ErrorStats::between(&reference, &noisy_big);
+        assert!(s_small.sqnr_db > s_big.sqnr_db + 30.0);
+    }
+}

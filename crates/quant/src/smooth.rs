@@ -1,0 +1,258 @@
+//! SmoothQuant-style W8A8 quantization — the alternative the paper
+//! considered and rejected (§IV-A).
+//!
+//! FlightLLM quantizes both weights and activations to 8 bits with
+//! SmoothQuant, which *migrates* quantization difficulty from activations
+//! to weights: per input channel, activations are divided by
+//! `s_j = act_max_j^α / w_max_j^(1−α)` and the weight column is multiplied
+//! by it, flattening activation outliers. Weights then quantize to
+//! symmetric per-row INT8 and activations to dynamic per-tensor INT8, and
+//! the matmul runs in integers.
+//!
+//! The paper follows AWQ's observation that W4A16 moves **half the bytes**
+//! of W8A8 for comparable accuracy — decoding speed is bytes-bound, so
+//! this is the whole ballgame. This module exists so that trade-off can
+//! be *measured* rather than cited; see the `accuracy_study` example and
+//! the ablation binary.
+
+use crate::error::mse;
+
+/// Configuration of the SmoothQuant-style quantizer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SmoothConfig {
+    /// Migration strength α ∈ [0, 1] (0.5 in the SmoothQuant paper).
+    pub alpha: f32,
+}
+
+impl Default for SmoothConfig {
+    fn default() -> SmoothConfig {
+        SmoothConfig { alpha: 0.5 }
+    }
+}
+
+/// A linear layer quantized W8A8 with smoothed channels.
+#[derive(Debug, Clone)]
+pub struct SmoothQuantizedMatrix {
+    rows: usize,
+    cols: usize,
+    /// Per-input-channel smoothing scales (activations are divided by
+    /// these; they were multiplied into the weights before quantization).
+    smooth: Vec<f32>,
+    /// Per-row symmetric INT8 weight scales.
+    w_scales: Vec<f32>,
+    /// Row-major INT8 weight codes.
+    w_codes: Vec<i8>,
+}
+
+impl SmoothQuantizedMatrix {
+    /// Output rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Input columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Per-channel smoothing scales.
+    pub fn smooth_scales(&self) -> &[f32] {
+        &self.smooth
+    }
+
+    /// Storage bits per weight (8-bit codes + per-row scale).
+    pub fn bits_per_weight(&self) -> f64 {
+        (self.w_codes.len() * 8 + self.w_scales.len() * 32) as f64 / self.w_codes.len() as f64
+    }
+
+    /// W8A8 matrix–vector product: smooth + quantize the activation
+    /// dynamically, integer GEMM, dequantize.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != cols`.
+    pub fn matvec(&self, x: &[f32]) -> Vec<f32> {
+        assert_eq!(x.len(), self.cols, "operand length mismatch");
+        // Smooth the activation: x' = x / s.
+        let xs: Vec<f32> = x.iter().zip(&self.smooth).map(|(&v, &s)| v / s).collect();
+        // Dynamic per-tensor symmetric INT8.
+        let amax = xs.iter().fold(0.0f32, |m, &v| m.max(v.abs()));
+        let x_scale = if amax > 0.0 { amax / 127.0 } else { 1.0 };
+        let xq: Vec<i8> =
+            xs.iter().map(|&v| (v / x_scale).round().clamp(-127.0, 127.0) as i8).collect();
+
+        (0..self.rows)
+            .map(|r| {
+                let row = &self.w_codes[r * self.cols..(r + 1) * self.cols];
+                let acc: i64 = row
+                    .iter()
+                    .zip(&xq)
+                    .map(|(&w, &a)| w as i64 * a as i64)
+                    .sum();
+                acc as f32 * self.w_scales[r] * x_scale
+            })
+            .collect()
+    }
+
+    /// Reconstructs the effective f32 weights (for error analysis):
+    /// `Ŵ[r][j] = code · w_scale_r / s_j`.
+    pub fn dequantize(&self) -> Vec<f32> {
+        let mut out = Vec::with_capacity(self.rows * self.cols);
+        for r in 0..self.rows {
+            for j in 0..self.cols {
+                out.push(
+                    self.w_codes[r * self.cols + j] as f32 * self.w_scales[r] / self.smooth[j],
+                );
+            }
+        }
+        out
+    }
+}
+
+/// Quantizes one linear layer SmoothQuant-style.
+///
+/// * `weights` — row-major `rows × cols`.
+/// * `calib` — calibration activations, row-major `n × cols`.
+///
+/// # Panics
+///
+/// Panics on inconsistent dimensions, empty calibration data, or α
+/// outside `[0, 1]`.
+pub fn quantize_smooth(
+    weights: &[f32],
+    rows: usize,
+    cols: usize,
+    calib: &[f32],
+    config: SmoothConfig,
+) -> SmoothQuantizedMatrix {
+    assert_eq!(weights.len(), rows * cols, "weight dimensions inconsistent");
+    assert!(!calib.is_empty() && calib.len() % cols == 0, "calibration shape mismatch");
+    assert!((0.0..=1.0).contains(&config.alpha), "alpha must be in [0, 1]");
+
+    // Per-channel activation and weight magnitudes.
+    let mut act_max = vec![1e-6f32; cols];
+    for row in calib.chunks(cols) {
+        for (m, &v) in act_max.iter_mut().zip(row) {
+            *m = m.max(v.abs());
+        }
+    }
+    let mut w_max = vec![1e-6f32; cols];
+    for row in weights.chunks(cols) {
+        for (m, &v) in w_max.iter_mut().zip(row) {
+            *m = m.max(v.abs());
+        }
+    }
+    let smooth: Vec<f32> = act_max
+        .iter()
+        .zip(&w_max)
+        .map(|(&a, &w)| (a.powf(config.alpha) / w.powf(1.0 - config.alpha)).clamp(1e-4, 1e4))
+        .collect();
+
+    // Scale weights up by s_j, then per-row symmetric INT8.
+    let mut w_scales = Vec::with_capacity(rows);
+    let mut w_codes = Vec::with_capacity(rows * cols);
+    for row in weights.chunks(cols) {
+        let scaled: Vec<f32> = row.iter().zip(&smooth).map(|(&w, &s)| w * s).collect();
+        let amax = scaled.iter().fold(0.0f32, |m, &v| m.max(v.abs()));
+        let scale = if amax > 0.0 { amax / 127.0 } else { 1.0 };
+        w_scales.push(scale);
+        w_codes.extend(
+            scaled
+                .iter()
+                .map(|&v| (v / scale).round().clamp(-127.0, 127.0) as i8),
+        );
+    }
+
+    SmoothQuantizedMatrix { rows, cols, smooth, w_scales, w_codes }
+}
+
+/// Output MSE of a quantized layer against the exact f32 layer on a
+/// calibration set — the comparison metric of the §IV-A study.
+pub fn output_mse<F>(weights: &[f32], rows: usize, cols: usize, calib: &[f32], matvec: F) -> f64
+where
+    F: Fn(&[f32]) -> Vec<f32>,
+{
+    assert_eq!(weights.len(), rows * cols, "weight dimensions inconsistent");
+    let mut reference = Vec::new();
+    let mut approx = Vec::new();
+    for x in calib.chunks(cols) {
+        for row in weights.chunks(cols) {
+            reference.push(row.iter().zip(x).map(|(a, b)| a * b).sum::<f32>());
+        }
+        approx.extend(matvec(x));
+    }
+    mse(&reference, &approx)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn outlier_case(seed: u64) -> (Vec<f32>, usize, usize, Vec<f32>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (rows, cols) = (16, 64);
+        let weights: Vec<f32> = (0..rows * cols).map(|_| rng.gen_range(-0.5f32..0.5)).collect();
+        // Two activation-outlier channels, the SmoothQuant motivation.
+        let calib: Vec<f32> = (0..8 * cols)
+            .map(|i| {
+                let base = rng.gen_range(-1.0f32..1.0);
+                match i % cols {
+                    7 => base * 40.0,
+                    23 => base * 25.0,
+                    _ => base,
+                }
+            })
+            .collect();
+        (weights, rows, cols, calib)
+    }
+
+    #[test]
+    fn smoothing_beats_no_smoothing_on_outlier_activations() {
+        let (weights, rows, cols, calib) = outlier_case(3);
+        let smoothed = quantize_smooth(&weights, rows, cols, &calib, SmoothConfig { alpha: 0.5 });
+        let unsmoothed = quantize_smooth(&weights, rows, cols, &calib, SmoothConfig { alpha: 0.0 });
+        let err_s = output_mse(&weights, rows, cols, &calib, |x| smoothed.matvec(x));
+        let err_u = output_mse(&weights, rows, cols, &calib, |x| unsmoothed.matvec(x));
+        assert!(
+            err_s < err_u,
+            "smoothed err {err_s} should beat unsmoothed {err_u}"
+        );
+    }
+
+    #[test]
+    fn w8a8_output_is_accurate() {
+        let (weights, rows, cols, calib) = outlier_case(5);
+        let q = quantize_smooth(&weights, rows, cols, &calib, SmoothConfig::default());
+        let err = output_mse(&weights, rows, cols, &calib, |x| q.matvec(x));
+        // Output magnitude is O(1); INT8 keeps MSE small.
+        assert!(err < 1e-2, "W8A8 output MSE {err}");
+    }
+
+    #[test]
+    fn dequantized_weights_track_originals() {
+        let (weights, rows, cols, calib) = outlier_case(7);
+        let q = quantize_smooth(&weights, rows, cols, &calib, SmoothConfig::default());
+        let w_hat = q.dequantize();
+        let err = crate::error::ErrorStats::between(&weights, &w_hat);
+        assert!(err.cosine > 0.999, "weight cosine {err}");
+    }
+
+    #[test]
+    fn bits_per_weight_is_8_plus_scales() {
+        let (weights, rows, cols, calib) = outlier_case(9);
+        let q = quantize_smooth(&weights, rows, cols, &calib, SmoothConfig::default());
+        let bits = q.bits_per_weight();
+        assert!((8.0..9.0).contains(&bits), "bits {bits}");
+        assert_eq!(q.rows(), rows);
+        assert_eq!(q.cols(), cols);
+        assert_eq!(q.smooth_scales().len(), cols);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha must be in [0, 1]")]
+    fn alpha_validated() {
+        let _ = quantize_smooth(&[1.0; 4], 2, 2, &[1.0; 2], SmoothConfig { alpha: 1.5 });
+    }
+}

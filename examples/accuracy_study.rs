@@ -1,0 +1,110 @@
+//! The quantization-accuracy study behind §IV's design choices:
+//!
+//! * **W4A16 AWQ vs round-to-nearest** — activation-aware scaling should
+//!   cut layer output error on salient-channel data;
+//! * **W4A16 vs SmoothQuant-style W8A8** — comparable accuracy at half
+//!   the bytes (hence ~2× the decoding speed on a bandwidth-bound device);
+//! * **KV8 vs KV4 vs exact cache** — end-to-end perplexity on
+//!   self-generated text, the basis for the paper's "KV8 for ≤13B" rule.
+//!
+//! ```text
+//! cargo run --release --example accuracy_study
+//! ```
+
+use zllm::model::eval::{mean_cross_entropy, perplexity, sample_corpus};
+use zllm::model::kv_cache::{KvCacheF32, KvCacheQ8};
+use zllm::model::memory::{weight_roofline_tokens_per_s, WeightPrecision};
+use zllm::model::reference::Decoder;
+use zllm::model::{ModelConfig, ModelWeights};
+use zllm::quant::awq::{quantize_awq, quantize_with_alpha, AwqConfig};
+use zllm::quant::gptq::{quantize_gptq, GptqConfig};
+use zllm::quant::group::GroupQuantConfig;
+use zllm::quant::smooth::{output_mse, quantize_smooth, SmoothConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    // --- Layer-level study on salient-channel data ---
+    let mut rng = StdRng::seed_from_u64(7);
+    let (rows, cols) = (64, 256);
+    let weights: Vec<f32> = (0..rows * cols).map(|_| rng.gen_range(-0.5f32..0.5)).collect();
+    let calib: Vec<f32> = (0..32 * cols)
+        .map(|i| {
+            let base = rng.gen_range(-1.0f32..1.0);
+            // A few channels carry 30x activations, as real LLMs do.
+            if matches!(i % cols, 11 | 97 | 200) {
+                base * 30.0
+            } else {
+                base
+            }
+        })
+        .collect();
+
+    let group = GroupQuantConfig::w4_g128();
+    let awq = quantize_awq(&weights, rows, cols, &calib, &AwqConfig { quant: group, ..AwqConfig::default() });
+    let rtn = quantize_with_alpha(&weights, rows, cols, &vec![1.0; cols], 0.0, group);
+    let sq = quantize_smooth(&weights, rows, cols, &calib, SmoothConfig::default());
+
+    let err_awq = output_mse(&weights, rows, cols, &calib, |x| {
+        let xs = awq.scale_input(x);
+        awq.rows_q()
+            .iter()
+            .map(|r| r.dequantize().iter().zip(&xs).map(|(a, b)| a * b).sum())
+            .collect()
+    });
+    let err_rtn = output_mse(&weights, rows, cols, &calib, |x| {
+        rtn.rows_q()
+            .iter()
+            .map(|r| r.dequantize().iter().zip(x).map(|(a, b)| a * b).sum())
+            .collect()
+    });
+    let err_sq = output_mse(&weights, rows, cols, &calib, |x| sq.matvec(x));
+    let gptq = quantize_gptq(&weights, rows, cols, &calib, GptqConfig::default());
+    let gptq_w = gptq.dequantize();
+    let err_gptq = output_mse(&weights, rows, cols, &calib, |x| {
+        gptq_w
+            .chunks(cols)
+            .map(|r| r.iter().zip(x).map(|(a, b)| a * b).sum())
+            .collect()
+    });
+
+    println!("Layer output MSE on salient-channel calibration data:\n");
+    println!("  W4A16 round-to-nearest:   {err_rtn:.3e}");
+    println!("  W4A16 AWQ (α={:.1}):        {err_awq:.3e}", awq.alpha());
+    println!("  W4A16 GPTQ:               {err_gptq:.3e}");
+    println!("  W8A8 SmoothQuant-style:   {err_sq:.3e}");
+
+    let cfg7b = ModelConfig::llama2_7b();
+    let speed_w4 = weight_roofline_tokens_per_s(&cfg7b, WeightPrecision::W4G128, 19.2);
+    let speed_w8 = weight_roofline_tokens_per_s(&cfg7b, WeightPrecision::W8, 19.2);
+    println!("\nBandwidth-bound decoding rooflines (LLaMA2-7B @ 19.2 GB/s):");
+    println!("  W4A16: {speed_w4:.1} token/s   W8A8: {speed_w8:.1} token/s");
+    println!(
+        "  → W4A16 decodes {:.2}x faster; AWQ recovers most of the 4-bit\n    accuracy loss — the paper's §IV-A argument.",
+        speed_w4 / speed_w8
+    );
+
+    // --- End-to-end KV-cache precision study ---
+    println!("\nKV-cache precision: perplexity on reference-model text (test model):\n");
+    let cfg = ModelConfig::test_small();
+    let w = ModelWeights::generate(&cfg, 19);
+    let corpus = sample_corpus(&w, 5, 40);
+
+    let exact = {
+        let mut d = Decoder::new(&w, KvCacheF32::new(&cfg));
+        perplexity(mean_cross_entropy(|t| d.forward(t), &corpus))
+    };
+    println!("  exact f32 cache:  perplexity {exact:.2}");
+    for bits in [8u32, 4, 2] {
+        let mut d = Decoder::new(&w, KvCacheQ8::with_bits(&cfg, bits));
+        let ppl = perplexity(mean_cross_entropy(|t| d.forward(t), &corpus));
+        println!(
+            "  KV{bits} cache:        perplexity {ppl:.2}  ({:+.1}% vs exact)",
+            (ppl / exact - 1.0) * 100.0
+        );
+    }
+    println!("\nKV8 is indistinguishable from the exact cache while halving bytes");
+    println!("vs FP16. On this tiny synthetic model KV4 sits within noise, but the");
+    println!("KV2 collapse shows the cliff the paper's 'KV8 for ≤13B models' rule");
+    println!("(§IV-B) stays safely away from on real checkpoints.");
+}

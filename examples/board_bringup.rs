@@ -1,0 +1,56 @@
+//! A simulated board bring-up session: SD-card boot, region verification,
+//! AXI-Lite command flow, then a measured decode — the §VII-A workflow
+//! end to end.
+//!
+//! ```text
+//! cargo run --release --example board_bringup
+//! ```
+
+use zllm::accel::baremetal::{boot, AxiLiteRegs, SdCard};
+use zllm::accel::image::ModelImage;
+use zllm::accel::{AccelConfig, DecodeEngine};
+use zllm::layout::weight::WeightFormat;
+use zllm::model::ModelConfig;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Place the 7B image in the 4 GB map and "boot" the board.
+    let model = ModelConfig::llama2_7b();
+    let image = ModelImage::build(&model, WeightFormat::kv260(), 1024)?;
+    let report = boot(&image, SdCard::uhs_i());
+    for line in &report.console {
+        println!("[uart] {line}");
+    }
+    println!(
+        "[host] image: {} regions, {:.1} MiB, checksums verified",
+        report.regions.len(),
+        report.total_bytes() as f64 / (1u64 << 20) as f64
+    );
+
+    // 2. The PS drives decode steps over AXI-Lite.
+    let mut regs = AxiLiteRegs::new();
+    let mut engine = DecodeEngine::new(AccelConfig::kv260(), &model, 1024)?;
+    let prompt_tokens = [1u32, 15043, 3186]; // "<s> Hello world"-shaped ids
+    println!("\n[host] issuing {} decode steps:", prompt_tokens.len() + 3);
+    let mut total_ns = 0.0;
+    for (step, &tok) in prompt_tokens.iter().chain([29991u32, 13, 2].iter()).enumerate() {
+        regs.write_token_index(tok);
+        regs.write_context_len(step as u32);
+        let (token, ctx) = regs.pulse_start();
+        let r = engine.decode_token(ctx as usize);
+        total_ns += r.wall_ns;
+        println!(
+            "[host]   step {step}: token {token} @ ctx {ctx} → {:.1} ms ({:.2} token/s, {:.1}% util)",
+            r.wall_ns / 1e6,
+            r.tokens_per_s,
+            r.bandwidth_util * 100.0
+        );
+    }
+    println!(
+        "\n[host] session: {} steps in {:.2} s wall ({:.2} token/s sustained)",
+        regs.start_count(),
+        total_ns / 1e9,
+        regs.start_count() as f64 * 1e9 / total_ns
+    );
+    println!("[host] paper reference: ~4.9 token/s sustained, 84.5% utilization");
+    Ok(())
+}

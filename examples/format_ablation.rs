@@ -1,0 +1,64 @@
+//! Weight-format design-space sweep: how group size and metadata layout
+//! trade quantization accuracy against bandwidth overhead — the design
+//! choices behind Fig. 4A, explored beyond the paper's single point.
+//!
+//! ```text
+//! cargo run --release --example format_ablation
+//! ```
+
+use zllm::ddr::MemorySystem;
+use zllm::layout::weight::{fetch_stream, LayoutScheme, WeightFormat};
+use zllm::quant::error::ErrorStats;
+use zllm::quant::group::{GroupQuantConfig, GroupQuantizer};
+
+fn main() {
+    // Accuracy side: quantization error versus group size on a
+    // weight-like tensor.
+    let weights: Vec<f32> = (0..65536)
+        .map(|i| {
+            let x = i as f32 * 0.1;
+            (x.sin() + (x * 0.13).cos() * 0.3) * 0.05
+        })
+        .collect();
+
+    println!("Group-size sweep (W4), quantization error vs metadata overhead:\n");
+    println!(
+        "{:>6} {:>12} {:>12} {:>14} {:>16}",
+        "group", "sqnr (dB)", "max |err|", "bits/weight", "on-chip buffer"
+    );
+    for group in [32usize, 64, 128, 256, 512] {
+        let q = GroupQuantizer::new(GroupQuantConfig::new(group, 4)).quantize(&weights);
+        let stats = ErrorStats::between(&weights, &q.dequantize());
+        let bits = q.storage_bits() as f64 / weights.len() as f64;
+        let fmt = WeightFormat::new(512, 4, group.max(128));
+        println!(
+            "{group:>6} {:>12.1} {:>12.2e} {:>14.4} {:>13} B",
+            stats.sqnr_db,
+            stats.max_abs,
+            bits,
+            fmt.on_chip_metadata_bytes()
+        );
+    }
+    println!("\nSmaller groups quantize better but cost more metadata; the paper's");
+    println!("128 matches one 512-bit beat per group — zero marshalling on-chip.");
+
+    // Bandwidth side: the three layouts priced at several layer sizes.
+    println!("\nLayout ablation across layer sizes (DDR4-2400 model):\n");
+    println!(
+        "{:>14} {:>17} {:>17} {:>17}",
+        "layer weights", "interleaved", "split-regions", "per-group"
+    );
+    let fmt = WeightFormat::kv260();
+    for mweights in [1usize, 4, 16, 45] {
+        let n = mweights * 1_000_000;
+        let mut cells = Vec::new();
+        for scheme in LayoutScheme::ALL {
+            let mut mem = MemorySystem::kv260();
+            let report = mem.transfer(&fetch_stream(scheme, &fmt, n, 0x8000_0000));
+            cells.push(format!("{:>6.2} GB/s {:>4.0}%", report.bandwidth_gbps, report.efficiency * 100.0));
+        }
+        println!("{:>13}M {:>17} {:>17} {:>17}", mweights, cells[0], cells[1], cells[2]);
+    }
+    println!("\nThe interleaved format holds its efficiency at every scale; per-group");
+    println!("metadata fetches collapse bandwidth by an order of magnitude.");
+}

@@ -1,0 +1,50 @@
+//! `zllm` — a Rust reproduction of *"Pushing up to the Limit of Memory
+//! Bandwidth and Capacity Utilization for Efficient LLM Decoding on
+//! Embedded FPGA"* (DATE 2025).
+//!
+//! The paper deploys LLaMA2-7B on a Kria KV260 (4 GB DDR4, 19.2 GB/s) in a
+//! bare-metal environment, reaching ~5 token/s at ~85 % of the bandwidth
+//! roofline. This workspace rebuilds the whole system as a simulation
+//! suite:
+//!
+//! * [`fp16`] — software binary16 + the RoPE sine ROM and 128-lane dot
+//!   engine numerics;
+//! * [`quant`] — AWQ-style W4A16 group quantization and KV8;
+//! * [`layout`] — the interleaved weight arrangement, KV scale-zero
+//!   packing FIFO and the bare-metal 4 GB address map;
+//! * [`ddr`] — a command-level DDR4-2400 + AXI model;
+//! * [`model`] — LLaMA-family configs, synthetic weights, f32 reference
+//!   decoder, tokenizer and samplers;
+//! * [`accel`] — the accelerator itself: MCU/VPU/SPU, the fused pipeline,
+//!   the trace-driven performance engine and a functional FP16 decoder;
+//! * [`baselines`] — platforms and published results behind the
+//!   comparison tables.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use zllm::accel::{AccelConfig, DecodeEngine};
+//! use zllm::model::ModelConfig;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut engine = DecodeEngine::new(AccelConfig::kv260(), &ModelConfig::test_small(), 32)?;
+//! let report = engine.decode_token(8);
+//! println!("{:.1} token/s at {:.1}% of the roofline",
+//!          report.tokens_per_s, report.bandwidth_util * 100.0);
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! See `DESIGN.md` for the system inventory and per-experiment index, and
+//! `EXPERIMENTS.md` for paper-vs-measured results. The table/figure
+//! regeneration binaries live in `crates/bench/src/bin/`.
+
+#![forbid(unsafe_code)]
+
+pub use zllm_accel as accel;
+pub use zllm_baselines as baselines;
+pub use zllm_ddr as ddr;
+pub use zllm_fp16 as fp16;
+pub use zllm_layout as layout;
+pub use zllm_model as model;
+pub use zllm_quant as quant;

@@ -1,0 +1,79 @@
+//! Fig. 1 / §VII-A capacity integration tests: the bare-metal memory map
+//! assembled from model geometry, quantization and the layout formats.
+
+use zllm::accel::image::ModelImage;
+use zllm::layout::weight::WeightFormat;
+use zllm::model::memory::{kv8_cache_bytes, resident_weight_bytes, WeightPrecision, MIB};
+use zllm::model::ModelConfig;
+
+#[test]
+fn llama2_7b_occupancy_matches_paper() {
+    let cfg = ModelConfig::llama2_7b();
+    let image = ModelImage::build(&cfg, WeightFormat::kv260(), 1024).expect("must fit");
+    // Paper: 93.3% occupied. Our first-principles map lands within 2 pts.
+    assert!(
+        (image.occupancy() - 0.933).abs() < 0.02,
+        "occupancy {:.4}",
+        image.occupancy()
+    );
+    assert!(!image.linux_bootable());
+    assert!(image.map().check_invariants());
+}
+
+#[test]
+fn figure1_component_sizes() {
+    let cfg = ModelConfig::llama2_7b();
+    // Weights: paper annotates 3556 MB.
+    let weights = resident_weight_bytes(&cfg, WeightPrecision::W4G128) / MIB;
+    assert!((weights - 3556.0).abs() / 3556.0 < 0.02, "weights {weights:.0} MiB");
+    // KV cache: paper annotates 264 MB for 1024 tokens.
+    let kv = kv8_cache_bytes(&cfg, 1024) / MIB;
+    assert!((kv - 264.0).abs() < 2.0, "kv {kv:.0} MiB");
+}
+
+#[test]
+fn context_capacity_is_the_binding_constraint() {
+    let cfg = ModelConfig::llama2_7b();
+    // 1024 tokens fit (the paper's budget)…
+    assert!(ModelImage::build(&cfg, WeightFormat::kv260(), 1024).is_ok());
+    // …and there is a ceiling not far beyond (the capacity truly is
+    // nearly exhausted).
+    assert!(ModelImage::build(&cfg, WeightFormat::kv260(), 8192).is_err());
+}
+
+#[test]
+fn weight_format_padding_is_negligible_at_7b() {
+    let cfg = ModelConfig::llama2_7b();
+    let image = ModelImage::build(&cfg, WeightFormat::kv260(), 1024).expect("fits");
+    let stream = image.weight_stream_bytes() as f64;
+    // Pure codes+metadata, no per-projection padding:
+    let ideal: f64 = image
+        .projections()
+        .iter()
+        .map(|p| p.n_weights() as f64 * 4.15625 / 8.0)
+        .sum();
+    assert!(
+        stream / ideal < 1.002,
+        "superblock padding should cost <0.2%: {} vs {}",
+        stream,
+        ideal
+    );
+}
+
+#[test]
+fn every_projection_is_beat_aligned_and_disjoint() {
+    let cfg = ModelConfig::test_small();
+    let image = ModelImage::build(&cfg, WeightFormat::kv260(), 32).expect("fits");
+    let mut regions: Vec<(u64, u64)> = image
+        .projections()
+        .iter()
+        .map(|p| (p.addr, p.addr + p.beats * 64))
+        .collect();
+    regions.sort();
+    for pair in regions.windows(2) {
+        assert!(pair[0].1 <= pair[1].0, "projection regions overlap");
+    }
+    for (start, _) in &regions {
+        assert_eq!(start % 64, 0, "projection not beat-aligned");
+    }
+}

@@ -1,0 +1,109 @@
+//! Consistency checks between the independent views of the system: the
+//! analytic byte accounting (`zllm-model::memory`), the placed DDR image,
+//! the per-token schedule, and the priced simulation.
+
+use zllm::accel::config::PipelineMode;
+use zllm::accel::image::ModelImage;
+use zllm::accel::pipeline::softmax_hides;
+use zllm::accel::schedule::token_schedule;
+use zllm::accel::{AccelConfig, DecodeEngine};
+use zllm::layout::weight::WeightFormat;
+use zllm::model::memory::{
+    decode_bytes_per_token, kv8_cache_bytes, streamed_weight_bytes, WeightPrecision,
+};
+use zllm::model::ModelConfig;
+
+/// The schedule's total bytes must agree with the analytic
+/// bytes-per-token model to within format padding and beat alignment.
+#[test]
+fn schedule_bytes_agree_with_analytic_model() {
+    for cfg in [ModelConfig::test_small(), ModelConfig::llama2_7b()] {
+        let ctx = 16;
+        let image = ModelImage::build(&cfg, WeightFormat::kv260(), 64).expect("fits");
+        let sched = token_schedule(&image, ctx, PipelineMode::Fused);
+        let analytic = decode_bytes_per_token(&cfg, WeightPrecision::W4G128, ctx);
+        let simulated = sched.total_bytes() as f64;
+        let rel = (simulated - analytic).abs() / analytic;
+        assert!(
+            rel < 0.12,
+            "{}: schedule {simulated} vs analytic {analytic} ({:.1}% apart)",
+            cfg.name,
+            rel * 100.0
+        );
+    }
+}
+
+/// KV traffic in the schedule grows exactly linearly with context.
+#[test]
+fn kv_traffic_is_linear_in_context() {
+    let cfg = ModelConfig::test_small();
+    let image = ModelImage::build(&cfg, WeightFormat::kv260(), 64).expect("fits");
+    let bytes = |ctx| token_schedule(&image, ctx, PipelineMode::Fused).total_bytes() as i64;
+    let d1 = bytes(20) - bytes(10);
+    let d2 = bytes(30) - bytes(20);
+    assert_eq!(d1, d2, "KV growth must be linear");
+    // And the slope equals the per-token KV read footprint (both K and V,
+    // beat-aligned).
+    let per_token = 2 * cfg.n_layers as i64 * image.kv_token_bytes() as i64;
+    assert_eq!(d1, 10 * per_token);
+}
+
+/// The weight-stream bytes in the image match the analytic streamed
+/// weight footprint.
+#[test]
+fn image_weight_bytes_match_memory_model() {
+    let cfg = ModelConfig::llama2_7b();
+    let image = ModelImage::build(&cfg, WeightFormat::kv260(), 1024).expect("fits");
+    let image_bytes = image.weight_stream_bytes() as f64;
+    // Analytic model minus the FP16 embedding row it includes.
+    let analytic =
+        streamed_weight_bytes(&cfg, WeightPrecision::W4G128) - (cfg.d_model * 2) as f64;
+    let rel = (image_bytes - analytic).abs() / analytic;
+    assert!(rel < 0.005, "image {image_bytes} vs analytic {analytic}");
+}
+
+/// The KV region reservation covers exactly what the cache model says
+/// 1024 tokens need (codes; metadata lives in its own region).
+#[test]
+fn kv_reservation_matches_cache_model() {
+    let cfg = ModelConfig::llama2_7b();
+    let image = ModelImage::build(&cfg, WeightFormat::kv260(), 1024).expect("fits");
+    let reserved: u64 = (0..cfg.n_layers)
+        .flat_map(|l| {
+            [
+                image.kv_read_burst(l, false, 1024).bytes(),
+                image.kv_read_burst(l, true, 1024).bytes(),
+            ]
+        })
+        .sum();
+    let analytic = kv8_cache_bytes(&cfg, 1024);
+    // Code regions only: analytic includes the 4-byte packs (~3%).
+    let rel = (reserved as f64 - analytic).abs() / analytic;
+    assert!(rel < 0.05, "reserved {reserved} vs analytic {analytic}");
+}
+
+/// The paper's design point obeys the softmax-hiding inequality for every
+/// context its capacity supports, and the schedule relies on it.
+#[test]
+fn softmax_hiding_holds_across_supported_contexts() {
+    let cfg = ModelConfig::llama2_7b();
+    for ctx in [0usize, 128, 512, 1023] {
+        assert!(softmax_hides(&cfg, ctx, 128), "violated at ctx {ctx}");
+    }
+}
+
+/// Priced simulation stays between the hard roofline and zero, and the
+/// wall time is never shorter than either domain's lower bound.
+#[test]
+fn simulation_respects_physical_bounds() {
+    let mut engine =
+        DecodeEngine::new(AccelConfig::kv260(), &ModelConfig::test_small(), 32).expect("fits");
+    for ctx in [0usize, 8, 31] {
+        let r = engine.decode_token(ctx);
+        let pl_lower_bound_ns = r.vpu_cycles as f64 * 1e3 / 300.0;
+        assert!(r.wall_ns >= pl_lower_bound_ns * 0.999, "wall below PL bound at ctx {ctx}");
+        assert!(r.wall_ns >= r.mem_ns * 0.999, "wall below DDR time at ctx {ctx}");
+        let bytes_bound_ns = r.bytes as f64 / 19.2;
+        assert!(r.wall_ns >= bytes_bound_ns * 0.999, "faster than the bus at ctx {ctx}");
+    }
+}

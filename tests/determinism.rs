@@ -1,0 +1,61 @@
+//! Whole-stack determinism: identical inputs must give bit-identical
+//! outputs across independent runs — the property that makes every
+//! experiment in `EXPERIMENTS.md` reproducible.
+
+use zllm::accel::converter::{convert, PtqMethod};
+use zllm::accel::{AccelConfig, AccelDecoder, DecodeEngine};
+use zllm::model::calibration::capture;
+use zllm::model::generate::{generate, GenerateOptions, Sampling};
+use zllm::model::{ModelConfig, ModelWeights};
+use zllm::quant::group::GroupQuantConfig;
+
+#[test]
+fn trace_engine_runs_are_bit_identical() {
+    let run = || {
+        let mut engine =
+            DecodeEngine::new(AccelConfig::kv260(), &ModelConfig::test_small(), 32)
+                .expect("fits");
+        let r = engine.decode_run(0, 6);
+        (
+            r.tokens_per_s.to_bits(),
+            r.steps.iter().map(|s| s.wall_ns.to_bits()).collect::<Vec<_>>(),
+        )
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn converter_outputs_are_bit_identical() {
+    let cfg = ModelConfig::test_small();
+    let w = ModelWeights::generate(&cfg, 55);
+    let calib_tokens = [3usize, 9, 27, 81];
+    let run = |method| {
+        let calib = capture(&w, &calib_tokens);
+        let qm = convert(&w, &calib, GroupQuantConfig::w4_g128(), method);
+        let mut dec = AccelDecoder::new(&qm);
+        dec.prefill(&[1, 2, 3])
+            .iter()
+            .map(|v| v.to_bits())
+            .collect::<Vec<_>>()
+    };
+    for method in [PtqMethod::Rtn, PtqMethod::Awq, PtqMethod::Gptq] {
+        assert_eq!(run(method), run(method), "{method} is nondeterministic");
+    }
+}
+
+#[test]
+fn full_generation_pipeline_is_deterministic() {
+    let cfg = ModelConfig::test_small();
+    let w = ModelWeights::generate(&cfg, 21);
+    let calib = capture(&w, &[5, 6, 7]);
+    let qm = convert(&w, &calib, GroupQuantConfig::w4_g128(), PtqMethod::Awq);
+    let run = || {
+        let mut dec = AccelDecoder::new(&qm);
+        generate(|t| dec.forward(t), &[10, 11], &GenerateOptions {
+            max_tokens: 8,
+            sampling: Sampling::TopK { k: 4, temperature: 0.8, seed: 99 },
+            stop_token: None,
+        })
+    };
+    assert_eq!(run(), run());
+}

@@ -1,0 +1,135 @@
+//! Experiment-level integration tests: every table and figure's
+//! qualitative claims, checked end-to-end through the simulation stack.
+
+use zllm::accel::{AccelConfig, DecodeEngine};
+use zllm::baselines::{table2_rows, table3_rows, OursResult};
+use zllm::ddr::MemorySystem;
+use zllm::layout::weight::{fetch_stream, LayoutScheme, WeightFormat};
+use zllm::model::ModelConfig;
+
+/// Table II/§VII-C: the simulated KV260 lands in the paper's ballpark —
+/// roofline ~5.8 token/s, measured speed near 5, utilization in the
+/// mid-80s or better, and beating every prior FPGA row on utilization.
+#[test]
+fn table2_shape_holds_with_simulated_ours() {
+    let mut engine = DecodeEngine::new(AccelConfig::kv260(), &ModelConfig::llama2_7b(), 1024)
+        .expect("7B fits");
+    assert!(
+        (5.6..6.0).contains(&engine.roofline_tokens_per_s()),
+        "roofline {} should be ~5.8",
+        engine.roofline_tokens_per_s()
+    );
+    let report = engine.decode_token(512);
+    assert!(
+        (4.5..5.6).contains(&report.tokens_per_s),
+        "simulated {} token/s should be near the paper's 4.9",
+        report.tokens_per_s
+    );
+    assert!(
+        (0.80..0.95).contains(&report.bandwidth_util),
+        "utilization {} should be in the mid-80s",
+        report.bandwidth_util
+    );
+
+    let rows = table2_rows(OursResult { tokens_per_s: report.tokens_per_s });
+    let ours = rows.last().expect("ours row");
+    for row in &rows[..rows.len() - 1] {
+        assert!(
+            ours.utilization > row.utilization,
+            "{} at {:.1}% should trail ours at {:.1}%",
+            row.name,
+            row.utilization * 100.0,
+            ours.utilization * 100.0
+        );
+    }
+}
+
+/// Table III: same, against the embedded CPU/GPU frameworks; the Orin
+/// Nano + NanoLLM is the closest competitor.
+#[test]
+fn table3_shape_holds_with_simulated_ours() {
+    let mut engine = DecodeEngine::new(AccelConfig::kv260(), &ModelConfig::llama2_7b(), 1024)
+        .expect("7B fits");
+    let report = engine.decode_token(256);
+    let rows = table3_rows(OursResult { tokens_per_s: report.tokens_per_s });
+    let ours = rows.last().expect("ours row");
+    let mut best_other = 0.0f64;
+    for row in &rows[..rows.len() - 1] {
+        best_other = best_other.max(row.utilization);
+        assert!(ours.utilization > row.utilization);
+    }
+    // Closest competitor within ~15 points, as in the paper (79.2 vs 84.5).
+    assert!(
+        ours.utilization - best_other < 0.15,
+        "gap to best competitor implausibly large: {:.3} vs {best_other:.3}",
+        ours.utilization
+    );
+}
+
+/// Fig. 3's ablation at full model scale: fusing buys more as the context
+/// grows, and the fused design stays ahead everywhere.
+#[test]
+fn fused_pipeline_beats_coarse_at_scale() {
+    let model = ModelConfig::llama2_7b();
+    let mut fused = DecodeEngine::new(AccelConfig::kv260(), &model, 1024).expect("fits");
+    let mut coarse = DecodeEngine::new(AccelConfig::kv260_coarse(), &model, 1024).expect("fits");
+    let mut last_gap = 0.0f64;
+    for ctx in [0usize, 512, 1023] {
+        let rf = fused.decode_token(ctx);
+        let rc = coarse.decode_token(ctx);
+        let gap = rf.tokens_per_s / rc.tokens_per_s - 1.0;
+        assert!(gap > 0.0, "ctx {ctx}: fused must win, gap {gap}");
+        assert!(gap >= last_gap - 1e-6, "gap should not shrink with context");
+        last_gap = gap;
+    }
+}
+
+/// Fig. 4A's ablation: interleaved ≥ split-regions ≫ per-group fetch on
+/// the DDR model.
+#[test]
+fn layout_ablation_ordering() {
+    let fmt = WeightFormat::kv260();
+    let n = 4096 * 4096;
+    let eff = |scheme| {
+        let mut mem = MemorySystem::kv260();
+        mem.transfer(&fetch_stream(scheme, &fmt, n, 0x8000_0000)).efficiency
+    };
+    let inter = eff(LayoutScheme::Interleaved);
+    let split = eff(LayoutScheme::SplitRegions);
+    let pergroup = eff(LayoutScheme::PerGroupFetch);
+    assert!(inter >= split, "interleaved {inter} vs split {split}");
+    assert!(split > 4.0 * pergroup, "split {split} vs per-group {pergroup}");
+    assert!(inter > 0.9, "interleaved must run near peak, got {inter}");
+}
+
+/// Bandwidth-bound invariant: slowing the memory (fewer lookahead slots)
+/// slows decoding; adding compute (more lanes) does not speed it up.
+#[test]
+fn decode_is_bandwidth_bound() {
+    let model = ModelConfig::llama2_7b();
+    let base = DecodeEngine::new(AccelConfig::kv260(), &model, 1024)
+        .expect("fits")
+        .decode_token(256)
+        .tokens_per_s;
+
+    let mut crippled_mem = AccelConfig::kv260();
+    crippled_mem.mem_lookahead = 1;
+    let slow = DecodeEngine::new(crippled_mem, &model, 1024)
+        .expect("fits")
+        .decode_token(256)
+        .tokens_per_s;
+    assert!(slow <= base * 1.001, "lookahead-1 {slow} should not beat base {base}");
+
+    let mut more_compute = AccelConfig::kv260();
+    more_compute.lanes = 256;
+    let same = DecodeEngine::new(more_compute, &model, 1024)
+        .expect("fits")
+        .decode_token(256)
+        .tokens_per_s;
+    // Doubling compute cannot help a bandwidth-bound workload by more
+    // than the bubble term.
+    assert!(
+        (same - base).abs() / base < 0.02,
+        "256 lanes {same} vs 128 lanes {base}: decode should be memory-bound"
+    );
+}
