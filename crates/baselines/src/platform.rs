@@ -26,20 +26,35 @@ pub struct Platform {
 }
 
 /// Xilinx Alveo U280 (460 GB/s HBM2).
-pub const U280: Platform =
-    Platform { name: "U280", bandwidth_gbps: 460.0, class: PlatformClass::CloudFpgaHbm };
+pub const U280: Platform = Platform {
+    name: "U280",
+    bandwidth_gbps: 460.0,
+    class: PlatformClass::CloudFpgaHbm,
+};
 /// Pynq-Z2 (16-bit DDR3-533: ~2.1 GB/s).
-pub const PYNQ_Z2: Platform =
-    Platform { name: "PYNQ", bandwidth_gbps: 2.1, class: PlatformClass::EdgeFpgaDdr };
+pub const PYNQ_Z2: Platform = Platform {
+    name: "PYNQ",
+    bandwidth_gbps: 2.1,
+    class: PlatformClass::EdgeFpgaDdr,
+};
 /// ZCU102 (64-bit DDR4-2666: ~21.3 GB/s).
-pub const ZCU102: Platform =
-    Platform { name: "ZCU102", bandwidth_gbps: 21.3, class: PlatformClass::EdgeFpgaDdr };
+pub const ZCU102: Platform = Platform {
+    name: "ZCU102",
+    bandwidth_gbps: 21.3,
+    class: PlatformClass::EdgeFpgaDdr,
+};
 /// Kria KV260 (64-bit DDR4-2400: 19.2 GB/s).
-pub const KV260: Platform =
-    Platform { name: "KV260", bandwidth_gbps: 19.2, class: PlatformClass::EdgeFpgaDdr };
+pub const KV260: Platform = Platform {
+    name: "KV260",
+    bandwidth_gbps: 19.2,
+    class: PlatformClass::EdgeFpgaDdr,
+};
 /// Raspberry Pi 4B 8 GB (32-bit LPDDR4-3200: 12.8 GB/s).
-pub const PI_4B: Platform =
-    Platform { name: "Pi-4B 8GB", bandwidth_gbps: 12.8, class: PlatformClass::EdgeCpu };
+pub const PI_4B: Platform = Platform {
+    name: "Pi-4B 8GB",
+    bandwidth_gbps: 12.8,
+    class: PlatformClass::EdgeCpu,
+};
 /// Jetson AGX Orin (256-bit LPDDR5: 204.8 GB/s).
 pub const JETSON_AGX_ORIN: Platform = Platform {
     name: "JetsonAGXOrin",

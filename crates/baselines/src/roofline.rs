@@ -1,9 +1,7 @@
 //! First-principles recomputation of every theoretical column.
 
 use crate::published::{EdgeDeviceRow, FpgaWork};
-use zllm_model::memory::{
-    streamed_weight_bytes, weight_roofline_tokens_per_s, WeightPrecision,
-};
+use zllm_model::memory::{streamed_weight_bytes, weight_roofline_tokens_per_s, WeightPrecision};
 use zllm_model::ModelConfig;
 
 /// Theoretical peak decoding speed of a prior FPGA work: its platform's
@@ -103,7 +101,10 @@ mod tests {
         assert!((0.12..0.18).contains(&u), "SECDA util {u}");
 
         let nano = &edge_device_rows()[4];
-        let u = utilization(nano.reported_tokens_per_s, edge_theoretical_tokens_per_s(nano));
+        let u = utilization(
+            nano.reported_tokens_per_s,
+            edge_theoretical_tokens_per_s(nano),
+        );
         assert!((0.75..0.84).contains(&u), "Orin Nano util {u}");
     }
 

@@ -1,12 +1,10 @@
 //! Assembled comparison tables (the rows of Tables II and III).
 
-use crate::published::{edge_device_rows, fpga_works, ours_reported, Workload};
-use crate::roofline::{
-    edge_theoretical_tokens_per_s, fpga_theoretical_tokens_per_s, utilization,
-};
 use crate::platform;
-use zllm_accel::resources::{estimate, kv260_device};
+use crate::published::{edge_device_rows, fpga_works, ours_reported, Workload};
+use crate::roofline::{edge_theoretical_tokens_per_s, fpga_theoretical_tokens_per_s, utilization};
 use zllm_accel::power::estimate_power;
+use zllm_accel::resources::{estimate, kv260_device};
 use zllm_accel::AccelConfig;
 use zllm_model::memory::{weight_roofline_tokens_per_s, WeightPrecision};
 
@@ -21,7 +19,9 @@ impl OursResult {
     /// Falls back to the paper's reported measurement (for building the
     /// tables without running the trace simulation).
     pub fn paper_reported() -> OursResult {
-        OursResult { tokens_per_s: ours_reported::TOKENS_PER_S }
+        OursResult {
+            tokens_per_s: ours_reported::TOKENS_PER_S,
+        }
     }
 }
 
@@ -200,7 +200,10 @@ mod tests {
         let ours = rows.last().expect("has ours row");
         for name in ["FlightLLM", "EdgeLLM"] {
             let row = rows.iter().find(|r| r.name == name).expect("present");
-            assert!(row.measured > ours.measured, "{name} should be faster in absolute terms");
+            assert!(
+                row.measured > ours.measured,
+                "{name} should be faster in absolute terms"
+            );
         }
     }
 
@@ -247,6 +250,10 @@ mod tests {
         let rows = table2_rows(OursResult::paper_reported());
         let ours = rows.last().expect("has ours row");
         // 4.9 / ~5.8 ≈ 84.5%.
-        assert!((0.80..0.88).contains(&ours.utilization), "util {}", ours.utilization);
+        assert!(
+            (0.80..0.88).contains(&ours.utilization),
+            "util {}",
+            ours.utilization
+        );
     }
 }

@@ -14,8 +14,8 @@ fn bench_trace_7b(c: &mut Criterion) {
         ("llama2_7b_coarse_ctx512", AccelConfig::kv260_coarse()),
     ] {
         g.bench_function(name, |b| {
-            let mut engine = DecodeEngine::new(accel.clone(), &ModelConfig::llama2_7b(), 1024)
-                .expect("7B fits");
+            let mut engine =
+                DecodeEngine::new(accel.clone(), &ModelConfig::llama2_7b(), 1024).expect("7B fits");
             b.iter(|| black_box(engine.decode_token(black_box(512))))
         });
     }

@@ -5,7 +5,9 @@ use zllm_accel::spu::{KvQuantizer, RmsNormUnit, RopeUnit, SoftmaxUnit};
 use zllm_fp16::{rtl, F16};
 
 fn f16v(n: usize) -> Vec<F16> {
-    (0..n).map(|i| F16::from_f32((i as f32 * 0.37).sin())).collect()
+    (0..n)
+        .map(|i| F16::from_f32((i as f32 * 0.37).sin()))
+        .collect()
 }
 
 fn bench_spu(c: &mut Criterion) {

@@ -12,8 +12,7 @@ use zllm_bench::{fmt_pct, print_table};
 use zllm_model::ModelConfig;
 
 fn measure(accel: AccelConfig) -> (f64, f64) {
-    let mut engine =
-        DecodeEngine::new(accel, &ModelConfig::llama2_7b(), 1024).expect("7B fits");
+    let mut engine = DecodeEngine::new(accel, &ModelConfig::llama2_7b(), 1024).expect("7B fits");
     let r = engine.decode_token(512);
     (r.tokens_per_s, r.bandwidth_util)
 }
@@ -34,10 +33,18 @@ fn main() {
             format!("{absorb:.1}"),
             format!("{tps:.2}"),
             fmt_pct(util),
-            if absorb >= 19.2 { "DDR-bound (good)" } else { "PL-bound (starved)" }.to_owned(),
+            if absorb >= 19.2 {
+                "DDR-bound (good)"
+            } else {
+                "PL-bound (starved)"
+            }
+            .to_owned(),
         ]);
     }
-    print_table(&["MHz", "PL absorb GB/s", "token/s", "util", "regime"], &rows);
+    print_table(
+        &["MHz", "PL absorb GB/s", "token/s", "util", "regime"],
+        &rows,
+    );
     println!("Below 300 MHz the 512-bit stream cannot absorb 19.2 GB/s; above it,");
     println!("nothing improves — 300 MHz is the knee (and the timing-closure limit).\n");
 
@@ -48,7 +55,10 @@ fn main() {
         cfg.lanes = lanes;
         let est = zllm_accel::resources::estimate(&cfg);
         let (tps, util) = measure(cfg);
-        let lut_util = est.total.utilization(&zllm_accel::resources::kv260_device()).lut;
+        let lut_util = est
+            .total
+            .utilization(&zllm_accel::resources::kv260_device())
+            .lut;
         rows.push(vec![
             format!("{lanes}"),
             format!("{tps:.2}"),
@@ -102,7 +112,12 @@ fn main() {
         ]);
     }
     print_table(
-        &["prompt tokens", "vector engine (ours)", "matrix engine, 128 MACs", "matrix engine, 1024 MACs"],
+        &[
+            "prompt tokens",
+            "vector engine (ours)",
+            "matrix engine, 128 MACs",
+            "matrix engine, 1024 MACs",
+        ],
         &rows,
     );
     println!("\nWith the KV260's DSP budget a matrix engine barely improves prefill");
@@ -114,8 +129,14 @@ fn main() {
     let mut rows = Vec::new();
     let memories: [(&str, zllm_ddr::DdrConfig); 3] = [
         ("DDR4-2400 (KV260)", zllm_ddr::DdrConfig::ddr4_2400_kv260()),
-        ("DDR4-2666 (ZCU102-class)", zllm_ddr::DdrConfig::ddr4_2666_zcu102()),
-        ("LPDDR5 (Orin-Nano-class)", zllm_ddr::DdrConfig::lpddr5_orin_nano()),
+        (
+            "DDR4-2666 (ZCU102-class)",
+            zllm_ddr::DdrConfig::ddr4_2666_zcu102(),
+        ),
+        (
+            "LPDDR5 (Orin-Nano-class)",
+            zllm_ddr::DdrConfig::lpddr5_orin_nano(),
+        ),
     ];
     for (name, ddr) in memories {
         let peak = ddr.peak_bandwidth_gbps();
@@ -136,7 +157,10 @@ fn main() {
         wide.lanes = ((128.0 * scale).ceil() as usize).next_power_of_two();
         wide.axi.ports = (4.0 * scale).ceil() as u32;
         let est = zllm_accel::resources::estimate(&wide);
-        let lut_util = est.total.utilization(&zllm_accel::resources::kv260_device()).lut;
+        let lut_util = est
+            .total
+            .utilization(&zllm_accel::resources::kv260_device())
+            .lut;
         rows.push(vec![
             name.to_owned(),
             format!("{peak:.1}"),
@@ -146,7 +170,13 @@ fn main() {
         ]);
     }
     print_table(
-        &["memory", "GB/s", "token/s (KV260 PL)", "token/s (scaled PL)", "scaled-PL LUTs vs K26"],
+        &[
+            "memory",
+            "GB/s",
+            "token/s (KV260 PL)",
+            "token/s (scaled PL)",
+            "scaled-PL LUTs vs K26",
+        ],
         &rows,
     );
     println!("\nFaster memory alone buys nothing — the PL must scale with it, and the");
@@ -170,7 +200,12 @@ fn main() {
         ]);
     }
     print_table(
-        &["batch", "ours total tok/s", "ours per-user tok/s", "2048-lane engine total tok/s"],
+        &[
+            "batch",
+            "ours total tok/s",
+            "ours per-user tok/s",
+            "2048-lane engine total tok/s",
+        ],
         &rows,
     );
     println!("\nThe bandwidth-area balanced engine has *no* batching headroom — its");

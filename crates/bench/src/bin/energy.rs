@@ -27,8 +27,8 @@ const EDGE_DEVICE_POWER: [(&str, &str, f64, f64); 5] = [
 fn main() {
     println!("Energy per decoded token (extension to Tables II/III)\n");
 
-    let mut engine = DecodeEngine::new(AccelConfig::kv260(), &ModelConfig::llama2_7b(), 1024)
-        .expect("7B fits");
+    let mut engine =
+        DecodeEngine::new(AccelConfig::kv260(), &ModelConfig::llama2_7b(), 1024).expect("7B fits");
     let ours_tps = engine.decode_run_sampled(1024, 4).tokens_per_s;
     let ours_w = estimate_power(&AccelConfig::kv260()).total();
 
@@ -43,7 +43,10 @@ fn main() {
             w.workload.config().name,
             fmt_num(w.resources.watts, 1),
             fmt_num(w.reported_tokens_per_s, 1),
-            fmt_num(energy_per_token(w.resources.watts, w.reported_tokens_per_s), 2),
+            fmt_num(
+                energy_per_token(w.resources.watts, w.reported_tokens_per_s),
+                2,
+            ),
         ]);
     }
     for (device, framework, watts, tps) in EDGE_DEVICE_POWER {
@@ -66,7 +69,14 @@ fn main() {
     ]);
 
     print_table(
-        &["work/framework", "device", "model", "W", "token/s", "J/token"],
+        &[
+            "work/framework",
+            "device",
+            "model",
+            "W",
+            "token/s",
+            "J/token",
+        ],
         &rows,
     );
 

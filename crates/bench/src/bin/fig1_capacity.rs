@@ -31,14 +31,21 @@ fn main() {
         "  KV cache, 1024 tokens (KV8):       {}",
         fmt_mib(kv8_cache_bytes(&cfg, 1024))
     );
-    println!("  total occupancy:                   {}", fmt_pct(image.occupancy()));
+    println!(
+        "  total occupancy:                   {}",
+        fmt_pct(image.occupancy())
+    );
     println!(
         "  largest free extent:               {}",
         fmt_mib(image.map().largest_free_extent() as f64)
     );
     println!(
         "  Linux bootable in the remainder?   {}",
-        if image.linux_bootable() { "yes" } else { "no (hence bare-metal)" }
+        if image.linux_bootable() {
+            "yes"
+        } else {
+            "no (hence bare-metal)"
+        }
     );
 
     println!("\nAnalytic cross-check (first principles):");

@@ -6,11 +6,8 @@
 //! cargo run --release -p zllm-bench --bin fig2_breakdown
 //! ```
 
-use zllm_accel::config::PipelineMode;
-use zllm_accel::image::ModelImage;
-use zllm_accel::schedule::token_schedule;
+use zllm_accel::{AccelConfig, DecodeEngine};
 use zllm_bench::{fmt_mib, fmt_pct, print_table};
-use zllm_layout::weight::WeightFormat;
 use zllm_model::memory::{streamed_weight_bytes, WeightPrecision};
 use zllm_model::ModelConfig;
 
@@ -25,12 +22,19 @@ fn main() {
     let weight_bytes = streamed_weight_bytes(&cfg, WeightPrecision::W4G128);
     let flops_per_token = 2.0 * (cfg.param_count() as f64 - (cfg.vocab_size * cfg.d_model) as f64);
     println!("Figure 2: prefill vs decode arithmetic intensity (KV260 roofline)\n");
-    println!("  VPU peak: {:.1} GFLOP/s, bandwidth: 19.2 GB/s, ridge: {ridge:.2} FLOP/byte\n", compute_peak_flops / 1e9);
+    println!(
+        "  VPU peak: {:.1} GFLOP/s, bandwidth: 19.2 GB/s, ridge: {ridge:.2} FLOP/byte\n",
+        compute_peak_flops / 1e9
+    );
     let mut rows = Vec::new();
     for batch in [1usize, 2, 4, 8, 16, 64] {
         // `batch` prompt tokens share one weight fetch in prefill.
         let ai = flops_per_token * batch as f64 / weight_bytes;
-        let bound = if ai < ridge { "memory-bound" } else { "compute-bound" };
+        let bound = if ai < ridge {
+            "memory-bound"
+        } else {
+            "compute-bound"
+        };
         let phase = if batch == 1 { "decode" } else { "prefill" };
         rows.push(vec![
             format!("{batch}"),
@@ -42,20 +46,24 @@ fn main() {
     print_table(&["tokens/fetch", "phase", "FLOP/byte", "regime"], &rows);
 
     // --- C: per-layer decode-step breakdown ---
-    let image = ModelImage::build(&cfg, WeightFormat::kv260(), 1024).expect("7B fits");
-    let sched = token_schedule(&image, 512, PipelineMode::Fused);
-    let total = sched.total_bytes() as f64;
+    // Price one decode step and read the per-category byte counters back
+    // out of the engine's metrics registry (`decode.bytes.<category>`).
+    let mut engine = DecodeEngine::new(AccelConfig::kv260(), &cfg, 1024).expect("7B fits");
+    let report = engine.decode_token(512);
+    let snap = engine.metrics_snapshot();
+    let total = report.bytes as f64;
     let category = |needle: &str| -> f64 {
-        sched
-            .ops
-            .iter()
-            .filter(|o| o.label.contains(needle))
-            .map(|o| o.bytes() as f64)
+        snap.entries()
+            .filter(|(name, _, _)| {
+                name.strip_prefix("decode.bytes.")
+                    .is_some_and(|c| c.contains(needle))
+            })
+            .map(|(_, _, v)| v)
             .sum()
     };
-    let qkv = category(".qkv");
-    let wo = category(".wo");
-    let mlp = category(".mlp");
+    let qkv = category("qkv");
+    let wo = category("wo");
+    let mlp = category("mlp");
     let kv_read = category("kv_read");
     let kv_write = category("kv_write");
     let head = category("lm_head");
@@ -66,8 +74,16 @@ fn main() {
             vec!["QKV projections".into(), fmt_mib(qkv), fmt_pct(qkv / total)],
             vec!["output projection".into(), fmt_mib(wo), fmt_pct(wo / total)],
             vec!["MLP projections".into(), fmt_mib(mlp), fmt_pct(mlp / total)],
-            vec!["KV cache reads".into(), fmt_mib(kv_read), fmt_pct(kv_read / total)],
-            vec!["KV cache writes".into(), fmt_mib(kv_write), fmt_pct(kv_write / total)],
+            vec![
+                "KV cache reads".into(),
+                fmt_mib(kv_read),
+                fmt_pct(kv_read / total),
+            ],
+            vec![
+                "KV cache writes".into(),
+                fmt_mib(kv_write),
+                fmt_pct(kv_write / total),
+            ],
             vec!["LM head".into(), fmt_mib(head), fmt_pct(head / total)],
             vec!["total".into(), fmt_mib(total), fmt_pct(1.0)],
         ],

@@ -21,12 +21,14 @@ fn main() {
     // One LLaMA2-7B MLP projection's worth of weights.
     let n_weights = 4096 * 11008;
 
-    println!("Figure 4A: weight data arrangement ablation ({} M weights)\n", n_weights / 1_000_000);
+    println!(
+        "Figure 4A: weight data arrangement ablation ({} M weights)\n",
+        n_weights / 1_000_000
+    );
     let mut rows = Vec::new();
     for scheme in LayoutScheme::ALL {
         let stream = fetch_stream(scheme, &fmt, n_weights, 0x8000_0000);
-        let mean_burst =
-            stream.iter().map(|b| b.beats as f64).sum::<f64>() / stream.len() as f64;
+        let mean_burst = stream.iter().map(|b| b.beats as f64).sum::<f64>() / stream.len() as f64;
         let mut mem = MemorySystem::kv260();
         let report = mem.transfer(&stream);
         let buffer = match scheme {
@@ -44,7 +46,15 @@ fn main() {
         ]);
     }
     print_table(
-        &["scheme", "bursts", "mean beats", "GB/s", "efficiency", "row hits", "on-chip metadata"],
+        &[
+            "scheme",
+            "bursts",
+            "mean beats",
+            "GB/s",
+            "efficiency",
+            "row hits",
+            "on-chip metadata",
+        ],
         &rows,
     );
     println!(
@@ -83,7 +93,13 @@ fn main() {
     let naive_report = mem_naive.transfer(&naive_bursts);
 
     print_table(
-        &["discipline", "DDR writes", "bytes", "time (µs)", "bus efficiency"],
+        &[
+            "discipline",
+            "DDR writes",
+            "bytes",
+            "time (µs)",
+            "bus efficiency",
+        ],
         &[
             vec![
                 "packed FIFO (ours)".into(),

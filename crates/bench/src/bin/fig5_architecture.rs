@@ -24,19 +24,36 @@ fn main() {
     println!("Figure 5: hardware architecture of the accelerator\n");
 
     println!("A) Memory Control Unit");
-    println!("   {} × {}-bit AXI HP ports @ {:.0} MHz → merged {}-bit stream",
-        cfg.axi.ports, cfg.axi.port_bits, cfg.axi.clock_mhz, cfg.axi.ports * cfg.axi.port_bits);
-    println!("   fabric bandwidth {:.1} GB/s = DDR4-2400 peak {:.1} GB/s (balanced)",
-        cfg.axi.bandwidth_gbps(), cfg.ddr.peak_bandwidth_gbps());
-    println!("   demux FSM: superblock = 1 zero beat + {} scale beats + {} weight beats",
-        fmt.scale_beats_per_superblock(), fmt.groups_per_superblock());
+    println!(
+        "   {} × {}-bit AXI HP ports @ {:.0} MHz → merged {}-bit stream",
+        cfg.axi.ports,
+        cfg.axi.port_bits,
+        cfg.axi.clock_mhz,
+        cfg.axi.ports * cfg.axi.port_bits
+    );
+    println!(
+        "   fabric bandwidth {:.1} GB/s = DDR4-2400 peak {:.1} GB/s (balanced)",
+        cfg.axi.bandwidth_gbps(),
+        cfg.ddr.peak_bandwidth_gbps()
+    );
+    println!(
+        "   demux FSM: superblock = 1 zero beat + {} scale beats + {} weight beats",
+        fmt.scale_beats_per_superblock(),
+        fmt.groups_per_superblock()
+    );
     println!("   command generator: AXI-Lite token index → per-token burst schedule\n");
 
     println!("B) Vector Processing Unit");
-    println!("   {} FP16 multipliers (one dequantized {}-bit beat per cycle)",
-        vpu.lanes(), fmt.bus_bits);
-    println!("   adder tree depth {}, FP32 accumulation, pipeline latency {} cycles",
-        128u32.trailing_zeros(), vpu.pipeline_latency());
+    println!(
+        "   {} FP16 multipliers (one dequantized {}-bit beat per cycle)",
+        vpu.lanes(),
+        fmt.bus_bits
+    );
+    println!(
+        "   adder tree depth {}, FP32 accumulation, pipeline latency {} cycles",
+        128u32.trailing_zeros(),
+        vpu.pipeline_latency()
+    );
     println!("   dequantizer: (q − z)·s per lane from the interleaved metadata\n");
 
     println!("C) Scalar Processing Unit submodules");
@@ -50,15 +67,21 @@ fn main() {
         &[
             vec![
                 "RoPE".into(),
-                format!("{}-pt quarter-wave sine ROM ({} words) + inv-freq LUT",
-                    SINE_ROM_DEPTH, rom.depth()),
+                format!(
+                    "{}-pt quarter-wave sine ROM ({} words) + inv-freq LUT",
+                    SINE_ROM_DEPTH,
+                    rom.depth()
+                ),
                 format!("{} cycles / head", rope.cycles()),
             ],
             vec![
                 "RMSNorm".into(),
                 "2-pass (square-sum pass skippable via DOT engine)".into(),
-                format!("{} cycles @ d=4096 (or {} bypassed)",
-                    rms.cycles(4096), rms.cycles_sum_bypassed(4096)),
+                format!(
+                    "{} cycles @ d=4096 (or {} bypassed)",
+                    rms.cycles(4096),
+                    rms.cycles_sum_bypassed(4096)
+                ),
             ],
             vec![
                 "Softmax".into(),
@@ -91,7 +114,12 @@ fn main() {
     };
     print_table(
         &["unit", "LUT", "FF", "DSP", "BRAM", "URAM"],
-        &[row("MCU", &est.mcu), row("VPU", &est.vpu), row("SPU", &est.spu), row("total", &est.total)],
+        &[
+            row("MCU", &est.mcu),
+            row("VPU", &est.vpu),
+            row("SPU", &est.spu),
+            row("total", &est.total),
+        ],
     );
     println!(
         "\nBinding constraint: LUTs at {} of the K26 budget (paper: 'up to 70%').",

@@ -1,0 +1,165 @@
+//! The performance-regression gate run by CI.
+//!
+//! Prices a fixed decode scenario — LLaMA2-7B, one token at each context
+//! in 64→512 — through the trace-driven engine, snapshots the unified
+//! metrics registry, and diffs it against the committed baseline
+//! (`bench/baseline.json`). Byte and cycle counters must match exactly
+//! (the simulation is deterministic); derived rates (gauges) get ±2% to
+//! absorb intentional re-tuning of unrelated constants.
+//!
+//! ```text
+//! cargo run -p zllm-bench --bin perf_gate            # gate (exit 1 on drift)
+//! cargo run -p zllm-bench --bin perf_gate -- --bless # re-record the baseline
+//! cargo run -p zllm-bench --bin perf_gate -- --print # dump the snapshot JSON
+//! ```
+//!
+//! Exit codes: 0 = within tolerance, 1 = regression (table printed),
+//! 2 = missing/unreadable baseline.
+
+use std::path::PathBuf;
+use zllm_accel::telemetry::{DiffStatus, MetricKind, Snapshot};
+use zllm_accel::{AccelConfig, DecodeEngine};
+use zllm_bench::print_table;
+use zllm_model::ModelConfig;
+
+/// Context lengths priced by the fixed scenario.
+const CONTEXTS: [usize; 4] = [64, 128, 256, 512];
+
+/// Relative tolerance for derived rates (gauges).
+const GAUGE_TOLERANCE: f64 = 0.02;
+
+fn baseline_path() -> PathBuf {
+    PathBuf::from(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../bench/baseline.json"
+    ))
+}
+
+/// Runs the fixed scenario and returns the registry snapshot.
+fn scenario_snapshot() -> Snapshot {
+    let mut engine = DecodeEngine::new(AccelConfig::kv260(), &ModelConfig::llama2_7b(), 1024)
+        .expect("LLaMA2-7B fits the 4GB device");
+    for ctx in CONTEXTS {
+        engine.decode_token(ctx);
+    }
+    engine.metrics_snapshot()
+}
+
+fn fmt_value(kind: MetricKind, v: Option<f64>) -> String {
+    match (kind, v) {
+        (_, None) => "—".to_owned(),
+        (MetricKind::Counter, Some(v)) => format!("{}", v as u64),
+        (MetricKind::Gauge, Some(v)) => format!("{v:.6}"),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let bless = args.iter().any(|a| a == "--bless");
+    let print = args.iter().any(|a| a == "--print");
+
+    eprintln!("perf gate: pricing LLaMA2-7B decode at ctx {CONTEXTS:?} (deterministic)...");
+    let current = scenario_snapshot();
+
+    if print {
+        print!("{}", current.to_json());
+        return;
+    }
+
+    let path = baseline_path();
+    if bless {
+        std::fs::write(&path, current.to_json()).expect("write baseline");
+        eprintln!("perf gate: baseline re-blessed at {}", path.display());
+        return;
+    }
+
+    let baseline = match std::fs::read_to_string(&path) {
+        Ok(text) => match Snapshot::from_json(&text) {
+            Ok(snap) => snap,
+            Err(err) => {
+                eprintln!("perf gate: baseline {} is malformed: {err}", path.display());
+                std::process::exit(2);
+            }
+        },
+        Err(err) => {
+            eprintln!(
+                "perf gate: cannot read baseline {}: {err}\n\
+                 run `cargo run -p zllm-bench --bin perf_gate -- --bless` to record one",
+                path.display()
+            );
+            std::process::exit(2);
+        }
+    };
+
+    // Exact match for counters (byte/cycle counts of a deterministic
+    // simulation); ±2% for derived rates.
+    let is_gauge: std::collections::BTreeSet<&str> = baseline
+        .gauges
+        .keys()
+        .map(String::as_str)
+        .chain(current.gauges.keys().map(String::as_str))
+        .collect();
+    let report = baseline.compare(&current, |name| {
+        if is_gauge.contains(name) {
+            GAUGE_TOLERANCE
+        } else {
+            0.0
+        }
+    });
+
+    let rows: Vec<Vec<String>> = report
+        .diffs
+        .iter()
+        .map(|d| {
+            vec![
+                d.name.clone(),
+                d.kind.to_string(),
+                fmt_value(d.kind, d.baseline),
+                fmt_value(d.kind, d.current),
+                match (d.kind, d.baseline, d.current) {
+                    (MetricKind::Counter, Some(b), Some(c)) => {
+                        format!("{:+}", c as i128 - b as i128)
+                    }
+                    (MetricKind::Gauge, Some(_), Some(_)) => {
+                        format!("{:+.4}%", d.rel_delta * 100.0)
+                    }
+                    _ => "—".to_owned(),
+                },
+                format!("{:.1}%", d.tolerance * 100.0),
+                match d.status {
+                    DiffStatus::Ok => "ok".to_owned(),
+                    DiffStatus::Regressed => "REGRESSED".to_owned(),
+                    DiffStatus::Missing => "MISSING".to_owned(),
+                    DiffStatus::NotInBaseline => "NOT IN BASELINE".to_owned(),
+                },
+            ]
+        })
+        .collect();
+    print_table(
+        &[
+            "metric", "kind", "baseline", "current", "Δ", "tol", "status",
+        ],
+        &rows,
+    );
+
+    if report.passed() {
+        println!(
+            "\nperf gate OK: {} metrics within tolerance",
+            report.diffs.len()
+        );
+    } else {
+        let failures: Vec<&str> = report.failures().map(|d| d.name.as_str()).collect();
+        println!(
+            "\nperf gate FAILED: {}/{} metrics out of tolerance: {}",
+            failures.len(),
+            report.diffs.len(),
+            failures.join(", ")
+        );
+        println!(
+            "if the change is intentional, re-bless with \
+             `cargo run -p zllm-bench --bin perf_gate -- --bless` and commit \
+             bench/baseline.json"
+        );
+        std::process::exit(1);
+    }
+}

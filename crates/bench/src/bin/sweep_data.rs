@@ -17,13 +17,18 @@ fn main() {
     println!("series,ctx,tokens_per_s,bandwidth_util");
     let model = ModelConfig::llama2_7b();
     let mut fused = DecodeEngine::new(AccelConfig::kv260(), &model, 1024).expect("7B fits");
-    let mut coarse =
-        DecodeEngine::new(AccelConfig::kv260_coarse(), &model, 1024).expect("7B fits");
+    let mut coarse = DecodeEngine::new(AccelConfig::kv260_coarse(), &model, 1024).expect("7B fits");
     for ctx in (0..=1023).step_by(128).chain([1023]) {
         let rf = fused.decode_token(ctx);
-        println!("decode_fused,{ctx},{:.4},{:.4}", rf.tokens_per_s, rf.bandwidth_util);
+        println!(
+            "decode_fused,{ctx},{:.4},{:.4}",
+            rf.tokens_per_s, rf.bandwidth_util
+        );
         let rc = coarse.decode_token(ctx);
-        println!("decode_coarse,{ctx},{:.4},{:.4}", rc.tokens_per_s, rc.bandwidth_util);
+        println!(
+            "decode_coarse,{ctx},{:.4},{:.4}",
+            rc.tokens_per_s, rc.bandwidth_util
+        );
     }
 
     // Series 2: DDR efficiency vs burst length.

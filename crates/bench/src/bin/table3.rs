@@ -16,10 +16,13 @@ fn main() {
     println!("Simulating LLaMA2-7B decoding on the KV260 (trace-driven)...");
     let mut engine = DecodeEngine::new(AccelConfig::kv260(), &ModelConfig::llama2_7b(), 1024)
         .expect("LLaMA2-7B fits the 4GB device");
-    let run = engine.decode_run_sampled(1024, 8);
-    println!("  simulated: {:.2} token/s\n", run.tokens_per_s);
+    engine.decode_run_sampled(1024, 8);
+    // Read the result back from the unified metrics registry.
+    let snap = engine.metrics_snapshot();
+    let tokens_per_s = snap.gauge("decode.run.tokens_per_s").expect("published");
+    println!("  simulated: {tokens_per_s:.2} token/s\n");
 
-    let rows = table3_rows(OursResult { tokens_per_s: run.tokens_per_s });
+    let rows = table3_rows(OursResult { tokens_per_s });
     println!("Table III: Comparison with embedded CPUs/GPUs, 4-bit LLaMA2-7B\n");
     let printable: Vec<Vec<String>> = rows
         .iter()
@@ -35,7 +38,14 @@ fn main() {
         })
         .collect();
     print_table(
-        &["Device", "GB/s", "Framework", "token/s (theo)", "token/s (meas)", "Util."],
+        &[
+            "Device",
+            "GB/s",
+            "Framework",
+            "token/s (theo)",
+            "token/s (meas)",
+            "Util.",
+        ],
         &printable,
     );
     println!("\nPaper reference (Ours row): 5.8 theoretical, 4.9 measured, 84.5% util;");

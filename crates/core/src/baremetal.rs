@@ -123,7 +123,11 @@ pub fn boot(image: &ModelImage, sd: SdCard) -> BootReport {
     ));
     console.push("accelerator ready; waiting for token index on AXI-Lite".to_owned());
 
-    BootReport { load_seconds, regions, console }
+    BootReport {
+        load_seconds,
+        regions,
+        console,
+    }
 }
 
 /// The AXI-Lite command register file the PS writes to start a decode
@@ -182,7 +186,10 @@ mod tests {
         let report = boot(&image, SdCard::uhs_i());
         assert_eq!(report.regions.len(), image.map().regions().len());
         assert_eq!(report.total_bytes(), image.map().allocated_bytes());
-        assert!(report.console.iter().any(|l| l.contains("accelerator ready")));
+        assert!(report
+            .console
+            .iter()
+            .any(|l| l.contains("accelerator ready")));
     }
 
     #[test]
@@ -212,7 +219,11 @@ mod tests {
             .expect("fits");
         let report = boot(&image, SdCard::uhs_i());
         // ~4 GB at 40 MB/s ≈ 100 s.
-        assert!((60.0..200.0).contains(&report.load_seconds), "{}", report.load_seconds);
+        assert!(
+            (60.0..200.0).contains(&report.load_seconds),
+            "{}",
+            report.load_seconds
+        );
     }
 
     #[test]

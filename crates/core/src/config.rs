@@ -77,7 +77,10 @@ impl AccelConfig {
 
     /// Same hardware with the coarse pipeline (the ablation baseline).
     pub fn kv260_coarse() -> AccelConfig {
-        AccelConfig { pipeline: PipelineMode::Coarse, ..AccelConfig::kv260() }
+        AccelConfig {
+            pipeline: PipelineMode::Coarse,
+            ..AccelConfig::kv260()
+        }
     }
 
     /// PL cycles per second.

@@ -53,10 +53,7 @@ fn f16v(v: &[f32]) -> Vec<F16> {
 }
 
 /// Splits a stacked AWQ result's rows back into consecutive matrices.
-fn split_rows(
-    mut rows_q: Vec<QuantizedTensor>,
-    splits: &[(usize, usize)],
-) -> Vec<QuantizedMatrix> {
+fn split_rows(mut rows_q: Vec<QuantizedTensor>, splits: &[(usize, usize)]) -> Vec<QuantizedMatrix> {
     let mut out = Vec::with_capacity(splits.len());
     for &(rows, cols) in splits {
         let rest = rows_q.split_off(rows);
@@ -70,7 +67,10 @@ fn split_rows(
 /// Stacks matrices row-wise into one f32 buffer (they must share `cols`).
 fn stack(ms: &[&Matrix]) -> (Vec<f32>, usize, usize) {
     let cols = ms[0].cols();
-    assert!(ms.iter().all(|m| m.cols() == cols), "column mismatch in stack");
+    assert!(
+        ms.iter().all(|m| m.cols() == cols),
+        "column mismatch in stack"
+    );
     let rows = ms.iter().map(|m| m.rows()).sum();
     let mut data = Vec::with_capacity(rows * cols);
     for m in ms {
@@ -92,8 +92,14 @@ pub fn convert(
 ) -> QuantizedModel {
     let cfg = weights.config().clone();
     let is_mha = cfg.n_heads == cfg.n_kv_heads;
-    let awq_cfg = AwqConfig { quant: group, ..AwqConfig::default() };
-    let gptq_cfg = GptqConfig { quant: group, damping: 0.01 };
+    let awq_cfg = AwqConfig {
+        quant: group,
+        ..AwqConfig::default()
+    };
+    let gptq_cfg = GptqConfig {
+        quant: group,
+        damping: 0.01,
+    };
 
     let rtn = |m: &Matrix| QuantizedMatrix::quantize(m.data(), m.rows(), m.cols(), group);
     let gptq = |m: &Matrix, x: &[f32]| {
@@ -149,8 +155,11 @@ pub fn convert(
                         *v /= s;
                     }
                 }
-                let w_down =
-                    QuantizedMatrix::from_rows(layer.w_down.rows(), layer.w_down.cols(), down_q.rows_q().to_vec());
+                let w_down = QuantizedMatrix::from_rows(
+                    layer.w_down.rows(),
+                    layer.w_down.cols(),
+                    down_q.rows_q().to_vec(),
+                );
 
                 // 2. Output projection: fold into V's output rows (MHA).
                 let (wo, wv_folded) = if is_mha {
@@ -170,7 +179,11 @@ pub fn convert(
                         }
                     }
                     (
-                        QuantizedMatrix::from_rows(layer.wo.rows(), layer.wo.cols(), wo_q.rows_q().to_vec()),
+                        QuantizedMatrix::from_rows(
+                            layer.wo.rows(),
+                            layer.wo.cols(),
+                            wo_q.rows_q().to_vec(),
+                        ),
                         wv,
                     )
                 } else {
@@ -243,7 +256,9 @@ pub fn convert(
 
     QuantizedModel::from_parts(
         cfg.clone(),
-        (0..cfg.vocab_size).map(|t| f16v(weights.embedding.row(t))).collect(),
+        (0..cfg.vocab_size)
+            .map(|t| f16v(weights.embedding.row(t)))
+            .collect(),
         layers,
         f16v(&weights.final_norm),
         lm_head,

@@ -21,10 +21,18 @@ pub struct QuantizedMatrix {
 
 impl QuantizedMatrix {
     /// Quantizes a row-major matrix.
-    pub fn quantize(data: &[f32], rows: usize, cols: usize, cfg: GroupQuantConfig) -> QuantizedMatrix {
+    pub fn quantize(
+        data: &[f32],
+        rows: usize,
+        cols: usize,
+        cfg: GroupQuantConfig,
+    ) -> QuantizedMatrix {
         assert_eq!(data.len(), rows * cols, "dimensions inconsistent");
         let quantizer = GroupQuantizer::new(cfg);
-        let rows_q = data.chunks(cols).map(|row| quantizer.quantize(row)).collect();
+        let rows_q = data
+            .chunks(cols)
+            .map(|row| quantizer.quantize(row))
+            .collect();
         QuantizedMatrix { rows, cols, rows_q }
     }
 
@@ -35,7 +43,10 @@ impl QuantizedMatrix {
     /// Panics if the row count or any row's length mismatches.
     pub fn from_rows(rows: usize, cols: usize, rows_q: Vec<QuantizedTensor>) -> QuantizedMatrix {
         assert_eq!(rows_q.len(), rows, "row count mismatch");
-        assert!(rows_q.iter().all(|r| r.len() == cols), "row length mismatch");
+        assert!(
+            rows_q.iter().all(|r| r.len() == cols),
+            "row length mismatch"
+        );
         QuantizedMatrix { rows, cols, rows_q }
     }
 
@@ -71,7 +82,10 @@ impl QuantizedMatrix {
                 for (g, chunk) in row.codes().chunks(gs).enumerate() {
                     let beat = vpu.dequantize_beat(chunk, row.zeros()[g], row.scales()[g]);
                     let lo = g * gs;
-                    for (wb, xb) in beat.chunks(lanes).zip(x[lo..lo + chunk.len()].chunks(lanes)) {
+                    for (wb, xb) in beat
+                        .chunks(lanes)
+                        .zip(x[lo..lo + chunk.len()].chunks(lanes))
+                    {
                         acc += vpu.dot(wb, xb);
                     }
                 }
@@ -119,9 +133,8 @@ impl QuantizedModel {
     /// Quantizes synthetic f32 weights into the deployment format.
     pub fn quantize(weights: &ModelWeights, group: GroupQuantConfig) -> QuantizedModel {
         let cfg = weights.config().clone();
-        let q = |m: &zllm_model::Matrix| {
-            QuantizedMatrix::quantize(m.data(), m.rows(), m.cols(), group)
-        };
+        let q =
+            |m: &zllm_model::Matrix| QuantizedMatrix::quantize(m.data(), m.rows(), m.cols(), group);
         let f16v = |v: &[f32]| v.iter().map(|&x| F16::from_f32(x)).collect::<Vec<_>>();
         let layers = weights
             .layers
@@ -165,9 +178,23 @@ impl QuantizedModel {
         lm_head: QuantizedMatrix,
     ) -> QuantizedModel {
         assert_eq!(layers.len(), config.n_layers, "layer count mismatch");
-        assert_eq!(embedding.len(), config.vocab_size, "embedding rows mismatch");
-        assert_eq!(final_norm.len(), config.d_model, "final norm length mismatch");
-        QuantizedModel { config, embedding, layers, final_norm, lm_head }
+        assert_eq!(
+            embedding.len(),
+            config.vocab_size,
+            "embedding rows mismatch"
+        );
+        assert_eq!(
+            final_norm.len(),
+            config.d_model,
+            "final norm length mismatch"
+        );
+        QuantizedModel {
+            config,
+            embedding,
+            layers,
+            final_norm,
+            lm_head,
+        }
     }
 
     /// The model configuration.
@@ -230,6 +257,26 @@ impl<'m> AccelDecoder<'m> {
         }
     }
 
+    /// Creates a decoder whose VPU and KV-pack path publish into the
+    /// given registry (under `vpu.*` and `kv_pack.*`).
+    pub fn with_metrics(
+        model: &'m QuantizedModel,
+        reg: &mut zllm_telemetry::MetricsRegistry,
+    ) -> AccelDecoder<'m> {
+        let cfg = model.config();
+        let mut dec = AccelDecoder::new(model);
+        dec.vpu = Vpu::with_counters(
+            128,
+            zllm_fp16::vector::TreePrecision::Fp32,
+            crate::vpu::VpuCounters::register(reg, "vpu"),
+        );
+        dec.quantizer = KvQuantizer::with_counters(
+            cfg.n_layers * cfg.n_kv_heads * 2,
+            zllm_layout::kv_pack::KvPackCounters::register(reg, "kv_pack"),
+        );
+        dec
+    }
+
     /// Tokens processed so far.
     pub fn pos(&self) -> usize {
         self.pos
@@ -277,8 +324,8 @@ impl<'m> AccelDecoder<'m> {
                 let qh = &q[h * hd..(h + 1) * hd];
                 let scores: Vec<F16> = (0..=pos)
                     .map(|t| {
-                        let kt = self.kv[layer_idx].keys[t * cfg.n_kv_heads + kv_head]
-                            .dequantize_f16();
+                        let kt =
+                            self.kv[layer_idx].keys[t * cfg.n_kv_heads + kv_head].dequantize_f16();
                         F16::from_f32(self.vpu.dot_row(qh, &kt)) * scale
                     })
                     .collect();
@@ -286,8 +333,8 @@ impl<'m> AccelDecoder<'m> {
                 // Weighted value sum, accumulated in f32 per lane.
                 let mut acc = vec![0.0f32; hd];
                 for (t, &p) in probs.iter().enumerate() {
-                    let vt = self.kv[layer_idx].values[t * cfg.n_kv_heads + kv_head]
-                        .dequantize_f16();
+                    let vt =
+                        self.kv[layer_idx].values[t * cfg.n_kv_heads + kv_head].dequantize_f16();
                     for (a, vv) in acc.iter_mut().zip(&vt) {
                         *a += (p * *vv).to_f32();
                     }
@@ -299,7 +346,7 @@ impl<'m> AccelDecoder<'m> {
 
             let proj = layer.wo.matvec(&self.vpu, &attn_out);
             for (xi, pi) in x.iter_mut().zip(&proj) {
-                *xi = *xi + *pi;
+                *xi += *pi;
             }
 
             // MLP block.
@@ -309,7 +356,7 @@ impl<'m> AccelDecoder<'m> {
             let inner = self.silu.gate(&gate, &up);
             let down = layer.w_down.matvec(&self.vpu, &inner);
             for (xi, di) in x.iter_mut().zip(&down) {
-                *xi = *xi + *di;
+                *xi += *di;
             }
         }
 
@@ -357,12 +404,15 @@ mod tests {
     fn quantized_matvec_tracks_f32() {
         let rows = 32;
         let cols = 256;
-        let data: Vec<f32> =
-            (0..rows * cols).map(|i| ((i * 31) % 61) as f32 / 61.0 - 0.5).collect();
+        let data: Vec<f32> = (0..rows * cols)
+            .map(|i| ((i * 31) % 61) as f32 / 61.0 - 0.5)
+            .collect();
         let qm = QuantizedMatrix::quantize(&data, rows, cols, GroupQuantConfig::w4_g128());
         assert_eq!(qm.rows(), rows);
         assert_eq!(qm.cols(), cols);
-        let x: Vec<f32> = (0..cols).map(|i| ((i * 17) % 23) as f32 / 23.0 - 0.5).collect();
+        let x: Vec<f32> = (0..cols)
+            .map(|i| ((i * 17) % 23) as f32 / 23.0 - 0.5)
+            .collect();
         let x16: Vec<F16> = x.iter().map(|&v| F16::from_f32(v)).collect();
         let got = qm.matvec(&Vpu::kv260(), &x16);
         let m = zllm_model::Matrix::new(rows, cols, data);
@@ -384,16 +434,16 @@ mod tests {
         // W4 on *synthetic* (incompressible, uniform) weights is harsher
         // than on trained checkpoints; a cosine above 0.95 over two full
         // blocks confirms the datapath is numerically sound.
-        assert!(
-            stats.cosine > 0.95,
-            "logit cosine too low: {stats}"
-        );
+        assert!(stats.cosine > 0.95, "logit cosine too low: {stats}");
         // The reference argmax should be near the top of the accel ranking.
         let top = argmax(&ref_logits);
         let mut ranked: Vec<usize> = (0..acc_logits.len()).collect();
         ranked.sort_by(|&a, &b| acc_logits[b].total_cmp(&acc_logits[a]));
         let rank = ranked.iter().position(|&i| i == top).expect("present");
-        assert!(rank < 10, "reference argmax ranked {rank} by the accelerator");
+        assert!(
+            rank < 10,
+            "reference argmax ranked {rank} by the accelerator"
+        );
     }
 
     #[test]

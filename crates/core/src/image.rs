@@ -207,7 +207,9 @@ impl ModelImage {
 
     /// The LM head projection.
     pub fn lm_head(&self) -> &PlacedProjection {
-        self.projections.last().expect("image always has an LM head")
+        self.projections
+            .last()
+            .expect("image always has an LM head")
     }
 
     /// Read burst for one embedding row (FP16).
@@ -239,7 +241,10 @@ impl ModelImage {
     pub fn kv_write_burst(&self, layer: usize, value: bool, token: usize) -> BurstDescriptor {
         let region = &self.kv_regions[layer * 2 + usize::from(value)];
         let tb = self.kv_token_bytes();
-        BurstDescriptor::write(region.base + token as u64 * tb, (tb / BEAT_BYTES as u64) as u32)
+        BurstDescriptor::write(
+            region.base + token as u64 * tb,
+            (tb / BEAT_BYTES as u64) as u32,
+        )
     }
 
     /// Write burst for one flushed scale-zero FIFO element.
@@ -251,7 +256,10 @@ impl ModelImage {
 
     /// Total bytes of all weight streams (format padding included).
     pub fn weight_stream_bytes(&self) -> u64 {
-        self.projections.iter().map(|p| p.beats * BEAT_BYTES as u64).sum()
+        self.projections
+            .iter()
+            .map(|p| p.beats * BEAT_BYTES as u64)
+            .sum()
     }
 }
 
@@ -261,12 +269,8 @@ mod tests {
 
     #[test]
     fn llama2_7b_image_reproduces_fig1() {
-        let image = ModelImage::build(
-            &ModelConfig::llama2_7b(),
-            WeightFormat::kv260(),
-            1024,
-        )
-        .expect("7B must fit the 4GB device");
+        let image = ModelImage::build(&ModelConfig::llama2_7b(), WeightFormat::kv260(), 1024)
+            .expect("7B must fit the 4GB device");
         let occ = image.occupancy();
         assert!(
             (0.90..0.96).contains(&occ),

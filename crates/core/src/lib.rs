@@ -47,3 +47,7 @@ pub mod vpu;
 pub use config::AccelConfig;
 pub use functional::{AccelDecoder, QuantizedModel};
 pub use trace::{DecodeEngine, TokenReport};
+
+/// The unified metrics registry every unit publishes into — re-exported
+/// so downstream crates need no direct `zllm-telemetry` dependency.
+pub use zllm_telemetry as telemetry;

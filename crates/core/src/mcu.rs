@@ -131,7 +131,7 @@ mod tests {
     #[test]
     fn split_then_merge_is_identity() {
         // Build a known 2-beat memory image, split it across ports, merge.
-        let mut memory = vec![0u8; 128];
+        let mut memory = [0u8; 128];
         for (i, b) in memory.iter_mut().enumerate() {
             *b = (i * 7 % 251) as u8;
         }
@@ -175,8 +175,12 @@ mod tests {
     #[test]
     #[should_panic(expected = "synchronized")]
     fn merge_requires_synchronized_lanes() {
-        let lanes: [Vec<[u8; 16]>; 4] =
-            [vec![[0; 16]], vec![[0; 16]], vec![[0; 16]], vec![[0; 16], [0; 16]]];
+        let lanes: [Vec<[u8; 16]>; 4] = [
+            vec![[0; 16]],
+            vec![[0; 16]],
+            vec![[0; 16]],
+            vec![[0; 16], [0; 16]],
+        ];
         let _ = merge_streams(&lanes);
     }
 }

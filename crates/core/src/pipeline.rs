@@ -88,12 +88,22 @@ pub fn softmax_hides(model: &ModelConfig, ctx: usize, lanes: usize) -> bool {
 ///
 /// In fused mode the dense stages abut seamlessly and the miscellaneous
 /// stages overlap them; in coarse mode every stage serializes.
-pub fn head_timeline(model: &ModelConfig, ctx: usize, lanes: usize, mode: PipelineMode) -> Vec<Stage> {
+pub fn head_timeline(
+    model: &ModelConfig,
+    ctx: usize,
+    lanes: usize,
+    mode: PipelineMode,
+) -> Vec<Stage> {
     let s = HeadShape::new(model, ctx, lanes);
     let mut stages = Vec::new();
     let mut t = 0u64;
     let dense = |name: &'static str, len: u64, t: &mut u64, out: &mut Vec<Stage>| {
-        out.push(Stage { name, start: *t, end: *t + len, dense: true });
+        out.push(Stage {
+            name,
+            start: *t,
+            end: *t + len,
+            dense: true,
+        });
         *t += len;
     };
 
@@ -144,7 +154,12 @@ pub fn head_timeline(model: &ModelConfig, ctx: usize, lanes: usize, mode: Pipeli
             dense("v_proj", s.proj, &mut t, &mut stages);
             // Serialized miscellaneous work.
             let misc = |name: &'static str, len: u64, t: &mut u64, out: &mut Vec<Stage>| {
-                out.push(Stage { name, start: *t, end: *t + len, dense: false });
+                out.push(Stage {
+                    name,
+                    start: *t,
+                    end: *t + len,
+                    dense: false,
+                });
                 *t += len;
             };
             misc("rope_q", s.rope, &mut t, &mut stages);
@@ -197,7 +212,10 @@ mod tests {
         for ctx in [0usize, 64, 512, 1023] {
             let fused = head_cycles(&cfg, ctx, 128, PipelineMode::Fused);
             let coarse = head_cycles(&cfg, ctx, 128, PipelineMode::Coarse);
-            assert!(coarse > fused, "ctx {ctx}: coarse {coarse} vs fused {fused}");
+            assert!(
+                coarse > fused,
+                "ctx {ctx}: coarse {coarse} vs fused {fused}"
+            );
         }
     }
 
@@ -215,7 +233,12 @@ mod tests {
     fn fused_timeline_misc_stages_overlap_dense() {
         let cfg = ModelConfig::llama2_7b();
         let stages = head_timeline(&cfg, 256, 128, PipelineMode::Fused);
-        let dense_end = stages.iter().filter(|s| s.dense).map(|s| s.end).max().expect("has dense");
+        let dense_end = stages
+            .iter()
+            .filter(|s| s.dense)
+            .map(|s| s.end)
+            .max()
+            .expect("has dense");
         for s in stages.iter().filter(|s| !s.dense) {
             assert!(
                 s.end <= dense_end,
@@ -232,7 +255,11 @@ mod tests {
         let stages = head_timeline(&cfg, 8, 128, PipelineMode::Fused);
         let dense: Vec<&Stage> = stages.iter().filter(|s| s.dense).collect();
         for pair in dense.windows(2) {
-            assert_eq!(pair[0].end, pair[1].start, "{} → {}", pair[0].name, pair[1].name);
+            assert_eq!(
+                pair[0].end, pair[1].start,
+                "{} → {}",
+                pair[0].name, pair[1].name
+            );
         }
     }
 

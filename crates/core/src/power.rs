@@ -53,11 +53,8 @@ const PL_STATIC_W: f64 = 0.55;
 
 /// Dynamic power of a resource vector at a given clock.
 pub fn dynamic_power(res: &ResourceVector, freq_mhz: f64) -> f64 {
-    let at_300 = res.lut * LUT_W
-        + res.ff * FF_W
-        + res.dsp * DSP_W
-        + res.bram * BRAM_W
-        + res.uram * URAM_W;
+    let at_300 =
+        res.lut * LUT_W + res.ff * FF_W + res.dsp * DSP_W + res.bram * BRAM_W + res.uram * URAM_W;
     at_300 * freq_mhz / 300.0
 }
 

@@ -56,9 +56,11 @@ impl ResourceVector {
 
     /// The largest utilization component (the binding constraint).
     pub fn max_component(&self) -> f64 {
-        [self.lut, self.ff, self.carry, self.dsp, self.bram, self.uram]
-            .into_iter()
-            .fold(0.0, f64::max)
+        [
+            self.lut, self.ff, self.carry, self.dsp, self.bram, self.uram,
+        ]
+        .into_iter()
+        .fold(0.0, f64::max)
     }
 }
 
@@ -145,7 +147,12 @@ pub fn estimate(cfg: &AccelConfig) -> AccelEstimate {
         uram: 0.0,
     };
 
-    AccelEstimate { mcu, vpu, spu, total: mcu + vpu + spu + glue }
+    AccelEstimate {
+        mcu,
+        vpu,
+        spu,
+        total: mcu + vpu + spu + glue,
+    }
 }
 
 #[cfg(test)]
@@ -160,14 +167,22 @@ mod tests {
     fn default_estimate_reproduces_table_i_per_unit() {
         let est = estimate(&AccelConfig::kv260());
         // MCU row: 14K LUT, 21K FF, 0.6K CARRY, 1 DSP, 30 BRAM, 7 URAM.
-        assert!(close(est.mcu.lut, 14_000.0, 0.05), "mcu lut {}", est.mcu.lut);
+        assert!(
+            close(est.mcu.lut, 14_000.0, 0.05),
+            "mcu lut {}",
+            est.mcu.lut
+        );
         assert!(close(est.mcu.ff, 21_000.0, 0.05));
         assert!(close(est.mcu.carry, 600.0, 0.05));
         assert_eq!(est.mcu.dsp, 1.0);
         assert_eq!(est.mcu.bram, 30.0);
         assert_eq!(est.mcu.uram, 7.0);
         // VPU row: 34K LUT, 44K FF, 2.1K CARRY, 266 DSP.
-        assert!(close(est.vpu.lut, 34_000.0, 0.05), "vpu lut {}", est.vpu.lut);
+        assert!(
+            close(est.vpu.lut, 34_000.0, 0.05),
+            "vpu lut {}",
+            est.vpu.lut
+        );
         assert!(close(est.vpu.ff, 44_000.0, 0.05));
         assert!(close(est.vpu.carry, 2_100.0, 0.05));
         assert!(close(est.vpu.dsp, 266.0, 0.01), "vpu dsp {}", est.vpu.dsp);
@@ -179,9 +194,17 @@ mod tests {
     #[test]
     fn default_totals_match_table_i() {
         let est = estimate(&AccelConfig::kv260());
-        assert!(close(est.total.lut, 78_000.0, 0.04), "lut {}", est.total.lut);
+        assert!(
+            close(est.total.lut, 78_000.0, 0.04),
+            "lut {}",
+            est.total.lut
+        );
         assert!(close(est.total.ff, 105_000.0, 0.04), "ff {}", est.total.ff);
-        assert!(close(est.total.carry, 3_800.0, 0.05), "carry {}", est.total.carry);
+        assert!(
+            close(est.total.carry, 3_800.0, 0.05),
+            "carry {}",
+            est.total.carry
+        );
         assert!(close(est.total.dsp, 291.0, 0.02), "dsp {}", est.total.dsp);
         assert!(close(est.total.bram, 36.5, 0.02), "bram {}", est.total.bram);
         assert_eq!(est.total.uram, 10.0);
@@ -219,7 +242,11 @@ mod tests {
         assert!(big.vpu.lut > base.vpu.lut * 1.9);
         // A 256-lane VPU would overflow the paper's LUT headroom.
         let util = big.total.utilization(&kv260_device());
-        assert!(util.lut > 0.9, "256 lanes should nearly exhaust LUTs: {}", util.lut);
+        assert!(
+            util.lut > 0.9,
+            "256 lanes should nearly exhaust LUTs: {}",
+            util.lut
+        );
     }
 
     #[test]

@@ -28,8 +28,17 @@ pub struct MemOp {
 
 impl MemOp {
     fn new(label: String, bursts: Vec<BurstDescriptor>) -> MemOp {
-        let vpu_beats = bursts.iter().filter(|b| !b.write).map(|b| b.beats as u64).sum();
-        MemOp { label, bursts, vpu_beats, exposed_misc: 0 }
+        let vpu_beats = bursts
+            .iter()
+            .filter(|b| !b.write)
+            .map(|b| b.beats as u64)
+            .sum();
+        MemOp {
+            label,
+            bursts,
+            vpu_beats,
+            exposed_misc: 0,
+        }
     }
 
     /// Total bytes moved.
@@ -85,7 +94,10 @@ pub fn token_schedule(image: &ModelImage, ctx: usize, mode: PipelineMode) -> Tok
     let quant_all = 2 * 2 * model.kv_dim() as u64; // K and V, two passes
     let silu = model.d_ff as u64;
 
-    ops.push(MemOp::new("embedding".into(), vec![image.embedding_row_burst(0)]));
+    ops.push(MemOp::new(
+        "embedding".into(),
+        vec![image.embedding_row_burst(0)],
+    ));
 
     for layer in 0..model.n_layers {
         let projs = image.layer_projections(layer);
@@ -139,7 +151,11 @@ pub fn token_schedule(image: &ModelImage, ctx: usize, mode: PipelineMode) -> Tok
 
         let mut mlp = MemOp::new(
             format!("L{layer}.mlp"),
-            vec![find("w_gate").burst(), find("w_up").burst(), find("w_down").burst()],
+            vec![
+                find("w_gate").burst(),
+                find("w_up").burst(),
+                find("w_down").burst(),
+            ],
         );
         if mode == PipelineMode::Coarse {
             mlp.exposed_misc = rmsnorm + silu;
@@ -148,7 +164,7 @@ pub fn token_schedule(image: &ModelImage, ctx: usize, mode: PipelineMode) -> Tok
     }
 
     // Scale-zero FIFO flush: every 16th token writes one beat per stream.
-    if (ctx + 1) % 16 == 0 {
+    if (ctx + 1).is_multiple_of(16) {
         let streams = model.n_layers * model.n_kv_heads * 2;
         let window = (ctx as u64 + 1) / 16 - 1;
         let bursts = (0..streams)

@@ -8,7 +8,7 @@
 
 use zllm_fp16::F16;
 use zllm_layout::beat::{Beat, BEAT_BYTES};
-use zllm_layout::kv_pack::{FlushedElement, KvPackFifo};
+use zllm_layout::kv_pack::{FlushedElement, KvPackCounters, KvPackFifo};
 use zllm_quant::kv8::{quantize_kv, QuantizedKv};
 
 /// The on-chip KV quantizer: quantization + metadata packing + beat
@@ -43,7 +43,17 @@ impl KvQuantizer {
     /// Creates the quantizer with `streams` metadata streams (layers ×
     /// kv-heads × 2 for a full model).
     pub fn new(streams: usize) -> KvQuantizer {
-        KvQuantizer { fifo: KvPackFifo::new(streams) }
+        KvQuantizer {
+            fifo: KvPackFifo::new(streams),
+        }
+    }
+
+    /// Creates the quantizer with its packing FIFO publishing into the
+    /// given telemetry handles (see [`KvPackCounters::register`]).
+    pub fn with_counters(streams: usize, counters: KvPackCounters) -> KvQuantizer {
+        KvQuantizer {
+            fifo: KvPackFifo::with_counters(streams, counters),
+        }
     }
 
     /// Quantizes one head vector in two passes and feeds its scale-zero
@@ -53,7 +63,10 @@ impl KvQuantizer {
         let f32s: Vec<f32> = head.iter().map(|v| v.to_f32()).collect();
         let codes = quantize_kv(&f32s);
         let flushed_meta = self.fifo.append(codes.meta().to_pack());
-        QuantizedHead { codes, flushed_meta }
+        QuantizedHead {
+            codes,
+            flushed_meta,
+        }
     }
 
     /// Assembles 8-bit codes into full write beats (serial-to-parallel).
@@ -67,7 +80,11 @@ impl KvQuantizer {
             }
             beats.push(beat);
         }
-        let tail = if codes.is_empty() { 0 } else { codes.len() - (beats.len() - 1) * BEAT_BYTES };
+        let tail = if codes.is_empty() {
+            0
+        } else {
+            codes.len() - (beats.len() - 1) * BEAT_BYTES
+        };
         (beats, tail)
     }
 

@@ -35,10 +35,12 @@ impl RmsNormUnit {
     /// Pass 1: the square sum, accumulated in f32 (the DSP accumulator is
     /// wider than FP16).
     pub fn square_sum(&self, x: &[F16]) -> f32 {
-        x.iter().map(|v| {
-            let f = v.to_f32();
-            f * f
-        }).sum()
+        x.iter()
+            .map(|v| {
+                let f = v.to_f32();
+                f * f
+            })
+            .sum()
     }
 
     /// Pass 2: normalisation given a precomputed square sum.

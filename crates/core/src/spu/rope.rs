@@ -38,7 +38,10 @@ impl RopeUnit {
     ///
     /// Panics if `head_dim` is zero or odd.
     pub fn new(head_dim: usize) -> RopeUnit {
-        RopeUnit { rom: SineRom::new(), table: RopeTable::new(head_dim) }
+        RopeUnit {
+            rom: SineRom::new(),
+            table: RopeTable::new(head_dim),
+        }
     }
 
     /// The head dimension served.
@@ -85,8 +88,9 @@ mod tests {
     fn matches_reference_rope_within_lut_precision() {
         let unit = RopeUnit::new(32);
         for pos in [1u32, 9, 100, 1000] {
-            let mut head: Vec<F16> =
-                (0..32).map(|i| F16::from_f32(((i * 3) % 7) as f32 / 7.0 - 0.5)).collect();
+            let mut head: Vec<F16> = (0..32)
+                .map(|i| F16::from_f32(((i * 3) % 7) as f32 / 7.0 - 0.5))
+                .collect();
             let mut reference: Vec<f32> = to_f32(&head);
             unit.apply(&mut head, pos);
             zllm_model::reference::rope_rotate(&mut reference, pos as usize, 10000.0);

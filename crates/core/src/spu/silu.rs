@@ -38,7 +38,10 @@ impl SiluUnit {
     /// Panics if the slices differ in length.
     pub fn gate(&self, gate: &[F16], up: &[F16]) -> Vec<F16> {
         assert_eq!(gate.len(), up.len(), "gate/up length mismatch");
-        gate.iter().zip(up).map(|(&g, &u)| self.silu(g) * u).collect()
+        gate.iter()
+            .zip(up)
+            .map(|(&g, &u)| self.silu(g) * u)
+            .collect()
     }
 
     /// One element per cycle.
@@ -64,8 +67,14 @@ mod tests {
     #[test]
     fn gate_combines_streams() {
         let unit = SiluUnit::new();
-        let gate: Vec<F16> = [1.0f32, -1.0, 2.0].iter().map(|&v| F16::from_f32(v)).collect();
-        let up: Vec<F16> = [2.0f32, 2.0, 0.5].iter().map(|&v| F16::from_f32(v)).collect();
+        let gate: Vec<F16> = [1.0f32, -1.0, 2.0]
+            .iter()
+            .map(|&v| F16::from_f32(v))
+            .collect();
+        let up: Vec<F16> = [2.0f32, 2.0, 0.5]
+            .iter()
+            .map(|&v| F16::from_f32(v))
+            .collect();
         let out = unit.gate(&gate, &up);
         for (i, o) in out.iter().enumerate() {
             let want = zllm_model::reference::silu(gate[i].to_f32()) * up[i].to_f32();

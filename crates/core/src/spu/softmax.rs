@@ -43,12 +43,16 @@ pub struct SoftmaxUnit {
 impl SoftmaxUnit {
     /// Creates the unit with the exact exponential.
     pub fn new() -> SoftmaxUnit {
-        SoftmaxUnit { exp_impl: ExpImpl::Exact }
+        SoftmaxUnit {
+            exp_impl: ExpImpl::Exact,
+        }
     }
 
     /// Creates the unit with the table-driven exponential pipeline.
     pub fn with_lut() -> SoftmaxUnit {
-        SoftmaxUnit { exp_impl: ExpImpl::Lut(ExpLut::new()) }
+        SoftmaxUnit {
+            exp_impl: ExpImpl::Lut(ExpLut::new()),
+        }
     }
 
     fn exp(&self, x: F16) -> F16 {

@@ -12,10 +12,11 @@
 use crate::config::AccelConfig;
 use crate::image::ModelImage;
 use crate::schedule::{token_schedule, TokenSchedule};
-use crate::vpu::Vpu;
-use zllm_ddr::MemorySystem;
+use crate::vpu::{Vpu, VpuCounters};
+use zllm_ddr::{DdrCounters, MemorySystem};
 use zllm_layout::addr_map::AllocError;
 use zllm_model::{memory, ModelConfig};
+use zllm_telemetry::{Counter, Gauge, MetricsRegistry, Snapshot};
 
 /// Performance report of one decoded token.
 #[derive(Debug, Clone, PartialEq)]
@@ -92,6 +93,39 @@ pub struct DecodeEngine {
     vpu: Vpu,
     /// The paper's theoretical roofline for this model on this bandwidth.
     roofline_tokens_per_s: f64,
+    /// All components publish into this registry; [`TokenReport`] and
+    /// [`zllm_ddr::DdrStats`] are value-type views over the same numbers.
+    registry: MetricsRegistry,
+    metrics: DecodeMetrics,
+}
+
+/// Pre-resolved handles for the metrics the pricing loop publishes, so
+/// the hot path never performs a name lookup.
+#[derive(Debug)]
+struct DecodeMetrics {
+    tokens: Counter,
+    bytes: Counter,
+    vpu_cycles: Counter,
+    bubble_cycles: Counter,
+    exposed_misc_cycles: Counter,
+    tokens_per_s: Gauge,
+    bandwidth_util: Gauge,
+    wall_ns: Gauge,
+}
+
+impl DecodeMetrics {
+    fn register(reg: &mut MetricsRegistry) -> DecodeMetrics {
+        DecodeMetrics {
+            tokens: reg.counter("decode.tokens"),
+            bytes: reg.counter("decode.bytes"),
+            vpu_cycles: reg.counter("vpu.cycles"),
+            bubble_cycles: reg.counter("pipeline.bubble_cycles"),
+            exposed_misc_cycles: reg.counter("pipeline.exposed_misc_cycles"),
+            tokens_per_s: reg.gauge("decode.tokens_per_s"),
+            bandwidth_util: reg.gauge("decode.bandwidth_util"),
+            wall_ns: reg.gauge("decode.wall_ns"),
+        }
+    }
 }
 
 impl DecodeEngine {
@@ -106,20 +140,54 @@ impl DecodeEngine {
         ctx_capacity: usize,
     ) -> Result<DecodeEngine, AllocError> {
         let image = ModelImage::build(model, accel.format, ctx_capacity)?;
-        let mem = MemorySystem::new(accel.ddr.clone(), accel.axi, accel.mem_lookahead);
+        let mut registry = MetricsRegistry::new();
+        let mem = MemorySystem::with_counters(
+            accel.ddr.clone(),
+            accel.axi,
+            accel.mem_lookahead,
+            DdrCounters::register(&mut registry, "ddr.port0"),
+        );
+        let vpu = Vpu::with_counters(
+            accel.lanes,
+            zllm_fp16::vector::TreePrecision::Fp32,
+            VpuCounters::register(&mut registry, "vpu"),
+        );
         let roofline = memory::weight_roofline_tokens_per_s(
             model,
             memory::WeightPrecision::Effective(4.0),
-            accel.axi.bandwidth_gbps().min(accel.ddr.peak_bandwidth_gbps()),
+            accel
+                .axi
+                .bandwidth_gbps()
+                .min(accel.ddr.peak_bandwidth_gbps()),
         );
+        let metrics = DecodeMetrics::register(&mut registry);
+        registry.gauge("decode.roofline_tokens_per_s").set(roofline);
         Ok(DecodeEngine {
-            vpu: Vpu::new(accel.lanes, zllm_fp16::vector::TreePrecision::Fp32),
+            vpu,
             accel,
             model: model.clone(),
             image,
             mem,
             roofline_tokens_per_s: roofline,
+            registry,
+            metrics,
         })
+    }
+
+    /// The metrics registry every component of this engine publishes into.
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.registry
+    }
+
+    /// Mutable access to the registry (for registering extra metrics or
+    /// resetting between scenarios).
+    pub fn metrics_mut(&mut self) -> &mut MetricsRegistry {
+        &mut self.registry
+    }
+
+    /// A deterministic snapshot of every metric published so far.
+    pub fn metrics_snapshot(&self) -> Snapshot {
+        self.registry.snapshot()
     }
 
     /// The placed model image.
@@ -154,17 +222,19 @@ impl DecodeEngine {
     /// codes, the VPU retires `lanes` per cycle) and the AXI fabric's
     /// delivery rate (`bytes_per_cycle` of the configured port set).
     fn cycles_per_beat(&self) -> u64 {
-        let vpu = (self.accel.format.weights_per_beat() as u64)
-            .div_ceil(self.accel.lanes as u64);
-        let fabric = (zllm_layout::BEAT_BYTES as u64)
-            .div_ceil(self.accel.axi.bytes_per_cycle().max(1));
+        let vpu = (self.accel.format.weights_per_beat() as u64).div_ceil(self.accel.lanes as u64);
+        let fabric =
+            (zllm_layout::BEAT_BYTES as u64).div_ceil(self.accel.axi.bytes_per_cycle().max(1));
         vpu.max(fabric)
     }
 
     fn price(&mut self, sched: &TokenSchedule) -> TokenReport {
         // Memory time: the whole step's bursts through the DDR model.
-        let all_bursts: Vec<_> =
-            sched.ops.iter().flat_map(|o| o.bursts.iter().copied()).collect();
+        let all_bursts: Vec<_> = sched
+            .ops
+            .iter()
+            .flat_map(|o| o.bursts.iter().copied())
+            .collect();
         let report = self.mem.transfer(&all_bursts);
 
         let vpu_cycles = sched.total_vpu_beats() * self.cycles_per_beat();
@@ -193,6 +263,25 @@ impl DecodeEngine {
             }
         }
 
+        // Publish into the registry: counters accumulate across the run,
+        // gauges reflect the most recent priced token. The DDR counters
+        // were already bumped inside `transfer()` via the shared handles.
+        self.metrics.tokens.inc();
+        self.metrics.bytes.add(report.bytes);
+        self.metrics.vpu_cycles.add(vpu_cycles);
+        self.metrics.bubble_cycles.add(bubbles);
+        self.metrics.exposed_misc_cycles.add(exposed);
+        self.metrics.tokens_per_s.set(tokens_per_s);
+        self.metrics
+            .bandwidth_util
+            .set(tokens_per_s / self.roofline_tokens_per_s);
+        self.metrics.wall_ns.set(wall_ns);
+        for (kind, bytes) in &breakdown {
+            self.registry
+                .counter(&format!("decode.bytes.{kind}"))
+                .add(*bytes);
+        }
+
         TokenReport {
             ctx: sched.ctx,
             bytes: report.bytes,
@@ -214,14 +303,22 @@ impl DecodeEngine {
     /// Panics if `tokens` is zero.
     pub fn decode_run(&mut self, start_ctx: usize, tokens: usize) -> RunReport {
         assert!(tokens > 0, "at least one token required");
-        let steps: Vec<TokenReport> =
-            (0..tokens).map(|i| self.decode_token(start_ctx + i)).collect();
+        let steps: Vec<TokenReport> = (0..tokens)
+            .map(|i| self.decode_token(start_ctx + i))
+            .collect();
         let total_ns: f64 = steps.iter().map(|s| s.wall_ns).sum();
         let tokens_per_s = tokens as f64 * 1e9 / total_ns;
+        let bandwidth_util = tokens_per_s / self.roofline_tokens_per_s;
+        self.registry
+            .gauge("decode.run.tokens_per_s")
+            .set(tokens_per_s);
+        self.registry
+            .gauge("decode.run.bandwidth_util")
+            .set(bandwidth_util);
         RunReport {
             tokens,
             tokens_per_s,
-            bandwidth_util: tokens_per_s / self.roofline_tokens_per_s,
+            bandwidth_util,
             steps,
         }
     }
@@ -255,10 +352,8 @@ impl DecodeEngine {
     pub fn prefill_matrix_engine_ns(&self, prompt_len: usize, macs: usize) -> f64 {
         assert!(prompt_len > 0, "empty prompt");
         assert!(macs > 0, "at least one multiplier");
-        let weight_bytes = memory::streamed_weight_bytes(
-            &self.model,
-            memory::WeightPrecision::W4G128,
-        );
+        let weight_bytes =
+            memory::streamed_weight_bytes(&self.model, memory::WeightPrecision::W4G128);
         let mem_ns = weight_bytes / self.accel.axi.bandwidth_gbps();
         let flops = 2.0
             * (self.model.param_count() as f64
@@ -297,13 +392,15 @@ impl DecodeEngine {
         // Compute: `batch` activations per weight beat, `lanes` MACs/cycle.
         let beats = single.vpu_cycles / self.cycles_per_beat();
         let wpb = self.accel.format.weights_per_beat() as u64;
-        let fabric = (zllm_layout::BEAT_BYTES as u64)
-            .div_ceil(self.accel.axi.bytes_per_cycle().max(1));
+        let fabric =
+            (zllm_layout::BEAT_BYTES as u64).div_ceil(self.accel.axi.bytes_per_cycle().max(1));
         let cpb = (wpb * batch as u64)
             .div_ceil(self.accel.lanes as u64)
             .max(fabric);
         let compute_ns = self.accel.cycles_to_ns(beats * cpb + single.bubble_cycles);
-        let exposed_ns = self.accel.cycles_to_ns(single.exposed_misc_cycles * batch as u64);
+        let exposed_ns = self
+            .accel
+            .cycles_to_ns(single.exposed_misc_cycles * batch as u64);
         let wall_ns = mem_ns.max(compute_ns) + exposed_ns;
         batch as f64 * 1e9 / wall_ns
     }
@@ -318,18 +415,27 @@ impl DecodeEngine {
     /// Panics if `samples` is zero or `ctx_end` exceeds capacity.
     pub fn decode_run_sampled(&mut self, ctx_end: usize, samples: usize) -> RunReport {
         assert!(samples > 0, "at least one sample required");
-        assert!(ctx_end <= self.image.ctx_capacity(), "context beyond capacity");
+        assert!(
+            ctx_end <= self.image.ctx_capacity(),
+            "context beyond capacity"
+        );
         let step = (ctx_end.max(1) / samples).max(1);
         let steps: Vec<TokenReport> = (0..samples)
             .map(|i| self.decode_token((i * step).min(ctx_end.saturating_sub(1))))
             .collect();
-        let mean_ns: f64 =
-            steps.iter().map(|s| s.wall_ns).sum::<f64>() / steps.len() as f64;
+        let mean_ns: f64 = steps.iter().map(|s| s.wall_ns).sum::<f64>() / steps.len() as f64;
         let tokens_per_s = 1e9 / mean_ns;
+        let bandwidth_util = tokens_per_s / self.roofline_tokens_per_s;
+        self.registry
+            .gauge("decode.run.tokens_per_s")
+            .set(tokens_per_s);
+        self.registry
+            .gauge("decode.run.bandwidth_util")
+            .set(bandwidth_util);
         RunReport {
             tokens: samples,
             tokens_per_s,
-            bandwidth_util: tokens_per_s / self.roofline_tokens_per_s,
+            bandwidth_util,
             steps,
         }
     }
@@ -393,7 +499,11 @@ mod tests {
         let run = engine.decode_run(0, 8);
         assert_eq!(run.steps.len(), 8);
         assert!(run.tokens_per_s > 0.0);
-        let min = run.steps.iter().map(|s| s.tokens_per_s).fold(f64::INFINITY, f64::min);
+        let min = run
+            .steps
+            .iter()
+            .map(|s| s.tokens_per_s)
+            .fold(f64::INFINITY, f64::min);
         let max = run.steps.iter().map(|s| s.tokens_per_s).fold(0.0, f64::max);
         assert!(run.tokens_per_s >= min * 0.99 && run.tokens_per_s <= max * 1.01);
     }
@@ -405,7 +515,12 @@ mod tests {
         let exact = a.decode_run(0, 16);
         let sampled = b.decode_run_sampled(16, 4);
         let rel = (sampled.tokens_per_s - exact.tokens_per_s).abs() / exact.tokens_per_s;
-        assert!(rel < 0.15, "sampled {} vs exact {}", sampled.tokens_per_s, exact.tokens_per_s);
+        assert!(
+            rel < 0.15,
+            "sampled {} vs exact {}",
+            sampled.tokens_per_s,
+            exact.tokens_per_s
+        );
     }
 
     #[test]
@@ -450,13 +565,16 @@ mod tests {
 
     #[test]
     fn prefill_vector_vs_matrix_engine() {
-        let mut engine = DecodeEngine::new(AccelConfig::kv260(), &ModelConfig::test_small(), 64)
-            .expect("fits");
+        let mut engine =
+            DecodeEngine::new(AccelConfig::kv260(), &ModelConfig::test_small(), 64).expect("fits");
         let vector = engine.prefill_vector_ns(32);
         // Matrix engine with the same 128 multipliers: no meaningful win
         // on this compute-starved device (at most the bandwidth ratio).
         let matrix_same = engine.prefill_matrix_engine_ns(32, 128);
-        assert!(matrix_same <= vector, "matrix {matrix_same} vs vector {vector}");
+        assert!(
+            matrix_same <= vector,
+            "matrix {matrix_same} vs vector {vector}"
+        );
         // A 16x bigger engine would help prefill substantially...
         let matrix_big = engine.prefill_matrix_engine_ns(32, 2048);
         assert!(matrix_big < matrix_same);
@@ -471,8 +589,7 @@ mod tests {
         // The paper's engine matches compute to bandwidth exactly, so
         // batching buys (almost) nothing — by design.
         let mut balanced =
-            DecodeEngine::new(AccelConfig::kv260(), &ModelConfig::test_small(), 32)
-                .expect("fits");
+            DecodeEngine::new(AccelConfig::kv260(), &ModelConfig::test_small(), 32).expect("fits");
         let t1 = balanced.decode_batch_estimate(8, 1);
         let t8 = balanced.decode_batch_estimate(8, 8);
         assert!(
@@ -488,8 +605,7 @@ mod tests {
         // stream and scales until the fabric binds.
         let mut rich_cfg = AccelConfig::kv260();
         rich_cfg.lanes = 1024;
-        let mut rich = DecodeEngine::new(rich_cfg, &ModelConfig::test_small(), 32)
-            .expect("fits");
+        let mut rich = DecodeEngine::new(rich_cfg, &ModelConfig::test_small(), 32).expect("fits");
         let r1 = rich.decode_batch_estimate(8, 1);
         let r8 = rich.decode_batch_estimate(8, 8);
         assert!(

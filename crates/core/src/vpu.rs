@@ -8,6 +8,7 @@
 
 use zllm_fp16::vector::{DotEngine, TreePrecision};
 use zllm_fp16::F16;
+use zllm_telemetry::{Counter, MetricsRegistry};
 
 /// One beat of dequantized weights with its group scale/zero already
 /// applied — the exact operand the multiplier array receives.
@@ -30,17 +31,60 @@ pub type WeightBeat = Vec<F16>;
 #[derive(Debug, Clone)]
 pub struct Vpu {
     engine: DotEngine,
+    counters: VpuCounters,
+}
+
+/// Telemetry handles for the VPU datapath. Cloning shares the cells.
+#[derive(Debug, Clone)]
+pub struct VpuCounters {
+    /// Dot-engine invocations (one weight beat each).
+    pub dot_beats: Counter,
+    /// Weight beats dequantized.
+    pub dequant_beats: Counter,
+}
+
+impl VpuCounters {
+    /// Free-standing counters, not visible in any registry.
+    pub fn detached() -> VpuCounters {
+        VpuCounters {
+            dot_beats: Counter::detached(),
+            dequant_beats: Counter::detached(),
+        }
+    }
+
+    /// Registers the counter set under `prefix` (e.g. `"vpu"` yields
+    /// `vpu.dot_beats` and `vpu.dequant_beats`).
+    pub fn register(reg: &mut MetricsRegistry, prefix: &str) -> VpuCounters {
+        VpuCounters {
+            dot_beats: reg.counter(&format!("{prefix}.dot_beats")),
+            dequant_beats: reg.counter(&format!("{prefix}.dequant_beats")),
+        }
+    }
 }
 
 impl Vpu {
     /// The paper's VPU: 128 lanes, wide accumulation.
     pub fn kv260() -> Vpu {
-        Vpu { engine: DotEngine::new(128, TreePrecision::Fp32) }
+        Vpu::new(128, TreePrecision::Fp32)
     }
 
     /// A VPU with explicit lane count/precision (for ablations).
     pub fn new(lanes: usize, precision: TreePrecision) -> Vpu {
-        Vpu { engine: DotEngine::new(lanes, precision) }
+        Vpu::with_counters(lanes, precision, VpuCounters::detached())
+    }
+
+    /// A VPU publishing into the given telemetry handles (see
+    /// [`VpuCounters::register`]).
+    pub fn with_counters(lanes: usize, precision: TreePrecision, counters: VpuCounters) -> Vpu {
+        Vpu {
+            engine: DotEngine::new(lanes, precision),
+            counters,
+        }
+    }
+
+    /// The telemetry handles this VPU publishes into.
+    pub fn counters(&self) -> &VpuCounters {
+        &self.counters
     }
 
     /// Lane count.
@@ -51,6 +95,7 @@ impl Vpu {
     /// One engine invocation: dot of up to `lanes` pairs, result in the
     /// wide accumulator domain (f32).
     pub fn dot(&self, w: &[F16], x: &[F16]) -> f32 {
+        self.counters.dot_beats.inc();
         self.engine.dot(w, x).to_f32()
     }
 
@@ -61,6 +106,7 @@ impl Vpu {
         let mut acc = 0.0f32;
         let lanes = self.lanes();
         for (wc, xc) in w_row.chunks(lanes).zip(x.chunks(lanes)) {
+            self.counters.dot_beats.inc();
             acc += self.engine.dot(wc, xc).to_f32();
         }
         acc
@@ -70,6 +116,7 @@ impl Vpu {
     /// `(q − z) · s` per element, rounded once — what the dequantizer
     /// between demux and multipliers computes.
     pub fn dequantize_beat(&self, codes: &[u8], zero: u8, scale: F16) -> WeightBeat {
+        self.counters.dequant_beats.inc();
         codes
             .iter()
             .map(|&q| {
@@ -117,7 +164,9 @@ mod tests {
     fn dot_row_matches_manual_accumulation() {
         let vpu = Vpu::new(4, TreePrecision::Fp32);
         let w: Vec<F16> = (0..10).map(|i| F16::from_f32(i as f32 * 0.1)).collect();
-        let x: Vec<F16> = (0..10).map(|i| F16::from_f32(1.0 - i as f32 * 0.05)).collect();
+        let x: Vec<F16> = (0..10)
+            .map(|i| F16::from_f32(1.0 - i as f32 * 0.05))
+            .collect();
         let got = vpu.dot_row(&w, &x);
         let want: f32 = w
             .chunks(4)
@@ -153,8 +202,12 @@ mod tests {
         // End-to-end: quantize a row, dequantize beat-wise, dot against an
         // activation — must track the f32 product within quantization error.
         let cols = 256;
-        let w: Vec<f32> = (0..cols).map(|i| ((i * 13) % 31) as f32 / 31.0 - 0.5).collect();
-        let x: Vec<f32> = (0..cols).map(|i| ((i * 7) % 17) as f32 / 17.0 - 0.5).collect();
+        let w: Vec<f32> = (0..cols)
+            .map(|i| ((i * 13) % 31) as f32 / 31.0 - 0.5)
+            .collect();
+        let x: Vec<f32> = (0..cols)
+            .map(|i| ((i * 7) % 17) as f32 / 17.0 - 0.5)
+            .collect();
         let q = GroupQuantizer::new(GroupQuantConfig::w4_g128()).quantize(&w);
         let vpu = Vpu::kv260();
 

@@ -1,0 +1,172 @@
+//! A minimal wall-clock benchmark harness exposing the criterion API
+//! surface this workspace's benches use.
+//!
+//! The real criterion crate needs the network-backed registry; this
+//! stand-in keeps the bench sources unchanged (`Criterion`,
+//! `bench_function`, `benchmark_group`, `black_box`, `criterion_group!`,
+//! `criterion_main!`) and reports a mean ns/iter over a short timed run.
+//! It does no statistical analysis — the numbers are indicative, the
+//! regression *gate* for this repo is `perf_gate` over the simulator's
+//! own deterministic counters, not wall time.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Target measurement time per benchmark.
+const MEASURE_TIME: Duration = Duration::from_millis(500);
+/// Warm-up time per benchmark.
+const WARMUP_TIME: Duration = Duration::from_millis(100);
+
+/// Drives closures timed by [`Bencher::iter`].
+#[derive(Debug, Default)]
+pub struct Bencher {
+    iters_done: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `f`, running it repeatedly until the measurement window
+    /// fills.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up (also gives a cost estimate for batch sizing).
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_start.elapsed() < WARMUP_TIME {
+            black_box(f());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_nanos().max(1) as u64 / warm_iters.max(1);
+        let batch = (10_000_000 / per_iter.max(1)).clamp(1, 1_000_000);
+
+        let start = Instant::now();
+        let mut iters = 0u64;
+        while start.elapsed() < MEASURE_TIME {
+            for _ in 0..batch {
+                black_box(f());
+            }
+            iters += batch;
+        }
+        self.iters_done = iters;
+        self.elapsed = start.elapsed();
+    }
+
+    fn report(&self, name: &str) {
+        if self.iters_done == 0 {
+            println!("{name:<40} (no iterations)");
+            return;
+        }
+        let ns = self.elapsed.as_nanos() as f64 / self.iters_done as f64;
+        let human = if ns >= 1e9 {
+            format!("{:.3} s", ns / 1e9)
+        } else if ns >= 1e6 {
+            format!("{:.3} ms", ns / 1e6)
+        } else if ns >= 1e3 {
+            format!("{:.3} µs", ns / 1e3)
+        } else {
+            format!("{ns:.1} ns")
+        };
+        println!(
+            "{name:<40} time: [{human}/iter] ({} iters)",
+            self.iters_done
+        );
+    }
+}
+
+/// The top-level harness handle.
+#[derive(Debug, Default)]
+pub struct Criterion;
+
+impl Criterion {
+    /// Runs one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher::default();
+        f(&mut b);
+        b.report(name);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group: {name}");
+        BenchmarkGroup {
+            _parent: self,
+            name: name.to_owned(),
+        }
+    }
+}
+
+/// A group of related benchmarks (prefixes names; `sample_size` is
+/// accepted for source compatibility and ignored).
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for compatibility; the shim sizes runs by wall time.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher::default();
+        f(&mut b);
+        b.report(&format!("{}/{}", self.name, name));
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Declares a bench entry function running each listed benchmark.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares `main` for a bench binary (`harness = false`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            // Under `cargo test` the harness-less binary is executed with
+            // `--test`; skip the timed run to keep test cycles fast.
+            if std::env::args().any(|a| a == "--test") {
+                return;
+            }
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_reports_iterations() {
+        let mut b = Bencher::default();
+        b.iter(|| black_box(1u64 + 1));
+        assert!(b.iters_done > 0);
+    }
+
+    #[test]
+    fn group_api_compiles_and_runs() {
+        let mut c = Criterion;
+        let mut g = c.benchmark_group("g");
+        g.sample_size(10);
+        g.finish();
+    }
+}

@@ -76,7 +76,7 @@ impl DdrConfig {
             tfaw: 26,
             trtw: 8,
             twtr: 10,
-            trfc: 312,  // 260 ns
+            trfc: 312,   // 260 ns
             trefi: 9360, // 7.8 µs
             banks: 16,
             bank_groups: 4,
@@ -239,7 +239,11 @@ pub struct AxiConfig {
 impl AxiConfig {
     /// The paper's fabric: 4 × 128-bit at 300 MHz.
     pub const fn kv260() -> AxiConfig {
-        AxiConfig { ports: 4, port_bits: 128, clock_mhz: 300.0 }
+        AxiConfig {
+            ports: 4,
+            port_bits: 128,
+            clock_mhz: 300.0,
+        }
     }
 
     /// Aggregate PL-side bandwidth in GB/s.

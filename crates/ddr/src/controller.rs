@@ -14,6 +14,7 @@
 
 use crate::config::DdrConfig;
 use crate::stats::DdrStats;
+use crate::telemetry::DdrCounters;
 use std::collections::VecDeque;
 
 #[derive(Debug, Clone, Copy, Default)]
@@ -52,7 +53,7 @@ pub struct DdrController {
     /// Completion times of recent accesses (for the lookahead window).
     completions: VecDeque<u64>,
     lookahead: usize,
-    stats: DdrStats,
+    counters: DdrCounters,
 }
 
 impl DdrController {
@@ -66,6 +67,16 @@ impl DdrController {
     ///
     /// Panics if `lookahead` is zero.
     pub fn new(cfg: DdrConfig, lookahead: usize) -> DdrController {
+        DdrController::with_counters(cfg, lookahead, DdrCounters::detached())
+    }
+
+    /// Creates a controller publishing into the given telemetry handles
+    /// (typically obtained from [`DdrCounters::register`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lookahead` is zero.
+    pub fn with_counters(cfg: DdrConfig, lookahead: usize, counters: DdrCounters) -> DdrController {
         assert!(lookahead > 0, "lookahead must be at least 1");
         let banks = vec![Bank::default(); cfg.banks as usize];
         let next_refresh = cfg.trefi as u64;
@@ -80,7 +91,7 @@ impl DdrController {
             next_refresh,
             completions: VecDeque::with_capacity(lookahead + 1),
             lookahead,
-            stats: DdrStats::default(),
+            counters,
         }
     }
 
@@ -89,9 +100,14 @@ impl DdrController {
         &self.cfg
     }
 
-    /// Cumulative statistics.
+    /// Cumulative statistics (a value-type view over the live counters).
     pub fn stats(&self) -> DdrStats {
-        self.stats
+        self.counters.view()
+    }
+
+    /// The telemetry handles this controller publishes into.
+    pub fn counters(&self) -> &DdrCounters {
+        &self.counters
     }
 
     /// Current cycle (when the bus next falls idle).
@@ -121,7 +137,7 @@ impl DdrController {
             let refresh_start = self.next_refresh.max(self.bus_next);
             self.bus_next = refresh_start + cfg.trfc as u64;
             self.next_refresh += cfg.trefi as u64;
-            self.stats.refreshes += 1;
+            self.counters.refreshes.inc();
         }
 
         let (row, bank_idx, _col) = cfg.map_address(addr);
@@ -143,11 +159,11 @@ impl DdrController {
         let bank = &mut self.banks[bank_idx as usize];
         let cas_ready = match bank.open_row {
             Some(r) if r == row => {
-                self.stats.row_hits += 1;
+                self.counters.row_hits.inc();
                 arrival
             }
             Some(_) => {
-                self.stats.row_conflicts += 1;
+                self.counters.row_conflicts.inc();
                 let t_pre = arrival.max(bank.act_at + tras);
                 let t_act = (t_pre + trp).max(act_pacing);
                 bank.open_row = Some(row);
@@ -156,7 +172,7 @@ impl DdrController {
                 t_act + trcd
             }
             None => {
-                self.stats.row_misses += 1;
+                self.counters.row_misses.inc();
                 let t_act = arrival.max(act_pacing);
                 bank.open_row = Some(row);
                 bank.act_at = t_act;
@@ -171,8 +187,12 @@ impl DdrController {
         // Bus turnaround on direction change.
         if let Some(prev) = self.last_write {
             if prev != write {
-                self.bus_next += if write { cfg.trtw as u64 } else { cfg.twtr as u64 };
-                self.stats.turnarounds += 1;
+                self.bus_next += if write {
+                    cfg.trtw as u64
+                } else {
+                    cfg.twtr as u64
+                };
+                self.counters.turnarounds.inc();
             }
         }
         self.last_write = Some(write);
@@ -193,9 +213,9 @@ impl DdrController {
         self.last_cas_per_group[group] = data_start - latency;
 
         if write {
-            self.stats.writes += 1;
+            self.counters.writes.inc();
         } else {
-            self.stats.reads += 1;
+            self.counters.reads.inc();
         }
 
         self.completions.push_back(data_end);
@@ -362,6 +382,7 @@ mod tests {
         let _ = DdrController::new(DdrConfig::default(), 0);
     }
 
+    #[cfg(feature = "proptest")]
     mod properties {
         use super::*;
         use proptest::prelude::*;
@@ -434,7 +455,10 @@ mod tests {
             end >= expected,
             "same-group stride finished in {end}, below the tCCD_L floor {expected}"
         );
-        assert!(end > min_bus * 5 / 4, "stride should be slower than bus rate");
+        assert!(
+            end > min_bus * 5 / 4,
+            "stride should be slower than bus rate"
+        );
     }
 
     #[test]

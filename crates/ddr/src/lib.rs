@@ -29,9 +29,11 @@ pub mod config;
 pub mod controller;
 pub mod stats;
 pub mod system;
+pub mod telemetry;
 pub mod traffic;
 
 pub use config::{AxiConfig, DdrConfig};
 pub use controller::DdrController;
 pub use stats::DdrStats;
 pub use system::{MemorySystem, TransferReport};
+pub use telemetry::DdrCounters;

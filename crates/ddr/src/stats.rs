@@ -66,7 +66,14 @@ mod tests {
 
     #[test]
     fn accounting() {
-        let stats = DdrStats { row_hits: 6, row_misses: 2, row_conflicts: 2, reads: 8, writes: 2, ..DdrStats::default() };
+        let stats = DdrStats {
+            row_hits: 6,
+            row_misses: 2,
+            row_conflicts: 2,
+            reads: 8,
+            writes: 2,
+            ..DdrStats::default()
+        };
         assert_eq!(stats.accesses(), 10);
         assert_eq!(stats.row_hit_rate(), 0.6);
         assert_eq!(stats.bytes(&DdrConfig::default()), 640);

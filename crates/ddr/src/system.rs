@@ -3,6 +3,7 @@
 use crate::config::{AxiConfig, DdrConfig};
 use crate::controller::DdrController;
 use crate::stats::DdrStats;
+use crate::telemetry::DdrCounters;
 use zllm_layout::BurstDescriptor;
 
 /// Outcome of pricing one burst stream through the memory system.
@@ -75,7 +76,29 @@ impl MemorySystem {
 
     /// Builds a system from explicit configurations.
     pub fn new(ddr: DdrConfig, axi: AxiConfig, lookahead: usize) -> MemorySystem {
-        MemorySystem { ctrl: DdrController::new(ddr, lookahead), axi }
+        MemorySystem {
+            ctrl: DdrController::new(ddr, lookahead),
+            axi,
+        }
+    }
+
+    /// Builds a system whose controller publishes into the given telemetry
+    /// handles (see [`DdrCounters::register`]).
+    pub fn with_counters(
+        ddr: DdrConfig,
+        axi: AxiConfig,
+        lookahead: usize,
+        counters: DdrCounters,
+    ) -> MemorySystem {
+        MemorySystem {
+            ctrl: DdrController::with_counters(ddr, lookahead, counters),
+            axi,
+        }
+    }
+
+    /// The telemetry handles the controller publishes into.
+    pub fn counters(&self) -> &DdrCounters {
+        self.ctrl.counters()
     }
 
     /// The DDR configuration.
@@ -117,7 +140,11 @@ impl MemorySystem {
         let dram_ns = cfg.cycles_to_ns(dram_cycles);
         let pl_ns = self.axi.cycles_to_ns(pl_cycles);
         let wall_ns = dram_ns.max(pl_ns);
-        let bandwidth_gbps = if wall_ns > 0.0 { bytes as f64 / wall_ns } else { 0.0 };
+        let bandwidth_gbps = if wall_ns > 0.0 {
+            bytes as f64 / wall_ns
+        } else {
+            0.0
+        };
         let peak = cfg.peak_bandwidth_gbps().min(self.axi.bandwidth_gbps());
         let efficiency = bandwidth_gbps / peak;
 
@@ -163,20 +190,24 @@ mod tests {
     fn long_sequential_burst_approaches_peak() {
         let mut mem = MemorySystem::kv260();
         let report = mem.transfer(&traffic::sequential(0, 64 << 20));
-        assert!(report.efficiency > 0.93, "sequential efficiency {}", report.efficiency);
+        assert!(
+            report.efficiency > 0.93,
+            "sequential efficiency {}",
+            report.efficiency
+        );
         assert!(report.stats.row_hit_rate() > 0.96);
         assert_eq!(report.bytes, 64 << 20);
     }
 
     #[test]
     fn scattered_single_beats_collapse_bandwidth() {
-        let mut mem = MemorySystem::new(
-            DdrConfig::ddr4_2400_kv260(),
-            AxiConfig::kv260(),
-            1,
-        );
+        let mut mem = MemorySystem::new(DdrConfig::ddr4_2400_kv260(), AxiConfig::kv260(), 1);
         let report = mem.transfer(&traffic::random_single(42, 4096, 1 << 30));
-        assert!(report.efficiency < 0.15, "random efficiency {}", report.efficiency);
+        assert!(
+            report.efficiency < 0.15,
+            "random efficiency {}",
+            report.efficiency
+        );
     }
 
     #[test]

@@ -224,12 +224,6 @@ impl F16 {
         F16(self.0 & 0x7FFF)
     }
 
-    /// Negation (flips the sign bit, as hardware does).
-    #[inline]
-    pub fn neg(self) -> F16 {
-        F16(self.0 ^ 0x8000)
-    }
-
     /// Fused multiply-add: `self * a + b` with a single final rounding.
     ///
     /// Models a DSP slice computing the product exactly into a wide
@@ -252,9 +246,7 @@ impl F16 {
     pub fn max(self, other: F16) -> F16 {
         if self.is_nan() {
             other
-        } else if other.is_nan() {
-            self
-        } else if self.to_f32() >= other.to_f32() {
+        } else if other.is_nan() || self.to_f32() >= other.to_f32() {
             self
         } else {
             other
@@ -265,9 +257,7 @@ impl F16 {
     pub fn min(self, other: F16) -> F16 {
         if self.is_nan() {
             other
-        } else if other.is_nan() {
-            self
-        } else if self.to_f32() <= other.to_f32() {
+        } else if other.is_nan() || self.to_f32() <= other.to_f32() {
             self
         } else {
             other
@@ -514,7 +504,7 @@ mod tests {
         assert!(F16::from_f32(f32::NAN).is_nan());
         assert!((n + F16::ONE).is_nan());
         assert_ne!(n, n);
-        assert!(!(n < F16::ONE) && !(n > F16::ONE));
+        assert_eq!(n.partial_cmp(&F16::ONE), None);
     }
 
     #[test]
@@ -586,7 +576,10 @@ mod tests {
         assert_eq!(x.to_f32(), 1.25);
         assert_eq!(format!("{x}"), "1.25");
         assert!("bogus".parse::<F16>().is_err());
-        assert_eq!(format!("{}", ParseF16Error { _priv: () }), "invalid binary16 literal");
+        assert_eq!(
+            format!("{}", ParseF16Error { _priv: () }),
+            "invalid binary16 literal"
+        );
     }
 
     #[test]
@@ -602,7 +595,7 @@ mod tests {
         // Summing 1.0 two thousand times in FP16 stalls at 2048 because
         // 2048 + 1 rounds back to 2048 — the classic FP16 saturation the
         // hardware accumulator would show if it were FP16-only.
-        let s: F16 = std::iter::repeat(F16::ONE).take(4000).sum();
+        let s: F16 = std::iter::repeat_n(F16::ONE, 4000).sum();
         assert_eq!(s.to_f32(), 2048.0);
     }
 

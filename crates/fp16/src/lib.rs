@@ -36,4 +36,4 @@ pub mod math;
 pub mod rtl;
 pub mod vector;
 
-pub use f16::{F16, ParseF16Error};
+pub use f16::{ParseF16Error, F16};

@@ -145,7 +145,10 @@ impl RopeTable {
     ///
     /// Panics if `head_dim` is zero or odd — RoPE rotates lane *pairs*.
     pub fn new(head_dim: usize) -> RopeTable {
-        assert!(head_dim > 0 && head_dim % 2 == 0, "head_dim must be even and non-zero");
+        assert!(
+            head_dim > 0 && head_dim.is_multiple_of(2),
+            "head_dim must be even and non-zero"
+        );
         let inv_freq = (0..head_dim / 2)
             .map(|i| Self::BASE.powf(-2.0 * i as f64 / head_dim as f64))
             .collect();
@@ -261,8 +264,14 @@ mod tests {
             for pair in [0usize, 5, 31] {
                 let (s, c) = rope.sin_cos(&rom, pos, pair);
                 let theta = rope.angle(pos, pair);
-                assert!((s.to_f64() - theta.sin()).abs() < 2e-3, "pos {pos} pair {pair}");
-                assert!((c.to_f64() - theta.cos()).abs() < 2e-3, "pos {pos} pair {pair}");
+                assert!(
+                    (s.to_f64() - theta.sin()).abs() < 2e-3,
+                    "pos {pos} pair {pair}"
+                );
+                assert!(
+                    (c.to_f64() - theta.cos()).abs() < 2e-3,
+                    "pos {pos} pair {pair}"
+                );
             }
         }
     }

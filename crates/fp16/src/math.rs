@@ -88,7 +88,7 @@ impl ExpLut {
         let idx = (((r + half_ln2) / ln2) * Self::DEPTH as f64).floor();
         let idx = (idx.max(0.0) as usize).min(Self::DEPTH - 1);
         let mantissa = self.rom[idx].to_f64();
-        F16::from_f64(mantissa * (k as f64).exp2())
+        F16::from_f64(mantissa * k.exp2())
     }
 
     /// Maximum relative error of the pipeline over a probe grid — a quick
@@ -147,7 +147,10 @@ mod tests {
             let x = F16::from_f32(v);
             let direct = silu(x).to_f64();
             let composed = (x * sigmoid(x)).to_f64();
-            assert!((direct - composed).abs() < 4e-3, "at {v}: {direct} vs {composed}");
+            assert!(
+                (direct - composed).abs() < 4e-3,
+                "at {v}: {direct} vs {composed}"
+            );
         }
         // SiLU(0) = 0, SiLU(large) ≈ large.
         assert_eq!(silu(F16::ZERO).to_f32(), 0.0);

@@ -64,14 +64,18 @@ fn unpack(x: F16) -> Unpacked {
     } else {
         // Normal: value = (1024 + frac)/2^10 × 2^(e-15-10+10) …
         // (1024+frac) has its MSB at bit 10; shift to bit 62.
-        Unpacked { sign, exp: e_field - 15, sig: (0x400 | frac) << 52 }
+        Unpacked {
+            sign,
+            exp: e_field - 15,
+            sig: (0x400 | frac) << 52,
+        }
     }
 }
 
 /// Rounds (RNE) and packs a canonical unpacked value; handles overflow to
 /// infinity and underflow into subnormals/zero.
 fn round_pack(sign: bool, exp: i32, sig: u64) -> F16 {
-    debug_assert!(sig >= 1 << 62 && sig < 1 << 63 || sig == 0);
+    debug_assert!((1 << 62..1 << 63).contains(&sig) || sig == 0);
     let sign_bit = if sign { 0x8000u16 } else { 0 };
     if sig == 0 {
         return F16::from_bits(sign_bit);
@@ -143,7 +147,7 @@ pub fn mul(a: F16, b: F16) -> F16 {
             let pa = ua.sig >> 32; // [2^30, 2^31)
             let pb = ub.sig >> 32;
             let prod = pa * pb; // [2^60, 2^62)
-            // prod/2^60 ∈ [1,4): normalize into the canonical [2^62, 2^63).
+                                // prod/2^60 ∈ [1,4): normalize into the canonical [2^62, 2^63).
             let (sig, exp) = if prod < 1 << 61 {
                 (prod << 2, ua.exp + ub.exp)
             } else {
@@ -195,7 +199,11 @@ fn add_finite(a: F16, b: F16) -> F16 {
     let ua = unpack(a);
     let ub = unpack(b);
     // Order by magnitude: (x) dominates.
-    let (x, y) = if (ua.exp, ua.sig) >= (ub.exp, ub.sig) { (ua, ub) } else { (ub, ua) };
+    let (x, y) = if (ua.exp, ua.sig) >= (ub.exp, ub.sig) {
+        (ua, ub)
+    } else {
+        (ub, ua)
+    };
     let diff = (x.exp - y.exp) as u32;
 
     // Headroom: drop the canonical forms to bit 60 so an addition carry
@@ -246,7 +254,6 @@ fn add_finite(a: F16, b: F16) -> F16 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     /// A stratified set of interesting bit patterns: specials, subnormal
     /// boundaries, exponent extremes and a pseudo-random fill.
@@ -317,9 +324,15 @@ mod tests {
     fn known_vectors() {
         // Tie cases that stress RNE.
         assert_eq!(add(F16::from_f32(2048.0), F16::ONE).to_f32(), 2048.0);
-        assert_eq!(add(F16::from_f32(2048.0), F16::from_f32(3.0)).to_f32(), 2052.0);
+        assert_eq!(
+            add(F16::from_f32(2048.0), F16::from_f32(3.0)).to_f32(),
+            2052.0
+        );
         // Exact cancellation.
-        assert_eq!(add(F16::from_f32(5.5), F16::from_f32(-5.5)).to_bits(), 0x0000);
+        assert_eq!(
+            add(F16::from_f32(5.5), F16::from_f32(-5.5)).to_bits(),
+            0x0000
+        );
         // Subnormal × 2.
         assert_eq!(
             mul(F16::MIN_SUBNORMAL, F16::from_f32(2.0)).to_bits(),
@@ -328,7 +341,10 @@ mod tests {
         // Overflow.
         assert_eq!(mul(F16::MAX, F16::from_f32(2.0)), F16::INFINITY);
         // Underflow to zero.
-        assert_eq!(mul(F16::MIN_SUBNORMAL, F16::from_f32(0.25)).to_bits(), 0x0000);
+        assert_eq!(
+            mul(F16::MIN_SUBNORMAL, F16::from_f32(0.25)).to_bits(),
+            0x0000
+        );
     }
 
     #[test]
@@ -336,38 +352,47 @@ mod tests {
         assert!(mul(F16::INFINITY, F16::ZERO).is_nan());
         assert!(add(F16::INFINITY, F16::NEG_INFINITY).is_nan());
         assert_eq!(add(F16::INFINITY, F16::MAX), F16::INFINITY);
-        assert_eq!(mul(F16::NEG_INFINITY, F16::from_f32(2.0)), F16::NEG_INFINITY);
+        assert_eq!(
+            mul(F16::NEG_INFINITY, F16::from_f32(2.0)),
+            F16::NEG_INFINITY
+        );
         assert_eq!(add(F16::NEG_ZERO, F16::NEG_ZERO).to_bits(), 0x8000);
         assert_eq!(add(F16::ZERO, F16::NEG_ZERO).to_bits(), 0x0000);
         assert!(mul(F16::NAN, F16::ONE).is_nan());
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(2000))]
+    #[cfg(feature = "proptest")]
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
 
-        #[test]
-        fn mul_equivalence_random(a in proptest::num::u16::ANY, b in proptest::num::u16::ANY) {
-            let x = F16::from_bits(a);
-            let y = F16::from_bits(b);
-            prop_assert!(same(mul(x, y), x * y),
-                "mul({a:#06x}, {b:#06x}): rtl {:#06x} vs {:#06x}",
-                mul(x, y).to_bits(), (x * y).to_bits());
-        }
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(2000))]
 
-        #[test]
-        fn add_equivalence_random(a in proptest::num::u16::ANY, b in proptest::num::u16::ANY) {
-            let x = F16::from_bits(a);
-            let y = F16::from_bits(b);
-            prop_assert!(same(add(x, y), x + y),
-                "add({a:#06x}, {b:#06x}): rtl {:#06x} vs {:#06x}",
-                add(x, y).to_bits(), (x + y).to_bits());
-        }
+            #[test]
+            fn mul_equivalence_random(a in proptest::num::u16::ANY, b in proptest::num::u16::ANY) {
+                let x = F16::from_bits(a);
+                let y = F16::from_bits(b);
+                prop_assert!(same(mul(x, y), x * y),
+                    "mul({a:#06x}, {b:#06x}): rtl {:#06x} vs {:#06x}",
+                    mul(x, y).to_bits(), (x * y).to_bits());
+            }
 
-        #[test]
-        fn add_is_commutative(a in proptest::num::u16::ANY, b in proptest::num::u16::ANY) {
-            let x = F16::from_bits(a);
-            let y = F16::from_bits(b);
-            prop_assert!(same(add(x, y), add(y, x)));
+            #[test]
+            fn add_equivalence_random(a in proptest::num::u16::ANY, b in proptest::num::u16::ANY) {
+                let x = F16::from_bits(a);
+                let y = F16::from_bits(b);
+                prop_assert!(same(add(x, y), x + y),
+                    "add({a:#06x}, {b:#06x}): rtl {:#06x} vs {:#06x}",
+                    add(x, y).to_bits(), (x + y).to_bits());
+            }
+
+            #[test]
+            fn add_is_commutative(a in proptest::num::u16::ANY, b in proptest::num::u16::ANY) {
+                let x = F16::from_bits(a);
+                let y = F16::from_bits(b);
+                prop_assert!(same(add(x, y), add(y, x)));
+            }
         }
     }
 

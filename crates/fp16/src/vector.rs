@@ -54,7 +54,10 @@ impl DotEngine {
     /// Panics if `lanes` is zero or not a power of two (the adder tree is a
     /// full binary tree in hardware).
     pub fn new(lanes: usize, precision: TreePrecision) -> DotEngine {
-        assert!(lanes > 0 && lanes.is_power_of_two(), "lanes must be a power of two");
+        assert!(
+            lanes > 0 && lanes.is_power_of_two(),
+            "lanes must be a power of two"
+        );
         DotEngine { lanes, precision }
     }
 
@@ -174,11 +177,6 @@ pub fn dot_exact(a: &[F16], b: &[F16]) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
-
-    fn f16_vec(n: usize) -> impl Strategy<Value = Vec<F16>> {
-        proptest::collection::vec((-4.0f32..4.0).prop_map(F16::from_f32), n)
-    }
 
     #[test]
     fn engine_config() {
@@ -216,7 +214,9 @@ mod tests {
     fn streamed_matches_single_beat_composition() {
         let e = DotEngine::new(4, TreePrecision::Fp32);
         let row: Vec<F16> = (0..12).map(|i| F16::from_f32(i as f32 * 0.25)).collect();
-        let x: Vec<F16> = (0..12).map(|i| F16::from_f32(1.0 - i as f32 * 0.05)).collect();
+        let x: Vec<F16> = (0..12)
+            .map(|i| F16::from_f32(1.0 - i as f32 * 0.05))
+            .collect();
         let got = e.dot_streamed(&row, &x, None);
         let want: f32 = row
             .chunks(4)
@@ -249,48 +249,62 @@ mod tests {
         }
         a[127] = F16::from_f32(-1000.25);
         let exact = dot_exact(&a, &b);
-        let e32 = DotEngine::new(128, TreePrecision::Fp32).dot(&a, &b).to_f64();
-        let e16 = DotEngine::new(128, TreePrecision::Fp16).dot(&a, &b).to_f64();
+        let e32 = DotEngine::new(128, TreePrecision::Fp32)
+            .dot(&a, &b)
+            .to_f64();
+        let e16 = DotEngine::new(128, TreePrecision::Fp16)
+            .dot(&a, &b)
+            .to_f64();
         assert!((e32 - exact).abs() <= (e16 - exact).abs());
     }
 
-    proptest! {
-        #[test]
-        fn tree_dot_close_to_exact(a in f16_vec(128), b in f16_vec(128)) {
-            let e = DotEngine::new(128, TreePrecision::Fp32);
-            let got = e.dot(&a, &b).to_f64();
-            let exact = dot_exact(&a, &b);
-            // FP32 tree over FP16 products: error bounded by product
-            // rounding (≤ 2^-11 relative each) plus final rounding.
-            let bound = 1e-2 * (1.0 + exact.abs()) + 0.6;
-            prop_assert!((got - exact).abs() < bound, "got {got}, exact {exact}");
+    #[cfg(feature = "proptest")]
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn f16_vec(n: usize) -> impl Strategy<Value = Vec<F16>> {
+            proptest::collection::vec((-4.0f32..4.0).prop_map(F16::from_f32), n)
         }
 
-        #[test]
-        fn dot_is_symmetric(a in f16_vec(64), b in f16_vec(64)) {
-            let e = DotEngine::new(64, TreePrecision::Fp32);
-            prop_assert_eq!(e.dot(&a, &b).to_bits(), e.dot(&b, &a).to_bits());
-        }
+        proptest! {
+            #[test]
+            fn tree_dot_close_to_exact(a in f16_vec(128), b in f16_vec(128)) {
+                let e = DotEngine::new(128, TreePrecision::Fp32);
+                let got = e.dot(&a, &b).to_f64();
+                let exact = dot_exact(&a, &b);
+                // FP32 tree over FP16 products: error bounded by product
+                // rounding (≤ 2^-11 relative each) plus final rounding.
+                let bound = 1e-2 * (1.0 + exact.abs()) + 0.6;
+                prop_assert!((got - exact).abs() < bound, "got {got}, exact {exact}");
+            }
 
-        #[test]
-        fn zero_vector_gives_zero(a in f16_vec(32)) {
-            let e = DotEngine::new(32, TreePrecision::Fp16);
-            let z = vec![F16::ZERO; 32];
-            prop_assert_eq!(e.dot(&a, &z).to_f32(), 0.0);
-        }
+            #[test]
+            fn dot_is_symmetric(a in f16_vec(64), b in f16_vec(64)) {
+                let e = DotEngine::new(64, TreePrecision::Fp32);
+                prop_assert_eq!(e.dot(&a, &b).to_bits(), e.dot(&b, &a).to_bits());
+            }
 
-        #[test]
-        fn serial_and_tree_agree_on_nonnegative_inputs(
-            a in proptest::collection::vec((0.0f32..2.0).prop_map(F16::from_f32), 16)
-        ) {
-            // With all-positive values there is no cancellation; serial and
-            // tree orderings agree to within a few ulps.
-            let e = DotEngine::new(16, TreePrecision::Fp32);
-            let tree = e.dot(&a, &a).to_f64();
-            let serial = dot_serial(&a, &a).to_f64();
-            let exact = dot_exact(&a, &a);
-            prop_assert!((tree - exact).abs() <= 0.05 * exact.abs() + 0.1);
-            prop_assert!((serial - exact).abs() <= 0.05 * exact.abs() + 0.2);
+            #[test]
+            fn zero_vector_gives_zero(a in f16_vec(32)) {
+                let e = DotEngine::new(32, TreePrecision::Fp16);
+                let z = vec![F16::ZERO; 32];
+                prop_assert_eq!(e.dot(&a, &z).to_f32(), 0.0);
+            }
+
+            #[test]
+            fn serial_and_tree_agree_on_nonnegative_inputs(
+                a in proptest::collection::vec((0.0f32..2.0).prop_map(F16::from_f32), 16)
+            ) {
+                // With all-positive values there is no cancellation; serial and
+                // tree orderings agree to within a few ulps.
+                let e = DotEngine::new(16, TreePrecision::Fp32);
+                let tree = e.dot(&a, &a).to_f64();
+                let serial = dot_serial(&a, &a).to_f64();
+                let exact = dot_exact(&a, &a);
+                prop_assert!((tree - exact).abs() <= 0.05 * exact.abs() + 0.1);
+                prop_assert!((serial - exact).abs() <= 0.05 * exact.abs() + 0.2);
+            }
         }
     }
 }

@@ -145,7 +145,12 @@ impl MemoryMap {
             });
         }
         *cursor = base + size;
-        let region = Region { name: name.to_owned(), base, size, window };
+        let region = Region {
+            name: name.to_owned(),
+            base,
+            size,
+            window,
+        };
         self.regions.push(region.clone());
         Ok(region)
     }
@@ -181,7 +186,8 @@ impl MemoryMap {
 
     /// Largest single free extent across both windows.
     pub fn largest_free_extent(&self) -> u64 {
-        self.free_bytes(Window::Low).max(self.free_bytes(Window::High))
+        self.free_bytes(Window::Low)
+            .max(self.free_bytes(Window::High))
     }
 
     /// Whether a Linux kernel could still be loaded. A minimal headless
@@ -212,7 +218,11 @@ impl MemoryMap {
 
 impl fmt::Display for MemoryMap {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "KV260 4GB DDR map ({:.1}% occupied)", self.occupancy() * 100.0)?;
+        writeln!(
+            f,
+            "KV260 4GB DDR map ({:.1}% occupied)",
+            self.occupancy() * 100.0
+        )?;
         for r in &self.regions {
             writeln!(
                 f,
@@ -234,7 +244,6 @@ impl fmt::Display for MemoryMap {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     #[test]
     fn windows_match_paper_boundaries() {
@@ -269,7 +278,9 @@ mod tests {
     #[test]
     fn over_allocation_errors() {
         let mut map = MemoryMap::kv260();
-        let err = map.alloc("huge", 3 << 30, Window::High).expect_err("cannot fit");
+        let err = map
+            .alloc("huge", 3 << 30, Window::High)
+            .expect_err("cannot fit");
         assert_eq!(err.requested, 3 << 30);
         assert!(err.available <= 2 << 30);
         assert!(err.to_string().contains("huge"));
@@ -279,7 +290,8 @@ mod tests {
     fn occupancy_and_linux_check() {
         let mut map = MemoryMap::kv260();
         assert!(map.linux_bootable());
-        map.alloc("weights", 1_900 << 20, Window::High).expect("fits");
+        map.alloc("weights", 1_900 << 20, Window::High)
+            .expect("fits");
         map.alloc("more", 1_700 << 20, Window::Low).expect("fits");
         assert!(map.occupancy() > 0.8);
         assert!(!map.linux_bootable());
@@ -288,7 +300,8 @@ mod tests {
     #[test]
     fn region_lookup() {
         let mut map = MemoryMap::kv260();
-        map.alloc("kv cache", 264 << 20, Window::High).expect("fits");
+        map.alloc("kv cache", 264 << 20, Window::High)
+            .expect("fits");
         assert!(map.region("kv cache").is_some());
         assert!(map.region("nonexistent").is_none());
         assert_eq!(map.regions().len(), 1);
@@ -297,25 +310,32 @@ mod tests {
     #[test]
     fn display_lists_regions() {
         let mut map = MemoryMap::kv260();
-        map.alloc("embedding", 250 << 20, Window::High).expect("fits");
+        map.alloc("embedding", 250 << 20, Window::High)
+            .expect("fits");
         let s = map.to_string();
         assert!(s.contains("embedding"));
         assert!(s.contains("250.0 MiB"));
     }
 
-    proptest! {
-        #[test]
-        fn invariants_hold_for_arbitrary_allocations(
-            sizes in proptest::collection::vec(1u64..(64 << 20), 1..40),
-            windows in proptest::collection::vec(proptest::bool::ANY, 40),
-        ) {
-            let mut map = MemoryMap::kv260();
-            for (i, &size) in sizes.iter().enumerate() {
-                let w = if windows[i] { Window::High } else { Window::Low };
-                let _ = map.alloc(&format!("r{i}"), size, w);
+    #[cfg(feature = "proptest")]
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn invariants_hold_for_arbitrary_allocations(
+                sizes in proptest::collection::vec(1u64..(64 << 20), 1..40),
+                windows in proptest::collection::vec(proptest::bool::ANY, 40),
+            ) {
+                let mut map = MemoryMap::kv260();
+                for (i, &size) in sizes.iter().enumerate() {
+                    let w = if windows[i] { Window::High } else { Window::Low };
+                    let _ = map.alloc(&format!("r{i}"), size, w);
+                }
+                prop_assert!(map.check_invariants());
+                prop_assert!(map.allocated_bytes() <= map.total_bytes());
             }
-            prop_assert!(map.check_invariants());
-            prop_assert!(map.allocated_bytes() <= map.total_bytes());
         }
     }
 }

@@ -62,7 +62,7 @@ impl Beat {
     /// Panics if `i >= Self::NIBBLES`.
     pub fn nibble(&self, i: usize) -> u8 {
         let byte = self.0[i / 2];
-        if i % 2 == 0 {
+        if i.is_multiple_of(2) {
             byte & 0x0F
         } else {
             byte >> 4
@@ -77,7 +77,7 @@ impl Beat {
     pub fn set_nibble(&mut self, i: usize, v: u8) {
         assert!(v <= 0xF, "nibble value out of range");
         let byte = &mut self.0[i / 2];
-        if i % 2 == 0 {
+        if i.is_multiple_of(2) {
             *byte = (*byte & 0xF0) | v;
         } else {
             *byte = (*byte & 0x0F) | (v << 4);
@@ -169,7 +169,6 @@ impl AsRef<[u8]> for Beat {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     #[test]
     fn element_counts() {
@@ -212,28 +211,34 @@ mod tests {
         assert!(s.starts_with("Beat(ab"));
     }
 
-    proptest! {
-        #[test]
-        fn nibbles_are_independent(values in proptest::collection::vec(0u8..16, 128)) {
-            let mut b = Beat::zeroed();
-            for (i, &v) in values.iter().enumerate() {
-                b.set_nibble(i, v);
-            }
-            for (i, &v) in values.iter().enumerate() {
-                prop_assert_eq!(b.nibble(i), v);
-            }
-        }
+    #[cfg(feature = "proptest")]
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
 
-        #[test]
-        fn words_overlay_bytes(words in proptest::collection::vec(proptest::num::u32::ANY, 16)) {
-            let mut b = Beat::zeroed();
-            for (i, &w) in words.iter().enumerate() {
-                b.set_word(i, w);
+        proptest! {
+            #[test]
+            fn nibbles_are_independent(values in proptest::collection::vec(0u8..16, 128)) {
+                let mut b = Beat::zeroed();
+                for (i, &v) in values.iter().enumerate() {
+                    b.set_nibble(i, v);
+                }
+                for (i, &v) in values.iter().enumerate() {
+                    prop_assert_eq!(b.nibble(i), v);
+                }
             }
-            for (i, &w) in words.iter().enumerate() {
-                prop_assert_eq!(b.word(i), w);
-                prop_assert_eq!(b.half(2 * i), (w & 0xFFFF) as u16);
-                prop_assert_eq!(b.half(2 * i + 1), (w >> 16) as u16);
+
+            #[test]
+            fn words_overlay_bytes(words in proptest::collection::vec(proptest::num::u32::ANY, 16)) {
+                let mut b = Beat::zeroed();
+                for (i, &w) in words.iter().enumerate() {
+                    b.set_word(i, w);
+                }
+                for (i, &w) in words.iter().enumerate() {
+                    prop_assert_eq!(b.word(i), w);
+                    prop_assert_eq!(b.half(2 * i), (w & 0xFFFF) as u16);
+                    prop_assert_eq!(b.half(2 * i + 1), (w >> 16) as u16);
+                }
             }
         }
     }

@@ -30,12 +30,20 @@ pub struct BurstDescriptor {
 impl BurstDescriptor {
     /// Creates a read burst.
     pub fn new(addr: u64, beats: u32) -> BurstDescriptor {
-        BurstDescriptor { addr, beats, write: false }
+        BurstDescriptor {
+            addr,
+            beats,
+            write: false,
+        }
     }
 
     /// Creates a write burst.
     pub fn write(addr: u64, beats: u32) -> BurstDescriptor {
-        BurstDescriptor { addr, beats, write: true }
+        BurstDescriptor {
+            addr,
+            beats,
+            write: true,
+        }
     }
 
     /// Transfer size in bytes.
@@ -76,7 +84,11 @@ pub fn coalesce(bursts: &[BurstDescriptor], max_beats: u32) -> Vec<BurstDescript
         let mut remaining = b.beats;
         while remaining > 0 {
             let take = remaining.min(max_beats);
-            out.push(BurstDescriptor { addr, beats: take, write: b.write });
+            out.push(BurstDescriptor {
+                addr,
+                beats: take,
+                write: b.write,
+            });
             addr += take as u64 * crate::BEAT_BYTES as u64;
             remaining -= take;
         }
@@ -124,7 +136,7 @@ mod tests {
     fn coalesce_respects_gaps_and_direction() {
         let bursts = [
             BurstDescriptor::new(0, 2),
-            BurstDescriptor::new(256, 2), // gap
+            BurstDescriptor::new(256, 2),   // gap
             BurstDescriptor::write(384, 2), // direction change
         ];
         let merged = coalesce(&bursts, 64);

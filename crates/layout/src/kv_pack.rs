@@ -11,6 +11,7 @@
 
 use crate::beat::Beat;
 use std::collections::VecDeque;
+use zllm_telemetry::{Counter, MetricsRegistry};
 
 /// Scale-zero packs per 512-bit FIFO element.
 pub const PACKS_PER_ELEMENT: usize = Beat::WORDS;
@@ -60,6 +61,39 @@ pub struct KvPackFifo {
     slots: VecDeque<Slot>,
     /// How many packs have been appended in total.
     appended: u64,
+    counters: KvPackCounters,
+}
+
+/// Telemetry handles for the KV-pack path. Cloning shares the cells.
+#[derive(Debug, Clone)]
+pub struct KvPackCounters {
+    /// Scale-zero packs appended.
+    pub packs: Counter,
+    /// Full 512-bit beats flushed to DDR.
+    pub flushed_beats: Counter,
+    /// Partially filled elements drained at end of generation.
+    pub partial_flushes: Counter,
+}
+
+impl KvPackCounters {
+    /// Free-standing counters, not visible in any registry.
+    pub fn detached() -> KvPackCounters {
+        KvPackCounters {
+            packs: Counter::detached(),
+            flushed_beats: Counter::detached(),
+            partial_flushes: Counter::detached(),
+        }
+    }
+
+    /// Registers the counter set under `prefix` (e.g. `"kv_pack"` yields
+    /// `kv_pack.packs`, `kv_pack.flushed_beats`, ...).
+    pub fn register(reg: &mut MetricsRegistry, prefix: &str) -> KvPackCounters {
+        KvPackCounters {
+            packs: reg.counter(&format!("{prefix}.packs")),
+            flushed_beats: reg.counter(&format!("{prefix}.flushed_beats")),
+            partial_flushes: reg.counter(&format!("{prefix}.partial_flushes")),
+        }
+    }
 }
 
 #[derive(Debug, Clone)]
@@ -77,11 +111,35 @@ impl KvPackFifo {
     ///
     /// Panics if `streams` is zero.
     pub fn new(streams: usize) -> KvPackFifo {
+        KvPackFifo::with_counters(streams, KvPackCounters::detached())
+    }
+
+    /// Creates the FIFO publishing into the given telemetry handles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `streams` is zero.
+    pub fn with_counters(streams: usize, counters: KvPackCounters) -> KvPackFifo {
         assert!(streams > 0, "at least one stream required");
         let slots = (0..streams)
-            .map(|stream| Slot { stream, first_token: 0, valid: 0, beat: Beat::zeroed() })
+            .map(|stream| Slot {
+                stream,
+                first_token: 0,
+                valid: 0,
+                beat: Beat::zeroed(),
+            })
             .collect();
-        KvPackFifo { streams, slots, appended: 0 }
+        KvPackFifo {
+            streams,
+            slots,
+            appended: 0,
+            counters,
+        }
+    }
+
+    /// The telemetry handles this FIFO publishes into.
+    pub fn counters(&self) -> &KvPackCounters {
+        &self.counters
     }
 
     /// Number of metadata streams (FIFO depth).
@@ -105,6 +163,7 @@ impl KvPackFifo {
         slot.beat.set_word(slot.valid, pack);
         slot.valid += 1;
         self.appended += 1;
+        self.counters.packs.inc();
 
         let flushed = if slot.valid == PACKS_PER_ELEMENT {
             let el = FlushedElement {
@@ -114,6 +173,7 @@ impl KvPackFifo {
             };
             slot.valid = 0;
             slot.beat = Beat::zeroed();
+            self.counters.flushed_beats.inc();
             Some(el)
         } else {
             None
@@ -136,6 +196,7 @@ impl KvPackFifo {
                     },
                     slot.valid,
                 ));
+                self.counters.partial_flushes.inc();
                 slot.valid = 0;
                 slot.beat = Beat::zeroed();
             }
@@ -242,5 +303,33 @@ mod tests {
     #[should_panic(expected = "at least one stream")]
     fn zero_streams_rejected() {
         let _ = KvPackFifo::new(0);
+    }
+
+    #[test]
+    fn counters_track_appends_flushes_and_partials() {
+        let mut reg = MetricsRegistry::new();
+        let counters = KvPackCounters::register(&mut reg, "kv_pack");
+        let streams = 4;
+        let mut fifo = KvPackFifo::with_counters(streams, counters);
+        for token in 0..20u64 {
+            for s in 0..streams {
+                let _ = fifo.append((token * streams as u64 + s as u64) as u32);
+            }
+        }
+        let _ = fifo.drain_partial();
+        assert_eq!(
+            reg.counter_value("kv_pack.packs"),
+            Some(20 * streams as u64)
+        );
+        // 16 of the 20 tokens filled every element once.
+        assert_eq!(
+            reg.counter_value("kv_pack.flushed_beats"),
+            Some(streams as u64)
+        );
+        // The remaining 4 tokens left every element partially filled.
+        assert_eq!(
+            reg.counter_value("kv_pack.partial_flushes"),
+            Some(streams as u64)
+        );
     }
 }

@@ -43,13 +43,21 @@ pub struct WeightFormat {
 impl WeightFormat {
     /// The accelerator's native geometry: 512-bit beats, W4, groups of 128.
     pub const fn kv260() -> WeightFormat {
-        WeightFormat { bus_bits: 512, weight_bits: 4, group_size: 128 }
+        WeightFormat {
+            bus_bits: 512,
+            weight_bits: 4,
+            group_size: 128,
+        }
     }
 
     /// The geometry as enumerated in the paper's Fig. 4A prose (64 weights
     /// or 16 scales per transaction, i.e. 256-bit transactions).
     pub const fn paper_fig4() -> WeightFormat {
-        WeightFormat { bus_bits: 256, weight_bits: 4, group_size: 128 }
+        WeightFormat {
+            bus_bits: 256,
+            weight_bits: 4,
+            group_size: 128,
+        }
     }
 
     /// Creates a format, validating divisibility constraints.
@@ -59,17 +67,24 @@ impl WeightFormat {
     /// Panics unless `bus_bits` is a multiple of 16, `weight_bits` divides
     /// `bus_bits`, and a group's codes fill a whole number of beats.
     pub fn new(bus_bits: usize, weight_bits: u32, group_size: usize) -> WeightFormat {
-        assert!(bus_bits % 16 == 0, "bus must carry whole FP16 scales");
         assert!(
-            bus_bits % weight_bits as usize == 0,
+            bus_bits.is_multiple_of(16),
+            "bus must carry whole FP16 scales"
+        );
+        assert!(
+            bus_bits.is_multiple_of(weight_bits as usize),
             "weight codes must pack the bus exactly"
         );
         let group_bits = group_size * weight_bits as usize;
         assert!(
-            group_bits % bus_bits == 0,
+            group_bits.is_multiple_of(bus_bits),
             "a group's codes must fill a whole number of beats"
         );
-        WeightFormat { bus_bits, weight_bits, group_size }
+        WeightFormat {
+            bus_bits,
+            weight_bits,
+            group_size,
+        }
     }
 
     /// Weight codes per beat.
@@ -94,7 +109,8 @@ impl WeightFormat {
 
     /// Scale beats per superblock.
     pub fn scale_beats_per_superblock(&self) -> usize {
-        self.groups_per_superblock().div_ceil(self.scales_per_beat())
+        self.groups_per_superblock()
+            .div_ceil(self.scales_per_beat())
     }
 
     /// Weight beats per group.
@@ -188,8 +204,14 @@ impl EncodedWeights {
 /// width is not 4 bits, or if the format is not 512-bit (only the native
 /// geometry is materialised; other geometries are used analytically).
 pub fn encode(fmt: &WeightFormat, tensor: &QuantizedTensor) -> EncodedWeights {
-    assert_eq!(fmt.bus_bits, 512, "only the 512-bit geometry is materialised");
-    assert_eq!(fmt.weight_bits, 4, "interleaved encoding is defined for 4-bit codes");
+    assert_eq!(
+        fmt.bus_bits, 512,
+        "only the 512-bit geometry is materialised"
+    );
+    assert_eq!(
+        fmt.weight_bits, 4,
+        "interleaved encoding is defined for 4-bit codes"
+    );
     assert_eq!(
         tensor.config().group_size,
         fmt.group_size,
@@ -215,8 +237,7 @@ pub fn encode(fmt: &WeightFormat, tensor: &QuantizedTensor) -> EncodedWeights {
             // Zero points: nibble `local_g` of the superblock's first beat.
             beats[base].set_nibble(local_g, tensor.zeros()[g]);
             // Scales: half `local_g % spb` of scale beat `local_g / spb`.
-            beats[base + 1 + local_g / spb]
-                .set_half(local_g % spb, tensor.scales()[g].to_bits());
+            beats[base + 1 + local_g / spb].set_half(local_g % spb, tensor.scales()[g].to_bits());
             // Weight codes of group g: one beat (128 nibbles).
             let wbeat = base + 1 + scale_beats + local_g;
             let lo = g * fmt.group_size;
@@ -227,7 +248,11 @@ pub fn encode(fmt: &WeightFormat, tensor: &QuantizedTensor) -> EncodedWeights {
         }
     }
 
-    EncodedWeights { format: *fmt, n_weights: tensor.len(), beats }
+    EncodedWeights {
+        format: *fmt,
+        n_weights: tensor.len(),
+        beats,
+    }
 }
 
 /// Decoded view of an interleaved stream: the demultiplexer output (§VI-A).
@@ -271,7 +296,11 @@ pub fn decode(enc: &EncodedWeights) -> DecodedWeights {
         }
     }
 
-    DecodedWeights { codes, scales, zeros }
+    DecodedWeights {
+        codes,
+        scales,
+        zeros,
+    }
 }
 
 /// The layouts compared in the Fig. 4 ablation.
@@ -376,7 +405,9 @@ mod tests {
     use zllm_quant::group::{GroupQuantConfig, GroupQuantizer};
 
     fn sample_tensor(n: usize) -> QuantizedTensor {
-        let values: Vec<f32> = (0..n).map(|i| ((i * 29) % 257) as f32 / 64.0 - 2.0).collect();
+        let values: Vec<f32> = (0..n)
+            .map(|i| ((i * 29) % 257) as f32 / 64.0 - 2.0)
+            .collect();
         GroupQuantizer::new(GroupQuantConfig::w4_g128()).quantize(&values)
     }
 
@@ -518,6 +549,7 @@ mod tests {
         let _ = WeightFormat::new(512, 4, 100);
     }
 
+    #[cfg(feature = "proptest")]
     mod properties {
         use super::*;
         use proptest::prelude::*;

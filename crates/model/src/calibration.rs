@@ -90,7 +90,10 @@ impl CalibrationSet {
 pub fn capture(weights: &ModelWeights, tokens: &[usize]) -> CalibrationSet {
     assert!(!tokens.is_empty(), "empty calibration prompt");
     let cfg: &ModelConfig = weights.config();
-    assert!(tokens.len() <= cfg.max_seq_len, "prompt exceeds context window");
+    assert!(
+        tokens.len() <= cfg.max_seq_len,
+        "prompt exceeds context window"
+    );
     let d = cfg.d_model;
     let hd = cfg.head_dim();
     let group = cfg.n_heads / cfg.n_kv_heads;
@@ -140,8 +143,7 @@ pub fn capture(weights: &ModelWeights, tokens: &[usize]) -> CalibrationSet {
             data[layer_idx * 4 + 2].extend_from_slice(&xn);
             let gate = layer.w_gate.matvec(&xn);
             let up = layer.w_up.matvec(&xn);
-            let inner: Vec<f32> =
-                gate.iter().zip(&up).map(|(&g, &u)| silu(g) * u).collect();
+            let inner: Vec<f32> = gate.iter().zip(&up).map(|(&g, &u)| silu(g) * u).collect();
             data[layer_idx * 4 + 3].extend_from_slice(&inner);
             let down = layer.w_down.matvec(&inner);
             for (xi, di) in x.iter_mut().zip(&down) {
@@ -199,7 +201,10 @@ mod tests {
         let w = ModelWeights::generate(&cfg, 4);
         let a = capture(&w, &[7, 8, 9]);
         let b = capture(&w, &[7, 8, 9]);
-        assert_eq!(a.site(1, ProjectionSite::Down), b.site(1, ProjectionSite::Down));
+        assert_eq!(
+            a.site(1, ProjectionSite::Down),
+            b.site(1, ProjectionSite::Down)
+        );
     }
 
     #[test]

@@ -151,20 +151,23 @@ impl ModelConfig {
     ///
     /// Returns a description of the first violated constraint.
     pub fn validate(&self) -> Result<(), String> {
-        if self.d_model % self.n_heads != 0 {
+        if !self.d_model.is_multiple_of(self.n_heads) {
             return Err(format!(
                 "d_model {} not divisible by n_heads {}",
                 self.d_model, self.n_heads
             ));
         }
-        if self.n_heads % self.n_kv_heads != 0 {
+        if !self.n_heads.is_multiple_of(self.n_kv_heads) {
             return Err(format!(
                 "n_heads {} not divisible by n_kv_heads {}",
                 self.n_heads, self.n_kv_heads
             ));
         }
-        if self.head_dim() % 2 != 0 {
-            return Err(format!("head_dim {} must be even for RoPE", self.head_dim()));
+        if !self.head_dim().is_multiple_of(2) {
+            return Err(format!(
+                "head_dim {} must be even for RoPE",
+                self.head_dim()
+            ));
         }
         if self.n_layers == 0 || self.vocab_size == 0 || self.d_ff == 0 {
             return Err("layer count, vocabulary and d_ff must be non-zero".to_owned());
@@ -220,7 +223,8 @@ mod tests {
             ModelConfig::test_small(),
             ModelConfig::test_small_gqa(),
         ] {
-            cfg.validate().unwrap_or_else(|e| panic!("{}: {e}", cfg.name));
+            cfg.validate()
+                .unwrap_or_else(|e| panic!("{}: {e}", cfg.name));
         }
     }
 

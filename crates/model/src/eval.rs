@@ -150,7 +150,10 @@ mod tests {
         let mut dec = Decoder::new(&w, KvCacheF32::new(&cfg));
         let ce = mean_cross_entropy(|t| dec.forward(t), &corpus);
         let chance = (cfg.vocab_size as f64).ln();
-        assert!(ce < chance, "self-scored CE {ce} should beat chance {chance}");
+        assert!(
+            ce < chance,
+            "self-scored CE {ce} should beat chance {chance}"
+        );
     }
 
     #[test]
@@ -175,7 +178,10 @@ mod tests {
         let exact = score(None);
         let kv8 = score(Some(8));
         let kv2 = score(Some(2));
-        assert!((kv8 - exact).abs() < 0.05, "KV8 gap too large: {kv8} vs {exact}");
+        assert!(
+            (kv8 - exact).abs() < 0.05,
+            "KV8 gap too large: {kv8} vs {exact}"
+        );
         assert!(kv2 > kv8, "KV2 ({kv2}) should degrade past KV8 ({kv8})");
     }
 

@@ -6,6 +6,7 @@
 //! decoder, or anything else that produces logits.
 
 use crate::sampler::{argmax, TopKSampler};
+use zllm_telemetry::MetricsRegistry;
 
 /// How to pick the next token.
 #[derive(Debug, Clone)]
@@ -36,7 +37,11 @@ pub struct GenerateOptions {
 
 impl Default for GenerateOptions {
     fn default() -> GenerateOptions {
-        GenerateOptions { max_tokens: 32, sampling: Sampling::Greedy, stop_token: None }
+        GenerateOptions {
+            max_tokens: 32,
+            sampling: Sampling::Greedy,
+            stop_token: None,
+        }
     }
 }
 
@@ -77,21 +82,47 @@ pub struct Generation {
 /// });
 /// assert_eq!(out.tokens.len(), 4);
 /// ```
-pub fn generate<F>(mut forward: F, prompt: &[usize], options: &GenerateOptions) -> Generation
+pub fn generate<F>(forward: F, prompt: &[usize], options: &GenerateOptions) -> Generation
+where
+    F: FnMut(usize) -> Vec<f32>,
+{
+    let mut reg = MetricsRegistry::new();
+    generate_with_metrics(forward, prompt, options, &mut reg)
+}
+
+/// [`generate`], publishing progress counters into `reg`:
+/// `generate.prefill_tokens`, `generate.sampled_tokens` and
+/// `generate.stops` accumulate across calls sharing the registry.
+///
+/// # Panics
+///
+/// Panics if `prompt` is empty.
+pub fn generate_with_metrics<F>(
+    mut forward: F,
+    prompt: &[usize],
+    options: &GenerateOptions,
+    reg: &mut MetricsRegistry,
+) -> Generation
 where
     F: FnMut(usize) -> Vec<f32>,
 {
     assert!(!prompt.is_empty(), "empty prompt");
+    let prefill_tokens = reg.counter("generate.prefill_tokens");
+    let sampled_tokens = reg.counter("generate.sampled_tokens");
+    let stops = reg.counter("generate.stops");
     let mut logits = Vec::new();
     for &t in prompt {
         logits = forward(t);
+        prefill_tokens.inc();
     }
 
     let mut sampler = match options.sampling {
         Sampling::Greedy => None,
-        Sampling::TopK { k, temperature, seed } => {
-            Some(TopKSampler::new(k, temperature, seed))
-        }
+        Sampling::TopK {
+            k,
+            temperature,
+            seed,
+        } => Some(TopKSampler::new(k, temperature, seed)),
     };
 
     let mut tokens = Vec::with_capacity(options.max_tokens);
@@ -101,14 +132,22 @@ where
             Some(s) => s.sample(&logits),
         };
         if options.stop_token == Some(next) {
-            return Generation { tokens, stopped: true };
+            stops.inc();
+            return Generation {
+                tokens,
+                stopped: true,
+            };
         }
+        sampled_tokens.inc();
         tokens.push(next);
         if step + 1 < options.max_tokens {
             logits = forward(next);
         }
     }
-    Generation { tokens, stopped: false }
+    Generation {
+        tokens,
+        stopped: false,
+    }
 }
 
 #[cfg(test)]
@@ -143,18 +182,26 @@ mod tests {
         let (cfg, w) = setup();
         // Find what greedy emits first, then use it as the stop token.
         let mut d = Decoder::new(&w, KvCacheF32::new(&cfg));
-        let first = generate(|t| d.forward(t), &[9], &GenerateOptions {
-            max_tokens: 1,
-            ..GenerateOptions::default()
-        })
+        let first = generate(
+            |t| d.forward(t),
+            &[9],
+            &GenerateOptions {
+                max_tokens: 1,
+                ..GenerateOptions::default()
+            },
+        )
         .tokens[0];
 
         let mut d = Decoder::new(&w, KvCacheF32::new(&cfg));
-        let out = generate(|t| d.forward(t), &[9], &GenerateOptions {
-            max_tokens: 16,
-            sampling: Sampling::Greedy,
-            stop_token: Some(first),
-        });
+        let out = generate(
+            |t| d.forward(t),
+            &[9],
+            &GenerateOptions {
+                max_tokens: 16,
+                sampling: Sampling::Greedy,
+                stop_token: Some(first),
+            },
+        );
         assert!(out.stopped);
         assert!(out.tokens.is_empty());
     }
@@ -164,11 +211,19 @@ mod tests {
         let (cfg, w) = setup();
         let run = |seed| {
             let mut d = Decoder::new(&w, KvCacheF32::new(&cfg));
-            generate(|t| d.forward(t), &[3, 4], &GenerateOptions {
-                max_tokens: 8,
-                sampling: Sampling::TopK { k: 8, temperature: 1.0, seed },
-                stop_token: None,
-            })
+            generate(
+                |t| d.forward(t),
+                &[3, 4],
+                &GenerateOptions {
+                    max_tokens: 8,
+                    sampling: Sampling::TopK {
+                        k: 8,
+                        temperature: 1.0,
+                        seed,
+                    },
+                    stop_token: None,
+                },
+            )
         };
         assert_eq!(run(1), run(1));
         assert_ne!(run(1).tokens, run(2).tokens);
@@ -178,10 +233,14 @@ mod tests {
     fn generation_respects_context_budget() {
         let (cfg, w) = setup();
         let mut d = Decoder::new(&w, KvCacheF32::new(&cfg));
-        let out = generate(|t| d.forward(t), &[1], &GenerateOptions {
-            max_tokens: cfg.max_seq_len - 1,
-            ..GenerateOptions::default()
-        });
+        let out = generate(
+            |t| d.forward(t),
+            &[1],
+            &GenerateOptions {
+                max_tokens: cfg.max_seq_len - 1,
+                ..GenerateOptions::default()
+            },
+        );
         assert_eq!(out.tokens.len(), cfg.max_seq_len - 1);
     }
 

@@ -167,8 +167,12 @@ mod tests {
 
     fn sample_kv(cfg: &ModelConfig, token: usize) -> (Vec<f32>, Vec<f32>) {
         let kv_dim = cfg.kv_dim();
-        let k = (0..kv_dim).map(|i| ((i + token * 7) as f32 * 0.37).sin()).collect();
-        let v = (0..kv_dim).map(|i| ((i + token * 3) as f32 * 0.21).cos()).collect();
+        let k = (0..kv_dim)
+            .map(|i| ((i + token * 7) as f32 * 0.37).sin())
+            .collect();
+        let v = (0..kv_dim)
+            .map(|i| ((i + token * 3) as f32 * 0.21).cos())
+            .collect();
         (k, v)
     }
 

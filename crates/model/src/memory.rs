@@ -120,7 +120,10 @@ mod tests {
         assert!((255.0..275.0).contains(&kv), "kv cache {kv:.0} MiB");
         // Combined occupancy of the 4 GiB device ~93%.
         let occupancy = (weights + kv) / 4096.0;
-        assert!((0.88..0.96).contains(&occupancy), "occupancy {occupancy:.3}");
+        assert!(
+            (0.88..0.96).contains(&occupancy),
+            "occupancy {occupancy:.3}"
+        );
     }
 
     #[test]

@@ -37,7 +37,7 @@ pub fn silu(x: f32) -> f32 {
 /// rotator implements by "caching half of the query or key").
 pub fn rope_rotate(head: &mut [f32], pos: usize, base: f64) {
     let d = head.len();
-    assert!(d % 2 == 0, "head dimension must be even");
+    assert!(d.is_multiple_of(2), "head dimension must be even");
     let half = d / 2;
     for i in 0..half {
         let theta = pos as f64 * base.powf(-2.0 * i as f64 / d as f64);
@@ -75,7 +75,11 @@ pub struct Decoder<'w, C> {
 impl<'w, C: KvStore> Decoder<'w, C> {
     /// Creates a decoder at position zero.
     pub fn new(weights: &'w ModelWeights, cache: C) -> Decoder<'w, C> {
-        Decoder { weights, cache, pos: 0 }
+        Decoder {
+            weights,
+            cache,
+            pos: 0,
+        }
     }
 
     /// Tokens processed so far.
@@ -149,8 +153,7 @@ impl<'w, C: KvStore> Decoder<'w, C> {
             let xn = rmsnorm(&x, &layer.mlp_norm, cfg.norm_eps);
             let gate = layer.w_gate.matvec(&xn);
             let up = layer.w_up.matvec(&xn);
-            let inner: Vec<f32> =
-                gate.iter().zip(&up).map(|(&g, &u)| silu(g) * u).collect();
+            let inner: Vec<f32> = gate.iter().zip(&up).map(|(&g, &u)| silu(g) * u).collect();
             let down = layer.w_down.matvec(&inner);
             for (xi, di) in x.iter_mut().zip(&down) {
                 *xi += di;
@@ -293,7 +296,11 @@ mod tests {
             .max_by(|a, b| a.1.total_cmp(b.1))
             .map(|(i, _)| i);
         assert_eq!(am_e, am_q, "KV8 flipped the argmax");
-        let rmse: f32 = (le.iter().zip(&lq).map(|(a, b)| (a - b) * (a - b)).sum::<f32>()
+        let rmse: f32 = (le
+            .iter()
+            .zip(&lq)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f32>()
             / le.len() as f32)
             .sqrt();
         assert!(rmse < 0.05, "KV8 rmse {rmse}");

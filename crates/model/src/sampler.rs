@@ -1,7 +1,6 @@
 //! Token samplers for the decode loop.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use zllm_rng::StdRng;
 
 /// Greedy argmax over logits.
 ///
@@ -43,7 +42,11 @@ impl TopKSampler {
     pub fn new(k: usize, temperature: f32, seed: u64) -> TopKSampler {
         assert!(k > 0, "k must be positive");
         assert!(temperature > 0.0, "temperature must be positive");
-        TopKSampler { k, temperature, rng: StdRng::seed_from_u64(seed) }
+        TopKSampler {
+            k,
+            temperature,
+            rng: StdRng::seed_from_u64(seed),
+        }
     }
 
     /// Samples a token id from the top-k renormalised distribution.
@@ -53,8 +56,7 @@ impl TopKSampler {
     /// Panics if `logits` is empty.
     pub fn sample(&mut self, logits: &[f32]) -> usize {
         assert!(!logits.is_empty(), "empty logits");
-        let mut indexed: Vec<(usize, f32)> =
-            logits.iter().cloned().enumerate().collect();
+        let mut indexed: Vec<(usize, f32)> = logits.iter().cloned().enumerate().collect();
         indexed.sort_by(|a, b| b.1.total_cmp(&a.1));
         indexed.truncate(self.k);
         let m = indexed[0].1;
@@ -108,7 +110,10 @@ mod tests {
         let mut cold = TopKSampler::new(2, 0.05, 1);
         let picks: Vec<usize> = (0..50).map(|_| cold.sample(&logits)).collect();
         let ones = picks.iter().filter(|&&p| p == 1).count();
-        assert!(ones >= 48, "cold sampling picked the max only {ones}/50 times");
+        assert!(
+            ones >= 48,
+            "cold sampling picked the max only {ones}/50 times"
+        );
     }
 
     #[test]

@@ -108,7 +108,6 @@ impl Tokenizer {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     #[test]
     fn roundtrip_ascii() {
@@ -153,11 +152,17 @@ mod tests {
         let _ = Tokenizer::new(100);
     }
 
-    proptest! {
-        #[test]
-        fn roundtrip_arbitrary_strings(text in ".*") {
-            let tok = Tokenizer::new(1024);
-            prop_assert_eq!(tok.decode(&tok.encode(&text)), text);
+    #[cfg(feature = "proptest")]
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn roundtrip_arbitrary_strings(text in ".*") {
+                let tok = Tokenizer::new(1024);
+                prop_assert_eq!(tok.decode(&tok.encode(&text)), text);
+            }
         }
     }
 }

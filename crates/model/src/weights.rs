@@ -10,8 +10,7 @@
 
 use crate::config::ModelConfig;
 use crate::tensor::Matrix;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use zllm_rng::StdRng;
 
 /// Weights of one transformer block.
 #[derive(Debug, Clone)]
@@ -113,7 +112,13 @@ impl ModelWeights {
         let lm_head = gen_matrix(&mut rng, config.vocab_size, d, &[]);
         let final_norm = (0..d).map(|_| rng.gen_range(0.8f32..1.2)).collect();
 
-        ModelWeights { config: config.clone(), embedding, layers, final_norm, lm_head }
+        ModelWeights {
+            config: config.clone(),
+            embedding,
+            layers,
+            final_norm,
+            lm_head,
+        }
     }
 
     /// The model configuration.

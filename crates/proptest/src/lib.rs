@@ -1,0 +1,482 @@
+//! A deterministic, dependency-free stand-in for the subset of the
+//! [proptest](https://docs.rs/proptest) API this workspace uses.
+//!
+//! The workspace must build and test with no network access, so the real
+//! proptest crate (and its deep dependency tree) cannot be assumed. This
+//! shim keeps the property-test *sources* unchanged — `proptest!`,
+//! `prop_assert!`, range/collection/`prop_map` strategies — while running
+//! each property over a fixed number of deterministically seeded cases.
+//!
+//! Differences from real proptest, deliberately accepted:
+//!
+//! * **no shrinking** — a failing case panics with its case index; rerun
+//!   with the same code to reproduce (generation is seeded by test name
+//!   and case number, so failures are stable across runs and machines);
+//! * **regex string strategies** support only the patterns this repo
+//!   uses (`".*"`-style "any string");
+//! * `prop_assert!`/`prop_assert_eq!` panic immediately instead of
+//!   returning `Err`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use zllm_rng::StdRng;
+
+/// Configuration accepted by `#![proptest_config(...)]`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// The per-test random source. Seeded from the test's name and the case
+/// index so every run of every machine generates the same inputs.
+#[derive(Debug)]
+pub struct TestRng(StdRng);
+
+impl TestRng {
+    /// Creates the generator for one case of one property.
+    pub fn for_case(test_name: &str, case: u64) -> TestRng {
+        // FNV-1a over the name, mixed with the case index.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng(StdRng::seed_from_u64(
+            h ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        ))
+    }
+
+    /// The underlying generator.
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.0
+    }
+}
+
+/// A value generator. The `Value` associated type mirrors real proptest
+/// so `impl Strategy<Value = T>` return types keep compiling.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Rejects values failing `pred`, retrying (bounded) until one passes.
+    fn prop_filter<F: Fn(&Self::Value) -> bool>(
+        self,
+        reason: &'static str,
+        pred: F,
+    ) -> Filter<Self, F>
+    where
+        Self: Sized,
+    {
+        Filter {
+            inner: self,
+            pred,
+            reason,
+        }
+    }
+
+    /// Boxes the strategy for use in heterogeneous unions.
+    fn boxed(self) -> Box<dyn AnyStrategy<Self::Value>>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// Object-safe view of a [`Strategy`], used by [`Union`] (`prop_oneof!`).
+pub trait AnyStrategy<T> {
+    /// Draws one value.
+    fn generate_dyn(&self, rng: &mut TestRng) -> T;
+}
+
+impl<S: Strategy> AnyStrategy<S::Value> for S {
+    fn generate_dyn(&self, rng: &mut TestRng) -> S::Value {
+        self.generate(rng)
+    }
+}
+
+/// Boxes one `prop_oneof!` arm. A generic fn (rather than an `as` cast)
+/// lets integer-literal arms unify with the union's value type.
+#[doc(hidden)]
+pub fn __oneof_arm<T, S>(s: S) -> Box<dyn AnyStrategy<T>>
+where
+    S: Strategy<Value = T> + 'static,
+{
+    Box::new(s)
+}
+
+/// Strategy returning a constant.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// [`Strategy::prop_map`] adapter.
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// [`Strategy::prop_filter`] adapter.
+pub struct Filter<S, F> {
+    inner: S,
+    pred: F,
+    reason: &'static str,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..1000 {
+            let v = self.inner.generate(rng);
+            if (self.pred)(&v) {
+                return v;
+            }
+        }
+        panic!("prop_filter rejected 1000 candidates: {}", self.reason);
+    }
+}
+
+/// `prop_oneof!`: picks one of several strategies uniformly.
+pub struct Union<T> {
+    options: Vec<Box<dyn AnyStrategy<T>>>,
+}
+
+impl<T> Union<T> {
+    /// Builds the union; panics if `options` is empty.
+    pub fn new(options: Vec<Box<dyn AnyStrategy<T>>>) -> Union<T> {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+        Union { options }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let i = rng.rng().below(self.options.len() as u64) as usize;
+        self.options[i].generate_dyn(rng)
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.rng().gen_range(self.clone())
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.rng().gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+/// String strategies are written as regex literals in real proptest. This
+/// shim supports the one family the workspace uses: "match anything"
+/// patterns (`".*"`), generated as arbitrary short unicode strings.
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        assert!(
+            *self == ".*" || *self == ".+",
+            "only \".*\"/\".+\" regex strategies are supported, got {self:?}"
+        );
+        let min = if *self == ".+" { 1 } else { 0 };
+        let len = rng.rng().gen_range(min..48usize);
+        let mut s = String::new();
+        for _ in 0..len {
+            // Mix ASCII, Latin-1, CJK and astral characters.
+            let c = match rng.rng().gen_range(0u32..10) {
+                0..=5 => char::from(rng.rng().gen_range(0x20u8..0x7F)),
+                6 => char::from_u32(rng.rng().gen_range(0xA1u32..0x100)).unwrap(),
+                7 => char::from_u32(rng.rng().gen_range(0x4E00u32..0x9FFF)).unwrap(),
+                8 => char::from_u32(rng.rng().gen_range(0x1F300u32..0x1F600)).unwrap(),
+                _ => '\n',
+            };
+            s.push(c);
+        }
+        s
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+
+/// Collection strategies (`proptest::collection::vec`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+
+    /// Length specification: a fixed size or a half-open range.
+    pub trait SizeRange {
+        /// Draws a concrete length.
+        fn pick(&self, rng: &mut TestRng) -> usize;
+    }
+
+    impl SizeRange for usize {
+        fn pick(&self, _rng: &mut TestRng) -> usize {
+            *self
+        }
+    }
+
+    impl SizeRange for std::ops::Range<usize> {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            rng.rng().gen_range(self.clone())
+        }
+    }
+
+    impl SizeRange for std::ops::RangeInclusive<usize> {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            rng.rng().gen_range(self.clone())
+        }
+    }
+
+    /// Strategy producing a `Vec` of values drawn from `element`.
+    pub struct VecStrategy<S, L> {
+        element: S,
+        len: L,
+    }
+
+    /// Builds a [`VecStrategy`].
+    pub fn vec<S: Strategy, L: SizeRange>(element: S, len: L) -> VecStrategy<S, L> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy, L: SizeRange> Strategy for VecStrategy<S, L> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.len.pick(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Numeric "any value" strategies (`proptest::num::u16::ANY`, ...).
+pub mod num {
+    macro_rules! any_mod {
+        ($($m:ident : $t:ty),*) => {$(
+            /// `ANY` strategy for one primitive width.
+            pub mod $m {
+                /// Uniform over the full domain.
+                #[derive(Debug, Clone, Copy)]
+                pub struct Any;
+                /// The strategy value.
+                pub const ANY: Any = Any;
+                impl crate::Strategy for Any {
+                    type Value = $t;
+                    fn generate(&self, rng: &mut crate::TestRng) -> $t {
+                        rng.rng().next_u64() as $t
+                    }
+                }
+            }
+        )*};
+    }
+    any_mod!(u8: u8, u16: u16, u32: u32, u64: u64, usize: usize);
+}
+
+/// Boolean strategy (`proptest::bool::ANY`).
+pub mod bool {
+    /// Uniform over `{true, false}`.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any;
+    /// The strategy value.
+    pub const ANY: Any = Any;
+    impl crate::Strategy for Any {
+        type Value = bool;
+        fn generate(&self, rng: &mut crate::TestRng) -> bool {
+            rng.rng().next_u64() & 1 == 1
+        }
+    }
+}
+
+/// Everything property tests import.
+pub mod prelude {
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Just, ProptestConfig,
+        Strategy,
+    };
+}
+
+/// Asserts inside a property (panics immediately; no shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// Equality assert inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// Inequality assert inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+/// Uniform choice between strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($s:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::__oneof_arm($s)),+])
+    };
+}
+
+/// The property-test entry point: same surface syntax as real proptest,
+/// expanded to a deterministic loop over seeded cases.
+#[macro_export]
+macro_rules! proptest {
+    // Internal muncher arms must come first: the public entry arm below is a
+    // catch-all that would otherwise re-match `@fns` recursively forever.
+    (@fns ($config:expr) ) => {};
+    (@fns ($config:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($parm:pat in $strategy:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $config;
+            for case in 0..config.cases as u64 {
+                let mut prop_rng = $crate::TestRng::for_case(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    case,
+                );
+                $(let $parm = $crate::Strategy::generate(&($strategy), &mut prop_rng);)+
+                $body
+            }
+        }
+        $crate::proptest!(@fns ($config) $($rest)*);
+    };
+    (
+        #![proptest_config($config:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::proptest!(@fns ($config) $($rest)*);
+    };
+    (
+        $($rest:tt)*
+    ) => {
+        $crate::proptest!(@fns ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let strat = crate::collection::vec(0u64..100, 1..20usize);
+        let a = Strategy::generate(&strat, &mut crate::TestRng::for_case("t", 3));
+        let b = Strategy::generate(&strat, &mut crate::TestRng::for_case("t", 3));
+        assert_eq!(a, b);
+        let c = Strategy::generate(&strat, &mut crate::TestRng::for_case("t", 4));
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn map_filter_and_oneof_compose() {
+        let strat = prop_oneof![Just(2usize), Just(4), Just(6)]
+            .prop_map(|v| v + 1)
+            .prop_filter("odd", |v| v % 2 == 1);
+        let mut rng = crate::TestRng::for_case("compose", 0);
+        for _ in 0..50 {
+            let v = Strategy::generate(&strat, &mut rng);
+            assert!([3, 5, 7].contains(&v));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn macro_generates_in_bounds(
+            xs in crate::collection::vec(1u32..10, 5),
+            flag in crate::bool::ANY,
+            scale in 0.5f32..2.0,
+        ) {
+            prop_assert_eq!(xs.len(), 5);
+            prop_assert!(xs.iter().all(|&x| (1..10).contains(&x)));
+            let _ = flag;
+            prop_assert!((0.5..2.0).contains(&scale));
+        }
+
+        #[test]
+        fn mut_bindings_work(mut v in crate::collection::vec(0u8..255, 2..10usize)) {
+            v.sort_unstable();
+            prop_assert!(v.windows(2).all(|w| w[0] <= w[1]));
+        }
+    }
+
+    #[test]
+    fn string_strategy_roundtrips_utf8() {
+        let mut rng = crate::TestRng::for_case("strings", 1);
+        for _ in 0..20 {
+            let s = Strategy::generate(&".*", &mut rng);
+            assert!(s.chars().count() < 48);
+            let _ = s.as_bytes();
+        }
+    }
+}

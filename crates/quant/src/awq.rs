@@ -78,7 +78,10 @@ impl AwqQuantizedMatrix {
     /// Panics if `x.len() != cols`.
     pub fn scale_input(&self, x: &[f32]) -> Vec<f32> {
         assert_eq!(x.len(), self.cols, "activation length mismatch");
-        x.iter().zip(&self.channel_scales).map(|(&v, &s)| v / s).collect()
+        x.iter()
+            .zip(&self.channel_scales)
+            .map(|(&v, &s)| v / s)
+            .collect()
     }
 }
 
@@ -120,7 +123,10 @@ pub fn quantize_awq(
     config: &AwqConfig,
 ) -> AwqQuantizedMatrix {
     assert_eq!(weights.len(), rows * cols, "weight dimensions inconsistent");
-    assert!(!calib.is_empty() && calib.len() % cols == 0, "calibration shape mismatch");
+    assert!(
+        !calib.is_empty() && calib.len().is_multiple_of(cols),
+        "calibration shape mismatch"
+    );
     assert!(!config.alpha_grid.is_empty(), "empty alpha grid");
     let n_calib = calib.len() / cols;
 
@@ -171,8 +177,11 @@ pub fn quantize_with_alpha(
     // s_j = m_j^alpha, normalised to geometric mean 1 so the overall weight
     // magnitude (and hence the groupwise dynamic range) stays centred.
     let mut scales: Vec<f32> = channel_mag.iter().map(|&m| m.powf(alpha)).collect();
-    let log_mean =
-        scales.iter().map(|&s| (s.max(1e-30) as f64).ln()).sum::<f64>() / cols as f64;
+    let log_mean = scales
+        .iter()
+        .map(|&s| (s.max(1e-30) as f64).ln())
+        .sum::<f64>()
+        / cols as f64;
     let norm = log_mean.exp() as f32;
     for s in &mut scales {
         *s = (*s / norm).clamp(1e-4, 1e4);
@@ -214,15 +223,16 @@ fn matmul(w: &[f32], rows: usize, cols: usize, x: &[f32], n: usize) -> Vec<f32> 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use zllm_rng::StdRng;
 
     /// Synthetic layer with one salient input channel — the scenario AWQ
     /// is designed for.
     fn salient_case(seed: u64) -> (Vec<f32>, usize, usize, Vec<f32>) {
         let mut rng = StdRng::seed_from_u64(seed);
         let (rows, cols) = (8, 64);
-        let weights: Vec<f32> = (0..rows * cols).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+        let weights: Vec<f32> = (0..rows * cols)
+            .map(|_| rng.gen_range(-1.0f32..1.0))
+            .collect();
         // Channel 3 carries activations 50× larger than the rest.
         let calib: Vec<f32> = (0..16 * cols)
             .map(|i| {
@@ -266,7 +276,14 @@ mod tests {
     fn alpha_zero_matches_plain_quantization() {
         let (weights, rows, cols, _) = salient_case(11);
         let mag: Vec<f32> = (1..=cols).map(|i| i as f32).collect();
-        let q = quantize_with_alpha(&weights, rows, cols, &mag, 0.0, GroupQuantConfig::new(32, 4));
+        let q = quantize_with_alpha(
+            &weights,
+            rows,
+            cols,
+            &mag,
+            0.0,
+            GroupQuantConfig::new(32, 4),
+        );
         // α = 0 ⇒ all channel scales equal 1 after normalisation.
         for &s in q.channel_scales() {
             assert!((s - 1.0).abs() < 1e-6);
@@ -279,7 +296,7 @@ mod tests {
     fn scale_input_inverts_channel_scaling() {
         let (weights, rows, cols, calib) = salient_case(13);
         let cfg = AwqConfig::default();
-        let q = quantize_awq(&weights, rows, cols, &calib[..cols].to_vec(), &cfg);
+        let q = quantize_awq(&weights, rows, cols, &calib[..cols], &cfg);
         let x: Vec<f32> = (0..cols).map(|i| i as f32 * 0.1).collect();
         let xs = q.scale_input(&x);
         for ((orig, scaled), s) in x.iter().zip(&xs).zip(q.channel_scales()) {

@@ -65,7 +65,12 @@ impl ErrorStats {
         } else {
             dot / (sq_sig.sqrt() * sq_rec.sqrt())
         };
-        ErrorStats { max_abs, rmse, sqnr_db, cosine }
+        ErrorStats {
+            max_abs,
+            rmse,
+            sqnr_db,
+            cosine,
+        }
     }
 }
 

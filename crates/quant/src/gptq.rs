@@ -106,7 +106,10 @@ pub struct GptqConfig {
 
 impl Default for GptqConfig {
     fn default() -> GptqConfig {
-        GptqConfig { quant: GroupQuantConfig::w4_g128(), damping: 0.01 }
+        GptqConfig {
+            quant: GroupQuantConfig::w4_g128(),
+            damping: 0.01,
+        }
     }
 }
 
@@ -161,7 +164,10 @@ pub fn quantize_gptq(
     config: GptqConfig,
 ) -> GptqQuantizedMatrix {
     assert_eq!(weights.len(), rows * cols, "weight dimensions inconsistent");
-    assert!(!calib.is_empty() && calib.len() % cols == 0, "calibration shape mismatch");
+    assert!(
+        !calib.is_empty() && calib.len().is_multiple_of(cols),
+        "calibration shape mismatch"
+    );
 
     // H = XᵀX + λ·mean(diag)·I.
     let n_samples = calib.len() / cols;
@@ -183,8 +189,7 @@ pub fn quantize_gptq(
             h[i * cols + j] = h[j * cols + i];
         }
     }
-    let mean_diag =
-        (0..cols).map(|i| h[i * cols + i]).sum::<f64>() / cols as f64;
+    let mean_diag = (0..cols).map(|i| h[i * cols + i]).sum::<f64>() / cols as f64;
     let lambda = (config.damping * mean_diag).max(1e-8);
     for i in 0..cols {
         h[i * cols + i] += lambda;
@@ -230,8 +235,7 @@ pub fn quantize_gptq(
 mod tests {
     use super::*;
     use crate::error::mse;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use zllm_rng::StdRng;
 
     fn matmul(w: &[f32], rows: usize, cols: usize, x: &[f32]) -> Vec<f32> {
         let n = x.len() / cols;
@@ -250,8 +254,9 @@ mod tests {
     fn correlated_case(seed: u64) -> (Vec<f32>, usize, usize, Vec<f32>) {
         let mut rng = StdRng::seed_from_u64(seed);
         let (rows, cols) = (24, 64);
-        let weights: Vec<f32> =
-            (0..rows * cols).map(|_| rng.gen_range(-0.5f32..0.5)).collect();
+        let weights: Vec<f32> = (0..rows * cols)
+            .map(|_| rng.gen_range(-0.5f32..0.5))
+            .collect();
         let mut calib = Vec::with_capacity(24 * cols);
         for _ in 0..24 {
             let shared = rng.gen_range(-1.0f32..1.0);
@@ -325,7 +330,10 @@ mod tests {
     #[test]
     fn gptq_beats_rtn_on_correlated_data() {
         let (weights, rows, cols, calib) = correlated_case(13);
-        let cfg = GptqConfig { quant: GroupQuantConfig::new(32, 4), damping: 0.01 };
+        let cfg = GptqConfig {
+            quant: GroupQuantConfig::new(32, 4),
+            damping: 0.01,
+        };
         let gptq = quantize_gptq(&weights, rows, cols, &calib, cfg);
         let rtn = GroupQuantizer::new(cfg.quant);
         let rtn_w: Vec<f32> = weights
@@ -347,7 +355,10 @@ mod tests {
         // The output must be a valid deployment-format tensor: in-range
         // codes, right group metadata — streamable by the layout crate.
         let (weights, rows, cols, calib) = correlated_case(5);
-        let cfg = GptqConfig { quant: GroupQuantConfig::new(32, 4), damping: 0.01 };
+        let cfg = GptqConfig {
+            quant: GroupQuantConfig::new(32, 4),
+            damping: 0.01,
+        };
         let q = quantize_gptq(&weights, rows, cols, &calib, cfg);
         assert_eq!(q.rows(), rows);
         assert_eq!(q.cols(), cols);

@@ -29,7 +29,10 @@ pub struct GroupQuantConfig {
 impl GroupQuantConfig {
     /// The paper's configuration: 4-bit codes, groups of 128.
     pub const fn w4_g128() -> GroupQuantConfig {
-        GroupQuantConfig { group_size: 128, bits: 4 }
+        GroupQuantConfig {
+            group_size: 128,
+            bits: 4,
+        }
     }
 
     /// Creates a configuration.
@@ -93,7 +96,13 @@ impl QuantizedTensor {
         let max = config.max_code();
         assert!(codes.iter().all(|&c| c <= max), "code exceeds range");
         assert!(zeros.iter().all(|&z| z <= max), "zero point exceeds range");
-        QuantizedTensor { config, len: codes.len(), codes, scales, zeros }
+        QuantizedTensor {
+            config,
+            len: codes.len(),
+            codes,
+            scales,
+            zeros,
+        }
     }
 
     /// The quantizer configuration used.
@@ -137,7 +146,11 @@ impl QuantizedTensor {
     ///
     /// Panics if `idx >= len()`.
     pub fn dequantize_at(&self, idx: usize) -> f32 {
-        assert!(idx < self.len, "index {idx} out of bounds (len {})", self.len);
+        assert!(
+            idx < self.len,
+            "index {idx} out of bounds (len {})",
+            self.len
+        );
         let g = idx / self.config.group_size;
         let q = self.codes[idx] as i32;
         let z = self.zeros[g] as i32;
@@ -151,7 +164,9 @@ impl QuantizedTensor {
 
     /// Dequantizes to FP16 (the datatype entering the VPU lanes).
     pub fn dequantize_f16(&self) -> Vec<F16> {
-        (0..self.len).map(|i| F16::from_f32(self.dequantize_at(i))).collect()
+        (0..self.len)
+            .map(|i| F16::from_f32(self.dequantize_at(i)))
+            .collect()
     }
 
     /// Storage cost in bits: codes + per-group scale (16) and zero point.
@@ -159,8 +174,7 @@ impl QuantizedTensor {
     /// Zero points are counted at code width (4-bit), as in the paper's
     /// interleaved format.
     pub fn storage_bits(&self) -> usize {
-        self.len * self.config.bits as usize
-            + self.num_groups() * (16 + self.config.bits as usize)
+        self.len * self.config.bits as usize + self.num_groups() * (16 + self.config.bits as usize)
     }
 }
 
@@ -194,7 +208,9 @@ impl GroupQuantizer {
         for group in values.chunks(gs) {
             let (min, max) = group
                 .iter()
-                .fold((f32::INFINITY, f32::NEG_INFINITY), |(lo, hi), &v| (lo.min(v), hi.max(v)));
+                .fold((f32::INFINITY, f32::NEG_INFINITY), |(lo, hi), &v| {
+                    (lo.min(v), hi.max(v))
+                });
             // Extend the range to include zero: this guarantees the integer
             // zero point fits its code width for *any* input distribution
             // (the standard asymmetric-quantization convention; weights are
@@ -231,7 +247,6 @@ impl GroupQuantizer {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     #[test]
     fn config_presets() {
@@ -258,7 +273,9 @@ mod tests {
 
     #[test]
     fn roundtrip_error_bounded_by_half_step() {
-        let values: Vec<f32> = (0..512).map(|i| ((i * 37) % 101) as f32 / 50.0 - 1.0).collect();
+        let values: Vec<f32> = (0..512)
+            .map(|i| ((i * 37) % 101) as f32 / 50.0 - 1.0)
+            .collect();
         let q = GroupQuantizer::new(GroupQuantConfig::w4_g128()).quantize(&values);
         assert_eq!(q.len(), 512);
         assert_eq!(q.num_groups(), 4);
@@ -359,46 +376,52 @@ mod tests {
         }
     }
 
-    proptest! {
-        #[test]
-        fn roundtrip_bounded_generic(
-            values in proptest::collection::vec(-8.0f32..8.0, 1..400),
-            bits in 2u32..=8,
-        ) {
-            let cfg = GroupQuantConfig::new(64, bits);
-            let q = GroupQuantizer::new(cfg).quantize(&values);
-            let d = q.dequantize();
-            for (i, (&v, &r)) in values.iter().zip(&d).enumerate() {
-                let g = i / 64;
-                let step = q.scales()[g].to_f32().max(f32::MIN_POSITIVE);
-                prop_assert!(
-                    (v - r).abs() <= step * 1.01 + 1e-3,
-                    "elem {} of {}: orig {} deq {} step {}",
-                    i, values.len(), v, r, step
-                );
+    #[cfg(feature = "proptest")]
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn roundtrip_bounded_generic(
+                values in proptest::collection::vec(-8.0f32..8.0, 1..400),
+                bits in 2u32..=8,
+            ) {
+                let cfg = GroupQuantConfig::new(64, bits);
+                let q = GroupQuantizer::new(cfg).quantize(&values);
+                let d = q.dequantize();
+                for (i, (&v, &r)) in values.iter().zip(&d).enumerate() {
+                    let g = i / 64;
+                    let step = q.scales()[g].to_f32().max(f32::MIN_POSITIVE);
+                    prop_assert!(
+                        (v - r).abs() <= step * 1.01 + 1e-3,
+                        "elem {} of {}: orig {} deq {} step {}",
+                        i, values.len(), v, r, step
+                    );
+                }
             }
-        }
 
-        #[test]
-        fn codes_always_in_range(
-            values in proptest::collection::vec(-100.0f32..100.0, 1..300),
-        ) {
-            let cfg = GroupQuantConfig::w4_g128();
-            let q = GroupQuantizer::new(cfg).quantize(&values);
-            prop_assert!(q.codes().iter().all(|&c| c <= cfg.max_code()));
-            prop_assert!(q.zeros().iter().all(|&z| z <= cfg.max_code()));
-        }
+            #[test]
+            fn codes_always_in_range(
+                values in proptest::collection::vec(-100.0f32..100.0, 1..300),
+            ) {
+                let cfg = GroupQuantConfig::w4_g128();
+                let q = GroupQuantizer::new(cfg).quantize(&values);
+                prop_assert!(q.codes().iter().all(|&c| c <= cfg.max_code()));
+                prop_assert!(q.zeros().iter().all(|&z| z <= cfg.max_code()));
+            }
 
-        #[test]
-        fn quantization_is_monotone_within_group(
-            mut values in proptest::collection::vec(-4.0f32..4.0, 32),
-        ) {
-            // Sorting the inputs must produce non-decreasing codes: the
-            // quantizer maps larger values to larger (or equal) codes.
-            values.sort_by(f32::total_cmp);
-            let q = GroupQuantizer::new(GroupQuantConfig::new(32, 4)).quantize(&values);
-            for w in q.codes().windows(2) {
-                prop_assert!(w[0] <= w[1]);
+            #[test]
+            fn quantization_is_monotone_within_group(
+                mut values in proptest::collection::vec(-4.0f32..4.0, 32),
+            ) {
+                // Sorting the inputs must produce non-decreasing codes: the
+                // quantizer maps larger values to larger (or equal) codes.
+                values.sort_by(f32::total_cmp);
+                let q = GroupQuantizer::new(GroupQuantConfig::new(32, 4)).quantize(&values);
+                for w in q.codes().windows(2) {
+                    prop_assert!(w[0] <= w[1]);
+                }
             }
         }
     }

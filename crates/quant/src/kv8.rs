@@ -85,7 +85,9 @@ impl QuantizedKv {
 
     /// Dequantizes to FP16 (the VPU operand type).
     pub fn dequantize_f16(&self) -> Vec<F16> {
-        (0..self.len()).map(|i| F16::from_f32(self.dequantize_at(i))).collect()
+        (0..self.len())
+            .map(|i| F16::from_f32(self.dequantize_at(i)))
+            .collect()
     }
 }
 
@@ -125,8 +127,14 @@ pub fn quantize_kv_bits(values: &[f32], bits: u32) -> QuantizedKv {
     // code width.
     let (min, max) = values
         .iter()
-        .fold((f32::INFINITY, f32::NEG_INFINITY), |(lo, hi), &v| (lo.min(v), hi.max(v)));
-    let (min, max) = if values.is_empty() { (0.0, 0.0) } else { (min.min(0.0), max.max(0.0)) };
+        .fold((f32::INFINITY, f32::NEG_INFINITY), |(lo, hi), &v| {
+            (lo.min(v), hi.max(v))
+        });
+    let (min, max) = if values.is_empty() {
+        (0.0, 0.0)
+    } else {
+        (min.min(0.0), max.max(0.0))
+    };
     let range = max - min;
     let scale_f32 = if range > 0.0 { range / levels } else { 1.0 };
     let scale = F16::from_f32(scale_f32);
@@ -139,17 +147,22 @@ pub fn quantize_kv_bits(values: &[f32], bits: u32) -> QuantizedKv {
         .map(|&v| ((v / s).round() + zero as f32).clamp(0.0, levels) as u8)
         .collect();
 
-    QuantizedKv { meta: ScaleZero { scale, zero }, codes }
+    QuantizedKv {
+        meta: ScaleZero { scale, zero },
+        codes,
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     #[test]
     fn pack_roundtrip() {
-        let m = ScaleZero { scale: F16::from_f32(0.0123), zero: 219 };
+        let m = ScaleZero {
+            scale: F16::from_f32(0.0123),
+            zero: 219,
+        };
         let back = ScaleZero::from_pack(m.to_pack());
         assert_eq!(back, m);
         // Top byte is padding (zero).
@@ -158,7 +171,9 @@ mod tests {
 
     #[test]
     fn roundtrip_error_within_one_step() {
-        let v: Vec<f32> = (0..128).map(|i| ((i * 7) % 31) as f32 / 3.0 - 4.0).collect();
+        let v: Vec<f32> = (0..128)
+            .map(|i| ((i * 7) % 31) as f32 / 3.0 - 4.0)
+            .collect();
         let q = quantize_kv(&v);
         let s = q.meta().scale.to_f32();
         for (a, b) in v.iter().zip(q.dequantize()) {
@@ -180,7 +195,7 @@ mod tests {
     #[test]
     fn constant_vector_reconstructs() {
         for c in [0.0f32, 2.5, -1.25] {
-            let q = quantize_kv(&vec![c; 16]);
+            let q = quantize_kv(&[c; 16]);
             for d in q.dequantize() {
                 assert!((d - c).abs() <= c.abs() * 2e-2 + 1e-6, "constant {c} → {d}");
             }
@@ -212,42 +227,53 @@ mod tests {
         }
     }
 
-    proptest! {
-        #[test]
-        fn roundtrip_bounded(v in proptest::collection::vec(-10.0f32..10.0, 1..256)) {
-            let q = quantize_kv(&v);
-            let s = q.meta().scale.to_f32();
-            for (a, b) in v.iter().zip(q.dequantize()) {
-                prop_assert!((a - b).abs() <= s * 1.51 + 1e-4, "{} vs {} (s={})", a, b, s);
+    #[cfg(feature = "proptest")]
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn roundtrip_bounded(v in proptest::collection::vec(-10.0f32..10.0, 1..256)) {
+                let q = quantize_kv(&v);
+                let s = q.meta().scale.to_f32();
+                for (a, b) in v.iter().zip(q.dequantize()) {
+                    prop_assert!((a - b).abs() <= s * 1.51 + 1e-4, "{} vs {} (s={})", a, b, s);
+                }
             }
-        }
 
-        #[test]
-        fn pack_roundtrip_generic(bits in proptest::num::u16::ANY, zero in proptest::num::u8::ANY) {
-            let m = ScaleZero { scale: F16::from_bits(bits), zero };
-            let back = ScaleZero::from_pack(m.to_pack());
-            prop_assert_eq!(back.scale.to_bits(), bits);
-            prop_assert_eq!(back.zero, zero);
-        }
+            #[test]
+            fn pack_roundtrip_generic(bits in proptest::num::u16::ANY, zero in proptest::num::u8::ANY) {
+                let m = ScaleZero { scale: F16::from_bits(bits), zero };
+                let back = ScaleZero::from_pack(m.to_pack());
+                prop_assert_eq!(back.scale.to_bits(), bits);
+                prop_assert_eq!(back.zero, zero);
+            }
 
-        #[test]
-        fn codes_span_is_monotone(mut v in proptest::collection::vec(-5.0f32..5.0, 2..64)) {
-            v.sort_by(f32::total_cmp);
-            let q = quantize_kv(&v);
-            for w in q.codes().windows(2) {
-                prop_assert!(w[0] <= w[1]);
+            #[test]
+            fn codes_span_is_monotone(mut v in proptest::collection::vec(-5.0f32..5.0, 2..64)) {
+                v.sort_by(f32::total_cmp);
+                let q = quantize_kv(&v);
+                for w in q.codes().windows(2) {
+                    prop_assert!(w[0] <= w[1]);
+                }
             }
         }
     }
 
     #[test]
     fn kv4_error_is_roughly_16x_kv8() {
-        let v: Vec<f32> = (0..128).map(|i| ((i * 13) % 97) as f32 / 20.0 - 2.4).collect();
+        let v: Vec<f32> = (0..128)
+            .map(|i| ((i * 13) % 97) as f32 / 20.0 - 2.4)
+            .collect();
         let q8 = quantize_kv_bits(&v, 8);
         let q4 = quantize_kv_bits(&v, 4);
         let rmse = |q: &QuantizedKv| {
             let d = q.dequantize();
-            (v.iter().zip(&d).map(|(a, b)| ((a - b) as f64).powi(2)).sum::<f64>()
+            (v.iter()
+                .zip(&d)
+                .map(|(a, b)| ((a - b) as f64).powi(2))
+                .sum::<f64>()
                 / v.len() as f64)
                 .sqrt()
         };

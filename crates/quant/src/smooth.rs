@@ -78,8 +78,10 @@ impl SmoothQuantizedMatrix {
         // Dynamic per-tensor symmetric INT8.
         let amax = xs.iter().fold(0.0f32, |m, &v| m.max(v.abs()));
         let x_scale = if amax > 0.0 { amax / 127.0 } else { 1.0 };
-        let xq: Vec<i8> =
-            xs.iter().map(|&v| (v / x_scale).round().clamp(-127.0, 127.0) as i8).collect();
+        let xq: Vec<i8> = xs
+            .iter()
+            .map(|&v| (v / x_scale).round().clamp(-127.0, 127.0) as i8)
+            .collect();
 
         (0..self.rows)
             .map(|r| {
@@ -126,8 +128,14 @@ pub fn quantize_smooth(
     config: SmoothConfig,
 ) -> SmoothQuantizedMatrix {
     assert_eq!(weights.len(), rows * cols, "weight dimensions inconsistent");
-    assert!(!calib.is_empty() && calib.len() % cols == 0, "calibration shape mismatch");
-    assert!((0.0..=1.0).contains(&config.alpha), "alpha must be in [0, 1]");
+    assert!(
+        !calib.is_empty() && calib.len().is_multiple_of(cols),
+        "calibration shape mismatch"
+    );
+    assert!(
+        (0.0..=1.0).contains(&config.alpha),
+        "alpha must be in [0, 1]"
+    );
 
     // Per-channel activation and weight magnitudes.
     let mut act_max = vec![1e-6f32; cols];
@@ -163,7 +171,13 @@ pub fn quantize_smooth(
         );
     }
 
-    SmoothQuantizedMatrix { rows, cols, smooth, w_scales, w_codes }
+    SmoothQuantizedMatrix {
+        rows,
+        cols,
+        smooth,
+        w_scales,
+        w_codes,
+    }
 }
 
 /// Output MSE of a quantized layer against the exact f32 layer on a
@@ -187,13 +201,14 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use zllm_rng::StdRng;
 
     fn outlier_case(seed: u64) -> (Vec<f32>, usize, usize, Vec<f32>) {
         let mut rng = StdRng::seed_from_u64(seed);
         let (rows, cols) = (16, 64);
-        let weights: Vec<f32> = (0..rows * cols).map(|_| rng.gen_range(-0.5f32..0.5)).collect();
+        let weights: Vec<f32> = (0..rows * cols)
+            .map(|_| rng.gen_range(-0.5f32..0.5))
+            .collect();
         // Two activation-outlier channels, the SmoothQuant motivation.
         let calib: Vec<f32> = (0..8 * cols)
             .map(|i| {

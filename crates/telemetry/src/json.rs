@@ -1,0 +1,327 @@
+//! Hand-rolled JSON serializer/parser for [`Snapshot`]s.
+//!
+//! The build must work offline with no external crates, so no serde. The
+//! format is a fixed two-level object — `{"counters": {...}, "gauges":
+//! {...}}` — with sorted keys and shortest-roundtrip float formatting,
+//! so re-serializing a parsed snapshot is byte-identical.
+
+use crate::Snapshot;
+use std::collections::BTreeMap;
+
+/// Parse failure, with a byte offset into the input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// What went wrong.
+    pub message: String,
+    /// Byte offset of the failure.
+    pub offset: usize,
+}
+
+impl std::fmt::Display for JsonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "JSON error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+fn escape(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Formats an f64 so that parsing it back yields the identical bits
+/// (Rust's `{:?}` shortest-roundtrip repr), mapping non-finite values to
+/// `null`.
+fn fmt_f64(v: f64, out: &mut String) {
+    if v.is_finite() {
+        out.push_str(&format!("{v:?}"));
+    } else {
+        out.push_str("null");
+    }
+}
+
+pub(crate) fn snapshot_to_json(snap: &Snapshot) -> String {
+    let mut out = String::new();
+    out.push_str("{\n  \"counters\": {");
+    let mut first = true;
+    for (k, v) in &snap.counters {
+        out.push_str(if first { "\n" } else { ",\n" });
+        first = false;
+        out.push_str("    ");
+        escape(k, &mut out);
+        out.push_str(&format!(": {v}"));
+    }
+    out.push_str(if first { "},\n" } else { "\n  },\n" });
+    out.push_str("  \"gauges\": {");
+    let mut first = true;
+    for (k, v) in &snap.gauges {
+        out.push_str(if first { "\n" } else { ",\n" });
+        first = false;
+        out.push_str("    ");
+        escape(k, &mut out);
+        out.push_str(": ");
+        fmt_f64(*v, &mut out);
+    }
+    out.push_str(if first { "}\n" } else { "\n  }\n" });
+    out.push_str("}\n");
+    out
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err<T>(&self, message: impl Into<String>) -> Result<T, JsonError> {
+        Err(JsonError {
+            message: message.into(),
+            offset: self.pos,
+        })
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\n' || b == b'\t' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn expect(&mut self, c: u8) -> Result<(), JsonError> {
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&c) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            self.err(format!("expected '{}'", c as char))
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"')?;
+        let mut s = String::new();
+        loop {
+            match self.bytes.get(self.pos) {
+                None => return self.err("unterminated string"),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(s);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.bytes.get(self.pos) {
+                        Some(b'"') => s.push('"'),
+                        Some(b'\\') => s.push('\\'),
+                        Some(b'n') => s.push('\n'),
+                        Some(b't') => s.push('\t'),
+                        Some(b'r') => s.push('\r'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .and_then(char::from_u32);
+                            match hex {
+                                Some(c) => {
+                                    s.push(c);
+                                    self.pos += 4;
+                                }
+                                None => return self.err("bad \\u escape"),
+                            }
+                        }
+                        _ => return self.err("bad escape"),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (input is a &str, so
+                    // boundaries are valid).
+                    let rest = &self.bytes[self.pos..];
+                    let text = std::str::from_utf8(rest).map_err(|_| JsonError {
+                        message: "invalid utf-8".into(),
+                        offset: self.pos,
+                    })?;
+                    let c = text.chars().next().expect("nonempty");
+                    s.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<f64, JsonError> {
+        self.skip_ws();
+        if self.bytes[self.pos..].starts_with(b"null") {
+            self.pos += 4;
+            return Ok(f64::NAN);
+        }
+        let start = self.pos;
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        if start == self.pos {
+            return self.err("expected number");
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|t| t.parse::<f64>().ok())
+            .map_or_else(|| self.err("malformed number"), Ok)
+    }
+
+    /// Parses `{"name": number, ...}`.
+    fn number_object(&mut self) -> Result<BTreeMap<String, f64>, JsonError> {
+        let mut map = BTreeMap::new();
+        self.expect(b'{')?;
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(map);
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.expect(b':')?;
+            let value = self.number()?;
+            if map.insert(key, value).is_some() {
+                return self.err("duplicate key");
+            }
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(map);
+                }
+                _ => return self.err("expected ',' or '}'"),
+            }
+        }
+    }
+}
+
+pub(crate) fn snapshot_from_json(text: &str) -> Result<Snapshot, JsonError> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    let mut counters = BTreeMap::new();
+    let mut gauges = BTreeMap::new();
+    p.expect(b'{')?;
+    loop {
+        p.skip_ws();
+        let section = p.string()?;
+        p.expect(b':')?;
+        let values = p.number_object()?;
+        match section.as_str() {
+            "counters" => {
+                for (k, v) in values {
+                    if v < 0.0 || v.fract() != 0.0 || v > u64::MAX as f64 {
+                        return p.err(format!("counter {k:?} is not a u64: {v}"));
+                    }
+                    counters.insert(k, v as u64);
+                }
+            }
+            "gauges" => gauges.extend(values),
+            other => return p.err(format!("unknown section {other:?}")),
+        }
+        match p.peek() {
+            Some(b',') => p.pos += 1,
+            Some(b'}') => {
+                p.pos += 1;
+                break;
+            }
+            _ => return p.err("expected ',' or '}'"),
+        }
+    }
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return p.err("trailing content");
+    }
+    Ok(Snapshot { counters, gauges })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MetricsRegistry;
+
+    fn sample() -> Snapshot {
+        let mut reg = MetricsRegistry::new();
+        reg.counter("ddr.row_hits").add(123_456_789);
+        reg.counter("ddr.reads").add(42);
+        reg.gauge("decode.tokens_per_s").set(4.907);
+        reg.gauge("decode.bandwidth_util").set(0.845);
+        reg.gauge("tiny").set(1.25e-7);
+        reg.snapshot()
+    }
+
+    #[test]
+    fn roundtrip_is_identity() {
+        let snap = sample();
+        let text = snap.to_json();
+        let back = Snapshot::from_json(&text).expect("parses");
+        assert_eq!(back, snap);
+        // Deterministic: serializing the parse is byte-identical.
+        assert_eq!(back.to_json(), text);
+    }
+
+    #[test]
+    fn empty_snapshot_roundtrips() {
+        let snap = Snapshot::default();
+        let back = Snapshot::from_json(&snap.to_json()).expect("parses");
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn keys_with_specials_roundtrip() {
+        let mut reg = MetricsRegistry::new();
+        reg.counter("weird\"name\\with\nspecials").add(7);
+        let snap = reg.snapshot();
+        let back = Snapshot::from_json(&snap.to_json()).expect("parses");
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        for bad in [
+            "",
+            "{",
+            "{\"counters\": {\"a\": -1}, \"gauges\": {}}",
+            "{\"counters\": {\"a\": 1.5}, \"gauges\": {}}",
+            "{\"unknown\": {}}",
+            "{\"counters\": {}, \"gauges\": {}} trailing",
+            "{\"counters\": {\"a\": 1, \"a\": 2}, \"gauges\": {}}",
+        ] {
+            assert!(Snapshot::from_json(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn error_display_mentions_offset() {
+        let err = Snapshot::from_json("{oops").expect_err("fails");
+        let text = err.to_string();
+        assert!(text.contains("byte"), "{text}");
+    }
+}

@@ -20,14 +20,15 @@ use zllm::quant::awq::{quantize_awq, quantize_with_alpha, AwqConfig};
 use zllm::quant::gptq::{quantize_gptq, GptqConfig};
 use zllm::quant::group::GroupQuantConfig;
 use zllm::quant::smooth::{output_mse, quantize_smooth, SmoothConfig};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use zllm_rng::StdRng;
 
 fn main() {
     // --- Layer-level study on salient-channel data ---
     let mut rng = StdRng::seed_from_u64(7);
     let (rows, cols) = (64, 256);
-    let weights: Vec<f32> = (0..rows * cols).map(|_| rng.gen_range(-0.5f32..0.5)).collect();
+    let weights: Vec<f32> = (0..rows * cols)
+        .map(|_| rng.gen_range(-0.5f32..0.5))
+        .collect();
     let calib: Vec<f32> = (0..32 * cols)
         .map(|i| {
             let base = rng.gen_range(-1.0f32..1.0);
@@ -41,7 +42,16 @@ fn main() {
         .collect();
 
     let group = GroupQuantConfig::w4_g128();
-    let awq = quantize_awq(&weights, rows, cols, &calib, &AwqConfig { quant: group, ..AwqConfig::default() });
+    let awq = quantize_awq(
+        &weights,
+        rows,
+        cols,
+        &calib,
+        &AwqConfig {
+            quant: group,
+            ..AwqConfig::default()
+        },
+    );
     let rtn = quantize_with_alpha(&weights, rows, cols, &vec![1.0; cols], 0.0, group);
     let sq = quantize_smooth(&weights, rows, cols, &calib, SmoothConfig::default());
 

@@ -32,7 +32,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let prompt_tokens = [1u32, 15043, 3186]; // "<s> Hello world"-shaped ids
     println!("\n[host] issuing {} decode steps:", prompt_tokens.len() + 3);
     let mut total_ns = 0.0;
-    for (step, &tok) in prompt_tokens.iter().chain([29991u32, 13, 2].iter()).enumerate() {
+    for (step, &tok) in prompt_tokens
+        .iter()
+        .chain([29991u32, 13, 2].iter())
+        .enumerate()
+    {
         regs.write_token_index(tok);
         regs.write_context_len(step as u32);
         let (token, ctx) = regs.pulse_start();

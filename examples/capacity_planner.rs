@@ -11,7 +11,14 @@ use zllm::layout::weight::WeightFormat;
 use zllm::model::memory::{weight_roofline_tokens_per_s, WeightPrecision};
 use zllm::model::ModelConfig;
 
-fn llama_like(name: &str, layers: usize, d: usize, heads: usize, kv: usize, ff: usize) -> ModelConfig {
+fn llama_like(
+    name: &str,
+    layers: usize,
+    d: usize,
+    heads: usize,
+    kv: usize,
+    ff: usize,
+) -> ModelConfig {
     ModelConfig {
         name: name.to_owned(),
         n_layers: layers,
@@ -41,8 +48,7 @@ fn main() {
     );
     for cfg in candidates {
         let params = cfg.param_count() as f64 / 1e9;
-        let roofline =
-            weight_roofline_tokens_per_s(&cfg, WeightPrecision::W4G128, 19.2);
+        let roofline = weight_roofline_tokens_per_s(&cfg, WeightPrecision::W4G128, 19.2);
         match ModelImage::build(&cfg, WeightFormat::kv260(), 1024) {
             Ok(image) => {
                 // Find the largest context that still places, by bisection.
@@ -80,11 +86,13 @@ fn main() {
     // Extension: what bit-width would it take to fit LLaMA2-13B?
     let thirteen_b = llama_like("LLaMA2-13B", 40, 5120, 40, 40, 13824);
     let params = thirteen_b.param_count() as f64;
-    println!("\nWhat would it take to fit LLaMA2-13B ({:.2}B params) in 4 GB?", params / 1e9);
+    println!(
+        "\nWhat would it take to fit LLaMA2-13B ({:.2}B params) in 4 GB?",
+        params / 1e9
+    );
     for bits in [4.15625f64, 3.5, 3.0, 2.5, 2.0] {
         let weight_gib = params * bits / 8.0 / (1u64 << 30) as f64;
-        let kv_gib = zllm::model::memory::kv8_cache_bytes(&thirteen_b, 1024)
-            / (1u64 << 30) as f64;
+        let kv_gib = zllm::model::memory::kv8_cache_bytes(&thirteen_b, 1024) / (1u64 << 30) as f64;
         let fits = weight_gib + kv_gib < 3.99;
         let roofline = zllm::model::memory::weight_roofline_tokens_per_s(
             &thirteen_b,

@@ -55,9 +55,16 @@ fn main() {
         for scheme in LayoutScheme::ALL {
             let mut mem = MemorySystem::kv260();
             let report = mem.transfer(&fetch_stream(scheme, &fmt, n, 0x8000_0000));
-            cells.push(format!("{:>6.2} GB/s {:>4.0}%", report.bandwidth_gbps, report.efficiency * 100.0));
+            cells.push(format!(
+                "{:>6.2} GB/s {:>4.0}%",
+                report.bandwidth_gbps,
+                report.efficiency * 100.0
+            ));
         }
-        println!("{:>13}M {:>17} {:>17} {:>17}", mweights, cells[0], cells[1], cells[2]);
+        println!(
+            "{:>13}M {:>17} {:>17} {:>17}",
+            mweights, cells[0], cells[1], cells[2]
+        );
     }
     println!("\nThe interleaved format holds its efficiency at every scale; per-group");
     println!("metadata fetches collapse bandwidth by an order of magnitude.");

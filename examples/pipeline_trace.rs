@@ -24,7 +24,10 @@ fn draw(cfg: &ModelConfig, ctx: usize, mode: PipelineMode) {
         bar.push_str(&fill.to_string().repeat(end - start));
         println!("  {:<14} |{bar:<WIDTH$}|", s.name);
     }
-    println!("  {:<14}  █ dense (VPU/memory)   ░ misc (SPU, concurrent)", "");
+    println!(
+        "  {:<14}  █ dense (VPU/memory)   ░ misc (SPU, concurrent)",
+        ""
+    );
 }
 
 fn main() {

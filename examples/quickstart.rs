@@ -24,8 +24,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 3. Tokenize a prompt on the "PS side".
     let tokenizer = Tokenizer::new(cfg.vocab_size);
     let prompt = "memory bandwidth is destiny";
-    let prompt_ids: Vec<usize> =
-        tokenizer.encode(prompt).iter().map(|&t| t as usize % cfg.vocab_size).collect();
+    let prompt_ids: Vec<usize> = tokenizer
+        .encode(prompt)
+        .iter()
+        .map(|&t| t as usize % cfg.vocab_size)
+        .collect();
     println!("prompt: {prompt:?} → {} tokens", prompt_ids.len());
 
     // 4. Decode greedily through the accelerator's FP16/W4/KV8 datapath.

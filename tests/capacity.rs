@@ -25,7 +25,10 @@ fn figure1_component_sizes() {
     let cfg = ModelConfig::llama2_7b();
     // Weights: paper annotates 3556 MB.
     let weights = resident_weight_bytes(&cfg, WeightPrecision::W4G128) / MIB;
-    assert!((weights - 3556.0).abs() / 3556.0 < 0.02, "weights {weights:.0} MiB");
+    assert!(
+        (weights - 3556.0).abs() / 3556.0 < 0.02,
+        "weights {weights:.0} MiB"
+    );
     // KV cache: paper annotates 264 MB for 1024 tokens.
     let kv = kv8_cache_bytes(&cfg, 1024) / MIB;
     assert!((kv - 264.0).abs() < 2.0, "kv {kv:.0} MiB");

@@ -56,8 +56,7 @@ fn image_weight_bytes_match_memory_model() {
     let image = ModelImage::build(&cfg, WeightFormat::kv260(), 1024).expect("fits");
     let image_bytes = image.weight_stream_bytes() as f64;
     // Analytic model minus the FP16 embedding row it includes.
-    let analytic =
-        streamed_weight_bytes(&cfg, WeightPrecision::W4G128) - (cfg.d_model * 2) as f64;
+    let analytic = streamed_weight_bytes(&cfg, WeightPrecision::W4G128) - (cfg.d_model * 2) as f64;
     let rel = (image_bytes - analytic).abs() / analytic;
     assert!(rel < 0.005, "image {image_bytes} vs analytic {analytic}");
 }
@@ -101,9 +100,18 @@ fn simulation_respects_physical_bounds() {
     for ctx in [0usize, 8, 31] {
         let r = engine.decode_token(ctx);
         let pl_lower_bound_ns = r.vpu_cycles as f64 * 1e3 / 300.0;
-        assert!(r.wall_ns >= pl_lower_bound_ns * 0.999, "wall below PL bound at ctx {ctx}");
-        assert!(r.wall_ns >= r.mem_ns * 0.999, "wall below DDR time at ctx {ctx}");
+        assert!(
+            r.wall_ns >= pl_lower_bound_ns * 0.999,
+            "wall below PL bound at ctx {ctx}"
+        );
+        assert!(
+            r.wall_ns >= r.mem_ns * 0.999,
+            "wall below DDR time at ctx {ctx}"
+        );
         let bytes_bound_ns = r.bytes as f64 / 19.2;
-        assert!(r.wall_ns >= bytes_bound_ns * 0.999, "faster than the bus at ctx {ctx}");
+        assert!(
+            r.wall_ns >= bytes_bound_ns * 0.999,
+            "faster than the bus at ctx {ctx}"
+        );
     }
 }

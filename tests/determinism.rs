@@ -13,12 +13,14 @@ use zllm::quant::group::GroupQuantConfig;
 fn trace_engine_runs_are_bit_identical() {
     let run = || {
         let mut engine =
-            DecodeEngine::new(AccelConfig::kv260(), &ModelConfig::test_small(), 32)
-                .expect("fits");
+            DecodeEngine::new(AccelConfig::kv260(), &ModelConfig::test_small(), 32).expect("fits");
         let r = engine.decode_run(0, 6);
         (
             r.tokens_per_s.to_bits(),
-            r.steps.iter().map(|s| s.wall_ns.to_bits()).collect::<Vec<_>>(),
+            r.steps
+                .iter()
+                .map(|s| s.wall_ns.to_bits())
+                .collect::<Vec<_>>(),
         )
     };
     assert_eq!(run(), run());
@@ -51,11 +53,19 @@ fn full_generation_pipeline_is_deterministic() {
     let qm = convert(&w, &calib, GroupQuantConfig::w4_g128(), PtqMethod::Awq);
     let run = || {
         let mut dec = AccelDecoder::new(&qm);
-        generate(|t| dec.forward(t), &[10, 11], &GenerateOptions {
-            max_tokens: 8,
-            sampling: Sampling::TopK { k: 4, temperature: 0.8, seed: 99 },
-            stop_token: None,
-        })
+        generate(
+            |t| dec.forward(t),
+            &[10, 11],
+            &GenerateOptions {
+                max_tokens: 8,
+                sampling: Sampling::TopK {
+                    k: 4,
+                    temperature: 0.8,
+                    seed: 99,
+                },
+                stop_token: None,
+            },
+        )
     };
     assert_eq!(run(), run());
 }

@@ -21,8 +21,12 @@ use zllm::quant::group::{GroupQuantConfig, GroupQuantizer};
 fn ddr_roundtrip_preserves_matvec_results() {
     let cols = 512;
     let rows = 8;
-    let data: Vec<f32> = (0..rows * cols).map(|i| ((i * 37) % 113) as f32 / 113.0 - 0.5).collect();
-    let x: Vec<F16> = (0..cols).map(|i| F16::from_f32(((i * 7) % 19) as f32 / 19.0 - 0.5)).collect();
+    let data: Vec<f32> = (0..rows * cols)
+        .map(|i| ((i * 37) % 113) as f32 / 113.0 - 0.5)
+        .collect();
+    let x: Vec<F16> = (0..cols)
+        .map(|i| F16::from_f32(((i * 7) % 19) as f32 / 19.0 - 0.5))
+        .collect();
     let fmt = WeightFormat::kv260();
     let quantizer = GroupQuantizer::new(GroupQuantConfig::w4_g128());
     let vpu = Vpu::kv260();
@@ -46,7 +50,11 @@ fn ddr_roundtrip_preserves_matvec_results() {
             direct += vpu.dot(&beat_direct, &x[lo..hi]);
             via_ddr += vpu.dot(&beat_ddr, &x[lo..hi]);
         }
-        assert_eq!(direct.to_bits(), via_ddr.to_bits(), "DDR roundtrip altered the result");
+        assert_eq!(
+            direct.to_bits(),
+            via_ddr.to_bits(),
+            "DDR roundtrip altered the result"
+        );
     }
 }
 

@@ -12,8 +12,8 @@ use zllm::model::ModelConfig;
 /// mid-80s or better, and beating every prior FPGA row on utilization.
 #[test]
 fn table2_shape_holds_with_simulated_ours() {
-    let mut engine = DecodeEngine::new(AccelConfig::kv260(), &ModelConfig::llama2_7b(), 1024)
-        .expect("7B fits");
+    let mut engine =
+        DecodeEngine::new(AccelConfig::kv260(), &ModelConfig::llama2_7b(), 1024).expect("7B fits");
     assert!(
         (5.6..6.0).contains(&engine.roofline_tokens_per_s()),
         "roofline {} should be ~5.8",
@@ -31,7 +31,9 @@ fn table2_shape_holds_with_simulated_ours() {
         report.bandwidth_util
     );
 
-    let rows = table2_rows(OursResult { tokens_per_s: report.tokens_per_s });
+    let rows = table2_rows(OursResult {
+        tokens_per_s: report.tokens_per_s,
+    });
     let ours = rows.last().expect("ours row");
     for row in &rows[..rows.len() - 1] {
         assert!(
@@ -48,10 +50,12 @@ fn table2_shape_holds_with_simulated_ours() {
 /// Nano + NanoLLM is the closest competitor.
 #[test]
 fn table3_shape_holds_with_simulated_ours() {
-    let mut engine = DecodeEngine::new(AccelConfig::kv260(), &ModelConfig::llama2_7b(), 1024)
-        .expect("7B fits");
+    let mut engine =
+        DecodeEngine::new(AccelConfig::kv260(), &ModelConfig::llama2_7b(), 1024).expect("7B fits");
     let report = engine.decode_token(256);
-    let rows = table3_rows(OursResult { tokens_per_s: report.tokens_per_s });
+    let rows = table3_rows(OursResult {
+        tokens_per_s: report.tokens_per_s,
+    });
     let ours = rows.last().expect("ours row");
     let mut best_other = 0.0f64;
     for row in &rows[..rows.len() - 1] {
@@ -92,13 +96,17 @@ fn layout_ablation_ordering() {
     let n = 4096 * 4096;
     let eff = |scheme| {
         let mut mem = MemorySystem::kv260();
-        mem.transfer(&fetch_stream(scheme, &fmt, n, 0x8000_0000)).efficiency
+        mem.transfer(&fetch_stream(scheme, &fmt, n, 0x8000_0000))
+            .efficiency
     };
     let inter = eff(LayoutScheme::Interleaved);
     let split = eff(LayoutScheme::SplitRegions);
     let pergroup = eff(LayoutScheme::PerGroupFetch);
     assert!(inter >= split, "interleaved {inter} vs split {split}");
-    assert!(split > 4.0 * pergroup, "split {split} vs per-group {pergroup}");
+    assert!(
+        split > 4.0 * pergroup,
+        "split {split} vs per-group {pergroup}"
+    );
     assert!(inter > 0.9, "interleaved must run near peak, got {inter}");
 }
 
@@ -118,7 +126,10 @@ fn decode_is_bandwidth_bound() {
         .expect("fits")
         .decode_token(256)
         .tokens_per_s;
-    assert!(slow <= base * 1.001, "lookahead-1 {slow} should not beat base {base}");
+    assert!(
+        slow <= base * 1.001,
+        "lookahead-1 {slow} should not beat base {base}"
+    );
 
     let mut more_compute = AccelConfig::kv260();
     more_compute.lanes = 256;

@@ -3,6 +3,8 @@
 //! their invariants for *any* valid small configuration, not just the
 //! presets.
 
+#![cfg(feature = "proptest")]
+
 use proptest::prelude::*;
 use zllm::accel::config::PipelineMode;
 use zllm::accel::image::ModelImage;
