@@ -22,6 +22,28 @@ fn bench_patterns(c: &mut Criterion) {
     g.finish();
 }
 
+/// The fast-path headline: a 1 GB sequential weight stream priced in
+/// closed form, against the same stream forced down the per-access path.
+fn bench_fast_path(c: &mut Criterion) {
+    let stream = traffic::sequential(0, 1 << 30);
+    let mut g = c.benchmark_group("ddr_fast_path");
+    g.sample_size(10);
+    g.bench_function("sequential_1GiB_fast", |b| {
+        b.iter(|| {
+            let mut mem = MemorySystem::kv260();
+            black_box(mem.transfer(black_box(&stream)))
+        })
+    });
+    g.bench_function("sequential_1GiB_per_access", |b| {
+        b.iter(|| {
+            let mut mem = MemorySystem::kv260();
+            mem.set_fast_path(false);
+            black_box(mem.transfer(black_box(&stream)))
+        })
+    });
+    g.finish();
+}
+
 fn bench_layout_schemes(c: &mut Criterion) {
     let fmt = WeightFormat::kv260();
     let n_weights = 4096 * 4096;
@@ -39,5 +61,10 @@ fn bench_layout_schemes(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_patterns, bench_layout_schemes);
+criterion_group!(
+    benches,
+    bench_patterns,
+    bench_fast_path,
+    bench_layout_schemes
+);
 criterion_main!(benches);

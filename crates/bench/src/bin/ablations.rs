@@ -3,12 +3,16 @@
 //! depth around the paper's chosen operating point, plus the
 //! prefill-engine trade-off.
 //!
+//! Every sweep point owns its engine, so the points of each ablation are
+//! priced concurrently with [`par_map`]; rows are collected in input
+//! order and the output is byte-for-byte deterministic.
+//!
 //! ```text
 //! cargo run --release -p zllm-bench --bin ablations
 //! ```
 
 use zllm_accel::{AccelConfig, DecodeEngine};
-use zllm_bench::{fmt_pct, print_table};
+use zllm_bench::{fmt_pct, par_map, print_table};
 use zllm_model::ModelConfig;
 
 fn measure(accel: AccelConfig) -> (f64, f64) {
@@ -18,17 +22,14 @@ fn measure(accel: AccelConfig) -> (f64, f64) {
 }
 
 fn main() {
-    let model = ModelConfig::llama2_7b();
-
     println!("Ablation 1: PL clock frequency (the 300 MHz design point)\n");
-    let mut rows = Vec::new();
-    for mhz in [150.0, 200.0, 250.0, 300.0, 400.0] {
+    let rows = par_map(vec![150.0, 200.0, 250.0, 300.0, 400.0], |mhz| {
         let mut cfg = AccelConfig::kv260();
         cfg.freq_mhz = mhz;
         cfg.axi.clock_mhz = mhz;
         let (tps, util) = measure(cfg);
         let absorb = 64.0 * mhz * 1e6 / 1e9;
-        rows.push(vec![
+        vec![
             format!("{mhz:.0}"),
             format!("{absorb:.1}"),
             format!("{tps:.2}"),
@@ -39,8 +40,8 @@ fn main() {
                 "PL-bound (starved)"
             }
             .to_owned(),
-        ]);
-    }
+        ]
+    });
     print_table(
         &["MHz", "PL absorb GB/s", "token/s", "util", "regime"],
         &rows,
@@ -49,8 +50,7 @@ fn main() {
     println!("nothing improves — 300 MHz is the knee (and the timing-closure limit).\n");
 
     println!("Ablation 2: VPU lane count (the 128-lane design point)\n");
-    let mut rows = Vec::new();
-    for lanes in [32usize, 64, 128, 256] {
+    let rows = par_map(vec![32usize, 64, 128, 256], |lanes| {
         let mut cfg = AccelConfig::kv260();
         cfg.lanes = lanes;
         let est = zllm_accel::resources::estimate(&cfg);
@@ -59,58 +59,56 @@ fn main() {
             .total
             .utilization(&zllm_accel::resources::kv260_device())
             .lut;
-        rows.push(vec![
+        vec![
             format!("{lanes}"),
             format!("{tps:.2}"),
             fmt_pct(util),
             format!("{:.0}", est.total.dsp),
             fmt_pct(lut_util),
-        ]);
-    }
+        ]
+    });
     print_table(&["lanes", "token/s", "util", "DSPs", "LUT util"], &rows);
     println!("64 lanes halve throughput (dequantizer starves the bus); 256 lanes");
     println!("add nothing but blow the LUT budget — 128 is bandwidth-area balanced.\n");
 
     println!("Ablation 3: AXI HP ports (the 4-port design point)\n");
-    let mut rows = Vec::new();
-    for ports in [1u32, 2, 4] {
+    let rows = par_map(vec![1u32, 2, 4], |ports| {
         let mut cfg = AccelConfig::kv260();
         cfg.axi.ports = ports;
         let fabric_gbps = cfg.axi.bandwidth_gbps();
         let (tps, util) = measure(cfg);
-        rows.push(vec![
+        vec![
             format!("{ports}"),
             format!("{fabric_gbps:.1}"),
             format!("{tps:.2}"),
             fmt_pct(util),
-        ]);
-    }
+        ]
+    });
     print_table(&["ports", "fabric GB/s", "token/s", "util"], &rows);
 
     println!("\nAblation 4: datamover outstanding-transaction depth\n");
-    let mut rows = Vec::new();
-    for depth in [1usize, 2, 4, 8, 16] {
+    let rows = par_map(vec![1usize, 2, 4, 8, 16], |depth| {
         let mut cfg = AccelConfig::kv260();
         cfg.mem_lookahead = depth;
         let (tps, util) = measure(cfg);
-        rows.push(vec![format!("{depth}"), format!("{tps:.2}"), fmt_pct(util)]);
-    }
+        vec![format!("{depth}"), format!("{tps:.2}"), fmt_pct(util)]
+    });
     print_table(&["depth", "token/s", "util"], &rows);
 
     println!("\nAblation 5: prefill — vector engine vs hypothetical matrix engine\n");
-    let mut engine = DecodeEngine::new(AccelConfig::kv260(), &model, 1024).expect("fits");
-    let mut rows = Vec::new();
-    for prompt in [32usize, 128, 512] {
+    let rows = par_map(vec![32usize, 128, 512], |prompt| {
+        let mut engine =
+            DecodeEngine::new(AccelConfig::kv260(), &ModelConfig::llama2_7b(), 1024).expect("fits");
         let vector_s = engine.prefill_vector_ns(prompt) / 1e9;
         let matrix_s = engine.prefill_matrix_engine_ns(prompt, 128) / 1e9;
         let matrix8x_s = engine.prefill_matrix_engine_ns(prompt, 1024) / 1e9;
-        rows.push(vec![
+        vec![
             format!("{prompt}"),
             format!("{vector_s:.1} s"),
             format!("{matrix_s:.1} s"),
             format!("{matrix8x_s:.1} s"),
-        ]);
-    }
+        ]
+    });
     print_table(
         &[
             "prompt tokens",
@@ -126,8 +124,7 @@ fn main() {
 
     println!("\nAblation 6: what-if memory technologies (§VIII, 'Memory Resources");
     println!("is Essential') — the same architecture on faster memory\n");
-    let mut rows = Vec::new();
-    let memories: [(&str, zllm_ddr::DdrConfig); 3] = [
+    let memories: Vec<(&str, zllm_ddr::DdrConfig)> = vec![
         ("DDR4-2400 (KV260)", zllm_ddr::DdrConfig::ddr4_2400_kv260()),
         (
             "DDR4-2666 (ZCU102-class)",
@@ -138,7 +135,7 @@ fn main() {
             zllm_ddr::DdrConfig::lpddr5_orin_nano(),
         ),
     ];
-    for (name, ddr) in memories {
+    let rows = par_map(memories, |(name, ddr)| {
         let peak = ddr.peak_bandwidth_gbps();
         // As-is: the KV260 PL can only absorb 19.2 GB/s.
         let mut as_is = AccelConfig::kv260();
@@ -161,14 +158,14 @@ fn main() {
             .total
             .utilization(&zllm_accel::resources::kv260_device())
             .lut;
-        rows.push(vec![
+        vec![
             name.to_owned(),
             format!("{peak:.1}"),
             format!("{tps_as_is:.2}"),
             format!("{tps_scaled:.2}"),
             fmt_pct(lut_util),
-        ]);
-    }
+        ]
+    });
     print_table(
         &[
             "memory",
@@ -184,21 +181,21 @@ fn main() {
     println!("FPGAs with both more bandwidth *and* more fabric (§VIII).");
 
     println!("\nAblation 7: batch size (why server FPGAs batch and edge boxes don't, §II)\n");
-    let mut balanced = DecodeEngine::new(AccelConfig::kv260(), &model, 1024).expect("fits");
-    let mut rich_cfg = AccelConfig::kv260();
-    rich_cfg.lanes = 2048; // a server-class MAC budget (would not fit a K26)
-    let mut rich = DecodeEngine::new(rich_cfg, &model, 1024).expect("fits");
-    let mut rows = Vec::new();
-    for batch in [1usize, 2, 4, 8, 16] {
+    let rows = par_map(vec![1usize, 2, 4, 8, 16], |batch| {
+        let mut balanced =
+            DecodeEngine::new(AccelConfig::kv260(), &ModelConfig::llama2_7b(), 1024).expect("fits");
+        let mut rich_cfg = AccelConfig::kv260();
+        rich_cfg.lanes = 2048; // a server-class MAC budget (would not fit a K26)
+        let mut rich = DecodeEngine::new(rich_cfg, &ModelConfig::llama2_7b(), 1024).expect("fits");
         let ours = balanced.decode_batch_estimate(512, batch);
         let server = rich.decode_batch_estimate(512, batch);
-        rows.push(vec![
+        vec![
             format!("{batch}"),
             format!("{ours:.2}"),
             format!("{:.2}", ours / batch as f64),
             format!("{server:.2}"),
-        ]);
-    }
+        ]
+    });
     print_table(
         &[
             "batch",

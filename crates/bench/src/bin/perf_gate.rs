@@ -59,7 +59,19 @@ fn main() {
     let print = args.iter().any(|a| a == "--print");
 
     eprintln!("perf gate: pricing LLaMA2-7B decode at ctx {CONTEXTS:?} (deterministic)...");
+    let host_start = std::time::Instant::now();
     let current = scenario_snapshot();
+    let host_seconds = host_start.elapsed().as_secs_f64();
+
+    // Host-side throughput: how fast the simulator itself ran. Reported on
+    // stderr (the gated snapshot stays deterministic and `--print` stdout
+    // stays pure JSON) so CI logs track the speedup PR-over-PR.
+    let simulated_gb = current.counter("decode.bytes").unwrap_or(0) as f64 / 1e9;
+    eprintln!(
+        "perf gate host: {host_seconds:.3} s wall, {simulated_gb:.2} GB simulated, \
+         {:.2} simulated-GB/host-s",
+        simulated_gb / host_seconds.max(1e-9)
+    );
 
     if print {
         print!("{}", current.to_json());

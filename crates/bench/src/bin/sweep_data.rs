@@ -2,11 +2,17 @@
 //! decode speed vs. context (fused/coarse), DDR efficiency vs. burst
 //! length, and quantization SQNR vs. group size.
 //!
+//! Each sweep point is independent (it owns its engine or memory system),
+//! so the points are priced concurrently with [`par_map`]; lines are
+//! buffered per point and printed in input order, keeping the CSV
+//! deterministic.
+//!
 //! ```text
 //! cargo run --release -p zllm-bench --bin sweep_data > sweeps.csv
 //! ```
 
 use zllm_accel::{AccelConfig, DecodeEngine};
+use zllm_bench::par_map;
 use zllm_ddr::{traffic, MemorySystem};
 use zllm_model::ModelConfig;
 use zllm_quant::error::ErrorStats;
@@ -15,31 +21,35 @@ use zllm_quant::group::{GroupQuantConfig, GroupQuantizer};
 fn main() {
     // Series 1: decode speed vs context length.
     println!("series,ctx,tokens_per_s,bandwidth_util");
-    let model = ModelConfig::llama2_7b();
-    let mut fused = DecodeEngine::new(AccelConfig::kv260(), &model, 1024).expect("7B fits");
-    let mut coarse = DecodeEngine::new(AccelConfig::kv260_coarse(), &model, 1024).expect("7B fits");
-    for ctx in (0..=1023).step_by(128).chain([1023]) {
+    let contexts: Vec<usize> = (0..=1023).step_by(128).chain([1023]).collect();
+    let lines = par_map(contexts, |ctx| {
+        let model = ModelConfig::llama2_7b();
+        let mut fused = DecodeEngine::new(AccelConfig::kv260(), &model, 1024).expect("7B fits");
+        let mut coarse =
+            DecodeEngine::new(AccelConfig::kv260_coarse(), &model, 1024).expect("7B fits");
         let rf = fused.decode_token(ctx);
-        println!(
-            "decode_fused,{ctx},{:.4},{:.4}",
-            rf.tokens_per_s, rf.bandwidth_util
-        );
         let rc = coarse.decode_token(ctx);
-        println!(
-            "decode_coarse,{ctx},{:.4},{:.4}",
-            rc.tokens_per_s, rc.bandwidth_util
-        );
+        format!(
+            "decode_fused,{ctx},{:.4},{:.4}\ndecode_coarse,{ctx},{:.4},{:.4}",
+            rf.tokens_per_s, rf.bandwidth_util, rc.tokens_per_s, rc.bandwidth_util
+        )
+    });
+    for line in lines {
+        println!("{line}");
     }
 
     // Series 2: DDR efficiency vs burst length.
     println!("series,burst_beats,bandwidth_gbps,efficiency");
-    for beats in [1u32, 2, 4, 8, 16, 32, 64, 128, 256] {
+    let lines = par_map(vec![1u32, 2, 4, 8, 16, 32, 64, 128, 256], |beats| {
         let mut mem = MemorySystem::kv260();
         let report = mem.transfer(&traffic::strided(0, 512, beats, 1 << 20));
-        println!(
+        format!(
             "ddr_burst,{beats},{:.4},{:.4}",
             report.bandwidth_gbps, report.efficiency
-        );
+        )
+    });
+    for line in lines {
+        println!("{line}");
     }
 
     // Series 3: quantization SQNR vs group size.
@@ -47,10 +57,13 @@ fn main() {
     let values: Vec<f32> = (0..65536)
         .map(|i| ((i as f32 * 0.11).sin() + (i as f32 * 0.013).cos() * 0.4) * 0.04)
         .collect();
-    for group in [32usize, 64, 128, 256, 512, 1024] {
+    let lines = par_map(vec![32usize, 64, 128, 256, 512, 1024], |group| {
         let q = GroupQuantizer::new(GroupQuantConfig::new(group, 4)).quantize(&values);
         let stats = ErrorStats::between(&values, &q.dequantize());
         let bits = q.storage_bits() as f64 / values.len() as f64;
-        println!("quant_group,{group},{:.3},{:.5}", stats.sqnr_db, bits);
+        format!("quant_group,{group},{:.3},{:.5}", stats.sqnr_db, bits)
+    });
+    for line in lines {
+        println!("{line}");
     }
 }

@@ -9,17 +9,22 @@
 
 use zllm_accel::{AccelConfig, DecodeEngine};
 use zllm_baselines::{table3_rows, OursResult};
-use zllm_bench::{fmt_num, fmt_pct, print_table};
+use zllm_bench::{fmt_num, fmt_pct, par_map, print_table};
 use zllm_model::ModelConfig;
 
 fn main() {
     println!("Simulating LLaMA2-7B decoding on the KV260 (trace-driven)...");
-    let mut engine = DecodeEngine::new(AccelConfig::kv260(), &ModelConfig::llama2_7b(), 1024)
-        .expect("LLaMA2-7B fits the 4GB device");
-    engine.decode_run_sampled(1024, 8);
-    // Read the result back from the unified metrics registry.
-    let snap = engine.metrics_snapshot();
-    let tokens_per_s = snap.gauge("decode.run.tokens_per_s").expect("published");
+    // Same sampling grid as `decode_run_sampled(1024, 8)`, one engine per
+    // sample so the contexts are priced concurrently.
+    let (samples, ctx_end) = (8usize, 1024usize);
+    let step = (ctx_end / samples).max(1);
+    let wall_ns = par_map((0..samples).collect(), |i| {
+        let mut engine = DecodeEngine::new(AccelConfig::kv260(), &ModelConfig::llama2_7b(), 1024)
+            .expect("LLaMA2-7B fits the 4GB device");
+        engine.decode_token((i * step).min(ctx_end - 1)).wall_ns
+    });
+    let mean_ns: f64 = wall_ns.iter().sum::<f64>() / wall_ns.len() as f64;
+    let tokens_per_s = 1e9 / mean_ns;
     println!("  simulated: {tokens_per_s:.2} token/s\n");
 
     let rows = table3_rows(OursResult { tokens_per_s });

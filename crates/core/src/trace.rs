@@ -13,6 +13,8 @@ use crate::config::AccelConfig;
 use crate::image::ModelImage;
 use crate::schedule::{token_schedule, TokenSchedule};
 use crate::vpu::{Vpu, VpuCounters};
+use std::collections::HashMap;
+use std::rc::Rc;
 use zllm_ddr::{DdrCounters, MemorySystem};
 use zllm_layout::addr_map::AllocError;
 use zllm_model::{memory, ModelConfig};
@@ -97,6 +99,62 @@ pub struct DecodeEngine {
     /// [`zllm_ddr::DdrStats`] are value-type views over the same numbers.
     registry: MetricsRegistry,
     metrics: DecodeMetrics,
+    /// Schedules already derived, keyed by context length. A schedule is a
+    /// pure function of `(image, ctx, pipeline)` and all three are fixed
+    /// for the engine's lifetime, so reuse is exact. Bounded by
+    /// [`SCHEDULE_CACHE_CAP`]; misses past the cap are priced from a
+    /// freshly derived schedule without being retained.
+    schedules: HashMap<usize, Rc<CachedSchedule>>,
+}
+
+/// Upper bound on retained schedules. Sweeps and the perf gate revisit a
+/// handful of context lengths; a token-by-token generation run visits each
+/// context once, where caching buys nothing — so stop retaining rather
+/// than let a long run hold hundreds of schedules alive.
+const SCHEDULE_CACHE_CAP: usize = 64;
+
+/// A token schedule plus everything `price` derives from it alone:
+/// schedule-wide totals, the per-kind byte breakdown, and the telemetry
+/// counters those kinds publish into — resolved once instead of a
+/// `format!`-keyed registry lookup per kind per token.
+#[derive(Debug)]
+struct CachedSchedule {
+    sched: TokenSchedule,
+    vpu_beats: u64,
+    exposed_misc: u64,
+    /// Bytes per operation kind, in first-appearance order.
+    breakdown: Vec<(String, u64)>,
+    /// `decode.bytes.{kind}` handles, parallel to `breakdown`.
+    kind_counters: Vec<Counter>,
+}
+
+impl CachedSchedule {
+    fn build(sched: TokenSchedule, registry: &mut MetricsRegistry) -> CachedSchedule {
+        // Aggregate bytes by operation kind (strip the layer prefix).
+        let mut breakdown: Vec<(String, u64)> = Vec::new();
+        for op in &sched.ops {
+            let kind = op
+                .label
+                .split_once('.')
+                .map(|(_, k)| k)
+                .unwrap_or(&op.label);
+            match breakdown.iter_mut().find(|(k, _)| k == kind) {
+                Some((_, b)) => *b += op.bytes(),
+                None => breakdown.push((kind.to_owned(), op.bytes())),
+            }
+        }
+        let kind_counters = breakdown
+            .iter()
+            .map(|(kind, _)| registry.counter(&format!("decode.bytes.{kind}")))
+            .collect();
+        CachedSchedule {
+            vpu_beats: sched.total_vpu_beats(),
+            exposed_misc: sched.total_exposed_misc(),
+            breakdown,
+            kind_counters,
+            sched,
+        }
+    }
 }
 
 /// Pre-resolved handles for the metrics the pricing loop publishes, so
@@ -171,6 +229,7 @@ impl DecodeEngine {
             roofline_tokens_per_s: roofline,
             registry,
             metrics,
+            schedules: HashMap::new(),
         })
     }
 
@@ -213,8 +272,22 @@ impl DecodeEngine {
 
     /// Prices one decode step at context length `ctx`.
     pub fn decode_token(&mut self, ctx: usize) -> TokenReport {
+        let cached = self.schedule_for(ctx);
+        self.price(&cached)
+    }
+
+    /// The cached schedule for `ctx`, deriving (and, below the cache cap,
+    /// retaining) it on first use.
+    fn schedule_for(&mut self, ctx: usize) -> Rc<CachedSchedule> {
+        if let Some(cached) = self.schedules.get(&ctx) {
+            return Rc::clone(cached);
+        }
         let sched = token_schedule(&self.image, ctx, self.accel.pipeline);
-        self.price(&sched)
+        let cached = Rc::new(CachedSchedule::build(sched, &mut self.registry));
+        if self.schedules.len() < SCHEDULE_CACHE_CAP {
+            self.schedules.insert(ctx, Rc::clone(&cached));
+        }
+        cached
     }
 
     /// PL cycles needed per 512-bit read beat: the slower of the VPU's
@@ -228,17 +301,16 @@ impl DecodeEngine {
         vpu.max(fabric)
     }
 
-    fn price(&mut self, sched: &TokenSchedule) -> TokenReport {
-        // Memory time: the whole step's bursts through the DDR model.
-        let all_bursts: Vec<_> = sched
-            .ops
-            .iter()
-            .flat_map(|o| o.bursts.iter().copied())
-            .collect();
-        let report = self.mem.transfer(&all_bursts);
+    fn price(&mut self, cached: &CachedSchedule) -> TokenReport {
+        let sched = &cached.sched;
+        // Memory time: the whole step's bursts streamed through the DDR
+        // model, without materializing an intermediate Vec.
+        let report = self
+            .mem
+            .transfer_iter(sched.ops.iter().flat_map(|o| o.bursts.iter().copied()));
 
-        let vpu_cycles = sched.total_vpu_beats() * self.cycles_per_beat();
-        let exposed = sched.total_exposed_misc();
+        let vpu_cycles = cached.vpu_beats * self.cycles_per_beat();
+        let exposed = cached.exposed_misc;
         // Fused-pipeline bubbles: one VPU fill/drain per operation
         // boundary (dependency handoff).
         let bubbles = sched.ops.len() as u64 * self.vpu.pipeline_latency();
@@ -248,24 +320,11 @@ impl DecodeEngine {
         let wall_ns = report.wall_ns.max(compute_ns) + exposed_ns;
         let tokens_per_s = 1e9 / wall_ns;
 
-        // Aggregate bytes by operation kind (strip the layer prefix).
-        let mut breakdown: Vec<(String, u64)> = Vec::new();
-        for op in &sched.ops {
-            let kind = op
-                .label
-                .split_once('.')
-                .map(|(_, k)| k)
-                .unwrap_or(&op.label)
-                .to_owned();
-            match breakdown.iter_mut().find(|(k, _)| *k == kind) {
-                Some((_, b)) => *b += op.bytes(),
-                None => breakdown.push((kind, op.bytes())),
-            }
-        }
-
         // Publish into the registry: counters accumulate across the run,
         // gauges reflect the most recent priced token. The DDR counters
-        // were already bumped inside `transfer()` via the shared handles.
+        // were already bumped inside `transfer_iter()` via the shared
+        // handles, and the per-kind byte counters were resolved when the
+        // schedule was cached.
         self.metrics.tokens.inc();
         self.metrics.bytes.add(report.bytes);
         self.metrics.vpu_cycles.add(vpu_cycles);
@@ -276,10 +335,8 @@ impl DecodeEngine {
             .bandwidth_util
             .set(tokens_per_s / self.roofline_tokens_per_s);
         self.metrics.wall_ns.set(wall_ns);
-        for (kind, bytes) in &breakdown {
-            self.registry
-                .counter(&format!("decode.bytes.{kind}"))
-                .add(*bytes);
+        for ((_, bytes), counter) in cached.breakdown.iter().zip(&cached.kind_counters) {
+            counter.add(*bytes);
         }
 
         TokenReport {
@@ -292,7 +349,7 @@ impl DecodeEngine {
             wall_ns,
             tokens_per_s,
             bandwidth_util: tokens_per_s / self.roofline_tokens_per_s,
-            breakdown,
+            breakdown: cached.breakdown.clone(),
         }
     }
 
@@ -467,6 +524,48 @@ mod tests {
         let sum: u64 = r.breakdown.iter().map(|(_, b)| b).sum();
         assert_eq!(sum, r.bytes);
         assert!(r.bytes_for("mlp") > r.bytes_for("kv_read"));
+    }
+
+    #[test]
+    fn schedule_cache_reuses_and_stays_exact() {
+        let mut engine = small_engine(PipelineMode::Fused);
+        let first = engine.decode_token(8);
+        let again = engine.decode_token(8);
+        assert_eq!(engine.schedules.len(), 1, "same ctx should share one entry");
+        // Reuse must not change what the schedule describes — only the
+        // DDR phase (refresh timing) may differ between the two steps.
+        assert_eq!(first.bytes, again.bytes);
+        assert_eq!(first.vpu_cycles, again.vpu_cycles);
+        assert_eq!(first.breakdown, again.breakdown);
+        // The cached breakdown matches a fresh aggregation of the raw
+        // schedule, byte for byte and in first-appearance order.
+        let sched = token_schedule(engine.image(), 8, PipelineMode::Fused);
+        let mut expected: Vec<(String, u64)> = Vec::new();
+        for op in &sched.ops {
+            let kind = op
+                .label
+                .split_once('.')
+                .map(|(_, k)| k)
+                .unwrap_or(&op.label)
+                .to_owned();
+            match expected.iter_mut().find(|(k, _)| *k == kind) {
+                Some((_, b)) => *b += op.bytes(),
+                None => expected.push((kind, op.bytes())),
+            }
+        }
+        assert_eq!(first.breakdown, expected);
+    }
+
+    #[test]
+    fn schedule_cache_is_bounded() {
+        let mut engine =
+            DecodeEngine::new(AccelConfig::kv260(), &ModelConfig::test_small(), 256).expect("fits");
+        for ctx in 0..200 {
+            engine.decode_token(ctx);
+        }
+        assert!(engine.schedules.len() <= SCHEDULE_CACHE_CAP);
+        // Contexts past the cap are still priced correctly.
+        assert!(engine.decode_token(199).bytes > 0);
     }
 
     #[test]

@@ -54,6 +54,53 @@ pub struct DdrController {
     completions: VecDeque<u64>,
     lookahead: usize,
     counters: DdrCounters,
+    /// Whether [`Self::burst`] may batch steady-state stretches through
+    /// the closed-form fast path. On by default; the per-access fallback
+    /// is kept reachable for differential testing.
+    fast_path: bool,
+    /// Address-map geometry derived from `cfg` once at construction, so
+    /// the stretch detector does no divisions by recomputed constants.
+    geo: Geometry,
+    /// Conservative invariant flag: when `true`, the completion window is
+    /// an arithmetic progression with step `cycles_per_access` ending at
+    /// its back element (`completions[j] == back - (len-1-j)·cpa`). Lets
+    /// the stretch detector skip the per-element arrival scan; any access
+    /// that breaks the progression clears it.
+    uniform_completions: bool,
+}
+
+/// Minimum batchable stretch worth the O(lookahead) precondition check.
+/// Purely a performance threshold — any value keeps results bit-identical.
+const FAST_PATH_MIN_STRETCH: u64 = 8;
+
+/// Derived address-map constants (see [`DdrConfig::map_address`]).
+#[derive(Debug, Clone, Copy)]
+struct Geometry {
+    /// Bytes per column access.
+    bpa: u64,
+    /// Data-bus cycles per column access.
+    cpa: u64,
+    /// Bank-group count (≥ 1).
+    bgc: u64,
+    /// Banks per group (≥ 1).
+    bpg: u64,
+    /// Accesses per row window (`bank_groups × cols_per_bg`): the span a
+    /// sequential stream covers before needing fresh activates.
+    window: u64,
+}
+
+impl Geometry {
+    fn of(cfg: &DdrConfig) -> Geometry {
+        let bgc = cfg.bank_groups.max(1) as u64;
+        let cols_per_bg = (cfg.accesses_per_row() / bgc).max(1);
+        Geometry {
+            bpa: cfg.bytes_per_access(),
+            cpa: cfg.cycles_per_access(),
+            bgc,
+            bpg: (cfg.banks as u64 / bgc).max(1),
+            window: bgc * cols_per_bg,
+        }
+    }
 }
 
 impl DdrController {
@@ -81,6 +128,7 @@ impl DdrController {
         let banks = vec![Bank::default(); cfg.banks as usize];
         let next_refresh = cfg.trefi as u64;
         let last_cas_per_group = vec![0u64; cfg.bank_groups.max(1) as usize];
+        let geo = Geometry::of(&cfg);
         DdrController {
             cfg,
             banks,
@@ -92,7 +140,23 @@ impl DdrController {
             completions: VecDeque::with_capacity(lookahead + 1),
             lookahead,
             counters,
+            fast_path: true,
+            geo,
+            uniform_completions: true,
         }
+    }
+
+    /// Enables or disables the closed-form burst fast path (on by
+    /// default). Disabling forces [`Self::burst`] through the per-access
+    /// reference path; results are bit-identical either way — the toggle
+    /// exists so differential tests can prove exactly that.
+    pub fn set_fast_path(&mut self, enabled: bool) {
+        self.fast_path = enabled;
+    }
+
+    /// Whether the burst fast path is enabled.
+    pub fn fast_path(&self) -> bool {
+        self.fast_path
     }
 
     /// The configuration.
@@ -218,6 +282,11 @@ impl DdrController {
             self.counters.reads.inc();
         }
 
+        self.uniform_completions = self.uniform_completions
+            && self
+                .completions
+                .back()
+                .is_none_or(|&b| data_end == b + self.geo.cpa);
         self.completions.push_back(data_end);
         while self.completions.len() > self.lookahead {
             self.completions.pop_front();
@@ -227,13 +296,205 @@ impl DdrController {
 
     /// Runs a whole burst (consecutive accesses) and returns the completion
     /// cycle of its last beat.
+    ///
+    /// Long bursts spend almost all their accesses in an analytically
+    /// predictable steady state — consecutive row hits in already-open
+    /// banks, bus-bound, with no refresh or pacing hazard in sight. When
+    /// [`Self::fast_path`] is enabled (the default) such stretches are
+    /// priced in O(1) closed form; every hazard (row crossing, refresh
+    /// epoch, turnaround, pacing stall, shallow lookahead) falls back to
+    /// the per-access path. The two paths produce **bit-identical** cycle
+    /// counts, statistics and telemetry — see the differential tests and
+    /// the `proptest` suite.
     pub fn burst(&mut self, addr: u64, beats: u32, write: bool) -> u64 {
         let step = self.cfg.bytes_per_access();
+        let total = beats as u64;
         let mut end = self.bus_next;
-        for i in 0..beats as u64 {
+        let mut i = 0u64;
+        while i < total {
+            if self.fast_path {
+                let n = self.steady_stretch(addr + i * step, total - i, write);
+                if n > 0 {
+                    self.apply_steady_stretch(addr + i * step, n, write);
+                    end = self.bus_next;
+                    i += n;
+                    continue;
+                }
+            }
             end = self.access(addr + i * step, write);
+            i += 1;
         }
         end
+    }
+
+    /// Length of the steady-state stretch starting at `addr` that can be
+    /// priced in closed form, or 0 if the per-access path must run.
+    ///
+    /// A stretch of `n` accesses qualifies exactly when every one of them
+    /// would take the same branch through [`Self::access`]: a row hit in
+    /// an open bank, same bus direction, no refresh epoch crossed, and a
+    /// data-bus-bound CAS (neither the lookahead window, nor tCCD_L
+    /// pacing, nor CAS latency delays the transfer beyond the bus). The
+    /// first `lookahead` accesses draw their arrival times from the
+    /// pre-existing completion window and the first `bank_groups` their
+    /// CAS spacing from pre-existing issue times, so those are checked
+    /// individually; beyond them both hazards repeat with a fixed period
+    /// and two closed-form inequalities cover the entire tail.
+    fn steady_stretch(&self, addr: u64, max_n: u64, write: bool) -> u64 {
+        let geo = self.geo;
+        // Direction must match (no turnaround, and not the first access).
+        if self.last_write != Some(write) || geo.cpa == 0 {
+            return 0;
+        }
+        let cpa = geo.cpa;
+        let lat = if write { self.cfg.cwl } else { self.cfg.cl } as u64;
+        let l = self.lookahead as u64;
+        let bgc = geo.bgc;
+        let tccd_l = self.cfg.tccd_l as u64;
+        // Tail conditions (periodic hazards, checked once per config):
+        // arrival of access i (= completion of access i-lookahead) plus
+        // CAS latency must hide under the bus, and same-group CAS spacing
+        // (period bank_groups) must exceed tCCD_L.
+        if lat > (l - 1) * cpa || tccd_l > bgc * cpa {
+            return 0;
+        }
+        // Refresh headroom: access i runs at bus time bus0 + i*cpa and
+        // must stay strictly below the next refresh epoch.
+        let bus0 = self.bus_next;
+        if bus0 >= self.next_refresh {
+            return 0;
+        }
+        let refresh_cap = (self.next_refresh - bus0 - 1) / cpa + 1;
+        // Row-window cap: consecutive accesses cycle through one bank per
+        // group within a window; the next window needs activates.
+        let a0 = addr / geo.bpa;
+        let window_cap = geo.window - (a0 % geo.window);
+        let mut n = max_n.min(refresh_cap).min(window_cap);
+        if n < FAST_PATH_MIN_STRETCH {
+            return 0;
+        }
+        // Every distinct (row, bank) of the stretch appears within its
+        // first `bank_groups` accesses; all share the stretch's row window
+        // (one div), differing only in bank group — all must be open hits.
+        let window_idx = a0 / geo.window;
+        let bank_in_group = window_idx % geo.bpg;
+        let row = window_idx / geo.bpg;
+        let mut bg = a0 % bgc;
+        for _ in 0..n.min(bgc) {
+            let bank = (bg + bank_in_group * bgc) as usize;
+            if self.banks[bank].open_row != Some(row) {
+                return 0;
+            }
+            bg += 1;
+            if bg == bgc {
+                bg = 0;
+            }
+        }
+        // Head arrival checks: the first `lookahead` accesses see
+        // completions recorded before the stretch. Beyond index
+        // `lookahead` the arrival is a completion from inside the stretch
+        // and the tail condition above already covers it.
+        let m = self.completions.len() as u64;
+        let head = n.min(l);
+        // Steady-state shortcut: when the pre-existing window is already a
+        // full arithmetic progression ending at the current bus time, the
+        // per-element arrival check reduces to the tail inequality above.
+        if self.uniform_completions && m == l && self.completions.back() == Some(&bus0) {
+            let mut bg = a0 % bgc;
+            for i in 0..n.min(bgc) {
+                if self.last_cas_per_group[bg as usize] + tccd_l + lat > bus0 + i * cpa {
+                    n = i;
+                    break;
+                }
+                bg += 1;
+                if bg == bgc {
+                    bg = 0;
+                }
+            }
+            return if n < FAST_PATH_MIN_STRETCH { 0 } else { n };
+        }
+        // Accesses whose lookahead window is not yet full see arrival 0;
+        // the binding case is i = 0.
+        let zero_head = l.saturating_sub(m).min(head);
+        if zero_head > 0 && lat > bus0 {
+            return 0;
+        }
+        if head > zero_head {
+            let k0 = (m + zero_head - l) as usize;
+            let take = (head - zero_head) as usize;
+            for (i, &c) in (zero_head..).zip(self.completions.iter().skip(k0).take(take)) {
+                if c + lat > bus0 + i * cpa {
+                    n = i;
+                    break;
+                }
+            }
+        }
+        // Head tCCD_L checks: the first `bank_groups` accesses pace
+        // against CAS times issued before the stretch.
+        let mut bg = a0 % bgc;
+        for i in 0..n.min(bgc) {
+            if self.last_cas_per_group[bg as usize] + tccd_l + lat > bus0 + i * cpa {
+                n = i;
+                break;
+            }
+            bg += 1;
+            if bg == bgc {
+                bg = 0;
+            }
+        }
+        if n < FAST_PATH_MIN_STRETCH {
+            0
+        } else {
+            n
+        }
+    }
+
+    /// Advances the controller over `n` steady-state accesses in one
+    /// batched update, reproducing exactly the state the per-access path
+    /// would leave: `n` row hits at bus rate, per-group CAS issue times,
+    /// and the trailing `lookahead` completion window. Banks, activate
+    /// history and the refresh schedule are untouched — a steady stretch
+    /// never changes them.
+    fn apply_steady_stretch(&mut self, addr: u64, n: u64, write: bool) {
+        let geo = self.geo;
+        let cpa = geo.cpa;
+        let lat = if write { self.cfg.cwl } else { self.cfg.cl } as u64;
+        let bgc = geo.bgc;
+        let a0 = addr / geo.bpa;
+        let bus0 = self.bus_next;
+        self.bus_next = bus0 + n * cpa;
+        self.counters.row_hits.add(n);
+        if write {
+            self.counters.writes.add(n);
+        } else {
+            self.counters.reads.add(n);
+        }
+        // The last `bank_groups` accesses each touch a distinct group;
+        // their effective CAS issue time is data_start - latency.
+        let mut bg = (a0 + n - 1) % bgc;
+        for j in 0..n.min(bgc) {
+            let i = n - 1 - j;
+            self.last_cas_per_group[bg as usize] = bus0 + i * cpa - lat;
+            bg = if bg == 0 { bgc - 1 } else { bg - 1 };
+        }
+        // Completion window: keep the trailing `lookahead` completions.
+        let l = self.lookahead as u64;
+        if n >= l {
+            self.completions.clear();
+            let first = bus0 + (n - l + 1) * cpa;
+            self.completions.extend((0..l).map(|j| first + j * cpa));
+            self.uniform_completions = true;
+        } else {
+            self.uniform_completions = self
+                .completions
+                .back()
+                .is_none_or(|&b| self.uniform_completions && b == bus0);
+            self.completions
+                .extend((0..n).map(|i| bus0 + (i + 1) * cpa));
+            while self.completions.len() > self.lookahead {
+                self.completions.pop_front();
+            }
+        }
     }
 }
 
@@ -376,6 +637,117 @@ mod tests {
         assert_eq!(end_a, end_b);
     }
 
+    /// Replays `(addr, beats, write)` bursts through a fast-path and a
+    /// per-access controller and asserts bit-identical completion cycles
+    /// and statistics at every burst boundary.
+    fn assert_fast_matches_slow(cfg: DdrConfig, lookahead: usize, bursts: &[(u64, u32, bool)]) {
+        let mut fast = DdrController::new(cfg.clone(), lookahead);
+        let mut slow = DdrController::new(cfg, lookahead);
+        slow.set_fast_path(false);
+        assert!(fast.fast_path() && !slow.fast_path());
+        for (i, &(addr, beats, write)) in bursts.iter().enumerate() {
+            let ef = fast.burst(addr, beats, write);
+            let es = slow.burst(addr, beats, write);
+            assert_eq!(ef, es, "burst {i} completion diverged");
+            assert_eq!(fast.now(), slow.now(), "burst {i} bus time diverged");
+            assert_eq!(fast.stats(), slow.stats(), "burst {i} stats diverged");
+        }
+    }
+
+    #[test]
+    fn fast_path_exact_on_long_sequential_stream() {
+        // Long enough to cross many row windows and several refresh
+        // epochs — the steady state the fast path is built for.
+        assert_fast_matches_slow(
+            DdrConfig::ddr4_2400_kv260(),
+            32,
+            &[(0, 65536, false), (65536 * 64, 32768, false)],
+        );
+    }
+
+    #[test]
+    fn fast_path_exact_on_read_write_turnarounds() {
+        let mut bursts = Vec::new();
+        for i in 0..64u64 {
+            bursts.push((i * 65536, 512, false));
+            bursts.push(((1 << 28) | (i * 65536), 64, true));
+        }
+        assert_fast_matches_slow(DdrConfig::ddr4_2400_kv260(), 32, &bursts);
+    }
+
+    #[test]
+    fn fast_path_exact_on_misaligned_and_short_bursts() {
+        assert_fast_matches_slow(
+            DdrConfig::ddr4_2400_kv260(),
+            32,
+            &[
+                (24, 300, false), // not beat-aligned
+                (8192 * 3 + 64, 7, false),
+                (8192 * 3 + 512, 1, true),
+                (40, 2000, false),
+            ],
+        );
+    }
+
+    #[test]
+    fn fast_path_exact_across_lookahead_depths() {
+        for lookahead in [1usize, 2, 4, 8, 32, 64] {
+            assert_fast_matches_slow(
+                DdrConfig::ddr4_2400_kv260(),
+                lookahead,
+                &[(0, 4096, false), (1 << 26, 4096, true), (64, 4096, false)],
+            );
+        }
+    }
+
+    #[test]
+    fn fast_path_exact_on_alternative_memories() {
+        for cfg in [
+            DdrConfig::lpddr4_2133_ultra96(),
+            DdrConfig::ddr4_2666_zcu102(),
+            DdrConfig::lpddr5_orin_nano(),
+        ] {
+            assert_fast_matches_slow(
+                cfg,
+                32,
+                &[(0, 8192, false), (1 << 24, 1024, true), (128, 8192, false)],
+            );
+        }
+    }
+
+    #[test]
+    fn fast_path_exact_when_interleaved_with_single_accesses() {
+        let cfg = DdrConfig::ddr4_2400_kv260();
+        let mut fast = DdrController::new(cfg.clone(), 16);
+        let mut slow = DdrController::new(cfg, 16);
+        slow.set_fast_path(false);
+        for round in 0..32u64 {
+            let base = round * (1 << 20);
+            assert_eq!(fast.burst(base, 2048, false), slow.burst(base, 2048, false));
+            // Scattered accesses disturb the bank/completion state between
+            // bursts, forcing fresh head checks on the next stretch.
+            for i in 0..8u64 {
+                let a = (base ^ (i * 7919 * 64)) % (1 << 27);
+                assert_eq!(fast.access(a, i % 3 == 0), slow.access(a, i % 3 == 0));
+            }
+        }
+        assert_eq!(fast.stats(), slow.stats());
+        assert_eq!(fast.now(), slow.now());
+    }
+
+    #[test]
+    fn fast_path_covers_most_of_a_sequential_stream() {
+        // Sanity: the fast path must actually engage — the slow path alone
+        // would count every access one by one either way, so assert the
+        // batched stretch produces the same totals *and* the stream stays
+        // row-hit dominated (the regime the closed form prices).
+        let mut c = ctrl(32);
+        c.burst(0, 1 << 20, false);
+        let s = c.stats();
+        assert_eq!(s.accesses(), 1 << 20);
+        assert!(s.row_hit_rate() > 0.96, "hit rate {}", s.row_hit_rate());
+    }
+
     #[test]
     #[should_panic(expected = "lookahead must be at least 1")]
     fn zero_lookahead_rejected() {
@@ -418,6 +790,59 @@ mod tests {
                 let s = c.stats();
                 prop_assert_eq!(s.accesses(), addrs.len() as u64);
                 prop_assert_eq!(s.row_hits + s.row_misses + s.row_conflicts, s.accesses());
+            }
+
+            /// The closed-form burst fast path is **bit-identical** to the
+            /// per-access reference on arbitrary burst streams — row
+            /// crossings, refresh epochs, read↔write turnarounds, shallow
+            /// and deep lookahead all included. This is the exactness
+            /// invariant `bench/baseline.json` rests on.
+            #[test]
+            fn fast_path_identical_to_per_access_path(
+                bursts in proptest::collection::vec(
+                    (0u64..(1 << 26), 1u32..3000, proptest::bool::ANY),
+                    1..30,
+                ),
+                lookahead in prop_oneof![Just(1usize), Just(32usize)],
+            ) {
+                let cfg = DdrConfig::ddr4_2400_kv260();
+                let mut fast = DdrController::new(cfg.clone(), lookahead);
+                let mut slow = DdrController::new(cfg, lookahead);
+                slow.set_fast_path(false);
+                for (i, &(addr, beats, write)) in bursts.iter().enumerate() {
+                    let ef = fast.burst(addr, beats, write);
+                    let es = slow.burst(addr, beats, write);
+                    prop_assert_eq!(ef, es, "burst {} completion diverged", i);
+                    prop_assert_eq!(
+                        fast.stats(),
+                        slow.stats(),
+                        "burst {} stats diverged",
+                        i
+                    );
+                }
+                prop_assert_eq!(fast.now(), slow.now());
+            }
+
+            /// Same differential invariant on the LPDDR4 part (single bank
+            /// group, BL16), whose pacing margins are the tightest.
+            #[test]
+            fn fast_path_identical_on_lpddr4(
+                bursts in proptest::collection::vec(
+                    (0u64..(1 << 24), 1u32..2000, proptest::bool::ANY),
+                    1..20,
+                ),
+            ) {
+                let cfg = DdrConfig::lpddr4_2133_ultra96();
+                let mut fast = DdrController::new(cfg.clone(), 32);
+                let mut slow = DdrController::new(cfg, 32);
+                slow.set_fast_path(false);
+                for &(addr, beats, write) in &bursts {
+                    prop_assert_eq!(
+                        fast.burst(addr, beats, write),
+                        slow.burst(addr, beats, write)
+                    );
+                }
+                prop_assert_eq!(fast.stats(), slow.stats());
             }
 
             /// The data bus can never move faster than its physical rate:

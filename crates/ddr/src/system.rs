@@ -101,6 +101,13 @@ impl MemorySystem {
         self.ctrl.counters()
     }
 
+    /// Enables or disables the controller's closed-form fast path (on by
+    /// default; both paths are bit-identical — see
+    /// [`DdrController::set_fast_path`]).
+    pub fn set_fast_path(&mut self, enabled: bool) {
+        self.ctrl.set_fast_path(enabled);
+    }
+
     /// The DDR configuration.
     pub fn ddr_config(&self) -> &DdrConfig {
         self.ctrl.config()
@@ -114,7 +121,19 @@ impl MemorySystem {
     /// Prices a stream of bursts issued back-to-back in order, returning
     /// the transfer report for this stream alone.
     pub fn transfer(&mut self, bursts: &[BurstDescriptor]) -> TransferReport {
-        let cfg = self.ctrl.config().clone();
+        self.transfer_iter(bursts.iter().copied())
+    }
+
+    /// Like [`MemorySystem::transfer`], but consumes the bursts from an
+    /// iterator so callers can stream a schedule straight into the model
+    /// without materializing an intermediate `Vec`.
+    pub fn transfer_iter<I>(&mut self, bursts: I) -> TransferReport
+    where
+        I: IntoIterator<Item = BurstDescriptor>,
+    {
+        // Only two scalars of the configuration matter per burst; copy
+        // them out instead of cloning the whole `DdrConfig`.
+        let bytes_per_access = self.ctrl.config().bytes_per_access();
         let stats_before = self.ctrl.stats();
         let start = self.ctrl.now();
         let mut end = start;
@@ -127,7 +146,7 @@ impl MemorySystem {
             // column accesses (which move `bytes_per_access` each — 64 B
             // on DDR4 BL8, more on BL16 LPDDR parts).
             let burst_bytes = b.bytes();
-            let accesses = burst_bytes.div_ceil(cfg.bytes_per_access());
+            let accesses = burst_bytes.div_ceil(bytes_per_access);
             end = self.ctrl.burst(b.addr, accesses as u32, b.write);
             bytes += burst_bytes;
         }
@@ -136,6 +155,7 @@ impl MemorySystem {
         // PL side: the merged stream absorbs `bytes_per_cycle` per PL
         // cycle (64 B with all four ports; proportionally less with
         // fewer).
+        let cfg = self.ctrl.config();
         let pl_cycles = bytes.div_ceil(self.axi.bytes_per_cycle().max(1));
         let dram_ns = cfg.cycles_to_ns(dram_cycles);
         let pl_ns = self.axi.cycles_to_ns(pl_cycles);
@@ -236,6 +256,17 @@ mod tests {
         assert!(text.contains("GB/s"));
         assert!(report.bandwidth_gbps > 0.0);
         assert!(report.wall_ns > 0.0);
+    }
+
+    #[test]
+    fn transfer_iter_matches_slice_transfer() {
+        let bursts = traffic::strided(0, 4096, 8, 4 << 20);
+        let mut a = MemorySystem::kv260();
+        let mut b = MemorySystem::kv260();
+        let ra = a.transfer(&bursts);
+        let rb = b.transfer_iter(bursts.iter().copied());
+        assert_eq!(ra, rb);
+        assert_eq!(a.now_ns(), b.now_ns());
     }
 
     #[test]
