@@ -1,0 +1,125 @@
+//! Before/after microbenchmarks for the exact fast-kernel layer.
+//!
+//! Every pair below toggles `zllm_fp16::set_fast_kernels` around the
+//! *same* call, so the comparison is scalar-reference vs fast-kernel for
+//! bit-identical results (the differential tests in each crate prove the
+//! equality; this file prices it). Numbers are recorded in
+//! `EXPERIMENTS.md` under "Host-side kernel metrics".
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use zllm_accel::converter::{convert, PtqMethod};
+use zllm_accel::AccelDecoder;
+use zllm_fp16::{set_fast_kernels, F16};
+use zllm_model::calibration::capture;
+use zllm_model::tensor::Matrix;
+use zllm_model::{ModelConfig, ModelWeights};
+use zllm_quant::awq::{quantize_awq, AwqConfig};
+use zllm_quant::group::GroupQuantConfig;
+
+fn noise(seed: u64, n: usize) -> Vec<f32> {
+    let mut state = seed | 1;
+    (0..n)
+        .map(|_| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state % 2000) as f32 / 1000.0 - 1.0
+        })
+        .collect()
+}
+
+fn bench_f16_conversion(c: &mut Criterion) {
+    let values = noise(11, 4096);
+    let halves: Vec<F16> = values.iter().map(|&v| F16::from_f32(v)).collect();
+    for (label, fast) in [("scalar", false), ("lut", true)] {
+        set_fast_kernels(fast);
+        c.bench_function(&format!("functional_kernels/to_f32_4096_{label}"), |b| {
+            b.iter(|| {
+                for &h in &halves {
+                    black_box(h.to_f32());
+                }
+            })
+        });
+        c.bench_function(&format!("functional_kernels/from_f32_4096_{label}"), |b| {
+            b.iter(|| {
+                for &v in &values {
+                    black_box(F16::from_f32(black_box(v)));
+                }
+            })
+        });
+    }
+    set_fast_kernels(true);
+}
+
+fn bench_reference_matvec(c: &mut Criterion) {
+    let rows = 256;
+    let cols = 512;
+    let m = Matrix::new(rows, cols, noise(23, rows * cols));
+    let x = noise(37, cols);
+    let mut out = Vec::new();
+    for (label, fast) in [("scalar", false), ("blocked", true)] {
+        set_fast_kernels(fast);
+        c.bench_function(&format!("functional_kernels/matvec_256x512_{label}"), |b| {
+            b.iter(|| {
+                m.matvec_into(black_box(&x), &mut out);
+                black_box(out.last().copied());
+            })
+        });
+    }
+    set_fast_kernels(true);
+}
+
+fn bench_awq_search(c: &mut Criterion) {
+    let rows = 32;
+    let cols = 128;
+    let weights = noise(41, rows * cols);
+    let calib = noise(53, 4 * cols);
+    let config = AwqConfig::default();
+    for (label, fast) in [("serial", false), ("fast", true)] {
+        set_fast_kernels(fast);
+        c.bench_function(
+            &format!("functional_kernels/awq_search_32x128_{label}"),
+            |b| b.iter(|| black_box(quantize_awq(&weights, rows, cols, &calib, &config))),
+        );
+    }
+    set_fast_kernels(true);
+}
+
+/// The headline scenario: a full functional decode (AccelDecoder over the
+/// small test model) with the fast kernels off vs on — same bits either
+/// way, priced end to end.
+fn bench_accel_decode(c: &mut Criterion) {
+    let cfg = ModelConfig::test_small();
+    let weights = ModelWeights::generate(&cfg, 55);
+    let calib = capture(&weights, &[3, 9, 27]);
+    let qmodel = convert(
+        &weights,
+        &calib,
+        GroupQuantConfig::w4_g128(),
+        PtqMethod::Rtn,
+    );
+    for (label, fast) in [("scalar", false), ("fast", true)] {
+        set_fast_kernels(fast);
+        c.bench_function(
+            &format!("functional_kernels/accel_decode_8tok_{label}"),
+            |b| {
+                b.iter(|| {
+                    let mut dec = AccelDecoder::new(&qmodel);
+                    for t in 0..8 {
+                        black_box(dec.forward(t % 16));
+                    }
+                })
+            },
+        );
+    }
+    set_fast_kernels(true);
+}
+
+criterion_group!(
+    benches,
+    bench_f16_conversion,
+    bench_reference_matvec,
+    bench_awq_search,
+    bench_accel_decode
+);
+criterion_main!(benches);

@@ -11,6 +11,8 @@
 //! cargo run -p zllm-bench --bin perf_gate            # gate (exit 1 on drift)
 //! cargo run -p zllm-bench --bin perf_gate -- --bless # re-record the baseline
 //! cargo run -p zllm-bench --bin perf_gate -- --print # dump the snapshot JSON
+//! cargo run -p zllm-bench --bin perf_gate -- --host-metrics-json out.json
+//!                                            # also write host wall/throughput
 //! ```
 //!
 //! Exit codes: 0 = within tolerance, 1 = regression (table printed),
@@ -57,6 +59,18 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let bless = args.iter().any(|a| a == "--bless");
     let print = args.iter().any(|a| a == "--print");
+    let host_metrics_path = args
+        .iter()
+        .position(|a| a == "--host-metrics-json")
+        .map(|i| {
+            args.get(i + 1)
+                .filter(|v| !v.starts_with("--"))
+                .unwrap_or_else(|| {
+                    eprintln!("perf gate: --host-metrics-json requires a path argument");
+                    std::process::exit(2);
+                })
+                .clone()
+        });
 
     eprintln!("perf gate: pricing LLaMA2-7B decode at ctx {CONTEXTS:?} (deterministic)...");
     let host_start = std::time::Instant::now();
@@ -67,11 +81,23 @@ fn main() {
     // stderr (the gated snapshot stays deterministic and `--print` stdout
     // stays pure JSON) so CI logs track the speedup PR-over-PR.
     let simulated_gb = current.counter("decode.bytes").unwrap_or(0) as f64 / 1e9;
+    let gb_per_host_s = simulated_gb / host_seconds.max(1e-9);
     eprintln!(
         "perf gate host: {host_seconds:.3} s wall, {simulated_gb:.2} GB simulated, \
-         {:.2} simulated-GB/host-s",
-        simulated_gb / host_seconds.max(1e-9)
+         {gb_per_host_s:.2} simulated-GB/host-s"
     );
+
+    // Machine-readable host metrics for CI artifacts. These are wall-clock
+    // figures of the *host*, not part of the gated (deterministic) snapshot.
+    if let Some(path) = &host_metrics_path {
+        let json = format!(
+            "{{\n  \"wall_seconds\": {host_seconds:.6},\n  \
+             \"simulated_gb\": {simulated_gb:.6},\n  \
+             \"simulated_gb_per_host_s\": {gb_per_host_s:.6}\n}}\n"
+        );
+        std::fs::write(path, json).expect("write host metrics JSON");
+        eprintln!("perf gate host: metrics written to {path}");
+    }
 
     if print {
         print!("{}", current.to_json());

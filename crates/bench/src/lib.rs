@@ -56,69 +56,11 @@ pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
     println!("{}", line("+"));
 }
 
-/// Runs `f` over every item on scoped worker threads and returns the
-/// results in input order.
-///
-/// Each invocation owns its item and builds whatever engine state it
-/// needs *inside* its thread (the simulator's telemetry handles are
-/// deliberately not `Send`), so independent configurations price
-/// concurrently while the output stays deterministic: results are
-/// collected positionally, never in completion order.
-///
-/// # Panics
-///
-/// Propagates a panic from any worker.
-pub fn par_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
-where
-    T: Send,
-    R: Send,
-    F: Fn(T) -> R + Sync,
-{
-    let threads = std::thread::available_parallelism()
-        .map(std::num::NonZeroUsize::get)
-        .unwrap_or(1)
-        .min(items.len().max(1));
-    if threads <= 1 {
-        return items.into_iter().map(f).collect();
-    }
-    let queue: Vec<std::sync::Mutex<Option<(usize, T)>>> = items
-        .into_iter()
-        .enumerate()
-        .map(|it| std::sync::Mutex::new(Some(it)))
-        .collect();
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    let mut slots: Vec<Option<R>> = Vec::with_capacity(queue.len());
-    slots.resize_with(queue.len(), || None);
-    std::thread::scope(|scope| {
-        let workers: Vec<_> = (0..threads)
-            .map(|_| {
-                scope.spawn(|| {
-                    let mut local: Vec<(usize, R)> = Vec::new();
-                    loop {
-                        let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                        let Some(slot) = queue.get(i) else { break };
-                        let (idx, item) = slot
-                            .lock()
-                            .expect("queue slot poisoned")
-                            .take()
-                            .expect("each slot is claimed once by the dispatch counter");
-                        local.push((idx, f(item)));
-                    }
-                    local
-                })
-            })
-            .collect();
-        for worker in workers {
-            for (idx, result) in worker.join().expect("bench worker panicked") {
-                slots[idx] = Some(result);
-            }
-        }
-    });
-    slots
-        .into_iter()
-        .map(|r| r.expect("worker filled every slot"))
-        .collect()
-}
+// Deterministic fan-out now lives in `zllm-par` (the bottom of the
+// dependency DAG) so the quantization and model crates can use it too;
+// re-exported here because the table/figure binaries address it as
+// `zllm_bench::par_map`.
+pub use zllm_par::par_map;
 
 /// Formats a ratio as a percentage string.
 pub fn fmt_pct(x: f64) -> String {

@@ -72,16 +72,62 @@ impl QuantizedMatrix {
     ///
     /// Panics if `x.len() != cols`.
     pub fn matvec(&self, vpu: &Vpu, x: &[F16]) -> Vec<F16> {
+        let mut scratch = MatvecScratch::default();
+        let mut out = Vec::with_capacity(self.rows);
+        self.matvec_into(vpu, x, &mut scratch, &mut out);
+        out
+    }
+
+    /// [`QuantizedMatrix::matvec`] with caller-provided scratch buffers;
+    /// `out` receives the results (cleared first). Per-row group/beat
+    /// order, rounding and f32 accumulation are unchanged, so the output
+    /// is bit-identical to the allocating variant — the decode loop uses
+    /// this to run each token with zero per-group allocation.
+    ///
+    /// With fast kernels enabled ([`zllm_fp16::fast_kernels_enabled`])
+    /// 4-bit groups take a fused path: the activations are decoded to f32
+    /// once per call, each group dequantizes through its 16-entry
+    /// per-code table ([`Vpu::dequant_table16`]), and the engine gathers
+    /// straight from it per lane ([`Vpu::dot_q4`]). Every per-element
+    /// value, rounding and counter increment is identical to the beat
+    /// path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != cols`.
+    pub fn matvec_into(
+        &self,
+        vpu: &Vpu,
+        x: &[F16],
+        scratch: &mut MatvecScratch,
+        out: &mut Vec<F16>,
+    ) {
         assert_eq!(x.len(), self.cols, "operand length mismatch");
         let lanes = vpu.lanes();
-        self.rows_q
-            .iter()
-            .map(|row| {
-                let gs = row.config().group_size;
-                let mut acc = 0.0f32;
-                for (g, chunk) in row.codes().chunks(gs).enumerate() {
-                    let beat = vpu.dequantize_beat(chunk, row.zeros()[g], row.scales()[g]);
-                    let lo = g * gs;
+        out.clear();
+        out.reserve(self.rows);
+        let fused = zllm_fp16::fast_kernels_enabled();
+        if fused {
+            scratch.x32.clear();
+            scratch.x32.extend(x.iter().map(|v| v.to_f32()));
+        }
+        for row in &self.rows_q {
+            let gs = row.config().group_size;
+            let mut acc = 0.0f32;
+            for (g, chunk) in row.codes().chunks(gs).enumerate() {
+                let lo = g * gs;
+                if fused && chunk.len() > 16 && chunk.iter().all(|&q| q < 16) {
+                    let lut = vpu.dequant_table16(row.zeros()[g], row.scales()[g]);
+                    let dots = &mut scratch.dots;
+                    for (cb, xb) in chunk
+                        .chunks(lanes)
+                        .zip(scratch.x32[lo..lo + chunk.len()].chunks(lanes))
+                    {
+                        acc += vpu.dot_q4(dots, cb, &lut, xb);
+                    }
+                } else {
+                    let beat = &mut scratch.beat;
+                    vpu.dequantize_beat_into(chunk, row.zeros()[g], row.scales()[g], beat);
                     for (wb, xb) in beat
                         .chunks(lanes)
                         .zip(x[lo..lo + chunk.len()].chunks(lanes))
@@ -89,10 +135,20 @@ impl QuantizedMatrix {
                         acc += vpu.dot(wb, xb);
                     }
                 }
-                F16::from_f32(acc)
-            })
-            .collect()
+            }
+            out.push(F16::from_f32(acc));
+        }
     }
+}
+
+/// Reusable scratch for [`QuantizedMatrix::matvec_into`]: one dequantized
+/// beat for the scalar path, plus the predecoded activations and engine
+/// tree scratch the fused fast path streams through.
+#[derive(Debug, Clone, Default)]
+pub struct MatvecScratch {
+    beat: crate::vpu::WeightBeat,
+    x32: Vec<f32>,
+    dots: zllm_fp16::vector::DotScratch,
 }
 
 /// A fully quantized model in the accelerator's formats: W4 grouped
@@ -238,6 +294,30 @@ pub struct AccelDecoder<'m> {
     quantizer: KvQuantizer,
     kv: Vec<LayerKv>,
     pos: usize,
+    scratch: AccelScratch,
+}
+
+/// Per-token scratch reused across [`AccelDecoder::forward`] calls — an
+/// allocation optimisation only; every value is produced by the identical
+/// datapath operations in the identical order.
+#[derive(Debug, Default)]
+struct AccelScratch {
+    /// Matvec scratch (dequantized beat + fused-path f32 buffers), shared
+    /// by every matvec.
+    mv: MatvecScratch,
+    q: Vec<F16>,
+    k: Vec<F16>,
+    v: Vec<F16>,
+    attn_out: Vec<F16>,
+    scores: Vec<F16>,
+    /// One dequantized KV8 head vector streamed from the cache.
+    kv: Vec<F16>,
+    /// Per-lane f32 accumulator of the weighted value sum.
+    acc: Vec<f32>,
+    proj: Vec<F16>,
+    gate: Vec<F16>,
+    up: Vec<F16>,
+    logits: Vec<F16>,
 }
 
 impl<'m> AccelDecoder<'m> {
@@ -254,6 +334,7 @@ impl<'m> AccelDecoder<'m> {
             quantizer: KvQuantizer::new(cfg.n_layers * cfg.n_kv_heads * 2),
             kv: vec![LayerKv::default(); cfg.n_layers],
             pos: 0,
+            scratch: AccelScratch::default(),
         }
     }
 
@@ -298,64 +379,73 @@ impl<'m> AccelDecoder<'m> {
         let scale = F16::from_f32(1.0 / (hd as f32).sqrt());
 
         let mut x: Vec<F16> = self.model.embedding[token].clone();
+        let s = &mut self.scratch;
 
         for (layer_idx, layer) in self.model.layers.iter().enumerate() {
             // Attention block.
             let xn = self.rms.normalize(&x, &layer.attn_norm);
-            let mut q = layer.wq.matvec(&self.vpu, &xn);
-            let mut k = layer.wk.matvec(&self.vpu, &xn);
-            let v = layer.wv.matvec(&self.vpu, &xn);
+            layer.wq.matvec_into(&self.vpu, &xn, &mut s.mv, &mut s.q);
+            layer.wk.matvec_into(&self.vpu, &xn, &mut s.mv, &mut s.k);
+            layer.wv.matvec_into(&self.vpu, &xn, &mut s.mv, &mut s.v);
 
             for h in 0..cfg.n_heads {
-                self.rope.apply(&mut q[h * hd..(h + 1) * hd], pos as u32);
+                self.rope.apply(&mut s.q[h * hd..(h + 1) * hd], pos as u32);
             }
             for h in 0..cfg.n_kv_heads {
-                self.rope.apply(&mut k[h * hd..(h + 1) * hd], pos as u32);
+                self.rope.apply(&mut s.k[h * hd..(h + 1) * hd], pos as u32);
                 // Online KV8 quantization, pack into the FIFO.
-                let kq = self.quantizer.quantize_head(0, &k[h * hd..(h + 1) * hd]);
-                let vq = self.quantizer.quantize_head(0, &v[h * hd..(h + 1) * hd]);
+                let kq = self.quantizer.quantize_head(0, &s.k[h * hd..(h + 1) * hd]);
+                let vq = self.quantizer.quantize_head(0, &s.v[h * hd..(h + 1) * hd]);
                 self.kv[layer_idx].keys.push(kq.codes);
                 self.kv[layer_idx].values.push(vq.codes);
             }
 
-            let mut attn_out = vec![F16::ZERO; cfg.d_model];
+            s.attn_out.clear();
+            s.attn_out.resize(cfg.d_model, F16::ZERO);
             for h in 0..cfg.n_heads {
                 let kv_head = h / group;
-                let qh = &q[h * hd..(h + 1) * hd];
-                let scores: Vec<F16> = (0..=pos)
-                    .map(|t| {
-                        let kt =
-                            self.kv[layer_idx].keys[t * cfg.n_kv_heads + kv_head].dequantize_f16();
-                        F16::from_f32(self.vpu.dot_row(qh, &kt)) * scale
-                    })
-                    .collect();
-                let probs = self.softmax.softmax(&scores);
+                let qh = &s.q[h * hd..(h + 1) * hd];
+                s.scores.clear();
+                for t in 0..=pos {
+                    self.kv[layer_idx].keys[t * cfg.n_kv_heads + kv_head]
+                        .dequantize_f16_into(&mut s.kv);
+                    s.scores
+                        .push(F16::from_f32(self.vpu.dot_row(qh, &s.kv)) * scale);
+                }
+                let probs = self.softmax.softmax(&s.scores);
                 // Weighted value sum, accumulated in f32 per lane.
-                let mut acc = vec![0.0f32; hd];
+                s.acc.clear();
+                s.acc.resize(hd, 0.0);
                 for (t, &p) in probs.iter().enumerate() {
-                    let vt =
-                        self.kv[layer_idx].values[t * cfg.n_kv_heads + kv_head].dequantize_f16();
-                    for (a, vv) in acc.iter_mut().zip(&vt) {
+                    self.kv[layer_idx].values[t * cfg.n_kv_heads + kv_head]
+                        .dequantize_f16_into(&mut s.kv);
+                    for (a, vv) in s.acc.iter_mut().zip(&s.kv) {
                         *a += (p * *vv).to_f32();
                     }
                 }
-                for (o, a) in attn_out[h * hd..(h + 1) * hd].iter_mut().zip(&acc) {
+                for (o, a) in s.attn_out[h * hd..(h + 1) * hd].iter_mut().zip(&s.acc) {
                     *o = F16::from_f32(*a);
                 }
             }
 
-            let proj = layer.wo.matvec(&self.vpu, &attn_out);
-            for (xi, pi) in x.iter_mut().zip(&proj) {
+            layer
+                .wo
+                .matvec_into(&self.vpu, &s.attn_out, &mut s.mv, &mut s.proj);
+            for (xi, pi) in x.iter_mut().zip(&s.proj) {
                 *xi += *pi;
             }
 
             // MLP block.
             let xn = self.rms.normalize(&x, &layer.mlp_norm);
-            let gate = layer.w_gate.matvec(&self.vpu, &xn);
-            let up = layer.w_up.matvec(&self.vpu, &xn);
-            let inner = self.silu.gate(&gate, &up);
-            let down = layer.w_down.matvec(&self.vpu, &inner);
-            for (xi, di) in x.iter_mut().zip(&down) {
+            layer
+                .w_gate
+                .matvec_into(&self.vpu, &xn, &mut s.mv, &mut s.gate);
+            layer.w_up.matvec_into(&self.vpu, &xn, &mut s.mv, &mut s.up);
+            let inner = self.silu.gate(&s.gate, &s.up);
+            layer
+                .w_down
+                .matvec_into(&self.vpu, &inner, &mut s.mv, &mut s.proj);
+            for (xi, di) in x.iter_mut().zip(&s.proj) {
                 *xi += *di;
             }
         }
@@ -364,10 +454,8 @@ impl<'m> AccelDecoder<'m> {
         self.pos += 1;
         self.model
             .lm_head
-            .matvec(&self.vpu, &xn)
-            .iter()
-            .map(|v| v.to_f32())
-            .collect()
+            .matvec_into(&self.vpu, &xn, &mut s.mv, &mut s.logits);
+        s.logits.iter().map(|v| v.to_f32()).collect()
     }
 
     /// Runs the prefill phase, returning the last logits.

@@ -6,7 +6,7 @@
 //! dequantized 512-bit weight beat per cycle — saturate the memory system
 //! with no idle compute (§VI-B, "bandwidth-area balanced").
 
-use zllm_fp16::vector::{DotEngine, TreePrecision};
+use zllm_fp16::vector::{DotEngine, DotScratch, TreePrecision};
 use zllm_fp16::F16;
 use zllm_telemetry::{Counter, MetricsRegistry};
 
@@ -99,6 +99,55 @@ impl Vpu {
         self.engine.dot(w, x).to_f32()
     }
 
+    /// One engine invocation over operands given as their exact f32
+    /// decodes (see [`zllm_fp16::vector::DotEngine::dot_f32`]) — used by
+    /// the fused dequantize+dot fast path. Counter behaviour and result
+    /// bits match [`Vpu::dot`] on the F16 operands.
+    pub fn dot_f32(&self, w32: &[f32], x32: &[f32]) -> f32 {
+        self.counters.dot_beats.inc();
+        self.engine.dot_f32(w32, x32).to_f32()
+    }
+
+    /// [`Vpu::dot_f32`] with caller-provided engine scratch, skipping the
+    /// per-beat thread-local lookup — the fused matvec threads a single
+    /// scratch through every beat of every row.
+    pub fn dot_f32_scratch(&self, scratch: &mut DotScratch, w32: &[f32], x32: &[f32]) -> f32 {
+        self.counters.dot_beats.inc();
+        self.engine.dot_f32_with(scratch, w32, x32).to_f32()
+    }
+
+    /// One fused dequantize+dot beat over 4-bit codes (see
+    /// [`zllm_fp16::vector::DotEngine::dot_q4_with`]): lane `i` reads
+    /// `lut[codes[i]]`, so no dequantized weight buffer ever exists.
+    /// Counter behaviour and result bits match [`Vpu::dot`] on the
+    /// dequantized beat.
+    pub fn dot_q4(
+        &self,
+        scratch: &mut DotScratch,
+        codes: &[u8],
+        lut: &[f32; 16],
+        x32: &[f32],
+    ) -> f32 {
+        self.counters.dot_beats.inc();
+        self.engine.dot_q4_with(scratch, codes, lut, x32).to_f32()
+    }
+
+    /// The per-code dequantization table of one 4-bit group: entry `q` is
+    /// the exact f32 decode of the F16 weight [`Vpu::dequantize_beat`]
+    /// would produce for code `q`. Counts as one dequantized beat, like
+    /// `dequantize_beat_into` — the fused matvec calls exactly one of the
+    /// two per group.
+    pub fn dequant_table16(&self, zero: u8, scale: F16) -> [f32; 16] {
+        self.counters.dequant_beats.inc();
+        let s32 = scale.to_f32();
+        // `demote_round` is exactly `F16::from_f32(v).to_f32()` without the
+        // intermediate F16 — 16 pure-ALU roundings per group.
+        std::array::from_fn(|q| {
+            let centred = q as i32 - zero as i32;
+            zllm_fp16::fast::demote_round(centred as f32 * s32)
+        })
+    }
+
     /// A full row dot product streamed beat by beat, accumulated in f32 —
     /// one output element of a matrix–vector product.
     pub fn dot_row(&self, w_row: &[F16], x: &[F16]) -> f32 {
@@ -116,14 +165,35 @@ impl Vpu {
     /// `(q − z) · s` per element, rounded once — what the dequantizer
     /// between demux and multipliers computes.
     pub fn dequantize_beat(&self, codes: &[u8], zero: u8, scale: F16) -> WeightBeat {
+        let mut out = WeightBeat::new();
+        self.dequantize_beat_into(codes, zero, scale, &mut out);
+        out
+    }
+
+    /// [`Vpu::dequantize_beat`] into a caller-provided buffer (cleared
+    /// first), so streaming matvecs reuse one beat buffer instead of
+    /// allocating per group. Values and counter behaviour are identical.
+    pub fn dequantize_beat_into(&self, codes: &[u8], zero: u8, scale: F16, out: &mut WeightBeat) {
         self.counters.dequant_beats.inc();
-        codes
-            .iter()
-            .map(|&q| {
+        out.clear();
+        out.reserve(codes.len());
+        // 4-bit beats (the deployment format) hit at most 16 distinct
+        // codes, so one encode per *code value* — instead of one per
+        // element — produces the identical beat: the table entry is the
+        // exact per-element expression below.
+        if zllm_fp16::fast_kernels_enabled() && codes.len() > 16 && codes.iter().all(|&q| q < 16) {
+            let mut table = [F16::ZERO; 16];
+            for (q, slot) in table.iter_mut().enumerate() {
                 let centred = q as i32 - zero as i32;
-                F16::from_f32(centred as f32 * scale.to_f32())
-            })
-            .collect()
+                *slot = F16::from_f32(centred as f32 * scale.to_f32());
+            }
+            out.extend(codes.iter().map(|&q| table[q as usize]));
+            return;
+        }
+        out.extend(codes.iter().map(|&q| {
+            let centred = q as i32 - zero as i32;
+            F16::from_f32(centred as f32 * scale.to_f32())
+        }));
     }
 
     /// Cycles to stream a matrix–vector product of `rows × cols` weights:

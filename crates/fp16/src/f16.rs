@@ -71,7 +71,28 @@ impl F16 {
     /// Overflow saturates to ±infinity; values below the subnormal range
     /// round to (signed) zero. NaN payload is canonicalised to a quiet NaN
     /// with the sign preserved.
+    ///
+    /// Dispatches between the branchy reference encoder
+    /// ([`F16::from_f32_scalar`]) and the branch-reduced fast encoder
+    /// ([`F16::from_f32_fast`]) based on the process-wide
+    /// [`crate::fast`] toggle; both are bit-identical for every input
+    /// (enforced by exhaustive/differential tests).
+    #[inline]
     pub fn from_f32(value: f32) -> F16 {
+        if crate::fast::fast_kernels_enabled() {
+            F16::from_f32_fast(value)
+        } else {
+            F16::from_f32_scalar(value)
+        }
+    }
+
+    /// The reference `f32`→binary16 encoder: explicit three-way branch on
+    /// the target range (normal / subnormal / special), rounding RNE.
+    ///
+    /// This is the path the fast encoder is differentially tested
+    /// against; it is also what benchmarks call to quantify the fast
+    /// path's gain.
+    pub fn from_f32_scalar(value: f32) -> F16 {
         let bits = value.to_bits();
         let sign = ((bits >> 16) & 0x8000) as u16;
         let exp = ((bits >> 23) & 0xFF) as i32;
@@ -148,8 +169,68 @@ impl F16 {
         F16(sign | (mant as u16))
     }
 
+    /// The branch-reduced `f32`→binary16 encoder (fast-kernel path).
+    ///
+    /// Round-to-nearest-even via bias-add rounding on the raw bits: the
+    /// normal range rebias + mantissa shift round in two integer adds,
+    /// and subnormals round through a single magic-constant `f32`
+    /// addition (adding 0.5 aligns the binary16 subnormal grid with the
+    /// f32 mantissa ulp, so hardware RNE does the rounding). Bit-identical
+    /// to [`F16::from_f32_scalar`] for every `f32` bit pattern.
+    pub fn from_f32_fast(value: f32) -> F16 {
+        let bits = value.to_bits();
+        let sign = ((bits >> 16) & 0x8000) as u16;
+        let abs = bits & 0x7FFF_FFFF;
+
+        // 65536.0 and above (incl. inf/NaN): exponent field saturates.
+        if abs >= 0x4780_0000 {
+            return if abs > 0x7F80_0000 {
+                F16(sign | 0x7E00) // NaN → canonical quiet NaN
+            } else {
+                F16(sign | 0x7C00) // overflow and inf → inf
+            };
+        }
+        // Below the smallest binary16 normal (2^-14): subnormal or zero.
+        if abs < 0x3880_0000 {
+            // |v| + 0.5 lands in [0.5, 0.5 + 2^-14) where the f32 ulp is
+            // 2^-24 — exactly one binary16 subnormal step — so the f32
+            // adder performs the RNE rounding; subtracting 0.5's bit
+            // pattern leaves the subnormal mantissa (with a carry into
+            // the smallest normal when the round propagates).
+            let magic = 0x3F00_0000u32; // 0.5f32
+            let rounded = f32::from_bits(abs) + f32::from_bits(magic);
+            return F16(sign | (rounded.to_bits() - magic) as u16);
+        }
+        // Normal range: rebias the exponent and round the 13 dropped
+        // mantissa bits with a carry-propagating bias add (RNE via the
+        // odd-mantissa increment). Overflow into inf happens naturally.
+        let odd = (abs >> 13) & 1;
+        let biased = abs
+            .wrapping_add(0xC800_0000) // exponent rebias: (15 − 127) << 23
+            .wrapping_add(0x0FFF)
+            .wrapping_add(odd);
+        F16(sign | (biased >> 13) as u16)
+    }
+
     /// Converts to `f32` exactly (every binary16 value is representable).
+    ///
+    /// Dispatches between the scalar bit-twiddling decoder
+    /// ([`F16::to_f32_scalar`]) and the 65,536-entry decode table based
+    /// on the process-wide [`crate::fast`] toggle; the table is recorded
+    /// from the scalar decoder, so the two are bit-identical by
+    /// construction.
+    #[inline]
     pub fn to_f32(self) -> f32 {
+        if crate::fast::fast_kernels_enabled() {
+            f32::from_bits(crate::fast::decode_table()[self.0 as usize])
+        } else {
+            self.to_f32_scalar()
+        }
+    }
+
+    /// The reference binary16→`f32` decoder (per-call exponent/mantissa
+    /// bit-twiddling, including subnormal normalisation).
+    pub fn to_f32_scalar(self) -> f32 {
         let sign = ((self.0 & 0x8000) as u32) << 16;
         let exp = ((self.0 >> 10) & 0x1F) as u32;
         let frac = (self.0 & 0x3FF) as u32;
@@ -619,5 +700,107 @@ mod tests {
     fn from_integer_conversions() {
         assert_eq!(F16::from(5i8).to_f32(), 5.0);
         assert_eq!(F16::from(200u8).to_f32(), 200.0);
+    }
+
+    #[test]
+    fn fast_decode_matches_scalar_exhaustively() {
+        // Every one of the 65,536 bit patterns, NaNs included: the decode
+        // table and the scalar decoder must agree bit-for-bit.
+        for bits in 0..=u16::MAX {
+            let h = F16::from_bits(bits);
+            let lut = f32::from_bits(crate::fast::decode_table()[bits as usize]);
+            assert_eq!(
+                lut.to_bits(),
+                h.to_f32_scalar().to_bits(),
+                "pattern {bits:#06x}"
+            );
+        }
+    }
+
+    #[test]
+    fn fast_encode_matches_scalar_on_strided_f32_sweep() {
+        // A dense coprime-strided sweep of the f32 bit space (~4.3M
+        // patterns covering every exponent, both signs, NaNs and infs).
+        let mut bits = 0u32;
+        loop {
+            let v = f32::from_bits(bits);
+            assert_eq!(
+                F16::from_f32_fast(v).to_bits(),
+                F16::from_f32_scalar(v).to_bits(),
+                "f32 bits {bits:#010x}"
+            );
+            let (next, overflow) = bits.overflowing_add(997);
+            if overflow {
+                break;
+            }
+            bits = next;
+        }
+    }
+
+    #[test]
+    fn fast_encode_matches_scalar_on_rounding_boundaries() {
+        // Every value the RNE boundary analysis cares about, plus one-ulp
+        // neighbours on each side.
+        let pivots = [
+            0.0f32,
+            -0.0,
+            2.0f32.powi(-25),             // half smallest subnormal (tie)
+            3.0 * 2.0f32.powi(-25),       // subnormal tie
+            1023.0 * 2.0f32.powi(-24),    // largest subnormal
+            2.0f32.powi(-14),             // smallest normal
+            1.0 + 2.0f32.powi(-11),       // normal tie
+            1.0 + 3.0 * 2.0f32.powi(-11), // normal tie, odd mantissa
+            2048.0,
+            65504.0, // MAX
+            65519.0,
+            65520.0, // rounds to inf
+            65536.0,
+            f32::INFINITY,
+            f32::NEG_INFINITY,
+            f32::NAN,
+            f32::MIN_POSITIVE,
+            1e-45, // smallest f32 subnormal
+        ];
+        for &p in &pivots {
+            for delta in [-1i32, 0, 1] {
+                let v = f32::from_bits(p.to_bits().wrapping_add_signed(delta));
+                assert_eq!(
+                    F16::from_f32_fast(v).to_bits(),
+                    F16::from_f32_scalar(v).to_bits(),
+                    "pivot {p}, delta {delta}"
+                );
+                assert_eq!(
+                    F16::from_f32_fast(-v).to_bits(),
+                    F16::from_f32_scalar(-v).to_bits(),
+                    "pivot {p} negated, delta {delta}"
+                );
+            }
+        }
+    }
+
+    #[cfg(feature = "proptest")]
+    mod fast_properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn fast_encode_matches_scalar(bits in proptest::num::u32::ANY) {
+                let v = f32::from_bits(bits);
+                prop_assert_eq!(
+                    F16::from_f32_fast(v).to_bits(),
+                    F16::from_f32_scalar(v).to_bits()
+                );
+            }
+
+            #[test]
+            fn fast_decode_matches_scalar(bits in proptest::num::u16::ANY) {
+                let lut = f32::from_bits(crate::fast::decode_table()[bits as usize]);
+                prop_assert_eq!(
+                    lut.to_bits(),
+                    F16::from_bits(bits).to_f32_scalar().to_bits()
+                );
+            }
+        }
     }
 }

@@ -1,0 +1,193 @@
+//! The functional fast-kernel toggle and the binary16 decode table.
+//!
+//! Mirroring the DDR fast-path discipline (`DdrController::set_fast_path`),
+//! every software-side kernel speedup in the functional stack is
+//! **toggleable and bit-exact**: with fast kernels enabled or disabled, all
+//! conversions, dot products, matvecs and quantization searches produce
+//! identical bits. The toggle exists so differential tests can run both
+//! implementations against each other; it is never a model change.
+//!
+//! Fast kernels are **on by default**. What the flag switches:
+//!
+//! * [`crate::F16::to_f32`] — a lazily built 65,536-entry decode table
+//!   (one `u32` bit pattern per binary16 value, recorded from the scalar
+//!   decoder itself) instead of per-call exponent/mantissa bit-twiddling;
+//! * [`crate::F16::from_f32`] — a branch-reduced round-to-nearest-even
+//!   encoder (bias-add rounding, subnormals via a magic-constant float
+//!   add) instead of the three-way branchy scalar path;
+//! * [`crate::vector::DotEngine`] scratch-buffer kernels and the
+//!   row-parallel matvec/quantization-search paths in `zllm-model` /
+//!   `zllm-quant` (which consult this flag through their dependency on
+//!   this crate).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::OnceLock;
+
+/// Global enable for the exact fast kernels (default: enabled).
+static ENABLED: AtomicBool = AtomicBool::new(true);
+
+/// The f16→f32 decode table: `TABLE[bits]` is the f32 *bit pattern* of
+/// `F16::from_bits(bits)`. Stored as `u32` so NaN payloads round-trip
+/// exactly without touching float registers.
+static TABLE: OnceLock<Vec<u32>> = OnceLock::new();
+
+/// Enables or disables the fast kernels process-wide.
+///
+/// Results are bit-identical either way — the toggle only selects the
+/// implementation, exactly like `MemorySystem::set_fast_path` on the
+/// trace-driven side.
+pub fn set_fast_kernels(enabled: bool) {
+    ENABLED.store(enabled, Ordering::Relaxed);
+}
+
+/// `true` if the fast kernels are currently enabled.
+#[inline]
+pub fn fast_kernels_enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// The lazily built decode table (65,536 `u32` bit patterns, 256 KiB).
+///
+/// Built from the scalar decoder on first use, so equality with the
+/// scalar path holds by construction; the exhaustive unit test pins it
+/// anyway.
+#[inline]
+pub(crate) fn decode_table() -> &'static [u32] {
+    TABLE.get_or_init(|| {
+        (0..=u16::MAX)
+            .map(|bits| crate::F16::from_bits(bits).to_f32_scalar().to_bits())
+            .collect()
+    })
+}
+
+/// Rounds an `f32` to the nearest binary16-representable value, returned
+/// as `f32` — bit-identical to `F16::from_f32(value).to_f32()` for every
+/// input bit pattern, without materialising the intermediate `F16`.
+///
+/// This is the per-lane product rounding of the VPU dot engine: hardware
+/// rounds each FP16×FP16 product once before the adder tree, and the FP32
+/// tree then consumes the *decoded* value. Fusing encode+decode into pure
+/// integer ALU ops (no decode-table load, whose index pattern is data
+/// dependent and cache hostile) is the single hottest win in the fused
+/// matvec path. The rounding cases mirror [`crate::F16::from_f32_fast`]:
+///
+/// * `|v| ≥ 65536` — exponent saturates: NaN keeps its sign and decodes to
+///   the canonical quiet NaN pattern (`sign | 0x7FC0_0000`, exactly what
+///   the scalar decoder produces for the canonical F16 NaN `0x7E00`);
+///   everything else becomes ±inf. Note 65520–65536 round to inf through
+///   the normal-range carry below, not here.
+/// * `|v| < 2⁻¹⁴` — binary16 subnormal grid (multiples of 2⁻²⁴): the
+///   `+0.5 − 0.5` magic pair performs the RNE snap in the f32 adder (the
+///   ulp at 0.5 is exactly one subnormal step) and the subtraction is
+///   exact by Sterbenz, so the rounded value falls out directly.
+/// * normal range — RNE on the 13 dropped mantissa bits via the same
+///   bias-add (`+ 0x0FFF + odd_bit`) as the fast encoder, then clearing
+///   the dropped bits; a carry past 65504 is caught and saturated to inf.
+#[inline]
+pub fn demote_round(value: f32) -> f32 {
+    let bits = value.to_bits();
+    let sign = bits & 0x8000_0000;
+    let abs = bits & 0x7FFF_FFFF;
+    if abs >= 0x4780_0000 {
+        // 65536 and above: NaN → canonical quiet NaN, rest → inf.
+        return if abs > 0x7F80_0000 {
+            f32::from_bits(sign | 0x7FC0_0000)
+        } else {
+            f32::from_bits(sign | 0x7F80_0000)
+        };
+    }
+    if abs < 0x3880_0000 {
+        // Subnormal/zero: snap onto the 2^-24 grid with the magic pair.
+        let magic = f32::from_bits(0x3F00_0000); // 0.5
+        let snapped = (f32::from_bits(abs) + magic) - magic;
+        return f32::from_bits(sign | snapped.to_bits());
+    }
+    // Normal range: RNE the 13 dropped bits, then drop them. Identical to
+    // the fast encoder's bias-add because the 0x3800_0000 rebias has zero
+    // low bits and therefore commutes with the mask.
+    let odd = (bits >> 13) & 1;
+    let rounded = (abs + 0x0FFF + odd) & !0x1FFF;
+    if rounded >= 0x4780_0000 {
+        // The carry pushed past 65504: binary16 overflows to inf.
+        return f32::from_bits(sign | 0x7F80_0000);
+    }
+    f32::from_bits(sign | rounded)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::F16;
+
+    #[test]
+    fn decode_table_matches_scalar_exhaustively() {
+        let table = decode_table();
+        assert_eq!(table.len(), 1 << 16);
+        for bits in 0..=u16::MAX {
+            let scalar = F16::from_bits(bits).to_f32_scalar().to_bits();
+            assert_eq!(table[bits as usize], scalar, "pattern {bits:#06x}");
+        }
+    }
+
+    #[test]
+    fn demote_round_matches_encode_decode_on_boundaries() {
+        // Every rounding regime and its boundaries, both signs.
+        let pivots = [
+            0.0f32,
+            f32::MIN_POSITIVE,
+            5.9604645e-8, // half the smallest f16 subnormal
+            5.9604646e-8, // just above: rounds up to one step
+            6.1035156e-5, // smallest f16 normal (2^-14)
+            6.1035153e-5, // just below: largest subnormal region
+            1.0,
+            1.0 + 4.8828125e-4, // exactly half a f16 ulp above 1.0 (ties)
+            1.5,
+            65504.0,   // f16::MAX
+            65519.999, // rounds to MAX
+            65520.0,   // ties to inf
+            65536.0,
+            1e30,
+            f32::INFINITY,
+            f32::NAN,
+        ];
+        for &v in &pivots {
+            for value in [v, -v] {
+                let want = F16::from_f32_scalar(value).to_f32_scalar();
+                let got = demote_round(value);
+                assert_eq!(
+                    got.to_bits(),
+                    want.to_bits(),
+                    "value {value} ({:#010x})",
+                    value.to_bits()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn demote_round_matches_encode_decode_on_strided_sweep() {
+        // A dense stride over all f32 bit patterns (same discipline as the
+        // fast-encoder sweep): covers every exponent and both signs.
+        let mut bits = 0u32;
+        loop {
+            let value = f32::from_bits(bits);
+            let want = F16::from_f32_scalar(value).to_f32_scalar();
+            let got = demote_round(value);
+            assert_eq!(got.to_bits(), want.to_bits(), "pattern {bits:#010x}");
+            let (next, overflow) = bits.overflowing_add(9973);
+            if overflow {
+                break;
+            }
+            bits = next;
+        }
+    }
+
+    #[test]
+    fn toggle_round_trips() {
+        assert!(fast_kernels_enabled());
+        set_fast_kernels(false);
+        assert!(!fast_kernels_enabled());
+        set_fast_kernels(true);
+        assert!(fast_kernels_enabled());
+    }
+}

@@ -16,6 +16,10 @@
 //!   accumulator of the Vector Processing Unit (§VI-B).
 //! * [`math`] — scalar special functions (exp, sigmoid, SiLU, rsqrt) as the
 //!   Scalar Processing Unit evaluates them.
+//! * [`fast`] — the process-wide fast-kernel toggle and the 65,536-entry
+//!   f16→f32 decode table. Fast kernels are bit-identical to the scalar
+//!   path by construction and by differential test; the toggle exists so
+//!   those tests can run both implementations against each other.
 //!
 //! # Example
 //!
@@ -31,9 +35,11 @@
 #![warn(missing_docs)]
 
 mod f16;
+pub mod fast;
 pub mod lut;
 pub mod math;
 pub mod rtl;
 pub mod vector;
 
 pub use f16::{ParseF16Error, F16};
+pub use fast::{fast_kernels_enabled, set_fast_kernels};

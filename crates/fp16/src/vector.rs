@@ -9,6 +9,36 @@
 //! paper's "bandwidth-area balanced" engine makes.
 
 use crate::F16;
+use std::cell::RefCell;
+
+thread_local! {
+    /// Per-thread scratch used by [`DotEngine::dot`] when fast kernels are
+    /// enabled, so existing callers get the allocation-free path without an
+    /// API change.
+    static SCRATCH: RefCell<DotScratch> = RefCell::new(DotScratch::new());
+}
+
+/// Reusable scratch buffers for the allocation-free dot kernels.
+///
+/// One `DotScratch` per thread (or per engine owner) removes every per-call
+/// `Vec` allocation from the dot/reduce path while keeping the arithmetic —
+/// product rounding, pairwise tree order, wide accumulation — bit-identical
+/// to the scalar implementation.
+#[derive(Debug, Clone, Default)]
+pub struct DotScratch {
+    /// FP32 tree levels, reduced in place by halving.
+    wide: Vec<f32>,
+    /// FP16 tree levels for [`TreePrecision::Fp16`] engines.
+    narrow: Vec<F16>,
+}
+
+impl DotScratch {
+    /// Creates an empty scratch; buffers grow to the engine's lane count on
+    /// first use and are reused afterwards.
+    pub fn new() -> DotScratch {
+        DotScratch::default()
+    }
+}
 
 /// Precision of the adder-tree internal nodes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -89,6 +119,9 @@ impl DotEngine {
     ///
     /// Panics if `a` and `b` have different lengths or exceed the lane count.
     pub fn dot(&self, a: &[F16], b: &[F16]) -> F16 {
+        if crate::fast::fast_kernels_enabled() {
+            return SCRATCH.with(|s| self.dot_with(&mut s.borrow_mut(), a, b));
+        }
         assert_eq!(a.len(), b.len(), "operand length mismatch");
         assert!(a.len() <= self.lanes, "operands exceed lane count");
         let mut prods: Vec<F16> = Vec::with_capacity(self.lanes);
@@ -97,6 +130,224 @@ impl DotEngine {
             prods.push(p);
         }
         self.reduce(&prods)
+    }
+
+    /// [`DotEngine::dot`] with caller-provided scratch and zero allocation.
+    ///
+    /// Bit-identical to the scalar path: products round once in lane order,
+    /// then reduce through the same pairwise halving tree (`chunks(2)`
+    /// pairing), with FP32 tree nodes accumulating wide exactly as
+    /// [`DotEngine::reduce`] does. The only difference is that the tree
+    /// levels live in `scratch` and are halved in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` and `b` have different lengths or exceed the lane count.
+    pub fn dot_with(&self, scratch: &mut DotScratch, a: &[F16], b: &[F16]) -> F16 {
+        assert_eq!(a.len(), b.len(), "operand length mismatch");
+        assert!(a.len() <= self.lanes, "operands exceed lane count");
+        // The lane loops below inline the F16 ops through the decode table
+        // and branch-reduced encoder directly (both proven bit-equal to
+        // the scalar conversions over the full input domain), skipping the
+        // per-op toggle dispatch the operator overloads pay.
+        let table = crate::fast::decode_table();
+        match self.precision {
+            TreePrecision::Fp32 => {
+                let level = &mut scratch.wide;
+                level.clear();
+                for i in 0..self.lanes {
+                    // p = (a[i] * b[i]).to_f32(), with the product rounded
+                    // through F16 exactly as the operator does.
+                    let p = if i < a.len() {
+                        let wide = f32::from_bits(table[a[i].to_bits() as usize])
+                            * f32::from_bits(table[b[i].to_bits() as usize]);
+                        crate::fast::demote_round(wide)
+                    } else {
+                        0.0
+                    };
+                    level.push(p);
+                }
+                let mut len = self.lanes;
+                while len > 1 {
+                    len /= 2;
+                    for i in 0..len {
+                        level[i] = level[2 * i] + level[2 * i + 1];
+                    }
+                }
+                F16::from_f32_fast(level[0])
+            }
+            TreePrecision::Fp16 => {
+                let level = &mut scratch.narrow;
+                level.clear();
+                for i in 0..self.lanes {
+                    let p = if i < a.len() {
+                        let wide = f32::from_bits(table[a[i].to_bits() as usize])
+                            * f32::from_bits(table[b[i].to_bits() as usize]);
+                        F16::from_f32_fast(wide)
+                    } else {
+                        F16::ZERO
+                    };
+                    level.push(p);
+                }
+                let mut len = self.lanes;
+                while len > 1 {
+                    len /= 2;
+                    for i in 0..len {
+                        let sum = f32::from_bits(table[level[2 * i].to_bits() as usize])
+                            + f32::from_bits(table[level[2 * i + 1].to_bits() as usize]);
+                        level[i] = F16::from_f32_fast(sum);
+                    }
+                }
+                level[0]
+            }
+        }
+    }
+
+    /// [`DotEngine::dot`] over operands given as their exact f32 decodes.
+    ///
+    /// Each element of `a32`/`b32` must be `v.to_f32()` of an `F16` value
+    /// `v` — e.g. activations decoded once per matvec, or dequantized
+    /// weights read from a per-code table. Under that contract the result
+    /// is bit-identical to [`DotEngine::dot`] on the F16 operands: the
+    /// per-lane product still rounds once through F16 and the same
+    /// pairwise halving tree runs at the same node precision; only the
+    /// redundant operand decodes are skipped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operands have different lengths or exceed the lane
+    /// count.
+    pub fn dot_f32(&self, a32: &[f32], b32: &[f32]) -> F16 {
+        SCRATCH.with(|s| self.dot_f32_with(&mut s.borrow_mut(), a32, b32))
+    }
+
+    /// [`DotEngine::dot_f32`] with caller-provided scratch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operands have different lengths or exceed the lane
+    /// count.
+    pub fn dot_f32_with(&self, scratch: &mut DotScratch, a32: &[f32], b32: &[f32]) -> F16 {
+        assert_eq!(a32.len(), b32.len(), "operand length mismatch");
+        assert!(a32.len() <= self.lanes, "operands exceed lane count");
+        let table = crate::fast::decode_table();
+        match self.precision {
+            TreePrecision::Fp32 => {
+                let level = &mut scratch.wide;
+                level.clear();
+                for i in 0..self.lanes {
+                    let p = if i < a32.len() {
+                        // Round the product once through binary16 without
+                        // touching the decode table (pure ALU, see
+                        // `fast::demote_round`).
+                        crate::fast::demote_round(a32[i] * b32[i])
+                    } else {
+                        0.0
+                    };
+                    level.push(p);
+                }
+                let mut len = self.lanes;
+                while len > 1 {
+                    len /= 2;
+                    for i in 0..len {
+                        level[i] = level[2 * i] + level[2 * i + 1];
+                    }
+                }
+                F16::from_f32_fast(level[0])
+            }
+            TreePrecision::Fp16 => {
+                let level = &mut scratch.narrow;
+                level.clear();
+                for i in 0..self.lanes {
+                    let p = if i < a32.len() {
+                        F16::from_f32_fast(a32[i] * b32[i])
+                    } else {
+                        F16::ZERO
+                    };
+                    level.push(p);
+                }
+                let mut len = self.lanes;
+                while len > 1 {
+                    len /= 2;
+                    for i in 0..len {
+                        let sum = f32::from_bits(table[level[2 * i].to_bits() as usize])
+                            + f32::from_bits(table[level[2 * i + 1].to_bits() as usize]);
+                        level[i] = F16::from_f32_fast(sum);
+                    }
+                }
+                level[0]
+            }
+        }
+    }
+
+    /// One beat over 4-bit codes: lane `i` multiplies `lut[codes[i]]` by
+    /// `x32[i]`, rounds the product once through binary16, and the usual
+    /// tree reduces — the fully fused dequantize+dot kernel.
+    ///
+    /// Contract: every `lut` entry and every `x32` element must be the
+    /// exact f32 decode of an `F16` value (a per-code dequantization
+    /// table and predecoded activations). Under that contract the result
+    /// is bit-identical to [`DotEngine::dot`] on the dequantized F16
+    /// beat, with no intermediate weight buffer at all.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operands have different lengths, exceed the lane
+    /// count, or any code is ≥ 16.
+    pub fn dot_q4_with(
+        &self,
+        scratch: &mut DotScratch,
+        codes: &[u8],
+        lut: &[f32; 16],
+        x32: &[f32],
+    ) -> F16 {
+        assert_eq!(codes.len(), x32.len(), "operand length mismatch");
+        assert!(codes.len() <= self.lanes, "operands exceed lane count");
+        match self.precision {
+            TreePrecision::Fp32 => {
+                let level = &mut scratch.wide;
+                level.clear();
+                for i in 0..self.lanes {
+                    let p = if i < codes.len() {
+                        crate::fast::demote_round(lut[codes[i] as usize] * x32[i])
+                    } else {
+                        0.0
+                    };
+                    level.push(p);
+                }
+                let mut len = self.lanes;
+                while len > 1 {
+                    len /= 2;
+                    for i in 0..len {
+                        level[i] = level[2 * i] + level[2 * i + 1];
+                    }
+                }
+                F16::from_f32_fast(level[0])
+            }
+            TreePrecision::Fp16 => {
+                let table = crate::fast::decode_table();
+                let level = &mut scratch.narrow;
+                level.clear();
+                for i in 0..self.lanes {
+                    let p = if i < codes.len() {
+                        F16::from_f32_fast(lut[codes[i] as usize] * x32[i])
+                    } else {
+                        F16::ZERO
+                    };
+                    level.push(p);
+                }
+                let mut len = self.lanes;
+                while len > 1 {
+                    len /= 2;
+                    for i in 0..len {
+                        let sum = f32::from_bits(table[level[2 * i].to_bits() as usize])
+                            + f32::from_bits(table[level[2 * i + 1].to_bits() as usize]);
+                        level[i] = F16::from_f32_fast(sum);
+                    }
+                }
+                level[0]
+            }
+        }
     }
 
     /// Tree-reduces a full vector of lane values.
@@ -148,6 +399,87 @@ impl DotEngine {
             acc += scaled.to_f32();
         }
         acc
+    }
+
+    /// [`DotEngine::dot_streamed`] with caller-provided scratch: the same
+    /// per-beat rounding, scaling and FP32 accumulation order, zero
+    /// allocation.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`DotEngine::dot_streamed`].
+    pub fn dot_streamed_with(
+        &self,
+        scratch: &mut DotScratch,
+        row: &[F16],
+        x: &[F16],
+        scales: Option<&[F16]>,
+    ) -> f32 {
+        assert_eq!(row.len(), x.len(), "operand length mismatch");
+        let beats = row.len().div_ceil(self.lanes);
+        if let Some(s) = scales {
+            assert_eq!(s.len(), beats, "one scale per beat required");
+        }
+        let mut acc = 0.0f32;
+        for beat in 0..beats {
+            let lo = beat * self.lanes;
+            let hi = (lo + self.lanes).min(row.len());
+            let partial = self.dot_with(scratch, &row[lo..hi], &x[lo..hi]);
+            let scaled = match scales {
+                Some(s) => partial * s[beat],
+                None => partial,
+            };
+            acc += scaled.to_f32();
+        }
+        acc
+    }
+
+    /// Batched single-beat dots: `out[i] = dot(rows[i], x)` for every row,
+    /// sharing one scratch. Each row's product/tree order is exactly the
+    /// scalar [`DotEngine::dot`] order, so the batch is bit-identical to a
+    /// loop of scalar calls.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any row violates the [`DotEngine::dot`] length rules.
+    pub fn dot_many(
+        &self,
+        scratch: &mut DotScratch,
+        rows: &[&[F16]],
+        x: &[F16],
+        out: &mut Vec<F16>,
+    ) {
+        out.clear();
+        out.reserve(rows.len());
+        for row in rows {
+            out.push(self.dot_with(scratch, row, &x[..row.len()]));
+        }
+    }
+
+    /// Streamed matrix·vector product through the engine: `weights` is a
+    /// row-major `rows × x.len()` FP16 matrix and `out[r]` receives the
+    /// FP32-accumulated streamed dot of row `r` with `x` — each row computed
+    /// exactly as [`DotEngine::dot_streamed`] would, with zero allocation
+    /// beyond the reused `out`/`scratch` capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is empty or `weights.len()` is not a multiple of
+    /// `x.len()`.
+    pub fn matvec(&self, scratch: &mut DotScratch, weights: &[F16], x: &[F16], out: &mut Vec<f32>) {
+        assert!(!x.is_empty(), "matvec requires a non-empty input vector");
+        assert_eq!(
+            weights.len() % x.len(),
+            0,
+            "weight count must be a whole number of rows"
+        );
+        let rows = weights.len() / x.len();
+        out.clear();
+        out.reserve(rows);
+        for r in 0..rows {
+            let row = &weights[r * x.len()..(r + 1) * x.len()];
+            out.push(self.dot_streamed_with(scratch, row, x, None));
+        }
     }
 }
 
@@ -236,6 +568,145 @@ mod tests {
         assert_eq!(e.dot_streamed(&row, &x, Some(&scales)), 10.0);
     }
 
+    /// Deterministic pseudo-random F16 vector (xorshift, no external deps).
+    fn lcg_vec(seed: u64, n: usize) -> Vec<F16> {
+        let mut state = seed | 1;
+        (0..n)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                let unit = (state >> 40) as f32 / (1u64 << 24) as f32;
+                F16::from_f32(unit * 8.0 - 4.0)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn dot_with_matches_scalar_dot_bit_for_bit() {
+        for (lanes, precision) in [
+            (4, TreePrecision::Fp32),
+            (128, TreePrecision::Fp32),
+            (128, TreePrecision::Fp16),
+        ] {
+            let e = DotEngine::new(lanes, precision);
+            let mut scratch = DotScratch::new();
+            for trial in 0..32u64 {
+                // Include short (zero-padded) operand lengths.
+                let len = 1 + (trial as usize * 7) % lanes;
+                let a = lcg_vec(trial * 2 + 1, len);
+                let b = lcg_vec(trial * 2 + 2, len);
+                crate::fast::set_fast_kernels(false);
+                let scalar = e.dot(&a, &b);
+                crate::fast::set_fast_kernels(true);
+                let fast = e.dot(&a, &b);
+                let explicit = e.dot_with(&mut scratch, &a, &b);
+                assert_eq!(fast.to_bits(), scalar.to_bits(), "lanes {lanes}, len {len}");
+                assert_eq!(explicit.to_bits(), scalar.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn dot_f32_matches_f16_dot_bit_for_bit() {
+        for precision in [TreePrecision::Fp32, TreePrecision::Fp16] {
+            let e = DotEngine::new(64, precision);
+            let mut scratch = DotScratch::new();
+            for trial in 0..16u64 {
+                let len = 1 + (trial as usize * 11) % 64;
+                let a = lcg_vec(trial * 3 + 1, len);
+                let b = lcg_vec(trial * 3 + 2, len);
+                let a32: Vec<f32> = a.iter().map(|v| v.to_f32()).collect();
+                let b32: Vec<f32> = b.iter().map(|v| v.to_f32()).collect();
+                crate::fast::set_fast_kernels(false);
+                let scalar = e.dot(&a, &b);
+                crate::fast::set_fast_kernels(true);
+                let fused = e.dot_f32(&a32, &b32);
+                let explicit = e.dot_f32_with(&mut scratch, &a32, &b32);
+                assert_eq!(fused.to_bits(), scalar.to_bits(), "{precision:?} len {len}");
+                assert_eq!(explicit.to_bits(), scalar.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn dot_q4_matches_dequantized_dot_bit_for_bit() {
+        for precision in [TreePrecision::Fp32, TreePrecision::Fp16] {
+            let e = DotEngine::new(64, precision);
+            let mut scratch = DotScratch::new();
+            for trial in 0..16u64 {
+                let len = 1 + (trial as usize * 13) % 64;
+                // A 4-bit code stream and a per-code dequantization table
+                // (exact F16 decodes, per the kernel contract).
+                let mut state = trial * 5 + 3;
+                let codes: Vec<u8> = (0..len)
+                    .map(|_| {
+                        state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                        (state >> 33) as u8 & 0xF
+                    })
+                    .collect();
+                let lut16: Vec<F16> = lcg_vec(trial * 5 + 4, 16);
+                let lut: [f32; 16] = std::array::from_fn(|q| lut16[q].to_f32());
+                let x = lcg_vec(trial * 5 + 5, len);
+                let x32: Vec<f32> = x.iter().map(|v| v.to_f32()).collect();
+                let w: Vec<F16> = codes.iter().map(|&q| lut16[q as usize]).collect();
+                crate::fast::set_fast_kernels(false);
+                let scalar = e.dot(&w, &x);
+                crate::fast::set_fast_kernels(true);
+                let fused = e.dot_q4_with(&mut scratch, &codes, &lut, &x32);
+                assert_eq!(fused.to_bits(), scalar.to_bits(), "{precision:?} len {len}");
+            }
+        }
+    }
+
+    #[test]
+    fn dot_streamed_with_matches_scalar_bit_for_bit() {
+        let e = DotEngine::new(8, TreePrecision::Fp32);
+        let mut scratch = DotScratch::new();
+        let row = lcg_vec(11, 52);
+        let x = lcg_vec(13, 52);
+        let scales: Vec<F16> = lcg_vec(17, 52usize.div_ceil(8));
+        crate::fast::set_fast_kernels(false);
+        let scalar = e.dot_streamed(&row, &x, Some(&scales));
+        crate::fast::set_fast_kernels(true);
+        let fast = e.dot_streamed(&row, &x, Some(&scales));
+        let explicit = e.dot_streamed_with(&mut scratch, &row, &x, Some(&scales));
+        assert_eq!(fast.to_bits(), scalar.to_bits());
+        assert_eq!(explicit.to_bits(), scalar.to_bits());
+    }
+
+    #[test]
+    fn dot_many_matches_per_row_dots() {
+        let e = DotEngine::new(16, TreePrecision::Fp32);
+        let mut scratch = DotScratch::new();
+        let rows: Vec<Vec<F16>> = (0..9).map(|r| lcg_vec(100 + r, 16)).collect();
+        let refs: Vec<&[F16]> = rows.iter().map(Vec::as_slice).collect();
+        let x = lcg_vec(999, 16);
+        let mut out = Vec::new();
+        e.dot_many(&mut scratch, &refs, &x, &mut out);
+        assert_eq!(out.len(), rows.len());
+        for (row, got) in rows.iter().zip(&out) {
+            assert_eq!(got.to_bits(), e.dot(row, &x).to_bits());
+        }
+    }
+
+    #[test]
+    fn matvec_matches_streamed_rows() {
+        let e = DotEngine::new(8, TreePrecision::Fp32);
+        let mut scratch = DotScratch::new();
+        let cols = 20;
+        let rows = 7;
+        let weights = lcg_vec(5, rows * cols);
+        let x = lcg_vec(6, cols);
+        let mut out = Vec::new();
+        e.matvec(&mut scratch, &weights, &x, &mut out);
+        assert_eq!(out.len(), rows);
+        for r in 0..rows {
+            let want = e.dot_streamed(&weights[r * cols..(r + 1) * cols], &x, None);
+            assert_eq!(out[r].to_bits(), want.to_bits(), "row {r}");
+        }
+    }
+
     #[test]
     fn fp32_tree_is_at_least_as_accurate_as_fp16_tree() {
         // A cancellation-heavy vector: alternating large +/- values with a
@@ -283,6 +754,19 @@ mod tests {
             fn dot_is_symmetric(a in f16_vec(64), b in f16_vec(64)) {
                 let e = DotEngine::new(64, TreePrecision::Fp32);
                 prop_assert_eq!(e.dot(&a, &b).to_bits(), e.dot(&b, &a).to_bits());
+            }
+
+            #[test]
+            fn scratch_dot_matches_scalar(a in f16_vec(64), b in f16_vec(64)) {
+                let e = DotEngine::new(64, TreePrecision::Fp32);
+                let mut scratch = DotScratch::new();
+                crate::fast::set_fast_kernels(false);
+                let scalar = e.dot(&a, &b);
+                crate::fast::set_fast_kernels(true);
+                prop_assert_eq!(
+                    e.dot_with(&mut scratch, &a, &b).to_bits(),
+                    scalar.to_bits()
+                );
             }
 
             #[test]

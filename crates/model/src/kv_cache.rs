@@ -27,6 +27,24 @@ pub trait KvStore {
 
     /// The V vector of (layer, token, kv-head).
     fn value(&self, layer: usize, token: usize, head: usize) -> Vec<f32>;
+
+    /// Writes the K vector of (layer, token, kv-head) into `out` (cleared
+    /// first). The default delegates to [`KvStore::key`]; implementations
+    /// override it to skip the per-call allocation — values are identical
+    /// either way.
+    fn key_into(&self, layer: usize, token: usize, head: usize, out: &mut Vec<f32>) {
+        let k = self.key(layer, token, head);
+        out.clear();
+        out.extend_from_slice(&k);
+    }
+
+    /// Writes the V vector of (layer, token, kv-head) into `out` (cleared
+    /// first); the allocation-free counterpart of [`KvStore::value`].
+    fn value_into(&self, layer: usize, token: usize, head: usize, out: &mut Vec<f32>) {
+        let v = self.value(layer, token, head);
+        out.clear();
+        out.extend_from_slice(&v);
+    }
 }
 
 /// Exact f32 cache.
@@ -79,6 +97,20 @@ impl KvStore for KvCacheF32 {
         let kv_dim = self.head_dim * self.n_kv_heads;
         let base = token * kv_dim + head * self.head_dim;
         self.values[layer][base..base + self.head_dim].to_vec()
+    }
+
+    fn key_into(&self, layer: usize, token: usize, head: usize, out: &mut Vec<f32>) {
+        let kv_dim = self.head_dim * self.n_kv_heads;
+        let base = token * kv_dim + head * self.head_dim;
+        out.clear();
+        out.extend_from_slice(&self.keys[layer][base..base + self.head_dim]);
+    }
+
+    fn value_into(&self, layer: usize, token: usize, head: usize, out: &mut Vec<f32>) {
+        let kv_dim = self.head_dim * self.n_kv_heads;
+        let base = token * kv_dim + head * self.head_dim;
+        out.clear();
+        out.extend_from_slice(&self.values[layer][base..base + self.head_dim]);
     }
 }
 
@@ -158,6 +190,14 @@ impl KvStore for KvCacheQ8 {
 
     fn value(&self, layer: usize, token: usize, head: usize) -> Vec<f32> {
         self.values[layer][token * self.n_kv_heads + head].dequantize()
+    }
+
+    fn key_into(&self, layer: usize, token: usize, head: usize, out: &mut Vec<f32>) {
+        self.keys[layer][token * self.n_kv_heads + head].dequantize_into(out);
+    }
+
+    fn value_into(&self, layer: usize, token: usize, head: usize, out: &mut Vec<f32>) {
+        self.values[layer][token * self.n_kv_heads + head].dequantize_into(out);
     }
 }
 

@@ -12,19 +12,39 @@ use crate::weights::ModelWeights;
 
 /// RMS normalisation: `x_i · g_i / √(mean(x²) + ε)`.
 pub fn rmsnorm(x: &[f32], gain: &[f32], eps: f32) -> Vec<f32> {
+    let mut out = Vec::with_capacity(x.len());
+    rmsnorm_into(x, gain, eps, &mut out);
+    out
+}
+
+/// [`rmsnorm`] into a caller-provided buffer (cleared first) — identical
+/// values, no allocation once the buffer has capacity.
+pub fn rmsnorm_into(x: &[f32], gain: &[f32], eps: f32, out: &mut Vec<f32>) {
     assert_eq!(x.len(), gain.len(), "gain length mismatch");
     let ms = x.iter().map(|v| v * v).sum::<f32>() / x.len() as f32;
     let inv = 1.0 / (ms + eps).sqrt();
-    x.iter().zip(gain).map(|(v, g)| v * inv * g).collect()
+    out.clear();
+    out.extend(x.iter().zip(gain).map(|(v, g)| v * inv * g));
 }
 
 /// Numerically stable softmax (three-pass, as the SPU implements it).
 pub fn softmax(x: &[f32]) -> Vec<f32> {
+    let mut out = Vec::with_capacity(x.len());
+    softmax_into(x, &mut out);
+    out
+}
+
+/// [`softmax`] into a caller-provided buffer (cleared first) — the same
+/// three passes in the same order, so results are bit-identical.
+pub fn softmax_into(x: &[f32], out: &mut Vec<f32>) {
     assert!(!x.is_empty(), "softmax of empty slice");
     let m = x.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
-    let exps: Vec<f32> = x.iter().map(|v| (v - m).exp()).collect();
-    let d: f32 = exps.iter().sum();
-    exps.iter().map(|e| e / d).collect()
+    out.clear();
+    out.extend(x.iter().map(|v| (v - m).exp()));
+    let d: f32 = out.iter().sum();
+    for e in out.iter_mut() {
+        *e /= d;
+    }
 }
 
 /// SiLU activation.
@@ -70,6 +90,28 @@ pub struct Decoder<'w, C> {
     weights: &'w ModelWeights,
     cache: C,
     pos: usize,
+    scratch: Scratch,
+}
+
+/// Per-token scratch reused across [`Decoder::forward`] calls so the decode
+/// loop allocates nothing per token (beyond the returned logits). Purely an
+/// allocation optimisation: every value written here is computed by exactly
+/// the same operations, in the same order, as the old collect-per-step code.
+#[derive(Debug, Default)]
+struct Scratch {
+    xn: Vec<f32>,
+    q: Vec<f32>,
+    k: Vec<f32>,
+    v: Vec<f32>,
+    attn_out: Vec<f32>,
+    scores: Vec<f32>,
+    probs: Vec<f32>,
+    /// One dequantized K or V head vector streamed from the cache.
+    kv: Vec<f32>,
+    proj: Vec<f32>,
+    gate: Vec<f32>,
+    up: Vec<f32>,
+    inner: Vec<f32>,
 }
 
 impl<'w, C: KvStore> Decoder<'w, C> {
@@ -79,6 +121,7 @@ impl<'w, C: KvStore> Decoder<'w, C> {
             weights,
             cache,
             pos: 0,
+            scratch: Scratch::default(),
         }
     }
 
@@ -107,62 +150,65 @@ impl<'w, C: KvStore> Decoder<'w, C> {
         let group = cfg.n_heads / cfg.n_kv_heads;
 
         let mut x: Vec<f32> = self.weights.embedding.row(token).to_vec();
+        let s = &mut self.scratch;
 
         for (layer_idx, layer) in self.weights.layers.iter().enumerate() {
             // --- Attention block ---
-            let xn = rmsnorm(&x, &layer.attn_norm, cfg.norm_eps);
-            let mut q = layer.wq.matvec(&xn);
-            let mut k = layer.wk.matvec(&xn);
-            let v = layer.wv.matvec(&xn);
+            rmsnorm_into(&x, &layer.attn_norm, cfg.norm_eps, &mut s.xn);
+            layer.wq.matvec_into(&s.xn, &mut s.q);
+            layer.wk.matvec_into(&s.xn, &mut s.k);
+            layer.wv.matvec_into(&s.xn, &mut s.v);
 
             for h in 0..cfg.n_heads {
-                rope_rotate(&mut q[h * hd..(h + 1) * hd], pos, cfg.rope_base);
+                rope_rotate(&mut s.q[h * hd..(h + 1) * hd], pos, cfg.rope_base);
             }
             for h in 0..cfg.n_kv_heads {
-                rope_rotate(&mut k[h * hd..(h + 1) * hd], pos, cfg.rope_base);
+                rope_rotate(&mut s.k[h * hd..(h + 1) * hd], pos, cfg.rope_base);
             }
-            self.cache.append(layer_idx, &k, &v);
+            self.cache.append(layer_idx, &s.k, &s.v);
 
             let scale = 1.0 / (hd as f32).sqrt();
-            let mut attn_out = vec![0.0f32; d];
+            s.attn_out.clear();
+            s.attn_out.resize(d, 0.0);
             for h in 0..cfg.n_heads {
                 let kv_head = h / group;
-                let qh = &q[h * hd..(h + 1) * hd];
-                let scores: Vec<f32> = (0..=pos)
-                    .map(|t| {
-                        let kt = self.cache.key(layer_idx, t, kv_head);
-                        dot(qh, &kt) * scale
-                    })
-                    .collect();
-                let probs = softmax(&scores);
-                let out = &mut attn_out[h * hd..(h + 1) * hd];
-                for (t, &p) in probs.iter().enumerate() {
-                    let vt = self.cache.value(layer_idx, t, kv_head);
-                    for (o, &vv) in out.iter_mut().zip(&vt) {
+                let qh = &s.q[h * hd..(h + 1) * hd];
+                s.scores.clear();
+                for t in 0..=pos {
+                    self.cache.key_into(layer_idx, t, kv_head, &mut s.kv);
+                    s.scores.push(dot(qh, &s.kv) * scale);
+                }
+                softmax_into(&s.scores, &mut s.probs);
+                let out = &mut s.attn_out[h * hd..(h + 1) * hd];
+                for (t, &p) in s.probs.iter().enumerate() {
+                    self.cache.value_into(layer_idx, t, kv_head, &mut s.kv);
+                    for (o, &vv) in out.iter_mut().zip(&s.kv) {
                         *o += p * vv;
                     }
                 }
             }
 
-            let proj = layer.wo.matvec(&attn_out);
-            for (xi, pi) in x.iter_mut().zip(&proj) {
+            layer.wo.matvec_into(&s.attn_out, &mut s.proj);
+            for (xi, pi) in x.iter_mut().zip(&s.proj) {
                 *xi += pi;
             }
 
             // --- MLP block ---
-            let xn = rmsnorm(&x, &layer.mlp_norm, cfg.norm_eps);
-            let gate = layer.w_gate.matvec(&xn);
-            let up = layer.w_up.matvec(&xn);
-            let inner: Vec<f32> = gate.iter().zip(&up).map(|(&g, &u)| silu(g) * u).collect();
-            let down = layer.w_down.matvec(&inner);
-            for (xi, di) in x.iter_mut().zip(&down) {
+            rmsnorm_into(&x, &layer.mlp_norm, cfg.norm_eps, &mut s.xn);
+            layer.w_gate.matvec_into(&s.xn, &mut s.gate);
+            layer.w_up.matvec_into(&s.xn, &mut s.up);
+            s.inner.clear();
+            s.inner
+                .extend(s.gate.iter().zip(&s.up).map(|(&g, &u)| silu(g) * u));
+            layer.w_down.matvec_into(&s.inner, &mut s.proj);
+            for (xi, di) in x.iter_mut().zip(&s.proj) {
                 *xi += di;
             }
         }
 
-        let xn = rmsnorm(&x, &self.weights.final_norm, cfg.norm_eps);
+        rmsnorm_into(&x, &self.weights.final_norm, cfg.norm_eps, &mut s.xn);
         self.pos += 1;
-        self.weights.lm_head.matvec(&xn)
+        self.weights.lm_head.matvec(&s.xn)
     }
 
     /// Runs the prefill phase over a prompt, returning the logits after its

@@ -93,17 +93,90 @@ impl Matrix {
     ///
     /// Panics if `x.len() != cols`.
     pub fn matvec(&self, x: &[f32]) -> Vec<f32> {
+        let mut out = Vec::with_capacity(self.rows);
+        self.matvec_into(x, &mut out);
+        out
+    }
+
+    /// [`Matrix::matvec`] into a caller-provided buffer, so decode loops can
+    /// reuse scratch instead of allocating a fresh `Vec` per token.
+    ///
+    /// With fast kernels enabled ([`zllm_fp16::fast_kernels_enabled`]) the
+    /// rows are computed by a 4-row blocked kernel — four independent
+    /// accumulators sharing each pass over `x` — and, for large matrices,
+    /// split across worker threads by output-row ranges. Every row's serial
+    /// f32 accumulation stays in column order, so the output is
+    /// bit-identical to the scalar path for any block size or thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != cols`.
+    pub fn matvec_into(&self, x: &[f32], out: &mut Vec<f32>) {
         assert_eq!(x.len(), self.cols, "operand length mismatch");
-        (0..self.rows)
-            .map(|r| {
-                let row = self.row(r);
-                let mut acc = 0.0f32;
-                for (a, b) in row.iter().zip(x) {
-                    acc += a * b;
-                }
-                acc
-            })
-            .collect()
+        out.clear();
+        out.resize(self.rows, 0.0);
+        if !zllm_fp16::fast_kernels_enabled() {
+            for (r, slot) in out.iter_mut().enumerate() {
+                *slot = row_dot(self.row(r), x);
+            }
+            return;
+        }
+        // Row-range fan-out pays for itself only on big weight matrices;
+        // check the size first so small matvecs skip the thread-count
+        // lookup entirely.
+        const PAR_ELEMS: usize = 1 << 16;
+        let threads = if self.rows * self.cols >= PAR_ELEMS {
+            zllm_par::max_threads()
+        } else {
+            1
+        };
+        if threads > 1 && self.rows >= 2 {
+            let chunk = self.rows.div_ceil(threads).max(1);
+            let ranges: Vec<(usize, usize)> = (0..self.rows)
+                .step_by(chunk)
+                .map(|lo| (lo, (lo + chunk).min(self.rows)))
+                .collect();
+            let parts = zllm_par::par_map(ranges, |(lo, hi)| {
+                let mut part = vec![0.0f32; hi - lo];
+                self.matvec_rows_blocked(x, lo, hi, &mut part);
+                (lo, part)
+            });
+            for (lo, part) in parts {
+                out[lo..lo + part.len()].copy_from_slice(&part);
+            }
+        } else {
+            self.matvec_rows_blocked(x, 0, self.rows, out);
+        }
+    }
+
+    /// The 4-row blocked kernel over rows `lo..hi`, writing `out[r - lo]`.
+    /// Each accumulator runs the exact scalar column-order sum for its row;
+    /// blocking only interleaves *independent* rows for ILP and x-reuse.
+    fn matvec_rows_blocked(&self, x: &[f32], lo: usize, hi: usize, out: &mut [f32]) {
+        let mut r = lo;
+        while r + 4 <= hi {
+            let r0 = self.row(r);
+            let r1 = self.row(r + 1);
+            let r2 = self.row(r + 2);
+            let r3 = self.row(r + 3);
+            let (mut a0, mut a1, mut a2, mut a3) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
+            for c in 0..self.cols {
+                let xv = x[c];
+                a0 += r0[c] * xv;
+                a1 += r1[c] * xv;
+                a2 += r2[c] * xv;
+                a3 += r3[c] * xv;
+            }
+            out[r - lo] = a0;
+            out[r + 1 - lo] = a1;
+            out[r + 2 - lo] = a2;
+            out[r + 3 - lo] = a3;
+            r += 4;
+        }
+        while r < hi {
+            out[r - lo] = row_dot(self.row(r), x);
+            r += 1;
+        }
     }
 
     /// Element access.
@@ -125,6 +198,16 @@ impl Matrix {
 pub fn dot(a: &[f32], b: &[f32]) -> f32 {
     assert_eq!(a.len(), b.len(), "operand length mismatch");
     a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// One matvec row: serial `acc += a * b` in column order (the reference
+/// numerics every fast variant must reproduce bit-for-bit).
+fn row_dot(row: &[f32], x: &[f32]) -> f32 {
+    let mut acc = 0.0f32;
+    for (a, b) in row.iter().zip(x) {
+        acc += a * b;
+    }
+    acc
 }
 
 #[cfg(test)]
@@ -168,5 +251,55 @@ mod tests {
     #[should_panic(expected = "operand length mismatch")]
     fn matvec_length_checked() {
         let _ = Matrix::zeros(2, 3).matvec(&[0.0; 2]);
+    }
+
+    /// Deterministic pseudo-random f32 buffer (xorshift).
+    fn noise(seed: u64, n: usize) -> Vec<f32> {
+        let mut state = seed | 1;
+        (0..n)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                (state >> 40) as f32 / (1u64 << 24) as f32 * 2.0 - 1.0
+            })
+            .collect()
+    }
+
+    #[test]
+    fn blocked_matvec_matches_scalar_bit_for_bit() {
+        // Shapes chosen to hit the remainder rows (rows % 4 != 0), the
+        // single-row case, and a matrix big enough for the parallel split.
+        for (rows, cols) in [(1, 5), (3, 7), (4, 16), (7, 33), (130, 512)] {
+            let m = Matrix::new(
+                rows,
+                cols,
+                noise(rows as u64 * 31 + cols as u64, rows * cols),
+            );
+            let x = noise(977, cols);
+            let scalar: Vec<f32> = (0..rows).map(|r| super::row_dot(m.row(r), &x)).collect();
+            for threads in [Some(1), Some(3), None] {
+                zllm_par::set_max_threads(threads);
+                let fast = m.matvec(&x);
+                assert_eq!(fast.len(), scalar.len());
+                for (r, (got, want)) in fast.iter().zip(&scalar).enumerate() {
+                    assert_eq!(
+                        got.to_bits(),
+                        want.to_bits(),
+                        "rows {rows}, cols {cols}, threads {threads:?}, row {r}"
+                    );
+                }
+            }
+            zllm_par::set_max_threads(None);
+        }
+    }
+
+    #[test]
+    fn matvec_into_reuses_buffer() {
+        let m = Matrix::new(3, 4, noise(1, 12));
+        let x = noise(2, 4);
+        let mut out = vec![9.0; 17];
+        m.matvec_into(&x, &mut out);
+        assert_eq!(out, m.matvec(&x));
     }
 }

@@ -1,0 +1,219 @@
+//! Deterministic scoped-thread fan-out shared across the workspace.
+//!
+//! [`par_map`] runs a closure over every item on scoped worker threads and
+//! returns the results **in input order**, so callers stay bit-reproducible
+//! regardless of scheduling. It sits at the bottom of the dependency DAG
+//! (no dependencies) so `zllm-quant` and `zllm-model` can parallelize their
+//! kernels without depending on the bench harness; `zllm-bench` re-exports
+//! it for the table/figure binaries.
+//!
+//! [`par_map_init`] additionally gives every worker thread a private
+//! workspace created once per thread — the hook the parallel quantization
+//! searches use to run with zero per-candidate allocation.
+//!
+//! The effective thread count can be pinned with [`set_max_threads`]
+//! (`None` restores the hardware default); determinism tests use it to
+//! prove results are independent of parallelism.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Global thread-count override: 0 = follow `available_parallelism`.
+static MAX_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// Caps the number of worker threads [`par_map`]/[`par_map_init`] spawn.
+///
+/// `Some(n)` pins the pool to at most `n` threads (`n == 1` forces the
+/// serial path); `None` restores the hardware default. The setting is
+/// global and primarily meant for determinism tests and benchmarks — the
+/// results of every `par_map` call are identical for any thread count by
+/// construction, and tests assert exactly that.
+pub fn set_max_threads(limit: Option<usize>) {
+    let stored = match limit {
+        Some(n) => n.max(1),
+        None => 0,
+    };
+    MAX_THREADS.store(stored, Ordering::Relaxed);
+}
+
+/// The effective maximum thread count for the next fan-out.
+///
+/// Cheap enough for per-matvec dispatch checks: the hardware parallelism
+/// is queried once and cached (`available_parallelism` is a syscall).
+pub fn max_threads() -> usize {
+    static HARDWARE: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    match MAX_THREADS.load(Ordering::Relaxed) {
+        0 => *HARDWARE.get_or_init(|| {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        }),
+        n => n,
+    }
+}
+
+/// Runs `f` over every item on scoped worker threads and returns the
+/// results in input order.
+///
+/// Each invocation owns its item and builds whatever engine state it
+/// needs *inside* its thread (the simulator's telemetry handles are
+/// deliberately not `Send`), so independent configurations price
+/// concurrently while the output stays deterministic: results are
+/// collected positionally, never in completion order.
+///
+/// # Panics
+///
+/// Propagates a panic from any worker.
+///
+/// # Example
+///
+/// ```
+/// let squares = zllm_par::par_map((0..8u64).collect(), |i| i * i);
+/// assert_eq!(squares, vec![0, 1, 4, 9, 16, 25, 36, 49]);
+/// ```
+pub fn par_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    par_map_init(items, || (), move |(), item| f(item))
+}
+
+/// [`par_map`] with a per-thread workspace.
+///
+/// `init` runs once on each worker thread (and once total on the serial
+/// fallback); the resulting state is passed `&mut` to every `f` call that
+/// thread executes. Use it to hoist scratch buffers out of the per-item
+/// closure so a parallel search allocates nothing per candidate.
+///
+/// # Panics
+///
+/// Propagates a panic from any worker.
+///
+/// # Example
+///
+/// ```
+/// // Sum pairs into a reused per-thread buffer.
+/// let out = zllm_par::par_map_init(
+///     vec![vec![1.0f64, 2.0], vec![3.0, 4.0]],
+///     Vec::<f64>::new,
+///     |scratch, xs| {
+///         scratch.clear();
+///         scratch.extend(xs);
+///         scratch.iter().sum::<f64>()
+///     },
+/// );
+/// assert_eq!(out, vec![3.0, 7.0]);
+/// ```
+pub fn par_map_init<T, R, S, I, F>(items: Vec<T>, init: I, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, T) -> R + Sync,
+{
+    let threads = max_threads().min(items.len().max(1));
+    if threads <= 1 {
+        let mut state = init();
+        return items.into_iter().map(|item| f(&mut state, item)).collect();
+    }
+    let queue: Vec<std::sync::Mutex<Option<(usize, T)>>> = items
+        .into_iter()
+        .enumerate()
+        .map(|it| std::sync::Mutex::new(Some(it)))
+        .collect();
+    let next = AtomicUsize::new(0);
+    let mut slots: Vec<Option<R>> = Vec::with_capacity(queue.len());
+    slots.resize_with(queue.len(), || None);
+    std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut state = init();
+                    let mut local: Vec<(usize, R)> = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(slot) = queue.get(i) else { break };
+                        let (idx, item) = slot
+                            .lock()
+                            .expect("queue slot poisoned")
+                            .take()
+                            .expect("each slot is claimed once by the dispatch counter");
+                        local.push((idx, f(&mut state, item)));
+                    }
+                    local
+                })
+            })
+            .collect();
+        for worker in workers {
+            for (idx, result) in worker.join().expect("par_map worker panicked") {
+                slots[idx] = Some(result);
+            }
+        }
+    });
+    slots
+        .into_iter()
+        .map(|r| r.expect("worker filled every slot"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_map_preserves_order() {
+        let out = par_map((0..100u64).collect(), |i| i * i);
+        assert_eq!(out, (0..100u64).map(|i| i * i).collect::<Vec<_>>());
+        // Degenerate sizes.
+        assert_eq!(par_map(Vec::<u64>::new(), |i| i), Vec::<u64>::new());
+        assert_eq!(par_map(vec![7u64], |i| i + 1), vec![8]);
+    }
+
+    #[test]
+    fn results_are_independent_of_thread_count() {
+        let items: Vec<u64> = (0..64).collect();
+        let want: Vec<u64> = items.iter().map(|i| i.wrapping_mul(0x9E37_79B9)).collect();
+        for limit in [Some(1), Some(2), Some(7), None] {
+            set_max_threads(limit);
+            let got = par_map(items.clone(), |i| i.wrapping_mul(0x9E37_79B9));
+            assert_eq!(got, want, "limit {limit:?}");
+        }
+        set_max_threads(None);
+    }
+
+    #[test]
+    fn per_thread_workspace_is_reused() {
+        // The workspace survives across items on the same thread: count
+        // how many items each state instance served; the total must equal
+        // the item count whatever the split.
+        set_max_threads(Some(2));
+        let served = par_map_init(
+            (0..32u32).collect(),
+            || 0usize,
+            |count, item| {
+                *count += 1;
+                (item, *count)
+            },
+        );
+        set_max_threads(None);
+        assert_eq!(served.len(), 32);
+        // Items are returned in input order even though per-thread
+        // counters interleave.
+        for (i, (item, count)) in served.iter().enumerate() {
+            assert_eq!(*item as usize, i);
+            assert!(*count >= 1);
+        }
+    }
+
+    #[test]
+    fn max_threads_override_round_trips() {
+        set_max_threads(Some(3));
+        assert_eq!(max_threads(), 3);
+        set_max_threads(None);
+        assert!(max_threads() >= 1);
+    }
+}

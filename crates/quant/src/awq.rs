@@ -61,13 +61,23 @@ impl AwqQuantizedMatrix {
     /// `Ŵ[i][j] = dequant(W·s)[i][j] / s_j`, row-major.
     pub fn dequantize(&self) -> Vec<f32> {
         let mut out = Vec::with_capacity(self.rows * self.cols);
+        let mut row = Vec::with_capacity(self.cols);
+        self.dequantize_with(&mut row, &mut out);
+        out
+    }
+
+    /// [`AwqQuantizedMatrix::dequantize`] into caller-provided buffers:
+    /// `row` is per-row dequantization scratch, `out` receives the matrix
+    /// (cleared first). Values are identical to the allocating variant.
+    pub fn dequantize_with(&self, row: &mut Vec<f32>, out: &mut Vec<f32>) {
+        out.clear();
+        out.reserve(self.rows * self.cols);
         for r in &self.rows_q {
-            let d = r.dequantize();
-            for (j, v) in d.iter().enumerate() {
+            r.dequantize_into(row);
+            for (j, v) in row.iter().enumerate() {
                 out.push(v / self.channel_scales[j]);
             }
         }
-        out
     }
 
     /// Applies the runtime input transform: divides an activation vector by
@@ -148,18 +158,61 @@ pub fn quantize_awq(
     // Reference outputs (exact f32 GEMM).
     let reference = matmul(weights, rows, cols, calib, n_calib);
 
+    // Each α candidate is independent: quantize, reconstruct, evaluate.
+    // With fast kernels on, candidates fan out across worker threads with
+    // one reusable workspace per thread (zero per-candidate allocation
+    // beyond the candidate tensor itself); errors come back in grid order
+    // so the serial first-wins scan below picks the same α bit-for-bit for
+    // any thread count.
+    let evaluated: Vec<(f64, AwqQuantizedMatrix)> = if zllm_fp16::fast_kernels_enabled() {
+        zllm_par::par_map_init(
+            config.alpha_grid.clone(),
+            AwqWorkspace::default,
+            |ws, alpha| {
+                let candidate =
+                    quantize_with_alpha_ws(weights, rows, cols, &mag, alpha, config.quant, ws);
+                candidate.dequantize_with(&mut ws.row, &mut ws.w_hat);
+                matmul_into(&ws.w_hat, rows, cols, calib, n_calib, &mut ws.outputs);
+                (mse(&reference, &ws.outputs), candidate)
+            },
+        )
+    } else {
+        config
+            .alpha_grid
+            .iter()
+            .map(|&alpha| {
+                let candidate = quantize_with_alpha(weights, rows, cols, &mag, alpha, config.quant);
+                let w_hat = candidate.dequantize();
+                let outputs = matmul(&w_hat, rows, cols, calib, n_calib);
+                (mse(&reference, &outputs), candidate)
+            })
+            .collect()
+    };
+
     let mut best: Option<(f64, AwqQuantizedMatrix)> = None;
-    for &alpha in &config.alpha_grid {
-        let candidate = quantize_with_alpha(weights, rows, cols, &mag, alpha, config.quant);
-        let w_hat = candidate.dequantize();
-        let outputs = matmul(&w_hat, rows, cols, calib, n_calib);
-        let err = mse(&reference, &outputs);
+    for (err, candidate) in evaluated {
         match &best {
             Some((e, _)) if *e <= err => {}
             _ => best = Some((err, candidate)),
         }
     }
     best.expect("alpha grid is non-empty").1
+}
+
+/// Per-thread scratch for the parallel α search: every buffer the
+/// candidate evaluation needs, allocated once per worker thread.
+#[derive(Debug, Default)]
+struct AwqWorkspace {
+    /// Per-channel scales under construction.
+    scales: Vec<f32>,
+    /// One scaled weight row awaiting quantization.
+    scaled: Vec<f32>,
+    /// Per-row dequantization scratch.
+    row: Vec<f32>,
+    /// Reconstructed effective weights Ŵ.
+    w_hat: Vec<f32>,
+    /// Candidate layer outputs over the calibration set.
+    outputs: Vec<f32>,
 }
 
 /// Quantizes with a fixed α (no search) — used by tests and ablations.
@@ -171,43 +224,70 @@ pub fn quantize_with_alpha(
     alpha: f32,
     quant: GroupQuantConfig,
 ) -> AwqQuantizedMatrix {
+    let mut ws = AwqWorkspace::default();
+    quantize_with_alpha_ws(weights, rows, cols, channel_mag, alpha, quant, &mut ws)
+}
+
+/// [`quantize_with_alpha`] with caller-provided scratch — the same
+/// operations in the same order (results are bit-identical), but the
+/// intermediate scale/scaled-row buffers come from `ws`.
+fn quantize_with_alpha_ws(
+    weights: &[f32],
+    rows: usize,
+    cols: usize,
+    channel_mag: &[f32],
+    alpha: f32,
+    quant: GroupQuantConfig,
+    ws: &mut AwqWorkspace,
+) -> AwqQuantizedMatrix {
     assert_eq!(weights.len(), rows * cols, "weight dimensions inconsistent");
     assert_eq!(channel_mag.len(), cols, "channel magnitude length mismatch");
 
     // s_j = m_j^alpha, normalised to geometric mean 1 so the overall weight
     // magnitude (and hence the groupwise dynamic range) stays centred.
-    let mut scales: Vec<f32> = channel_mag.iter().map(|&m| m.powf(alpha)).collect();
+    let scales = &mut ws.scales;
+    scales.clear();
+    scales.extend(channel_mag.iter().map(|&m| m.powf(alpha)));
     let log_mean = scales
         .iter()
         .map(|&s| (s.max(1e-30) as f64).ln())
         .sum::<f64>()
         / cols as f64;
     let norm = log_mean.exp() as f32;
-    for s in &mut scales {
+    for s in scales.iter_mut() {
         *s = (*s / norm).clamp(1e-4, 1e4);
     }
 
     let quantizer = GroupQuantizer::new(quant);
-    let rows_q = weights
-        .chunks(cols)
-        .map(|row| {
-            let scaled: Vec<f32> = row.iter().zip(&scales).map(|(&w, &s)| w * s).collect();
-            quantizer.quantize(&scaled)
-        })
-        .collect();
+    let mut rows_q = Vec::with_capacity(rows);
+    for row in weights.chunks(cols) {
+        ws.scaled.clear();
+        ws.scaled
+            .extend(row.iter().zip(scales.iter()).map(|(&w, &s)| w * s));
+        rows_q.push(quantizer.quantize(&ws.scaled));
+    }
 
     AwqQuantizedMatrix {
         rows,
         cols,
         alpha,
-        channel_scales: scales,
+        channel_scales: scales.clone(),
         rows_q,
     }
 }
 
 /// Row-major GEMM helper: `out[n][r] = Σ_j w[r][j] · x[n][j]`.
 fn matmul(w: &[f32], rows: usize, cols: usize, x: &[f32], n: usize) -> Vec<f32> {
-    let mut out = vec![0.0f32; n * rows];
+    let mut out = Vec::with_capacity(n * rows);
+    matmul_into(w, rows, cols, x, n, &mut out);
+    out
+}
+
+/// [`matmul`] into a caller-provided buffer (cleared first). Each output's
+/// serial accumulation order is unchanged, so results are bit-identical.
+fn matmul_into(w: &[f32], rows: usize, cols: usize, x: &[f32], n: usize, out: &mut Vec<f32>) {
+    out.clear();
+    out.resize(n * rows, 0.0);
     for (i, xrow) in x.chunks(cols).enumerate() {
         for (r, wrow) in w.chunks(cols).enumerate() {
             let mut acc = 0.0f32;
@@ -217,7 +297,6 @@ fn matmul(w: &[f32], rows: usize, cols: usize, x: &[f32], n: usize) -> Vec<f32> 
             out[i * rows + r] = acc;
         }
     }
-    out
 }
 
 #[cfg(test)]
@@ -321,6 +400,34 @@ mod tests {
         for (a, b) in via_reconstruction.iter().zip(&manual) {
             assert!((a - b).abs() <= a.abs() * 1e-4 + 1e-3, "{a} vs {b}");
         }
+    }
+
+    #[test]
+    fn search_result_is_independent_of_fast_kernels_and_threads() {
+        let (weights, rows, cols, calib) = salient_case(23);
+        let cfg = AwqConfig {
+            quant: GroupQuantConfig::new(32, 4),
+            ..AwqConfig::default()
+        };
+        zllm_fp16::set_fast_kernels(false);
+        let slow = quantize_awq(&weights, rows, cols, &calib, &cfg);
+        zllm_fp16::set_fast_kernels(true);
+        for threads in [Some(1), Some(4), None] {
+            zllm_par::set_max_threads(threads);
+            let fast = quantize_awq(&weights, rows, cols, &calib, &cfg);
+            assert_eq!(
+                fast.alpha().to_bits(),
+                slow.alpha().to_bits(),
+                "threads {threads:?}"
+            );
+            assert_eq!(fast.channel_scales(), slow.channel_scales());
+            for (a, b) in fast.rows_q().iter().zip(slow.rows_q()) {
+                assert_eq!(a.codes(), b.codes());
+                assert_eq!(a.scales(), b.scales());
+                assert_eq!(a.zeros(), b.zeros());
+            }
+        }
+        zllm_par::set_max_threads(None);
     }
 
     #[test]

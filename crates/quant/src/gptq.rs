@@ -198,37 +198,67 @@ pub fn quantize_gptq(
     let hinv = spd_inverse(&h, cols).expect("damped Hessian is positive definite");
     let u = cholesky_upper(&hinv, cols).expect("H^-1 is positive definite");
 
-    // Freeze group metadata from the original weights (per row).
-    let gs = config.quant.group_size;
+    // Freeze group metadata from the original weights (per row). Rows are
+    // fully independent given the shared Cholesky factor, so with fast
+    // kernels on they fan out across worker threads, each thread reusing
+    // one f64 error-propagation buffer. Every row runs the identical
+    // serial column sweep and results are collected in row order, so the
+    // codes are bit-identical for any thread count.
     let reference = GroupQuantizer::new(config.quant);
-    let levels = config.quant.levels() as f32;
-
-    let rows_q = weights
-        .chunks(cols)
-        .map(|row| {
-            let frozen = reference.quantize(row);
-            let scales = frozen.scales().to_vec();
-            let zeros = frozen.zeros().to_vec();
-
-            let mut w: Vec<f64> = row.iter().map(|&v| v as f64).collect();
-            let mut codes = Vec::with_capacity(cols);
-            for j in 0..cols {
-                let g = j / gs;
-                let s = scales[g].to_f32().max(f32::MIN_POSITIVE) as f64;
-                let z = zeros[g] as f64;
-                let q = ((w[j] / s + z).round()).clamp(0.0, levels as f64);
-                codes.push(q as u8);
-                let deq = (q - z) * s;
-                let err = (w[j] - deq) / u[j * cols + j];
-                for (k, wk) in w.iter_mut().enumerate().skip(j + 1) {
-                    *wk -= err * u[j * cols + k];
-                }
-            }
-            QuantizedTensor::from_parts(config.quant, codes, scales, zeros)
+    let rows_q = if zllm_fp16::fast_kernels_enabled() {
+        zllm_par::par_map_init((0..rows).collect(), Vec::new, |w64, r| {
+            quantize_gptq_row(
+                &weights[r * cols..(r + 1) * cols],
+                cols,
+                &u,
+                &reference,
+                config,
+                w64,
+            )
         })
-        .collect();
+    } else {
+        let mut w64 = Vec::new();
+        weights
+            .chunks(cols)
+            .map(|row| quantize_gptq_row(row, cols, &u, &reference, config, &mut w64))
+            .collect()
+    };
 
     GptqQuantizedMatrix { rows, cols, rows_q }
+}
+
+/// Quantizes one row with inverse-Hessian error propagation. `w64` is the
+/// reusable error-compensated working copy of the row (cleared first).
+fn quantize_gptq_row(
+    row: &[f32],
+    cols: usize,
+    u: &[f64],
+    reference: &GroupQuantizer,
+    config: GptqConfig,
+    w64: &mut Vec<f64>,
+) -> QuantizedTensor {
+    let gs = config.quant.group_size;
+    let levels = config.quant.levels() as f32;
+    let frozen = reference.quantize(row);
+    let scales = frozen.scales().to_vec();
+    let zeros = frozen.zeros().to_vec();
+
+    w64.clear();
+    w64.extend(row.iter().map(|&v| v as f64));
+    let mut codes = Vec::with_capacity(cols);
+    for j in 0..cols {
+        let g = j / gs;
+        let s = scales[g].to_f32().max(f32::MIN_POSITIVE) as f64;
+        let z = zeros[g] as f64;
+        let q = ((w64[j] / s + z).round()).clamp(0.0, levels as f64);
+        codes.push(q as u8);
+        let deq = (q - z) * s;
+        let err = (w64[j] - deq) / u[j * cols + j];
+        for (k, wk) in w64.iter_mut().enumerate().skip(j + 1) {
+            *wk -= err * u[j * cols + k];
+        }
+    }
+    QuantizedTensor::from_parts(config.quant, codes, scales, zeros)
 }
 
 #[cfg(test)]
@@ -370,6 +400,28 @@ mod tests {
         let deq = q.dequantize();
         assert_eq!(deq.len(), rows * cols);
         assert!(deq.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn codes_are_independent_of_fast_kernels_and_threads() {
+        let (weights, rows, cols, calib) = correlated_case(29);
+        let cfg = GptqConfig {
+            quant: GroupQuantConfig::new(32, 4),
+            damping: 0.01,
+        };
+        zllm_fp16::set_fast_kernels(false);
+        let slow = quantize_gptq(&weights, rows, cols, &calib, cfg);
+        zllm_fp16::set_fast_kernels(true);
+        for threads in [Some(1), Some(4), None] {
+            zllm_par::set_max_threads(threads);
+            let fast = quantize_gptq(&weights, rows, cols, &calib, cfg);
+            for (r, (a, b)) in fast.rows_q().iter().zip(slow.rows_q()).enumerate() {
+                assert_eq!(a.codes(), b.codes(), "threads {threads:?}, row {r}");
+                assert_eq!(a.scales(), b.scales());
+                assert_eq!(a.zeros(), b.zeros());
+            }
+        }
+        zllm_par::set_max_threads(None);
     }
 
     #[test]

@@ -162,11 +162,29 @@ impl QuantizedTensor {
         (0..self.len).map(|i| self.dequantize_at(i)).collect()
     }
 
+    /// [`QuantizedTensor::dequantize`] into a caller-provided buffer
+    /// (cleared first) — identical values, no allocation once the buffer
+    /// has capacity. The quantization searches use this to evaluate
+    /// candidates without per-candidate allocation.
+    pub fn dequantize_into(&self, out: &mut Vec<f32>) {
+        out.clear();
+        out.reserve(self.len);
+        out.extend((0..self.len).map(|i| self.dequantize_at(i)));
+    }
+
     /// Dequantizes to FP16 (the datatype entering the VPU lanes).
     pub fn dequantize_f16(&self) -> Vec<F16> {
-        (0..self.len)
-            .map(|i| F16::from_f32(self.dequantize_at(i)))
-            .collect()
+        let mut out = Vec::new();
+        self.dequantize_f16_into(&mut out);
+        out
+    }
+
+    /// [`QuantizedTensor::dequantize_f16`] into a caller-provided buffer
+    /// (cleared first).
+    pub fn dequantize_f16_into(&self, out: &mut Vec<F16>) {
+        out.clear();
+        out.reserve(self.len);
+        out.extend((0..self.len).map(|i| F16::from_f32(self.dequantize_at(i))));
     }
 
     /// Storage cost in bits: codes + per-group scale (16) and zero point.

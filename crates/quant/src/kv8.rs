@@ -85,9 +85,27 @@ impl QuantizedKv {
 
     /// Dequantizes to FP16 (the VPU operand type).
     pub fn dequantize_f16(&self) -> Vec<F16> {
-        (0..self.len())
-            .map(|i| F16::from_f32(self.dequantize_at(i)))
-            .collect()
+        let mut out = Vec::new();
+        self.dequantize_f16_into(&mut out);
+        out
+    }
+
+    /// [`QuantizedKv::dequantize`] into a caller-provided buffer (cleared
+    /// first), so attention loops can stream the cache without a fresh
+    /// allocation per (token, head). Element values are identical to the
+    /// allocating variant.
+    pub fn dequantize_into(&self, out: &mut Vec<f32>) {
+        out.clear();
+        out.reserve(self.len());
+        out.extend((0..self.len()).map(|i| self.dequantize_at(i)));
+    }
+
+    /// [`QuantizedKv::dequantize_f16`] into a caller-provided buffer
+    /// (cleared first).
+    pub fn dequantize_f16_into(&self, out: &mut Vec<F16>) {
+        out.clear();
+        out.reserve(self.len());
+        out.extend((0..self.len()).map(|i| F16::from_f32(self.dequantize_at(i))));
     }
 }
 

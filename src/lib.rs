@@ -18,7 +18,9 @@
 //! * [`accel`] — the accelerator itself: MCU/VPU/SPU, the fused pipeline,
 //!   the trace-driven performance engine and a functional FP16 decoder;
 //! * [`baselines`] — platforms and published results behind the
-//!   comparison tables.
+//!   comparison tables;
+//! * [`par`] — the deterministic order-preserving fan-out used by the
+//!   sweep binaries and the quantization searches.
 //!
 //! # Quickstart
 //!
@@ -47,4 +49,5 @@ pub use zllm_ddr as ddr;
 pub use zllm_fp16 as fp16;
 pub use zllm_layout as layout;
 pub use zllm_model as model;
+pub use zllm_par as par;
 pub use zllm_quant as quant;

@@ -2,12 +2,23 @@
 //! outputs across independent runs — the property that makes every
 //! experiment in `EXPERIMENTS.md` reproducible.
 
+use std::sync::Mutex;
 use zllm::accel::converter::{convert, PtqMethod};
 use zllm::accel::{AccelConfig, AccelDecoder, DecodeEngine};
+use zllm::fp16::set_fast_kernels;
 use zllm::model::calibration::capture;
 use zllm::model::generate::{generate, GenerateOptions, Sampling};
 use zllm::model::{ModelConfig, ModelWeights};
+use zllm::par::set_max_threads;
+use zllm::quant::awq::{quantize_awq, AwqConfig};
+use zllm::quant::gptq::{quantize_gptq, GptqConfig};
 use zllm::quant::group::GroupQuantConfig;
+
+/// Serializes the tests that flip the global fast-kernel toggle or the
+/// thread cap, so each one observes the configuration it set. (A race
+/// would still be *correct* — both kernel paths are bit-identical — but
+/// the slow path must actually run to be exercised.)
+static KERNEL_CONFIG: Mutex<()> = Mutex::new(());
 
 #[test]
 fn trace_engine_runs_are_bit_identical() {
@@ -43,6 +54,105 @@ fn converter_outputs_are_bit_identical() {
     for method in [PtqMethod::Rtn, PtqMethod::Awq, PtqMethod::Gptq] {
         assert_eq!(run(method), run(method), "{method} is nondeterministic");
     }
+}
+
+/// Deterministic pseudo-random weights for the kernel-equivalence tests.
+fn noise(seed: u64, n: usize) -> Vec<f32> {
+    let mut state = seed | 1;
+    (0..n)
+        .map(|_| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state % 2000) as f32 / 1000.0 - 1.0
+        })
+        .collect()
+}
+
+#[test]
+fn functional_decode_is_identical_with_fast_kernels_on_and_off() {
+    let _guard = KERNEL_CONFIG.lock().unwrap();
+    let cfg = ModelConfig::test_small();
+    let w = ModelWeights::generate(&cfg, 77);
+    let calib = capture(&w, &[2, 4, 8]);
+    let qm = convert(&w, &calib, GroupQuantConfig::w4_g128(), PtqMethod::Rtn);
+    let run = |fast| {
+        set_fast_kernels(fast);
+        let mut dec = AccelDecoder::new(&qm);
+        let mut logits = Vec::new();
+        for &t in &[1usize, 5, 9, 3] {
+            logits.extend(dec.forward(t).iter().map(|v| v.to_bits()));
+        }
+        logits
+    };
+    let slow = run(false);
+    let fast = run(true);
+    assert_eq!(slow, fast, "fast kernels changed functional decode logits");
+}
+
+#[test]
+fn reference_decode_is_identical_with_fast_kernels_on_and_off() {
+    let _guard = KERNEL_CONFIG.lock().unwrap();
+    let cfg = ModelConfig::test_small();
+    let w = ModelWeights::generate(&cfg, 31);
+    let run = |fast, threads| {
+        set_fast_kernels(fast);
+        set_max_threads(threads);
+        let mut dec =
+            zllm::model::reference::Decoder::new(&w, zllm::model::kv_cache::KvCacheF32::new(&cfg));
+        let mut logits = Vec::new();
+        for &t in &[4usize, 2, 7] {
+            logits.extend(dec.forward(t).iter().map(|v| v.to_bits()));
+        }
+        logits
+    };
+    let slow = run(false, None);
+    for threads in [Some(1), Some(3), None] {
+        assert_eq!(
+            slow,
+            run(true, threads),
+            "blocked matvec changed reference logits at threads={threads:?}"
+        );
+    }
+    set_max_threads(None);
+}
+
+#[test]
+fn quantization_search_is_identical_with_fast_kernels_on_and_off() {
+    // The accuracy_study scenario shape: AWQ alpha grid + GPTQ row sweep
+    // over the same layer, compared pick-for-pick and code-for-code.
+    let _guard = KERNEL_CONFIG.lock().unwrap();
+    let (rows, cols) = (12, 256);
+    let weights = noise(91, rows * cols);
+    let calib = noise(17, 3 * cols);
+    let run = |fast, threads| {
+        set_fast_kernels(fast);
+        set_max_threads(threads);
+        let awq = quantize_awq(&weights, rows, cols, &calib, &AwqConfig::default());
+        let gptq = quantize_gptq(&weights, rows, cols, &calib, GptqConfig::default());
+        let mut fingerprint: Vec<u8> = Vec::new();
+        fingerprint.extend(awq.alpha().to_bits().to_le_bytes());
+        for s in awq.channel_scales() {
+            fingerprint.extend(s.to_bits().to_le_bytes());
+        }
+        for row in awq.rows_q().iter().chain(gptq.rows_q()) {
+            fingerprint.extend(row.codes());
+            for s in row.scales() {
+                fingerprint.extend(s.to_bits().to_le_bytes());
+            }
+            fingerprint.extend(row.zeros());
+        }
+        fingerprint
+    };
+    let slow = run(false, None);
+    for threads in [Some(1), Some(4), None] {
+        assert_eq!(
+            slow,
+            run(true, threads),
+            "parallel search changed quantization picks at threads={threads:?}"
+        );
+    }
+    set_max_threads(None);
 }
 
 #[test]
