@@ -1,0 +1,88 @@
+//! Batched multi-sequence decode sweep: prices the **exact** batched
+//! schedule (one weight stream fanned out to B sequences, per-sequence KV
+//! FIFOs) for B ∈ {1, 2, 4, 8, 16} across context lengths, on both the
+//! KV260's DDR4-2400 and an LPDDR5-6400 embedded part.
+//!
+//! The analytic counterpart is ablation 7 in `ablations`; this bin runs
+//! the real [`DecodeEngine::decode_token_batch`] path, so it also shows
+//! the *capacity* wall: each extra sequence provisions its own KV region,
+//! and past a point LLaMA2-7B plus B KV caches no longer fit the 4 GiB
+//! DDR map.
+//!
+//! ```text
+//! cargo run --release -p zllm-bench --bin batch_sweep
+//! ```
+
+use zllm_accel::{AccelConfig, DecodeEngine};
+use zllm_bench::{fmt_pct, par_map, print_table};
+use zllm_model::ModelConfig;
+
+/// KV context provisioned per sequence (tokens).
+const CTX_CAPACITY: usize = 256;
+/// Decode positions sampled per engine.
+const CONTEXTS: [usize; 3] = [64, 128, 240];
+/// Concurrent-sequence counts swept.
+const BATCHES: [usize; 5] = [1, 2, 4, 8, 16];
+
+fn sweep(name: &str, accel: AccelConfig) {
+    println!("{name} — LLaMA2-7B, {CTX_CAPACITY}-token KV provisioning per sequence\n");
+    let model = ModelConfig::llama2_7b();
+    let rows: Vec<Vec<Vec<String>>> = par_map(BATCHES.to_vec(), |batch| {
+        match DecodeEngine::new_batched(accel.clone(), &model, CTX_CAPACITY, batch) {
+            Err(e) => vec![vec![
+                format!("{batch}"),
+                "-".into(),
+                format!("capacity wall: {e}"),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+            ]],
+            Ok(mut engine) => CONTEXTS
+                .iter()
+                .map(|&ctx| {
+                    let r = engine.decode_token_batch(ctx, batch);
+                    vec![
+                        format!("{batch}"),
+                        format!("{ctx}"),
+                        format!("{:.2}", r.tokens_per_s),
+                        format!("{:.2}", r.seq_tokens_per_s),
+                        format!("{:.2}x", r.weight_amortization),
+                        fmt_pct(r.kv_share),
+                        fmt_pct(r.bandwidth_util),
+                    ]
+                })
+                .collect(),
+        }
+    });
+    print_table(
+        &[
+            "batch",
+            "ctx",
+            "aggregate tok/s",
+            "per-seq tok/s",
+            "weight amortization",
+            "KV share",
+            "util",
+        ],
+        &rows.into_iter().flatten().collect::<Vec<_>>(),
+    );
+    println!();
+}
+
+fn main() {
+    println!("Batched decode: amortizing the weight stream across users\n");
+    sweep("DDR4-2400 (KV260)", AccelConfig::kv260());
+
+    let mut lpddr5 = AccelConfig::kv260();
+    lpddr5.ddr = zllm_ddr::DdrConfig::lpddr5_6400_embedded();
+    sweep("LPDDR5-6400 (embedded 64-bit)", lpddr5);
+
+    println!("Each beat of the dense weight stream is fetched once and fanned out");
+    println!("to every sequence, so batch B multiplies only the KV traffic — the");
+    println!("weight-amortization column approaches B while per-sequence speed");
+    println!("falls roughly as 1/B on the bandwidth-area balanced engine (no spare");
+    println!("MACs, §II). The capacity rows show the other edge-box wall: each");
+    println!("sequence's KV provisioning competes with the 3.5 GiB of weights for");
+    println!("the 4 GiB DDR map.");
+}

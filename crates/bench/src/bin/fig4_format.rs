@@ -17,52 +17,73 @@ use zllm_layout::weight::{fetch_stream, LayoutScheme, WeightFormat};
 use zllm_layout::BurstDescriptor;
 
 fn main() {
-    let fmt = WeightFormat::kv260();
     // One LLaMA2-7B MLP projection's worth of weights.
     let n_weights = 4096 * 11008;
 
-    println!(
-        "Figure 4A: weight data arrangement ablation ({} M weights)\n",
-        n_weights / 1_000_000
-    );
-    let mut rows = Vec::new();
-    for scheme in LayoutScheme::ALL {
-        let stream = fetch_stream(scheme, &fmt, n_weights, 0x8000_0000);
-        let mean_burst = stream.iter().map(|b| b.beats as f64).sum::<f64>() / stream.len() as f64;
-        let mut mem = MemorySystem::kv260();
-        let report = mem.transfer(&stream);
-        let buffer = match scheme {
-            LayoutScheme::Interleaved => fmt.on_chip_metadata_bytes(),
-            _ => fmt.staged_metadata_bytes(n_weights),
-        };
-        rows.push(vec![
-            scheme.to_string(),
-            format!("{}", stream.len()),
-            format!("{mean_burst:.1}"),
-            format!("{:.2}", report.bandwidth_gbps),
-            fmt_pct(report.efficiency),
-            fmt_pct(report.stats.row_hit_rate()),
-            format!("{:.1} KiB", buffer as f64 / 1024.0),
-        ]);
+    let variants = [
+        ("512-bit merged stream (ours)", WeightFormat::kv260()),
+        (
+            "256-bit transactions (Fig. 4A's 64-weight enumeration)",
+            WeightFormat::paper_fig4(),
+        ),
+    ];
+    for (vname, fmt) in variants {
+        println!(
+            "Figure 4A: weight data arrangement ablation — {vname}\n\
+             ({} M weights, {} weights/transaction)\n",
+            n_weights / 1_000_000,
+            fmt.weights_per_beat()
+        );
+        let mut rows = Vec::new();
+        for scheme in LayoutScheme::ALL {
+            let stream = fetch_stream(scheme, &fmt, n_weights, 0x8000_0000);
+            let mean_burst =
+                stream.iter().map(|b| b.beats as f64).sum::<f64>() / stream.len() as f64;
+            // fetch_stream counts format-width transactions; the DDR model
+            // prices 512-bit/64-byte beats, so rescale narrower geometries
+            // before transfer (ceil keeps partial beats whole).
+            let bus_stream: Vec<BurstDescriptor> = stream
+                .iter()
+                .map(|b| BurstDescriptor {
+                    beats: ((b.beats as u64 * fmt.bus_bits as u64).div_ceil(512)) as u32,
+                    ..*b
+                })
+                .collect();
+            let mut mem = MemorySystem::kv260();
+            let report = mem.transfer(&bus_stream);
+            let buffer = match scheme {
+                LayoutScheme::Interleaved => fmt.on_chip_metadata_bytes(),
+                _ => fmt.staged_metadata_bytes(n_weights),
+            };
+            rows.push(vec![
+                scheme.to_string(),
+                format!("{}", stream.len()),
+                format!("{mean_burst:.1}"),
+                format!("{:.2}", report.bandwidth_gbps),
+                fmt_pct(report.efficiency),
+                fmt_pct(report.stats.row_hit_rate()),
+                format!("{:.1} KiB", buffer as f64 / 1024.0),
+            ]);
+        }
+        print_table(
+            &[
+                "scheme",
+                "bursts",
+                "mean txns",
+                "GB/s",
+                "efficiency",
+                "row hits",
+                "on-chip metadata",
+            ],
+            &rows,
+        );
+        println!(
+            "\nInterleaving metadata with weights keeps the whole layer one burst\n\
+             with a {:.1}% metadata overhead and a {} B working buffer (§V-B1).\n",
+            fmt.metadata_fraction() * 100.0,
+            fmt.on_chip_metadata_bytes()
+        );
     }
-    print_table(
-        &[
-            "scheme",
-            "bursts",
-            "mean beats",
-            "GB/s",
-            "efficiency",
-            "row hits",
-            "on-chip metadata",
-        ],
-        &rows,
-    );
-    println!(
-        "\nInterleaving metadata with weights keeps the whole layer one burst\n\
-         with a {:.1}% metadata overhead and a {} B working buffer (§V-B1).",
-        fmt.metadata_fraction() * 100.0,
-        fmt.on_chip_metadata_bytes()
-    );
 
     // --- 4B: KV scale-zero packing ---
     println!("\nFigure 4B: KV scale-zero packing (LLaMA2-7B, 1024 tokens)\n");

@@ -1,11 +1,21 @@
 //! The performance-regression gate run by CI.
 //!
-//! Prices a fixed decode scenario — LLaMA2-7B, one token at each context
-//! in 64→512 — through the trace-driven engine, snapshots the unified
-//! metrics registry, and diffs it against the committed baseline
-//! (`bench/baseline.json`). Byte and cycle counters must match exactly
-//! (the simulation is deterministic); derived rates (gauges) get ±2% to
-//! absorb intentional re-tuning of unrelated constants.
+//! Prices two fixed decode scenarios through the trace-driven engine and
+//! diffs the unified metrics registry against the committed baseline
+//! (`bench/baseline.json`):
+//!
+//! * **single-sequence** — LLaMA2-7B, one token at each context in
+//!   64→512 (keys exactly as in pre-batching baselines; a batched engine
+//!   at B = 1 must reproduce them byte-for-byte);
+//! * **batch-of-4** — LLaMA2-7B with four 256-token KV provisions, one
+//!   batched token at each context in 64→192 (keys prefixed `batch4.`).
+//!   The scenario also hard-fails if weight-stream amortization at B = 4
+//!   drops to ≤ 3× — the whole point of batching is paying the dense
+//!   stream once, and that property must not silently regress.
+//!
+//! Byte and cycle counters must match exactly (the simulation is
+//! deterministic); derived rates (gauges) get ±2% to absorb intentional
+//! re-tuning of unrelated constants.
 //!
 //! ```text
 //! cargo run -p zllm-bench --bin perf_gate            # gate (exit 1 on drift)
@@ -24,8 +34,17 @@ use zllm_accel::{AccelConfig, DecodeEngine};
 use zllm_bench::print_table;
 use zllm_model::ModelConfig;
 
-/// Context lengths priced by the fixed scenario.
+/// Context lengths priced by the single-sequence scenario.
 const CONTEXTS: [usize; 4] = [64, 128, 256, 512];
+
+/// Concurrent sequences in the batched scenario.
+const BATCH: usize = 4;
+/// Per-sequence KV provisioning of the batched scenario (tokens).
+const BATCH_CTX_CAPACITY: usize = 256;
+/// Context lengths priced by the batched scenario.
+const BATCH_CONTEXTS: [usize; 3] = [64, 128, 192];
+/// Weight-stream amortization the B = 4 scenario must exceed.
+const MIN_AMORTIZATION: f64 = 3.0;
 
 /// Relative tolerance for derived rates (gauges).
 const GAUGE_TOLERANCE: f64 = 0.02;
@@ -37,7 +56,7 @@ fn baseline_path() -> PathBuf {
     ))
 }
 
-/// Runs the fixed scenario and returns the registry snapshot.
+/// Runs the single-sequence scenario and returns the registry snapshot.
 fn scenario_snapshot() -> Snapshot {
     let mut engine = DecodeEngine::new(AccelConfig::kv260(), &ModelConfig::llama2_7b(), 1024)
         .expect("LLaMA2-7B fits the 4GB device");
@@ -45,6 +64,24 @@ fn scenario_snapshot() -> Snapshot {
         engine.decode_token(ctx);
     }
     engine.metrics_snapshot()
+}
+
+/// Runs the batch-of-4 scenario; returns its snapshot and the minimum
+/// weight-stream amortization observed across the contexts.
+fn batched_scenario_snapshot() -> (Snapshot, f64) {
+    let mut engine = DecodeEngine::new_batched(
+        AccelConfig::kv260(),
+        &ModelConfig::llama2_7b(),
+        BATCH_CTX_CAPACITY,
+        BATCH,
+    )
+    .expect("LLaMA2-7B with 4 KV provisions fits the 4GB device");
+    let mut min_amortization = f64::INFINITY;
+    for ctx in BATCH_CONTEXTS {
+        let r = engine.decode_token_batch(ctx, BATCH);
+        min_amortization = min_amortization.min(r.weight_amortization);
+    }
+    (engine.metrics_snapshot(), min_amortization)
 }
 
 fn fmt_value(kind: MetricKind, v: Option<f64>) -> String {
@@ -74,8 +111,41 @@ fn main() {
 
     eprintln!("perf gate: pricing LLaMA2-7B decode at ctx {CONTEXTS:?} (deterministic)...");
     let host_start = std::time::Instant::now();
-    let current = scenario_snapshot();
+    let mut current = scenario_snapshot();
     let host_seconds = host_start.elapsed().as_secs_f64();
+
+    eprintln!(
+        "perf gate: pricing LLaMA2-7B batch-of-{BATCH} decode at ctx {BATCH_CONTEXTS:?} \
+         (deterministic)..."
+    );
+    let batch_start = std::time::Instant::now();
+    let (batched, min_amortization) = batched_scenario_snapshot();
+    let batch_host_seconds = batch_start.elapsed().as_secs_f64();
+    let batch_simulated_gb = batched.counter("decode.bytes").unwrap_or(0) as f64 / 1e9;
+
+    // The amortization property is gated directly, not just as a baseline
+    // diff: > MIN_AMORTIZATION or the batched path has lost its purpose.
+    if min_amortization <= MIN_AMORTIZATION {
+        eprintln!(
+            "perf gate FAILED: B = {BATCH} weight-stream amortization {min_amortization:.3}x \
+             is not above {MIN_AMORTIZATION:.1}x"
+        );
+        std::process::exit(1);
+    }
+    eprintln!(
+        "perf gate: B = {BATCH} weight-stream amortization {min_amortization:.3}x (> \
+         {MIN_AMORTIZATION:.1}x required)"
+    );
+
+    // Merge the batched scenario under a `batch4.` prefix: the
+    // single-sequence key set stays byte-identical to pre-batching
+    // baselines, so any change to B = 1 pricing still diffs exactly.
+    for (k, v) in &batched.counters {
+        current.counters.insert(format!("batch{BATCH}.{k}"), *v);
+    }
+    for (k, v) in &batched.gauges {
+        current.gauges.insert(format!("batch{BATCH}.{k}"), *v);
+    }
 
     // Host-side throughput: how fast the simulator itself ran. Reported on
     // stderr (the gated snapshot stays deterministic and `--print` stdout
@@ -86,6 +156,10 @@ fn main() {
         "perf gate host: {host_seconds:.3} s wall, {simulated_gb:.2} GB simulated, \
          {gb_per_host_s:.2} simulated-GB/host-s"
     );
+    eprintln!(
+        "perf gate host (batch): {batch_host_seconds:.3} s wall, {batch_simulated_gb:.2} GB \
+         simulated"
+    );
 
     // Machine-readable host metrics for CI artifacts. These are wall-clock
     // figures of the *host*, not part of the gated (deterministic) snapshot.
@@ -93,7 +167,10 @@ fn main() {
         let json = format!(
             "{{\n  \"wall_seconds\": {host_seconds:.6},\n  \
              \"simulated_gb\": {simulated_gb:.6},\n  \
-             \"simulated_gb_per_host_s\": {gb_per_host_s:.6}\n}}\n"
+             \"simulated_gb_per_host_s\": {gb_per_host_s:.6},\n  \
+             \"batch_wall_seconds\": {batch_host_seconds:.6},\n  \
+             \"batch_simulated_gb\": {batch_simulated_gb:.6},\n  \
+             \"batch_weight_amortization\": {min_amortization:.6}\n}}\n"
         );
         std::fs::write(path, json).expect("write host metrics JSON");
         eprintln!("perf gate host: metrics written to {path}");

@@ -151,6 +151,104 @@ pub struct MatvecScratch {
     dots: zllm_fp16::vector::DotScratch,
 }
 
+impl QuantizedMatrix {
+    /// Matrix–vector products for a whole batch of activation vectors in
+    /// one weight pass: each group's dequantization (the 16-entry code
+    /// table on the fused path, the decoded beat otherwise) is computed
+    /// **once** and reused by every sequence — the functional mirror of
+    /// the trace path's weight-stream amortization.
+    ///
+    /// Per sequence, the group order, lane chunking, rounding and f32
+    /// accumulation are exactly those of [`QuantizedMatrix::matvec_into`],
+    /// so each output vector is bit-identical to a single-sequence call
+    /// with that sequence's activations.
+    ///
+    /// `outs` is resized to the batch; each entry receives that
+    /// sequence's product (cleared first).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `xs` is empty or any `xs[i].len() != cols`.
+    pub fn matvec_batch(
+        &self,
+        vpu: &Vpu,
+        xs: &[Vec<F16>],
+        scratch: &mut BatchMatvecScratch,
+        outs: &mut Vec<Vec<F16>>,
+    ) {
+        assert!(!xs.is_empty(), "at least one sequence required");
+        for x in xs {
+            assert_eq!(x.len(), self.cols, "operand length mismatch");
+        }
+        let b = xs.len();
+        let lanes = vpu.lanes();
+        outs.resize_with(b, Vec::new);
+        for out in outs.iter_mut() {
+            out.clear();
+            out.reserve(self.rows);
+        }
+        let fused = zllm_fp16::fast_kernels_enabled();
+        let BatchMatvecScratch {
+            beat,
+            x32,
+            dots,
+            accs,
+        } = scratch;
+        if fused {
+            x32.resize_with(b, Vec::new);
+            for (decoded, x) in x32.iter_mut().zip(xs) {
+                decoded.clear();
+                decoded.extend(x.iter().map(|v| v.to_f32()));
+            }
+        }
+        for row in &self.rows_q {
+            let gs = row.config().group_size;
+            accs.clear();
+            accs.resize(b, 0.0f32);
+            for (g, chunk) in row.codes().chunks(gs).enumerate() {
+                let lo = g * gs;
+                if fused && chunk.len() > 16 && chunk.iter().all(|&q| q < 16) {
+                    // One table per group for the whole batch.
+                    let lut = vpu.dequant_table16(row.zeros()[g], row.scales()[g]);
+                    for (seq, acc) in accs.iter_mut().enumerate() {
+                        for (cb, xb) in chunk
+                            .chunks(lanes)
+                            .zip(x32[seq][lo..lo + chunk.len()].chunks(lanes))
+                        {
+                            *acc += vpu.dot_q4(dots, cb, &lut, xb);
+                        }
+                    }
+                } else {
+                    // One decoded beat per group for the whole batch.
+                    vpu.dequantize_beat_into(chunk, row.zeros()[g], row.scales()[g], beat);
+                    for (seq, acc) in accs.iter_mut().enumerate() {
+                        for (wb, xb) in beat
+                            .chunks(lanes)
+                            .zip(xs[seq][lo..lo + chunk.len()].chunks(lanes))
+                        {
+                            *acc += vpu.dot(wb, xb);
+                        }
+                    }
+                }
+            }
+            for (out, &acc) in outs.iter_mut().zip(accs.iter()) {
+                out.push(F16::from_f32(acc));
+            }
+        }
+    }
+}
+
+/// Reusable scratch for [`QuantizedMatrix::matvec_batch`]: the shared
+/// per-group beat/table state plus per-sequence decoded activations and
+/// row accumulators.
+#[derive(Debug, Clone, Default)]
+pub struct BatchMatvecScratch {
+    beat: crate::vpu::WeightBeat,
+    x32: Vec<Vec<f32>>,
+    dots: zllm_fp16::vector::DotScratch,
+    accs: Vec<f32>,
+}
+
 /// A fully quantized model in the accelerator's formats: W4 grouped
 /// weights, FP16 norms and embeddings.
 #[derive(Debug, Clone)]
@@ -473,6 +571,288 @@ impl<'m> AccelDecoder<'m> {
     }
 }
 
+/// One sequence's private state inside the batch decoder: its KV cache
+/// history and the (stateful) online KV8 quantizer feeding its metadata
+/// FIFO. Everything else — weights, the VPU, the stateless SPU units —
+/// is shared by the whole batch.
+#[derive(Debug)]
+struct SeqState {
+    quantizer: KvQuantizer,
+    kv: Vec<LayerKv>,
+}
+
+/// The functional decoder for a batch of lockstep sequences.
+///
+/// Runs `B` sequences through the accelerator datapath with every weight
+/// matrix traversed **once** per step: [`QuantizedMatrix::matvec_batch`]
+/// dequantizes each group a single time and fans the dot products out to
+/// all sequences, exactly as the batched hardware schedule streams each
+/// weight beat once. Per-sequence results are bit-identical to `B`
+/// independent [`AccelDecoder`]s fed the same tokens.
+///
+/// # Example
+///
+/// ```
+/// use zllm_accel::{AccelBatchDecoder, AccelDecoder, QuantizedModel};
+/// use zllm_model::{ModelConfig, ModelWeights};
+/// use zllm_quant::group::GroupQuantConfig;
+///
+/// let cfg = ModelConfig::test_small();
+/// let weights = ModelWeights::generate(&cfg, 1);
+/// let qmodel = QuantizedModel::quantize(&weights, GroupQuantConfig::w4_g128());
+/// let mut batch = AccelBatchDecoder::new(&qmodel, 2);
+/// let logits = batch.decode_batch(&[3, 7]);
+/// let mut single = AccelDecoder::new(&qmodel);
+/// assert_eq!(logits[0], single.forward(3));
+/// ```
+#[derive(Debug)]
+pub struct AccelBatchDecoder<'m> {
+    model: &'m QuantizedModel,
+    vpu: Vpu,
+    rope: RopeUnit,
+    rms: RmsNormUnit,
+    softmax: SoftmaxUnit,
+    silu: SiluUnit,
+    seqs: Vec<SeqState>,
+    pos: usize,
+    scratch: BatchScratch,
+}
+
+/// Per-step scratch reused across [`AccelBatchDecoder::decode_batch`]
+/// calls — an allocation optimisation only, like [`AccelScratch`].
+/// Matvec operands and results are per-sequence; the attention
+/// temporaries are reused sequence by sequence.
+#[derive(Debug, Default)]
+struct BatchScratch {
+    mv: BatchMatvecScratch,
+    xn: Vec<Vec<F16>>,
+    q: Vec<Vec<F16>>,
+    k: Vec<Vec<F16>>,
+    v: Vec<Vec<F16>>,
+    attn_out: Vec<Vec<F16>>,
+    inner: Vec<Vec<F16>>,
+    proj: Vec<Vec<F16>>,
+    gate: Vec<Vec<F16>>,
+    up: Vec<Vec<F16>>,
+    logits: Vec<Vec<F16>>,
+    scores: Vec<F16>,
+    kv: Vec<F16>,
+    acc: Vec<f32>,
+}
+
+impl<'m> AccelBatchDecoder<'m> {
+    /// Creates a decoder for `batch` concurrent sequences.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch` is zero.
+    pub fn new(model: &'m QuantizedModel, batch: usize) -> AccelBatchDecoder<'m> {
+        assert!(batch > 0, "batch must be at least one sequence");
+        let cfg = model.config();
+        let seqs = (0..batch)
+            .map(|_| SeqState {
+                quantizer: KvQuantizer::new(cfg.n_layers * cfg.n_kv_heads * 2),
+                kv: vec![LayerKv::default(); cfg.n_layers],
+            })
+            .collect();
+        AccelBatchDecoder {
+            model,
+            vpu: Vpu::kv260(),
+            rope: RopeUnit::new(cfg.head_dim()),
+            rms: RmsNormUnit::new(cfg.norm_eps),
+            softmax: SoftmaxUnit::new(),
+            silu: SiluUnit::new(),
+            seqs,
+            pos: 0,
+            scratch: BatchScratch::default(),
+        }
+    }
+
+    /// Creates a batch decoder publishing into the given registry (under
+    /// `vpu.*` and `kv_pack.*`; the sequences share the counter cells, so
+    /// the totals are batch-wide).
+    pub fn with_metrics(
+        model: &'m QuantizedModel,
+        batch: usize,
+        reg: &mut zllm_telemetry::MetricsRegistry,
+    ) -> AccelBatchDecoder<'m> {
+        let cfg = model.config();
+        let mut dec = AccelBatchDecoder::new(model, batch);
+        dec.vpu = Vpu::with_counters(
+            128,
+            zllm_fp16::vector::TreePrecision::Fp32,
+            crate::vpu::VpuCounters::register(reg, "vpu"),
+        );
+        let counters = zllm_layout::kv_pack::KvPackCounters::register(reg, "kv_pack");
+        for seq in &mut dec.seqs {
+            seq.quantizer =
+                KvQuantizer::with_counters(cfg.n_layers * cfg.n_kv_heads * 2, counters.clone());
+        }
+        dec
+    }
+
+    /// Sequences in the batch.
+    pub fn batch(&self) -> usize {
+        self.seqs.len()
+    }
+
+    /// Tokens processed so far per sequence (sequences run in lockstep).
+    pub fn pos(&self) -> usize {
+        self.pos
+    }
+
+    /// Decodes one token for every sequence (`tokens[i]` is sequence
+    /// `i`'s input), returning each sequence's next-token logits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tokens.len()` differs from the batch, any token is out
+    /// of vocabulary, or the context is full.
+    pub fn decode_batch(&mut self, tokens: &[usize]) -> Vec<Vec<f32>> {
+        let cfg = self.model.config().clone();
+        assert_eq!(tokens.len(), self.seqs.len(), "one token per sequence");
+        for &t in tokens {
+            assert!(t < cfg.vocab_size, "token {t} out of vocabulary");
+        }
+        assert!(self.pos < cfg.max_seq_len, "context window exhausted");
+        let b = self.seqs.len();
+        let pos = self.pos;
+        let hd = cfg.head_dim();
+        let group = cfg.n_heads / cfg.n_kv_heads;
+        let scale = F16::from_f32(1.0 / (hd as f32).sqrt());
+
+        let mut xs: Vec<Vec<F16>> = tokens
+            .iter()
+            .map(|&t| self.model.embedding[t].clone())
+            .collect();
+        let s = &mut self.scratch;
+        s.xn.resize_with(b, Vec::new);
+        s.attn_out.resize_with(b, Vec::new);
+        s.inner.resize_with(b, Vec::new);
+
+        for (layer_idx, layer) in self.model.layers.iter().enumerate() {
+            // Attention block.
+            for (xn, x) in s.xn.iter_mut().zip(&xs) {
+                *xn = self.rms.normalize(x, &layer.attn_norm);
+            }
+            layer.wq.matvec_batch(&self.vpu, &s.xn, &mut s.mv, &mut s.q);
+            layer.wk.matvec_batch(&self.vpu, &s.xn, &mut s.mv, &mut s.k);
+            layer.wv.matvec_batch(&self.vpu, &s.xn, &mut s.mv, &mut s.v);
+
+            for (seq, state) in self.seqs.iter_mut().enumerate() {
+                for h in 0..cfg.n_heads {
+                    self.rope
+                        .apply(&mut s.q[seq][h * hd..(h + 1) * hd], pos as u32);
+                }
+                for h in 0..cfg.n_kv_heads {
+                    self.rope
+                        .apply(&mut s.k[seq][h * hd..(h + 1) * hd], pos as u32);
+                    // Online KV8 quantization into this sequence's FIFO.
+                    let kq = state
+                        .quantizer
+                        .quantize_head(0, &s.k[seq][h * hd..(h + 1) * hd]);
+                    let vq = state
+                        .quantizer
+                        .quantize_head(0, &s.v[seq][h * hd..(h + 1) * hd]);
+                    state.kv[layer_idx].keys.push(kq.codes);
+                    state.kv[layer_idx].values.push(vq.codes);
+                }
+            }
+
+            for (seq, state) in self.seqs.iter().enumerate() {
+                let attn_out = &mut s.attn_out[seq];
+                attn_out.clear();
+                attn_out.resize(cfg.d_model, F16::ZERO);
+                for h in 0..cfg.n_heads {
+                    let kv_head = h / group;
+                    let qh = &s.q[seq][h * hd..(h + 1) * hd];
+                    s.scores.clear();
+                    for t in 0..=pos {
+                        state.kv[layer_idx].keys[t * cfg.n_kv_heads + kv_head]
+                            .dequantize_f16_into(&mut s.kv);
+                        s.scores
+                            .push(F16::from_f32(self.vpu.dot_row(qh, &s.kv)) * scale);
+                    }
+                    let probs = self.softmax.softmax(&s.scores);
+                    // Weighted value sum, accumulated in f32 per lane.
+                    s.acc.clear();
+                    s.acc.resize(hd, 0.0);
+                    for (t, &p) in probs.iter().enumerate() {
+                        state.kv[layer_idx].values[t * cfg.n_kv_heads + kv_head]
+                            .dequantize_f16_into(&mut s.kv);
+                        for (a, vv) in s.acc.iter_mut().zip(&s.kv) {
+                            *a += (p * *vv).to_f32();
+                        }
+                    }
+                    for (o, a) in attn_out[h * hd..(h + 1) * hd].iter_mut().zip(&s.acc) {
+                        *o = F16::from_f32(*a);
+                    }
+                }
+            }
+
+            layer
+                .wo
+                .matvec_batch(&self.vpu, &s.attn_out, &mut s.mv, &mut s.proj);
+            for (x, proj) in xs.iter_mut().zip(&s.proj) {
+                for (xi, pi) in x.iter_mut().zip(proj) {
+                    *xi += *pi;
+                }
+            }
+
+            // MLP block.
+            for (xn, x) in s.xn.iter_mut().zip(&xs) {
+                *xn = self.rms.normalize(x, &layer.mlp_norm);
+            }
+            layer
+                .w_gate
+                .matvec_batch(&self.vpu, &s.xn, &mut s.mv, &mut s.gate);
+            layer
+                .w_up
+                .matvec_batch(&self.vpu, &s.xn, &mut s.mv, &mut s.up);
+            for (inner, (gate, up)) in s.inner.iter_mut().zip(s.gate.iter().zip(&s.up)) {
+                *inner = self.silu.gate(gate, up);
+            }
+            layer
+                .w_down
+                .matvec_batch(&self.vpu, &s.inner, &mut s.mv, &mut s.proj);
+            for (x, proj) in xs.iter_mut().zip(&s.proj) {
+                for (xi, di) in x.iter_mut().zip(proj) {
+                    *xi += *di;
+                }
+            }
+        }
+
+        for (xn, x) in s.xn.iter_mut().zip(&xs) {
+            *xn = self.rms.normalize(x, &self.model.final_norm);
+        }
+        self.pos += 1;
+        self.model
+            .lm_head
+            .matvec_batch(&self.vpu, &s.xn, &mut s.mv, &mut s.logits);
+        s.logits
+            .iter()
+            .map(|logits| logits.iter().map(|v| v.to_f32()).collect())
+            .collect()
+    }
+
+    /// Runs a prefill phase for every sequence in lockstep
+    /// (`prompts[step]` holds each sequence's token at `step`), returning
+    /// the last step's logits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `prompts` is empty or any step's width differs from the
+    /// batch.
+    pub fn prefill_batch(&mut self, prompts: &[Vec<usize>]) -> Vec<Vec<f32>> {
+        assert!(!prompts.is_empty(), "empty prompt");
+        let mut logits = Vec::new();
+        for step in prompts {
+            logits = self.decode_batch(step);
+        }
+        logits
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -564,5 +944,100 @@ mod tests {
         let (cfg, _, qmodel) = setup(1);
         let mut dec = AccelDecoder::new(&qmodel);
         let _ = dec.forward(cfg.vocab_size);
+    }
+
+    #[test]
+    fn matvec_batch_bit_identical_and_amortizes_dequant() {
+        use crate::vpu::VpuCounters;
+        use zllm_fp16::vector::TreePrecision;
+        use zllm_telemetry::MetricsRegistry;
+
+        let rows = 8;
+        let cols = 256;
+        let data: Vec<f32> = (0..rows * cols)
+            .map(|i| ((i * 37) % 53) as f32 / 53.0 - 0.5)
+            .collect();
+        let qm = QuantizedMatrix::quantize(&data, rows, cols, GroupQuantConfig::w4_g128());
+        let xs: Vec<Vec<F16>> = (0..4usize)
+            .map(|seq| {
+                (0..cols)
+                    .map(|i| F16::from_f32(((i * 13 + seq * 7) % 29) as f32 / 29.0 - 0.5))
+                    .collect()
+            })
+            .collect();
+
+        let mut breg = MetricsRegistry::new();
+        let bvpu = Vpu::with_counters(
+            128,
+            TreePrecision::Fp32,
+            VpuCounters::register(&mut breg, "vpu"),
+        );
+        let mut scratch = BatchMatvecScratch::default();
+        let mut outs = Vec::new();
+        qm.matvec_batch(&bvpu, &xs, &mut scratch, &mut outs);
+
+        let mut sreg = MetricsRegistry::new();
+        let svpu = Vpu::with_counters(
+            128,
+            TreePrecision::Fp32,
+            VpuCounters::register(&mut sreg, "vpu"),
+        );
+        for (seq, x) in xs.iter().enumerate() {
+            let want = qm.matvec(&svpu, x);
+            let got_bits: Vec<u16> = outs[seq].iter().map(|v| v.to_bits()).collect();
+            let want_bits: Vec<u16> = want.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(got_bits, want_bits, "sequence {seq} diverged");
+        }
+
+        // Dequantization ran once per group in the batch, B times across
+        // the independent runs; the dot work is per-sequence either way.
+        let batched = breg.snapshot();
+        let independent = sreg.snapshot();
+        let bd = batched.counters["vpu.dequant_beats"];
+        assert!(bd > 0);
+        assert_eq!(independent.counters["vpu.dequant_beats"], bd * 4);
+        assert_eq!(
+            independent.counters["vpu.dot_beats"],
+            batched.counters["vpu.dot_beats"]
+        );
+    }
+
+    #[test]
+    fn batch_decode_matches_independent_decoders() {
+        let (_, _, qmodel) = setup(13);
+        let mut batch = AccelBatchDecoder::new(&qmodel, 3);
+        let mut singles: Vec<AccelDecoder> = (0..3).map(|_| AccelDecoder::new(&qmodel)).collect();
+        let steps = [[1usize, 50, 7], [9, 2, 101], [30, 30, 4]];
+        for step in steps {
+            let got = batch.decode_batch(&step);
+            for (seq, (dec, &tok)) in singles.iter_mut().zip(&step).enumerate() {
+                let want = dec.forward(tok);
+                let got_bits: Vec<u32> = got[seq].iter().map(|v| v.to_bits()).collect();
+                let want_bits: Vec<u32> = want.iter().map(|v| v.to_bits()).collect();
+                assert_eq!(got_bits, want_bits, "sequence {seq} diverged");
+            }
+        }
+        assert_eq!(batch.pos(), 3);
+        assert_eq!(batch.batch(), 3);
+    }
+
+    #[test]
+    fn batch_prefill_matches_single_prefill() {
+        let (_, _, qmodel) = setup(4);
+        let mut batch = AccelBatchDecoder::new(&qmodel, 2);
+        let steps = vec![vec![10usize, 3], vec![20, 40], vec![5, 5]];
+        let got = batch.prefill_batch(&steps);
+        let mut a = AccelDecoder::new(&qmodel);
+        let mut b = AccelDecoder::new(&qmodel);
+        assert_eq!(got[0], a.prefill(&[10, 20, 5]));
+        assert_eq!(got[1], b.prefill(&[3, 40, 5]));
+    }
+
+    #[test]
+    #[should_panic(expected = "one token per sequence")]
+    fn batch_width_checked() {
+        let (_, _, qmodel) = setup(2);
+        let mut batch = AccelBatchDecoder::new(&qmodel, 2);
+        let _ = batch.decode_batch(&[1, 2, 3]);
     }
 }

@@ -50,16 +50,23 @@ pub struct ModelImage {
     model: ModelConfig,
     format: WeightFormat,
     ctx_capacity: usize,
+    /// Concurrent sequences the KV regions are provisioned for. The dense
+    /// weight image is shared by every sequence; only KV space scales.
+    batch: usize,
     map: MemoryMap,
     embedding: Region,
     projections: Vec<PlacedProjection>,
-    /// Per (layer, K/V): contiguous code region of `ctx_capacity` tokens.
+    /// Per (layer, K/V): contiguous code region of `batch × ctx_capacity`
+    /// tokens — sequence `s` owns the slots
+    /// `[s·ctx_capacity, (s+1)·ctx_capacity)`, so each sequence's history
+    /// is still one consecutive DDR stream.
     kv_regions: Vec<Region>,
     kv_meta: Region,
 }
 
 impl ModelImage {
-    /// Builds the image for a model at a given context capacity.
+    /// Builds the image for a model at a given context capacity (one
+    /// sequence).
     ///
     /// # Errors
     ///
@@ -70,6 +77,29 @@ impl ModelImage {
         format: WeightFormat,
         ctx_capacity: usize,
     ) -> Result<ModelImage, AllocError> {
+        ModelImage::build_batched(model, format, ctx_capacity, 1)
+    }
+
+    /// Builds the image with KV space for `batch` concurrent sequences of
+    /// `ctx_capacity` tokens each. The weight streams are placed exactly
+    /// as in the single-sequence image — batching never duplicates them —
+    /// so `batch = 1` reproduces [`ModelImage::build`] byte for byte.
+    ///
+    /// # Errors
+    ///
+    /// Returns the allocation failure if weights plus `batch` KV FIFOs
+    /// exceed the 4 GB device — the capacity wall the batch sweep tables.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch` is zero.
+    pub fn build_batched(
+        model: &ModelConfig,
+        format: WeightFormat,
+        ctx_capacity: usize,
+        batch: usize,
+    ) -> Result<ModelImage, AllocError> {
+        assert!(batch > 0, "batch must be at least 1");
         model.validate().map_err(|e| AllocError {
             name: e,
             requested: 0,
@@ -141,21 +171,23 @@ impl ModelImage {
                 let r = alloc_spill(
                     &mut map,
                     &format!("kv.{which}.L{layer}"),
-                    token_bytes * ctx_capacity as u64,
+                    token_bytes * ctx_capacity as u64 * batch as u64,
                 )?;
                 kv_regions.push(r);
             }
         }
 
-        // Packed scale-zero region: one beat per stream per 16 tokens.
+        // Packed scale-zero region: one beat per stream per 16 tokens,
+        // one block per sequence.
         let streams = (model.n_layers * model.n_kv_heads * 2) as u64;
-        let meta_beats = streams * (ctx_capacity as u64).div_ceil(16);
+        let meta_beats = streams * (ctx_capacity as u64).div_ceil(16) * batch as u64;
         let kv_meta = alloc_spill(&mut map, "kv scale-zero packs", meta_beats * 64)?;
 
         Ok(ModelImage {
             model: model.clone(),
             format,
             ctx_capacity,
+            batch,
             map,
             embedding,
             projections,
@@ -174,9 +206,14 @@ impl ModelImage {
         self.format
     }
 
-    /// Maximum context length the KV regions hold.
+    /// Maximum context length the KV regions hold (per sequence).
     pub fn ctx_capacity(&self) -> usize {
         self.ctx_capacity
+    }
+
+    /// Concurrent sequences the KV regions are provisioned for.
+    pub fn batch(&self) -> usize {
+        self.batch
     }
 
     /// The underlying memory map.
@@ -231,26 +268,85 @@ impl ModelImage {
     ///
     /// Panics if `ctx` exceeds the image's context capacity.
     pub fn kv_read_burst(&self, layer: usize, value: bool, ctx: usize) -> BurstDescriptor {
+        self.kv_read_burst_seq(layer, value, ctx, 0)
+    }
+
+    /// [`ModelImage::kv_read_burst`] for sequence `seq` of a batched
+    /// image: the same layer's history, streamed from that sequence's
+    /// slot block — a separate consecutive DDR stream per sequence.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ctx` exceeds the per-sequence capacity or `seq` exceeds
+    /// the provisioned batch.
+    pub fn kv_read_burst_seq(
+        &self,
+        layer: usize,
+        value: bool,
+        ctx: usize,
+        seq: usize,
+    ) -> BurstDescriptor {
         assert!(ctx <= self.ctx_capacity, "context beyond capacity");
+        assert!(seq < self.batch, "sequence beyond provisioned batch");
         let region = &self.kv_regions[layer * 2 + usize::from(value)];
-        let beats = (self.kv_token_bytes() * ctx as u64 / BEAT_BYTES as u64) as u32;
-        BurstDescriptor::new(region.base, beats)
+        let tb = self.kv_token_bytes();
+        let beats = (tb * ctx as u64 / BEAT_BYTES as u64) as u32;
+        BurstDescriptor::new(
+            region.base + seq as u64 * self.ctx_capacity as u64 * tb,
+            beats,
+        )
     }
 
     /// Write burst for the current token's K (or V) vector of one layer.
     pub fn kv_write_burst(&self, layer: usize, value: bool, token: usize) -> BurstDescriptor {
+        self.kv_write_burst_seq(layer, value, token, 0)
+    }
+
+    /// [`ModelImage::kv_write_burst`] for sequence `seq` of a batched
+    /// image.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seq` exceeds the provisioned batch.
+    pub fn kv_write_burst_seq(
+        &self,
+        layer: usize,
+        value: bool,
+        token: usize,
+        seq: usize,
+    ) -> BurstDescriptor {
+        assert!(seq < self.batch, "sequence beyond provisioned batch");
         let region = &self.kv_regions[layer * 2 + usize::from(value)];
         let tb = self.kv_token_bytes();
         BurstDescriptor::write(
-            region.base + token as u64 * tb,
+            region.base + (seq as u64 * self.ctx_capacity as u64 + token as u64) * tb,
             (tb / BEAT_BYTES as u64) as u32,
         )
     }
 
     /// Write burst for one flushed scale-zero FIFO element.
     pub fn kv_meta_write_burst(&self, stream: usize, window16: u64) -> BurstDescriptor {
+        self.kv_meta_write_burst_seq(stream, window16, 0)
+    }
+
+    /// [`ModelImage::kv_meta_write_burst`] for sequence `seq` of a
+    /// batched image: each sequence flushes into its own block of the
+    /// packed scale-zero region.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seq` exceeds the provisioned batch.
+    pub fn kv_meta_write_burst_seq(
+        &self,
+        stream: usize,
+        window16: u64,
+        seq: usize,
+    ) -> BurstDescriptor {
+        assert!(seq < self.batch, "sequence beyond provisioned batch");
         let streams = (self.model.n_layers * self.model.n_kv_heads * 2) as u64;
-        let offset = (window16 * streams + stream as u64) * BEAT_BYTES as u64;
+        let windows = (self.ctx_capacity as u64).div_ceil(16);
+        let offset = (seq as u64 * streams * windows + window16 * streams + stream as u64)
+            * BEAT_BYTES as u64;
         BurstDescriptor::write(self.kv_meta.base + offset, 1)
     }
 
@@ -348,5 +444,40 @@ mod tests {
         let cfg = ModelConfig::test_small();
         let image = ModelImage::build(&cfg, WeightFormat::kv260(), 16).expect("fits");
         let _ = image.kv_read_burst(0, false, 17);
+    }
+
+    #[test]
+    fn batched_image_shares_weights_and_separates_kv() {
+        let cfg = ModelConfig::test_small();
+        let single = ModelImage::build(&cfg, WeightFormat::kv260(), 32).expect("fits");
+        let batched = ModelImage::build_batched(&cfg, WeightFormat::kv260(), 32, 4).expect("fits");
+        assert_eq!(single.batch(), 1);
+        assert_eq!(batched.batch(), 4);
+        // The dense weight image is identical — batching never duplicates it.
+        assert_eq!(single.weight_stream_bytes(), batched.weight_stream_bytes());
+        // Each sequence gets its own consecutive history stream.
+        let tb = batched.kv_token_bytes();
+        let s0 = batched.kv_read_burst_seq(0, false, 10, 0);
+        let s1 = batched.kv_read_burst_seq(0, false, 10, 1);
+        assert_eq!(s1.addr - s0.addr, 32 * tb);
+        assert_eq!(s0.bytes(), s1.bytes());
+        // Seq 0 bursts coincide with the single-sequence accessor.
+        assert_eq!(batched.kv_read_burst(0, false, 10), s0);
+        let w0 = batched.kv_write_burst_seq(0, true, 3, 0);
+        let w2 = batched.kv_write_burst_seq(0, true, 3, 2);
+        assert_eq!(w2.addr - w0.addr, 2 * 32 * tb);
+        // Meta blocks are per-sequence too.
+        let m0 = batched.kv_meta_write_burst_seq(0, 0, 0);
+        let m1 = batched.kv_meta_write_burst_seq(0, 0, 1);
+        let streams = (cfg.n_layers * cfg.n_kv_heads * 2) as u64;
+        assert_eq!(m1.addr - m0.addr, streams * 2 * BEAT_BYTES as u64);
+    }
+
+    #[test]
+    #[should_panic(expected = "sequence beyond provisioned batch")]
+    fn kv_read_checks_batch() {
+        let cfg = ModelConfig::test_small();
+        let image = ModelImage::build_batched(&cfg, WeightFormat::kv260(), 16, 2).expect("fits");
+        let _ = image.kv_read_burst_seq(0, false, 4, 2);
     }
 }

@@ -45,8 +45,8 @@ pub mod trace;
 pub mod vpu;
 
 pub use config::AccelConfig;
-pub use functional::{AccelDecoder, QuantizedModel};
-pub use trace::{DecodeEngine, TokenReport};
+pub use functional::{AccelBatchDecoder, AccelDecoder, QuantizedModel};
+pub use trace::{BatchTokenReport, DecodeEngine, TokenReport};
 
 /// The unified metrics registry every unit publishes into — re-exported
 /// so downstream crates need no direct `zllm-telemetry` dependency.

@@ -18,12 +18,18 @@ pub struct MemOp {
     pub label: String,
     /// The bursts this operation issues.
     pub bursts: Vec<BurstDescriptor>,
-    /// Beats the VPU consumes (one per cycle).
+    /// Beats the VPU consumes (one per cycle at fanout 1).
     pub vpu_beats: u64,
     /// SPU cycles serialized after this op in the coarse pipeline
     /// (zero in the fused pipeline, where they hide under the next dense
     /// stream).
     pub exposed_misc: u64,
+    /// Sequences whose activations multiply against this stream's beats.
+    /// Shared weight streams carry the whole batch (`fanout = B`, each
+    /// beat's codes retire against `B` activation vectors); per-sequence
+    /// streams (KV history, embedding rows) feed only their own sequence
+    /// (`fanout = 1`).
+    pub compute_fanout: u32,
 }
 
 impl MemOp {
@@ -38,7 +44,14 @@ impl MemOp {
             bursts,
             vpu_beats,
             exposed_misc: 0,
+            compute_fanout: 1,
         }
+    }
+
+    fn fanned(label: String, bursts: Vec<BurstDescriptor>, fanout: u32) -> MemOp {
+        let mut op = MemOp::new(label, bursts);
+        op.compute_fanout = fanout;
+        op
     }
 
     /// Total bytes moved.
@@ -52,8 +65,12 @@ impl MemOp {
 pub struct TokenSchedule {
     /// Operations in issue order.
     pub ops: Vec<MemOp>,
-    /// The context length this schedule serves.
+    /// The context length this schedule serves (same for every sequence —
+    /// batched decoding is lockstep).
     pub ctx: usize,
+    /// Concurrent sequences this step decodes (1 = the single-sequence
+    /// schedule).
+    pub batch: usize,
 }
 
 impl TokenSchedule {
@@ -76,27 +93,65 @@ impl TokenSchedule {
 /// Builds the schedule for decoding one token with `ctx` tokens already
 /// cached (position `ctx` is being produced; its KV is written back).
 ///
+/// Single-sequence convenience over [`batched_token_schedule`] at
+/// `batch = 1` (same ops, same labels, same bursts).
+///
 /// # Panics
 ///
 /// Panics if `ctx >= image.ctx_capacity()`.
 pub fn token_schedule(image: &ModelImage, ctx: usize, mode: PipelineMode) -> TokenSchedule {
+    batched_token_schedule(image, ctx, 1, mode)
+}
+
+/// Builds the schedule for decoding one token for each of `batch`
+/// lockstep sequences, all at context length `ctx`.
+///
+/// Dense weight streams (embedding table rows aside) appear **once** and
+/// fan their compute out to all `batch` sequences
+/// ([`MemOp::compute_fanout`]); per-sequence traffic — the embedding row
+/// of each sequence's token, the KV history reads, the KV write-backs,
+/// and the scale-zero metadata flushes — is emitted per sequence against
+/// that sequence's own cache region. This is the batched-serving memory
+/// model: weight bytes are independent of `batch`, KV bytes linear in it.
+///
+/// # Panics
+///
+/// Panics if `ctx >= image.ctx_capacity()`, if `batch == 0`, or if
+/// `batch > image.batch()` (the image does not provision KV space for
+/// that many sequences).
+pub fn batched_token_schedule(
+    image: &ModelImage,
+    ctx: usize,
+    batch: usize,
+    mode: PipelineMode,
+) -> TokenSchedule {
     assert!(ctx < image.ctx_capacity(), "context beyond image capacity");
+    assert!(batch > 0, "batch must be at least one sequence");
+    assert!(
+        batch <= image.batch(),
+        "batch beyond image batch provisioning"
+    );
     let model = image.model();
     let d = model.d_model;
     let hd = model.head_dim();
     let heads = model.n_heads;
-    let mut ops: Vec<MemOp> = Vec::with_capacity(model.n_layers * 12 + 2);
+    let b = batch as u64;
+    let fanout = batch as u32;
+    let mut ops: Vec<MemOp> = Vec::with_capacity(model.n_layers * (4 + 2 * batch) + 2);
 
-    // Miscellaneous SPU latencies, exposed only in coarse mode.
+    // Miscellaneous SPU latencies, exposed only in coarse mode. The SPU
+    // works per activation vector, so in a batch each sequence pays its
+    // own pass.
     let rmsnorm = 2 * d as u64;
     let rope_all = (heads + model.n_kv_heads) as u64 * hd as u64;
     let softmax_all = 3 * (ctx as u64 + 1) * heads as u64;
     let quant_all = 2 * 2 * model.kv_dim() as u64; // K and V, two passes
     let silu = model.d_ff as u64;
 
+    // One embedding row per sequence (each decodes its own token).
     ops.push(MemOp::new(
         "embedding".into(),
-        vec![image.embedding_row_burst(0)],
+        (0..batch).map(|_| image.embedding_row_burst(0)).collect(),
     ));
 
     for layer in 0..model.n_layers {
@@ -109,77 +164,91 @@ pub fn token_schedule(image: &ModelImage, ctx: usize, mode: PipelineMode) -> Tok
         };
 
         // Pre-attention RMSNorm exposes before Q in the coarse pipeline.
-        let mut qkv = MemOp::new(
+        let mut qkv = MemOp::fanned(
             format!("L{layer}.qkv"),
             vec![find("wq").burst(), find("wk").burst(), find("wv").burst()],
+            fanout,
         );
         if mode == PipelineMode::Coarse {
-            qkv.exposed_misc = rmsnorm + rope_all + quant_all;
+            qkv.exposed_misc = (rmsnorm + rope_all + quant_all) * b;
         }
         ops.push(qkv);
 
-        // KV history reads (the attention DOT and weighted-value sums).
+        // KV history reads (the attention DOT and weighted-value sums):
+        // one stream per sequence, each over its own cache region.
         if ctx > 0 {
-            let mut kv_read = MemOp::new(
-                format!("L{layer}.kv_read"),
-                vec![
-                    image.kv_read_burst(layer, false, ctx),
-                    image.kv_read_burst(layer, true, ctx),
-                ],
-            );
-            if mode == PipelineMode::Coarse {
-                kv_read.exposed_misc = softmax_all;
+            for seq in 0..batch {
+                let mut kv_read = MemOp::new(
+                    format!("L{layer}.kv_read"),
+                    vec![
+                        image.kv_read_burst_seq(layer, false, ctx, seq),
+                        image.kv_read_burst_seq(layer, true, ctx, seq),
+                    ],
+                );
+                if mode == PipelineMode::Coarse {
+                    kv_read.exposed_misc = softmax_all;
+                }
+                ops.push(kv_read);
             }
-            ops.push(kv_read);
         } else if mode == PipelineMode::Coarse {
-            // Even with no history the current token's scores need softmax.
+            // Even with no history each sequence's scores need softmax.
             if let Some(last) = ops.last_mut() {
-                last.exposed_misc += softmax_all;
+                last.exposed_misc += softmax_all * b;
             }
         }
 
-        // Current token's KV write-back (codes; metadata beats amortized).
-        ops.push(MemOp::new(
-            format!("L{layer}.kv_write"),
-            vec![
-                image.kv_write_burst(layer, false, ctx),
-                image.kv_write_burst(layer, true, ctx),
-            ],
+        // Current tokens' KV write-backs (codes; metadata amortized).
+        for seq in 0..batch {
+            ops.push(MemOp::new(
+                format!("L{layer}.kv_write"),
+                vec![
+                    image.kv_write_burst_seq(layer, false, ctx, seq),
+                    image.kv_write_burst_seq(layer, true, ctx, seq),
+                ],
+            ));
+        }
+
+        ops.push(MemOp::fanned(
+            format!("L{layer}.wo"),
+            vec![find("wo").burst()],
+            fanout,
         ));
 
-        ops.push(MemOp::new(format!("L{layer}.wo"), vec![find("wo").burst()]));
-
-        let mut mlp = MemOp::new(
+        let mut mlp = MemOp::fanned(
             format!("L{layer}.mlp"),
             vec![
                 find("w_gate").burst(),
                 find("w_up").burst(),
                 find("w_down").burst(),
             ],
+            fanout,
         );
         if mode == PipelineMode::Coarse {
-            mlp.exposed_misc = rmsnorm + silu;
+            mlp.exposed_misc = (rmsnorm + silu) * b;
         }
         ops.push(mlp);
     }
 
-    // Scale-zero FIFO flush: every 16th token writes one beat per stream.
+    // Scale-zero FIFO flush: every 16th token writes one beat per stream,
+    // per sequence (each sequence owns its own metadata block).
     if (ctx + 1).is_multiple_of(16) {
         let streams = model.n_layers * model.n_kv_heads * 2;
         let window = (ctx as u64 + 1) / 16 - 1;
-        let bursts = (0..streams)
-            .map(|s| image.kv_meta_write_burst(s, window))
+        let bursts = (0..batch)
+            .flat_map(|seq| {
+                (0..streams).map(move |s| image.kv_meta_write_burst_seq(s, window, seq))
+            })
             .collect();
         ops.push(MemOp::new("kv_meta_flush".into(), bursts));
     }
 
-    let mut head = MemOp::new("lm_head".into(), vec![image.lm_head().burst()]);
+    let mut head = MemOp::fanned("lm_head".into(), vec![image.lm_head().burst()], fanout);
     if mode == PipelineMode::Coarse {
-        head.exposed_misc = rmsnorm;
+        head.exposed_misc = rmsnorm * b;
     }
     ops.push(head);
 
-    TokenSchedule { ops, ctx }
+    TokenSchedule { ops, ctx, batch }
 }
 
 #[cfg(test)]
@@ -191,6 +260,28 @@ mod tests {
     fn image() -> ModelImage {
         ModelImage::build(&ModelConfig::test_small(), WeightFormat::kv260(), 32)
             .expect("test model fits")
+    }
+
+    fn batched_image(batch: usize) -> ModelImage {
+        ModelImage::build_batched(&ModelConfig::test_small(), WeightFormat::kv260(), 32, batch)
+            .expect("test model fits")
+    }
+
+    /// Bytes split into the two halves of the batched memory model:
+    /// `(shared weight-stream bytes, per-sequence bytes)`.
+    fn split_bytes(sched: &TokenSchedule) -> (u64, u64) {
+        let per_seq: u64 = sched
+            .ops
+            .iter()
+            .filter(|o| {
+                o.label.contains("kv_read")
+                    || o.label.contains("kv_write")
+                    || o.label == "kv_meta_flush"
+                    || o.label == "embedding"
+            })
+            .map(MemOp::bytes)
+            .sum();
+        (sched.total_bytes() - per_seq, per_seq)
     }
 
     #[test]
@@ -270,5 +361,125 @@ mod tests {
     fn capacity_checked() {
         let image = image();
         let _ = token_schedule(&image, 32, PipelineMode::Fused);
+    }
+
+    #[test]
+    #[should_panic(expected = "batch beyond image batch provisioning")]
+    fn batch_provisioning_checked() {
+        let image = image();
+        let _ = batched_token_schedule(&image, 4, 2, PipelineMode::Fused);
+    }
+
+    #[test]
+    fn batch_of_one_is_the_single_sequence_schedule() {
+        let image = batched_image(4);
+        for mode in [PipelineMode::Fused, PipelineMode::Coarse] {
+            for ctx in [0, 4, 15, 31] {
+                let single = token_schedule(&image, ctx, mode);
+                let batched = batched_token_schedule(&image, ctx, 1, mode);
+                assert_eq!(single.batch, 1);
+                assert_eq!(single.ops.len(), batched.ops.len());
+                for (a, b) in single.ops.iter().zip(&batched.ops) {
+                    assert_eq!(a.label, b.label);
+                    assert_eq!(a.bytes(), b.bytes());
+                    assert_eq!(a.vpu_beats, b.vpu_beats);
+                    assert_eq!(a.exposed_misc, b.exposed_misc);
+                    assert_eq!(a.compute_fanout, 1);
+                    assert_eq!(b.compute_fanout, 1);
+                    assert_eq!(a.bursts.len(), b.bursts.len());
+                    for (ba, bb) in a.bursts.iter().zip(&b.bursts) {
+                        assert_eq!(ba.addr, bb.addr);
+                        assert_eq!(ba.beats, bb.beats);
+                        assert_eq!(ba.write, bb.write);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn weight_bytes_amortize_kv_bytes_scale() {
+        let image = batched_image(8);
+        let (w1, s1) = split_bytes(&batched_token_schedule(&image, 16, 1, PipelineMode::Fused));
+        for batch in [2usize, 4, 8] {
+            let sched = batched_token_schedule(&image, 16, batch, PipelineMode::Fused);
+            let (w, s) = split_bytes(&sched);
+            assert_eq!(w, w1, "weight bytes must not scale with batch");
+            assert_eq!(s, s1 * batch as u64, "per-seq bytes must scale linearly");
+        }
+    }
+
+    #[test]
+    fn shared_streams_fan_out_per_sequence_streams_do_not() {
+        let sched = batched_token_schedule(&batched_image(4), 16, 4, PipelineMode::Fused);
+        for op in &sched.ops {
+            let per_seq =
+                op.label.contains("kv_") || op.label == "kv_meta_flush" || op.label == "embedding";
+            let expect = if per_seq { 1 } else { 4 };
+            assert_eq!(op.compute_fanout, expect, "fanout of {}", op.label);
+        }
+    }
+
+    #[test]
+    fn batched_kv_reads_touch_distinct_regions() {
+        let image = batched_image(2);
+        let sched = batched_token_schedule(&image, 8, 2, PipelineMode::Fused);
+        let reads: Vec<_> = sched
+            .ops
+            .iter()
+            .filter(|o| o.label == "L0.kv_read")
+            .collect();
+        assert_eq!(reads.len(), 2);
+        assert_ne!(reads[0].bursts[0].addr, reads[1].bursts[0].addr);
+        assert_eq!(reads[0].bytes(), reads[1].bytes());
+    }
+}
+
+#[cfg(all(test, feature = "proptest"))]
+mod properties {
+    use super::*;
+    use proptest::prelude::*;
+    use zllm_layout::weight::WeightFormat;
+    use zllm_model::ModelConfig;
+
+    fn split(sched: &TokenSchedule) -> (u64, u64) {
+        let per_seq: u64 = sched
+            .ops
+            .iter()
+            .filter(|o| {
+                o.label.contains("kv_read")
+                    || o.label.contains("kv_write")
+                    || o.label == "kv_meta_flush"
+                    || o.label == "embedding"
+            })
+            .map(MemOp::bytes)
+            .sum();
+        (sched.total_bytes() - per_seq, per_seq)
+    }
+
+    proptest! {
+        /// Weight bytes are independent of B; per-sequence bytes (KV plus
+        /// embedding rows) are exactly linear in B.
+        #[test]
+        fn batched_schedules_conserve_bytes(
+            ctx in 0usize..32,
+            batch in 1usize..=6,
+            coarse in proptest::bool::ANY,
+        ) {
+            let mode = if coarse { PipelineMode::Coarse } else { PipelineMode::Fused };
+            let image = ModelImage::build_batched(
+                &ModelConfig::test_small(),
+                WeightFormat::kv260(),
+                32,
+                6,
+            )
+            .expect("test model fits");
+            let (w1, s1) = split(&batched_token_schedule(&image, ctx, 1, mode));
+            let sched = batched_token_schedule(&image, ctx, batch, mode);
+            let (w, s) = split(&sched);
+            prop_assert_eq!(w, w1);
+            prop_assert_eq!(s, s1 * batch as u64);
+            prop_assert_eq!(sched.total_bytes(), w1 + s1 * batch as u64);
+        }
     }
 }

@@ -11,7 +11,7 @@
 
 use crate::config::AccelConfig;
 use crate::image::ModelImage;
-use crate::schedule::{token_schedule, TokenSchedule};
+use crate::schedule::{batched_token_schedule, TokenSchedule};
 use crate::vpu::{Vpu, VpuCounters};
 use std::collections::HashMap;
 use std::rc::Rc;
@@ -58,6 +58,65 @@ impl TokenReport {
     }
 }
 
+/// Performance report of one lockstep batched decode step (`batch`
+/// sequences each produce one token).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchTokenReport {
+    /// Context length at this step (same for every sequence).
+    pub ctx: usize,
+    /// Concurrent sequences decoded this step.
+    pub batch: usize,
+    /// Bytes moved (reads + writes), whole batch.
+    pub bytes: u64,
+    /// DDR busy time in nanoseconds.
+    pub mem_ns: f64,
+    /// VPU streaming cycles; shared weight beats cost
+    /// `⌈weights_per_beat · batch / lanes⌉` cycles each.
+    pub vpu_cycles: u64,
+    /// Exposed miscellaneous cycles (coarse pipeline only).
+    pub exposed_misc_cycles: u64,
+    /// Pipeline fill/drain bubbles.
+    pub bubble_cycles: u64,
+    /// End-to-end time for this step in nanoseconds.
+    pub wall_ns: f64,
+    /// Aggregate decoding speed: `batch` tokens per step.
+    pub tokens_per_s: f64,
+    /// Each individual sequence's decoding speed (`tokens_per_s / batch`).
+    pub seq_tokens_per_s: f64,
+    /// Aggregate speed over the single-sequence weight-transfer roofline;
+    /// may exceed 1.0 on compute-rich engines where batching amortizes
+    /// the weight stream.
+    pub bandwidth_util: f64,
+    /// Bytes that `batch` independent single-sequence decodes would have
+    /// moved, divided by the bytes this batched step moved. Equals 1 at
+    /// `batch = 1` and approaches `batch` while weight traffic dominates.
+    pub weight_amortization: f64,
+    /// KV traffic (history reads + write-backs + metadata flushes) as a
+    /// fraction of total bytes — the share that grows with `batch` and
+    /// context until it ends the amortization win.
+    pub kv_share: f64,
+    /// Bytes per operation category (label prefix → bytes), whole batch.
+    pub breakdown: Vec<(String, u64)>,
+}
+
+impl BatchTokenReport {
+    /// Bytes attributed to categories whose label contains `needle`.
+    pub fn bytes_for(&self, needle: &str) -> u64 {
+        self.breakdown
+            .iter()
+            .filter(|(label, _)| label.contains(needle))
+            .map(|(_, b)| b)
+            .sum()
+    }
+}
+
+/// Operation kinds whose traffic is paid once **per sequence** (each
+/// sequence decodes its own token and owns its own KV cache region);
+/// everything else is the shared weight stream, paid once per batch.
+fn is_per_sequence_kind(kind: &str) -> bool {
+    matches!(kind, "embedding" | "kv_read" | "kv_write" | "kv_meta_flush")
+}
+
 /// Averaged report over a generation run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RunReport {
@@ -99,12 +158,12 @@ pub struct DecodeEngine {
     /// [`zllm_ddr::DdrStats`] are value-type views over the same numbers.
     registry: MetricsRegistry,
     metrics: DecodeMetrics,
-    /// Schedules already derived, keyed by context length. A schedule is a
-    /// pure function of `(image, ctx, pipeline)` and all three are fixed
-    /// for the engine's lifetime, so reuse is exact. Bounded by
-    /// [`SCHEDULE_CACHE_CAP`]; misses past the cap are priced from a
-    /// freshly derived schedule without being retained.
-    schedules: HashMap<usize, Rc<CachedSchedule>>,
+    /// Schedules already derived, keyed by `(ctx, batch)`. A schedule is a
+    /// pure function of `(image, ctx, batch, pipeline)` and image and
+    /// pipeline are fixed for the engine's lifetime, so reuse is exact.
+    /// Bounded by [`SCHEDULE_CACHE_CAP`]; misses past the cap are priced
+    /// from a freshly derived schedule without being retained.
+    schedules: HashMap<(usize, usize), Rc<CachedSchedule>>,
 }
 
 /// Upper bound on retained schedules. Sweeps and the perf gate revisit a
@@ -120,7 +179,12 @@ const SCHEDULE_CACHE_CAP: usize = 64;
 #[derive(Debug)]
 struct CachedSchedule {
     sched: TokenSchedule,
-    vpu_beats: u64,
+    /// Read beats grouped by compute fanout, in first-appearance order.
+    /// A `(fanout, beats)` group costs `beats ×
+    /// cycles_per_beat_for(fanout)` VPU cycles; at `batch = 1` there is a
+    /// single group at fanout 1 and the arithmetic reduces to the
+    /// single-sequence pricing exactly.
+    beat_groups: Vec<(u32, u64)>,
     exposed_misc: u64,
     /// Bytes per operation kind, in first-appearance order.
     breakdown: Vec<(String, u64)>,
@@ -130,8 +194,10 @@ struct CachedSchedule {
 
 impl CachedSchedule {
     fn build(sched: TokenSchedule, registry: &mut MetricsRegistry) -> CachedSchedule {
-        // Aggregate bytes by operation kind (strip the layer prefix).
+        // Aggregate bytes by operation kind (strip the layer prefix) and
+        // read beats by compute fanout.
         let mut breakdown: Vec<(String, u64)> = Vec::new();
+        let mut beat_groups: Vec<(u32, u64)> = Vec::new();
         for op in &sched.ops {
             let kind = op
                 .label
@@ -142,13 +208,20 @@ impl CachedSchedule {
                 Some((_, b)) => *b += op.bytes(),
                 None => breakdown.push((kind.to_owned(), op.bytes())),
             }
+            match beat_groups
+                .iter_mut()
+                .find(|(f, _)| *f == op.compute_fanout)
+            {
+                Some((_, b)) => *b += op.vpu_beats,
+                None => beat_groups.push((op.compute_fanout, op.vpu_beats)),
+            }
         }
         let kind_counters = breakdown
             .iter()
             .map(|(kind, _)| registry.counter(&format!("decode.bytes.{kind}")))
             .collect();
         CachedSchedule {
-            vpu_beats: sched.total_vpu_beats(),
+            beat_groups,
             exposed_misc: sched.total_exposed_misc(),
             breakdown,
             kind_counters,
@@ -197,7 +270,28 @@ impl DecodeEngine {
         model: &ModelConfig,
         ctx_capacity: usize,
     ) -> Result<DecodeEngine, AllocError> {
-        let image = ModelImage::build(model, accel.format, ctx_capacity)?;
+        DecodeEngine::new_batched(accel, model, ctx_capacity, 1)
+    }
+
+    /// Builds an engine provisioned for up to `max_batch` concurrent
+    /// sequences: the image reserves `max_batch` per-sequence KV cache and
+    /// metadata regions (weights are shared). `new` is this at
+    /// `max_batch = 1`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the allocation error if the model plus the batched KV
+    /// provisioning does not fit the 4 GB map — on LLaMA2-7B-class models
+    /// the KV cache is 256 KiB per token per sequence, so large
+    /// `batch × ctx_capacity` products hit the capacity wall the paper's
+    /// single-user design deliberately avoids.
+    pub fn new_batched(
+        accel: AccelConfig,
+        model: &ModelConfig,
+        ctx_capacity: usize,
+        max_batch: usize,
+    ) -> Result<DecodeEngine, AllocError> {
+        let image = ModelImage::build_batched(model, accel.format, ctx_capacity, max_batch)?;
         let mut registry = MetricsRegistry::new();
         let mem = MemorySystem::with_counters(
             accel.ddr.clone(),
@@ -254,6 +348,11 @@ impl DecodeEngine {
         &self.image
     }
 
+    /// Sequences this engine's image provisions KV space for.
+    pub fn max_batch(&self) -> usize {
+        self.image.batch()
+    }
+
     /// The model configuration.
     pub fn model(&self) -> &ModelConfig {
         &self.model
@@ -272,20 +371,47 @@ impl DecodeEngine {
 
     /// Prices one decode step at context length `ctx`.
     pub fn decode_token(&mut self, ctx: usize) -> TokenReport {
-        let cached = self.schedule_for(ctx);
+        let cached = self.schedule_for(ctx, 1);
+        let r = self.price(&cached);
+        TokenReport {
+            ctx: r.ctx,
+            bytes: r.bytes,
+            mem_ns: r.mem_ns,
+            vpu_cycles: r.vpu_cycles,
+            exposed_misc_cycles: r.exposed_misc_cycles,
+            bubble_cycles: r.bubble_cycles,
+            wall_ns: r.wall_ns,
+            tokens_per_s: r.tokens_per_s,
+            bandwidth_util: r.bandwidth_util,
+            breakdown: r.breakdown,
+        }
+    }
+
+    /// Prices one lockstep batched decode step: `batch` sequences, each
+    /// at context length `ctx`, each producing one token. The schedule
+    /// streams every weight tile **once** and fans its compute out to all
+    /// sequences; each sequence's KV history and write-back are priced as
+    /// separate DDR streams over that sequence's own cache region.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch` is zero or exceeds the engine's provisioning
+    /// (`max_batch` passed to [`DecodeEngine::new_batched`]).
+    pub fn decode_token_batch(&mut self, ctx: usize, batch: usize) -> BatchTokenReport {
+        let cached = self.schedule_for(ctx, batch);
         self.price(&cached)
     }
 
-    /// The cached schedule for `ctx`, deriving (and, below the cache cap,
-    /// retaining) it on first use.
-    fn schedule_for(&mut self, ctx: usize) -> Rc<CachedSchedule> {
-        if let Some(cached) = self.schedules.get(&ctx) {
+    /// The cached schedule for `(ctx, batch)`, deriving (and, below the
+    /// cache cap, retaining) it on first use.
+    fn schedule_for(&mut self, ctx: usize, batch: usize) -> Rc<CachedSchedule> {
+        if let Some(cached) = self.schedules.get(&(ctx, batch)) {
             return Rc::clone(cached);
         }
-        let sched = token_schedule(&self.image, ctx, self.accel.pipeline);
+        let sched = batched_token_schedule(&self.image, ctx, batch, self.accel.pipeline);
         let cached = Rc::new(CachedSchedule::build(sched, &mut self.registry));
         if self.schedules.len() < SCHEDULE_CACHE_CAP {
-            self.schedules.insert(ctx, Rc::clone(&cached));
+            self.schedules.insert((ctx, batch), Rc::clone(&cached));
         }
         cached
     }
@@ -295,21 +421,34 @@ impl DecodeEngine {
     /// codes, the VPU retires `lanes` per cycle) and the AXI fabric's
     /// delivery rate (`bytes_per_cycle` of the configured port set).
     fn cycles_per_beat(&self) -> u64 {
-        let vpu = (self.accel.format.weights_per_beat() as u64).div_ceil(self.accel.lanes as u64);
+        self.cycles_per_beat_for(1)
+    }
+
+    /// Same, for a beat whose codes multiply against `fanout` activation
+    /// vectors (a shared weight beat in a batch of `fanout`): the VPU
+    /// retires `weights_per_beat × fanout` MACs for it.
+    fn cycles_per_beat_for(&self, fanout: u32) -> u64 {
+        let vpu = (self.accel.format.weights_per_beat() as u64 * fanout as u64)
+            .div_ceil(self.accel.lanes as u64);
         let fabric =
             (zllm_layout::BEAT_BYTES as u64).div_ceil(self.accel.axi.bytes_per_cycle().max(1));
         vpu.max(fabric)
     }
 
-    fn price(&mut self, cached: &CachedSchedule) -> TokenReport {
+    fn price(&mut self, cached: &CachedSchedule) -> BatchTokenReport {
         let sched = &cached.sched;
+        let batch = sched.batch;
         // Memory time: the whole step's bursts streamed through the DDR
         // model, without materializing an intermediate Vec.
         let report = self
             .mem
             .transfer_iter(sched.ops.iter().flat_map(|o| o.bursts.iter().copied()));
 
-        let vpu_cycles = cached.vpu_beats * self.cycles_per_beat();
+        let vpu_cycles: u64 = cached
+            .beat_groups
+            .iter()
+            .map(|&(fanout, beats)| beats * self.cycles_per_beat_for(fanout))
+            .sum();
         let exposed = cached.exposed_misc;
         // Fused-pipeline bubbles: one VPU fill/drain per operation
         // boundary (dependency handoff).
@@ -318,14 +457,37 @@ impl DecodeEngine {
         let compute_ns = self.accel.cycles_to_ns(vpu_cycles + bubbles);
         let exposed_ns = self.accel.cycles_to_ns(exposed);
         let wall_ns = report.wall_ns.max(compute_ns) + exposed_ns;
-        let tokens_per_s = 1e9 / wall_ns;
+        let tokens_per_s = batch as f64 * 1e9 / wall_ns;
+        let seq_tokens_per_s = 1e9 / wall_ns;
+
+        // Byte split for the amortization metrics, measured from the
+        // schedule itself: per-sequence kinds scale with `batch`, the
+        // rest is the shared weight stream paid once.
+        let per_seq_bytes: u64 = cached
+            .breakdown
+            .iter()
+            .filter(|(kind, _)| is_per_sequence_kind(kind))
+            .map(|(_, b)| b)
+            .sum();
+        let shared_bytes = report.bytes - per_seq_bytes;
+        let kv_bytes: u64 = cached
+            .breakdown
+            .iter()
+            .filter(|(kind, _)| kind.starts_with("kv_"))
+            .map(|(_, b)| b)
+            .sum();
+        // `batch` independent decodes would stream the shared weights
+        // `batch` times over, plus the same per-sequence traffic.
+        let independent_bytes = shared_bytes * batch as u64 + per_seq_bytes;
+        let weight_amortization = independent_bytes as f64 / report.bytes as f64;
+        let kv_share = kv_bytes as f64 / report.bytes as f64;
 
         // Publish into the registry: counters accumulate across the run,
-        // gauges reflect the most recent priced token. The DDR counters
+        // gauges reflect the most recent priced step. The DDR counters
         // were already bumped inside `transfer_iter()` via the shared
         // handles, and the per-kind byte counters were resolved when the
         // schedule was cached.
-        self.metrics.tokens.inc();
+        self.metrics.tokens.add(batch as u64);
         self.metrics.bytes.add(report.bytes);
         self.metrics.vpu_cycles.add(vpu_cycles);
         self.metrics.bubble_cycles.add(bubbles);
@@ -338,9 +500,23 @@ impl DecodeEngine {
         for ((_, bytes), counter) in cached.breakdown.iter().zip(&cached.kind_counters) {
             counter.add(*bytes);
         }
+        // Batch gauges appear only once a batched step has been priced,
+        // so single-sequence snapshots (and the committed baseline) keep
+        // exactly their pre-batching key set.
+        if batch > 1 {
+            self.registry.gauge("decode.batch.size").set(batch as f64);
+            self.registry
+                .gauge("decode.batch.seq_tokens_per_s")
+                .set(seq_tokens_per_s);
+            self.registry
+                .gauge("decode.batch.weight_amortization")
+                .set(weight_amortization);
+            self.registry.gauge("decode.batch.kv_share").set(kv_share);
+        }
 
-        TokenReport {
+        BatchTokenReport {
             ctx: sched.ctx,
+            batch,
             bytes: report.bytes,
             mem_ns: report.wall_ns,
             vpu_cycles,
@@ -348,7 +524,10 @@ impl DecodeEngine {
             bubble_cycles: bubbles,
             wall_ns,
             tokens_per_s,
+            seq_tokens_per_s,
             bandwidth_util: tokens_per_s / self.roofline_tokens_per_s,
+            weight_amortization,
+            kv_share,
             breakdown: cached.breakdown.clone(),
         }
     }
@@ -502,6 +681,7 @@ impl DecodeEngine {
 mod tests {
     use super::*;
     use crate::config::PipelineMode;
+    use crate::schedule::token_schedule;
 
     fn small_engine(mode: PipelineMode) -> DecodeEngine {
         let accel = match mode {
@@ -684,6 +864,120 @@ mod tests {
     }
 
     #[test]
+    fn batch_of_one_prices_identically_to_single_sequence() {
+        // An engine provisioned for one sequence must be byte- and
+        // cycle-identical to the pre-batching engine (same image layout,
+        // so even DDR row dynamics match) — this is what keeps the
+        // committed perf baseline valid.
+        let mut single = small_engine(PipelineMode::Fused);
+        let mut one =
+            DecodeEngine::new_batched(AccelConfig::kv260(), &ModelConfig::test_small(), 32, 1)
+                .expect("fits");
+        for ctx in [0, 4, 15, 31] {
+            let s = single.decode_token(ctx);
+            let b = one.decode_token_batch(ctx, 1);
+            assert_eq!(b.batch, 1);
+            assert_eq!(s.bytes, b.bytes);
+            assert_eq!(s.vpu_cycles, b.vpu_cycles);
+            assert_eq!(s.bubble_cycles, b.bubble_cycles);
+            assert_eq!(s.wall_ns, b.wall_ns);
+            assert_eq!(s.tokens_per_s, b.tokens_per_s);
+            assert_eq!(b.tokens_per_s, b.seq_tokens_per_s);
+            assert_eq!(b.weight_amortization, 1.0);
+            assert_eq!(s.breakdown, b.breakdown);
+        }
+        let ss = single.metrics_snapshot();
+        let bs = one.metrics_snapshot();
+        assert_eq!(ss.counters, bs.counters);
+        assert_eq!(
+            ss.gauges.keys().collect::<Vec<_>>(),
+            bs.gauges.keys().collect::<Vec<_>>()
+        );
+
+        // An engine provisioned for a *bigger* batch places KV regions at
+        // different addresses (row locality may shift), but everything
+        // the schedule determines is still identical at B = 1 — and no
+        // decode.batch.* gauges leak into the snapshot.
+        let mut wide =
+            DecodeEngine::new_batched(AccelConfig::kv260(), &ModelConfig::test_small(), 32, 4)
+                .expect("fits");
+        for ctx in [0, 4, 15, 31] {
+            let b = wide.decode_token_batch(ctx, 1);
+            let s = single.decode_token(ctx);
+            assert_eq!(s.bytes, b.bytes);
+            assert_eq!(s.vpu_cycles, b.vpu_cycles);
+            assert_eq!(s.bubble_cycles, b.bubble_cycles);
+            assert_eq!(s.breakdown, b.breakdown);
+        }
+        let ws = wide.metrics_snapshot();
+        for key in ss.counters.keys().filter(|k| !k.starts_with("ddr.")) {
+            assert_eq!(ss.counters[key], ws.counters[key], "counter {key}");
+        }
+        assert_eq!(
+            ss.gauges.keys().collect::<Vec<_>>(),
+            ws.gauges.keys().collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn batched_step_amortizes_weights_and_grows_kv_share() {
+        let mut engine =
+            DecodeEngine::new_batched(AccelConfig::kv260(), &ModelConfig::test_small(), 32, 8)
+                .expect("fits");
+        let b1 = engine.decode_token_batch(16, 1);
+        let b4 = engine.decode_token_batch(16, 4);
+        let b8 = engine.decode_token_batch(16, 8);
+        // Weight bytes are shared: total bytes grow far slower than B.
+        assert!(b4.bytes < b1.bytes * 4);
+        assert!(b4.weight_amortization > 3.0 && b4.weight_amortization <= 4.0);
+        assert!(b8.weight_amortization > b4.weight_amortization);
+        assert!(b8.kv_share > b4.kv_share && b4.kv_share > b1.kv_share);
+        // On the balanced engine every shared beat now costs B cycles, so
+        // aggregate throughput is ~flat (the paper's deliberate design).
+        assert!(b4.tokens_per_s < b1.tokens_per_s * 1.3);
+        assert!(b4.seq_tokens_per_s < b1.tokens_per_s);
+        // KV share measured from the same breakdown that sums to bytes.
+        let sum: u64 = b4.breakdown.iter().map(|(_, b)| b).sum();
+        assert_eq!(sum, b4.bytes);
+        // Gauges for the batch view exist once a batched step ran.
+        let snap = engine.metrics_snapshot();
+        assert!(snap.gauges.contains_key("decode.batch.weight_amortization"));
+        assert_eq!(snap.counters["decode.tokens"], 1 + 4 + 8);
+    }
+
+    #[test]
+    fn batched_compute_scales_on_shared_beats_only() {
+        let mut engine =
+            DecodeEngine::new_batched(AccelConfig::kv260(), &ModelConfig::test_small(), 32, 4)
+                .expect("fits");
+        let b1 = engine.decode_token_batch(16, 1);
+        let b4 = engine.decode_token_batch(16, 4);
+        // Shared weight beats cost 4x; per-sequence KV beats are 4x as
+        // many but still one cycle each — so total VPU cycles are exactly
+        // 4x the single-sequence count on the balanced engine.
+        assert_eq!(b4.vpu_cycles, b1.vpu_cycles * 4);
+    }
+
+    #[test]
+    fn schedule_cache_keys_on_ctx_and_batch() {
+        let mut engine =
+            DecodeEngine::new_batched(AccelConfig::kv260(), &ModelConfig::test_small(), 32, 4)
+                .expect("fits");
+        engine.decode_token_batch(8, 1);
+        engine.decode_token_batch(8, 4);
+        engine.decode_token_batch(8, 4);
+        engine.decode_token(8);
+        assert_eq!(engine.schedules.len(), 2, "(8,1) and (8,4)");
+    }
+
+    #[test]
+    #[should_panic(expected = "batch beyond image batch provisioning")]
+    fn batch_beyond_provisioning_panics() {
+        let mut engine = small_engine(PipelineMode::Fused);
+        let _ = engine.decode_token_batch(4, 2);
+    }
+
+    #[test]
     fn batching_is_flat_on_the_balanced_engine_but_scales_with_lanes() {
         // The paper's engine matches compute to bandwidth exactly, so
         // batching buys (almost) nothing — by design.
@@ -711,5 +1005,65 @@ mod tests {
             r8 > r1 * 3.0,
             "compute-rich engine should batch well: {r8} vs {r1}"
         );
+    }
+
+    #[test]
+    fn exact_batched_pricing_tracks_the_analytic_estimate() {
+        let mut est =
+            DecodeEngine::new(AccelConfig::kv260(), &ModelConfig::test_small(), 32).expect("fits");
+        let mut exact =
+            DecodeEngine::new_batched(AccelConfig::kv260(), &ModelConfig::test_small(), 32, 8)
+                .expect("fits");
+        for batch in [2usize, 4, 8] {
+            let estimate = est.decode_batch_estimate(16, batch);
+            let measured = exact.decode_token_batch(16, batch).tokens_per_s;
+            let rel = (measured - estimate).abs() / estimate;
+            assert!(
+                rel < 0.15,
+                "B={batch}: exact {measured} vs estimate {estimate}"
+            );
+        }
+    }
+
+    #[cfg(feature = "proptest")]
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// A schedule-cache hit prices the very same step as a fresh
+            /// rebuild: identical bytes, VPU cycles, bubbles, breakdown,
+            /// and derived batch metrics (only the DDR refresh phase may
+            /// drift between steps, so wall time is excluded).
+            #[test]
+            fn cache_hit_matches_rebuild(ctx in 0usize..32, batch in 1usize..=4) {
+                let mut warm = DecodeEngine::new_batched(
+                    AccelConfig::kv260(),
+                    &ModelConfig::test_small(),
+                    32,
+                    4,
+                )
+                .expect("fits");
+                let rebuilt = warm.decode_token_batch(ctx, batch); // miss
+                let hit = warm.decode_token_batch(ctx, batch); // hit
+                let mut fresh = DecodeEngine::new_batched(
+                    AccelConfig::kv260(),
+                    &ModelConfig::test_small(),
+                    32,
+                    4,
+                )
+                .expect("fits");
+                let independent = fresh.decode_token_batch(ctx, batch); // rebuild
+                for other in [&hit, &independent] {
+                    prop_assert_eq!(rebuilt.bytes, other.bytes);
+                    prop_assert_eq!(rebuilt.vpu_cycles, other.vpu_cycles);
+                    prop_assert_eq!(rebuilt.bubble_cycles, other.bubble_cycles);
+                    prop_assert_eq!(rebuilt.exposed_misc_cycles, other.exposed_misc_cycles);
+                    prop_assert_eq!(&rebuilt.breakdown, &other.breakdown);
+                    prop_assert_eq!(rebuilt.weight_amortization, other.weight_amortization);
+                    prop_assert_eq!(rebuilt.kv_share, other.kv_share);
+                }
+            }
+        }
     }
 }

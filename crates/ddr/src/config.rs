@@ -154,6 +154,36 @@ impl DdrConfig {
         }
     }
 
+    /// A next-generation embedded board's memory: 64-bit LPDDR5-6400
+    /// (~51.2 GB/s) — the upgrade path §VII points at for the KV260
+    /// class. Timings follow a typical LPDDR5-6400 speed bin converted to
+    /// tCK = 0.3125 ns; LPDDR5 runs bank-group mode (4 × 4 banks) with
+    /// BL16 on a 64-bit channel, so one column access still moves
+    /// 128 bytes.
+    pub fn lpddr5_6400_embedded() -> DdrConfig {
+        DdrConfig {
+            clock_mhz: 3200.0,
+            bus_bits: 64,
+            burst_len: 16,
+            cl: 40,
+            cwl: 20,
+            trcd: 58,  // 18 ns
+            trp: 58,   // 18 ns
+            tras: 134, // 42 ns
+            trrd: 16,
+            tfaw: 64,
+            trtw: 12,
+            twtr: 16,
+            trfc: 896,    // 280 ns (tRFCab)
+            trefi: 12480, // 3.9 µs
+            banks: 16,
+            bank_groups: 4,
+            tccd_l: 8,
+            tccd_s: 8,
+            row_bytes: 4096,
+        }
+    }
+
     /// Bytes moved by one column access (BL × bus width).
     pub fn bytes_per_access(&self) -> u64 {
         (self.burst_len * self.bus_bits / 8) as u64
@@ -326,6 +356,9 @@ mod tests {
         assert!((zcu.peak_bandwidth_gbps() - 21.328).abs() < 0.01);
         let nano = DdrConfig::lpddr5_orin_nano();
         assert!((nano.peak_bandwidth_gbps() - 68.256).abs() < 0.01);
+        let lp5 = DdrConfig::lpddr5_6400_embedded();
+        assert!((lp5.peak_bandwidth_gbps() - 51.2).abs() < 1e-9);
+        assert_eq!(lp5.bytes_per_access(), 128);
     }
 
     #[test]
@@ -334,6 +367,7 @@ mod tests {
             DdrConfig::lpddr4_2133_ultra96(),
             DdrConfig::ddr4_2666_zcu102(),
             DdrConfig::lpddr5_orin_nano(),
+            DdrConfig::lpddr5_6400_embedded(),
         ] {
             assert!(cfg.bytes_per_access() > 0);
             assert!(cfg.accesses_per_row() > 0);

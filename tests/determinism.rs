@@ -4,7 +4,7 @@
 
 use std::sync::Mutex;
 use zllm::accel::converter::{convert, PtqMethod};
-use zllm::accel::{AccelConfig, AccelDecoder, DecodeEngine};
+use zllm::accel::{AccelBatchDecoder, AccelConfig, AccelDecoder, DecodeEngine};
 use zllm::fp16::set_fast_kernels;
 use zllm::model::calibration::capture;
 use zllm::model::generate::{generate, GenerateOptions, Sampling};
@@ -88,6 +88,57 @@ fn functional_decode_is_identical_with_fast_kernels_on_and_off() {
     let slow = run(false);
     let fast = run(true);
     assert_eq!(slow, fast, "fast kernels changed functional decode logits");
+}
+
+#[test]
+fn batched_functional_decode_matches_independent_decodes() {
+    // The batched decoder shares each group's dequantization across the
+    // batch; every sequence must still be bit-identical to a lone
+    // AccelDecoder fed the same tokens, on both kernel paths and at any
+    // thread cap.
+    let _guard = KERNEL_CONFIG.lock().unwrap();
+    let cfg = ModelConfig::test_small();
+    let w = ModelWeights::generate(&cfg, 123);
+    let calib = capture(&w, &[6, 12, 18]);
+    let qm = convert(&w, &calib, GroupQuantConfig::w4_g128(), PtqMethod::Rtn);
+    // steps[t] holds step t's token for each of the three sequences.
+    let steps: [[usize; 3]; 4] = [[1, 50, 7], [9, 2, 101], [30, 30, 4], [8, 8, 8]];
+    for fast in [false, true] {
+        for threads in [Some(1), Some(3), None] {
+            set_fast_kernels(fast);
+            set_max_threads(threads);
+            let mut batch = AccelBatchDecoder::new(&qm, 3);
+            let batched: Vec<Vec<u32>> = steps
+                .iter()
+                .flat_map(|tokens| batch.decode_batch(tokens))
+                .map(|logits| logits.iter().map(|v| v.to_bits()).collect())
+                .collect();
+            let mut independent = Vec::new();
+            for seq in 0..3 {
+                let mut dec = AccelDecoder::new(&qm);
+                for tokens in &steps {
+                    independent.push(
+                        dec.forward(tokens[seq])
+                            .iter()
+                            .map(|v| v.to_bits())
+                            .collect::<Vec<u32>>(),
+                    );
+                }
+            }
+            // Batched output is step-major; independent is sequence-major.
+            for seq in 0..3 {
+                for t in 0..steps.len() {
+                    assert_eq!(
+                        batched[t * 3 + seq],
+                        independent[seq * steps.len() + t],
+                        "batched decode diverged at fast={fast} threads={threads:?} \
+                         seq={seq} step={t}"
+                    );
+                }
+            }
+        }
+    }
+    set_max_threads(None);
 }
 
 #[test]
