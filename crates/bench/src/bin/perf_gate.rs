@@ -11,7 +11,12 @@
 //!   batched token at each context in 64→192 (keys prefixed `batch4.`).
 //!   The scenario also hard-fails if weight-stream amortization at B = 4
 //!   drops to ≤ 3× — the whole point of batching is paying the dense
-//!   stream once, and that property must not silently regress.
+//!   stream once, and that property must not silently regress;
+//! * **serving** — a fixed 64-request bursty trace served by the
+//!   continuous-batching server (TinyLlama-1.1B, four slots, DDR4-2400,
+//!   keys prefixed `serve.`). Pins aggregate tokens/s, the latency
+//!   percentiles, the rejection counters and every underlying byte
+//!   count of the trace replay.
 //!
 //! Byte and cycle counters must match exactly (the simulation is
 //! deterministic); derived rates (gauges) get ±2% to absorb intentional
@@ -33,6 +38,7 @@ use zllm_accel::telemetry::{DiffStatus, MetricKind, Snapshot};
 use zllm_accel::{AccelConfig, DecodeEngine};
 use zllm_bench::print_table;
 use zllm_model::ModelConfig;
+use zllm_serve::{generate, ArrivalModel, ServeReport, Server, ServerConfig, TrafficConfig};
 
 /// Context lengths priced by the single-sequence scenario.
 const CONTEXTS: [usize; 4] = [64, 128, 256, 512];
@@ -45,6 +51,17 @@ const BATCH_CTX_CAPACITY: usize = 256;
 const BATCH_CONTEXTS: [usize; 3] = [64, 128, 192];
 /// Weight-stream amortization the B = 4 scenario must exceed.
 const MIN_AMORTIZATION: f64 = 3.0;
+
+/// Requests in the serving-scenario trace.
+const SERVE_REQUESTS: usize = 64;
+/// Serving trace seed.
+const SERVE_SEED: u64 = 1187;
+/// Serving offered load (requests per second, in bursts of 8).
+const SERVE_RATE: f64 = 1.0;
+/// Serving KV slots.
+const SERVE_SLOTS: usize = 4;
+/// Serving per-sequence context provisioning (tokens).
+const SERVE_CTX_CAPACITY: usize = 256;
 
 /// Relative tolerance for derived rates (gauges).
 const GAUGE_TOLERANCE: f64 = 0.02;
@@ -82,6 +99,35 @@ fn batched_scenario_snapshot() -> (Snapshot, f64) {
         min_amortization = min_amortization.min(r.weight_amortization);
     }
     (engine.metrics_snapshot(), min_amortization)
+}
+
+/// Replays the fixed serving trace through the continuous-batching
+/// server; returns the engine snapshot (which includes the `serve.*`
+/// registry namespace) and the report.
+///
+/// TinyLlama-1.1B keeps the replay a few seconds of host time: pricing
+/// cost scales with bytes moved, and a trace is hundreds of steps where
+/// the other scenarios price a handful.
+fn serve_scenario_snapshot() -> (Snapshot, ServeReport) {
+    let mut cfg = ServerConfig::continuous(SERVE_CTX_CAPACITY, SERVE_SLOTS);
+    // Tight queue so the burst tail exercises the rejection path — the
+    // gate pins the rejection counters, not just the happy path.
+    cfg.queue_cap = 8;
+    let mut server = Server::new(AccelConfig::kv260(), &ModelConfig::tiny_llama_1_1b(), cfg)
+        .expect("TinyLlama-1.1B with 4 KV provisions fits the 4GB device");
+    let trace = generate(&TrafficConfig {
+        requests: SERVE_REQUESTS,
+        seed: SERVE_SEED,
+        arrivals: ArrivalModel::Bursty {
+            rate_per_s: SERVE_RATE,
+            burst: 8,
+        },
+        prompt_tokens: (16, 64),
+        new_tokens: (4, 12),
+        class_mix: [0.5, 0.3, 0.2],
+    });
+    let report = server.run(&trace);
+    (server.engine().metrics_snapshot(), report)
 }
 
 fn fmt_value(kind: MetricKind, v: Option<f64>) -> String {
@@ -137,6 +183,24 @@ fn main() {
          {MIN_AMORTIZATION:.1}x required)"
     );
 
+    eprintln!(
+        "perf gate: serving a {SERVE_REQUESTS}-request bursty trace at {SERVE_RATE} req/s \
+         (TinyLlama-1.1B, continuous batching, deterministic)..."
+    );
+    let serve_start = std::time::Instant::now();
+    let (serve_snap, serve_report) = serve_scenario_snapshot();
+    let serve_host_seconds = serve_start.elapsed().as_secs_f64();
+    let serve_simulated_gb = serve_snap.counter("decode.bytes").unwrap_or(0) as f64 / 1e9;
+    eprintln!(
+        "perf gate: serve scenario {:.2} tok/s aggregate, {} completed / {} offered, \
+         {} rejected, p95 token latency {:.1} ms",
+        serve_report.tokens_per_s,
+        serve_report.completed,
+        serve_report.offered,
+        serve_report.rejected_queue_full + serve_report.rejected_infeasible,
+        serve_report.token_p95_ms
+    );
+
     // Merge the batched scenario under a `batch4.` prefix: the
     // single-sequence key set stays byte-identical to pre-batching
     // baselines, so any change to B = 1 pricing still diffs exactly.
@@ -145,6 +209,24 @@ fn main() {
     }
     for (k, v) in &batched.gauges {
         current.gauges.insert(format!("batch{BATCH}.{k}"), *v);
+    }
+    // Merge the serving scenario under `serve.`. Its registry already
+    // namespaces the server's own metrics as `serve.*`, so those keep
+    // their names while the underlying engine metrics become
+    // `serve.decode.*`, `serve.ddr.*`, ... — every byte of the trace
+    // replay is pinned alongside the request-level rates.
+    let serve_key = |k: &str| {
+        if k.starts_with("serve.") {
+            k.to_owned()
+        } else {
+            format!("serve.{k}")
+        }
+    };
+    for (k, v) in &serve_snap.counters {
+        current.counters.insert(serve_key(k), *v);
+    }
+    for (k, v) in &serve_snap.gauges {
+        current.gauges.insert(serve_key(k), *v);
     }
 
     // Host-side throughput: how fast the simulator itself ran. Reported on
@@ -170,7 +252,15 @@ fn main() {
              \"simulated_gb_per_host_s\": {gb_per_host_s:.6},\n  \
              \"batch_wall_seconds\": {batch_host_seconds:.6},\n  \
              \"batch_simulated_gb\": {batch_simulated_gb:.6},\n  \
-             \"batch_weight_amortization\": {min_amortization:.6}\n}}\n"
+             \"batch_weight_amortization\": {min_amortization:.6},\n  \
+             \"serve_wall_seconds\": {serve_host_seconds:.6},\n  \
+             \"serve_simulated_gb\": {serve_simulated_gb:.6},\n  \
+             \"serve_tokens_per_s\": {:.6},\n  \
+             \"serve_completed\": {},\n  \
+             \"serve_rejected\": {}\n}}\n",
+            serve_report.tokens_per_s,
+            serve_report.completed,
+            serve_report.rejected_queue_full + serve_report.rejected_infeasible,
         );
         std::fs::write(path, json).expect("write host metrics JSON");
         eprintln!("perf gate host: metrics written to {path}");

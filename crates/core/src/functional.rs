@@ -572,23 +572,31 @@ impl<'m> AccelDecoder<'m> {
 }
 
 /// One sequence's private state inside the batch decoder: its KV cache
-/// history and the (stateful) online KV8 quantizer feeding its metadata
-/// FIFO. Everything else — weights, the VPU, the stateless SPU units —
-/// is shared by the whole batch.
+/// history, its own decode position, and the (stateful) online KV8
+/// quantizer feeding its metadata FIFO. Everything else — weights, the
+/// VPU, the stateless SPU units — is shared by the whole batch.
 #[derive(Debug)]
 struct SeqState {
     quantizer: KvQuantizer,
     kv: Vec<LayerKv>,
+    pos: usize,
 }
 
-/// The functional decoder for a batch of lockstep sequences.
+/// The functional decoder for a batch of concurrent sequences.
 ///
-/// Runs `B` sequences through the accelerator datapath with every weight
-/// matrix traversed **once** per step: [`QuantizedMatrix::matvec_batch`]
+/// Runs up to `B` sequences through the accelerator datapath with every
+/// weight matrix traversed **once** per step: [`QuantizedMatrix::matvec_batch`]
 /// dequantizes each group a single time and fans the dot products out to
 /// all sequences, exactly as the batched hardware schedule streams each
 /// weight beat once. Per-sequence results are bit-identical to `B`
 /// independent [`AccelDecoder`]s fed the same tokens.
+///
+/// Each slot keeps its own position, so sequences need not run in
+/// lockstep: [`AccelBatchDecoder::decode_at`] steps any subset of slots
+/// at their own context lengths (the continuous-batching step), and
+/// [`AccelBatchDecoder::reset_seq`] re-arms one finished slot for a new
+/// sequence without touching its neighbours.
+/// [`AccelBatchDecoder::decode_batch`] is the lockstep special case.
 ///
 /// # Example
 ///
@@ -614,7 +622,6 @@ pub struct AccelBatchDecoder<'m> {
     softmax: SoftmaxUnit,
     silu: SiluUnit,
     seqs: Vec<SeqState>,
-    pos: usize,
     scratch: BatchScratch,
 }
 
@@ -653,6 +660,7 @@ impl<'m> AccelBatchDecoder<'m> {
             .map(|_| SeqState {
                 quantizer: KvQuantizer::new(cfg.n_layers * cfg.n_kv_heads * 2),
                 kv: vec![LayerKv::default(); cfg.n_layers],
+                pos: 0,
             })
             .collect();
         AccelBatchDecoder {
@@ -663,7 +671,6 @@ impl<'m> AccelBatchDecoder<'m> {
             softmax: SoftmaxUnit::new(),
             silu: SiluUnit::new(),
             seqs,
-            pos: 0,
             scratch: BatchScratch::default(),
         }
     }
@@ -696,34 +703,97 @@ impl<'m> AccelBatchDecoder<'m> {
         self.seqs.len()
     }
 
-    /// Tokens processed so far per sequence (sequences run in lockstep).
+    /// Tokens processed so far by the furthest-ahead sequence (for a
+    /// lockstep batch, every sequence's shared position).
     pub fn pos(&self) -> usize {
-        self.pos
+        self.seqs.iter().map(|s| s.pos).max().unwrap_or(0)
     }
 
-    /// Decodes one token for every sequence (`tokens[i]` is sequence
-    /// `i`'s input), returning each sequence's next-token logits.
+    /// Tokens processed so far by the sequence in `slot`.
     ///
     /// # Panics
     ///
-    /// Panics if `tokens.len()` differs from the batch, any token is out
-    /// of vocabulary, or the context is full.
+    /// Panics if `slot` is out of range.
+    pub fn seq_pos(&self, slot: usize) -> usize {
+        self.seqs[slot].pos
+    }
+
+    /// Re-arms `slot` for a fresh sequence joining the batch: clears its
+    /// KV history, rewinds its position to zero and replaces its online
+    /// quantizer's pack FIFO (keeping the shared telemetry counters), all
+    /// without touching any other slot's state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` is out of range.
+    pub fn reset_seq(&mut self, slot: usize) {
+        let cfg = self.model.config();
+        let state = &mut self.seqs[slot];
+        state.quantizer = KvQuantizer::with_counters(
+            cfg.n_layers * cfg.n_kv_heads * 2,
+            state.quantizer.counters().clone(),
+        );
+        state.kv = vec![LayerKv::default(); cfg.n_layers];
+        state.pos = 0;
+    }
+
+    /// Decodes one token for every sequence in lockstep (`tokens[i]` is
+    /// sequence `i`'s input), returning each sequence's next-token
+    /// logits. The uniform special case of
+    /// [`AccelBatchDecoder::decode_at`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tokens.len()` differs from the batch, the sequences
+    /// are not at the same position, any token is out of vocabulary, or
+    /// the context is full.
     pub fn decode_batch(&mut self, tokens: &[usize]) -> Vec<Vec<f32>> {
-        let cfg = self.model.config().clone();
         assert_eq!(tokens.len(), self.seqs.len(), "one token per sequence");
-        for &t in tokens {
+        let pos0 = self.seqs[0].pos;
+        assert!(
+            self.seqs.iter().all(|s| s.pos == pos0),
+            "sequences are ragged; use decode_at"
+        );
+        let steps: Vec<(usize, usize)> = tokens.iter().copied().enumerate().collect();
+        self.decode_at(&steps)
+    }
+
+    /// Decodes one token for each `(slot, token)` pair, every sequence at
+    /// **its own** position — the continuous-batching step. Slots not
+    /// named sit out unchanged, so sequences join (after
+    /// [`AccelBatchDecoder::reset_seq`]) and leave between steps freely.
+    /// Weight matrices are still traversed once, fanned across the
+    /// participants; per-sequence logits are bit-identical to independent
+    /// [`AccelDecoder`]s at the same positions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `steps` is empty, repeats a slot, names a slot out of
+    /// range, a token out of vocabulary, or a sequence whose context is
+    /// full.
+    pub fn decode_at(&mut self, steps: &[(usize, usize)]) -> Vec<Vec<f32>> {
+        let cfg = self.model.config().clone();
+        assert!(!steps.is_empty(), "at least one sequence required");
+        for (i, &(slot, t)) in steps.iter().enumerate() {
+            assert!(slot < self.seqs.len(), "slot {slot} out of range");
+            assert!(
+                !steps[..i].iter().any(|&(s, _)| s == slot),
+                "duplicate slot in decode step"
+            );
             assert!(t < cfg.vocab_size, "token {t} out of vocabulary");
+            assert!(
+                self.seqs[slot].pos < cfg.max_seq_len,
+                "context window exhausted"
+            );
         }
-        assert!(self.pos < cfg.max_seq_len, "context window exhausted");
-        let b = self.seqs.len();
-        let pos = self.pos;
+        let b = steps.len();
         let hd = cfg.head_dim();
         let group = cfg.n_heads / cfg.n_kv_heads;
         let scale = F16::from_f32(1.0 / (hd as f32).sqrt());
 
-        let mut xs: Vec<Vec<F16>> = tokens
+        let mut xs: Vec<Vec<F16>> = steps
             .iter()
-            .map(|&t| self.model.embedding[t].clone())
+            .map(|&(_, t)| self.model.embedding[t].clone())
             .collect();
         let s = &mut self.scratch;
         s.xn.resize_with(b, Vec::new);
@@ -739,33 +809,37 @@ impl<'m> AccelBatchDecoder<'m> {
             layer.wk.matvec_batch(&self.vpu, &s.xn, &mut s.mv, &mut s.k);
             layer.wv.matvec_batch(&self.vpu, &s.xn, &mut s.mv, &mut s.v);
 
-            for (seq, state) in self.seqs.iter_mut().enumerate() {
+            for (i, &(slot, _)) in steps.iter().enumerate() {
+                let state = &mut self.seqs[slot];
+                let pos = state.pos;
                 for h in 0..cfg.n_heads {
                     self.rope
-                        .apply(&mut s.q[seq][h * hd..(h + 1) * hd], pos as u32);
+                        .apply(&mut s.q[i][h * hd..(h + 1) * hd], pos as u32);
                 }
                 for h in 0..cfg.n_kv_heads {
                     self.rope
-                        .apply(&mut s.k[seq][h * hd..(h + 1) * hd], pos as u32);
+                        .apply(&mut s.k[i][h * hd..(h + 1) * hd], pos as u32);
                     // Online KV8 quantization into this sequence's FIFO.
                     let kq = state
                         .quantizer
-                        .quantize_head(0, &s.k[seq][h * hd..(h + 1) * hd]);
+                        .quantize_head(0, &s.k[i][h * hd..(h + 1) * hd]);
                     let vq = state
                         .quantizer
-                        .quantize_head(0, &s.v[seq][h * hd..(h + 1) * hd]);
+                        .quantize_head(0, &s.v[i][h * hd..(h + 1) * hd]);
                     state.kv[layer_idx].keys.push(kq.codes);
                     state.kv[layer_idx].values.push(vq.codes);
                 }
             }
 
-            for (seq, state) in self.seqs.iter().enumerate() {
-                let attn_out = &mut s.attn_out[seq];
+            for (i, &(slot, _)) in steps.iter().enumerate() {
+                let state = &self.seqs[slot];
+                let pos = state.pos;
+                let attn_out = &mut s.attn_out[i];
                 attn_out.clear();
                 attn_out.resize(cfg.d_model, F16::ZERO);
                 for h in 0..cfg.n_heads {
                     let kv_head = h / group;
-                    let qh = &s.q[seq][h * hd..(h + 1) * hd];
+                    let qh = &s.q[i][h * hd..(h + 1) * hd];
                     s.scores.clear();
                     for t in 0..=pos {
                         state.kv[layer_idx].keys[t * cfg.n_kv_heads + kv_head]
@@ -825,7 +899,9 @@ impl<'m> AccelBatchDecoder<'m> {
         for (xn, x) in s.xn.iter_mut().zip(&xs) {
             *xn = self.rms.normalize(x, &self.model.final_norm);
         }
-        self.pos += 1;
+        for &(slot, _) in steps {
+            self.seqs[slot].pos += 1;
+        }
         self.model
             .lm_head
             .matvec_batch(&self.vpu, &s.xn, &mut s.mv, &mut s.logits);
@@ -1039,5 +1115,55 @@ mod tests {
         let (_, _, qmodel) = setup(2);
         let mut batch = AccelBatchDecoder::new(&qmodel, 2);
         let _ = batch.decode_batch(&[1, 2, 3]);
+    }
+
+    #[test]
+    fn ragged_decode_with_join_and_leave_matches_independent_decoders() {
+        let (_, _, qmodel) = setup(29);
+        let mut batch = AccelBatchDecoder::new(&qmodel, 3);
+        let mut a = AccelDecoder::new(&qmodel);
+        let mut b = AccelDecoder::new(&qmodel);
+        let mut c = AccelDecoder::new(&qmodel);
+
+        let check = |got: &[Vec<f32>], want: &[Vec<f32>]| {
+            for (i, (g, w)) in got.iter().zip(want).enumerate() {
+                let gb: Vec<u32> = g.iter().map(|v| v.to_bits()).collect();
+                let wb: Vec<u32> = w.iter().map(|v| v.to_bits()).collect();
+                assert_eq!(gb, wb, "participant {i} diverged");
+            }
+        };
+
+        // Sequence A decodes alone for two steps.
+        let got = batch.decode_at(&[(0, 5)]);
+        check(&got, &[a.forward(5)]);
+        let got = batch.decode_at(&[(0, 9)]);
+        check(&got, &[a.forward(9)]);
+
+        // B joins at slot 2 — A is two tokens ahead, the step is ragged.
+        let got = batch.decode_at(&[(0, 11), (2, 40)]);
+        check(&got, &[a.forward(11), b.forward(40)]);
+        assert_eq!(batch.seq_pos(0), 3);
+        assert_eq!(batch.seq_pos(2), 1);
+
+        // A leaves; B decodes alone.
+        let got = batch.decode_at(&[(2, 41)]);
+        check(&got, &[b.forward(41)]);
+
+        // C takes over A's old slot after a reset — B's history and the
+        // fresh slot coexist bit-exactly.
+        batch.reset_seq(0);
+        assert_eq!(batch.seq_pos(0), 0);
+        let got = batch.decode_at(&[(2, 42), (0, 77)]);
+        check(&got, &[b.forward(42), c.forward(77)]);
+        assert_eq!(batch.pos(), 3, "furthest sequence");
+    }
+
+    #[test]
+    #[should_panic(expected = "sequences are ragged")]
+    fn lockstep_decode_rejects_ragged_state() {
+        let (_, _, qmodel) = setup(2);
+        let mut batch = AccelBatchDecoder::new(&qmodel, 2);
+        let _ = batch.decode_at(&[(0, 1)]);
+        let _ = batch.decode_batch(&[1, 2]);
     }
 }

@@ -350,6 +350,27 @@ impl ModelImage {
         BurstDescriptor::write(self.kv_meta.base + offset, 1)
     }
 
+    /// Total bytes the image provisions for KV state across every slot:
+    /// all per-layer K/V code regions plus the packed scale-zero region.
+    /// This is the Fig. 1 KV budget an admission controller prices
+    /// against — the hard capacity wall once weights are placed.
+    pub fn kv_budget_bytes(&self) -> u64 {
+        let codes: u64 = self.kv_regions.iter().map(|r| r.size).sum();
+        codes + self.kv_meta.size
+    }
+
+    /// KV bytes one sequence holding `tokens` cached tokens occupies:
+    /// its K and V codes in every layer plus its share of the packed
+    /// scale-zero region (one beat per stream per started 16-token
+    /// window). The admission currency — `kv_budget_bytes / batch`
+    /// equals `kv_request_bytes(ctx_capacity)` rounded to whole windows.
+    pub fn kv_request_bytes(&self, tokens: usize) -> u64 {
+        let codes = (self.model.n_layers * 2) as u64 * self.kv_token_bytes() * tokens as u64;
+        let streams = (self.model.n_layers * self.model.n_kv_heads * 2) as u64;
+        let meta = streams * (tokens as u64).div_ceil(16) * BEAT_BYTES as u64;
+        codes + meta
+    }
+
     /// Total bytes of all weight streams (format padding included).
     pub fn weight_stream_bytes(&self) -> u64 {
         self.projections
@@ -471,6 +492,24 @@ mod tests {
         let m1 = batched.kv_meta_write_burst_seq(0, 0, 1);
         let streams = (cfg.n_layers * cfg.n_kv_heads * 2) as u64;
         assert_eq!(m1.addr - m0.addr, streams * 2 * BEAT_BYTES as u64);
+    }
+
+    #[test]
+    fn kv_budget_prices_full_occupancy() {
+        let cfg = ModelConfig::test_small();
+        let image = ModelImage::build_batched(&cfg, WeightFormat::kv260(), 32, 4).expect("fits");
+        // A full slot costs exactly 1/batch of the provisioned budget.
+        assert_eq!(image.kv_request_bytes(32) * 4, image.kv_budget_bytes());
+        // Footprint is monotone in tokens and zero at zero.
+        assert_eq!(image.kv_request_bytes(0), 0);
+        assert!(image.kv_request_bytes(16) < image.kv_request_bytes(17));
+        // Metadata rounds to whole 16-token windows.
+        let one = image.kv_request_bytes(1);
+        let sixteen = image.kv_request_bytes(16);
+        assert_eq!(
+            sixteen - one,
+            15 * (cfg.n_layers * 2) as u64 * image.kv_token_bytes()
+        );
     }
 
     #[test]

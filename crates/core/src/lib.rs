@@ -46,6 +46,7 @@ pub mod vpu;
 
 pub use config::AccelConfig;
 pub use functional::{AccelBatchDecoder, AccelDecoder, QuantizedModel};
+pub use schedule::PrefillChunk;
 pub use trace::{BatchTokenReport, DecodeEngine, TokenReport};
 
 /// The unified metrics registry every unit publishes into — re-exported

@@ -65,12 +65,19 @@ impl MemOp {
 pub struct TokenSchedule {
     /// Operations in issue order.
     pub ops: Vec<MemOp>,
-    /// The context length this schedule serves (same for every sequence —
-    /// batched decoding is lockstep).
+    /// The highest context length this schedule serves (for a lockstep
+    /// batch, every sequence's shared context; for a ragged step, the
+    /// longest sequence's).
     pub ctx: usize,
-    /// Concurrent sequences this step decodes (1 = the single-sequence
-    /// schedule).
+    /// Tokens this step produces: the number of concurrent sequences for
+    /// a decode step (1 = the single-sequence schedule), or the total
+    /// prompt tokens for a chunked-prefill step.
     pub batch: usize,
+    /// The `(slot, context)` pair of every sequence taking part, in issue
+    /// order. Uniform lockstep schedules carry `(0, ctx) .. (B-1, ctx)`;
+    /// ragged schedules carry each sequence's own position; prefill
+    /// schedules carry each chunk's last written position.
+    pub slots: Vec<(usize, usize)>,
 }
 
 impl TokenSchedule {
@@ -131,27 +138,66 @@ pub fn batched_token_schedule(
         batch <= image.batch(),
         "batch beyond image batch provisioning"
     );
+    let slots: Vec<(usize, usize)> = (0..batch).map(|s| (s, ctx)).collect();
+    ragged_token_schedule(image, &slots, mode)
+}
+
+/// Builds the schedule for decoding one token for each sequence in
+/// `slots`, where each `(slot, ctx)` pair names the KV slot a sequence
+/// occupies and *that sequence's own* context length — the continuous-
+/// batching step. [`batched_token_schedule`] is the uniform special case
+/// (`slots = [(0, ctx), …, (B-1, ctx)]`, op-for-op identical).
+///
+/// Shared weight streams still appear once with their compute fanned out
+/// to all participants; per-sequence traffic (embedding row, KV history
+/// read, KV write-back, metadata flush) is sized by each sequence's own
+/// position, so a step may mix a 3-token-old joiner with a 200-token
+/// veteran without padding either.
+///
+/// # Panics
+///
+/// Panics if `slots` is empty, contains a duplicate slot, a slot at or
+/// beyond `image.batch()`, or a context at or beyond
+/// `image.ctx_capacity()`.
+pub fn ragged_token_schedule(
+    image: &ModelImage,
+    slots: &[(usize, usize)],
+    mode: PipelineMode,
+) -> TokenSchedule {
+    assert!(!slots.is_empty(), "batch must be at least one sequence");
+    for (i, &(slot, ctx)) in slots.iter().enumerate() {
+        assert!(ctx < image.ctx_capacity(), "context beyond image capacity");
+        assert!(
+            slot < image.batch(),
+            "batch beyond image batch provisioning"
+        );
+        assert!(
+            !slots[..i].iter().any(|&(s, _)| s == slot),
+            "duplicate slot in ragged schedule"
+        );
+    }
     let model = image.model();
     let d = model.d_model;
     let hd = model.head_dim();
     let heads = model.n_heads;
+    let batch = slots.len();
     let b = batch as u64;
     let fanout = batch as u32;
     let mut ops: Vec<MemOp> = Vec::with_capacity(model.n_layers * (4 + 2 * batch) + 2);
 
     // Miscellaneous SPU latencies, exposed only in coarse mode. The SPU
     // works per activation vector, so in a batch each sequence pays its
-    // own pass.
+    // own pass. Softmax cost depends on each sequence's own position.
     let rmsnorm = 2 * d as u64;
     let rope_all = (heads + model.n_kv_heads) as u64 * hd as u64;
-    let softmax_all = 3 * (ctx as u64 + 1) * heads as u64;
+    let softmax_all = |ctx: usize| 3 * (ctx as u64 + 1) * heads as u64;
     let quant_all = 2 * 2 * model.kv_dim() as u64; // K and V, two passes
     let silu = model.d_ff as u64;
 
     // One embedding row per sequence (each decodes its own token).
     ops.push(MemOp::new(
         "embedding".into(),
-        (0..batch).map(|_| image.embedding_row_burst(0)).collect(),
+        slots.iter().map(|_| image.embedding_row_burst(0)).collect(),
     ));
 
     for layer in 0..model.n_layers {
@@ -164,46 +210,50 @@ pub fn batched_token_schedule(
         };
 
         // Pre-attention RMSNorm exposes before Q in the coarse pipeline.
+        // Sequences with no history have no kv_read op to carry their
+        // softmax, so it serializes here instead.
         let mut qkv = MemOp::fanned(
             format!("L{layer}.qkv"),
             vec![find("wq").burst(), find("wk").burst(), find("wv").burst()],
             fanout,
         );
         if mode == PipelineMode::Coarse {
-            qkv.exposed_misc = (rmsnorm + rope_all + quant_all) * b;
+            qkv.exposed_misc = (rmsnorm + rope_all + quant_all) * b
+                + slots
+                    .iter()
+                    .filter(|&&(_, ctx)| ctx == 0)
+                    .map(|&(_, ctx)| softmax_all(ctx))
+                    .sum::<u64>();
         }
         ops.push(qkv);
 
         // KV history reads (the attention DOT and weighted-value sums):
-        // one stream per sequence, each over its own cache region.
-        if ctx > 0 {
-            for seq in 0..batch {
-                let mut kv_read = MemOp::new(
-                    format!("L{layer}.kv_read"),
-                    vec![
-                        image.kv_read_burst_seq(layer, false, ctx, seq),
-                        image.kv_read_burst_seq(layer, true, ctx, seq),
-                    ],
-                );
-                if mode == PipelineMode::Coarse {
-                    kv_read.exposed_misc = softmax_all;
-                }
-                ops.push(kv_read);
+        // one stream per sequence, each over its own cache region at its
+        // own length.
+        for &(slot, ctx) in slots {
+            if ctx == 0 {
+                continue;
             }
-        } else if mode == PipelineMode::Coarse {
-            // Even with no history each sequence's scores need softmax.
-            if let Some(last) = ops.last_mut() {
-                last.exposed_misc += softmax_all * b;
+            let mut kv_read = MemOp::new(
+                format!("L{layer}.kv_read"),
+                vec![
+                    image.kv_read_burst_seq(layer, false, ctx, slot),
+                    image.kv_read_burst_seq(layer, true, ctx, slot),
+                ],
+            );
+            if mode == PipelineMode::Coarse {
+                kv_read.exposed_misc = softmax_all(ctx);
             }
+            ops.push(kv_read);
         }
 
         // Current tokens' KV write-backs (codes; metadata amortized).
-        for seq in 0..batch {
+        for &(slot, ctx) in slots {
             ops.push(MemOp::new(
                 format!("L{layer}.kv_write"),
                 vec![
-                    image.kv_write_burst_seq(layer, false, ctx, seq),
-                    image.kv_write_burst_seq(layer, true, ctx, seq),
+                    image.kv_write_burst_seq(layer, false, ctx, slot),
+                    image.kv_write_burst_seq(layer, true, ctx, slot),
                 ],
             ));
         }
@@ -229,17 +279,20 @@ pub fn batched_token_schedule(
         ops.push(mlp);
     }
 
-    // Scale-zero FIFO flush: every 16th token writes one beat per stream,
-    // per sequence (each sequence owns its own metadata block).
-    if (ctx + 1).is_multiple_of(16) {
-        let streams = model.n_layers * model.n_kv_heads * 2;
-        let window = (ctx as u64 + 1) / 16 - 1;
-        let bursts = (0..batch)
-            .flat_map(|seq| {
-                (0..streams).map(move |s| image.kv_meta_write_burst_seq(s, window, seq))
-            })
-            .collect();
-        ops.push(MemOp::new("kv_meta_flush".into(), bursts));
+    // Scale-zero FIFO flush: a sequence crossing a 16-token window
+    // boundary this step writes one beat per stream into its own
+    // metadata block. In a ragged step only the crossing sequences pay.
+    let streams = model.n_layers * model.n_kv_heads * 2;
+    let flush_bursts: Vec<BurstDescriptor> = slots
+        .iter()
+        .filter(|&&(_, ctx)| (ctx + 1).is_multiple_of(16))
+        .flat_map(|&(slot, ctx)| {
+            let window = (ctx as u64 + 1) / 16 - 1;
+            (0..streams).map(move |s| image.kv_meta_write_burst_seq(s, window, slot))
+        })
+        .collect();
+    if !flush_bursts.is_empty() {
+        ops.push(MemOp::new("kv_meta_flush".into(), flush_bursts));
     }
 
     let mut head = MemOp::fanned("lm_head".into(), vec![image.lm_head().burst()], fanout);
@@ -248,7 +301,212 @@ pub fn batched_token_schedule(
     }
     ops.push(head);
 
-    TokenSchedule { ops, ctx, batch }
+    TokenSchedule {
+        ops,
+        ctx: slots.iter().map(|&(_, ctx)| ctx).max().unwrap_or(0),
+        batch,
+        slots: slots.to_vec(),
+    }
+}
+
+/// One contiguous span of a sequence's prompt processed in a single
+/// chunked-prefill step: tokens `start .. start + len` of the sequence
+/// occupying KV slot `slot`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PrefillChunk {
+    /// KV slot the sequence occupies.
+    pub slot: usize,
+    /// First prompt position this chunk covers (tokens `0..start` are
+    /// already cached from earlier chunks).
+    pub start: usize,
+    /// Tokens in this chunk (> 0).
+    pub len: usize,
+}
+
+/// Builds the schedule for one chunked-prefill step: each weight stream
+/// is fetched **once** and its compute fanned out across every prompt
+/// token of every chunk (`fanout = Σ len`), the defining win of prefill
+/// over token-by-token decode. Per chunk the step reads that sequence's
+/// cached history `[0, start)` once per layer (the chunk's own K/V stay
+/// on-chip and never round-trip through DDR), writes back `len` new KV
+/// positions, and flushes the scale-zero metadata of every 16-token
+/// window the chunk completes. Only one LM-head pass per *chunk* is
+/// scheduled — prefill discards intermediate logits.
+///
+/// # Panics
+///
+/// Panics if `chunks` is empty, a chunk is empty, a slot repeats or lies
+/// beyond `image.batch()`, or `start + len` exceeds
+/// `image.ctx_capacity()`.
+pub fn chunked_prefill_schedule(
+    image: &ModelImage,
+    chunks: &[PrefillChunk],
+    mode: PipelineMode,
+) -> TokenSchedule {
+    assert!(!chunks.is_empty(), "prefill needs at least one chunk");
+    for (i, c) in chunks.iter().enumerate() {
+        assert!(c.len > 0, "prefill chunk must cover at least one token");
+        assert!(
+            c.start + c.len <= image.ctx_capacity(),
+            "context beyond image capacity"
+        );
+        assert!(
+            c.slot < image.batch(),
+            "batch beyond image batch provisioning"
+        );
+        assert!(
+            !chunks[..i].iter().any(|p| p.slot == c.slot),
+            "duplicate slot in prefill schedule"
+        );
+    }
+    let model = image.model();
+    let d = model.d_model;
+    let hd = model.head_dim();
+    let heads = model.n_heads;
+    let total: usize = chunks.iter().map(|c| c.len).sum();
+    let t = total as u64;
+    let fanout = total as u32;
+    let head_fanout = chunks.len() as u32;
+    let mut ops: Vec<MemOp> = Vec::with_capacity(model.n_layers * (4 + 2 * chunks.len()) + 2);
+
+    let rmsnorm = 2 * d as u64;
+    let rope_all = (heads + model.n_kv_heads) as u64 * hd as u64;
+    // Token at position p attends to p + 1 keys; sum over the chunk.
+    let softmax_chunk = |c: &PrefillChunk| {
+        (c.start..c.start + c.len)
+            .map(|p| 3 * (p as u64 + 1) * heads as u64)
+            .sum::<u64>()
+    };
+    let quant_all = 2 * 2 * model.kv_dim() as u64;
+    let silu = model.d_ff as u64;
+
+    // Every prompt token fetches its embedding row.
+    ops.push(MemOp::new(
+        "embedding".into(),
+        chunks
+            .iter()
+            .flat_map(|c| (0..c.len).map(|_| image.embedding_row_burst(0)))
+            .collect(),
+    ));
+
+    for layer in 0..model.n_layers {
+        let projs = image.layer_projections(layer);
+        let find = |name: &str| {
+            projs
+                .iter()
+                .find(|p| p.name == name)
+                .unwrap_or_else(|| panic!("projection {name} missing"))
+        };
+
+        let mut qkv = MemOp::fanned(
+            format!("L{layer}.qkv"),
+            vec![find("wq").burst(), find("wk").burst(), find("wv").burst()],
+            fanout,
+        );
+        if mode == PipelineMode::Coarse {
+            qkv.exposed_misc = (rmsnorm + rope_all + quant_all) * t
+                + chunks
+                    .iter()
+                    .filter(|c| c.start == 0)
+                    .map(softmax_chunk)
+                    .sum::<u64>();
+        }
+        ops.push(qkv);
+
+        // Each chunk reads its sequence's cached history [0, start) once
+        // per layer; attention among the chunk's own tokens uses the K/V
+        // still resident on-chip.
+        for c in chunks {
+            if c.start == 0 {
+                continue;
+            }
+            let mut kv_read = MemOp::new(
+                format!("L{layer}.kv_read"),
+                vec![
+                    image.kv_read_burst_seq(layer, false, c.start, c.slot),
+                    image.kv_read_burst_seq(layer, true, c.start, c.slot),
+                ],
+            );
+            kv_read.compute_fanout = c.len as u32;
+            if mode == PipelineMode::Coarse {
+                kv_read.exposed_misc = softmax_chunk(c);
+            }
+            ops.push(kv_read);
+        }
+
+        // Every chunk token's K/V codes are written back.
+        for c in chunks {
+            ops.push(MemOp::new(
+                format!("L{layer}.kv_write"),
+                (c.start..c.start + c.len)
+                    .flat_map(|p| {
+                        [
+                            image.kv_write_burst_seq(layer, false, p, c.slot),
+                            image.kv_write_burst_seq(layer, true, p, c.slot),
+                        ]
+                    })
+                    .collect(),
+            ));
+        }
+
+        ops.push(MemOp::fanned(
+            format!("L{layer}.wo"),
+            vec![find("wo").burst()],
+            fanout,
+        ));
+
+        let mut mlp = MemOp::fanned(
+            format!("L{layer}.mlp"),
+            vec![
+                find("w_gate").burst(),
+                find("w_up").burst(),
+                find("w_down").burst(),
+            ],
+            fanout,
+        );
+        if mode == PipelineMode::Coarse {
+            mlp.exposed_misc = (rmsnorm + silu) * t;
+        }
+        ops.push(mlp);
+    }
+
+    // Metadata flush for every 16-token window a chunk completes.
+    let streams = model.n_layers * model.n_kv_heads * 2;
+    let flush_bursts: Vec<BurstDescriptor> = chunks
+        .iter()
+        .flat_map(|c| {
+            (c.start..c.start + c.len)
+                .filter(|p| (p + 1).is_multiple_of(16))
+                .flat_map(move |p| {
+                    let window = (p as u64 + 1) / 16 - 1;
+                    (0..streams).map(move |s| image.kv_meta_write_burst_seq(s, window, c.slot))
+                })
+        })
+        .collect();
+    if !flush_bursts.is_empty() {
+        ops.push(MemOp::new("kv_meta_flush".into(), flush_bursts));
+    }
+
+    // Only each chunk's last token needs logits.
+    let mut head = MemOp::fanned("lm_head".into(), vec![image.lm_head().burst()], head_fanout);
+    if mode == PipelineMode::Coarse {
+        head.exposed_misc = rmsnorm * chunks.len() as u64;
+    }
+    ops.push(head);
+
+    TokenSchedule {
+        ops,
+        ctx: chunks
+            .iter()
+            .map(|c| c.start + c.len - 1)
+            .max()
+            .unwrap_or(0),
+        batch: total,
+        slots: chunks
+            .iter()
+            .map(|c| (c.slot, c.start + c.len - 1))
+            .collect(),
+    }
 }
 
 #[cfg(test)]
@@ -418,6 +676,147 @@ mod tests {
             let expect = if per_seq { 1 } else { 4 };
             assert_eq!(op.compute_fanout, expect, "fanout of {}", op.label);
         }
+    }
+
+    #[test]
+    fn uniform_ragged_schedule_matches_batched() {
+        let image = batched_image(4);
+        for mode in [PipelineMode::Fused, PipelineMode::Coarse] {
+            for ctx in [0, 4, 15, 31] {
+                let batched = batched_token_schedule(&image, ctx, 4, mode);
+                let slots: Vec<(usize, usize)> = (0..4).map(|s| (s, ctx)).collect();
+                let ragged = ragged_token_schedule(&image, &slots, mode);
+                assert_eq!(batched.ops.len(), ragged.ops.len());
+                assert_eq!(batched.slots, ragged.slots);
+                for (a, b) in batched.ops.iter().zip(&ragged.ops) {
+                    assert_eq!(a.label, b.label);
+                    assert_eq!(a.bytes(), b.bytes());
+                    assert_eq!(a.vpu_beats, b.vpu_beats);
+                    assert_eq!(a.exposed_misc, b.exposed_misc);
+                    assert_eq!(a.compute_fanout, b.compute_fanout);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ragged_per_sequence_bytes_sum_per_slot_costs() {
+        let image = batched_image(4);
+        let slots = [(0usize, 3usize), (1, 17), (3, 0)];
+        let sched = ragged_token_schedule(&image, &slots, PipelineMode::Fused);
+        let (shared, per_seq) = split_bytes(&sched);
+        let (shared1, _) = split_bytes(&batched_token_schedule(&image, 3, 1, PipelineMode::Fused));
+        assert_eq!(shared, shared1, "weight bytes independent of raggedness");
+        let expect: u64 = slots
+            .iter()
+            .map(|&(_, ctx)| {
+                let s = batched_token_schedule(&image, ctx, 1, PipelineMode::Fused);
+                split_bytes(&s).1
+            })
+            .sum();
+        assert_eq!(per_seq, expect, "each sequence pays its own KV traffic");
+    }
+
+    #[test]
+    fn ragged_meta_flush_only_for_crossing_sequences() {
+        let image = batched_image(4);
+        // Slot 1 crosses the 16-token window; slot 0 does not.
+        let sched = ragged_token_schedule(&image, &[(0, 4), (1, 15)], PipelineMode::Fused);
+        let flush = sched
+            .ops
+            .iter()
+            .find(|o| o.label == "kv_meta_flush")
+            .expect("crossing sequence flushes");
+        let single = token_schedule(&image, 15, PipelineMode::Fused);
+        let single_flush = single
+            .ops
+            .iter()
+            .find(|o| o.label == "kv_meta_flush")
+            .unwrap();
+        assert_eq!(flush.bytes(), single_flush.bytes());
+        let none = ragged_token_schedule(&image, &[(0, 4), (1, 14)], PipelineMode::Fused);
+        assert!(!none.ops.iter().any(|o| o.label == "kv_meta_flush"));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate slot in ragged schedule")]
+    fn ragged_rejects_duplicate_slots() {
+        let image = batched_image(4);
+        let _ = ragged_token_schedule(&image, &[(2, 4), (2, 9)], PipelineMode::Fused);
+    }
+
+    #[test]
+    fn prefill_fans_weights_across_prompt_tokens() {
+        let image = batched_image(2);
+        let chunks = [
+            PrefillChunk {
+                slot: 0,
+                start: 0,
+                len: 8,
+            },
+            PrefillChunk {
+                slot: 1,
+                start: 4,
+                len: 4,
+            },
+        ];
+        let sched = chunked_prefill_schedule(&image, &chunks, PipelineMode::Fused);
+        assert_eq!(sched.batch, 12);
+        // Weight streams appear once, fanned to the 12 prompt tokens.
+        let qkv = sched.ops.iter().find(|o| o.label == "L0.qkv").unwrap();
+        assert_eq!(qkv.compute_fanout, 12);
+        let single = token_schedule(&image, 0, PipelineMode::Fused);
+        let sq = single.ops.iter().find(|o| o.label == "L0.qkv").unwrap();
+        assert_eq!(qkv.bytes(), sq.bytes(), "weights fetched once per step");
+        // LM head runs once per chunk, not per token.
+        let head = sched.ops.iter().find(|o| o.label == "lm_head").unwrap();
+        assert_eq!(head.compute_fanout, 2);
+        // Only slot 1 reads history (slot 0 starts from scratch).
+        let reads: Vec<_> = sched
+            .ops
+            .iter()
+            .filter(|o| o.label == "L0.kv_read")
+            .collect();
+        assert_eq!(reads.len(), 1);
+        // Every chunk token writes its KV back.
+        let writes: u64 = sched
+            .ops
+            .iter()
+            .filter(|o| o.label == "L0.kv_write")
+            .map(|o| o.bursts.len() as u64)
+            .sum();
+        assert_eq!(writes, 2 * 12);
+    }
+
+    #[test]
+    fn prefill_chunks_of_one_token_match_decode_bytes() {
+        // A one-token chunk at position p moves the same bytes as the
+        // decode step at ctx = p, modulo the LM head fanout.
+        let image = batched_image(2);
+        let chunk = [PrefillChunk {
+            slot: 0,
+            start: 9,
+            len: 1,
+        }];
+        let pre = chunked_prefill_schedule(&image, &chunk, PipelineMode::Fused);
+        let dec = token_schedule(&image, 9, PipelineMode::Fused);
+        assert_eq!(pre.total_bytes(), dec.total_bytes());
+        assert_eq!(pre.batch, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "context beyond image capacity")]
+    fn prefill_capacity_checked() {
+        let image = batched_image(2);
+        let _ = chunked_prefill_schedule(
+            &image,
+            &[PrefillChunk {
+                slot: 0,
+                start: 16,
+                len: 17,
+            }],
+            PipelineMode::Fused,
+        );
     }
 
     #[test]

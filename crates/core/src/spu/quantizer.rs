@@ -97,6 +97,13 @@ impl KvQuantizer {
     pub fn streams(&self) -> usize {
         self.fifo.streams()
     }
+
+    /// The packing FIFO's telemetry handles — cloneable, so a replacement
+    /// quantizer (a slot re-armed for a new sequence) can keep publishing
+    /// into the same counters.
+    pub fn counters(&self) -> &KvPackCounters {
+        self.fifo.counters()
+    }
 }
 
 #[cfg(test)]

@@ -11,7 +11,10 @@
 
 use crate::config::AccelConfig;
 use crate::image::ModelImage;
-use crate::schedule::{batched_token_schedule, TokenSchedule};
+use crate::schedule::{
+    batched_token_schedule, chunked_prefill_schedule, ragged_token_schedule, PrefillChunk,
+    TokenSchedule,
+};
 use crate::vpu::{Vpu, VpuCounters};
 use std::collections::HashMap;
 use std::rc::Rc;
@@ -164,6 +167,12 @@ pub struct DecodeEngine {
     /// Bounded by [`SCHEDULE_CACHE_CAP`]; misses past the cap are priced
     /// from a freshly derived schedule without being retained.
     schedules: HashMap<(usize, usize), Rc<CachedSchedule>>,
+    /// Ragged (per-sequence-context) schedules, keyed by the full slot
+    /// vector, in their own bounded cache so continuous-batching traffic
+    /// never evicts or pollutes the uniform `(ctx, batch)` entries the
+    /// sweeps and the perf gate rely on. Uniform slot vectors are routed
+    /// to `schedules` instead and never land here.
+    ragged_schedules: HashMap<Vec<(usize, usize)>, Rc<CachedSchedule>>,
 }
 
 /// Upper bound on retained schedules. Sweeps and the perf gate revisit a
@@ -171,6 +180,11 @@ pub struct DecodeEngine {
 /// context once, where caching buys nothing — so stop retaining rather
 /// than let a long run hold hundreds of schedules alive.
 const SCHEDULE_CACHE_CAP: usize = 64;
+
+/// Upper bound on retained ragged schedules. A serving run revisits the
+/// same few slot-vector shapes while the batch composition is stable and
+/// moves on as sequences advance, so a small window captures the reuse.
+const RAGGED_CACHE_CAP: usize = 64;
 
 /// A token schedule plus everything `price` derives from it alone:
 /// schedule-wide totals, the per-kind byte breakdown, and the telemetry
@@ -324,6 +338,7 @@ impl DecodeEngine {
             registry,
             metrics,
             schedules: HashMap::new(),
+            ragged_schedules: HashMap::new(),
         })
     }
 
@@ -400,6 +415,68 @@ impl DecodeEngine {
     pub fn decode_token_batch(&mut self, ctx: usize, batch: usize) -> BatchTokenReport {
         let cached = self.schedule_for(ctx, batch);
         self.price(&cached)
+    }
+
+    /// Prices one *ragged* (continuous-batching) decode step: each
+    /// `(slot, ctx)` pair is a sequence at its own context length in its
+    /// own KV slot. Weight streams are still fetched once and fanned to
+    /// all participants; each sequence pays exactly its own KV traffic,
+    /// so a freshly joined sequence never pads to the longest veteran.
+    ///
+    /// Uniform slot vectors (`[(0, c), …, (B-1, c)]`) price through the
+    /// same cached schedule as [`DecodeEngine::decode_token_batch`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slots` is empty, repeats a slot, or names a slot or
+    /// context beyond the engine's provisioning.
+    pub fn decode_token_ragged(&mut self, slots: &[(usize, usize)]) -> BatchTokenReport {
+        let cached = self.ragged_schedule_for(slots);
+        self.price(&cached)
+    }
+
+    /// Prices one chunked-prefill step: the weight stream is fetched once
+    /// and its compute fanned across every prompt token of every chunk
+    /// (`Σ len`), each chunk reads its own cached history once, and every
+    /// chunk token's KV is written back. The report's `batch` counts
+    /// prompt tokens, so `tokens_per_s` is prefill throughput.
+    ///
+    /// Prefill shapes rarely repeat (each chunk advances `start`), so
+    /// these schedules are derived fresh rather than cached.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunks` is empty, a chunk is empty or repeats a slot,
+    /// or a chunk runs past the engine's provisioning.
+    pub fn prefill_chunked(&mut self, chunks: &[PrefillChunk]) -> BatchTokenReport {
+        let sched = chunked_prefill_schedule(&self.image, chunks, self.accel.pipeline);
+        let cached = CachedSchedule::build(sched, &mut self.registry);
+        self.price(&cached)
+    }
+
+    /// The cached schedule for a ragged slot vector. Uniform vectors are
+    /// routed to the `(ctx, batch)` cache; genuinely ragged ones get
+    /// their own bounded map keyed by the full vector.
+    fn ragged_schedule_for(&mut self, slots: &[(usize, usize)]) -> Rc<CachedSchedule> {
+        if let Some(&(_, ctx0)) = slots.first() {
+            if slots
+                .iter()
+                .enumerate()
+                .all(|(i, &(slot, ctx))| slot == i && ctx == ctx0)
+            {
+                return self.schedule_for(ctx0, slots.len());
+            }
+        }
+        if let Some(cached) = self.ragged_schedules.get(slots) {
+            return Rc::clone(cached);
+        }
+        let sched = ragged_token_schedule(&self.image, slots, self.accel.pipeline);
+        let cached = Rc::new(CachedSchedule::build(sched, &mut self.registry));
+        if self.ragged_schedules.len() < RAGGED_CACHE_CAP {
+            self.ragged_schedules
+                .insert(slots.to_vec(), Rc::clone(&cached));
+        }
+        cached
     }
 
     /// The cached schedule for `(ctx, batch)`, deriving (and, below the
@@ -968,6 +1045,78 @@ mod tests {
         engine.decode_token_batch(8, 4);
         engine.decode_token(8);
         assert_eq!(engine.schedules.len(), 2, "(8,1) and (8,4)");
+    }
+
+    #[test]
+    fn uniform_ragged_step_prices_like_lockstep_and_shares_its_cache() {
+        let mut engine =
+            DecodeEngine::new_batched(AccelConfig::kv260(), &ModelConfig::test_small(), 32, 4)
+                .expect("fits");
+        let lock = engine.decode_token_batch(8, 4);
+        let ragged = engine.decode_token_ragged(&[(0, 8), (1, 8), (2, 8), (3, 8)]);
+        assert_eq!(lock.bytes, ragged.bytes);
+        assert_eq!(lock.vpu_cycles, ragged.vpu_cycles);
+        assert_eq!(lock.breakdown, ragged.breakdown);
+        assert_eq!(engine.schedules.len(), 1, "routed to the uniform cache");
+        assert!(engine.ragged_schedules.is_empty());
+    }
+
+    #[test]
+    fn ragged_step_prices_each_sequence_at_its_own_context() {
+        let mut engine =
+            DecodeEngine::new_batched(AccelConfig::kv260(), &ModelConfig::test_small(), 32, 4)
+                .expect("fits");
+        let ragged = engine.decode_token_ragged(&[(0, 2), (1, 30), (3, 0)]);
+        assert_eq!(ragged.batch, 3);
+        assert_eq!(ragged.ctx, 30, "reported ctx is the longest sequence's");
+        // Per-sequence KV bytes equal the sum of each member's own cost —
+        // strictly less than padding everyone to ctx 30.
+        let kv_expected: u64 = [2usize, 30, 0]
+            .iter()
+            .map(|&c| {
+                let r = engine.decode_token_batch(c, 1);
+                r.bytes_for("kv_read") + r.bytes_for("kv_write") + r.bytes_for("kv_meta_flush")
+            })
+            .sum();
+        let kv_ragged = ragged.bytes_for("kv_read")
+            + ragged.bytes_for("kv_write")
+            + ragged.bytes_for("kv_meta_flush");
+        assert_eq!(kv_ragged, kv_expected);
+        let padded = engine.decode_token_batch(30, 3);
+        assert!(ragged.bytes < padded.bytes, "raggedness avoids pad traffic");
+        assert_eq!(engine.ragged_schedules.len(), 1);
+        // The cache hit reprices the identical schedule.
+        let again = engine.decode_token_ragged(&[(0, 2), (1, 30), (3, 0)]);
+        assert_eq!(again.bytes, ragged.bytes);
+        assert_eq!(again.vpu_cycles, ragged.vpu_cycles);
+        assert_eq!(engine.ragged_schedules.len(), 1);
+    }
+
+    #[test]
+    fn chunked_prefill_beats_token_by_token_bytes() {
+        let mut engine =
+            DecodeEngine::new_batched(AccelConfig::kv260(), &ModelConfig::test_small(), 32, 2)
+                .expect("fits");
+        let chunk = engine.prefill_chunked(&[crate::schedule::PrefillChunk {
+            slot: 0,
+            start: 0,
+            len: 16,
+        }]);
+        assert_eq!(chunk.batch, 16, "reports prompt tokens");
+        // Token-by-token prefill streams the weights 16 times over.
+        let serial_bytes: u64 = (0..16).map(|c| engine.decode_token_batch(c, 1).bytes).sum();
+        assert!(chunk.bytes < serial_bytes / 8, "weights fetched once");
+        assert!(chunk.weight_amortization > 8.0);
+        assert!(chunk.tokens_per_s > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate slot in ragged schedule")]
+    fn ragged_duplicate_slot_panics() {
+        let mut engine =
+            DecodeEngine::new_batched(AccelConfig::kv260(), &ModelConfig::test_small(), 32, 4)
+                .expect("fits");
+        let _ = engine.decode_token_ragged(&[(1, 4), (1, 6)]);
     }
 
     #[test]

@@ -1,0 +1,223 @@
+//! The request/sequence lifecycle model.
+//!
+//! A [`Request`] is what a client submits: it arrives at a point in
+//! virtual time, carries a prompt, asks for a bounded number of new
+//! tokens, and belongs to a [`DeadlineClass`] that defines when its
+//! answer stops being useful. A [`RequestOutcome`] is the full audit
+//! record the simulator emits for it.
+
+/// Service class of a request: how quickly its tokens must arrive for
+/// the work to count as *goodput*.
+///
+/// The budgets are calibrated to the edge regime this repository prices
+/// — a ~5 token/s LLaMA2-7B on the KV260, where prefill runs through the
+/// same bandwidth-bound vector engine as decode — not to datacenter
+/// latencies. They order the classes; absolute values can be rescaled
+/// via [`DeadlineClass::scaled`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum DeadlineClass {
+    /// A user watching the tokens stream: tight TTFT and per-token
+    /// budgets.
+    Interactive,
+    /// A user waiting for a short answer: relaxed but bounded.
+    Standard,
+    /// Offline work (summarization queues, batch jobs): hours-scale
+    /// patience; effectively only throughput matters.
+    Batch,
+}
+
+impl DeadlineClass {
+    /// All classes, highest priority first.
+    pub const ALL: [DeadlineClass; 3] = [
+        DeadlineClass::Interactive,
+        DeadlineClass::Standard,
+        DeadlineClass::Batch,
+    ];
+
+    /// Scheduling priority: lower is served first.
+    pub fn priority(self) -> usize {
+        match self {
+            DeadlineClass::Interactive => 0,
+            DeadlineClass::Standard => 1,
+            DeadlineClass::Batch => 2,
+        }
+    }
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            DeadlineClass::Interactive => "interactive",
+            DeadlineClass::Standard => "standard",
+            DeadlineClass::Batch => "batch",
+        }
+    }
+
+    /// Time-to-first-token budget in seconds.
+    pub fn ttft_deadline_s(self) -> f64 {
+        match self {
+            DeadlineClass::Interactive => 30.0,
+            DeadlineClass::Standard => 120.0,
+            DeadlineClass::Batch => 1800.0,
+        }
+    }
+
+    /// Mean per-token latency budget in seconds (measured over the
+    /// decode phase, first token excluded).
+    pub fn token_deadline_s(self) -> f64 {
+        match self {
+            DeadlineClass::Interactive => 1.0,
+            DeadlineClass::Standard => 2.5,
+            DeadlineClass::Batch => 10.0,
+        }
+    }
+
+    /// The class budgets multiplied by `scale` — `(ttft_s, token_s)`.
+    /// Lets fast configurations (small models, LPDDR5 parts) tighten the
+    /// deadlines proportionally.
+    pub fn scaled(self, scale: f64) -> (f64, f64) {
+        (
+            self.ttft_deadline_s() * scale,
+            self.token_deadline_s() * scale,
+        )
+    }
+}
+
+/// One client request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Request {
+    /// Stable identifier (trace order).
+    pub id: usize,
+    /// Arrival time in virtual seconds.
+    pub arrival_s: f64,
+    /// Prompt length in tokens (> 0).
+    pub prompt_tokens: usize,
+    /// New tokens to generate (> 0).
+    pub max_new_tokens: usize,
+    /// Deadline class.
+    pub class: DeadlineClass,
+}
+
+impl Request {
+    /// Total KV positions this request will occupy when fully decoded —
+    /// the worst-case footprint admission must reserve.
+    pub fn total_tokens(&self) -> usize {
+        self.prompt_tokens + self.max_new_tokens
+    }
+}
+
+/// Why a request never produced tokens.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DropReason {
+    /// The admission queue was full when it arrived.
+    QueueFull,
+    /// The request could never fit (prompt + new tokens beyond the
+    /// per-sequence context capacity, or KV footprint beyond the whole
+    /// budget) — admission rejects it immediately rather than letting it
+    /// starve the queue.
+    Infeasible,
+}
+
+/// The audit record of one request's trip through the server.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RequestOutcome {
+    /// The request.
+    pub request: Request,
+    /// When admission granted it a slot (None if rejected).
+    pub admitted_s: Option<f64>,
+    /// When its first generated token completed (None if rejected).
+    pub first_token_s: Option<f64>,
+    /// When its last token completed (None if rejected).
+    pub finish_s: Option<f64>,
+    /// Tokens actually generated.
+    pub generated: usize,
+    /// Sum of decode-step latencies attributed to this request (first
+    /// token excluded), seconds.
+    pub token_latency_sum_s: f64,
+    /// Largest single decode-step latency (first token excluded), seconds.
+    pub token_latency_max_s: f64,
+    /// Why it was dropped, if it was.
+    pub dropped: Option<DropReason>,
+}
+
+impl RequestOutcome {
+    /// Time to first token, seconds.
+    pub fn ttft_s(&self) -> Option<f64> {
+        self.first_token_s.map(|t| t - self.request.arrival_s)
+    }
+
+    /// Mean decode-phase per-token latency, seconds (None until at least
+    /// two tokens exist).
+    pub fn mean_token_latency_s(&self) -> Option<f64> {
+        if self.generated >= 2 {
+            Some(self.token_latency_sum_s / (self.generated - 1) as f64)
+        } else {
+            None
+        }
+    }
+
+    /// Whether the request completed within its class deadlines: TTFT in
+    /// budget and mean per-token latency in budget (single-token answers
+    /// only need the TTFT).
+    pub fn deadline_met(&self, scale: f64) -> bool {
+        let (ttft_budget, token_budget) = self.request.class.scaled(scale);
+        match self.ttft_s() {
+            Some(ttft) if self.generated >= self.request.max_new_tokens => {
+                ttft <= ttft_budget
+                    && self
+                        .mean_token_latency_s()
+                        .is_none_or(|m| m <= token_budget)
+            }
+            _ => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classes_order_by_priority_and_budget() {
+        let mut last = 0.0;
+        for (i, c) in DeadlineClass::ALL.iter().enumerate() {
+            assert_eq!(c.priority(), i);
+            assert!(c.ttft_deadline_s() > last);
+            last = c.ttft_deadline_s();
+        }
+        let (t, p) = DeadlineClass::Interactive.scaled(0.5);
+        assert_eq!(t, 15.0);
+        assert_eq!(p, 0.5);
+    }
+
+    #[test]
+    fn outcome_deadline_logic() {
+        let req = Request {
+            id: 0,
+            arrival_s: 10.0,
+            prompt_tokens: 8,
+            max_new_tokens: 4,
+            class: DeadlineClass::Interactive,
+        };
+        let ok = RequestOutcome {
+            request: req.clone(),
+            admitted_s: Some(10.0),
+            first_token_s: Some(12.0),
+            finish_s: Some(13.5),
+            generated: 4,
+            token_latency_sum_s: 1.5,
+            token_latency_max_s: 0.6,
+            dropped: None,
+        };
+        assert_eq!(ok.ttft_s(), Some(2.0));
+        assert_eq!(ok.mean_token_latency_s(), Some(0.5));
+        assert!(ok.deadline_met(1.0));
+        assert!(!ok.deadline_met(0.01), "tightened budgets now missed");
+        let dropped = RequestOutcome {
+            first_token_s: None,
+            generated: 0,
+            dropped: Some(DropReason::QueueFull),
+            ..ok
+        };
+        assert!(!dropped.deadline_met(1.0));
+    }
+}

@@ -1,0 +1,730 @@
+//! The virtual-time serving simulator.
+//!
+//! [`Server`] replays a request trace against a [`DecodeEngine`],
+//! advancing a virtual clock by each priced step's wall time. Two
+//! batching disciplines are modeled:
+//!
+//! * **Continuous** — sequences join and leave between steps; every
+//!   decode step is a *ragged* batch where each sequence is priced at
+//!   its own context length, and prompts are prefilled in shared chunks
+//!   that fan one weight stream across all prompt tokens.
+//! * **Lockstep** — the classic gang-scheduling baseline: a batch is
+//!   formed only when the machine is idle, every member is padded to
+//!   the longest prompt, nobody joins mid-gang, and slots drain idle as
+//!   short members finish.
+//!
+//! Both run behind the same KV-capacity admission controller, so the
+//! comparison isolates the scheduling discipline. All latencies are
+//! virtual seconds derived from the DDR/VPU pricing model — the same
+//! trace on the same configuration reproduces bit-identical reports.
+
+use crate::admission::{AdmissionConfig, AdmissionController, Rejection};
+use crate::request::{DropReason, Request, RequestOutcome};
+use zllm_accel::{AccelConfig, DecodeEngine, PrefillChunk};
+use zllm_layout::addr_map::AllocError;
+use zllm_model::ModelConfig;
+
+/// The batching discipline the server runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchingMode {
+    /// Continuous batching: ragged per-sequence contexts, join/leave
+    /// between steps, chunked shared prefill.
+    Continuous,
+    /// Gang scheduling: batches form only on an idle machine, members
+    /// pad to the longest prompt, and no one joins mid-gang.
+    Lockstep,
+}
+
+impl BatchingMode {
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            BatchingMode::Continuous => "continuous",
+            BatchingMode::Lockstep => "lockstep",
+        }
+    }
+}
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Per-sequence context capacity the image is built for.
+    pub ctx_capacity: usize,
+    /// Concurrent KV slots the image provisions.
+    pub slots: usize,
+    /// Batching discipline.
+    pub mode: BatchingMode,
+    /// Maximum prompt tokens a single chunked-prefill step may carry
+    /// (across all sequences sharing the step).
+    pub prefill_chunk: usize,
+    /// Admission wait-queue capacity.
+    pub queue_cap: usize,
+    /// Anti-starvation bound for the admission queues, seconds.
+    pub starvation_bound_s: f64,
+    /// Overrides the KV byte budget (defaults to the image's own
+    /// [`kv_budget_bytes`](zllm_accel::ModelImage::kv_budget_bytes);
+    /// tighten it to study admission behaviour under capacity pressure).
+    pub kv_budget_bytes: Option<u64>,
+    /// Multiplier on the class deadline budgets (small models / fast
+    /// memory parts tighten deadlines proportionally).
+    pub deadline_scale: f64,
+}
+
+impl ServerConfig {
+    /// A continuous-batching configuration with sensible defaults for
+    /// the given geometry.
+    pub fn continuous(ctx_capacity: usize, slots: usize) -> ServerConfig {
+        ServerConfig {
+            ctx_capacity,
+            slots,
+            mode: BatchingMode::Continuous,
+            prefill_chunk: 32,
+            queue_cap: 64,
+            starvation_bound_s: 60.0,
+            kv_budget_bytes: None,
+            deadline_scale: 1.0,
+        }
+    }
+
+    /// The same defaults under the lockstep baseline discipline.
+    pub fn lockstep(ctx_capacity: usize, slots: usize) -> ServerConfig {
+        ServerConfig {
+            mode: BatchingMode::Lockstep,
+            ..ServerConfig::continuous(ctx_capacity, slots)
+        }
+    }
+}
+
+/// An in-flight sequence: the admitted request plus its progress.
+#[derive(Debug, Clone)]
+struct Active {
+    request: Request,
+    slot: usize,
+    bytes: u64,
+    admitted_s: f64,
+    prefilled: usize,
+    generated: usize,
+    first_token_s: Option<f64>,
+    token_latency_sum_s: f64,
+    token_latency_max_s: f64,
+}
+
+impl Active {
+    fn needs_prefill(&self) -> bool {
+        self.prefilled < self.request.prompt_tokens
+    }
+
+    fn ctx(&self) -> usize {
+        self.request.prompt_tokens + self.generated
+    }
+
+    fn done(&self) -> bool {
+        self.generated >= self.request.max_new_tokens
+    }
+
+    fn finish(self, now: f64) -> RequestOutcome {
+        RequestOutcome {
+            request: self.request,
+            admitted_s: Some(self.admitted_s),
+            first_token_s: self.first_token_s,
+            finish_s: Some(now),
+            generated: self.generated,
+            token_latency_sum_s: self.token_latency_sum_s,
+            token_latency_max_s: self.token_latency_max_s,
+            dropped: None,
+        }
+    }
+}
+
+/// The aggregate result of replaying one trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeReport {
+    /// Discipline that produced this report.
+    pub mode: BatchingMode,
+    /// Per-request audit records, in request-id order.
+    pub outcomes: Vec<RequestOutcome>,
+    /// Virtual seconds from first arrival to last completion.
+    pub sim_seconds: f64,
+    /// Requests offered to admission.
+    pub offered: u64,
+    /// Requests granted a slot.
+    pub admitted: u64,
+    /// Requests that ran to completion.
+    pub completed: u64,
+    /// Rejections because the wait queue was full.
+    pub rejected_queue_full: u64,
+    /// Rejections because the request could never fit.
+    pub rejected_infeasible: u64,
+    /// Completed requests that met their class deadlines.
+    pub deadline_met: u64,
+    /// New tokens generated across all requests.
+    pub generated_tokens: u64,
+    /// Prompt tokens prefilled across all requests.
+    pub prompt_tokens: u64,
+    /// Ragged / gang decode steps priced.
+    pub decode_steps: u64,
+    /// Chunked prefill steps priced.
+    pub prefill_steps: u64,
+    /// Aggregate decode throughput: generated tokens over sim seconds.
+    pub tokens_per_s: f64,
+    /// Goodput: tokens of deadline-meeting requests over sim seconds.
+    pub goodput_tokens_per_s: f64,
+    /// Time-to-first-token percentiles over completed requests, ms.
+    pub ttft_p50_ms: f64,
+    /// 95th-percentile TTFT, ms.
+    pub ttft_p95_ms: f64,
+    /// 99th-percentile TTFT, ms.
+    pub ttft_p99_ms: f64,
+    /// Median of per-request mean decode-token latency, ms.
+    pub token_p50_ms: f64,
+    /// 95th percentile of per-request mean token latency, ms.
+    pub token_p95_ms: f64,
+    /// 99th percentile of per-request mean token latency, ms.
+    pub token_p99_ms: f64,
+    /// Peak KV bytes reserved at any instant.
+    pub kv_peak_bytes: u64,
+    /// The KV budget admissions were priced against.
+    pub kv_budget_bytes: u64,
+    /// Peak admission-queue depth.
+    pub queue_peak: usize,
+}
+
+/// Nearest-rank percentile of an ascending-sorted slice (0 when empty).
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx]
+}
+
+/// The serving simulator: a decode engine plus admission control and a
+/// virtual clock.
+pub struct Server {
+    engine: DecodeEngine,
+    cfg: ServerConfig,
+    budget_bytes: u64,
+}
+
+impl Server {
+    /// Builds the engine image for the configured geometry and wraps it
+    /// in a server.
+    ///
+    /// # Errors
+    ///
+    /// Returns the allocation error when the weights plus the
+    /// provisioned KV slots do not fit the accelerator's DDR map.
+    pub fn new(
+        accel: AccelConfig,
+        model: &ModelConfig,
+        cfg: ServerConfig,
+    ) -> Result<Server, AllocError> {
+        assert!(cfg.slots > 0, "at least one slot required");
+        assert!(
+            cfg.prefill_chunk > 0,
+            "prefill chunk must cover at least one token"
+        );
+        assert!(cfg.deadline_scale > 0.0, "deadline scale must be positive");
+        let engine = DecodeEngine::new_batched(accel, model, cfg.ctx_capacity, cfg.slots)?;
+        let budget_bytes = cfg
+            .kv_budget_bytes
+            .unwrap_or_else(|| engine.image().kv_budget_bytes());
+        Ok(Server {
+            engine,
+            cfg,
+            budget_bytes,
+        })
+    }
+
+    /// The engine (image, metrics registry) backing this server.
+    pub fn engine(&self) -> &DecodeEngine {
+        &self.engine
+    }
+
+    /// Mutable engine access (snapshotting, registry resets).
+    pub fn engine_mut(&mut self) -> &mut DecodeEngine {
+        &mut self.engine
+    }
+
+    /// The KV byte budget admissions are priced against.
+    pub fn kv_budget_bytes(&self) -> u64 {
+        self.budget_bytes
+    }
+
+    /// Replays a trace (must be sorted by arrival time) to completion
+    /// and returns the aggregate report. Also publishes `serve.*`
+    /// counters and gauges into the engine's metrics registry; counters
+    /// accumulate across runs, so use one server per measured scenario.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace is not sorted by arrival time.
+    pub fn run(&mut self, trace: &[Request]) -> ServeReport {
+        assert!(
+            trace.windows(2).all(|w| w[0].arrival_s <= w[1].arrival_s),
+            "trace must be sorted by arrival time"
+        );
+        let mut admission = AdmissionController::new(AdmissionConfig {
+            slots: self.cfg.slots,
+            budget_bytes: self.budget_bytes,
+            queue_cap: self.cfg.queue_cap,
+            starvation_bound_s: self.cfg.starvation_bound_s,
+        });
+        let mut outcomes: Vec<RequestOutcome> = Vec::with_capacity(trace.len());
+        let mut active: Vec<Active> = Vec::new();
+        let mut next = 0usize; // next trace entry to ingest
+        let mut now = 0.0f64;
+        // Lockstep gang state: the padded prompt length of the current
+        // gang (None when the machine is between gangs).
+        let mut gang_pad: Option<usize> = None;
+        let mut decode_steps = 0u64;
+        let mut prefill_steps = 0u64;
+        let mut generated_tokens = 0u64;
+        let mut prompt_tokens = 0u64;
+
+        loop {
+            // Ingest every arrival due by now.
+            while next < trace.len() && trace[next].arrival_s <= now {
+                let r = trace[next].clone();
+                next += 1;
+                self.ingest(r, &mut admission, &mut outcomes);
+            }
+            // Admit from the queues under the discipline's rules.
+            match self.cfg.mode {
+                BatchingMode::Continuous => {
+                    while active.len() < self.cfg.slots {
+                        match admission.try_admit(now) {
+                            Some(g) => active.push(Active {
+                                request: g.request,
+                                slot: g.slot,
+                                bytes: g.bytes,
+                                admitted_s: g.admitted_s,
+                                prefilled: 0,
+                                generated: 0,
+                                first_token_s: None,
+                                token_latency_sum_s: 0.0,
+                                token_latency_max_s: 0.0,
+                            }),
+                            None => break,
+                        }
+                    }
+                }
+                BatchingMode::Lockstep => {
+                    // A gang forms only on an idle machine and pads every
+                    // member to the longest prompt; the padded context
+                    // must still fit the image for the slowest member.
+                    if active.is_empty() {
+                        gang_pad = None;
+                        let (mut pad, mut longest_tail) = (0usize, 0usize);
+                        let cap = self.cfg.ctx_capacity;
+                        while active.len() < self.cfg.slots {
+                            let g = admission.try_admit_where(now, |r| {
+                                pad.max(r.prompt_tokens) + longest_tail.max(r.max_new_tokens) <= cap
+                            });
+                            match g {
+                                Some(g) => {
+                                    pad = pad.max(g.request.prompt_tokens);
+                                    longest_tail = longest_tail.max(g.request.max_new_tokens);
+                                    active.push(Active {
+                                        request: g.request,
+                                        slot: g.slot,
+                                        bytes: g.bytes,
+                                        admitted_s: g.admitted_s,
+                                        prefilled: 0,
+                                        generated: 0,
+                                        first_token_s: None,
+                                        token_latency_sum_s: 0.0,
+                                        token_latency_max_s: 0.0,
+                                    });
+                                }
+                                None => break,
+                            }
+                        }
+                        if !active.is_empty() {
+                            gang_pad = Some(pad);
+                        }
+                    }
+                }
+            }
+            if active.is_empty() {
+                // Idle: jump to the next arrival, or stop when both the
+                // trace and the queues are exhausted (an empty machine
+                // always admits the head, so an idle machine with no
+                // future arrivals means nothing is left).
+                if next < trace.len() {
+                    now = now.max(trace[next].arrival_s);
+                    continue;
+                }
+                break;
+            }
+
+            if active.iter().any(Active::needs_prefill) {
+                // One shared chunked-prefill step: highest class first,
+                // then admission order, bounded by the chunk budget.
+                let mut order: Vec<usize> = (0..active.len())
+                    .filter(|&i| active[i].needs_prefill())
+                    .collect();
+                order.sort_by(|&a, &b| {
+                    let ka = (active[a].request.class.priority(), active[a].request.id);
+                    let kb = (active[b].request.class.priority(), active[b].request.id);
+                    ka.cmp(&kb)
+                });
+                let mut budget = self.cfg.prefill_chunk;
+                let mut chunks = Vec::new();
+                let mut owners = Vec::new();
+                for i in order {
+                    if budget == 0 {
+                        break;
+                    }
+                    let a = &active[i];
+                    let len = (a.request.prompt_tokens - a.prefilled).min(budget);
+                    chunks.push(PrefillChunk {
+                        slot: a.slot,
+                        start: a.prefilled,
+                        len,
+                    });
+                    owners.push((i, len));
+                    budget -= len;
+                }
+                let r = self.engine.prefill_chunked(&chunks);
+                now += r.wall_ns * 1e-9;
+                prefill_steps += 1;
+                for (i, len) in owners {
+                    active[i].prefilled += len;
+                    prompt_tokens += len as u64;
+                }
+                continue;
+            }
+
+            // One decode step for every active sequence.
+            let step_s = match self.cfg.mode {
+                BatchingMode::Continuous => {
+                    let slots: Vec<(usize, usize)> =
+                        active.iter().map(|a| (a.slot, a.ctx())).collect();
+                    self.engine.decode_token_ragged(&slots).wall_ns * 1e-9
+                }
+                BatchingMode::Lockstep => {
+                    // All alive members have generated the same count;
+                    // everyone is priced at the padded context.
+                    let pad = gang_pad.expect("gang in progress");
+                    let ctx = pad + active[0].generated;
+                    self.engine.decode_token_batch(ctx, active.len()).wall_ns * 1e-9
+                }
+            };
+            now += step_s;
+            decode_steps += 1;
+            generated_tokens += active.len() as u64;
+            for a in active.iter_mut() {
+                a.generated += 1;
+                if a.generated == 1 {
+                    a.first_token_s = Some(now);
+                } else {
+                    a.token_latency_sum_s += step_s;
+                    a.token_latency_max_s = a.token_latency_max_s.max(step_s);
+                }
+            }
+            // Retire finished sequences (preserving step order for the
+            // survivors keeps the ragged slot vectors deterministic).
+            let mut i = 0;
+            while i < active.len() {
+                if active[i].done() {
+                    let a = active.remove(i);
+                    admission.release(a.slot, a.bytes);
+                    outcomes.push(a.finish(now));
+                } else {
+                    i += 1;
+                }
+            }
+        }
+
+        outcomes.sort_by_key(|o| o.request.id);
+        let report = self.summarize(
+            outcomes,
+            now,
+            &admission,
+            decode_steps,
+            prefill_steps,
+            generated_tokens,
+            prompt_tokens,
+        );
+        self.publish(&report);
+        report
+    }
+
+    /// Offers one arrival to admission, recording a drop outcome when it
+    /// is turned away.
+    fn ingest(
+        &self,
+        r: Request,
+        admission: &mut AdmissionController,
+        outcomes: &mut Vec<RequestOutcome>,
+    ) {
+        let dropped = if r.total_tokens() > self.cfg.ctx_capacity {
+            admission.note_infeasible();
+            Some(DropReason::Infeasible)
+        } else {
+            let bytes = self.engine.image().kv_request_bytes(r.total_tokens());
+            match admission.offer(r.clone(), bytes, r.arrival_s) {
+                Ok(()) => None,
+                Err(Rejection::Infeasible) => Some(DropReason::Infeasible),
+                Err(Rejection::QueueFull) => Some(DropReason::QueueFull),
+            }
+        };
+        if let Some(reason) = dropped {
+            outcomes.push(RequestOutcome {
+                request: r,
+                admitted_s: None,
+                first_token_s: None,
+                finish_s: None,
+                generated: 0,
+                token_latency_sum_s: 0.0,
+                token_latency_max_s: 0.0,
+                dropped: Some(reason),
+            });
+        }
+    }
+
+    /// Folds outcomes and admission state into the aggregate report.
+    #[allow(clippy::too_many_arguments)]
+    fn summarize(
+        &self,
+        outcomes: Vec<RequestOutcome>,
+        sim_seconds: f64,
+        admission: &AdmissionController,
+        decode_steps: u64,
+        prefill_steps: u64,
+        generated_tokens: u64,
+        prompt_tokens: u64,
+    ) -> ServeReport {
+        let (offered, admitted, rejected_queue_full, rejected_infeasible) = admission.counts();
+        let (kv_peak_bytes, queue_peak) = admission.peaks();
+        let completed = outcomes.iter().filter(|o| o.finish_s.is_some()).count() as u64;
+        let met: Vec<&RequestOutcome> = outcomes
+            .iter()
+            .filter(|o| o.deadline_met(self.cfg.deadline_scale))
+            .collect();
+        let good_tokens: u64 = met.iter().map(|o| o.generated as u64).sum();
+        let mut ttfts: Vec<f64> = outcomes
+            .iter()
+            .filter_map(|o| o.ttft_s())
+            .map(|t| t * 1e3)
+            .collect();
+        ttfts.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let mut token_means: Vec<f64> = outcomes
+            .iter()
+            .filter_map(|o| o.mean_token_latency_s())
+            .map(|t| t * 1e3)
+            .collect();
+        token_means.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let per_s = |tokens: u64| {
+            if sim_seconds > 0.0 {
+                tokens as f64 / sim_seconds
+            } else {
+                0.0
+            }
+        };
+        ServeReport {
+            mode: self.cfg.mode,
+            sim_seconds,
+            offered,
+            admitted,
+            completed,
+            rejected_queue_full,
+            rejected_infeasible,
+            deadline_met: met.len() as u64,
+            generated_tokens,
+            prompt_tokens,
+            decode_steps,
+            prefill_steps,
+            tokens_per_s: per_s(generated_tokens),
+            goodput_tokens_per_s: per_s(good_tokens),
+            ttft_p50_ms: percentile(&ttfts, 0.50),
+            ttft_p95_ms: percentile(&ttfts, 0.95),
+            ttft_p99_ms: percentile(&ttfts, 0.99),
+            token_p50_ms: percentile(&token_means, 0.50),
+            token_p95_ms: percentile(&token_means, 0.95),
+            token_p99_ms: percentile(&token_means, 0.99),
+            kv_peak_bytes,
+            kv_budget_bytes: self.budget_bytes,
+            queue_peak,
+            outcomes,
+        }
+    }
+
+    /// Publishes the report into the engine's metrics registry under the
+    /// `serve.` namespace.
+    fn publish(&mut self, report: &ServeReport) {
+        let m = self.engine.metrics_mut();
+        m.counter("serve.requests.offered").add(report.offered);
+        m.counter("serve.requests.admitted").add(report.admitted);
+        m.counter("serve.requests.completed").add(report.completed);
+        m.counter("serve.requests.rejected_queue_full")
+            .add(report.rejected_queue_full);
+        m.counter("serve.requests.rejected_infeasible")
+            .add(report.rejected_infeasible);
+        m.counter("serve.deadline.met").add(report.deadline_met);
+        m.counter("serve.tokens.generated")
+            .add(report.generated_tokens);
+        m.counter("serve.tokens.prompt").add(report.prompt_tokens);
+        m.counter("serve.steps.decode").add(report.decode_steps);
+        m.counter("serve.steps.prefill").add(report.prefill_steps);
+        m.gauge("serve.sim_seconds").set(report.sim_seconds);
+        m.gauge("serve.tokens_per_s").set(report.tokens_per_s);
+        m.gauge("serve.goodput_tokens_per_s")
+            .set(report.goodput_tokens_per_s);
+        m.gauge("serve.ttft_p50_ms").set(report.ttft_p50_ms);
+        m.gauge("serve.ttft_p95_ms").set(report.ttft_p95_ms);
+        m.gauge("serve.ttft_p99_ms").set(report.ttft_p99_ms);
+        m.gauge("serve.token_p50_ms").set(report.token_p50_ms);
+        m.gauge("serve.token_p95_ms").set(report.token_p95_ms);
+        m.gauge("serve.token_p99_ms").set(report.token_p99_ms);
+        m.gauge("serve.kv_peak_bytes")
+            .set(report.kv_peak_bytes as f64);
+        m.gauge("serve.queue_peak").set(report.queue_peak as f64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traffic::{generate, ArrivalModel, TrafficConfig};
+    use zllm_model::ModelConfig;
+
+    fn trace(requests: usize, rate: f64) -> Vec<Request> {
+        generate(&TrafficConfig {
+            requests,
+            seed: 11,
+            arrivals: ArrivalModel::Poisson { rate_per_s: rate },
+            prompt_tokens: (8, 48),
+            new_tokens: (4, 16),
+            class_mix: [0.5, 0.3, 0.2],
+        })
+    }
+
+    fn server(mode: BatchingMode) -> Server {
+        let cfg = match mode {
+            BatchingMode::Continuous => ServerConfig::continuous(128, 4),
+            BatchingMode::Lockstep => ServerConfig::lockstep(128, 4),
+        };
+        Server::new(AccelConfig::kv260(), &ModelConfig::tiny_llama_1_1b(), cfg).expect("image fits")
+    }
+
+    #[test]
+    fn continuous_run_completes_every_request_deterministically() {
+        let t = trace(12, 0.5);
+        let a = server(BatchingMode::Continuous).run(&t);
+        let b = server(BatchingMode::Continuous).run(&t);
+        assert_eq!(a, b, "bit-identical replay");
+        assert_eq!(a.outcomes.len(), 12);
+        assert_eq!(a.completed, 12);
+        assert_eq!(a.rejected_queue_full + a.rejected_infeasible, 0);
+        for o in &a.outcomes {
+            assert_eq!(o.generated, o.request.max_new_tokens);
+            assert!(o.ttft_s().expect("served") > 0.0);
+            assert!(o.finish_s.expect("finished") >= o.request.arrival_s);
+        }
+        assert_eq!(
+            a.generated_tokens,
+            t.iter().map(|r| r.max_new_tokens as u64).sum::<u64>()
+        );
+        assert_eq!(
+            a.prompt_tokens,
+            t.iter().map(|r| r.prompt_tokens as u64).sum::<u64>()
+        );
+        assert!(a.prefill_steps > 0 && a.decode_steps > 0);
+        assert!(a.tokens_per_s > 0.0);
+    }
+
+    #[test]
+    fn continuous_beats_lockstep_on_aggregate_throughput() {
+        // Load heavy enough that batching matters: the gang baseline
+        // pays padded contexts and drains to idle slots, continuous
+        // backfills immediately.
+        let t = trace(24, 2.0);
+        let cont = server(BatchingMode::Continuous).run(&t);
+        let lock = server(BatchingMode::Lockstep).run(&t);
+        assert_eq!(cont.completed, 24);
+        assert_eq!(lock.completed, 24);
+        assert!(
+            cont.tokens_per_s > lock.tokens_per_s,
+            "continuous {:.3} tok/s must beat lockstep {:.3} tok/s",
+            cont.tokens_per_s,
+            lock.tokens_per_s
+        );
+        assert!(cont.sim_seconds < lock.sim_seconds);
+    }
+
+    #[test]
+    fn kv_occupancy_never_exceeds_budget_even_when_tightened() {
+        let model = ModelConfig::tiny_llama_1_1b();
+        let mut cfg = ServerConfig::continuous(128, 4);
+        // Tighten the budget to roughly two max-size sequences so the
+        // byte budget (not the slot count) is what binds.
+        let full = Server::new(AccelConfig::kv260(), &model, cfg.clone())
+            .expect("image fits")
+            .kv_budget_bytes();
+        cfg.kv_budget_bytes = Some(full / 2);
+        let mut srv = Server::new(AccelConfig::kv260(), &model, cfg).expect("image fits");
+        let report = srv.run(&trace(16, 2.0));
+        assert!(report.kv_peak_bytes <= report.kv_budget_bytes);
+        assert_eq!(report.kv_budget_bytes, full / 2);
+        assert_eq!(
+            report.completed + report.rejected_queue_full + report.rejected_infeasible,
+            16
+        );
+        // The tight budget must actually have throttled concurrency.
+        assert!(report.queue_peak > 0, "tight budget should queue requests");
+    }
+
+    #[test]
+    fn oversized_and_overflow_requests_are_dropped_with_reasons() {
+        let mut t = trace(4, 10.0);
+        // An impossible request: prompt beyond the context capacity.
+        t[0].prompt_tokens = 4096;
+        let report = server(BatchingMode::Continuous).run(&t);
+        let dropped = &report.outcomes[0];
+        assert_eq!(dropped.dropped, Some(DropReason::Infeasible));
+        assert!(dropped.finish_s.is_none());
+        assert_eq!(report.rejected_infeasible, 1);
+        assert_eq!(report.completed, 3);
+    }
+
+    #[test]
+    fn queue_overflow_rejects_with_queue_full() {
+        let model = ModelConfig::tiny_llama_1_1b();
+        let mut cfg = ServerConfig::continuous(128, 1);
+        cfg.queue_cap = 1;
+        let mut srv = Server::new(AccelConfig::kv260(), &model, cfg).expect("image fits");
+        // A burst of simultaneous arrivals: 1 runs, 1 queues, rest drop.
+        let mut t = trace(6, 100.0);
+        for r in &mut t {
+            r.arrival_s = 0.0;
+        }
+        let report = srv.run(&t);
+        assert!(report.rejected_queue_full >= 1);
+        assert!(report
+            .outcomes
+            .iter()
+            .any(|o| o.dropped == Some(DropReason::QueueFull)));
+        assert_eq!(
+            report.completed + report.rejected_queue_full + report.rejected_infeasible,
+            6
+        );
+    }
+
+    #[test]
+    fn metrics_registry_carries_serve_namespace() {
+        let mut srv = server(BatchingMode::Continuous);
+        let report = srv.run(&trace(8, 1.0));
+        let snap = srv.engine().metrics_snapshot();
+        assert_eq!(
+            snap.counter("serve.requests.completed"),
+            Some(report.completed)
+        );
+        assert_eq!(
+            snap.counter("serve.tokens.generated"),
+            Some(report.generated_tokens)
+        );
+        assert_eq!(snap.gauge("serve.tokens_per_s"), Some(report.tokens_per_s));
+    }
+}

@@ -1,0 +1,212 @@
+//! Deterministic synthetic traffic generation.
+//!
+//! Serving papers evaluate schedulers on arrival processes, not single
+//! requests; this module produces reproducible traces of [`Request`]s
+//! from a seed — Poisson arrivals for steady multi-tenant load and a
+//! bursty variant for the flash crowds that make admission control
+//! earn its keep.
+
+use crate::request::{DeadlineClass, Request};
+use zllm_rng::StdRng;
+
+/// The arrival process.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ArrivalModel {
+    /// Memoryless arrivals at `rate_per_s` requests per second
+    /// (exponential inter-arrival gaps).
+    Poisson {
+        /// Offered load in requests per second.
+        rate_per_s: f64,
+    },
+    /// Arrivals in back-to-back groups of `burst`, the groups themselves
+    /// Poisson at `rate_per_s / burst` — same long-run offered load as
+    /// the Poisson model, much uglier instantaneous queue depth.
+    Bursty {
+        /// Offered load in requests per second (averaged over bursts).
+        rate_per_s: f64,
+        /// Requests per burst (> 0).
+        burst: usize,
+    },
+}
+
+impl ArrivalModel {
+    /// Long-run offered load in requests per second.
+    pub fn rate_per_s(self) -> f64 {
+        match self {
+            ArrivalModel::Poisson { rate_per_s } => rate_per_s,
+            ArrivalModel::Bursty { rate_per_s, .. } => rate_per_s,
+        }
+    }
+}
+
+/// A traffic trace specification.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrafficConfig {
+    /// Requests to generate.
+    pub requests: usize,
+    /// RNG seed — the entire trace is a pure function of this config.
+    pub seed: u64,
+    /// Arrival process.
+    pub arrivals: ArrivalModel,
+    /// Inclusive prompt-length range in tokens.
+    pub prompt_tokens: (usize, usize),
+    /// Inclusive generated-length range in tokens.
+    pub new_tokens: (usize, usize),
+    /// Relative weights of the interactive / standard / batch classes
+    /// (need not sum to one; all-zero means everything is interactive).
+    pub class_mix: [f64; 3],
+}
+
+impl TrafficConfig {
+    /// A small interactive-heavy default around the given arrival model.
+    pub fn default_mix(requests: usize, seed: u64, arrivals: ArrivalModel) -> TrafficConfig {
+        TrafficConfig {
+            requests,
+            seed,
+            arrivals,
+            prompt_tokens: (16, 64),
+            new_tokens: (8, 32),
+            class_mix: [0.5, 0.3, 0.2],
+        }
+    }
+}
+
+/// An exponential draw with the given rate, from a uniform in `[0, 1)`.
+fn exp_gap(rng: &mut StdRng, rate_per_s: f64) -> f64 {
+    assert!(rate_per_s > 0.0, "arrival rate must be positive");
+    // 1 - u is in (0, 1], so the log is finite.
+    -(1.0 - rng.gen_f64()).ln() / rate_per_s
+}
+
+fn pick_class(rng: &mut StdRng, mix: &[f64; 3]) -> DeadlineClass {
+    let total: f64 = mix.iter().sum();
+    if total <= 0.0 {
+        return DeadlineClass::Interactive;
+    }
+    let mut u = rng.gen_f64() * total;
+    for (w, class) in mix.iter().zip(DeadlineClass::ALL) {
+        if u < *w {
+            return class;
+        }
+        u -= w;
+    }
+    DeadlineClass::Batch
+}
+
+/// Generates the trace: requests sorted by arrival time, ids in trace
+/// order. Deterministic in the config.
+///
+/// # Panics
+///
+/// Panics if a length range is empty or inverted, the rate is not
+/// positive, or a bursty model has `burst == 0`.
+pub fn generate(cfg: &TrafficConfig) -> Vec<Request> {
+    assert!(
+        cfg.prompt_tokens.0 > 0 && cfg.prompt_tokens.0 <= cfg.prompt_tokens.1,
+        "prompt range must be non-empty"
+    );
+    assert!(
+        cfg.new_tokens.0 > 0 && cfg.new_tokens.0 <= cfg.new_tokens.1,
+        "new-token range must be non-empty"
+    );
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut t = 0.0f64;
+    let mut out = Vec::with_capacity(cfg.requests);
+    for id in 0..cfg.requests {
+        t += match cfg.arrivals {
+            ArrivalModel::Poisson { rate_per_s } => exp_gap(&mut rng, rate_per_s),
+            ArrivalModel::Bursty { rate_per_s, burst } => {
+                assert!(burst > 0, "burst must be at least one request");
+                if id % burst == 0 {
+                    exp_gap(&mut rng, rate_per_s / burst as f64)
+                } else {
+                    0.0
+                }
+            }
+        };
+        out.push(Request {
+            id,
+            arrival_s: t,
+            prompt_tokens: rng.gen_range(cfg.prompt_tokens.0..=cfg.prompt_tokens.1),
+            max_new_tokens: rng.gen_range(cfg.new_tokens.0..=cfg.new_tokens.1),
+            class: pick_class(&mut rng, &cfg.class_mix),
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(arrivals: ArrivalModel) -> TrafficConfig {
+        TrafficConfig {
+            requests: 200,
+            seed: 7,
+            arrivals,
+            prompt_tokens: (4, 16),
+            new_tokens: (2, 8),
+            class_mix: [1.0, 1.0, 1.0],
+        }
+    }
+
+    #[test]
+    fn traces_are_deterministic_and_sorted() {
+        let c = cfg(ArrivalModel::Poisson { rate_per_s: 2.0 });
+        let a = generate(&c);
+        let b = generate(&c);
+        assert_eq!(a, b);
+        assert!(a.windows(2).all(|w| w[0].arrival_s <= w[1].arrival_s));
+        assert!(a.iter().enumerate().all(|(i, r)| r.id == i));
+        // Ranges respected.
+        assert!(a.iter().all(|r| (4..=16).contains(&r.prompt_tokens)));
+        assert!(a.iter().all(|r| (2..=8).contains(&r.max_new_tokens)));
+        // A different seed is a different trace.
+        let mut c2 = c.clone();
+        c2.seed = 8;
+        assert_ne!(generate(&c2), a);
+    }
+
+    #[test]
+    fn poisson_rate_is_roughly_right() {
+        let c = cfg(ArrivalModel::Poisson { rate_per_s: 2.0 });
+        let trace = generate(&c);
+        let span = trace.last().unwrap().arrival_s;
+        let rate = trace.len() as f64 / span;
+        assert!((1.5..2.6).contains(&rate), "empirical rate {rate}");
+    }
+
+    #[test]
+    fn bursty_matches_long_run_rate_with_clumps() {
+        let c = cfg(ArrivalModel::Bursty {
+            rate_per_s: 2.0,
+            burst: 8,
+        });
+        let trace = generate(&c);
+        let span = trace.last().unwrap().arrival_s;
+        let rate = trace.len() as f64 / span;
+        assert!((1.4..2.8).contains(&rate), "empirical rate {rate}");
+        // Within a burst the gaps are zero.
+        assert_eq!(trace[1].arrival_s, trace[0].arrival_s);
+        assert_eq!(trace[7].arrival_s, trace[0].arrival_s);
+        assert!(trace[8].arrival_s > trace[7].arrival_s);
+    }
+
+    #[test]
+    fn class_mix_hits_every_class() {
+        let trace = generate(&cfg(ArrivalModel::Poisson { rate_per_s: 1.0 }));
+        for class in DeadlineClass::ALL {
+            assert!(
+                trace.iter().any(|r| r.class == class),
+                "class {} never drawn",
+                class.name()
+            );
+        }
+        // Degenerate mix falls back to interactive.
+        let mut c = cfg(ArrivalModel::Poisson { rate_per_s: 1.0 });
+        c.class_mix = [0.0, 0.0, 0.0];
+        assert!(generate(&c)
+            .iter()
+            .all(|r| r.class == DeadlineClass::Interactive));
+    }
+}

@@ -51,3 +51,4 @@ pub use zllm_layout as layout;
 pub use zllm_model as model;
 pub use zllm_par as par;
 pub use zllm_quant as quant;
+pub use zllm_serve as serve;

@@ -142,6 +142,60 @@ fn batched_functional_decode_matches_independent_decodes() {
 }
 
 #[test]
+fn ragged_continuous_batch_join_and_leave_is_bit_identical() {
+    // Continuous batching correctness: sequences join mid-run, step at
+    // their own positions, leave, and hand their slot to a successor —
+    // and every sequence's logits must stay bit-identical to a lone
+    // AccelDecoder fed the same tokens, on both kernel paths.
+    let _guard = KERNEL_CONFIG.lock().unwrap();
+    let cfg = ModelConfig::test_small();
+    let w = ModelWeights::generate(&cfg, 321);
+    let calib = capture(&w, &[5, 10, 15]);
+    let qm = convert(&w, &calib, GroupQuantConfig::w4_g128(), PtqMethod::Rtn);
+    let a_tokens = [3usize, 11, 40, 2];
+    let b_tokens = [70usize, 70, 5];
+    let c_tokens = [1usize, 2];
+    let bits = |l: &[f32]| l.iter().map(|v| v.to_bits()).collect::<Vec<u32>>();
+    for fast in [false, true] {
+        set_fast_kernels(fast);
+        let mut batch = AccelBatchDecoder::new(&qm, 2);
+        let (mut got_a, mut got_b, mut got_c) = (Vec::new(), Vec::new(), Vec::new());
+        // A runs alone in slot 0 for two steps.
+        got_a.push(bits(&batch.decode_at(&[(0, a_tokens[0])])[0]));
+        got_a.push(bits(&batch.decode_at(&[(0, a_tokens[1])])[0]));
+        // B joins in slot 1 at its own position 0; two ragged steps.
+        for i in 0..2 {
+            let step = batch.decode_at(&[(0, a_tokens[2 + i]), (1, b_tokens[i])]);
+            got_a.push(bits(&step[0]));
+            got_b.push(bits(&step[1]));
+        }
+        // A is done; its slot is recycled for C while B keeps going.
+        batch.reset_seq(0);
+        assert_eq!(batch.seq_pos(0), 0);
+        assert_eq!(batch.seq_pos(1), 2);
+        let step = batch.decode_at(&[(0, c_tokens[0]), (1, b_tokens[2])]);
+        got_c.push(bits(&step[0]));
+        got_b.push(bits(&step[1]));
+        got_c.push(bits(&batch.decode_at(&[(0, c_tokens[1])])[0]));
+        // Reference: each sequence decoded independently.
+        let solo = |tokens: &[usize]| {
+            let mut dec = AccelDecoder::new(&qm);
+            tokens
+                .iter()
+                .map(|&t| bits(&dec.forward(t)))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(got_a, solo(&a_tokens), "seq A diverged, fast={fast}");
+        assert_eq!(got_b, solo(&b_tokens), "joined seq B diverged, fast={fast}");
+        assert_eq!(
+            got_c,
+            solo(&c_tokens),
+            "successor seq C diverged, fast={fast}"
+        );
+    }
+}
+
+#[test]
 fn reference_decode_is_identical_with_fast_kernels_on_and_off() {
     let _guard = KERNEL_CONFIG.lock().unwrap();
     let cfg = ModelConfig::test_small();
