@@ -787,9 +787,6 @@ impl<'m> AccelBatchDecoder<'m> {
             );
         }
         let b = steps.len();
-        let hd = cfg.head_dim();
-        let group = cfg.n_heads / cfg.n_kv_heads;
-        let scale = F16::from_f32(1.0 / (hd as f32).sqrt());
 
         let mut xs: Vec<Vec<F16>> = steps
             .iter()
@@ -801,99 +798,20 @@ impl<'m> AccelBatchDecoder<'m> {
         s.inner.resize_with(b, Vec::new);
 
         for (layer_idx, layer) in self.model.layers.iter().enumerate() {
-            // Attention block.
-            for (xn, x) in s.xn.iter_mut().zip(&xs) {
-                *xn = self.rms.normalize(x, &layer.attn_norm);
-            }
-            layer.wq.matvec_batch(&self.vpu, &s.xn, &mut s.mv, &mut s.q);
-            layer.wk.matvec_batch(&self.vpu, &s.xn, &mut s.mv, &mut s.k);
-            layer.wv.matvec_batch(&self.vpu, &s.xn, &mut s.mv, &mut s.v);
-
-            for (i, &(slot, _)) in steps.iter().enumerate() {
-                let state = &mut self.seqs[slot];
-                let pos = state.pos;
-                for h in 0..cfg.n_heads {
-                    self.rope
-                        .apply(&mut s.q[i][h * hd..(h + 1) * hd], pos as u32);
-                }
-                for h in 0..cfg.n_kv_heads {
-                    self.rope
-                        .apply(&mut s.k[i][h * hd..(h + 1) * hd], pos as u32);
-                    // Online KV8 quantization into this sequence's FIFO.
-                    let kq = state
-                        .quantizer
-                        .quantize_head(0, &s.k[i][h * hd..(h + 1) * hd]);
-                    let vq = state
-                        .quantizer
-                        .quantize_head(0, &s.v[i][h * hd..(h + 1) * hd]);
-                    state.kv[layer_idx].keys.push(kq.codes);
-                    state.kv[layer_idx].values.push(vq.codes);
-                }
-            }
-
-            for (i, &(slot, _)) in steps.iter().enumerate() {
-                let state = &self.seqs[slot];
-                let pos = state.pos;
-                let attn_out = &mut s.attn_out[i];
-                attn_out.clear();
-                attn_out.resize(cfg.d_model, F16::ZERO);
-                for h in 0..cfg.n_heads {
-                    let kv_head = h / group;
-                    let qh = &s.q[i][h * hd..(h + 1) * hd];
-                    s.scores.clear();
-                    for t in 0..=pos {
-                        state.kv[layer_idx].keys[t * cfg.n_kv_heads + kv_head]
-                            .dequantize_f16_into(&mut s.kv);
-                        s.scores
-                            .push(F16::from_f32(self.vpu.dot_row(qh, &s.kv)) * scale);
-                    }
-                    let probs = self.softmax.softmax(&s.scores);
-                    // Weighted value sum, accumulated in f32 per lane.
-                    s.acc.clear();
-                    s.acc.resize(hd, 0.0);
-                    for (t, &p) in probs.iter().enumerate() {
-                        state.kv[layer_idx].values[t * cfg.n_kv_heads + kv_head]
-                            .dequantize_f16_into(&mut s.kv);
-                        for (a, vv) in s.acc.iter_mut().zip(&s.kv) {
-                            *a += (p * *vv).to_f32();
-                        }
-                    }
-                    for (o, a) in attn_out[h * hd..(h + 1) * hd].iter_mut().zip(&s.acc) {
-                        *o = F16::from_f32(*a);
-                    }
-                }
-            }
-
-            layer
-                .wo
-                .matvec_batch(&self.vpu, &s.attn_out, &mut s.mv, &mut s.proj);
-            for (x, proj) in xs.iter_mut().zip(&s.proj) {
-                for (xi, pi) in x.iter_mut().zip(proj) {
-                    *xi += *pi;
-                }
-            }
-
-            // MLP block.
-            for (xn, x) in s.xn.iter_mut().zip(&xs) {
-                *xn = self.rms.normalize(x, &layer.mlp_norm);
-            }
-            layer
-                .w_gate
-                .matvec_batch(&self.vpu, &s.xn, &mut s.mv, &mut s.gate);
-            layer
-                .w_up
-                .matvec_batch(&self.vpu, &s.xn, &mut s.mv, &mut s.up);
-            for (inner, (gate, up)) in s.inner.iter_mut().zip(s.gate.iter().zip(&s.up)) {
-                *inner = self.silu.gate(gate, up);
-            }
-            layer
-                .w_down
-                .matvec_batch(&self.vpu, &s.inner, &mut s.mv, &mut s.proj);
-            for (x, proj) in xs.iter_mut().zip(&s.proj) {
-                for (xi, di) in x.iter_mut().zip(proj) {
-                    *xi += *di;
-                }
-            }
+            batch_layer_forward(
+                layer,
+                layer_idx,
+                &cfg,
+                &self.vpu,
+                &self.rope,
+                &self.rms,
+                &self.softmax,
+                &self.silu,
+                &mut self.seqs,
+                steps,
+                &mut xs,
+                s,
+            );
         }
 
         for (xn, x) in s.xn.iter_mut().zip(&xs) {
@@ -914,6 +832,353 @@ impl<'m> AccelBatchDecoder<'m> {
     /// Runs a prefill phase for every sequence in lockstep
     /// (`prompts[step]` holds each sequence's token at `step`), returning
     /// the last step's logits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `prompts` is empty or any step's width differs from the
+    /// batch.
+    pub fn prefill_batch(&mut self, prompts: &[Vec<usize>]) -> Vec<Vec<f32>> {
+        assert!(!prompts.is_empty(), "empty prompt");
+        let mut logits = Vec::new();
+        for step in prompts {
+            logits = self.decode_batch(step);
+        }
+        logits
+    }
+}
+
+/// One transformer layer of the batched datapath — the exact operation
+/// sequence [`AccelBatchDecoder::decode_at`] runs, factored out so the
+/// pipeline-sharded decoder executes the identical code path per stage
+/// and its logits stay bit-identical to the single-board decoder by
+/// construction. `kv_idx` indexes the caller's per-sequence KV storage
+/// (global layer index for the full decoder, stage-local for a shard).
+#[allow(clippy::too_many_arguments)]
+fn batch_layer_forward(
+    layer: &QuantizedLayer,
+    kv_idx: usize,
+    cfg: &ModelConfig,
+    vpu: &Vpu,
+    rope: &RopeUnit,
+    rms: &RmsNormUnit,
+    softmax: &SoftmaxUnit,
+    silu: &SiluUnit,
+    seqs: &mut [SeqState],
+    steps: &[(usize, usize)],
+    xs: &mut [Vec<F16>],
+    s: &mut BatchScratch,
+) {
+    let hd = cfg.head_dim();
+    let group = cfg.n_heads / cfg.n_kv_heads;
+    let scale = F16::from_f32(1.0 / (hd as f32).sqrt());
+
+    // Attention block.
+    for (xn, x) in s.xn.iter_mut().zip(xs.iter()) {
+        *xn = rms.normalize(x, &layer.attn_norm);
+    }
+    layer.wq.matvec_batch(vpu, &s.xn, &mut s.mv, &mut s.q);
+    layer.wk.matvec_batch(vpu, &s.xn, &mut s.mv, &mut s.k);
+    layer.wv.matvec_batch(vpu, &s.xn, &mut s.mv, &mut s.v);
+
+    for (i, &(slot, _)) in steps.iter().enumerate() {
+        let state = &mut seqs[slot];
+        let pos = state.pos;
+        for h in 0..cfg.n_heads {
+            rope.apply(&mut s.q[i][h * hd..(h + 1) * hd], pos as u32);
+        }
+        for h in 0..cfg.n_kv_heads {
+            rope.apply(&mut s.k[i][h * hd..(h + 1) * hd], pos as u32);
+            // Online KV8 quantization into this sequence's FIFO.
+            let kq = state
+                .quantizer
+                .quantize_head(0, &s.k[i][h * hd..(h + 1) * hd]);
+            let vq = state
+                .quantizer
+                .quantize_head(0, &s.v[i][h * hd..(h + 1) * hd]);
+            state.kv[kv_idx].keys.push(kq.codes);
+            state.kv[kv_idx].values.push(vq.codes);
+        }
+    }
+
+    for (i, &(slot, _)) in steps.iter().enumerate() {
+        let state = &seqs[slot];
+        let pos = state.pos;
+        let attn_out = &mut s.attn_out[i];
+        attn_out.clear();
+        attn_out.resize(cfg.d_model, F16::ZERO);
+        for h in 0..cfg.n_heads {
+            let kv_head = h / group;
+            let qh = &s.q[i][h * hd..(h + 1) * hd];
+            s.scores.clear();
+            for t in 0..=pos {
+                state.kv[kv_idx].keys[t * cfg.n_kv_heads + kv_head].dequantize_f16_into(&mut s.kv);
+                s.scores.push(F16::from_f32(vpu.dot_row(qh, &s.kv)) * scale);
+            }
+            let probs = softmax.softmax(&s.scores);
+            // Weighted value sum, accumulated in f32 per lane.
+            s.acc.clear();
+            s.acc.resize(hd, 0.0);
+            for (t, &p) in probs.iter().enumerate() {
+                state.kv[kv_idx].values[t * cfg.n_kv_heads + kv_head]
+                    .dequantize_f16_into(&mut s.kv);
+                for (a, vv) in s.acc.iter_mut().zip(&s.kv) {
+                    *a += (p * *vv).to_f32();
+                }
+            }
+            for (o, a) in attn_out[h * hd..(h + 1) * hd].iter_mut().zip(&s.acc) {
+                *o = F16::from_f32(*a);
+            }
+        }
+    }
+
+    layer
+        .wo
+        .matvec_batch(vpu, &s.attn_out, &mut s.mv, &mut s.proj);
+    for (x, proj) in xs.iter_mut().zip(&s.proj) {
+        for (xi, pi) in x.iter_mut().zip(proj) {
+            *xi += *pi;
+        }
+    }
+
+    // MLP block.
+    for (xn, x) in s.xn.iter_mut().zip(xs.iter()) {
+        *xn = rms.normalize(x, &layer.mlp_norm);
+    }
+    layer
+        .w_gate
+        .matvec_batch(vpu, &s.xn, &mut s.mv, &mut s.gate);
+    layer.w_up.matvec_batch(vpu, &s.xn, &mut s.mv, &mut s.up);
+    for (inner, (gate, up)) in s.inner.iter_mut().zip(s.gate.iter().zip(&s.up)) {
+        *inner = silu.gate(gate, up);
+    }
+    layer
+        .w_down
+        .matvec_batch(vpu, &s.inner, &mut s.mv, &mut s.proj);
+    for (x, proj) in xs.iter_mut().zip(&s.proj) {
+        for (xi, di) in x.iter_mut().zip(proj) {
+            *xi += *di;
+        }
+    }
+}
+
+/// One pipeline stage of the sharded decoder: a contiguous global layer
+/// range plus the per-sequence KV state for exactly those layers — the
+/// state the board holding this shard would keep in its own DDR.
+#[derive(Debug)]
+struct ShardStage {
+    layers: std::ops::Range<usize>,
+    seqs: Vec<SeqState>,
+}
+
+/// The functional decoder for a pipeline-parallel sharded batch.
+///
+/// The model's layers split into `stages` contiguous ranges (see
+/// [`crate::image::split_layers`]); each stage keeps its own per-sequence
+/// KV history and online KV8 quantizers for exactly its layers, as each
+/// board of a cluster would, and the hidden-state vector is handed from
+/// stage to stage exactly as the interconnect would carry it. Every stage
+/// runs the identical per-layer datapath as [`AccelBatchDecoder`]
+/// (the shared `batch_layer_forward`), and KV8 codes are a pure function
+/// of the head vector being quantized, so per-sequence logits are
+/// **bit-identical** to the single-board decoder — the determinism test
+/// the cluster layer's pricing rests on.
+///
+/// # Example
+///
+/// ```
+/// use zllm_accel::{AccelBatchDecoder, QuantizedModel, ShardedBatchDecoder};
+/// use zllm_model::{ModelConfig, ModelWeights};
+/// use zllm_quant::group::GroupQuantConfig;
+///
+/// let cfg = ModelConfig::test_small();
+/// let weights = ModelWeights::generate(&cfg, 1);
+/// let qmodel = QuantizedModel::quantize(&weights, GroupQuantConfig::w4_g128());
+/// let mut sharded = ShardedBatchDecoder::new(&qmodel, 2, 2);
+/// let mut single = AccelBatchDecoder::new(&qmodel, 2);
+/// assert_eq!(sharded.decode_batch(&[3, 7]), single.decode_batch(&[3, 7]));
+/// ```
+#[derive(Debug)]
+pub struct ShardedBatchDecoder<'m> {
+    model: &'m QuantizedModel,
+    vpu: Vpu,
+    rope: RopeUnit,
+    rms: RmsNormUnit,
+    softmax: SoftmaxUnit,
+    silu: SiluUnit,
+    stages: Vec<ShardStage>,
+    scratch: BatchScratch,
+}
+
+impl<'m> ShardedBatchDecoder<'m> {
+    /// Creates a decoder for `batch` concurrent sequences over `stages`
+    /// pipeline shards.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch` is zero, or `stages` is zero or exceeds the
+    /// model's layer count.
+    pub fn new(model: &'m QuantizedModel, batch: usize, stages: usize) -> ShardedBatchDecoder<'m> {
+        assert!(batch > 0, "batch must be at least one sequence");
+        let cfg = model.config();
+        let stages = crate::image::split_layers(cfg.n_layers, stages)
+            .into_iter()
+            .map(|layers| ShardStage {
+                seqs: (0..batch)
+                    .map(|_| SeqState {
+                        quantizer: KvQuantizer::new(layers.len() * cfg.n_kv_heads * 2),
+                        kv: vec![LayerKv::default(); layers.len()],
+                        pos: 0,
+                    })
+                    .collect(),
+                layers,
+            })
+            .collect();
+        ShardedBatchDecoder {
+            model,
+            vpu: Vpu::kv260(),
+            rope: RopeUnit::new(cfg.head_dim()),
+            rms: RmsNormUnit::new(cfg.norm_eps),
+            softmax: SoftmaxUnit::new(),
+            silu: SiluUnit::new(),
+            stages,
+            scratch: BatchScratch::default(),
+        }
+    }
+
+    /// Pipeline stages.
+    pub fn stages(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// Sequences in the batch.
+    pub fn batch(&self) -> usize {
+        self.stages[0].seqs.len()
+    }
+
+    /// Tokens processed so far by the furthest-ahead sequence.
+    pub fn pos(&self) -> usize {
+        self.stages[0].seqs.iter().map(|s| s.pos).max().unwrap_or(0)
+    }
+
+    /// Tokens processed so far by the sequence in `slot`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` is out of range.
+    pub fn seq_pos(&self, slot: usize) -> usize {
+        self.stages[0].seqs[slot].pos
+    }
+
+    /// Re-arms `slot` for a fresh sequence on **every** stage — the
+    /// cluster-wide analogue of [`AccelBatchDecoder::reset_seq`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` is out of range.
+    pub fn reset_seq(&mut self, slot: usize) {
+        let cfg = self.model.config();
+        for stage in &mut self.stages {
+            let state = &mut stage.seqs[slot];
+            state.quantizer = KvQuantizer::with_counters(
+                stage.layers.len() * cfg.n_kv_heads * 2,
+                state.quantizer.counters().clone(),
+            );
+            state.kv = vec![LayerKv::default(); stage.layers.len()];
+            state.pos = 0;
+        }
+    }
+
+    /// Decodes one token for every sequence in lockstep — the uniform
+    /// special case of [`ShardedBatchDecoder::decode_at`].
+    ///
+    /// # Panics
+    ///
+    /// Panics as [`AccelBatchDecoder::decode_batch`] does.
+    pub fn decode_batch(&mut self, tokens: &[usize]) -> Vec<Vec<f32>> {
+        assert_eq!(tokens.len(), self.batch(), "one token per sequence");
+        let pos0 = self.stages[0].seqs[0].pos;
+        assert!(
+            self.stages[0].seqs.iter().all(|s| s.pos == pos0),
+            "sequences are ragged; use decode_at"
+        );
+        let steps: Vec<(usize, usize)> = tokens.iter().copied().enumerate().collect();
+        self.decode_at(&steps)
+    }
+
+    /// Decodes one token for each `(slot, token)` pair across the whole
+    /// pipeline: the first stage embeds, each stage runs its layer range
+    /// over its own KV state, hidden states flow stage to stage, and the
+    /// last stage applies the final norm and LM head. Bit-identical to
+    /// [`AccelBatchDecoder::decode_at`] on the same model and history.
+    ///
+    /// # Panics
+    ///
+    /// Panics as [`AccelBatchDecoder::decode_at`] does.
+    pub fn decode_at(&mut self, steps: &[(usize, usize)]) -> Vec<Vec<f32>> {
+        let cfg = self.model.config().clone();
+        assert!(!steps.is_empty(), "at least one sequence required");
+        for (i, &(slot, t)) in steps.iter().enumerate() {
+            assert!(slot < self.batch(), "slot {slot} out of range");
+            assert!(
+                !steps[..i].iter().any(|&(s, _)| s == slot),
+                "duplicate slot in decode step"
+            );
+            assert!(t < cfg.vocab_size, "token {t} out of vocabulary");
+            assert!(
+                self.stages[0].seqs[slot].pos < cfg.max_seq_len,
+                "context window exhausted"
+            );
+        }
+        let b = steps.len();
+
+        // Stage 0 owns the embedding table.
+        let mut xs: Vec<Vec<F16>> = steps
+            .iter()
+            .map(|&(_, t)| self.model.embedding[t].clone())
+            .collect();
+        let s = &mut self.scratch;
+        s.xn.resize_with(b, Vec::new);
+        s.attn_out.resize_with(b, Vec::new);
+        s.inner.resize_with(b, Vec::new);
+
+        for stage in &mut self.stages {
+            for (kv_idx, layer_idx) in stage.layers.clone().enumerate() {
+                batch_layer_forward(
+                    &self.model.layers[layer_idx],
+                    kv_idx,
+                    &cfg,
+                    &self.vpu,
+                    &self.rope,
+                    &self.rms,
+                    &self.softmax,
+                    &self.silu,
+                    &mut stage.seqs,
+                    steps,
+                    &mut xs,
+                    s,
+                );
+            }
+        }
+
+        // The last stage owns the final norm and LM head.
+        for (xn, x) in s.xn.iter_mut().zip(&xs) {
+            *xn = self.rms.normalize(x, &self.model.final_norm);
+        }
+        for stage in &mut self.stages {
+            for &(slot, _) in steps {
+                stage.seqs[slot].pos += 1;
+            }
+        }
+        self.model
+            .lm_head
+            .matvec_batch(&self.vpu, &s.xn, &mut s.mv, &mut s.logits);
+        s.logits
+            .iter()
+            .map(|logits| logits.iter().map(|v| v.to_f32()).collect())
+            .collect()
+    }
+
+    /// Runs a lockstep prefill phase, returning the last step's logits.
     ///
     /// # Panics
     ///
@@ -1115,6 +1380,56 @@ mod tests {
         let (_, _, qmodel) = setup(2);
         let mut batch = AccelBatchDecoder::new(&qmodel, 2);
         let _ = batch.decode_batch(&[1, 2, 3]);
+    }
+
+    #[test]
+    fn sharded_decode_matches_single_board_bitwise() {
+        let (cfg, _, qmodel) = setup(17);
+        for stages in 1..=cfg.n_layers.min(4) {
+            let mut sharded = ShardedBatchDecoder::new(&qmodel, 3, stages);
+            let mut single = AccelBatchDecoder::new(&qmodel, 3);
+            assert_eq!(sharded.stages(), stages);
+            let steps = [[1usize, 50, 7], [9, 2, 101], [30, 30, 4]];
+            for step in steps {
+                let got = sharded.decode_batch(&step);
+                let want = single.decode_batch(&step);
+                for (seq, (g, w)) in got.iter().zip(&want).enumerate() {
+                    let gb: Vec<u32> = g.iter().map(|v| v.to_bits()).collect();
+                    let wb: Vec<u32> = w.iter().map(|v| v.to_bits()).collect();
+                    assert_eq!(gb, wb, "sequence {seq} diverged at {stages} stages");
+                }
+            }
+            assert_eq!(sharded.pos(), single.pos());
+        }
+    }
+
+    #[test]
+    fn sharded_ragged_join_and_leave_matches() {
+        let (_, _, qmodel) = setup(23);
+        let mut sharded = ShardedBatchDecoder::new(&qmodel, 3, 2);
+        let mut single = AccelBatchDecoder::new(&qmodel, 3);
+        // Ragged steps: slot 1 sits out, then joins fresh after a reset.
+        let phases: [&[(usize, usize)]; 4] = [
+            &[(0, 5), (2, 9)],
+            &[(0, 11), (2, 3)],
+            &[(1, 7)],
+            &[(0, 2), (1, 4), (2, 8)],
+        ];
+        for (i, steps) in phases.iter().enumerate() {
+            if i == 2 {
+                sharded.reset_seq(1);
+                single.reset_seq(1);
+            }
+            let got = sharded.decode_at(steps);
+            let want = single.decode_at(steps);
+            for (seq, (g, w)) in got.iter().zip(&want).enumerate() {
+                let gb: Vec<u32> = g.iter().map(|v| v.to_bits()).collect();
+                let wb: Vec<u32> = w.iter().map(|v| v.to_bits()).collect();
+                assert_eq!(gb, wb, "phase {i} participant {seq} diverged");
+            }
+        }
+        assert_eq!(sharded.seq_pos(0), single.seq_pos(0));
+        assert_eq!(sharded.seq_pos(1), single.seq_pos(1));
     }
 
     #[test]

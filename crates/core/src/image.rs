@@ -15,6 +15,32 @@ use zllm_model::ModelConfig;
 /// The seven projections of one layer, in streaming order.
 pub const PROJECTIONS: [&str; 7] = ["wq", "wk", "wv", "wo", "w_gate", "w_up", "w_down"];
 
+/// Splits `n_layers` transformer layers into `stages` contiguous,
+/// near-even ranges — the canonical pipeline-parallel shard boundaries
+/// shared by [`ModelImage::build_shard`] callers and the functional
+/// sharded decoder. Earlier stages absorb the remainder, so stage sizes
+/// differ by at most one layer.
+///
+/// # Panics
+///
+/// Panics if `stages` is zero or exceeds `n_layers`.
+pub fn split_layers(n_layers: usize, stages: usize) -> Vec<std::ops::Range<usize>> {
+    assert!(
+        stages > 0 && stages <= n_layers,
+        "stage count {stages} must be in 1..={n_layers}"
+    );
+    let base = n_layers / stages;
+    let extra = n_layers % stages;
+    let mut out = Vec::with_capacity(stages);
+    let mut start = 0;
+    for s in 0..stages {
+        let len = base + usize::from(s < extra);
+        out.push(start..start + len);
+        start += len;
+    }
+    out
+}
+
 /// One placed weight stream.
 #[derive(Debug, Clone)]
 pub struct PlacedProjection {
@@ -54,7 +80,15 @@ pub struct ModelImage {
     /// weight image is shared by every sequence; only KV space scales.
     batch: usize,
     map: MemoryMap,
-    embedding: Region,
+    /// Global index of the first transformer layer this image holds.
+    /// Zero for a full image; the shard boundary for pipeline-parallel
+    /// splits built by [`ModelImage::build_shard`].
+    layer_offset: usize,
+    /// Whether this image places the LM head (the last pipeline stage).
+    owns_head: bool,
+    /// `None` for shards that do not hold the embedding table (every
+    /// pipeline stage but the first).
+    embedding: Option<Region>,
     projections: Vec<PlacedProjection>,
     /// Per (layer, K/V): contiguous code region of `batch × ctx_capacity`
     /// tokens — sequence `s` owns the slots
@@ -99,12 +133,66 @@ impl ModelImage {
         ctx_capacity: usize,
         batch: usize,
     ) -> Result<ModelImage, AllocError> {
+        ModelImage::build_ranged(model, format, ctx_capacity, batch, 0..model.n_layers)
+    }
+
+    /// Builds the image of one pipeline-parallel shard: the weight
+    /// streams and KV regions of layers `layers.start..layers.end` only,
+    /// plus the embedding table when the shard starts at layer 0 and the
+    /// LM head when it ends at the last layer. Everything on the image —
+    /// layer accessors, KV budget, request pricing, schedules — then
+    /// speaks shard-local layer indices (`0..layers.len()`); the global
+    /// boundary is recorded as [`ModelImage::layer_offset`].
+    ///
+    /// A board holding a shard spends its DDR only on its own slice, so
+    /// per-board KV budgets shrink with depth and the freed capacity can
+    /// be re-provisioned as extra sequence slots — the lever the cluster
+    /// layer prices.
+    ///
+    /// # Errors
+    ///
+    /// Returns the allocation failure if the shard does not fit the 4 GB
+    /// device.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch` is zero or `layers` is empty or out of range.
+    pub fn build_shard(
+        model: &ModelConfig,
+        format: WeightFormat,
+        ctx_capacity: usize,
+        batch: usize,
+        layers: std::ops::Range<usize>,
+    ) -> Result<ModelImage, AllocError> {
+        ModelImage::build_ranged(model, format, ctx_capacity, batch, layers)
+    }
+
+    fn build_ranged(
+        model: &ModelConfig,
+        format: WeightFormat,
+        ctx_capacity: usize,
+        batch: usize,
+        layers: std::ops::Range<usize>,
+    ) -> Result<ModelImage, AllocError> {
         assert!(batch > 0, "batch must be at least 1");
+        assert!(
+            !layers.is_empty() && layers.end <= model.n_layers,
+            "shard layer range {layers:?} must be a non-empty subrange of 0..{}",
+            model.n_layers
+        );
         model.validate().map_err(|e| AllocError {
             name: e,
             requested: 0,
             available: 0,
         })?;
+        let owns_embedding = layers.start == 0;
+        let owns_head = layers.end == model.n_layers;
+        // The image speaks shard-local layer indices: a shard-local model
+        // config (n_layers = the slice length) keeps every accessor and
+        // scheduling loop — KV budgets, request pricing, stream counts —
+        // correct without the rest of the stack knowing about shards.
+        let mut shard = model.clone();
+        shard.n_layers = layers.len();
         let mut map = MemoryMap::kv260();
 
         let alloc_spill = |map: &mut MemoryMap, name: &str, bytes: u64| {
@@ -112,12 +200,16 @@ impl ModelImage {
                 .or_else(|_| map.alloc(name, bytes, Window::Low))
         };
 
-        // FP16 embedding table.
-        let embedding = alloc_spill(
-            &mut map,
-            "embedding table (fp16)",
-            (model.vocab_size * model.d_model * 2) as u64,
-        )?;
+        // FP16 embedding table — only on the first pipeline stage.
+        let embedding = if owns_embedding {
+            Some(alloc_spill(
+                &mut map,
+                "embedding table (fp16)",
+                (model.vocab_size * model.d_model * 2) as u64,
+            )?)
+        } else {
+            None
+        };
 
         // Per-layer projections, in streaming order.
         let d = model.d_model;
@@ -132,8 +224,8 @@ impl ModelImage {
             ("w_up", ff, d),
             ("w_down", d, ff),
         ];
-        let mut projections = Vec::with_capacity(model.n_layers * 7 + 1);
-        for layer in 0..model.n_layers {
+        let mut projections = Vec::with_capacity(layers.len() * 7 + usize::from(owns_head));
+        for layer in layers.clone() {
             for (name, rows, cols) in shapes {
                 let beats = format.beats_for(rows * cols) as u64;
                 let region = alloc_spill(
@@ -151,22 +243,24 @@ impl ModelImage {
                 });
             }
         }
-        let head_beats = format.beats_for(model.vocab_size * d) as u64;
-        let head_region = alloc_spill(&mut map, "lm_head", head_beats * BEAT_BYTES as u64)?;
-        projections.push(PlacedProjection {
-            name: "lm_head",
-            layer: usize::MAX,
-            rows: model.vocab_size,
-            cols: d,
-            addr: head_region.base,
-            beats: head_beats,
-        });
+        if owns_head {
+            let head_beats = format.beats_for(model.vocab_size * d) as u64;
+            let head_region = alloc_spill(&mut map, "lm_head", head_beats * BEAT_BYTES as u64)?;
+            projections.push(PlacedProjection {
+                name: "lm_head",
+                layer: usize::MAX,
+                rows: model.vocab_size,
+                cols: d,
+                addr: head_region.base,
+                beats: head_beats,
+            });
+        }
 
         // KV code regions: one per (layer, K/V), each ctx_capacity × kv_dim
         // bytes, beat-aligned per token vector.
         let token_bytes = kv.max(1).next_multiple_of(BEAT_BYTES) as u64;
-        let mut kv_regions = Vec::with_capacity(model.n_layers * 2);
-        for layer in 0..model.n_layers {
+        let mut kv_regions = Vec::with_capacity(layers.len() * 2);
+        for layer in layers.clone() {
             for which in ["K", "V"] {
                 let r = alloc_spill(
                     &mut map,
@@ -178,17 +272,19 @@ impl ModelImage {
         }
 
         // Packed scale-zero region: one beat per stream per 16 tokens,
-        // one block per sequence.
-        let streams = (model.n_layers * model.n_kv_heads * 2) as u64;
+        // one block per sequence. Streams count only this image's layers.
+        let streams = (shard.n_layers * shard.n_kv_heads * 2) as u64;
         let meta_beats = streams * (ctx_capacity as u64).div_ceil(16) * batch as u64;
         let kv_meta = alloc_spill(&mut map, "kv scale-zero packs", meta_beats * 64)?;
 
         Ok(ModelImage {
-            model: model.clone(),
+            model: shard,
             format,
             ctx_capacity,
             batch,
             map,
+            layer_offset: layers.start,
+            owns_head,
             embedding,
             projections,
             kv_regions,
@@ -196,9 +292,30 @@ impl ModelImage {
         })
     }
 
-    /// The model configuration.
+    /// The model configuration this image holds. For a shard built by
+    /// [`ModelImage::build_shard`] this is the shard-local view —
+    /// `n_layers` is the slice length, and every layer-indexed accessor
+    /// takes shard-local indices.
     pub fn model(&self) -> &ModelConfig {
         &self.model
+    }
+
+    /// Global index of the first layer this image holds (zero for a full
+    /// image).
+    pub fn layer_offset(&self) -> usize {
+        self.layer_offset
+    }
+
+    /// Whether this image places the FP16 embedding table (true for full
+    /// images and the first pipeline stage).
+    pub fn owns_embedding(&self) -> bool {
+        self.embedding.is_some()
+    }
+
+    /// Whether this image places the LM head (true for full images and
+    /// the last pipeline stage).
+    pub fn owns_head(&self) -> bool {
+        self.owns_head
     }
 
     /// The weight format.
@@ -243,17 +360,30 @@ impl ModelImage {
     }
 
     /// The LM head projection.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a shard image that does not own the head.
     pub fn lm_head(&self) -> &PlacedProjection {
+        assert!(self.owns_head, "shard image does not place the LM head");
         self.projections
             .last()
             .expect("image always has an LM head")
     }
 
     /// Read burst for one embedding row (FP16).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a shard image that does not own the embedding table.
     pub fn embedding_row_burst(&self, token: usize) -> BurstDescriptor {
+        let embedding = self
+            .embedding
+            .as_ref()
+            .expect("shard image does not place the embedding table");
         let row_bytes = (self.model.d_model * 2) as u64;
         let beats = row_bytes.div_ceil(BEAT_BYTES as u64) as u32;
-        BurstDescriptor::new(self.embedding.base + token as u64 * row_bytes, beats)
+        BurstDescriptor::new(embedding.base + token as u64 * row_bytes, beats)
     }
 
     /// Bytes one cached token vector occupies (beat-aligned codes).
@@ -518,5 +648,70 @@ mod tests {
         let cfg = ModelConfig::test_small();
         let image = ModelImage::build_batched(&cfg, WeightFormat::kv260(), 16, 2).expect("fits");
         let _ = image.kv_read_burst_seq(0, false, 4, 2);
+    }
+
+    #[test]
+    fn shards_partition_the_full_image() {
+        let cfg = ModelConfig::test_small();
+        let full = ModelImage::build_batched(&cfg, WeightFormat::kv260(), 32, 2).expect("fits");
+        let mid = cfg.n_layers / 2;
+        let first =
+            ModelImage::build_shard(&cfg, WeightFormat::kv260(), 32, 2, 0..mid).expect("fits");
+        let last = ModelImage::build_shard(&cfg, WeightFormat::kv260(), 32, 2, mid..cfg.n_layers)
+            .expect("fits");
+
+        // Ownership splits along the pipeline.
+        assert!(first.owns_embedding() && !first.owns_head());
+        assert!(!last.owns_embedding() && last.owns_head());
+        assert_eq!(first.layer_offset(), 0);
+        assert_eq!(last.layer_offset(), mid);
+        assert_eq!(first.model().n_layers, mid);
+        assert_eq!(last.model().n_layers, cfg.n_layers - mid);
+
+        // The shards exactly partition the full image's weight stream
+        // and KV budget — nothing duplicated, nothing dropped.
+        assert_eq!(
+            first.weight_stream_bytes() + last.weight_stream_bytes(),
+            full.weight_stream_bytes()
+        );
+        assert_eq!(
+            first.kv_budget_bytes() + last.kv_budget_bytes(),
+            full.kv_budget_bytes()
+        );
+        assert_eq!(
+            first.kv_request_bytes(20) + last.kv_request_bytes(20),
+            full.kv_request_bytes(20)
+        );
+
+        // Shard-local accessors address the shard's own slice.
+        assert_eq!(first.projections().len(), mid * 7);
+        assert_eq!(last.projections().len(), (cfg.n_layers - mid) * 7 + 1);
+        assert_eq!(last.lm_head().rows, cfg.vocab_size);
+        assert_eq!(last.layer_projections(0)[0].layer, mid);
+
+        // A full build is a degenerate shard.
+        let whole = ModelImage::build_shard(&cfg, WeightFormat::kv260(), 32, 2, 0..cfg.n_layers)
+            .expect("fits");
+        assert_eq!(whole.weight_stream_bytes(), full.weight_stream_bytes());
+        assert_eq!(whole.kv_budget_bytes(), full.kv_budget_bytes());
+        assert!(whole.owns_embedding() && whole.owns_head());
+    }
+
+    #[test]
+    #[should_panic(expected = "does not place the embedding table")]
+    fn tail_shard_has_no_embedding() {
+        let cfg = ModelConfig::test_small();
+        let shard = ModelImage::build_shard(&cfg, WeightFormat::kv260(), 16, 1, 1..cfg.n_layers)
+            .expect("fits");
+        let _ = shard.embedding_row_burst(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not place the LM head")]
+    fn head_shard_has_no_lm_head() {
+        let cfg = ModelConfig::test_small();
+        let shard =
+            ModelImage::build_shard(&cfg, WeightFormat::kv260(), 16, 1, 0..1).expect("fits");
+        let _ = shard.lm_head();
     }
 }

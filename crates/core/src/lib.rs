@@ -45,7 +45,8 @@ pub mod trace;
 pub mod vpu;
 
 pub use config::AccelConfig;
-pub use functional::{AccelBatchDecoder, AccelDecoder, QuantizedModel};
+pub use functional::{AccelBatchDecoder, AccelDecoder, QuantizedModel, ShardedBatchDecoder};
+pub use image::{split_layers, ModelImage};
 pub use schedule::PrefillChunk;
 pub use trace::{BatchTokenReport, DecodeEngine, TokenReport};
 

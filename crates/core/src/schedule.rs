@@ -194,11 +194,16 @@ pub fn ragged_token_schedule(
     let quant_all = 2 * 2 * model.kv_dim() as u64; // K and V, two passes
     let silu = model.d_ff as u64;
 
-    // One embedding row per sequence (each decodes its own token).
-    ops.push(MemOp::new(
-        "embedding".into(),
-        slots.iter().map(|_| image.embedding_row_burst(0)).collect(),
-    ));
+    // One embedding row per sequence (each decodes its own token). A
+    // shard image without the table receives hidden states over the
+    // interconnect instead — that traffic is priced by the cluster layer,
+    // not as DDR.
+    if image.owns_embedding() {
+        ops.push(MemOp::new(
+            "embedding".into(),
+            slots.iter().map(|_| image.embedding_row_burst(0)).collect(),
+        ));
+    }
 
     for layer in 0..model.n_layers {
         let projs = image.layer_projections(layer);
@@ -295,11 +300,14 @@ pub fn ragged_token_schedule(
         ops.push(MemOp::new("kv_meta_flush".into(), flush_bursts));
     }
 
-    let mut head = MemOp::fanned("lm_head".into(), vec![image.lm_head().burst()], fanout);
-    if mode == PipelineMode::Coarse {
-        head.exposed_misc = rmsnorm * b;
+    // Only the stage owning the head prices a logits pass.
+    if image.owns_head() {
+        let mut head = MemOp::fanned("lm_head".into(), vec![image.lm_head().burst()], fanout);
+        if mode == PipelineMode::Coarse {
+            head.exposed_misc = rmsnorm * b;
+        }
+        ops.push(head);
     }
-    ops.push(head);
 
     TokenSchedule {
         ops,
@@ -380,14 +388,17 @@ pub fn chunked_prefill_schedule(
     let quant_all = 2 * 2 * model.kv_dim() as u64;
     let silu = model.d_ff as u64;
 
-    // Every prompt token fetches its embedding row.
-    ops.push(MemOp::new(
-        "embedding".into(),
-        chunks
-            .iter()
-            .flat_map(|c| (0..c.len).map(|_| image.embedding_row_burst(0)))
-            .collect(),
-    ));
+    // Every prompt token fetches its embedding row (first stage only —
+    // later shards receive hidden states over the interconnect).
+    if image.owns_embedding() {
+        ops.push(MemOp::new(
+            "embedding".into(),
+            chunks
+                .iter()
+                .flat_map(|c| (0..c.len).map(|_| image.embedding_row_burst(0)))
+                .collect(),
+        ));
+    }
 
     for layer in 0..model.n_layers {
         let projs = image.layer_projections(layer);
@@ -487,12 +498,15 @@ pub fn chunked_prefill_schedule(
         ops.push(MemOp::new("kv_meta_flush".into(), flush_bursts));
     }
 
-    // Only each chunk's last token needs logits.
-    let mut head = MemOp::fanned("lm_head".into(), vec![image.lm_head().burst()], head_fanout);
-    if mode == PipelineMode::Coarse {
-        head.exposed_misc = rmsnorm * chunks.len() as u64;
+    // Only each chunk's last token needs logits, and only on the stage
+    // that owns the head.
+    if image.owns_head() {
+        let mut head = MemOp::fanned("lm_head".into(), vec![image.lm_head().burst()], head_fanout);
+        if mode == PipelineMode::Coarse {
+            head.exposed_misc = rmsnorm * chunks.len() as u64;
+        }
+        ops.push(head);
     }
-    ops.push(head);
 
     TokenSchedule {
         ops,
@@ -831,6 +845,48 @@ mod tests {
         assert_eq!(reads.len(), 2);
         assert_ne!(reads[0].bursts[0].addr, reads[1].bursts[0].addr);
         assert_eq!(reads[0].bytes(), reads[1].bytes());
+    }
+
+    #[test]
+    fn shard_schedules_partition_full_ddr_traffic() {
+        let cfg = ModelConfig::test_small();
+        let full = ModelImage::build_batched(&cfg, WeightFormat::kv260(), 32, 2).expect("fits");
+        let mid = cfg.n_layers / 2;
+        let first =
+            ModelImage::build_shard(&cfg, WeightFormat::kv260(), 32, 2, 0..mid).expect("fits");
+        let last = ModelImage::build_shard(&cfg, WeightFormat::kv260(), 32, 2, mid..cfg.n_layers)
+            .expect("fits");
+        let slots = [(0usize, 15usize), (1, 7)];
+        for mode in [PipelineMode::Fused, PipelineMode::Coarse] {
+            let whole = ragged_token_schedule(&full, &slots, mode);
+            let a = ragged_token_schedule(&first, &slots, mode);
+            let b = ragged_token_schedule(&last, &slots, mode);
+            // Every DDR byte of the single-board step lands on exactly
+            // one shard: embedding on the first, head on the last, each
+            // layer's weights/KV/metadata on its owner.
+            assert_eq!(a.total_bytes() + b.total_bytes(), whole.total_bytes());
+            assert!(a.ops.iter().any(|o| o.label == "embedding"));
+            assert!(a.ops.iter().all(|o| o.label != "lm_head"));
+            assert!(b.ops.iter().all(|o| o.label != "embedding"));
+            assert!(b.ops.iter().any(|o| o.label == "lm_head"));
+        }
+        // Prefill conserves bytes across the split too.
+        let chunks = [
+            PrefillChunk {
+                slot: 0,
+                start: 0,
+                len: 16,
+            },
+            PrefillChunk {
+                slot: 1,
+                start: 8,
+                len: 8,
+            },
+        ];
+        let whole = chunked_prefill_schedule(&full, &chunks, PipelineMode::Fused);
+        let a = chunked_prefill_schedule(&first, &chunks, PipelineMode::Fused);
+        let b = chunked_prefill_schedule(&last, &chunks, PipelineMode::Fused);
+        assert_eq!(a.total_bytes() + b.total_bytes(), whole.total_bytes());
     }
 }
 

@@ -306,6 +306,17 @@ impl DecodeEngine {
         max_batch: usize,
     ) -> Result<DecodeEngine, AllocError> {
         let image = ModelImage::build_batched(model, accel.format, ctx_capacity, max_batch)?;
+        Ok(DecodeEngine::with_image(accel, image))
+    }
+
+    /// Builds the engine over an already-placed image — the path the
+    /// cluster layer takes to stand one engine up per pipeline shard
+    /// (see [`ModelImage::build_shard`]). The engine prices exactly the
+    /// image's own DDR traffic: a stage without the embedding table or
+    /// LM head schedules no bytes for them, so the union of the shard
+    /// engines' traffic equals the single-board engine's.
+    pub fn with_image(accel: AccelConfig, image: ModelImage) -> DecodeEngine {
+        let model = image.model().clone();
         let mut registry = MetricsRegistry::new();
         let mem = MemorySystem::with_counters(
             accel.ddr.clone(),
@@ -319,7 +330,7 @@ impl DecodeEngine {
             VpuCounters::register(&mut registry, "vpu"),
         );
         let roofline = memory::weight_roofline_tokens_per_s(
-            model,
+            &model,
             memory::WeightPrecision::Effective(4.0),
             accel
                 .axi
@@ -328,10 +339,10 @@ impl DecodeEngine {
         );
         let metrics = DecodeMetrics::register(&mut registry);
         registry.gauge("decode.roofline_tokens_per_s").set(roofline);
-        Ok(DecodeEngine {
+        DecodeEngine {
             vpu,
             accel,
-            model: model.clone(),
+            model,
             image,
             mem,
             roofline_tokens_per_s: roofline,
@@ -339,7 +350,7 @@ impl DecodeEngine {
             metrics,
             schedules: HashMap::new(),
             ragged_schedules: HashMap::new(),
-        })
+        }
     }
 
     /// The metrics registry every component of this engine publishes into.

@@ -137,7 +137,7 @@ impl DotEngine {
     /// Bit-identical to the scalar path: products round once in lane order,
     /// then reduce through the same pairwise halving tree (`chunks(2)`
     /// pairing), with FP32 tree nodes accumulating wide exactly as
-    /// [`DotEngine::reduce`] does. The only difference is that the tree
+    /// `DotEngine::reduce` does. The only difference is that the tree
     /// levels live in `scratch` and are halved in place.
     ///
     /// # Panics

@@ -1,0 +1,82 @@
+//! The board-to-board interconnect model.
+//!
+//! Pipeline-parallel decode moves one hidden-state vector per sequence
+//! across every stage boundary per token — small transfers whose cost is
+//! dominated by link latency, plus a bandwidth term that matters once
+//! batches grow. Hand-waving that cost is how paper claims go wrong, so
+//! hops are priced like the DDR bursts everywhere else in this repo:
+//! whole 64-byte beats at a fixed link latency plus serialization time.
+
+use zllm_layout::BEAT_BYTES;
+
+/// A point-to-point link between adjacent pipeline stages (and the
+/// token-id return path from the last stage).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InterconnectConfig {
+    /// One-way hop latency in nanoseconds (protocol + PHY + switch).
+    pub latency_ns: f64,
+    /// Sustained link bandwidth in GB/s (= bytes per nanosecond).
+    pub bandwidth_gbps: f64,
+}
+
+impl InterconnectConfig {
+    /// 10 GbE between boards: 1.25 GB/s, ~10 µs one-way — the cheap
+    /// cluster fabric an embedded fleet would actually ship with.
+    pub fn ethernet_10g() -> InterconnectConfig {
+        InterconnectConfig {
+            latency_ns: 10_000.0,
+            bandwidth_gbps: 1.25,
+        }
+    }
+
+    /// Four bonded serial transceiver lanes (Aurora-class, GTH):
+    /// 5 GB/s, ~500 ns one-way — the direct board-to-board option on
+    /// FPGA carrier cards.
+    pub fn aurora_x4() -> InterconnectConfig {
+        InterconnectConfig {
+            latency_ns: 500.0,
+            bandwidth_gbps: 5.0,
+        }
+    }
+
+    /// Time for one hop carrying `bytes`: latency plus beat-granular
+    /// serialization (bytes round up to whole 64-byte beats, exactly as
+    /// the DDR model prices bursts). Zero bytes still pay the latency.
+    pub fn hop_ns(&self, bytes: u64) -> f64 {
+        assert!(self.bandwidth_gbps > 0.0, "link bandwidth must be positive");
+        let beats = bytes.div_ceil(BEAT_BYTES as u64);
+        self.latency_ns + (beats * BEAT_BYTES as u64) as f64 / self.bandwidth_gbps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hop_prices_latency_plus_beats() {
+        let link = InterconnectConfig {
+            latency_ns: 1000.0,
+            bandwidth_gbps: 1.0,
+        };
+        // 1 byte rounds to one beat.
+        assert_eq!(link.hop_ns(1), 1000.0 + 64.0);
+        // 64 bytes is exactly one beat.
+        assert_eq!(link.hop_ns(64), 1000.0 + 64.0);
+        // 65 bytes spills into a second beat.
+        assert_eq!(link.hop_ns(65), 1000.0 + 128.0);
+        // Zero bytes still pay the hop latency.
+        assert_eq!(link.hop_ns(0), 1000.0);
+    }
+
+    #[test]
+    fn presets_are_ordered_sensibly() {
+        let eth = InterconnectConfig::ethernet_10g();
+        let aur = InterconnectConfig::aurora_x4();
+        // The serial link is both lower latency and higher bandwidth.
+        assert!(aur.latency_ns < eth.latency_ns);
+        assert!(aur.bandwidth_gbps > eth.bandwidth_gbps);
+        let bytes = 4096 * 2;
+        assert!(aur.hop_ns(bytes) < eth.hop_ns(bytes));
+    }
+}

@@ -14,6 +14,11 @@
 //!   admission reserves its worst-case KV footprint against the image's
 //!   KV budget, requests queue FIFO within deadline class, and nothing
 //!   is ever placed that the Fig. 1 map could not hold;
+//! * [`cluster`] — the fleet layer: the model sharded by layer range
+//!   across N simulated boards behind an explicit interconnect model,
+//!   replica pipelines on one shared virtual clock, and request
+//!   placement policies (join-shortest-KV, deadline-aware) above the
+//!   per-pipeline admission controllers;
 //! * [`server`] — the virtual-time serving simulator: continuous
 //!   batching (per-sequence context, join/leave between steps, chunked
 //!   prefill sharing the weight stream across the prompt dimension)
@@ -27,11 +32,15 @@
 #![warn(missing_docs)]
 
 pub mod admission;
+pub mod cluster;
 pub mod request;
 pub mod server;
 pub mod traffic;
 
 pub use admission::{AdmissionConfig, AdmissionController, Granted, Rejection};
+pub use cluster::{
+    ClusterConfig, ClusterReport, ClusterServer, InterconnectConfig, PlacementPolicy, ShardedEngine,
+};
 pub use request::{DeadlineClass, DropReason, Request, RequestOutcome};
 pub use server::{BatchingMode, ServeReport, Server, ServerConfig};
 pub use traffic::{generate, ArrivalModel, TrafficConfig};

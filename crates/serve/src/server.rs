@@ -96,33 +96,35 @@ impl ServerConfig {
 }
 
 /// An in-flight sequence: the admitted request plus its progress.
+/// Shared with the cluster layer, whose pipelines track the same
+/// lifecycle.
 #[derive(Debug, Clone)]
-struct Active {
-    request: Request,
-    slot: usize,
-    bytes: u64,
-    admitted_s: f64,
-    prefilled: usize,
-    generated: usize,
-    first_token_s: Option<f64>,
-    token_latency_sum_s: f64,
-    token_latency_max_s: f64,
+pub(crate) struct Active {
+    pub(crate) request: Request,
+    pub(crate) slot: usize,
+    pub(crate) bytes: u64,
+    pub(crate) admitted_s: f64,
+    pub(crate) prefilled: usize,
+    pub(crate) generated: usize,
+    pub(crate) first_token_s: Option<f64>,
+    pub(crate) token_latency_sum_s: f64,
+    pub(crate) token_latency_max_s: f64,
 }
 
 impl Active {
-    fn needs_prefill(&self) -> bool {
+    pub(crate) fn needs_prefill(&self) -> bool {
         self.prefilled < self.request.prompt_tokens
     }
 
-    fn ctx(&self) -> usize {
+    pub(crate) fn ctx(&self) -> usize {
         self.request.prompt_tokens + self.generated
     }
 
-    fn done(&self) -> bool {
+    pub(crate) fn done(&self) -> bool {
         self.generated >= self.request.max_new_tokens
     }
 
-    fn finish(self, now: f64) -> RequestOutcome {
+    pub(crate) fn finish(self, now: f64) -> RequestOutcome {
         RequestOutcome {
             request: self.request,
             admitted_s: Some(self.admitted_s),
@@ -190,7 +192,7 @@ pub struct ServeReport {
 }
 
 /// Nearest-rank percentile of an ascending-sorted slice (0 when empty).
-fn percentile(sorted: &[f64], q: f64) -> f64 {
+pub(crate) fn percentile(sorted: &[f64], q: f64) -> f64 {
     if sorted.is_empty() {
         return 0.0;
     }

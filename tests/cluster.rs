@@ -1,0 +1,149 @@
+//! Fleet-layer integration tests: the pipeline-parallel cluster must
+//! partition the single board's work exactly, price interconnect hops
+//! explicitly, and replay request traces bit-identically.
+
+use zllm::accel::image::ModelImage;
+use zllm::accel::{split_layers, AccelConfig, DecodeEngine};
+use zllm::model::ModelConfig;
+use zllm::serve::cluster::{ClusterConfig, ClusterServer, InterconnectConfig, ShardedEngine};
+use zllm::serve::{generate, ArrivalModel, PlacementPolicy, Request, TrafficConfig};
+
+fn trace(requests: usize, rate: f64) -> Vec<Request> {
+    generate(&TrafficConfig {
+        requests,
+        seed: 7,
+        arrivals: ArrivalModel::Poisson { rate_per_s: rate },
+        prompt_tokens: (8, 48),
+        new_tokens: (4, 16),
+        class_mix: [0.5, 0.3, 0.2],
+    })
+}
+
+#[test]
+fn shard_images_partition_the_7b_board() {
+    // The paper's deployment: LLaMA2-7B fills 93.3% of one 4 GB board.
+    // Split across 4 boards, each shard must fit with room to spare and
+    // the weight bytes must partition exactly — no layer is duplicated,
+    // none is dropped.
+    let cfg = ModelConfig::llama2_7b();
+    let format = zllm::layout::weight::WeightFormat::kv260();
+    let full = ModelImage::build_batched(&cfg, format, 1024, 1).expect("one board fits");
+    let mut weight_total = 0;
+    let mut kv_total = 0;
+    for range in split_layers(cfg.n_layers, 4) {
+        let shard = ModelImage::build_shard(&cfg, format, 1024, 1, range).expect("shard fits");
+        assert!(shard.occupancy() < full.occupancy());
+        weight_total += shard.weight_stream_bytes();
+        kv_total += shard.kv_budget_bytes();
+    }
+    assert_eq!(weight_total, full.weight_stream_bytes());
+    assert_eq!(kv_total, full.kv_budget_bytes());
+}
+
+#[test]
+fn sharded_engine_conserves_ddr_traffic_and_prices_hops() {
+    // Four stages move exactly the bytes one board moves — the hops are
+    // extra, explicit, and itemized.
+    let model = ModelConfig {
+        n_layers: 4,
+        ..ModelConfig::test_small()
+    };
+    let single = DecodeEngine::new_batched(AccelConfig::kv260(), &model, 64, 2).expect("fits");
+    let mut fleet = ShardedEngine::new(
+        &AccelConfig::kv260(),
+        &model,
+        64,
+        2,
+        4,
+        InterconnectConfig::aurora_x4(),
+    )
+    .expect("fits");
+    let slots = [(0usize, 10usize), (1, 3)];
+    let mode = zllm::accel::config::PipelineMode::Fused;
+    let single_bytes =
+        zllm::accel::schedule::ragged_token_schedule(single.image(), &slots, mode).total_bytes();
+    let fleet_bytes: u64 = fleet
+        .stages()
+        .iter()
+        .map(|e| {
+            zllm::accel::schedule::ragged_token_schedule(e.image(), &slots, mode).total_bytes()
+        })
+        .sum();
+    let step = fleet.decode_step(&slots);
+    assert_eq!(fleet_bytes, single_bytes, "DDR traffic must partition");
+    assert_eq!(
+        step.activation_bytes,
+        2 * model.d_model as u64 * 2 * 3,
+        "2 seqs x fp16 d_model across 3 boundaries"
+    );
+    assert!(step.fill_ns > step.cadence_ns);
+}
+
+#[test]
+fn cluster_replay_is_bit_identical() {
+    let t = trace(16, 2.0);
+    let run = || {
+        let mut cluster = ClusterServer::new(
+            &AccelConfig::kv260(),
+            &ModelConfig::tiny_llama_1_1b(),
+            ClusterConfig::new(2, 2, 128, 4),
+        )
+        .expect("shards fit");
+        cluster.run(&t)
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a, b, "cluster replay must be deterministic");
+    assert_eq!(a.offered, 16);
+    assert_eq!(
+        a.completed + a.rejected_queue_full + a.rejected_infeasible,
+        16
+    );
+}
+
+#[test]
+fn fleet_scales_goodput_and_itemizes_link_traffic() {
+    // The fleet_sim acceptance shape at integration scale: more boards
+    // on one pipeline means proportionally more goodput at saturating
+    // load, with every hidden-state hop accounted.
+    let t = trace(16, 20.0);
+    let run = |depth: usize| {
+        let mut cluster = ClusterServer::new(
+            &AccelConfig::kv260(),
+            &ModelConfig::tiny_llama_1_1b(),
+            ClusterConfig::new(1, depth, 128, 4 * depth),
+        )
+        .expect("shards fit");
+        cluster.run(&t)
+    };
+    let one = run(1);
+    let four = run(4);
+    assert_eq!(one.activation_bytes, 0);
+    assert!(four.activation_bytes > 0);
+    assert!(
+        four.goodput_tokens_per_s >= 3.0 * one.goodput_tokens_per_s,
+        "4 boards {:.2} goodput vs 1 board {:.2}",
+        four.goodput_tokens_per_s,
+        one.goodput_tokens_per_s
+    );
+    assert!(four.ttft_p95_ms < one.ttft_p95_ms);
+}
+
+#[test]
+fn placement_policies_share_the_same_totals_but_route_differently() {
+    let t = trace(24, 10.0);
+    let run = |policy| {
+        let mut cfg = ClusterConfig::new(2, 1, 128, 4);
+        cfg.policy = policy;
+        let mut cluster =
+            ClusterServer::new(&AccelConfig::kv260(), &ModelConfig::tiny_llama_1_1b(), cfg)
+                .expect("shards fit");
+        cluster.run(&t)
+    };
+    let kv = run(PlacementPolicy::JoinShortestKv);
+    let aware = run(PlacementPolicy::DeadlineAware);
+    assert_eq!(kv.offered, aware.offered);
+    // Both policies must keep every pipeline inside its budget.
+    assert!(kv.kv_peak_bytes <= kv.kv_budget_bytes);
+    assert!(aware.kv_peak_bytes <= aware.kv_budget_bytes);
+}

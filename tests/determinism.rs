@@ -4,7 +4,9 @@
 
 use std::sync::Mutex;
 use zllm::accel::converter::{convert, PtqMethod};
-use zllm::accel::{AccelBatchDecoder, AccelConfig, AccelDecoder, DecodeEngine};
+use zllm::accel::{
+    AccelBatchDecoder, AccelConfig, AccelDecoder, DecodeEngine, ShardedBatchDecoder,
+};
 use zllm::fp16::set_fast_kernels;
 use zllm::model::calibration::capture;
 use zllm::model::generate::{generate, GenerateOptions, Sampling};
@@ -192,6 +194,45 @@ fn ragged_continuous_batch_join_and_leave_is_bit_identical() {
             solo(&c_tokens),
             "successor seq C diverged, fast={fast}"
         );
+    }
+}
+
+#[test]
+fn sharded_pipeline_decode_is_bit_identical_to_single_board() {
+    // The cluster claim that makes pipeline-parallel serving safe to
+    // ship: splitting the layers across N stage decoders changes WHERE
+    // each layer runs, never WHAT it computes. Every stage count must
+    // reproduce the single-board batched decoder's logits bit for bit,
+    // on both kernel paths.
+    let _guard = KERNEL_CONFIG.lock().unwrap();
+    let cfg = ModelConfig {
+        n_layers: 4,
+        ..ModelConfig::test_small()
+    };
+    let w = ModelWeights::generate(&cfg, 212);
+    let calib = capture(&w, &[3, 6, 9]);
+    let qm = convert(&w, &calib, GroupQuantConfig::w4_g128(), PtqMethod::Rtn);
+    let steps: [[usize; 2]; 3] = [[7, 90], [14, 3], [51, 51]];
+    for fast in [false, true] {
+        set_fast_kernels(fast);
+        let mut single = AccelBatchDecoder::new(&qm, 2);
+        let want: Vec<Vec<u32>> = steps
+            .iter()
+            .flat_map(|tokens| single.decode_batch(tokens))
+            .map(|logits| logits.iter().map(|v| v.to_bits()).collect())
+            .collect();
+        for stages in 1..=4 {
+            let mut sharded = ShardedBatchDecoder::new(&qm, 2, stages);
+            let got: Vec<Vec<u32>> = steps
+                .iter()
+                .flat_map(|tokens| sharded.decode_batch(tokens))
+                .map(|logits| logits.iter().map(|v| v.to_bits()).collect())
+                .collect();
+            assert_eq!(
+                got, want,
+                "sharded decode diverged at stages={stages} fast={fast}"
+            );
+        }
     }
 }
 
