@@ -14,18 +14,20 @@
 //!
 //! ```text
 //! cargo run --release -p zllm-bench --bin fleet_sim
-//! cargo run --release -p zllm-bench --bin fleet_sim -- --json out.json
+//! cargo run --release -p zllm-bench --bin fleet_sim -- --json out.json --seed 7
 //! ```
 
 use zllm_accel::AccelConfig;
-use zllm_bench::{fmt_mib, print_table};
+use zllm_bench::{
+    cli_seed_arg, cli_value_arg, fmt_mib, json_escape_free, print_table, sweep_traffic,
+};
 use zllm_model::ModelConfig;
 use zllm_serve::cluster::{ClusterConfig, ClusterReport, ClusterServer};
-use zllm_serve::{generate, ArrivalModel, TrafficConfig};
+use zllm_serve::{generate, ArrivalModel};
 
 /// Requests per trace (enough that queues actually form at every rate).
 const REQUESTS: usize = 48;
-/// Trace seed: every run of this bin replays the same arrivals.
+/// Default trace seed; override with `--seed` to replay a different trace.
 const SEED: u64 = 42;
 /// Offered loads swept, requests per second — 10×, 25× and 100× the
 /// ~1 req/s that saturates a single board in `serve_sim`.
@@ -45,28 +47,24 @@ struct Run {
     report: ClusterReport,
 }
 
-fn traffic(rate: f64) -> TrafficConfig {
-    let mut cfg =
-        TrafficConfig::default_mix(REQUESTS, SEED, ArrivalModel::Poisson { rate_per_s: rate });
-    cfg.prompt_tokens = (16, 96);
-    cfg.new_tokens = (4, 48);
-    cfg
-}
-
-fn run_one(accel: &AccelConfig, boards: usize, rate: f64) -> ClusterReport {
+fn run_one(accel: &AccelConfig, boards: usize, rate: f64, seed: u64) -> ClusterReport {
     let cfg = ClusterConfig::new(1, boards, CTX_CAPACITY, BASE_SLOTS * boards);
     let mut cluster = ClusterServer::new(accel, &ModelConfig::tiny_llama_1_1b(), cfg)
         .expect("every shard of TinyLlama-1.1B fits a 4GB board");
-    cluster.run(&generate(&traffic(rate)))
+    cluster.run(&generate(&sweep_traffic(
+        REQUESTS,
+        seed,
+        ArrivalModel::Poisson { rate_per_s: rate },
+    )))
 }
 
-fn sweep(part: &'static str, accel: &AccelConfig, runs: &mut Vec<Run>) {
+fn sweep(part: &'static str, accel: &AccelConfig, seed: u64, runs: &mut Vec<Run>) {
     println!("{part} — poisson arrivals, {REQUESTS} requests, {BASE_SLOTS} slots/board\n");
     for rate in RATES {
         let mut rows = Vec::new();
         let mut by_boards = Vec::new();
         for boards in BOARDS {
-            let report = run_one(accel, boards, rate);
+            let report = run_one(accel, boards, rate, seed);
             assert_eq!(
                 report.activation_bytes > 0,
                 boards > 1,
@@ -123,13 +121,6 @@ fn sweep(part: &'static str, accel: &AccelConfig, runs: &mut Vec<Run>) {
     }
 }
 
-fn json_escape_free(s: &str) -> &str {
-    // All strings emitted below are static identifiers without quotes or
-    // backslashes; assert instead of escaping.
-    assert!(!s.contains('"') && !s.contains('\\'));
-    s
-}
-
 fn to_json(runs: &[Run]) -> String {
     let mut out = String::from("[\n");
     for (i, run) in runs.iter().enumerate() {
@@ -180,23 +171,16 @@ fn to_json(runs: &[Run]) -> String {
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let json_path = args.iter().position(|a| a == "--json").map(|i| {
-        args.get(i + 1)
-            .filter(|v| !v.starts_with("--"))
-            .unwrap_or_else(|| {
-                eprintln!("fleet_sim: --json requires a path argument");
-                std::process::exit(2);
-            })
-            .clone()
-    });
+    let json_path = cli_value_arg("fleet_sim", &args, "--json");
+    let seed = cli_seed_arg("fleet_sim", &args, SEED);
 
     println!("Fleet sweep: TinyLlama-1.1B pipeline-parallel across 1/2/4/8 boards\n");
     let mut runs = Vec::new();
-    sweep("DDR4-2400 (KV260)", &AccelConfig::kv260(), &mut runs);
+    sweep("DDR4-2400 (KV260)", &AccelConfig::kv260(), seed, &mut runs);
 
     let mut lpddr5 = AccelConfig::kv260();
     lpddr5.ddr = zllm_ddr::DdrConfig::lpddr5_6400_embedded();
-    sweep("LPDDR5-6400 (embedded 64-bit)", &lpddr5, &mut runs);
+    sweep("LPDDR5-6400 (embedded 64-bit)", &lpddr5, seed, &mut runs);
 
     if let Some(path) = &json_path {
         std::fs::write(path, to_json(&runs)).expect("write fleet_sim JSON");

@@ -16,7 +16,14 @@
 //!   continuous-batching server (TinyLlama-1.1B, four slots, DDR4-2400,
 //!   keys prefixed `serve.`). Pins aggregate tokens/s, the latency
 //!   percentiles, the rejection counters and every underlying byte
-//!   count of the trace replay.
+//!   count of the trace replay;
+//! * **paged serving** — the `paged_sweep` saturating scenario: a
+//!   48-request decode-heavy bursty trace against a KV budget of four
+//!   worst-case sequences, served once with paged actual-growth
+//!   admission and once with worst-case reservation (keys prefixed
+//!   `paged.`). The scenario hard-fails if paged admission stops
+//!   sustaining ≥ 1.5× the worst-case concurrent users at the same
+//!   budget — the tentpole claim of the paged KV cache.
 //!
 //! Byte and cycle counters must match exactly (the simulation is
 //! deterministic); derived rates (gauges) get ±2% to absorb intentional
@@ -36,9 +43,11 @@
 use std::path::PathBuf;
 use zllm_accel::telemetry::{DiffStatus, MetricKind, Snapshot};
 use zllm_accel::{AccelConfig, DecodeEngine};
-use zllm_bench::print_table;
+use zllm_bench::{decode_heavy_traffic, print_table};
 use zllm_model::ModelConfig;
-use zllm_serve::{generate, ArrivalModel, ServeReport, Server, ServerConfig, TrafficConfig};
+use zllm_serve::{
+    generate, ArrivalModel, PagedConfig, ServeReport, Server, ServerConfig, TrafficConfig,
+};
 
 /// Context lengths priced by the single-sequence scenario.
 const CONTEXTS: [usize; 4] = [64, 128, 256, 512];
@@ -62,6 +71,28 @@ const SERVE_RATE: f64 = 1.0;
 const SERVE_SLOTS: usize = 4;
 /// Serving per-sequence context provisioning (tokens).
 const SERVE_CTX_CAPACITY: usize = 256;
+
+/// Requests in the paged-scenario trace.
+const PAGED_REQUESTS: usize = 48;
+/// Paged trace seed (same trace as `paged_sweep`'s default).
+const PAGED_SEED: u64 = 42;
+/// Paged offered load (requests per second, in bursts of 8) —
+/// saturating for the tightened budget.
+const PAGED_RATE: f64 = 8.0;
+/// Paged KV slots (generous; the byte budget is what binds).
+const PAGED_SLOTS: usize = 16;
+/// Paged per-sequence context provisioning (tokens).
+const PAGED_CTX_CAPACITY: usize = 128;
+/// Paged KV page granularity (tokens).
+const PAGED_PAGE_TOKENS: usize = 16;
+/// Paged admission wait-queue capacity.
+const PAGED_QUEUE_CAP: usize = 6;
+/// The tightened paged-scenario budget holds this many worst-case
+/// sequences.
+const PAGED_WORST_CASE_SEQS: u64 = 4;
+/// Concurrent-user uplift the paged scenario must sustain over
+/// worst-case reservation.
+const MIN_PAGED_UPLIFT: f64 = 1.5;
 
 /// Relative tolerance for derived rates (gauges).
 const GAUGE_TOLERANCE: f64 = 0.02;
@@ -125,9 +156,56 @@ fn serve_scenario_snapshot() -> (Snapshot, ServeReport) {
         prompt_tokens: (16, 64),
         new_tokens: (4, 12),
         class_mix: [0.5, 0.3, 0.2],
+        eos_early_fraction: 0.0,
     });
     let report = server.run(&trace);
     (server.engine().metrics_snapshot(), report)
+}
+
+/// Replays the paged saturating scenario twice — paged actual-growth
+/// admission, then worst-case reservation — against the same
+/// decode-heavy trace and tightened budget. Returns the paged engine
+/// snapshot plus both reports.
+fn paged_scenario_snapshot() -> (Snapshot, ServeReport, ServeReport) {
+    let accel = AccelConfig::kv260();
+    let model = ModelConfig::tiny_llama_1_1b();
+    let trace = generate(&decode_heavy_traffic(
+        PAGED_REQUESTS,
+        PAGED_SEED,
+        ArrivalModel::Bursty {
+            rate_per_s: PAGED_RATE,
+            burst: 8,
+        },
+    ));
+    let cfg = decode_heavy_traffic(1, 0, ArrivalModel::Poisson { rate_per_s: 1.0 });
+    let worst_tokens = cfg.prompt_tokens.1 + cfg.new_tokens.1;
+    let base = || {
+        let mut cfg = ServerConfig::continuous(PAGED_CTX_CAPACITY, PAGED_SLOTS);
+        cfg.queue_cap = PAGED_QUEUE_CAP;
+        cfg
+    };
+    let probe = Server::new(accel.clone(), &model, base())
+        .expect("TinyLlama-1.1B with 16 KV provisions fits the 4GB device");
+    let budget = PAGED_WORST_CASE_SEQS
+        * probe
+            .engine()
+            .image()
+            .page_rounded_request_bytes(worst_tokens, PAGED_PAGE_TOKENS);
+
+    let mut cfg = base().paged(PagedConfig {
+        page_tokens: PAGED_PAGE_TOKENS,
+        ..PagedConfig::default()
+    });
+    cfg.kv_budget_bytes = Some(budget);
+    let mut paged = Server::new(accel.clone(), &model, cfg).expect("image fits");
+    let paged_report = paged.run(&trace);
+
+    let mut wc_cfg = base();
+    wc_cfg.kv_budget_bytes = Some(budget);
+    let mut wc = Server::new(accel, &model, wc_cfg).expect("image fits");
+    let wc_report = wc.run(&trace);
+
+    (paged.engine().metrics_snapshot(), paged_report, wc_report)
 }
 
 fn fmt_value(kind: MetricKind, v: Option<f64>) -> String {
@@ -201,6 +279,36 @@ fn main() {
         serve_report.token_p95_ms
     );
 
+    eprintln!(
+        "perf gate: paged-KV scenario — {PAGED_REQUESTS} decode-heavy requests at \
+         {PAGED_RATE} req/s against a {PAGED_WORST_CASE_SEQS}-worst-case-sequence budget, \
+         paged vs worst-case admission (deterministic)..."
+    );
+    let paged_start = std::time::Instant::now();
+    let (paged_snap, paged_report, paged_wc_report) = paged_scenario_snapshot();
+    let paged_host_seconds = paged_start.elapsed().as_secs_f64();
+    let paged_uplift =
+        paged_report.concurrent_peak as f64 / (paged_wc_report.concurrent_peak.max(1)) as f64;
+    // The tentpole property is gated directly, not just as a baseline
+    // diff: actual-growth charging must keep lifting concurrent users
+    // per board at the same DDR budget.
+    if paged_uplift < MIN_PAGED_UPLIFT {
+        eprintln!(
+            "perf gate FAILED: paged admission sustained {paged_uplift:.3}x the worst-case \
+             concurrent users ({} vs {}), below the required {MIN_PAGED_UPLIFT:.1}x",
+            paged_report.concurrent_peak, paged_wc_report.concurrent_peak
+        );
+        std::process::exit(1);
+    }
+    eprintln!(
+        "perf gate: paged admission {paged_uplift:.3}x concurrent users \
+         ({} vs {}, >= {MIN_PAGED_UPLIFT:.1}x required), {} vs {} requests served",
+        paged_report.concurrent_peak,
+        paged_wc_report.concurrent_peak,
+        paged_report.deadline_met,
+        paged_wc_report.deadline_met
+    );
+
     // Merge the batched scenario under a `batch4.` prefix: the
     // single-sequence key set stays byte-identical to pre-batching
     // baselines, so any change to B = 1 pricing still diffs exactly.
@@ -228,6 +336,39 @@ fn main() {
     for (k, v) in &serve_snap.gauges {
         current.gauges.insert(serve_key(k), *v);
     }
+    // Merge the paged scenario under `paged.`. The paged server's own
+    // `serve.paged.*` keys (preemptions, concurrency) flatten to
+    // `paged.*`, its request-level `serve.*` keys become
+    // `paged.serve.*`, and the engine metrics become `paged.decode.*`,
+    // `paged.ddr.*`, ... — including the page-table metadata bursts
+    // that only exist in paged mode.
+    let paged_key = |k: &str| {
+        if let Some(rest) = k.strip_prefix("serve.paged.") {
+            format!("paged.{rest}")
+        } else {
+            format!("paged.{k}")
+        }
+    };
+    for (k, v) in &paged_snap.counters {
+        current.counters.insert(paged_key(k), *v);
+    }
+    for (k, v) in &paged_snap.gauges {
+        current.gauges.insert(paged_key(k), *v);
+    }
+    // The cross-run admission comparison, pinned explicitly: the
+    // worst-case twin's concurrency and served work next to the paged
+    // run's, plus the uplift the gate above enforces.
+    current.counters.insert(
+        "paged.admission.worstcase_concurrent_peak".to_owned(),
+        paged_wc_report.concurrent_peak as u64,
+    );
+    current.counters.insert(
+        "paged.admission.worstcase_deadline_met".to_owned(),
+        paged_wc_report.deadline_met,
+    );
+    current
+        .gauges
+        .insert("paged.admission.uplift".to_owned(), paged_uplift);
 
     // Host-side throughput: how fast the simulator itself ran. Reported on
     // stderr (the gated snapshot stays deterministic and `--print` stdout
@@ -257,10 +398,16 @@ fn main() {
              \"serve_simulated_gb\": {serve_simulated_gb:.6},\n  \
              \"serve_tokens_per_s\": {:.6},\n  \
              \"serve_completed\": {},\n  \
-             \"serve_rejected\": {}\n}}\n",
+             \"serve_rejected\": {},\n  \
+             \"paged_wall_seconds\": {paged_host_seconds:.6},\n  \
+             \"paged_concurrent_peak\": {},\n  \
+             \"paged_worstcase_concurrent_peak\": {},\n  \
+             \"paged_uplift\": {paged_uplift:.6}\n}}\n",
             serve_report.tokens_per_s,
             serve_report.completed,
             serve_report.rejected_queue_full + serve_report.rejected_infeasible,
+            paged_report.concurrent_peak,
+            paged_wc_report.concurrent_peak,
         );
         std::fs::write(path, json).expect("write host metrics JSON");
         eprintln!("perf gate host: metrics written to {path}");

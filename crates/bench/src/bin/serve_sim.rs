@@ -17,19 +17,17 @@
 //!
 //! ```text
 //! cargo run --release -p zllm-bench --bin serve_sim
-//! cargo run --release -p zllm-bench --bin serve_sim -- --json out.json
+//! cargo run --release -p zllm-bench --bin serve_sim -- --json out.json --seed 7
 //! ```
 
 use zllm_accel::AccelConfig;
-use zllm_bench::print_table;
+use zllm_bench::{cli_seed_arg, cli_value_arg, json_escape_free, print_table, sweep_traffic};
 use zllm_model::ModelConfig;
-use zllm_serve::{
-    generate, ArrivalModel, BatchingMode, ServeReport, Server, ServerConfig, TrafficConfig,
-};
+use zllm_serve::{generate, ArrivalModel, BatchingMode, ServeReport, Server, ServerConfig};
 
 /// Requests per trace.
 const REQUESTS: usize = 24;
-/// Trace seed: every run of this bin replays the same arrivals.
+/// Default trace seed; override with `--seed` to replay a different trace.
 const SEED: u64 = 42;
 /// Offered loads swept, requests per second.
 const RATES: [f64; 3] = [0.25, 1.0, 2.0];
@@ -47,43 +45,45 @@ struct Run {
     report: ServeReport,
 }
 
-fn traffic(rate: f64, bursty: bool) -> TrafficConfig {
-    let arrivals = if bursty {
+fn arrivals(rate: f64, bursty: bool) -> ArrivalModel {
+    if bursty {
         ArrivalModel::Bursty {
             rate_per_s: rate,
             burst: 8,
         }
     } else {
         ArrivalModel::Poisson { rate_per_s: rate }
-    };
-    let mut cfg = TrafficConfig::default_mix(REQUESTS, SEED, arrivals);
-    // Heterogeneous lengths are what separate the disciplines: the gang
-    // baseline pads everyone to the longest prompt and keeps slots tied
-    // up until the longest generation drains, so the spread below is the
-    // realistic mixed-traffic case rather than a synthetic worst case.
-    cfg.prompt_tokens = (16, 96);
-    cfg.new_tokens = (4, 48);
-    cfg
+    }
 }
 
-fn run_one(accel: &AccelConfig, mode: BatchingMode, rate: f64, bursty: bool) -> ServeReport {
+fn run_one(
+    accel: &AccelConfig,
+    mode: BatchingMode,
+    rate: f64,
+    bursty: bool,
+    seed: u64,
+) -> ServeReport {
     let cfg = match mode {
         BatchingMode::Continuous => ServerConfig::continuous(CTX_CAPACITY, SLOTS),
         BatchingMode::Lockstep => ServerConfig::lockstep(CTX_CAPACITY, SLOTS),
     };
     let mut server = Server::new(accel.clone(), &ModelConfig::tiny_llama_1_1b(), cfg)
         .expect("TinyLlama-1.1B with 4 KV provisions fits the 4GB device");
-    server.run(&generate(&traffic(rate, bursty)))
+    server.run(&generate(&sweep_traffic(
+        REQUESTS,
+        seed,
+        arrivals(rate, bursty),
+    )))
 }
 
-fn sweep(part: &'static str, accel: &AccelConfig, runs: &mut Vec<Run>) {
+fn sweep(part: &'static str, accel: &AccelConfig, seed: u64, runs: &mut Vec<Run>) {
     for (arrivals, bursty) in [("poisson", false), ("bursty", true)] {
         println!("{part} — {arrivals} arrivals, {REQUESTS} requests, {SLOTS} slots\n");
         let mut rows = Vec::new();
         for rate in RATES {
             let mut pair = Vec::new();
             for mode in [BatchingMode::Continuous, BatchingMode::Lockstep] {
-                let report = run_one(accel, mode, rate, bursty);
+                let report = run_one(accel, mode, rate, bursty, seed);
                 rows.push(vec![
                     format!("{rate:.2}"),
                     report.mode.name().to_owned(),
@@ -154,13 +154,6 @@ fn sweep(part: &'static str, accel: &AccelConfig, runs: &mut Vec<Run>) {
     }
 }
 
-fn json_escape_free(s: &str) -> &str {
-    // All strings emitted below are static identifiers without quotes or
-    // backslashes; assert instead of escaping.
-    assert!(!s.contains('"') && !s.contains('\\'));
-    s
-}
-
 fn to_json(runs: &[Run]) -> String {
     let mut out = String::from("[\n");
     for (i, run) in runs.iter().enumerate() {
@@ -206,23 +199,16 @@ fn to_json(runs: &[Run]) -> String {
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let json_path = args.iter().position(|a| a == "--json").map(|i| {
-        args.get(i + 1)
-            .filter(|v| !v.starts_with("--"))
-            .unwrap_or_else(|| {
-                eprintln!("serve_sim: --json requires a path argument");
-                std::process::exit(2);
-            })
-            .clone()
-    });
+    let json_path = cli_value_arg("serve_sim", &args, "--json");
+    let seed = cli_seed_arg("serve_sim", &args, SEED);
 
     println!("Serving TinyLlama-1.1B: continuous batching vs lockstep gang scheduling\n");
     let mut runs = Vec::new();
-    sweep("DDR4-2400 (KV260)", &AccelConfig::kv260(), &mut runs);
+    sweep("DDR4-2400 (KV260)", &AccelConfig::kv260(), seed, &mut runs);
 
     let mut lpddr5 = AccelConfig::kv260();
     lpddr5.ddr = zllm_ddr::DdrConfig::lpddr5_6400_embedded();
-    sweep("LPDDR5-6400 (embedded 64-bit)", &lpddr5, &mut runs);
+    sweep("LPDDR5-6400 (embedded 64-bit)", &lpddr5, seed, &mut runs);
 
     if let Some(path) = &json_path {
         std::fs::write(path, to_json(&runs)).expect("write serve_sim JSON");

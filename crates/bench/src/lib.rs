@@ -82,6 +82,77 @@ pub fn fmt_mib(bytes: f64) -> String {
     format!("{:.0} MiB", bytes / (1u64 << 20) as f64)
 }
 
+/// Parses `--<flag> <value>` from an argument list, exiting with status
+/// 2 (the sim bins' usage-error convention) when the flag is present
+/// without a value. Returns `None` when the flag is absent.
+pub fn cli_value_arg(bin: &str, args: &[String], flag: &str) -> Option<String> {
+    args.iter().position(|a| a == flag).map(|i| {
+        args.get(i + 1)
+            .filter(|v| !v.starts_with("--"))
+            .unwrap_or_else(|| {
+                eprintln!("{bin}: {flag} requires a value argument");
+                std::process::exit(2);
+            })
+            .clone()
+    })
+}
+
+/// Parses `--seed <n>` (falling back to `default`), exiting with status
+/// 2 on a malformed value. Every sim bin takes a seed so a CI failure
+/// can be replayed locally on the exact same trace.
+pub fn cli_seed_arg(bin: &str, args: &[String], default: u64) -> u64 {
+    match cli_value_arg(bin, args, "--seed") {
+        Some(v) => v.parse().unwrap_or_else(|_| {
+            eprintln!("{bin}: --seed requires an unsigned integer, got {v:?}");
+            std::process::exit(2);
+        }),
+        None => default,
+    }
+}
+
+/// Asserts a string needs no JSON escaping and passes it through. All
+/// strings the sim bins emit are static identifiers; a quote or
+/// backslash sneaking in is a bug, not data.
+pub fn json_escape_free(s: &str) -> &str {
+    assert!(!s.contains('"') && !s.contains('\\'));
+    s
+}
+
+/// The offered-load sweep traffic shared by the serving and fleet sim
+/// bins: heterogeneous mixed-length requests (prompts 16–96, outputs
+/// 4–48) whose spread is what separates scheduling disciplines — the
+/// gang baseline pads everyone to the longest prompt and holds slots
+/// until the longest generation drains.
+pub fn sweep_traffic(
+    requests: usize,
+    seed: u64,
+    arrivals: zllm_serve::ArrivalModel,
+) -> zllm_serve::TrafficConfig {
+    let mut cfg = zllm_serve::TrafficConfig::default_mix(requests, seed, arrivals);
+    cfg.prompt_tokens = (16, 96);
+    cfg.new_tokens = (4, 48);
+    cfg
+}
+
+/// Decode-heavy traffic for the paged-KV sweep: short prompts, long
+/// generation *caps*, and three quarters of the requests hitting EOS
+/// before their cap. Worst-case admission must reserve
+/// `prompt + max_new` for a sequence's whole lifetime; the actual KV a
+/// sequence ever occupies is its ramp up to the (usually much earlier)
+/// EOS point. That gap is the regime where actual-growth charging
+/// packs more concurrent users into the same DDR budget.
+pub fn decode_heavy_traffic(
+    requests: usize,
+    seed: u64,
+    arrivals: zllm_serve::ArrivalModel,
+) -> zllm_serve::TrafficConfig {
+    let mut cfg = zllm_serve::TrafficConfig::default_mix(requests, seed, arrivals);
+    cfg.prompt_tokens = (8, 16);
+    cfg.new_tokens = (48, 96);
+    cfg.eos_early_fraction = 0.75;
+    cfg
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -6,6 +6,7 @@
 use crate::spu::{KvQuantizer, RmsNormUnit, RopeUnit, SiluUnit, SoftmaxUnit};
 use crate::vpu::Vpu;
 use zllm_fp16::F16;
+use zllm_layout::kv_page::PagedKvAllocator;
 use zllm_model::{ModelConfig, ModelWeights};
 use zllm_quant::group::{GroupQuantConfig, GroupQuantizer, QuantizedTensor};
 use zllm_quant::kv8::QuantizedKv;
@@ -365,6 +366,95 @@ struct LayerKv {
     values: Vec<QuantizedKv>,
 }
 
+/// The shared physical page pool of a paged batch decoder — the
+/// functional mirror of [`crate::ModelImage::build_paged`]: fixed-size
+/// pages of `page_tokens` tokens granted on demand through the layout
+/// allocator, each holding that token span's K/V codes for every layer.
+/// Paging only remaps *where* codes are stored, never what is computed,
+/// so a paged decoder's logits are bit-identical to the contiguous one's.
+#[derive(Debug)]
+struct KvPagePool {
+    alloc: PagedKvAllocator,
+    /// `pages[phys][layer]` — the codes resident in physical page `phys`.
+    pages: Vec<Vec<LayerKv>>,
+}
+
+impl KvPagePool {
+    fn new(total_pages: usize, seqs: usize, page_tokens: usize, n_layers: usize) -> KvPagePool {
+        KvPagePool {
+            alloc: PagedKvAllocator::new(total_pages, seqs, page_tokens),
+            pages: vec![vec![LayerKv::default(); n_layers]; total_pages],
+        }
+    }
+
+    /// Grants `slot` whatever pages it needs to hold position `pos`,
+    /// clearing freshly granted pages of their previous owner's codes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pool is exhausted — the admission layer's job is to
+    /// never let concurrent growth outrun the pool.
+    fn ensure(&mut self, slot: usize, pos: usize) {
+        let before = self.alloc.pages_of(slot).len();
+        assert!(
+            self.alloc.grow_to(slot, pos + 1),
+            "KV page pool exhausted (admission must bound growth)"
+        );
+        for i in before..self.alloc.pages_of(slot).len() {
+            let phys = self.alloc.pages_of(slot)[i];
+            for kv in &mut self.pages[phys] {
+                kv.keys.clear();
+                kv.values.clear();
+            }
+        }
+    }
+
+    fn release(&mut self, slot: usize) {
+        self.alloc.release(slot);
+    }
+
+    fn push(
+        &mut self,
+        slot: usize,
+        layer: usize,
+        pos: usize,
+        key: QuantizedKv,
+        value: QuantizedKv,
+    ) {
+        let pt = self.alloc.page_tokens();
+        let phys = self.alloc.pages_of(slot)[pos / pt];
+        let kv = &mut self.pages[phys][layer];
+        kv.keys.push(key);
+        kv.values.push(value);
+    }
+
+    fn key(
+        &self,
+        slot: usize,
+        layer: usize,
+        t: usize,
+        head: usize,
+        n_kv_heads: usize,
+    ) -> &QuantizedKv {
+        let pt = self.alloc.page_tokens();
+        let phys = self.alloc.pages_of(slot)[t / pt];
+        &self.pages[phys][layer].keys[(t % pt) * n_kv_heads + head]
+    }
+
+    fn value(
+        &self,
+        slot: usize,
+        layer: usize,
+        t: usize,
+        head: usize,
+        n_kv_heads: usize,
+    ) -> &QuantizedKv {
+        let pt = self.alloc.page_tokens();
+        let phys = self.alloc.pages_of(slot)[t / pt];
+        &self.pages[phys][layer].values[(t % pt) * n_kv_heads + head]
+    }
+}
+
 /// The functional accelerator decoder.
 ///
 /// # Example
@@ -622,6 +712,9 @@ pub struct AccelBatchDecoder<'m> {
     softmax: SoftmaxUnit,
     silu: SiluUnit,
     seqs: Vec<SeqState>,
+    /// `Some` on a paged decoder: KV codes live in shared physical pages
+    /// instead of per-slot contiguous vectors.
+    pool: Option<KvPagePool>,
     scratch: BatchScratch,
 }
 
@@ -671,8 +764,33 @@ impl<'m> AccelBatchDecoder<'m> {
             softmax: SoftmaxUnit::new(),
             silu: SiluUnit::new(),
             seqs,
+            pool: None,
             scratch: BatchScratch::default(),
         }
+    }
+
+    /// Creates a decoder for `batch` concurrent sequences whose KV codes
+    /// live in a shared pool of `total_pages` pages of `page_tokens`
+    /// tokens each, granted on demand as sequences decode — the
+    /// functional mirror of [`crate::ModelImage::build_paged`]. Paging
+    /// remaps storage only; logits are bit-identical to
+    /// [`AccelBatchDecoder::new`] fed the same tokens.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch` is zero, `total_pages` is zero, or `page_tokens`
+    /// is not a positive multiple of the 16-token KV pack window. A later
+    /// decode step panics if growth exhausts the pool.
+    pub fn new_paged(
+        model: &'m QuantizedModel,
+        batch: usize,
+        total_pages: usize,
+        page_tokens: usize,
+    ) -> AccelBatchDecoder<'m> {
+        let mut dec = AccelBatchDecoder::new(model, batch);
+        let n_layers = model.config().n_layers;
+        dec.pool = Some(KvPagePool::new(total_pages, batch, page_tokens, n_layers));
+        dec
     }
 
     /// Creates a batch decoder publishing into the given registry (under
@@ -735,6 +853,11 @@ impl<'m> AccelBatchDecoder<'m> {
         );
         state.kv = vec![LayerKv::default(); cfg.n_layers];
         state.pos = 0;
+        // A paged slot also returns its physical pages to the pool —
+        // the functional evict-on-finish.
+        if let Some(pool) = &mut self.pool {
+            pool.release(slot);
+        }
     }
 
     /// Decodes one token for every sequence in lockstep (`tokens[i]` is
@@ -788,6 +911,16 @@ impl<'m> AccelBatchDecoder<'m> {
         }
         let b = steps.len();
 
+        // Paged storage: grant every participating sequence the page its
+        // write-back lands on *before* any layer runs — one on-demand
+        // allocation per crossed page boundary, exactly the step the
+        // schedule prices as its `kv_pt_write` burst.
+        if let Some(pool) = &mut self.pool {
+            for &(slot, _) in steps {
+                pool.ensure(slot, self.seqs[slot].pos);
+            }
+        }
+
         let mut xs: Vec<Vec<F16>> = steps
             .iter()
             .map(|&(_, t)| self.model.embedding[t].clone())
@@ -808,6 +941,7 @@ impl<'m> AccelBatchDecoder<'m> {
                 &self.softmax,
                 &self.silu,
                 &mut self.seqs,
+                self.pool.as_mut(),
                 steps,
                 &mut xs,
                 s,
@@ -853,6 +987,9 @@ impl<'m> AccelBatchDecoder<'m> {
 /// and its logits stay bit-identical to the single-board decoder by
 /// construction. `kv_idx` indexes the caller's per-sequence KV storage
 /// (global layer index for the full decoder, stage-local for a shard).
+/// With `pool` set, KV codes live in shared physical pages (the paged
+/// decoder) instead of the slot-local vectors; the arithmetic and its
+/// order are identical either way.
 #[allow(clippy::too_many_arguments)]
 fn batch_layer_forward(
     layer: &QuantizedLayer,
@@ -864,6 +1001,7 @@ fn batch_layer_forward(
     softmax: &SoftmaxUnit,
     silu: &SiluUnit,
     seqs: &mut [SeqState],
+    mut pool: Option<&mut KvPagePool>,
     steps: &[(usize, usize)],
     xs: &mut [Vec<F16>],
     s: &mut BatchScratch,
@@ -895,8 +1033,13 @@ fn batch_layer_forward(
             let vq = state
                 .quantizer
                 .quantize_head(0, &s.v[i][h * hd..(h + 1) * hd]);
-            state.kv[kv_idx].keys.push(kq.codes);
-            state.kv[kv_idx].values.push(vq.codes);
+            match pool.as_deref_mut() {
+                Some(pool) => pool.push(slot, kv_idx, pos, kq.codes, vq.codes),
+                None => {
+                    state.kv[kv_idx].keys.push(kq.codes);
+                    state.kv[kv_idx].values.push(vq.codes);
+                }
+            }
         }
     }
 
@@ -911,7 +1054,13 @@ fn batch_layer_forward(
             let qh = &s.q[i][h * hd..(h + 1) * hd];
             s.scores.clear();
             for t in 0..=pos {
-                state.kv[kv_idx].keys[t * cfg.n_kv_heads + kv_head].dequantize_f16_into(&mut s.kv);
+                match pool.as_deref() {
+                    Some(pool) => pool
+                        .key(slot, kv_idx, t, kv_head, cfg.n_kv_heads)
+                        .dequantize_f16_into(&mut s.kv),
+                    None => state.kv[kv_idx].keys[t * cfg.n_kv_heads + kv_head]
+                        .dequantize_f16_into(&mut s.kv),
+                }
                 s.scores.push(F16::from_f32(vpu.dot_row(qh, &s.kv)) * scale);
             }
             let probs = softmax.softmax(&s.scores);
@@ -919,8 +1068,13 @@ fn batch_layer_forward(
             s.acc.clear();
             s.acc.resize(hd, 0.0);
             for (t, &p) in probs.iter().enumerate() {
-                state.kv[kv_idx].values[t * cfg.n_kv_heads + kv_head]
-                    .dequantize_f16_into(&mut s.kv);
+                match pool.as_deref() {
+                    Some(pool) => pool
+                        .value(slot, kv_idx, t, kv_head, cfg.n_kv_heads)
+                        .dequantize_f16_into(&mut s.kv),
+                    None => state.kv[kv_idx].values[t * cfg.n_kv_heads + kv_head]
+                        .dequantize_f16_into(&mut s.kv),
+                }
                 for (a, vv) in s.acc.iter_mut().zip(&s.kv) {
                     *a += (p * *vv).to_f32();
                 }
@@ -1153,6 +1307,7 @@ impl<'m> ShardedBatchDecoder<'m> {
                     &self.softmax,
                     &self.silu,
                     &mut stage.seqs,
+                    None,
                     steps,
                     &mut xs,
                     s,
@@ -1471,6 +1626,49 @@ mod tests {
         let got = batch.decode_at(&[(2, 42), (0, 77)]);
         check(&got, &[b.forward(42), c.forward(77)]);
         assert_eq!(batch.pos(), 3, "furthest sequence");
+    }
+
+    #[test]
+    fn paged_decode_is_bit_identical_to_contiguous() {
+        let (_, _, qmodel) = setup(31);
+        // A deliberately tight pool: 5 pages of 16 tokens shared by 3
+        // slots, so page tables scatter across the pool as slots churn.
+        let mut paged = AccelBatchDecoder::new_paged(&qmodel, 3, 5, 16);
+        let mut flat = AccelBatchDecoder::new(&qmodel, 3);
+
+        let check = |got: &[Vec<f32>], want: &[Vec<f32>]| {
+            for (i, (g, w)) in got.iter().zip(want).enumerate() {
+                let gb: Vec<u32> = g.iter().map(|v| v.to_bits()).collect();
+                let wb: Vec<u32> = w.iter().map(|v| v.to_bits()).collect();
+                assert_eq!(gb, wb, "participant {i} diverged");
+            }
+        };
+
+        // Two sequences decode past a page boundary together — each
+        // grows a second, non-adjacent page in the shared pool.
+        for i in 0..18 {
+            let steps = [(0, 7 + i), (2, 3 + i)];
+            check(&paged.decode_at(&steps), &flat.decode_at(&steps));
+        }
+        // Slot 2 finishes, returning its pages; a successor reuses them
+        // while slot 0's history stays scattered and slot 1 joins fresh.
+        paged.reset_seq(2);
+        flat.reset_seq(2);
+        for i in 0..3 {
+            let steps = [(0, 40 + i), (2, 60 + i), (1, 11 + i)];
+            check(&paged.decode_at(&steps), &flat.decode_at(&steps));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "KV page pool exhausted")]
+    fn paged_decode_panics_when_growth_outruns_the_pool() {
+        let (_, _, qmodel) = setup(7);
+        let mut paged = AccelBatchDecoder::new_paged(&qmodel, 2, 2, 16);
+        // Two slots fill both pages; the first boundary crossing starves.
+        for i in 0..17 {
+            let _ = paged.decode_at(&[(0, 1 + i), (1, 2 + i)]);
+        }
     }
 
     #[test]

@@ -8,9 +8,14 @@
 //! low window when full.
 
 use zllm_layout::addr_map::{AllocError, MemoryMap, Region, Window};
+use zllm_layout::kv_page::PAGE_TOKEN_QUANTUM;
 use zllm_layout::weight::WeightFormat;
 use zllm_layout::{BurstDescriptor, BEAT_BYTES};
 use zllm_model::ModelConfig;
+
+/// Bytes one page-table entry occupies in DDR (a 32-bit physical page
+/// index — 16 entries per 512-bit beat).
+const PAGE_TABLE_ENTRY_BYTES: u64 = 4;
 
 /// The seven projections of one layer, in streaming order.
 pub const PROJECTIONS: [&str; 7] = ["wq", "wk", "wv", "wo", "w_gate", "w_up", "w_down"];
@@ -93,9 +98,17 @@ pub struct ModelImage {
     /// Per (layer, K/V): contiguous code region of `batch × ctx_capacity`
     /// tokens — sequence `s` owns the slots
     /// `[s·ctx_capacity, (s+1)·ctx_capacity)`, so each sequence's history
-    /// is still one consecutive DDR stream.
+    /// is still one consecutive DDR stream. In a paged image the same
+    /// region is instead a pool of `batch × ctx_capacity / page_tokens`
+    /// physical pages addressed through per-sequence page tables.
     kv_regions: Vec<Region>,
     kv_meta: Region,
+    /// `Some(page_tokens)` for a paged image ([`ModelImage::build_paged`]):
+    /// KV space is carved into fixed-size pages of this many tokens and
+    /// every KV access indirects through a per-sequence page table.
+    page_tokens: Option<usize>,
+    /// The per-sequence page tables in DDR (paged images only).
+    page_table: Option<Region>,
 }
 
 impl ModelImage {
@@ -133,7 +146,44 @@ impl ModelImage {
         ctx_capacity: usize,
         batch: usize,
     ) -> Result<ModelImage, AllocError> {
-        ModelImage::build_ranged(model, format, ctx_capacity, batch, 0..model.n_layers)
+        ModelImage::build_ranged(model, format, ctx_capacity, batch, 0..model.n_layers, None)
+    }
+
+    /// Builds a **paged** image: the same weight placement and total KV
+    /// provisioning as [`ModelImage::build_batched`], but the KV space is
+    /// carved into fixed-size pages of `page_tokens` tokens granted on
+    /// demand, with per-sequence page tables placed in DDR and every KV
+    /// access indirecting through them. Pages use a canonical interleaved
+    /// physical placement (logical page `p` of sequence `s` lives at
+    /// physical page `p × batch + s`), so the burst streams are a pure
+    /// function of `(slot, ctx)` — cacheable like every other schedule —
+    /// while still modelling the scatter a shared page pool produces.
+    ///
+    /// # Errors
+    ///
+    /// Returns the allocation failure if the image (weights, KV pool,
+    /// scale-zero packs, page tables) exceeds the 4 GB device.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch` is zero, `page_tokens` is not a positive
+    /// multiple of the 16-token pack window, or `ctx_capacity` is not a
+    /// multiple of `page_tokens`.
+    pub fn build_paged(
+        model: &ModelConfig,
+        format: WeightFormat,
+        ctx_capacity: usize,
+        batch: usize,
+        page_tokens: usize,
+    ) -> Result<ModelImage, AllocError> {
+        ModelImage::build_ranged(
+            model,
+            format,
+            ctx_capacity,
+            batch,
+            0..model.n_layers,
+            Some(page_tokens),
+        )
     }
 
     /// Builds the image of one pipeline-parallel shard: the weight
@@ -164,7 +214,37 @@ impl ModelImage {
         batch: usize,
         layers: std::ops::Range<usize>,
     ) -> Result<ModelImage, AllocError> {
-        ModelImage::build_ranged(model, format, ctx_capacity, batch, layers)
+        ModelImage::build_ranged(model, format, ctx_capacity, batch, layers, None)
+    }
+
+    /// [`ModelImage::build_shard`] with paged KV space on the shard —
+    /// the per-board analogue of [`ModelImage::build_paged`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the allocation failure if the shard does not fit the 4 GB
+    /// device.
+    ///
+    /// # Panics
+    ///
+    /// Panics as [`ModelImage::build_paged`] and
+    /// [`ModelImage::build_shard`] do.
+    pub fn build_shard_paged(
+        model: &ModelConfig,
+        format: WeightFormat,
+        ctx_capacity: usize,
+        batch: usize,
+        layers: std::ops::Range<usize>,
+        page_tokens: usize,
+    ) -> Result<ModelImage, AllocError> {
+        ModelImage::build_ranged(
+            model,
+            format,
+            ctx_capacity,
+            batch,
+            layers,
+            Some(page_tokens),
+        )
     }
 
     fn build_ranged(
@@ -173,8 +253,19 @@ impl ModelImage {
         ctx_capacity: usize,
         batch: usize,
         layers: std::ops::Range<usize>,
+        page_tokens: Option<usize>,
     ) -> Result<ModelImage, AllocError> {
         assert!(batch > 0, "batch must be at least 1");
+        if let Some(pt) = page_tokens {
+            assert!(
+                pt > 0 && pt.is_multiple_of(PAGE_TOKEN_QUANTUM),
+                "page_tokens {pt} must be a positive multiple of {PAGE_TOKEN_QUANTUM}"
+            );
+            assert!(
+                ctx_capacity.is_multiple_of(pt),
+                "ctx_capacity {ctx_capacity} must be a multiple of page_tokens {pt}"
+            );
+        }
         assert!(
             !layers.is_empty() && layers.end <= model.n_layers,
             "shard layer range {layers:?} must be a non-empty subrange of 0..{}",
@@ -277,6 +368,23 @@ impl ModelImage {
         let meta_beats = streams * (ctx_capacity as u64).div_ceil(16) * batch as u64;
         let kv_meta = alloc_spill(&mut map, "kv scale-zero packs", meta_beats * 64)?;
 
+        // Per-sequence page tables: one 32-bit physical-page entry per
+        // logical page, each sequence's table rounded up to whole beats
+        // so a table fetch is one aligned burst.
+        let page_table = match page_tokens {
+            Some(pt) => {
+                let entries = (ctx_capacity / pt) as u64;
+                let stride = (entries * PAGE_TABLE_ENTRY_BYTES).div_ceil(BEAT_BYTES as u64)
+                    * BEAT_BYTES as u64;
+                Some(alloc_spill(
+                    &mut map,
+                    "kv page tables",
+                    stride * batch as u64,
+                )?)
+            }
+            None => None,
+        };
+
         Ok(ModelImage {
             model: shard,
             format,
@@ -289,6 +397,8 @@ impl ModelImage {
             projections,
             kv_regions,
             kv_meta,
+            page_tokens,
+            page_table,
         })
     }
 
@@ -418,6 +528,10 @@ impl ModelImage {
     ) -> BurstDescriptor {
         assert!(ctx <= self.ctx_capacity, "context beyond capacity");
         assert!(seq < self.batch, "sequence beyond provisioned batch");
+        assert!(
+            self.page_tokens.is_none(),
+            "paged image history is fragmented; use kv_read_bursts_seq"
+        );
         let region = &self.kv_regions[layer * 2 + usize::from(value)];
         let tb = self.kv_token_bytes();
         let beats = (tb * ctx as u64 / BEAT_BYTES as u64) as u32;
@@ -425,6 +539,51 @@ impl ModelImage {
             region.base + seq as u64 * self.ctx_capacity as u64 * tb,
             beats,
         )
+    }
+
+    /// The K (or V) history of one layer up to `ctx` tokens as a burst
+    /// list: one consecutive burst on a contiguous image, one burst per
+    /// KV page on a paged image (the fragmentation paging pays for its
+    /// capacity win — each page is still a long aligned burst, never a
+    /// scattered read).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ctx` exceeds the per-sequence capacity or `seq` exceeds
+    /// the provisioned batch.
+    pub fn kv_read_bursts_seq(
+        &self,
+        layer: usize,
+        value: bool,
+        ctx: usize,
+        seq: usize,
+    ) -> Vec<BurstDescriptor> {
+        let Some(pt) = self.page_tokens else {
+            return vec![self.kv_read_burst_seq(layer, value, ctx, seq)];
+        };
+        assert!(ctx <= self.ctx_capacity, "context beyond capacity");
+        assert!(seq < self.batch, "sequence beyond provisioned batch");
+        let region = &self.kv_regions[layer * 2 + usize::from(value)];
+        let tb = self.kv_token_bytes();
+        let mut bursts = Vec::with_capacity(ctx.div_ceil(pt));
+        for page in 0..ctx.div_ceil(pt) {
+            let tokens = pt.min(ctx - page * pt) as u64;
+            let phys = self.physical_page(seq, page);
+            bursts.push(BurstDescriptor::new(
+                region.base + phys * pt as u64 * tb,
+                (tokens * tb / BEAT_BYTES as u64) as u32,
+            ));
+        }
+        bursts
+    }
+
+    /// Physical page backing logical page `logical` of sequence `seq` in
+    /// a paged image: the canonical interleave `logical × batch + seq` —
+    /// bijective over the pool, and deliberately *not* sequence-local, so
+    /// consecutive logical pages of one sequence land `batch` pages apart
+    /// exactly as a shared on-demand pool scatters them.
+    fn physical_page(&self, seq: usize, logical: usize) -> u64 {
+        (logical * self.batch + seq) as u64
     }
 
     /// Write burst for the current token's K (or V) vector of one layer.
@@ -448,10 +607,14 @@ impl ModelImage {
         assert!(seq < self.batch, "sequence beyond provisioned batch");
         let region = &self.kv_regions[layer * 2 + usize::from(value)];
         let tb = self.kv_token_bytes();
-        BurstDescriptor::write(
-            region.base + (seq as u64 * self.ctx_capacity as u64 + token as u64) * tb,
-            (tb / BEAT_BYTES as u64) as u32,
-        )
+        let addr = match self.page_tokens {
+            None => region.base + (seq as u64 * self.ctx_capacity as u64 + token as u64) * tb,
+            Some(pt) => {
+                let phys = self.physical_page(seq, token / pt);
+                region.base + (phys * pt as u64 + (token % pt) as u64) * tb
+            }
+        };
+        BurstDescriptor::write(addr, (tb / BEAT_BYTES as u64) as u32)
     }
 
     /// Write burst for one flushed scale-zero FIFO element.
@@ -499,6 +662,97 @@ impl ModelImage {
         let streams = (self.model.n_layers * self.model.n_kv_heads * 2) as u64;
         let meta = streams * (tokens as u64).div_ceil(16) * BEAT_BYTES as u64;
         codes + meta
+    }
+
+    /// Tokens per KV page, or `None` on a contiguous image.
+    pub fn page_tokens(&self) -> Option<usize> {
+        self.page_tokens
+    }
+
+    /// Whether KV state is organised as a paged pool.
+    pub fn is_paged(&self) -> bool {
+        self.page_tokens.is_some()
+    }
+
+    /// Physical pages in the paged KV pool
+    /// (`batch × ctx_capacity / page_tokens`).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a contiguous image.
+    pub fn total_kv_pages(&self) -> usize {
+        let pt = self.page_tokens.expect("contiguous image has no pages");
+        self.batch * (self.ctx_capacity / pt)
+    }
+
+    /// KV bytes one page accounts for: its codes in every layer plus its
+    /// page-aligned share of the scale-zero region. Because pages are
+    /// whole 16-token windows, `total_kv_pages × kv_page_bytes` equals
+    /// [`ModelImage::kv_budget_bytes`] exactly — paging re-divides the
+    /// budget, it does not shrink or inflate it.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a contiguous image.
+    pub fn kv_page_bytes(&self) -> u64 {
+        let pt = self.page_tokens.expect("contiguous image has no pages");
+        self.kv_request_bytes(pt)
+    }
+
+    /// [`ModelImage::kv_request_bytes`] rounded up to whole pages of
+    /// `page_tokens` tokens — the actual-growth admission currency. Works
+    /// on contiguous images too, so a worst-case and a paged controller
+    /// can be compared against the same budget.
+    pub fn page_rounded_request_bytes(&self, tokens: usize, page_tokens: usize) -> u64 {
+        self.kv_request_bytes(page_tokens) * tokens.div_ceil(page_tokens) as u64
+    }
+
+    /// One full read of `seq`'s page table: the page-table lookup a paged
+    /// decode step pays before it can issue the fragmented KV reads.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a contiguous image or if `seq` exceeds the batch.
+    pub fn kv_page_table_read_burst(&self, seq: usize) -> BurstDescriptor {
+        assert!(seq < self.batch, "sequence beyond provisioned batch");
+        let table = self
+            .page_table
+            .as_ref()
+            .expect("contiguous image has no page tables");
+        let stride = table.size / self.batch as u64;
+        BurstDescriptor::new(
+            table.base + seq as u64 * stride,
+            (stride / BEAT_BYTES as u64) as u32,
+        )
+    }
+
+    /// One-beat flush of the page-table entry mapping `seq`'s logical
+    /// page `logical` — paid when a sequence crosses a page boundary and
+    /// a fresh page is appended to its table.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a contiguous image, if `seq` exceeds the batch, or if
+    /// `logical` exceeds the per-sequence table.
+    pub fn kv_page_table_write_burst(&self, seq: usize, logical: usize) -> BurstDescriptor {
+        assert!(seq < self.batch, "sequence beyond provisioned batch");
+        let pt = self
+            .page_tokens
+            .expect("contiguous image has no page tables");
+        assert!(
+            logical < self.ctx_capacity / pt,
+            "logical page beyond capacity"
+        );
+        let table = self
+            .page_table
+            .as_ref()
+            .expect("contiguous image has no page tables");
+        let stride = table.size / self.batch as u64;
+        let beat = logical as u64 * PAGE_TABLE_ENTRY_BYTES / BEAT_BYTES as u64;
+        BurstDescriptor::write(
+            table.base + seq as u64 * stride + beat * BEAT_BYTES as u64,
+            1,
+        )
     }
 
     /// Total bytes of all weight streams (format padding included).
@@ -640,6 +894,102 @@ mod tests {
             sixteen - one,
             15 * (cfg.n_layers * 2) as u64 * image.kv_token_bytes()
         );
+    }
+
+    #[test]
+    fn paged_image_redivides_the_kv_budget_exactly() {
+        let cfg = ModelConfig::test_small();
+        let flat = ModelImage::build_batched(&cfg, WeightFormat::kv260(), 32, 4).expect("fits");
+        let paged = ModelImage::build_paged(&cfg, WeightFormat::kv260(), 32, 4, 16).expect("fits");
+        assert!(paged.is_paged() && !flat.is_paged());
+        assert_eq!(paged.page_tokens(), Some(16));
+        // Paging re-divides the same budget: pages × page bytes is the
+        // whole KV budget, and that budget matches the contiguous image.
+        assert_eq!(paged.kv_budget_bytes(), flat.kv_budget_bytes());
+        assert_eq!(paged.total_kv_pages(), 4 * 2);
+        assert_eq!(
+            paged.total_kv_pages() as u64 * paged.kv_page_bytes(),
+            paged.kv_budget_bytes()
+        );
+        // Page-rounded charging: whole pages, monotone, capped at full.
+        assert_eq!(paged.page_rounded_request_bytes(0, 16), 0);
+        assert_eq!(
+            paged.page_rounded_request_bytes(1, 16),
+            paged.kv_page_bytes()
+        );
+        assert_eq!(
+            paged.page_rounded_request_bytes(17, 16),
+            2 * paged.kv_page_bytes()
+        );
+        assert_eq!(
+            paged.page_rounded_request_bytes(32, 16) * 4,
+            paged.kv_budget_bytes()
+        );
+        // Contiguous images can price page-rounded too (twin-run compare).
+        assert_eq!(
+            flat.page_rounded_request_bytes(17, 16),
+            paged.page_rounded_request_bytes(17, 16)
+        );
+    }
+
+    #[test]
+    fn paged_reads_fragment_but_conserve_bytes() {
+        let cfg = ModelConfig::test_small();
+        let flat = ModelImage::build_batched(&cfg, WeightFormat::kv260(), 32, 4).expect("fits");
+        let paged = ModelImage::build_paged(&cfg, WeightFormat::kv260(), 32, 4, 16).expect("fits");
+        for ctx in [1usize, 15, 16, 17, 31, 32] {
+            let flat_bytes: u64 = flat
+                .kv_read_bursts_seq(0, false, ctx, 1)
+                .iter()
+                .map(|b| b.bytes())
+                .sum();
+            let bursts = paged.kv_read_bursts_seq(0, false, ctx, 1);
+            assert_eq!(bursts.len(), ctx.div_ceil(16), "one burst per page");
+            let paged_bytes: u64 = bursts.iter().map(|b| b.bytes()).sum();
+            assert_eq!(paged_bytes, flat_bytes, "ctx {ctx}: same bytes moved");
+        }
+        // Canonical interleave: logical page p of seq s sits at physical
+        // page p·batch + s, so seq 0 / page 0 coincides with the start of
+        // the region and consecutive logical pages are batch pages apart.
+        let tb = paged.kv_token_bytes();
+        let bursts = paged.kv_read_bursts_seq(0, false, 32, 0);
+        assert_eq!(bursts[0].addr, flat.kv_read_burst_seq(0, false, 32, 0).addr);
+        assert_eq!(bursts[1].addr - bursts[0].addr, 4 * 16 * tb);
+        // Writes remap the same way: token 16 of seq 1 lands in physical
+        // page 1·4 + 1 = 5 at offset 0.
+        let w = paged.kv_write_burst_seq(0, false, 16, 1);
+        assert_eq!(w.addr, bursts[0].addr + 5 * 16 * tb);
+    }
+
+    #[test]
+    fn page_table_bursts_are_priced_per_sequence() {
+        let cfg = ModelConfig::test_small();
+        let paged = ModelImage::build_paged(&cfg, WeightFormat::kv260(), 32, 4, 16).expect("fits");
+        // 2 entries × 4 B rounds up to one 64 B beat per sequence.
+        let r0 = paged.kv_page_table_read_burst(0);
+        let r1 = paged.kv_page_table_read_burst(1);
+        assert_eq!(r0.beats, 1);
+        assert_eq!(r1.addr - r0.addr, BEAT_BYTES as u64);
+        assert!(!r0.write);
+        let w = paged.kv_page_table_write_burst(0, 1);
+        assert!(w.write);
+        assert_eq!(w.beats, 1);
+        assert_eq!(w.addr, r0.addr);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive multiple")]
+    fn paged_image_rejects_misaligned_page_size() {
+        let cfg = ModelConfig::test_small();
+        let _ = ModelImage::build_paged(&cfg, WeightFormat::kv260(), 32, 4, 24);
+    }
+
+    #[test]
+    #[should_panic(expected = "paged image history is fragmented")]
+    fn contiguous_read_accessor_rejects_paged_images() {
+        let cfg = ModelConfig::test_small();
+        let paged = ModelImage::build_paged(&cfg, WeightFormat::kv260(), 32, 4, 16).expect("fits");
+        let _ = paged.kv_read_burst_seq(0, false, 4, 0);
     }
 
     #[test]

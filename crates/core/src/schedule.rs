@@ -54,6 +54,18 @@ impl MemOp {
         op
     }
 
+    /// A metadata operation (page-table lookups and flushes): its bursts
+    /// are priced as real DDR traffic but feed no VPU compute.
+    fn meta(label: String, bursts: Vec<BurstDescriptor>) -> MemOp {
+        MemOp {
+            label,
+            bursts,
+            vpu_beats: 0,
+            exposed_misc: 0,
+            compute_fanout: 1,
+        }
+    }
+
     /// Total bytes moved.
     pub fn bytes(&self) -> u64 {
         self.bursts.iter().map(BurstDescriptor::bytes).sum()
@@ -205,6 +217,19 @@ pub fn ragged_token_schedule(
         ));
     }
 
+    // A paged image pays one page-table lookup per participating
+    // sequence before any fragmented KV burst can be issued — real
+    // metadata DDR traffic, not free bookkeeping.
+    if image.is_paged() {
+        ops.push(MemOp::meta(
+            "kv_pt_read".into(),
+            slots
+                .iter()
+                .map(|&(slot, _)| image.kv_page_table_read_burst(slot))
+                .collect(),
+        ));
+    }
+
     for layer in 0..model.n_layers {
         let projs = image.layer_projections(layer);
         let find = |name: &str| {
@@ -239,13 +264,9 @@ pub fn ragged_token_schedule(
             if ctx == 0 {
                 continue;
             }
-            let mut kv_read = MemOp::new(
-                format!("L{layer}.kv_read"),
-                vec![
-                    image.kv_read_burst_seq(layer, false, ctx, slot),
-                    image.kv_read_burst_seq(layer, true, ctx, slot),
-                ],
-            );
+            let mut bursts = image.kv_read_bursts_seq(layer, false, ctx, slot);
+            bursts.extend(image.kv_read_bursts_seq(layer, true, ctx, slot));
+            let mut kv_read = MemOp::new(format!("L{layer}.kv_read"), bursts);
             if mode == PipelineMode::Coarse {
                 kv_read.exposed_misc = softmax_all(ctx);
             }
@@ -298,6 +319,20 @@ pub fn ragged_token_schedule(
         .collect();
     if !flush_bursts.is_empty() {
         ops.push(MemOp::new("kv_meta_flush".into(), flush_bursts));
+    }
+
+    // A sequence whose write-back lands on a fresh page appends one
+    // page-table entry — the one-beat allocation cost of on-demand
+    // paging, paid exactly when a page boundary is crossed.
+    if let Some(pt) = image.page_tokens() {
+        let pt_bursts: Vec<BurstDescriptor> = slots
+            .iter()
+            .filter(|&&(_, ctx)| ctx.is_multiple_of(pt))
+            .map(|&(slot, ctx)| image.kv_page_table_write_burst(slot, ctx / pt))
+            .collect();
+        if !pt_bursts.is_empty() {
+            ops.push(MemOp::meta("kv_pt_write".into(), pt_bursts));
+        }
     }
 
     // Only the stage owning the head prices a logits pass.
@@ -400,6 +435,18 @@ pub fn chunked_prefill_schedule(
         ));
     }
 
+    // Paged images: one page-table lookup per chunk before its
+    // fragmented history reads and page-mapped writes can be issued.
+    if image.is_paged() {
+        ops.push(MemOp::meta(
+            "kv_pt_read".into(),
+            chunks
+                .iter()
+                .map(|c| image.kv_page_table_read_burst(c.slot))
+                .collect(),
+        ));
+    }
+
     for layer in 0..model.n_layers {
         let projs = image.layer_projections(layer);
         let find = |name: &str| {
@@ -431,13 +478,9 @@ pub fn chunked_prefill_schedule(
             if c.start == 0 {
                 continue;
             }
-            let mut kv_read = MemOp::new(
-                format!("L{layer}.kv_read"),
-                vec![
-                    image.kv_read_burst_seq(layer, false, c.start, c.slot),
-                    image.kv_read_burst_seq(layer, true, c.start, c.slot),
-                ],
-            );
+            let mut bursts = image.kv_read_bursts_seq(layer, false, c.start, c.slot);
+            bursts.extend(image.kv_read_bursts_seq(layer, true, c.start, c.slot));
+            let mut kv_read = MemOp::new(format!("L{layer}.kv_read"), bursts);
             kv_read.compute_fanout = c.len as u32;
             if mode == PipelineMode::Coarse {
                 kv_read.exposed_misc = softmax_chunk(c);
@@ -496,6 +539,21 @@ pub fn chunked_prefill_schedule(
         .collect();
     if !flush_bursts.is_empty() {
         ops.push(MemOp::new("kv_meta_flush".into(), flush_bursts));
+    }
+
+    // Page-table appends for every page boundary a chunk crosses.
+    if let Some(pt) = image.page_tokens() {
+        let pt_bursts: Vec<BurstDescriptor> = chunks
+            .iter()
+            .flat_map(|c| {
+                (c.start..c.start + c.len)
+                    .filter(|p| p.is_multiple_of(pt))
+                    .map(move |p| image.kv_page_table_write_burst(c.slot, p / pt))
+            })
+            .collect();
+        if !pt_bursts.is_empty() {
+            ops.push(MemOp::meta("kv_pt_write".into(), pt_bursts));
+        }
     }
 
     // Only each chunk's last token needs logits, and only on the stage
@@ -845,6 +903,96 @@ mod tests {
         assert_eq!(reads.len(), 2);
         assert_ne!(reads[0].bursts[0].addr, reads[1].bursts[0].addr);
         assert_eq!(reads[0].bytes(), reads[1].bytes());
+    }
+
+    fn paged_image(batch: usize) -> ModelImage {
+        ModelImage::build_paged(
+            &ModelConfig::test_small(),
+            WeightFormat::kv260(),
+            32,
+            batch,
+            16,
+        )
+        .expect("test model fits")
+    }
+
+    /// Bytes in the page-table metadata ops alone.
+    fn pt_bytes(sched: &TokenSchedule) -> u64 {
+        sched
+            .ops
+            .iter()
+            .filter(|o| o.label.starts_with("kv_pt_"))
+            .map(MemOp::bytes)
+            .sum()
+    }
+
+    #[test]
+    fn paged_schedule_adds_only_page_table_traffic() {
+        let flat = batched_image(4);
+        let paged = paged_image(4);
+        let slots = [(0usize, 3usize), (1, 17), (2, 16), (3, 0)];
+        for mode in [PipelineMode::Fused, PipelineMode::Coarse] {
+            let f = ragged_token_schedule(&flat, &slots, mode);
+            let p = ragged_token_schedule(&paged, &slots, mode);
+            // The same KV/weight bytes move; paging adds metadata bursts.
+            assert_eq!(p.total_bytes() - pt_bytes(&p), f.total_bytes());
+            assert!(pt_bytes(&p) > 0);
+            assert_eq!(pt_bytes(&f), 0, "contiguous schedules have no tables");
+            // The compute side is untouched: page tables feed no VPU.
+            assert_eq!(p.total_vpu_beats(), f.total_vpu_beats());
+            assert_eq!(p.total_exposed_misc(), f.total_exposed_misc());
+        }
+        // One lookup per sequence; appends only for boundary-crossing
+        // writes (ctx 16 starts logical page 1, ctx 0 page 0).
+        let p = ragged_token_schedule(&paged, &slots, PipelineMode::Fused);
+        let read = p.ops.iter().find(|o| o.label == "kv_pt_read").unwrap();
+        assert_eq!(read.bursts.len(), 4);
+        let write = p.ops.iter().find(|o| o.label == "kv_pt_write").unwrap();
+        assert_eq!(write.bursts.len(), 2);
+        let none = ragged_token_schedule(&paged, &[(0, 3), (1, 17)], PipelineMode::Fused);
+        assert!(!none.ops.iter().any(|o| o.label == "kv_pt_write"));
+    }
+
+    #[test]
+    fn paged_reads_fragment_into_per_page_bursts() {
+        let paged = paged_image(2);
+        let sched = ragged_token_schedule(&paged, &[(0, 31)], PipelineMode::Fused);
+        let read = sched.ops.iter().find(|o| o.label == "L0.kv_read").unwrap();
+        // 31 tokens span two 16-token pages, K and V each: 4 bursts.
+        assert_eq!(read.bursts.len(), 4);
+        let flat = batched_image(2);
+        let fsched = ragged_token_schedule(&flat, &[(0, 31)], PipelineMode::Fused);
+        let fread = fsched.ops.iter().find(|o| o.label == "L0.kv_read").unwrap();
+        assert_eq!(fread.bursts.len(), 2);
+        assert_eq!(read.bytes(), fread.bytes());
+        assert_eq!(read.vpu_beats, fread.vpu_beats);
+    }
+
+    #[test]
+    fn paged_prefill_prices_page_table_appends() {
+        let flat = batched_image(2);
+        let paged = paged_image(2);
+        let chunks = [
+            PrefillChunk {
+                slot: 0,
+                start: 0,
+                len: 20,
+            },
+            PrefillChunk {
+                slot: 1,
+                start: 16,
+                len: 8,
+            },
+        ];
+        let f = chunked_prefill_schedule(&flat, &chunks, PipelineMode::Fused);
+        let p = chunked_prefill_schedule(&paged, &chunks, PipelineMode::Fused);
+        assert_eq!(p.total_bytes() - pt_bytes(&p), f.total_bytes());
+        // Chunk 0 crosses positions 0 and 16 (2 appends); chunk 1
+        // crosses position 16 (1 append).
+        let write = p.ops.iter().find(|o| o.label == "kv_pt_write").unwrap();
+        assert_eq!(write.bursts.len(), 3);
+        let read = p.ops.iter().find(|o| o.label == "kv_pt_read").unwrap();
+        assert_eq!(read.bursts.len(), 2, "one lookup per chunk");
     }
 
     #[test]

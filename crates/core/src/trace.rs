@@ -117,7 +117,10 @@ impl BatchTokenReport {
 /// sequence decodes its own token and owns its own KV cache region);
 /// everything else is the shared weight stream, paid once per batch.
 fn is_per_sequence_kind(kind: &str) -> bool {
-    matches!(kind, "embedding" | "kv_read" | "kv_write" | "kv_meta_flush")
+    matches!(
+        kind,
+        "embedding" | "kv_read" | "kv_write" | "kv_meta_flush" | "kv_pt_read" | "kv_pt_write"
+    )
 }
 
 /// Averaged report over a generation run.
@@ -309,6 +312,27 @@ impl DecodeEngine {
         Ok(DecodeEngine::with_image(accel, image))
     }
 
+    /// [`DecodeEngine::new_batched`] over a *paged* KV image: the same
+    /// budget carved into `page_tokens`-token pages with per-sequence
+    /// page tables, whose lookups and appends the schedules price as
+    /// real metadata bursts (see [`ModelImage::build_paged`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns the allocation error if the model plus the KV pool does
+    /// not fit the 4 GB map.
+    pub fn new_paged(
+        accel: AccelConfig,
+        model: &ModelConfig,
+        ctx_capacity: usize,
+        max_batch: usize,
+        page_tokens: usize,
+    ) -> Result<DecodeEngine, AllocError> {
+        let image =
+            ModelImage::build_paged(model, accel.format, ctx_capacity, max_batch, page_tokens)?;
+        Ok(DecodeEngine::with_image(accel, image))
+    }
+
     /// Builds the engine over an already-placed image — the path the
     /// cluster layer takes to stand one engine up per pipeline shard
     /// (see [`ModelImage::build_shard`]). The engine prices exactly the
@@ -479,8 +503,13 @@ impl DecodeEngine {
             }
         }
         if let Some(cached) = self.ragged_schedules.get(slots) {
+            // The hit/miss counters exist only once a genuinely ragged
+            // step ran, so uniform-only runs (and the committed baseline
+            // scenarios that predate them) keep their exact key set.
+            self.registry.counter("decode.ragged_cache.hits").add(1);
             return Rc::clone(cached);
         }
+        self.registry.counter("decode.ragged_cache.misses").add(1);
         let sched = ragged_token_schedule(&self.image, slots, self.accel.pipeline);
         let cached = Rc::new(CachedSchedule::build(sched, &mut self.registry));
         if self.ragged_schedules.len() < RAGGED_CACHE_CAP {
@@ -1101,6 +1130,49 @@ mod tests {
         assert_eq!(again.bytes, ragged.bytes);
         assert_eq!(again.vpu_cycles, ragged.vpu_cycles);
         assert_eq!(engine.ragged_schedules.len(), 1);
+    }
+
+    #[test]
+    fn ragged_cache_telemetry_counts_hits_and_misses() {
+        let mut engine =
+            DecodeEngine::new_batched(AccelConfig::kv260(), &ModelConfig::test_small(), 32, 4)
+                .expect("fits");
+        // Uniform steps route to the (ctx, batch) cache and must not
+        // create the ragged-cache counters — the baseline key set.
+        engine.decode_token_batch(8, 4);
+        engine.decode_token_ragged(&[(0, 8), (1, 8), (2, 8), (3, 8)]);
+        let snap = engine.metrics_snapshot();
+        assert!(!snap.counters.contains_key("decode.ragged_cache.hits"));
+        assert!(!snap.counters.contains_key("decode.ragged_cache.misses"));
+        engine.decode_token_ragged(&[(0, 2), (1, 30)]); // miss
+        engine.decode_token_ragged(&[(0, 2), (1, 30)]); // hit
+        engine.decode_token_ragged(&[(0, 3), (1, 30)]); // miss
+        let snap = engine.metrics_snapshot();
+        assert_eq!(snap.counters["decode.ragged_cache.hits"], 1);
+        assert_eq!(snap.counters["decode.ragged_cache.misses"], 2);
+    }
+
+    #[test]
+    fn paged_engine_prices_page_tables_and_contiguous_stays_pristine() {
+        let mut flat =
+            DecodeEngine::new_batched(AccelConfig::kv260(), &ModelConfig::test_small(), 32, 4)
+                .expect("fits");
+        let mut paged =
+            DecodeEngine::new_paged(AccelConfig::kv260(), &ModelConfig::test_small(), 32, 4, 16)
+                .expect("fits");
+        assert!(paged.image().is_paged());
+        let f = flat.decode_token_ragged(&[(0, 5), (1, 17)]);
+        let p = paged.decode_token_ragged(&[(0, 5), (1, 17)]);
+        // Paging adds page-table metadata traffic and nothing else.
+        assert_eq!(p.bytes - p.bytes_for("kv_pt"), f.bytes);
+        assert!(p.bytes_for("kv_pt_read") > 0);
+        assert_eq!(p.vpu_cycles, f.vpu_cycles);
+        assert!(p.kv_share > f.kv_share, "tables count as KV traffic");
+        // The per-kind counters exist only on the paged engine.
+        let snap = paged.metrics_snapshot();
+        assert!(snap.counters.contains_key("decode.bytes.kv_pt_read"));
+        let fsnap = flat.metrics_snapshot();
+        assert!(!fsnap.counters.contains_key("decode.bytes.kv_pt_read"));
     }
 
     #[test]

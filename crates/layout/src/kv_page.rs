@@ -1,0 +1,304 @@
+//! Paged KV-cache allocation (the capacity-side dual of Fig. 4B).
+//!
+//! The contiguous layout provisions every sequence `ctx_capacity` tokens
+//! of KV up front, so a short-lived request strands capacity it never
+//! touches. Paging carves the same KV space into fixed-size blocks of
+//! [`PAGE_TOKEN_QUANTUM`]-aligned tokens and hands them out on demand:
+//! each sequence owns a small page table mapping its logical token range
+//! onto whichever physical pages were free, and capacity is charged as
+//! the sequence actually grows.
+//!
+//! The page size must be a multiple of the KV scale-zero pack window
+//! ([`crate::kv_pack::PACKS_PER_ELEMENT`] = 16 tokens): the packing FIFO
+//! flushes one metadata beat per stream per 16-token window, and keeping
+//! windows page-aligned means a flush never straddles two pages — the
+//! metadata beat stays one aligned burst, exactly the §V-B discipline.
+
+use crate::kv_pack::PACKS_PER_ELEMENT;
+use std::collections::BTreeSet;
+
+/// Tokens per page must be a positive multiple of this quantum — the
+/// 16-token scale-zero pack window of the KV FIFO.
+pub const PAGE_TOKEN_QUANTUM: usize = PACKS_PER_ELEMENT;
+
+/// A paged KV allocator: a pool of physical pages plus one page table
+/// per sequence slot.
+///
+/// Pages are granted smallest-index-first and returned to the pool on
+/// release, so replaying the same admit/grow/release trace reproduces
+/// the same physical placement — the same determinism discipline the
+/// rest of the stack follows.
+///
+/// # Example
+///
+/// ```
+/// use zllm_layout::kv_page::PagedKvAllocator;
+///
+/// let mut pool = PagedKvAllocator::new(4, 2, 16);
+/// assert_eq!(pool.grow(0), Some(0));
+/// assert_eq!(pool.grow(1), Some(1));
+/// assert_eq!(pool.grow(0), Some(2));
+/// assert_eq!(pool.pages_of(0), &[0, 2]);
+/// assert_eq!(pool.release(0), vec![0, 2]);
+/// assert_eq!(pool.grow(1), Some(0), "freed pages are reused smallest-first");
+/// ```
+#[derive(Debug, Clone)]
+pub struct PagedKvAllocator {
+    page_tokens: usize,
+    total_pages: usize,
+    free: BTreeSet<usize>,
+    tables: Vec<Vec<usize>>,
+}
+
+impl PagedKvAllocator {
+    /// Creates a pool of `total_pages` physical pages shared by `seqs`
+    /// sequence slots, each page holding `page_tokens` tokens of KV.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `total_pages` or `seqs` is zero, or `page_tokens` is
+    /// not a positive multiple of [`PAGE_TOKEN_QUANTUM`].
+    pub fn new(total_pages: usize, seqs: usize, page_tokens: usize) -> PagedKvAllocator {
+        assert!(total_pages > 0, "at least one page required");
+        assert!(seqs > 0, "at least one sequence slot required");
+        assert!(
+            page_tokens > 0 && page_tokens.is_multiple_of(PAGE_TOKEN_QUANTUM),
+            "page_tokens {page_tokens} must be a positive multiple of {PAGE_TOKEN_QUANTUM}"
+        );
+        PagedKvAllocator {
+            page_tokens,
+            total_pages,
+            free: (0..total_pages).collect(),
+            tables: vec![Vec::new(); seqs],
+        }
+    }
+
+    /// Tokens per page.
+    pub fn page_tokens(&self) -> usize {
+        self.page_tokens
+    }
+
+    /// Physical pages in the pool.
+    pub fn total_pages(&self) -> usize {
+        self.total_pages
+    }
+
+    /// Pages currently unallocated.
+    pub fn free_pages(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Pages currently held across all sequence tables.
+    pub fn used_pages(&self) -> usize {
+        self.total_pages - self.free.len()
+    }
+
+    /// Sequence slots the pool serves.
+    pub fn seqs(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// Pages a context of `tokens` needs (`ceil(tokens / page_tokens)`).
+    pub fn pages_needed(&self, tokens: usize) -> usize {
+        tokens.div_ceil(self.page_tokens)
+    }
+
+    /// `seq`'s page table: physical page of logical page `p` at index
+    /// `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seq` is out of range.
+    pub fn pages_of(&self, seq: usize) -> &[usize] {
+        &self.tables[seq]
+    }
+
+    /// Grants `seq` one more page (the smallest free physical index),
+    /// or `None` when the pool is exhausted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seq` is out of range.
+    pub fn grow(&mut self, seq: usize) -> Option<usize> {
+        assert!(seq < self.tables.len(), "sequence {seq} out of range");
+        let page = *self.free.iter().next()?;
+        self.free.remove(&page);
+        self.tables[seq].push(page);
+        Some(page)
+    }
+
+    /// Grows `seq`'s table until it covers `tokens` tokens. Returns
+    /// `false` (allocating nothing) if the pool cannot supply every
+    /// missing page — growth is all-or-nothing so a failed grow never
+    /// leaves a sequence holding pages it cannot use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seq` is out of range.
+    pub fn grow_to(&mut self, seq: usize, tokens: usize) -> bool {
+        assert!(seq < self.tables.len(), "sequence {seq} out of range");
+        let needed = self.pages_needed(tokens);
+        let have = self.tables[seq].len();
+        if needed <= have {
+            return true;
+        }
+        if needed - have > self.free.len() {
+            return false;
+        }
+        for _ in have..needed {
+            self.grow(seq).expect("free count checked");
+        }
+        true
+    }
+
+    /// Releases every page `seq` holds back to the pool, returning the
+    /// freed physical pages in table order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seq` is out of range.
+    pub fn release(&mut self, seq: usize) -> Vec<usize> {
+        assert!(seq < self.tables.len(), "sequence {seq} out of range");
+        let pages = std::mem::take(&mut self.tables[seq]);
+        for &p in &pages {
+            assert!(self.free.insert(p), "page {p} double-freed");
+        }
+        pages
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grants_smallest_free_page_deterministically() {
+        let mut pool = PagedKvAllocator::new(3, 2, 16);
+        assert_eq!(pool.grow(0), Some(0));
+        assert_eq!(pool.grow(1), Some(1));
+        assert_eq!(pool.grow(0), Some(2));
+        assert_eq!(pool.grow(1), None, "pool exhausted");
+        assert_eq!(pool.free_pages(), 0);
+        assert_eq!(pool.used_pages(), 3);
+        assert_eq!(pool.release(0), vec![0, 2]);
+        // Freed pages come back smallest-first regardless of free order.
+        assert_eq!(pool.grow(1), Some(0));
+        assert_eq!(pool.pages_of(1), &[1, 0]);
+    }
+
+    #[test]
+    fn grow_to_is_all_or_nothing() {
+        let mut pool = PagedKvAllocator::new(2, 2, 16);
+        assert!(pool.grow_to(0, 17), "needs 2 pages, 2 free");
+        assert_eq!(pool.pages_of(0).len(), 2);
+        assert!(!pool.grow_to(1, 16), "pool empty; nothing allocated");
+        assert!(pool.pages_of(1).is_empty());
+        assert!(pool.grow_to(0, 32), "already covered: trivially true");
+    }
+
+    #[test]
+    fn pages_needed_rounds_up() {
+        let pool = PagedKvAllocator::new(1, 1, 32);
+        assert_eq!(pool.pages_needed(0), 0);
+        assert_eq!(pool.pages_needed(1), 1);
+        assert_eq!(pool.pages_needed(32), 1);
+        assert_eq!(pool.pages_needed(33), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of 16")]
+    fn page_size_must_align_to_pack_window() {
+        let _ = PagedKvAllocator::new(4, 1, 24);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn sequence_bounds_checked() {
+        let mut pool = PagedKvAllocator::new(4, 2, 16);
+        let _ = pool.grow(2);
+    }
+}
+
+#[cfg(all(test, feature = "proptest"))]
+mod properties {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::BTreeSet;
+
+    #[derive(Debug, Clone)]
+    enum Op {
+        Grow { seq: usize },
+        GrowTo { seq: usize, tokens: usize },
+        Release { seq: usize },
+    }
+
+    fn op_strategy(seqs: usize) -> impl Strategy<Value = Op> {
+        prop_oneof![
+            (0..seqs).prop_map(|seq| Op::Grow { seq }),
+            (0..seqs, 0usize..200).prop_map(|(seq, tokens)| Op::GrowTo { seq, tokens }),
+            (0..seqs).prop_map(|seq| Op::Release { seq }),
+        ]
+    }
+
+    proptest! {
+        /// Under random admit/decode/release interleavings: no page is
+        /// ever granted twice, tables never alias, release returns
+        /// exactly the pages that sequence held, and the pool's total
+        /// footprint (pages × page size) never exceeds the budget it
+        /// was provisioned with.
+        #[test]
+        fn paged_allocator_invariants(
+            ops in proptest::collection::vec(op_strategy(4), 1..150),
+            page_windows in 1usize..4,
+            total_pages in 1usize..24,
+        ) {
+            let page_tokens = page_windows * PAGE_TOKEN_QUANTUM;
+            let budget_bytes = (total_pages * page_tokens * 64) as u64;
+            let mut pool = PagedKvAllocator::new(total_pages, 4, page_tokens);
+            // Shadow model: what each sequence should be holding.
+            let mut shadow: Vec<Vec<usize>> = vec![Vec::new(); 4];
+            for op in ops {
+                match op {
+                    Op::Grow { seq } => {
+                        if let Some(p) = pool.grow(seq) {
+                            shadow[seq].push(p);
+                        }
+                    }
+                    Op::GrowTo { seq, tokens } => {
+                        let before = shadow[seq].len();
+                        if pool.grow_to(seq, tokens) {
+                            shadow[seq] = pool.pages_of(seq).to_vec();
+                            prop_assert!(shadow[seq].len() >= before);
+                            prop_assert!(
+                                shadow[seq].len() >= pool.pages_needed(tokens)
+                            );
+                        } else {
+                            // All-or-nothing: a failed grow changed nothing.
+                            prop_assert_eq!(pool.pages_of(seq).len(), before);
+                        }
+                    }
+                    Op::Release { seq } => {
+                        let freed = pool.release(seq);
+                        // Free returns exactly the allocated pages.
+                        prop_assert_eq!(&freed, &shadow[seq]);
+                        shadow[seq].clear();
+                    }
+                }
+                // Tables match the shadow model and never alias.
+                let mut seen = BTreeSet::new();
+                for (seq, table) in shadow.iter().enumerate() {
+                    prop_assert_eq!(pool.pages_of(seq), table.as_slice());
+                    for &p in table {
+                        prop_assert!(p < total_pages, "page beyond pool");
+                        prop_assert!(seen.insert(p), "page {} aliased", p);
+                    }
+                }
+                // Accounting is conserved and the budget holds.
+                prop_assert_eq!(pool.used_pages(), seen.len());
+                prop_assert_eq!(pool.free_pages() + pool.used_pages(), total_pages);
+                let used_bytes = (pool.used_pages() * page_tokens * 64) as u64;
+                prop_assert!(used_bytes <= budget_bytes);
+            }
+        }
+    }
+}

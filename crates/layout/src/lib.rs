@@ -14,6 +14,10 @@
 //! * [`kv_pack`] — the scale-zero packing FIFO of Fig. 4B that batches the
 //!   32-bit KV-cache quantization metadata of 16 tokens into full 512-bit
 //!   bus words before writing them back to DDR.
+//! * [`kv_page`] — the paged KV allocator: fixed-size pack-window-aligned
+//!   KV blocks granted on demand, with per-sequence page tables, so
+//!   capacity is charged as sequences actually grow instead of at their
+//!   worst case.
 //! * [`addr_map`] — the bare-metal 4 GB address map of Fig. 1 (lower 2 GB
 //!   minus the compiler-reserved megabyte, upper 2 GB) with region
 //!   accounting for the 93.3 % capacity-utilization figure.
@@ -27,7 +31,9 @@ pub mod addr_map;
 pub mod beat;
 pub mod burst;
 pub mod kv_pack;
+pub mod kv_page;
 pub mod weight;
 
 pub use beat::{Beat, BEAT_BYTES};
 pub use burst::BurstDescriptor;
+pub use kv_page::PagedKvAllocator;

@@ -11,6 +11,15 @@
 //! served in priority order, except that a head that has waited past the
 //! starvation bound is served first regardless of class — bounded wait
 //! for everyone, strict FIFO within a class.
+//!
+//! Paged serving replaces the worst-case reservation with
+//! **actual-growth charging**: [`AdmissionController::try_admit_charged`]
+//! admits against a caller-priced initial footprint (the prompt's pages,
+//! not the whole generation), and the server tops the reservation up one
+//! page at a time via [`AdmissionController::charge`] as the sequence
+//! decodes. Reclaim — evict-on-finish and deadline-aware preemption via
+//! [`AdmissionController::requeue_front`] — keeps the pool from
+//! deadlocking when optimistic admissions collide.
 
 use crate::request::Request;
 use std::collections::{BTreeSet, VecDeque};
@@ -75,6 +84,7 @@ pub struct AdmissionController {
     rejected_infeasible: u64,
     peak_reserved_bytes: u64,
     peak_queue_depth: usize,
+    peak_concurrent: usize,
 }
 
 impl AdmissionController {
@@ -96,6 +106,7 @@ impl AdmissionController {
             rejected_infeasible: 0,
             peak_reserved_bytes: 0,
             peak_queue_depth: 0,
+            peak_concurrent: 0,
         }
     }
 
@@ -165,17 +176,111 @@ impl AdmissionController {
             return None;
         }
         let q = self.queues[class].pop_front().expect("head exists");
+        Some(self.grant(q.request, q.bytes, now))
+    }
+
+    /// Admits the next queued request charging `price(&request)` bytes —
+    /// the **actual** initial footprint (e.g. the prompt's KV pages) —
+    /// instead of the worst-case bytes quoted at [`offer`] time. The
+    /// caller-supplied `accept` gate sees the head and its price and
+    /// implements any stricter policy (a watermark over the page pool,
+    /// pool feasibility, padded-context fit). The queued worst-case
+    /// bytes are discarded; the returned [`Granted::bytes`] is the
+    /// charged price, and the caller grows the reservation with
+    /// [`charge`] as the sequence decodes.
+    ///
+    /// Head selection (starvation aging, head-of-line strictness) is
+    /// identical to [`try_admit_where`].
+    ///
+    /// [`offer`]: AdmissionController::offer
+    /// [`charge`]: AdmissionController::charge
+    /// [`try_admit_where`]: AdmissionController::try_admit_where
+    pub fn try_admit_charged(
+        &mut self,
+        now: f64,
+        price: impl Fn(&Request) -> u64,
+        accept: impl Fn(&Request, u64) -> bool,
+    ) -> Option<Granted> {
+        let class = self.head_class(now)?;
+        let head = self.queues[class].front()?;
+        let bytes = price(&head.request);
+        if !accept(&head.request, bytes)
+            || self.free_slots.is_empty()
+            || self.reserved_bytes + bytes > self.cfg.budget_bytes
+        {
+            return None;
+        }
+        let q = self.queues[class].pop_front().expect("head exists");
+        Some(self.grant(q.request, bytes, now))
+    }
+
+    fn grant(&mut self, request: Request, bytes: u64, now: f64) -> Granted {
         let slot = *self.free_slots.iter().next().expect("free slot exists");
         self.free_slots.remove(&slot);
-        self.reserved_bytes += q.bytes;
+        self.reserved_bytes += bytes;
         self.peak_reserved_bytes = self.peak_reserved_bytes.max(self.reserved_bytes);
+        self.peak_concurrent = self
+            .peak_concurrent
+            .max(self.cfg.slots - self.free_slots.len());
         self.admitted += 1;
-        Some(Granted {
-            request: q.request,
+        Granted {
+            request,
             slot,
-            bytes: q.bytes,
+            bytes,
             admitted_s: now,
-        })
+        }
+    }
+
+    /// Grows a live reservation by `bytes` (actual-growth charging: one
+    /// KV page as a sequence decodes past its current allocation). The
+    /// caller must have established feasibility against the page pool;
+    /// the budget itself is a hard invariant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the charge would exceed the byte budget — actual-growth
+    /// accounting is only sound when the pool the caller checks against
+    /// fits inside the budget.
+    pub fn charge(&mut self, bytes: u64) {
+        assert!(
+            self.reserved_bytes + bytes <= self.cfg.budget_bytes,
+            "growth charge bursts the KV budget"
+        );
+        self.reserved_bytes += bytes;
+        self.peak_reserved_bytes = self.peak_reserved_bytes.max(self.reserved_bytes);
+    }
+
+    /// Returns part of a live reservation without freeing a slot (the
+    /// page-level complement of [`AdmissionController::charge`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes` exceeds the current reservation.
+    pub fn uncharge(&mut self, bytes: u64) {
+        assert!(bytes <= self.reserved_bytes, "uncharge exceeds reservation");
+        self.reserved_bytes -= bytes;
+    }
+
+    /// Puts a preempted request back at the **front** of its class queue
+    /// so it is the next served of its class. Bypasses `queue_cap`: a
+    /// preemption victim was already admitted once and must not be
+    /// dropped by a full queue. Does not recount it as offered.
+    pub fn requeue_front(&mut self, request: Request, bytes: u64, now: f64) {
+        self.queues[request.class.priority()].push_front(Queued {
+            request,
+            bytes,
+            enqueued_s: now,
+        });
+        self.peak_queue_depth = self.peak_queue_depth.max(self.queued());
+    }
+
+    /// The request the next `try_admit*` call would consider (the
+    /// head-of-line under starvation aging), without popping it. Lets
+    /// the paged server decide whether a blocked high-class head
+    /// justifies preempting a lower-class sequence.
+    pub fn peek_head(&self, now: f64) -> Option<&Request> {
+        let class = self.head_class(now)?;
+        self.queues[class].front().map(|q| &q.request)
     }
 
     /// The class whose head is served next: the longest-overdue head
@@ -245,6 +350,12 @@ impl AdmissionController {
     pub fn peaks(&self) -> (u64, usize) {
         (self.peak_reserved_bytes, self.peak_queue_depth)
     }
+
+    /// High-water mark of concurrently admitted sequences — the
+    /// users-per-board headline the paged allocator lifts.
+    pub fn peak_concurrent(&self) -> usize {
+        self.peak_concurrent
+    }
 }
 
 #[cfg(test)]
@@ -258,6 +369,7 @@ mod tests {
             arrival_s: 0.0,
             prompt_tokens: 8,
             max_new_tokens: 8,
+            eos_tokens: None,
             class,
         }
     }
@@ -368,6 +480,68 @@ mod tests {
     }
 
     #[test]
+    fn charged_admit_prices_actual_growth_not_worst_case() {
+        // Worst-case quotes of 60 each would fit only one request into a
+        // 100-byte budget; charging the actual initial footprint (20)
+        // packs three concurrent sequences, then `charge` grows them.
+        let mut ac = controller(4, 100);
+        for id in 0..3 {
+            ac.offer(req(id, DeadlineClass::Standard), 60, 0.0).unwrap();
+        }
+        assert!(ac.try_admit(0.0).is_some(), "worst case admits the first");
+        assert!(ac.try_admit(0.0).is_none(), "60 + 60 bursts the budget");
+        let g = ac
+            .try_admit_charged(0.0, |_| 20, |_, _| true)
+            .expect("actual footprint fits");
+        assert_eq!(g.bytes, 20, "granted bytes are the charged price");
+        assert!(ac.try_admit_charged(0.0, |_| 20, |_, _| true).is_some());
+        assert_eq!(ac.reserved_bytes(), 100);
+        assert_eq!(ac.peak_concurrent(), 3);
+        ac.uncharge(10);
+        ac.charge(10);
+        assert_eq!(ac.reserved_bytes(), 100);
+    }
+
+    #[test]
+    fn charged_admit_respects_the_accept_gate() {
+        let mut ac = controller(2, 100);
+        ac.offer(req(0, DeadlineClass::Interactive), 90, 0.0)
+            .unwrap();
+        assert!(
+            ac.try_admit_charged(0.0, |_| 30, |_, bytes| bytes <= 20)
+                .is_none(),
+            "watermark-style gate blocks without popping"
+        );
+        assert_eq!(ac.queued(), 1);
+        assert!(ac.try_admit_charged(0.0, |_| 30, |_, _| true).is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "bursts the KV budget")]
+    fn growth_charge_cannot_burst_the_budget() {
+        let mut ac = controller(2, 100);
+        ac.charge(101);
+    }
+
+    #[test]
+    fn requeue_front_bypasses_queue_cap_and_serves_next() {
+        let mut ac = AdmissionController::new(AdmissionConfig {
+            slots: 4,
+            budget_bytes: 1000,
+            queue_cap: 2,
+            starvation_bound_s: 10.0,
+        });
+        ac.offer(req(0, DeadlineClass::Standard), 1, 0.0).unwrap();
+        ac.offer(req(1, DeadlineClass::Standard), 1, 0.0).unwrap();
+        // Queue is full, yet the preemption victim must re-enter — at
+        // the head of its class, ahead of earlier arrivals.
+        ac.requeue_front(req(7, DeadlineClass::Standard), 1, 1.0);
+        assert_eq!(ac.queued(), 3);
+        assert_eq!(ac.try_admit(1.0).unwrap().request.id, 7);
+        assert_eq!(ac.try_admit(1.0).unwrap().request.id, 0);
+    }
+
+    #[test]
     #[should_panic(expected = "already free")]
     fn double_release_panics() {
         let mut ac = controller(2, 100);
@@ -426,6 +600,7 @@ mod properties {
                             arrival_s: now,
                             prompt_tokens: 1,
                             max_new_tokens: 1,
+                            eos_tokens: None,
                             class: DeadlineClass::ALL[class],
                         };
                         next_id += 1;
@@ -475,6 +650,7 @@ mod properties {
                     arrival_s: 0.0,
                     prompt_tokens: 1,
                     max_new_tokens: 1,
+                    eos_tokens: None,
                     class: DeadlineClass::ALL[id % 3],
                 };
                 prop_assert!(ac.offer(request, bytes, 0.0).is_ok());

@@ -81,9 +81,62 @@ impl ShardedEngine {
         depth: usize,
         interconnect: InterconnectConfig,
     ) -> Result<ShardedEngine, AllocError> {
+        ShardedEngine::build(accel, model, ctx_capacity, slots, depth, interconnect, None)
+    }
+
+    /// [`ShardedEngine::new`] with every stage's KV space paged into
+    /// `page_tokens`-token pages: each board fragments its own KV reads
+    /// along page boundaries and prices its own page-table bursts, so
+    /// the pipeline's admission can charge actual growth at the
+    /// bottleneck stage.
+    ///
+    /// # Errors
+    ///
+    /// Returns the allocation failure if any shard misses the 4 GB
+    /// per-board map.
+    pub fn new_paged(
+        accel: &AccelConfig,
+        model: &ModelConfig,
+        ctx_capacity: usize,
+        slots: usize,
+        depth: usize,
+        interconnect: InterconnectConfig,
+        page_tokens: usize,
+    ) -> Result<ShardedEngine, AllocError> {
+        ShardedEngine::build(
+            accel,
+            model,
+            ctx_capacity,
+            slots,
+            depth,
+            interconnect,
+            Some(page_tokens),
+        )
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn build(
+        accel: &AccelConfig,
+        model: &ModelConfig,
+        ctx_capacity: usize,
+        slots: usize,
+        depth: usize,
+        interconnect: InterconnectConfig,
+        page_tokens: Option<usize>,
+    ) -> Result<ShardedEngine, AllocError> {
         let mut stages = Vec::with_capacity(depth);
         for range in split_layers(model.n_layers, depth) {
-            let image = ModelImage::build_shard(model, accel.format, ctx_capacity, slots, range)?;
+            let image = match page_tokens {
+                Some(pt) => ModelImage::build_shard_paged(
+                    model,
+                    accel.format,
+                    ctx_capacity,
+                    slots,
+                    range,
+                    pt,
+                )?,
+                None => ModelImage::build_shard(model, accel.format, ctx_capacity, slots, range)?,
+            };
             stages.push(DecodeEngine::with_image(accel.clone(), image));
         }
         let bottleneck = stages
@@ -156,6 +209,29 @@ impl ShardedEngine {
     /// Stage `stage`'s provisioned KV budget.
     pub fn stage_kv_budget_bytes(&self, stage: usize) -> u64 {
         self.stages[stage].image().kv_budget_bytes()
+    }
+
+    /// Tokens per KV page when the stages are paged, `None` otherwise.
+    pub fn page_tokens(&self) -> Option<usize> {
+        self.stages[self.bottleneck].image().page_tokens()
+    }
+
+    /// One page's KV bytes on the **bottleneck** stage — the pipeline's
+    /// actual-growth admission currency.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the engine is not paged.
+    pub fn kv_page_bytes(&self) -> u64 {
+        self.stages[self.bottleneck].image().kv_page_bytes()
+    }
+
+    /// [`ShardedEngine::kv_request_bytes`] rounded up to whole pages at
+    /// the bottleneck stage.
+    pub fn page_rounded_request_bytes(&self, tokens: usize, page_tokens: usize) -> u64 {
+        self.stages[self.bottleneck]
+            .image()
+            .page_rounded_request_bytes(tokens, page_tokens)
     }
 
     /// Prices one ragged decode step (`(slot, ctx)` pairs, as

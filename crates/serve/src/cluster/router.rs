@@ -113,6 +113,7 @@ mod tests {
             arrival_s: 0.0,
             prompt_tokens: 4,
             max_new_tokens: 4,
+            eos_tokens: None,
             class,
         }
     }
@@ -291,6 +292,7 @@ mod properties {
                             arrival_s: now,
                             prompt_tokens: tokens.max(2) / 2,
                             max_new_tokens: tokens - tokens.max(2) / 2,
+                            eos_tokens: None,
                             class: DeadlineClass::ALL[class],
                         };
                         next_id += 1;
@@ -345,6 +347,7 @@ mod properties {
                             arrival_s: now,
                             prompt_tokens: 1,
                             max_new_tokens: tokens,
+                            eos_tokens: None,
                             class: DeadlineClass::ALL[class],
                         };
                         next_id += 1;

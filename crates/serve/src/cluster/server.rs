@@ -22,9 +22,10 @@ use crate::cluster::engine::ShardedEngine;
 use crate::cluster::interconnect::InterconnectConfig;
 use crate::cluster::router::{PipelineLoad, PlacementPolicy};
 use crate::request::{DropReason, Request, RequestOutcome};
-use crate::server::{percentile, Active};
+use crate::server::{newest_lower_class, percentile, Active, PagedConfig};
 use zllm_accel::{AccelConfig, PrefillChunk};
 use zllm_layout::addr_map::AllocError;
+use zllm_layout::kv_page::PagedKvAllocator;
 use zllm_model::ModelConfig;
 
 /// Cluster configuration: fleet geometry plus per-pipeline serving
@@ -51,6 +52,10 @@ pub struct ClusterConfig {
     pub policy: PlacementPolicy,
     /// The board-to-board link between pipeline stages.
     pub interconnect: InterconnectConfig,
+    /// When set, every stage's KV space is paged and each pipeline's
+    /// admission charges actual growth at its bottleneck stage instead
+    /// of the worst case (see [`PagedConfig`]).
+    pub paged: Option<PagedConfig>,
 }
 
 impl ClusterConfig {
@@ -68,7 +73,15 @@ impl ClusterConfig {
             deadline_scale: 1.0,
             policy: PlacementPolicy::JoinShortestKv,
             interconnect: InterconnectConfig::ethernet_10g(),
+            paged: None,
         }
+    }
+
+    /// Enables paged-KV serving with actual-growth admission on every
+    /// pipeline.
+    pub fn paged(mut self, paged: PagedConfig) -> ClusterConfig {
+        self.paged = Some(paged);
+        self
     }
 
     /// Total simulated boards in the fleet.
@@ -81,8 +94,9 @@ impl ClusterConfig {
 enum StepKind {
     /// Chunked prefill: `(active index, tokens)` per advanced sequence.
     Prefill(Vec<(usize, usize)>),
-    /// One ragged decode step over every active sequence.
-    Decode,
+    /// One ragged decode step over the listed active indices (every
+    /// active sequence, minus any page-starved ones sitting it out).
+    Decode(Vec<usize>),
 }
 
 /// A step in flight on one pipeline.
@@ -105,6 +119,9 @@ struct Pipeline {
     /// KV bytes queued-but-unadmitted requests will reserve (router
     /// visibility into demand the controller has accepted).
     pending_bytes: u64,
+    /// Bottleneck-stage page pool under paged serving.
+    pool: Option<PagedKvAllocator>,
+    preempted: u64,
     step: Option<StepInFlight>,
     decode_steps: u64,
     prefill_steps: u64,
@@ -121,6 +138,22 @@ impl Pipeline {
             queue_depth: self.admission.queued(),
             active: self.active.len(),
         }
+    }
+
+    /// Evicts `active[idx]` for reclaim: frees its pages and charge and
+    /// requeues the request at the head of its class, quoted back at
+    /// its page-rounded worst case (preempt-and-recompute).
+    fn preempt(&mut self, idx: usize, now: f64) {
+        let pool = self.pool.as_mut().expect("paged pipeline");
+        let a = self.active.remove(idx);
+        let worst = self
+            .engine
+            .page_rounded_request_bytes(a.request.total_tokens(), pool.page_tokens());
+        pool.release(a.slot);
+        self.admission.release(a.slot, a.bytes);
+        self.admission.requeue_front(a.request, worst, now);
+        self.pending_bytes += worst;
+        self.preempted += 1;
     }
 }
 
@@ -183,6 +216,13 @@ pub struct ClusterReport {
     pub activation_bytes: u64,
     /// Token-id return bytes moved over the interconnect.
     pub token_id_bytes: u64,
+    /// Sum over pipelines of peak concurrently admitted sequences —
+    /// the fleet's users-per-board headline.
+    pub concurrent_peak: usize,
+    /// Sequences preempted (evicted and requeued for recompute) by the
+    /// paged reclaim policy across the fleet. Always zero under
+    /// worst-case reservation.
+    pub preempted: u64,
 }
 
 /// The fleet simulator.
@@ -212,27 +252,50 @@ impl ClusterServer {
         assert!(cfg.pipelines > 0, "at least one pipeline required");
         assert!(cfg.prefill_chunk > 0, "prefill chunk must cover a token");
         assert!(cfg.deadline_scale > 0.0, "deadline scale must be positive");
+        if let Some(p) = &cfg.paged {
+            assert!(
+                p.watermark > 0.0 && p.watermark <= 1.0,
+                "watermark must be in (0, 1]"
+            );
+        }
         let mut pipes = Vec::with_capacity(cfg.pipelines);
         for _ in 0..cfg.pipelines {
-            let engine = ShardedEngine::new(
-                accel,
-                model,
-                cfg.ctx_capacity,
-                cfg.slots,
-                cfg.depth,
-                cfg.interconnect,
-            )?;
+            let engine = match &cfg.paged {
+                Some(p) => ShardedEngine::new_paged(
+                    accel,
+                    model,
+                    cfg.ctx_capacity,
+                    cfg.slots,
+                    cfg.depth,
+                    cfg.interconnect,
+                    p.page_tokens,
+                )?,
+                None => ShardedEngine::new(
+                    accel,
+                    model,
+                    cfg.ctx_capacity,
+                    cfg.slots,
+                    cfg.depth,
+                    cfg.interconnect,
+                )?,
+            };
             let admission = AdmissionController::new(AdmissionConfig {
                 slots: cfg.slots,
                 budget_bytes: engine.kv_budget_bytes(),
                 queue_cap: cfg.queue_cap,
                 starvation_bound_s: cfg.starvation_bound_s,
             });
+            let pool = cfg.paged.as_ref().map(|p| {
+                let total = (engine.kv_budget_bytes() / engine.kv_page_bytes()) as usize;
+                PagedKvAllocator::new(total, cfg.slots, p.page_tokens)
+            });
             pipes.push(Pipeline {
                 engine,
                 admission,
                 active: Vec::new(),
                 pending_bytes: 0,
+                pool,
+                preempted: 0,
                 step: None,
                 decode_steps: 0,
                 prefill_steps: 0,
@@ -312,6 +375,28 @@ impl ClusterServer {
         let dropped = if r.total_tokens() > self.cfg.ctx_capacity {
             p.admission.note_infeasible();
             Some(DropReason::Infeasible)
+        } else if let (Some(pool), Some(pc)) = (&p.pool, &self.cfg.paged) {
+            // Paged feasibility at the bottleneck stage: the prompt must
+            // clear the watermark and the whole sequence must fit the
+            // pool alone. Quoted at the page-rounded worst case.
+            let pt = pc.page_tokens;
+            let wm = (pc.watermark * pool.total_pages() as f64).floor() as usize;
+            let prompt_pages = r.prompt_tokens.div_ceil(pt);
+            let total_pages = r.total_tokens().div_ceil(pt);
+            if prompt_pages > wm || total_pages > pool.total_pages() {
+                p.admission.note_infeasible();
+                Some(DropReason::Infeasible)
+            } else {
+                let bytes = p.engine.page_rounded_request_bytes(r.total_tokens(), pt);
+                match p.admission.offer(r.clone(), bytes, r.arrival_s) {
+                    Ok(()) => {
+                        p.pending_bytes += bytes;
+                        None
+                    }
+                    Err(Rejection::Infeasible) => Some(DropReason::Infeasible),
+                    Err(Rejection::QueueFull) => Some(DropReason::QueueFull),
+                }
+            }
         } else {
             let bytes = p.engine.kv_request_bytes(r.total_tokens());
             match p.admission.offer(r.clone(), bytes, r.arrival_s) {
@@ -349,9 +434,10 @@ impl ClusterServer {
                     p.prompt_tokens += len as u64;
                 }
             }
-            StepKind::Decode => {
-                p.generated_tokens += p.active.len() as u64;
-                for a in p.active.iter_mut() {
+            StepKind::Decode(part) => {
+                p.generated_tokens += part.len() as u64;
+                for &i in &part {
+                    let a = &mut p.active[i];
                     a.generated += 1;
                     if a.generated == 1 {
                         a.first_token_s = Some(now + step.fill_residual_s);
@@ -360,10 +446,15 @@ impl ClusterServer {
                         a.token_latency_max_s = a.token_latency_max_s.max(step.step_s);
                     }
                 }
+                // Evict-on-finish: a paged sequence returns its pages
+                // the instant it completes.
                 let mut i = 0;
                 while i < p.active.len() {
                     if p.active[i].done() {
                         let a = p.active.remove(i);
+                        if let Some(pool) = p.pool.as_mut() {
+                            pool.release(a.slot);
+                        }
                         p.admission.release(a.slot, a.bytes);
                         outcomes.push(a.finish(now));
                     } else {
@@ -381,23 +472,85 @@ impl ClusterServer {
     /// active.
     fn start_step(&mut self, pipe: usize, now: f64) {
         let p = &mut self.pipes[pipe];
-        while p.active.len() < p.engine.slots() {
-            match p.admission.try_admit(now) {
-                Some(g) => {
-                    p.pending_bytes -= g.bytes;
-                    p.active.push(Active {
-                        request: g.request,
-                        slot: g.slot,
-                        bytes: g.bytes,
-                        admitted_s: g.admitted_s,
-                        prefilled: 0,
-                        generated: 0,
-                        first_token_s: None,
-                        token_latency_sum_s: 0.0,
-                        token_latency_max_s: 0.0,
-                    });
+        if let Some(pc) = self.cfg.paged.clone() {
+            // Actual-growth admission at the bottleneck stage, with
+            // deadline-aware preemption for a blocked Interactive head —
+            // the same policy as the single-board paged server.
+            let page_bytes = p.engine.kv_page_bytes();
+            let pt = pc.page_tokens;
+            while p.active.len() < p.engine.slots() {
+                let pool = p.pool.as_ref().expect("paged pipeline");
+                let wm_pages = (pc.watermark * pool.total_pages() as f64).floor() as usize;
+                let used = pool.used_pages();
+                let free = pool.free_pages();
+                let granted = p.admission.try_admit_charged(
+                    now,
+                    |r| r.prompt_tokens.div_ceil(pt) as u64 * page_bytes,
+                    |r, _| {
+                        let need = r.prompt_tokens.div_ceil(pt);
+                        used + need <= wm_pages && need <= free
+                    },
+                );
+                match granted {
+                    Some(g) => {
+                        let pool = p.pool.as_mut().expect("paged pipeline");
+                        assert!(
+                            pool.grow_to(g.slot, g.request.prompt_tokens),
+                            "accept gate reserved the prompt pages"
+                        );
+                        p.pending_bytes -= p
+                            .engine
+                            .page_rounded_request_bytes(g.request.total_tokens(), pt);
+                        p.active.push(Active {
+                            request: g.request,
+                            slot: g.slot,
+                            bytes: g.bytes,
+                            admitted_s: g.admitted_s,
+                            prefilled: 0,
+                            generated: 0,
+                            first_token_s: None,
+                            token_latency_sum_s: 0.0,
+                            token_latency_max_s: 0.0,
+                        });
+                    }
+                    None => {
+                        let (head_prio, head_prompt) = match p.admission.peek_head(now) {
+                            Some(h) => (h.class.priority(), h.prompt_tokens),
+                            None => break,
+                        };
+                        if head_prio != 0 || p.admission.free_slots() == 0 {
+                            break;
+                        }
+                        let need = head_prompt.div_ceil(pt);
+                        if used + need <= wm_pages && need <= free {
+                            break; // blocked elsewhere; reclaim cannot help
+                        }
+                        match newest_lower_class(&p.active, head_prio) {
+                            Some(i) => p.preempt(i, now),
+                            None => break,
+                        }
+                    }
                 }
-                None => break,
+            }
+        } else {
+            while p.active.len() < p.engine.slots() {
+                match p.admission.try_admit(now) {
+                    Some(g) => {
+                        p.pending_bytes -= g.bytes;
+                        p.active.push(Active {
+                            request: g.request,
+                            slot: g.slot,
+                            bytes: g.bytes,
+                            admitted_s: g.admitted_s,
+                            prefilled: 0,
+                            generated: 0,
+                            first_token_s: None,
+                            token_latency_sum_s: 0.0,
+                            token_latency_max_s: 0.0,
+                        });
+                    }
+                    None => break,
+                }
             }
         }
         if p.active.is_empty() {
@@ -431,10 +584,67 @@ impl ClusterServer {
             p.prefill_steps += 1;
             kind = StepKind::Prefill(owners);
         } else {
-            let slots: Vec<(usize, usize)> = p.active.iter().map(|a| (a.slot, a.ctx())).collect();
+            // Page growth: every participant must own the page its next
+            // token writes into; starved sequences reclaim via
+            // deadline-aware preemption, else sit the step out, and a
+            // fully wedged pipeline force-evicts its newest admission.
+            let mut ready = vec![true; p.active.len()];
+            if p.pool.is_some() {
+                let page_bytes = p.engine.kv_page_bytes();
+                loop {
+                    let pool = p.pool.as_mut().expect("paged pipeline");
+                    ready = vec![false; p.active.len()];
+                    let mut starved: Vec<usize> = Vec::new();
+                    for (i, ok) in ready.iter_mut().enumerate() {
+                        let want = p.active[i].ctx() + 1;
+                        let have = pool.pages_of(p.active[i].slot).len();
+                        let need = pool.pages_needed(want);
+                        if need <= have {
+                            *ok = true;
+                        } else if pool.grow_to(p.active[i].slot, want) {
+                            let delta = (need - have) as u64 * page_bytes;
+                            p.admission.charge(delta);
+                            p.active[i].bytes += delta;
+                            *ok = true;
+                        } else {
+                            starved.push(i);
+                        }
+                    }
+                    if starved.is_empty() {
+                        break;
+                    }
+                    let urgent = starved
+                        .iter()
+                        .map(|&i| p.active[i].request.class.priority())
+                        .min()
+                        .expect("starved nonempty");
+                    let victim = match newest_lower_class(&p.active, urgent) {
+                        Some(i) => Some(i),
+                        None if starved.len() == p.active.len() => {
+                            (0..p.active.len()).max_by(|&x, &y| {
+                                p.active[x]
+                                    .admitted_s
+                                    .partial_cmp(&p.active[y].admitted_s)
+                                    .expect("finite")
+                                    .then(p.active[x].request.id.cmp(&p.active[y].request.id))
+                            })
+                        }
+                        None => None, // the starved minority sits this step out
+                    };
+                    match victim {
+                        Some(i) => p.preempt(i, now),
+                        None => break,
+                    }
+                }
+            }
+            let part: Vec<usize> = (0..p.active.len()).filter(|&i| ready[i]).collect();
+            let slots: Vec<(usize, usize)> = part
+                .iter()
+                .map(|&i| (p.active[i].slot, p.active[i].ctx()))
+                .collect();
             report = p.engine.decode_step(&slots);
             p.decode_steps += 1;
-            kind = StepKind::Decode;
+            kind = StepKind::Decode(part);
         }
         let step_s = report.cadence_ns * 1e-9;
         p.step = Some(StepInFlight {
@@ -456,6 +666,8 @@ impl ClusterServer {
         let mut queue_peak = 0;
         let mut activation_bytes = 0;
         let mut token_id_bytes = 0;
+        let mut concurrent_peak = 0;
+        let mut preempted = 0;
         for p in &self.pipes {
             let (o, a, q, i) = p.admission.counts();
             offered += o;
@@ -468,6 +680,8 @@ impl ClusterServer {
             kv_budget_bytes += p.admission.budget_bytes();
             activation_bytes += p.engine.activation_bytes();
             token_id_bytes += p.engine.token_id_bytes();
+            concurrent_peak += p.admission.peak_concurrent();
+            preempted += p.preempted;
         }
         let completed = outcomes.iter().filter(|o| o.finish_s.is_some()).count() as u64;
         let met: Vec<&RequestOutcome> = outcomes
@@ -522,6 +736,8 @@ impl ClusterServer {
             queue_peak,
             activation_bytes,
             token_id_bytes,
+            concurrent_peak,
+            preempted,
             outcomes,
         }
     }
@@ -541,6 +757,7 @@ mod tests {
             prompt_tokens: (8, 48),
             new_tokens: (4, 16),
             class_mix: [0.5, 0.3, 0.2],
+            eos_early_fraction: 0.0,
         })
     }
 
@@ -648,6 +865,42 @@ mod tests {
         for pipe in 0..2 {
             let (peak, _) = c.pipes[pipe].admission.peaks();
             assert!(peak <= c.pipes[pipe].admission.budget_bytes());
+        }
+    }
+
+    #[test]
+    fn paged_cluster_replay_is_deterministic_and_complete() {
+        let t = generate(&TrafficConfig {
+            requests: 16,
+            seed: 7,
+            arrivals: ArrivalModel::Poisson { rate_per_s: 20.0 },
+            prompt_tokens: (8, 16),
+            new_tokens: (48, 96),
+            class_mix: [0.5, 0.3, 0.2],
+            eos_early_fraction: 0.0,
+        });
+        let cfg = ClusterConfig::new(2, 2, 128, 4).paged(PagedConfig::default());
+        let mut a = ClusterServer::new(
+            &AccelConfig::kv260(),
+            &ModelConfig::tiny_llama_1_1b(),
+            cfg.clone(),
+        )
+        .expect("shards fit");
+        let mut b = ClusterServer::new(&AccelConfig::kv260(), &ModelConfig::tiny_llama_1_1b(), cfg)
+            .expect("shards fit");
+        let ra = a.run(&t);
+        let rb = b.run(&t);
+        assert_eq!(ra, rb, "bit-identical replay");
+        assert_eq!(
+            ra.completed + ra.rejected_queue_full + ra.rejected_infeasible,
+            16
+        );
+        assert!(ra.kv_peak_bytes <= ra.kv_budget_bytes);
+        assert!(ra.concurrent_peak >= 1);
+        // Every served request ran to completion even if it was
+        // preempted and recomputed along the way.
+        for o in ra.outcomes.iter().filter(|o| o.dropped.is_none()) {
+            assert_eq!(o.generated, o.request.max_new_tokens);
         }
     }
 

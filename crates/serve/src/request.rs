@@ -91,8 +91,16 @@ pub struct Request {
     pub arrival_s: f64,
     /// Prompt length in tokens (> 0).
     pub prompt_tokens: usize,
-    /// New tokens to generate (> 0).
+    /// New tokens to generate (> 0). This is the client's *cap*: the
+    /// most the request may produce, and therefore what worst-case
+    /// admission must reserve.
     pub max_new_tokens: usize,
+    /// Where generation actually stops (the model emits EOS), if
+    /// before the cap. Admission never sees this — no server knows a
+    /// sequence's real length up front — but the decode loop does,
+    /// and the gap between cap and reality is exactly what
+    /// actual-growth KV charging converts into extra concurrency.
+    pub eos_tokens: Option<usize>,
     /// Deadline class.
     pub class: DeadlineClass,
 }
@@ -102,6 +110,14 @@ impl Request {
     /// the worst-case footprint admission must reserve.
     pub fn total_tokens(&self) -> usize {
         self.prompt_tokens + self.max_new_tokens
+    }
+
+    /// New tokens the decode loop will actually produce: the EOS point
+    /// when one is scripted (clamped into `1..=max_new_tokens`), the
+    /// cap otherwise.
+    pub fn decode_tokens(&self) -> usize {
+        self.eos_tokens
+            .map_or(self.max_new_tokens, |e| e.clamp(1, self.max_new_tokens))
     }
 }
 
@@ -161,7 +177,7 @@ impl RequestOutcome {
     pub fn deadline_met(&self, scale: f64) -> bool {
         let (ttft_budget, token_budget) = self.request.class.scaled(scale);
         match self.ttft_s() {
-            Some(ttft) if self.generated >= self.request.max_new_tokens => {
+            Some(ttft) if self.generated >= self.request.decode_tokens() => {
                 ttft <= ttft_budget
                     && self
                         .mean_token_latency_s()
@@ -196,6 +212,7 @@ mod tests {
             arrival_s: 10.0,
             prompt_tokens: 8,
             max_new_tokens: 4,
+            eos_tokens: None,
             class: DeadlineClass::Interactive,
         };
         let ok = RequestOutcome {
@@ -216,8 +233,37 @@ mod tests {
             first_token_s: None,
             generated: 0,
             dropped: Some(DropReason::QueueFull),
-            ..ok
+            ..ok.clone()
         };
         assert!(!dropped.deadline_met(1.0));
+        // An early EOS finishes (and can meet its deadline) below the
+        // cap, and out-of-range scripted values clamp into it.
+        let early = RequestOutcome {
+            request: Request {
+                eos_tokens: Some(2),
+                ..ok.request.clone()
+            },
+            generated: 2,
+            token_latency_sum_s: 0.5,
+            ..ok
+        };
+        assert_eq!(early.request.decode_tokens(), 2);
+        assert!(early.deadline_met(1.0));
+        assert_eq!(
+            Request {
+                eos_tokens: Some(0),
+                ..early.request.clone()
+            }
+            .decode_tokens(),
+            1
+        );
+        assert_eq!(
+            Request {
+                eos_tokens: Some(99),
+                ..early.request
+            }
+            .decode_tokens(),
+            4
+        );
     }
 }

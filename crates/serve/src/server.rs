@@ -22,6 +22,7 @@ use crate::admission::{AdmissionConfig, AdmissionController, Rejection};
 use crate::request::{DropReason, Request, RequestOutcome};
 use zllm_accel::{AccelConfig, DecodeEngine, PrefillChunk};
 use zllm_layout::addr_map::AllocError;
+use zllm_layout::kv_page::PagedKvAllocator;
 use zllm_model::ModelConfig;
 
 /// The batching discipline the server runs.
@@ -41,6 +42,44 @@ impl BatchingMode {
         match self {
             BatchingMode::Continuous => "continuous",
             BatchingMode::Lockstep => "lockstep",
+        }
+    }
+}
+
+/// Paged-KV serving configuration: the image is built with fixed-size
+/// KV pages and admission charges **actual growth** (the prompt's pages
+/// at admit time, one page at a time as the sequence decodes) instead
+/// of the worst-case footprint. Reclaim keeps optimistic admission
+/// safe: finished sequences return their pages immediately, and a
+/// high-class request that would otherwise starve preempts the
+/// newest-admitted lower-class sequence (preempt-and-recompute).
+#[derive(Debug, Clone)]
+pub struct PagedConfig {
+    /// Tokens per KV page — a positive multiple of the pack quantum
+    /// ([`zllm_layout::kv_page::PAGE_TOKEN_QUANTUM`]) that divides the
+    /// context capacity.
+    pub page_tokens: usize,
+    /// Fraction of the page pool **new admissions** may fill; the rest
+    /// is headroom reserved for in-flight growth (growth itself may use
+    /// the full pool). In `(0, 1]`.
+    ///
+    /// The default of 0.5 paces admission against future growth: a
+    /// sequence admits holding only its prompt pages and then roughly
+    /// doubles its footprint over its decode life, so filling half the
+    /// pool with (mostly young) residents leaves about the headroom
+    /// their remaining growth needs. Higher watermarks admit more
+    /// eagerly but collide in-flight growth with the pool limit, and
+    /// every collision is a preempt-and-recompute that throws away a
+    /// sequence's progress — at 0.9 the thrash costs more goodput than
+    /// the extra admissions earn.
+    pub watermark: f64,
+}
+
+impl Default for PagedConfig {
+    fn default() -> PagedConfig {
+        PagedConfig {
+            page_tokens: 16,
+            watermark: 0.5,
         }
     }
 }
@@ -68,6 +107,9 @@ pub struct ServerConfig {
     /// Multiplier on the class deadline budgets (small models / fast
     /// memory parts tighten deadlines proportionally).
     pub deadline_scale: f64,
+    /// When set, the KV cache is paged and admission charges actual
+    /// growth instead of the worst case. Continuous batching only.
+    pub paged: Option<PagedConfig>,
 }
 
 impl ServerConfig {
@@ -83,6 +125,7 @@ impl ServerConfig {
             starvation_bound_s: 60.0,
             kv_budget_bytes: None,
             deadline_scale: 1.0,
+            paged: None,
         }
     }
 
@@ -92,6 +135,12 @@ impl ServerConfig {
             mode: BatchingMode::Lockstep,
             ..ServerConfig::continuous(ctx_capacity, slots)
         }
+    }
+
+    /// Enables paged-KV serving with actual-growth admission.
+    pub fn paged(mut self, paged: PagedConfig) -> ServerConfig {
+        self.paged = Some(paged);
+        self
     }
 }
 
@@ -121,7 +170,7 @@ impl Active {
     }
 
     pub(crate) fn done(&self) -> bool {
-        self.generated >= self.request.max_new_tokens
+        self.generated >= self.request.decode_tokens()
     }
 
     pub(crate) fn finish(self, now: f64) -> RequestOutcome {
@@ -189,6 +238,47 @@ pub struct ServeReport {
     pub kv_budget_bytes: u64,
     /// Peak admission-queue depth.
     pub queue_peak: usize,
+    /// Peak concurrently admitted sequences — the users-per-board
+    /// headline paged admission lifts.
+    pub concurrent_peak: usize,
+    /// Sequences preempted (evicted and requeued for recompute) by the
+    /// paged reclaim policy. Always zero under worst-case reservation.
+    pub preempted: u64,
+}
+
+/// Index of the newest-admitted active sequence whose class priority is
+/// strictly lower (numerically greater) than `than_priority` — the
+/// deadline-aware preemption victim. Ties break toward the higher id.
+pub(crate) fn newest_lower_class(active: &[Active], than_priority: usize) -> Option<usize> {
+    active
+        .iter()
+        .enumerate()
+        .filter(|(_, a)| a.request.class.priority() > than_priority)
+        .max_by(|(_, x), (_, y)| {
+            x.admitted_s
+                .partial_cmp(&y.admitted_s)
+                .expect("finite")
+                .then(x.request.id.cmp(&y.request.id))
+        })
+        .map(|(i, _)| i)
+}
+
+/// Evicts an active sequence for reclaim: frees its pages and charge,
+/// and puts the request back at the **head** of its class queue quoted
+/// at its page-rounded worst case. Preempt-and-recompute: the sequence
+/// restarts from prefill when re-admitted.
+fn preempt(
+    active: &mut Vec<Active>,
+    idx: usize,
+    pool: &mut PagedKvAllocator,
+    admission: &mut AdmissionController,
+    worst_bytes: u64,
+    now: f64,
+) {
+    let a = active.remove(idx);
+    pool.release(a.slot);
+    admission.release(a.slot, a.bytes);
+    admission.requeue_front(a.request, worst_bytes, now);
 }
 
 /// Nearest-rank percentile of an ascending-sorted slice (0 when empty).
@@ -227,7 +317,20 @@ impl Server {
             "prefill chunk must cover at least one token"
         );
         assert!(cfg.deadline_scale > 0.0, "deadline scale must be positive");
-        let engine = DecodeEngine::new_batched(accel, model, cfg.ctx_capacity, cfg.slots)?;
+        let engine = match &cfg.paged {
+            Some(p) => {
+                assert!(
+                    cfg.mode == BatchingMode::Continuous,
+                    "paged serving requires continuous batching"
+                );
+                assert!(
+                    p.watermark > 0.0 && p.watermark <= 1.0,
+                    "watermark must be in (0, 1]"
+                );
+                DecodeEngine::new_paged(accel, model, cfg.ctx_capacity, cfg.slots, p.page_tokens)?
+            }
+            None => DecodeEngine::new_batched(accel, model, cfg.ctx_capacity, cfg.slots)?,
+        };
         let budget_bytes = cfg
             .kv_budget_bytes
             .unwrap_or_else(|| engine.image().kv_budget_bytes());
@@ -253,6 +356,17 @@ impl Server {
         self.budget_bytes
     }
 
+    /// Page-pool geometry under paged serving: `(page bytes, total
+    /// pages, watermark pages new admissions may fill)`.
+    fn pool_geometry(&self) -> Option<(u64, usize, usize)> {
+        let p = self.cfg.paged.as_ref()?;
+        let page_bytes = self.engine.image().kv_page_bytes();
+        let total = (self.budget_bytes / page_bytes) as usize;
+        assert!(total > 0, "KV budget holds less than one page");
+        let wm = (p.watermark * total as f64).floor() as usize;
+        Some((page_bytes, total, wm))
+    }
+
     /// Replays a trace (must be sorted by arrival time) to completion
     /// and returns the aggregate report. Also publishes `serve.*`
     /// counters and gauges into the engine's metrics registry; counters
@@ -274,6 +388,12 @@ impl Server {
         });
         let mut outcomes: Vec<RequestOutcome> = Vec::with_capacity(trace.len());
         let mut active: Vec<Active> = Vec::new();
+        let geometry = self.pool_geometry();
+        let mut pool = geometry.map(|(_, total, _)| {
+            let p = self.cfg.paged.as_ref().expect("paged geometry");
+            PagedKvAllocator::new(total, self.cfg.slots, p.page_tokens)
+        });
+        let mut preempted = 0u64;
         let mut next = 0usize; // next trace entry to ingest
         let mut now = 0.0f64;
         // Lockstep gang state: the padded prompt length of the current
@@ -294,20 +414,92 @@ impl Server {
             // Admit from the queues under the discipline's rules.
             match self.cfg.mode {
                 BatchingMode::Continuous => {
-                    while active.len() < self.cfg.slots {
-                        match admission.try_admit(now) {
-                            Some(g) => active.push(Active {
-                                request: g.request,
-                                slot: g.slot,
-                                bytes: g.bytes,
-                                admitted_s: g.admitted_s,
-                                prefilled: 0,
-                                generated: 0,
-                                first_token_s: None,
-                                token_latency_sum_s: 0.0,
-                                token_latency_max_s: 0.0,
-                            }),
-                            None => break,
+                    if let (Some(pool), Some((page_bytes, _, wm_pages))) = (pool.as_mut(), geometry)
+                    {
+                        // Actual-growth admission: charge the prompt's
+                        // pages, gated by the watermark; an Interactive
+                        // head blocked on pages preempts the newest
+                        // lower-class sequence rather than waiting.
+                        let pt = pool.page_tokens();
+                        while active.len() < self.cfg.slots {
+                            let used = pool.used_pages();
+                            let free = pool.free_pages();
+                            let granted = admission.try_admit_charged(
+                                now,
+                                |r| r.prompt_tokens.div_ceil(pt) as u64 * page_bytes,
+                                |r, _| {
+                                    let need = r.prompt_tokens.div_ceil(pt);
+                                    used + need <= wm_pages && need <= free
+                                },
+                            );
+                            match granted {
+                                Some(g) => {
+                                    assert!(
+                                        pool.grow_to(g.slot, g.request.prompt_tokens),
+                                        "accept gate reserved the prompt pages"
+                                    );
+                                    active.push(Active {
+                                        request: g.request,
+                                        slot: g.slot,
+                                        bytes: g.bytes,
+                                        admitted_s: g.admitted_s,
+                                        prefilled: 0,
+                                        generated: 0,
+                                        first_token_s: None,
+                                        token_latency_sum_s: 0.0,
+                                        token_latency_max_s: 0.0,
+                                    });
+                                }
+                                None => {
+                                    let (head_prio, head_prompt) = match admission.peek_head(now) {
+                                        Some(h) => (h.class.priority(), h.prompt_tokens),
+                                        None => break,
+                                    };
+                                    if head_prio != 0 || admission.free_slots() == 0 {
+                                        break;
+                                    }
+                                    let need = head_prompt.div_ceil(pt);
+                                    if used + need <= wm_pages && need <= free {
+                                        break; // blocked elsewhere; reclaim cannot help
+                                    }
+                                    match newest_lower_class(&active, head_prio) {
+                                        Some(i) => {
+                                            let worst =
+                                                self.engine.image().page_rounded_request_bytes(
+                                                    active[i].request.total_tokens(),
+                                                    pt,
+                                                );
+                                            preempt(
+                                                &mut active,
+                                                i,
+                                                pool,
+                                                &mut admission,
+                                                worst,
+                                                now,
+                                            );
+                                            preempted += 1;
+                                        }
+                                        None => break,
+                                    }
+                                }
+                            }
+                        }
+                    } else {
+                        while active.len() < self.cfg.slots {
+                            match admission.try_admit(now) {
+                                Some(g) => active.push(Active {
+                                    request: g.request,
+                                    slot: g.slot,
+                                    bytes: g.bytes,
+                                    admitted_s: g.admitted_s,
+                                    prefilled: 0,
+                                    generated: 0,
+                                    first_token_s: None,
+                                    token_latency_sum_s: 0.0,
+                                    token_latency_max_s: 0.0,
+                                }),
+                                None => break,
+                            }
                         }
                     }
                 }
@@ -398,11 +590,80 @@ impl Server {
                 continue;
             }
 
-            // One decode step for every active sequence.
+            // Page growth: the decode step writes each participant's
+            // next token, so every participant must own the page that
+            // token lands in. Starved sequences reclaim via
+            // deadline-aware preemption, else sit the step out; if
+            // nobody can move, the newest admission is force-evicted so
+            // the machine keeps making progress.
+            let mut ready = vec![true; active.len()];
+            if let (Some(pool), Some((page_bytes, _, _))) = (pool.as_mut(), geometry) {
+                loop {
+                    ready = vec![false; active.len()];
+                    let mut starved: Vec<usize> = Vec::new();
+                    for i in 0..active.len() {
+                        let want = active[i].ctx() + 1;
+                        let have = pool.pages_of(active[i].slot).len();
+                        let need = pool.pages_needed(want);
+                        if need <= have {
+                            ready[i] = true;
+                        } else if pool.grow_to(active[i].slot, want) {
+                            let delta = (need - have) as u64 * page_bytes;
+                            admission.charge(delta);
+                            active[i].bytes += delta;
+                            ready[i] = true;
+                        } else {
+                            starved.push(i);
+                        }
+                    }
+                    if starved.is_empty() {
+                        break;
+                    }
+                    let urgent = starved
+                        .iter()
+                        .map(|&i| active[i].request.class.priority())
+                        .min()
+                        .expect("starved nonempty");
+                    let victim = match newest_lower_class(&active, urgent) {
+                        Some(i) => Some(i),
+                        // Zero progress: force-evict the newest
+                        // admission regardless of class. (Unreachable
+                        // with one sequence — ingest guarantees a lone
+                        // sequence's total pages fit the pool.)
+                        None if starved.len() == active.len() => {
+                            (0..active.len()).max_by(|&x, &y| {
+                                active[x]
+                                    .admitted_s
+                                    .partial_cmp(&active[y].admitted_s)
+                                    .expect("finite")
+                                    .then(active[x].request.id.cmp(&active[y].request.id))
+                            })
+                        }
+                        None => None, // the starved minority sits this step out
+                    };
+                    match victim {
+                        Some(i) => {
+                            let worst = self.engine.image().page_rounded_request_bytes(
+                                active[i].request.total_tokens(),
+                                pool.page_tokens(),
+                            );
+                            preempt(&mut active, i, pool, &mut admission, worst, now);
+                            preempted += 1;
+                        }
+                        None => break,
+                    }
+                }
+            }
+
+            // One decode step for every page-ready active sequence.
             let step_s = match self.cfg.mode {
                 BatchingMode::Continuous => {
-                    let slots: Vec<(usize, usize)> =
-                        active.iter().map(|a| (a.slot, a.ctx())).collect();
+                    let slots: Vec<(usize, usize)> = active
+                        .iter()
+                        .zip(&ready)
+                        .filter(|(_, r)| **r)
+                        .map(|(a, _)| (a.slot, a.ctx()))
+                        .collect();
                     self.engine.decode_token_ragged(&slots).wall_ns * 1e-9
                 }
                 BatchingMode::Lockstep => {
@@ -415,8 +676,11 @@ impl Server {
             };
             now += step_s;
             decode_steps += 1;
-            generated_tokens += active.len() as u64;
-            for a in active.iter_mut() {
+            generated_tokens += ready.iter().filter(|r| **r).count() as u64;
+            for (a, r) in active.iter_mut().zip(&ready) {
+                if !*r {
+                    continue;
+                }
                 a.generated += 1;
                 if a.generated == 1 {
                     a.first_token_s = Some(now);
@@ -427,10 +691,15 @@ impl Server {
             }
             // Retire finished sequences (preserving step order for the
             // survivors keeps the ragged slot vectors deterministic).
+            // Evict-on-finish: a paged sequence returns its pages the
+            // instant it completes.
             let mut i = 0;
             while i < active.len() {
                 if active[i].done() {
                     let a = active.remove(i);
+                    if let Some(pool) = pool.as_mut() {
+                        pool.release(a.slot);
+                    }
                     admission.release(a.slot, a.bytes);
                     outcomes.push(a.finish(now));
                 } else {
@@ -448,6 +717,7 @@ impl Server {
             prefill_steps,
             generated_tokens,
             prompt_tokens,
+            preempted,
         );
         self.publish(&report);
         report
@@ -464,6 +734,25 @@ impl Server {
         let dropped = if r.total_tokens() > self.cfg.ctx_capacity {
             admission.note_infeasible();
             Some(DropReason::Infeasible)
+        } else if let Some((page_bytes, total, wm)) = self.pool_geometry() {
+            // Paged feasibility: the prompt must clear the admission
+            // watermark and the whole sequence must fit the pool alone
+            // (which guarantees growth can always be force-evicted back
+            // to progress). Quoted at the page-rounded worst case.
+            let pt = self.cfg.paged.as_ref().expect("paged geometry").page_tokens;
+            let prompt_pages = r.prompt_tokens.div_ceil(pt);
+            let total_pages = r.total_tokens().div_ceil(pt);
+            if prompt_pages > wm || total_pages > total {
+                admission.note_infeasible();
+                Some(DropReason::Infeasible)
+            } else {
+                let bytes = total_pages as u64 * page_bytes;
+                match admission.offer(r.clone(), bytes, r.arrival_s) {
+                    Ok(()) => None,
+                    Err(Rejection::Infeasible) => Some(DropReason::Infeasible),
+                    Err(Rejection::QueueFull) => Some(DropReason::QueueFull),
+                }
+            }
         } else {
             let bytes = self.engine.image().kv_request_bytes(r.total_tokens());
             match admission.offer(r.clone(), bytes, r.arrival_s) {
@@ -497,6 +786,7 @@ impl Server {
         prefill_steps: u64,
         generated_tokens: u64,
         prompt_tokens: u64,
+        preempted: u64,
     ) -> ServeReport {
         let (offered, admitted, rejected_queue_full, rejected_infeasible) = admission.counts();
         let (kv_peak_bytes, queue_peak) = admission.peaks();
@@ -549,6 +839,8 @@ impl Server {
             kv_peak_bytes,
             kv_budget_bytes: self.budget_bytes,
             queue_peak,
+            concurrent_peak: admission.peak_concurrent(),
+            preempted,
             outcomes,
         }
     }
@@ -583,6 +875,13 @@ impl Server {
         m.gauge("serve.kv_peak_bytes")
             .set(report.kv_peak_bytes as f64);
         m.gauge("serve.queue_peak").set(report.queue_peak as f64);
+        // Paged-only keys, so contiguous scenarios keep their exact
+        // baseline key sets.
+        if self.cfg.paged.is_some() {
+            m.counter("serve.paged.preempted").add(report.preempted);
+            m.gauge("serve.paged.concurrent_peak")
+                .set(report.concurrent_peak as f64);
+        }
     }
 }
 
@@ -600,6 +899,7 @@ mod tests {
             prompt_tokens: (8, 48),
             new_tokens: (4, 16),
             class_mix: [0.5, 0.3, 0.2],
+            eos_early_fraction: 0.0,
         })
     }
 
@@ -711,6 +1011,108 @@ mod tests {
         assert_eq!(
             report.completed + report.rejected_queue_full + report.rejected_infeasible,
             6
+        );
+    }
+
+    fn decode_heavy_trace(requests: usize, rate: f64) -> Vec<Request> {
+        generate(&TrafficConfig {
+            requests,
+            seed: 7,
+            arrivals: ArrivalModel::Poisson { rate_per_s: rate },
+            prompt_tokens: (8, 16),
+            new_tokens: (48, 96),
+            class_mix: [0.5, 0.3, 0.2],
+            eos_early_fraction: 0.0,
+        })
+    }
+
+    fn paged_server(slots: usize, budget: Option<u64>) -> Server {
+        let mut cfg = ServerConfig::continuous(128, slots).paged(PagedConfig::default());
+        cfg.kv_budget_bytes = budget;
+        Server::new(AccelConfig::kv260(), &ModelConfig::tiny_llama_1_1b(), cfg).expect("image fits")
+    }
+
+    #[test]
+    fn paged_run_completes_deterministically_within_budget() {
+        let t = decode_heavy_trace(12, 1.0);
+        let a = paged_server(4, None).run(&t);
+        let b = paged_server(4, None).run(&t);
+        assert_eq!(a, b, "bit-identical replay");
+        assert_eq!(a.completed, 12);
+        assert!(a.kv_peak_bytes <= a.kv_budget_bytes);
+        assert!(a.concurrent_peak >= 1);
+        assert_eq!(
+            a.generated_tokens,
+            t.iter().map(|r| r.max_new_tokens as u64).sum::<u64>(),
+            "an unpressured pool never recomputes"
+        );
+        assert_eq!(a.preempted, 0);
+    }
+
+    #[test]
+    fn paged_admission_lifts_concurrency_at_the_same_budget() {
+        // Budget for three worst-case sequences, slots for eight:
+        // worst-case reservation pins concurrency at three, while
+        // actual-growth charging packs the slots because decode-heavy
+        // requests use a fraction of their quote early in life.
+        let model = ModelConfig::tiny_llama_1_1b();
+        let probe = paged_server(8, None);
+        let worst = probe.engine().image().page_rounded_request_bytes(112, 16);
+        let budget = Some(3 * worst);
+        let t = decode_heavy_trace(16, 50.0);
+        let paged = paged_server(8, budget).run(&t);
+        let mut wc_cfg = ServerConfig::continuous(128, 8);
+        wc_cfg.kv_budget_bytes = budget;
+        let wc = Server::new(AccelConfig::kv260(), &model, wc_cfg)
+            .expect("image fits")
+            .run(&t);
+        assert!(
+            paged.concurrent_peak > wc.concurrent_peak,
+            "paged peak {} must beat worst-case peak {}",
+            paged.concurrent_peak,
+            wc.concurrent_peak
+        );
+        assert!(paged.kv_peak_bytes <= paged.kv_budget_bytes);
+        assert_eq!(
+            paged.completed + paged.rejected_queue_full + paged.rejected_infeasible,
+            16
+        );
+    }
+
+    #[test]
+    fn starved_interactive_preempts_the_newest_batch_sequence() {
+        use crate::request::DeadlineClass;
+        // A six-page pool: both sequences admit at one page each, then
+        // their growth collides. The interactive sequence must win the
+        // pages; the batch one is evicted, requeued, and recomputed.
+        let model = ModelConfig::tiny_llama_1_1b();
+        let mut cfg = ServerConfig::continuous(128, 4).paged(PagedConfig {
+            page_tokens: 16,
+            watermark: 1.0,
+        });
+        let probe = Server::new(AccelConfig::kv260(), &model, cfg.clone()).expect("image fits");
+        cfg.kv_budget_bytes = Some(6 * probe.engine().image().kv_page_bytes());
+        let mut srv = Server::new(AccelConfig::kv260(), &model, cfg).expect("image fits");
+        let req = |id, class| Request {
+            id,
+            arrival_s: 0.0,
+            prompt_tokens: 16,
+            max_new_tokens: 64,
+            eos_tokens: None,
+            class,
+        };
+        let report = srv.run(&[
+            req(0, DeadlineClass::Interactive),
+            req(1, DeadlineClass::Batch),
+        ]);
+        assert!(report.preempted >= 1, "growth collision must preempt");
+        assert_eq!(report.completed, 2, "the victim recomputes and finishes");
+        assert!(report.outcomes.iter().all(|o| o.finish_s.is_some()));
+        assert!(report.kv_peak_bytes <= report.kv_budget_bytes);
+        let snap = srv.engine().metrics_snapshot();
+        assert_eq!(
+            snap.counter("serve.paged.preempted"),
+            Some(report.preempted)
         );
     }
 

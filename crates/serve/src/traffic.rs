@@ -55,6 +55,14 @@ pub struct TrafficConfig {
     /// Relative weights of the interactive / standard / batch classes
     /// (need not sum to one; all-zero means everything is interactive).
     pub class_mix: [f64; 3],
+    /// Fraction of requests whose generation hits EOS before the
+    /// `max_new_tokens` cap (the stop point drawn uniformly inside the
+    /// cap). Zero — the default — reproduces the historical traces
+    /// bit-for-bit: no extra RNG draws happen at all. Real traffic
+    /// lives well above zero: clients ask for generous caps and models
+    /// stop early, which is precisely the slack paged KV admission
+    /// converts into concurrency.
+    pub eos_early_fraction: f64,
 }
 
 impl TrafficConfig {
@@ -67,6 +75,7 @@ impl TrafficConfig {
             prompt_tokens: (16, 64),
             new_tokens: (8, 32),
             class_mix: [0.5, 0.3, 0.2],
+            eos_early_fraction: 0.0,
         }
     }
 }
@@ -109,7 +118,15 @@ pub fn generate(cfg: &TrafficConfig) -> Vec<Request> {
         cfg.new_tokens.0 > 0 && cfg.new_tokens.0 <= cfg.new_tokens.1,
         "new-token range must be non-empty"
     );
+    assert!(
+        (0.0..=1.0).contains(&cfg.eos_early_fraction),
+        "eos_early_fraction must be a probability"
+    );
     let mut rng = StdRng::seed_from_u64(cfg.seed);
+    // EOS draws come from their own stream so that turning the
+    // fraction on scripts early stops *without* shifting the arrival,
+    // length or class draws of the zero-fraction trace.
+    let mut eos_rng = StdRng::seed_from_u64(cfg.seed.wrapping_add(0x9E37_79B9_7F4A_7C15));
     let mut t = 0.0f64;
     let mut out = Vec::with_capacity(cfg.requests);
     for id in 0..cfg.requests {
@@ -124,12 +141,22 @@ pub fn generate(cfg: &TrafficConfig) -> Vec<Request> {
                 }
             }
         };
+        let prompt_tokens = rng.gen_range(cfg.prompt_tokens.0..=cfg.prompt_tokens.1);
+        let max_new_tokens = rng.gen_range(cfg.new_tokens.0..=cfg.new_tokens.1);
+        let class = pick_class(&mut rng, &cfg.class_mix);
+        let eos_tokens =
+            if cfg.eos_early_fraction > 0.0 && eos_rng.gen_f64() < cfg.eos_early_fraction {
+                Some(eos_rng.gen_range(1..=max_new_tokens))
+            } else {
+                None
+            };
         out.push(Request {
             id,
             arrival_s: t,
-            prompt_tokens: rng.gen_range(cfg.prompt_tokens.0..=cfg.prompt_tokens.1),
-            max_new_tokens: rng.gen_range(cfg.new_tokens.0..=cfg.new_tokens.1),
-            class: pick_class(&mut rng, &cfg.class_mix),
+            prompt_tokens,
+            max_new_tokens,
+            eos_tokens,
+            class,
         });
     }
     out
@@ -147,6 +174,7 @@ mod tests {
             prompt_tokens: (4, 16),
             new_tokens: (2, 8),
             class_mix: [1.0, 1.0, 1.0],
+            eos_early_fraction: 0.0,
         }
     }
 
@@ -165,6 +193,33 @@ mod tests {
         let mut c2 = c.clone();
         c2.seed = 8;
         assert_ne!(generate(&c2), a);
+    }
+
+    #[test]
+    fn eos_fraction_scripts_early_stops_without_perturbing_the_trace() {
+        let base = cfg(ArrivalModel::Poisson { rate_per_s: 2.0 });
+        let mut early = base.clone();
+        early.eos_early_fraction = 0.5;
+        let a = generate(&base);
+        let b = generate(&early);
+        // The extra draws must not shift anything the zero-fraction
+        // trace already pinned: arrivals, lengths and classes match
+        // request for request.
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.arrival_s, y.arrival_s);
+            assert_eq!(x.prompt_tokens, y.prompt_tokens);
+            assert_eq!(x.max_new_tokens, y.max_new_tokens);
+            assert_eq!(x.class, y.class);
+            assert_eq!(x.eos_tokens, None);
+            if let Some(e) = y.eos_tokens {
+                assert!((1..=y.max_new_tokens).contains(&e));
+            }
+        }
+        let stopped = b.iter().filter(|r| r.eos_tokens.is_some()).count();
+        assert!(
+            (60..=140).contains(&stopped),
+            "about half of 200 requests should stop early, got {stopped}"
+        );
     }
 
     #[test]

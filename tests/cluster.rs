@@ -16,6 +16,7 @@ fn trace(requests: usize, rate: f64) -> Vec<Request> {
         prompt_tokens: (8, 48),
         new_tokens: (4, 16),
         class_mix: [0.5, 0.3, 0.2],
+        eos_early_fraction: 0.0,
     })
 }
 

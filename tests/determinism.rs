@@ -198,6 +198,52 @@ fn ragged_continuous_batch_join_and_leave_is_bit_identical() {
 }
 
 #[test]
+fn paged_kv_decode_is_bit_identical_to_contiguous() {
+    // The paged-KV claim that makes actual-growth admission safe to
+    // ship: paging changes WHERE each sequence's KV codes live (shared
+    // physical pages, scattered and reused as slots churn), never what
+    // is computed — so logits must match the contiguous decoder bit for
+    // bit through joins, leaves, slot recycling, and page-boundary
+    // crossings, on both kernel paths.
+    let _guard = KERNEL_CONFIG.lock().unwrap();
+    let cfg = ModelConfig::test_small();
+    let w = ModelWeights::generate(&cfg, 404);
+    let calib = capture(&w, &[4, 8, 16]);
+    let qm = convert(&w, &calib, GroupQuantConfig::w4_g128(), PtqMethod::Rtn);
+    let bits = |l: &[f32]| l.iter().map(|v| v.to_bits()).collect::<Vec<u32>>();
+    for fast in [false, true] {
+        set_fast_kernels(fast);
+        // 5 pages of 16 tokens shared by 3 slots — tight enough that
+        // released pages must be reused mid-run.
+        let mut paged = AccelBatchDecoder::new_paged(&qm, 3, 5, 16);
+        let mut flat = AccelBatchDecoder::new(&qm, 3);
+        let step = |p: &mut AccelBatchDecoder, f: &mut AccelBatchDecoder, s: &[(usize, usize)]| {
+            let got: Vec<Vec<u32>> = p.decode_at(s).iter().map(|l| bits(l)).collect();
+            let want: Vec<Vec<u32>> = f.decode_at(s).iter().map(|l| bits(l)).collect();
+            assert_eq!(
+                got, want,
+                "paged decode diverged at fast={fast}, step {s:?}"
+            );
+        };
+        // Two sequences decode across a page boundary together.
+        for i in 0..18 {
+            step(&mut paged, &mut flat, &[(0, 5 + i), (2, 9 + i)]);
+        }
+        // Slot 2 finishes; its pages return to the pool and a successor
+        // reuses them while slot 0's history stays scattered.
+        paged.reset_seq(2);
+        flat.reset_seq(2);
+        for i in 0..4 {
+            step(
+                &mut paged,
+                &mut flat,
+                &[(0, 30 + i), (2, 50 + i), (1, 2 + i)],
+            );
+        }
+    }
+}
+
+#[test]
 fn sharded_pipeline_decode_is_bit_identical_to_single_board() {
     // The cluster claim that makes pipeline-parallel serving safe to
     // ship: splitting the layers across N stage decoders changes WHERE
