@@ -19,7 +19,7 @@
 
 use zllm_accel::AccelConfig;
 use zllm_bench::{
-    cli_seed_arg, cli_value_arg, fmt_mib, json_escape_free, print_table, sweep_traffic,
+    cli_seed_arg, cli_value_arg, fmt_mib, json_report, print_table, sweep_traffic, JsonField,
 };
 use zllm_model::ModelConfig;
 use zllm_serve::cluster::{ClusterConfig, ClusterReport, ClusterServer};
@@ -122,51 +122,42 @@ fn sweep(part: &'static str, accel: &AccelConfig, seed: u64, runs: &mut Vec<Run>
 }
 
 fn to_json(runs: &[Run]) -> String {
-    let mut out = String::from("[\n");
-    for (i, run) in runs.iter().enumerate() {
-        let r = &run.report;
-        out.push_str(&format!(
-            "  {{\"part\": \"{}\", \"offered_req_per_s\": {}, \"boards\": {}, \
-             \"pipelines\": {}, \"depth\": {}, \"policy\": \"{}\", \
-             \"tokens_per_s\": {:.6}, \"goodput_tokens_per_s\": {:.6}, \
-             \"ttft_p50_ms\": {:.3}, \"ttft_p95_ms\": {:.3}, \"ttft_p99_ms\": {:.3}, \
-             \"token_p50_ms\": {:.3}, \"token_p95_ms\": {:.3}, \
-             \"offered\": {}, \"completed\": {}, \"rejected_queue_full\": {}, \
-             \"rejected_infeasible\": {}, \"deadline_met\": {}, \
-             \"activation_bytes\": {}, \"token_id_bytes\": {}, \
-             \"kv_peak_bytes\": {}, \"kv_budget_bytes\": {}, \"queue_peak\": {}, \
-             \"decode_steps\": {}, \"prefill_steps\": {}, \"sim_seconds\": {:.6}}}{}\n",
-            json_escape_free(run.part),
-            run.rate,
-            r.boards,
-            r.pipelines,
-            r.depth,
-            json_escape_free(r.policy),
-            r.tokens_per_s,
-            r.goodput_tokens_per_s,
-            r.ttft_p50_ms,
-            r.ttft_p95_ms,
-            r.ttft_p99_ms,
-            r.token_p50_ms,
-            r.token_p95_ms,
-            r.offered,
-            r.completed,
-            r.rejected_queue_full,
-            r.rejected_infeasible,
-            r.deadline_met,
-            r.activation_bytes,
-            r.token_id_bytes,
-            r.kv_peak_bytes,
-            r.kv_budget_bytes,
-            r.queue_peak,
-            r.decode_steps,
-            r.prefill_steps,
-            r.sim_seconds,
-            if i + 1 == runs.len() { "" } else { "," },
-        ));
-    }
-    out.push_str("]\n");
-    out
+    use JsonField::{Fixed3, Fixed6, Num, Str, UInt};
+    let rows: Vec<Vec<(&str, JsonField)>> = runs
+        .iter()
+        .map(|run| {
+            let r = &run.report;
+            vec![
+                ("part", Str(run.part.to_string())),
+                ("offered_req_per_s", Num(run.rate)),
+                ("boards", UInt(r.boards as u64)),
+                ("pipelines", UInt(r.pipelines as u64)),
+                ("depth", UInt(r.depth as u64)),
+                ("policy", Str(r.policy.to_string())),
+                ("tokens_per_s", Fixed6(r.tokens_per_s)),
+                ("goodput_tokens_per_s", Fixed6(r.goodput_tokens_per_s)),
+                ("ttft_p50_ms", Fixed3(r.ttft_p50_ms)),
+                ("ttft_p95_ms", Fixed3(r.ttft_p95_ms)),
+                ("ttft_p99_ms", Fixed3(r.ttft_p99_ms)),
+                ("token_p50_ms", Fixed3(r.token_p50_ms)),
+                ("token_p95_ms", Fixed3(r.token_p95_ms)),
+                ("offered", UInt(r.offered)),
+                ("completed", UInt(r.completed)),
+                ("rejected_queue_full", UInt(r.rejected_queue_full)),
+                ("rejected_infeasible", UInt(r.rejected_infeasible)),
+                ("deadline_met", UInt(r.deadline_met)),
+                ("activation_bytes", UInt(r.activation_bytes)),
+                ("token_id_bytes", UInt(r.token_id_bytes)),
+                ("kv_peak_bytes", UInt(r.kv_peak_bytes)),
+                ("kv_budget_bytes", UInt(r.kv_budget_bytes)),
+                ("queue_peak", UInt(r.queue_peak as u64)),
+                ("decode_steps", UInt(r.decode_steps)),
+                ("prefill_steps", UInt(r.prefill_steps)),
+                ("sim_seconds", Fixed6(r.sim_seconds)),
+            ]
+        })
+        .collect();
+    json_report(&rows)
 }
 
 fn main() {

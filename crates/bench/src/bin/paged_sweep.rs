@@ -32,7 +32,7 @@
 
 use zllm_accel::AccelConfig;
 use zllm_bench::{
-    cli_seed_arg, cli_value_arg, decode_heavy_traffic, fmt_mib, json_escape_free, print_table,
+    cli_seed_arg, cli_value_arg, decode_heavy_traffic, fmt_mib, json_report, print_table, JsonField,
 };
 use zllm_model::ModelConfig;
 use zllm_serve::{generate, ArrivalModel, PagedConfig, Request, ServeReport, Server, ServerConfig};
@@ -133,44 +133,36 @@ fn run_one(
 }
 
 fn to_json(runs: &[Run]) -> String {
-    let mut out = String::from("[\n");
-    for (i, run) in runs.iter().enumerate() {
-        let r = &run.report;
-        out.push_str(&format!(
-            "  {{\"mode\": \"{}\", \"offered_req_per_s\": {}, \
-             \"concurrent_peak\": {}, \"preempted\": {}, \
-             \"tokens_per_s\": {:.6}, \"goodput_tokens_per_s\": {:.6}, \
-             \"goodput_tokens\": {:.3}, \
-             \"ttft_p95_ms\": {:.3}, \"token_p95_ms\": {:.3}, \
-             \"offered\": {}, \"completed\": {}, \"rejected_queue_full\": {}, \
-             \"rejected_infeasible\": {}, \"deadline_met\": {}, \
-             \"kv_peak_bytes\": {}, \"kv_budget_bytes\": {}, \"queue_peak\": {}, \
-             \"decode_steps\": {}, \"prefill_steps\": {}, \"sim_seconds\": {:.6}}}{}\n",
-            json_escape_free(run.mode),
-            run.rate,
-            r.concurrent_peak,
-            r.preempted,
-            r.tokens_per_s,
-            r.goodput_tokens_per_s,
-            goodput_tokens(r),
-            r.ttft_p95_ms,
-            r.token_p95_ms,
-            r.offered,
-            r.completed,
-            r.rejected_queue_full,
-            r.rejected_infeasible,
-            r.deadline_met,
-            r.kv_peak_bytes,
-            r.kv_budget_bytes,
-            r.queue_peak,
-            r.decode_steps,
-            r.prefill_steps,
-            r.sim_seconds,
-            if i + 1 == runs.len() { "" } else { "," },
-        ));
-    }
-    out.push_str("]\n");
-    out
+    use JsonField::{Fixed3, Fixed6, Num, Str, UInt};
+    let rows: Vec<Vec<(&str, JsonField)>> = runs
+        .iter()
+        .map(|run| {
+            let r = &run.report;
+            vec![
+                ("mode", Str(run.mode.to_string())),
+                ("offered_req_per_s", Num(run.rate)),
+                ("concurrent_peak", UInt(r.concurrent_peak as u64)),
+                ("preempted", UInt(r.preempted)),
+                ("tokens_per_s", Fixed6(r.tokens_per_s)),
+                ("goodput_tokens_per_s", Fixed6(r.goodput_tokens_per_s)),
+                ("goodput_tokens", Fixed3(goodput_tokens(r))),
+                ("ttft_p95_ms", Fixed3(r.ttft_p95_ms)),
+                ("token_p95_ms", Fixed3(r.token_p95_ms)),
+                ("offered", UInt(r.offered)),
+                ("completed", UInt(r.completed)),
+                ("rejected_queue_full", UInt(r.rejected_queue_full)),
+                ("rejected_infeasible", UInt(r.rejected_infeasible)),
+                ("deadline_met", UInt(r.deadline_met)),
+                ("kv_peak_bytes", UInt(r.kv_peak_bytes)),
+                ("kv_budget_bytes", UInt(r.kv_budget_bytes)),
+                ("queue_peak", UInt(r.queue_peak as u64)),
+                ("decode_steps", UInt(r.decode_steps)),
+                ("prefill_steps", UInt(r.prefill_steps)),
+                ("sim_seconds", Fixed6(r.sim_seconds)),
+            ]
+        })
+        .collect();
+    json_report(&rows)
 }
 
 fn main() {

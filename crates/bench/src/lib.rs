@@ -118,6 +118,70 @@ pub fn json_escape_free(s: &str) -> &str {
     s
 }
 
+/// One field value in a [`json_report`] row.
+///
+/// The variants encode the exact formatting the sim bins have always
+/// used, so jq pipelines (and the CI job summaries built on them) keep
+/// parsing byte-identical output:
+///
+/// * [`JsonField::Str`] — quoted, asserted escape-free
+///   ([`json_escape_free`]);
+/// * [`JsonField::UInt`] — integers as-is;
+/// * [`JsonField::Num`] — shortest-`Display` floats (offered rates:
+///   `10`, `0.5`);
+/// * [`JsonField::Fixed3`] — `{:.3}` (latencies in ms);
+/// * [`JsonField::Fixed6`] — `{:.6}` (rates and throughputs).
+#[derive(Debug, Clone)]
+pub enum JsonField {
+    /// A quoted string; must contain no quote or backslash.
+    Str(String),
+    /// An unsigned integer, printed as-is.
+    UInt(u64),
+    /// A float printed with shortest-roundtrip `Display`.
+    Num(f64),
+    /// A float printed with three decimal places.
+    Fixed3(f64),
+    /// A float printed with six decimal places.
+    Fixed6(f64),
+}
+
+impl std::fmt::Display for JsonField {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JsonField::Str(s) => write!(f, "\"{}\"", json_escape_free(s)),
+            JsonField::UInt(v) => write!(f, "{v}"),
+            JsonField::Num(v) => write!(f, "{v}"),
+            JsonField::Fixed3(v) => write!(f, "{v:.3}"),
+            JsonField::Fixed6(v) => write!(f, "{v:.6}"),
+        }
+    }
+}
+
+/// Serializes sweep rows as the sim bins' common JSON shape: an array
+/// of flat objects, one object per line, two-space indent, key order
+/// exactly as given. Every `--json` writer (`serve_sim`, `fleet_sim`,
+/// `paged_sweep`, `tier_sweep`) goes through here so the shape can
+/// never drift between bins.
+pub fn json_report(rows: &[Vec<(&str, JsonField)>]) -> String {
+    let mut out = String::from("[\n");
+    for (i, row) in rows.iter().enumerate() {
+        out.push_str("  {");
+        for (j, (key, value)) in row.iter().enumerate() {
+            if j > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!("\"{}\": {}", json_escape_free(key), value));
+        }
+        out.push('}');
+        if i + 1 != rows.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("]\n");
+    out
+}
+
 /// The offered-load sweep traffic shared by the serving and fleet sim
 /// bins: heterogeneous mixed-length requests (prompts 16–96, outputs
 /// 4–48) whose spread is what separates scheduling disciplines — the

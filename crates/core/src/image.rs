@@ -109,6 +109,9 @@ pub struct ModelImage {
     page_tokens: Option<usize>,
     /// The per-sequence page tables in DDR (paged images only).
     page_table: Option<Region>,
+    /// Whether the image was placed in an extended virtual address space
+    /// for tiered weight storage ([`ModelImage::build_tiered`]).
+    tiered_virtual: bool,
 }
 
 impl ModelImage {
@@ -247,6 +250,56 @@ impl ModelImage {
         )
     }
 
+    /// Builds the image for **tiered** (flash-backed) weight storage:
+    /// identical to [`ModelImage::build`] when the model fits the 4 GiB
+    /// device, and otherwise placed in the smallest power-of-two
+    /// [`MemoryMap::tiered_virtual`] address space that holds it. Layers
+    /// keep canonical, stable addresses either way — which layers are
+    /// *physically* resident is the `WeightCache`'s accounting, enforced
+    /// by the tier budget, not by placement — so schedules stay cacheable
+    /// and an all-resident tier prices bit-identically to a flat image.
+    ///
+    /// # Errors
+    ///
+    /// Returns the allocation failure if the model exceeds even a 64 GiB
+    /// virtual address space.
+    pub fn build_tiered(
+        model: &ModelConfig,
+        format: WeightFormat,
+        ctx_capacity: usize,
+    ) -> Result<ModelImage, AllocError> {
+        let mut last = match ModelImage::build(model, format, ctx_capacity) {
+            Ok(image) => return Ok(image),
+            Err(e) => e,
+        };
+        for gib in [8u64, 16, 32, 64] {
+            match ModelImage::build_virtual(model, format, ctx_capacity, gib << 30) {
+                Ok(image) => return Ok(image),
+                Err(e) => last = e,
+            }
+        }
+        Err(last)
+    }
+
+    fn build_virtual(
+        model: &ModelConfig,
+        format: WeightFormat,
+        ctx_capacity: usize,
+        total_bytes: u64,
+    ) -> Result<ModelImage, AllocError> {
+        let mut image = ModelImage::build_ranged_in(
+            model,
+            format,
+            ctx_capacity,
+            1,
+            0..model.n_layers,
+            None,
+            MemoryMap::tiered_virtual(total_bytes),
+        )?;
+        image.tiered_virtual = true;
+        Ok(image)
+    }
+
     fn build_ranged(
         model: &ModelConfig,
         format: WeightFormat,
@@ -254,6 +307,26 @@ impl ModelImage {
         batch: usize,
         layers: std::ops::Range<usize>,
         page_tokens: Option<usize>,
+    ) -> Result<ModelImage, AllocError> {
+        ModelImage::build_ranged_in(
+            model,
+            format,
+            ctx_capacity,
+            batch,
+            layers,
+            page_tokens,
+            MemoryMap::kv260(),
+        )
+    }
+
+    fn build_ranged_in(
+        model: &ModelConfig,
+        format: WeightFormat,
+        ctx_capacity: usize,
+        batch: usize,
+        layers: std::ops::Range<usize>,
+        page_tokens: Option<usize>,
+        mut map: MemoryMap,
     ) -> Result<ModelImage, AllocError> {
         assert!(batch > 0, "batch must be at least 1");
         if let Some(pt) = page_tokens {
@@ -284,7 +357,6 @@ impl ModelImage {
         // correct without the rest of the stack knowing about shards.
         let mut shard = model.clone();
         shard.n_layers = layers.len();
-        let mut map = MemoryMap::kv260();
 
         let alloc_spill = |map: &mut MemoryMap, name: &str, bytes: u64| {
             map.alloc(name, bytes, Window::High)
@@ -399,6 +471,7 @@ impl ModelImage {
             kv_meta,
             page_tokens,
             page_table,
+            tiered_virtual: false,
         })
     }
 
@@ -761,6 +834,33 @@ impl ModelImage {
             .iter()
             .map(|p| p.beats * BEAT_BYTES as u64)
             .sum()
+    }
+
+    /// Bytes of one layer's weight streams (all seven projections, format
+    /// padding included) — the unit the tiered weight cache accounts in.
+    pub fn layer_weight_bytes(&self, layer: usize) -> u64 {
+        self.layer_projections(layer)
+            .iter()
+            .map(|p| p.beats * BEAT_BYTES as u64)
+            .sum()
+    }
+
+    /// Bytes that must stay DDR-resident regardless of the weight tier:
+    /// everything placed except the per-layer projection streams — the
+    /// embedding table, LM head, KV regions, scale-zero packs and page
+    /// tables. `non_layer_resident_bytes() + weight budget` is the
+    /// physical footprint a tiered deployment needs.
+    pub fn non_layer_resident_bytes(&self) -> u64 {
+        let layer_bytes: u64 = (0..self.model.n_layers)
+            .map(|l| self.layer_weight_bytes(l))
+            .sum();
+        self.map.allocated_bytes() - layer_bytes
+    }
+
+    /// Whether the image lives in an extended virtual address space for
+    /// tiered weight storage (see [`ModelImage::build_tiered`]).
+    pub fn is_tiered_virtual(&self) -> bool {
+        self.tiered_virtual
     }
 }
 

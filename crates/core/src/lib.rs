@@ -22,6 +22,9 @@
 //!   the coarse-grained baseline it is compared against;
 //! * [`trace`] — the trace-driven performance engine producing the
 //!   token/s and bandwidth-utilization numbers of Tables II/III;
+//! * [`tier`] — the flash-backed weight tier: schedule-aware (and
+//!   strawman blind-LRU) layer prefetch policies and the per-token walk
+//!   that hides flash fetches behind decode;
 //! * [`functional`] — a functional FP16 decoder using the exact on-chip
 //!   datapaths, validated against the f32 reference;
 //! * [`resources`] / [`power`] — parametric FPGA resource and power
@@ -41,6 +44,7 @@ pub mod power;
 pub mod resources;
 pub mod schedule;
 pub mod spu;
+pub mod tier;
 pub mod trace;
 pub mod vpu;
 
@@ -48,6 +52,7 @@ pub use config::AccelConfig;
 pub use functional::{AccelBatchDecoder, AccelDecoder, QuantizedModel, ShardedBatchDecoder};
 pub use image::{split_layers, ModelImage};
 pub use schedule::PrefillChunk;
+pub use tier::{BlindLru, PrefetchPolicy, ScheduleAware, TierConfig, TierReport};
 pub use trace::{BatchTokenReport, DecodeEngine, TokenReport};
 
 /// The unified metrics registry every unit publishes into — re-exported

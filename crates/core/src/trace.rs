@@ -15,6 +15,7 @@ use crate::schedule::{
     batched_token_schedule, chunked_prefill_schedule, ragged_token_schedule, PrefillChunk,
     TokenSchedule,
 };
+use crate::tier::{TierConfig, TierReport, TierState};
 use crate::vpu::{Vpu, VpuCounters};
 use std::collections::HashMap;
 use std::rc::Rc;
@@ -158,6 +159,9 @@ pub struct DecodeEngine {
     image: ModelImage,
     mem: MemorySystem,
     vpu: Vpu,
+    /// Flash-backed weight tier ([`DecodeEngine::new_tiered`]); `None`
+    /// for the ordinary all-in-DDR engine.
+    tier: Option<TierState>,
     /// The paper's theoretical roofline for this model on this bandwidth.
     roofline_tokens_per_s: f64,
     /// All components publish into this registry; [`TokenReport`] and
@@ -207,6 +211,10 @@ struct CachedSchedule {
     breakdown: Vec<(String, u64)>,
     /// `decode.bytes.{kind}` handles, parallel to `breakdown`.
     kind_counters: Vec<Counter>,
+    /// Consecutive ops grouped by layer (`L{n}.…` labels; `None` for
+    /// embedding/head/meta traffic), with the group's bytes — the runs
+    /// the tier walk paces a token by.
+    layer_segments: Vec<(Option<usize>, u64)>,
 }
 
 impl CachedSchedule {
@@ -215,12 +223,22 @@ impl CachedSchedule {
         // read beats by compute fanout.
         let mut breakdown: Vec<(String, u64)> = Vec::new();
         let mut beat_groups: Vec<(u32, u64)> = Vec::new();
+        let mut layer_segments: Vec<(Option<usize>, u64)> = Vec::new();
         for op in &sched.ops {
             let kind = op
                 .label
                 .split_once('.')
                 .map(|(_, k)| k)
                 .unwrap_or(&op.label);
+            let layer = op
+                .label
+                .strip_prefix('L')
+                .and_then(|rest| rest.split_once('.'))
+                .and_then(|(n, _)| n.parse::<usize>().ok());
+            match layer_segments.last_mut() {
+                Some((l, b)) if *l == layer => *b += op.bytes(),
+                _ => layer_segments.push((layer, op.bytes())),
+            }
             match breakdown.iter_mut().find(|(k, _)| k == kind) {
                 Some((_, b)) => *b += op.bytes(),
                 None => breakdown.push((kind.to_owned(), op.bytes())),
@@ -242,6 +260,7 @@ impl CachedSchedule {
             exposed_misc: sched.total_exposed_misc(),
             breakdown,
             kind_counters,
+            layer_segments,
             sched,
         }
     }
@@ -369,12 +388,76 @@ impl DecodeEngine {
             model,
             image,
             mem,
+            tier: None,
             roofline_tokens_per_s: roofline,
             registry,
             metrics,
             schedules: HashMap::new(),
             ragged_schedules: HashMap::new(),
         }
+    }
+
+    /// Builds a **tiered** engine: weights live on the configured flash
+    /// device and only `tier.weight_budget_bytes` of layer weights are
+    /// DDR-resident at a time, managed by the tier's prefetch policy.
+    /// Models too big for the 4 GiB device are placed in an extended
+    /// virtual address space ([`ModelImage::build_tiered`]); the physical
+    /// footprint is then `non-layer bytes + weight budget` (see
+    /// [`DecodeEngine::tier_physical_bytes`]), which is how a 13B-shape
+    /// model decodes on a 4 GiB board.
+    ///
+    /// Every token is first priced exactly as the flat engine would, then
+    /// the schedule's layer runs are walked against the flash timeline:
+    /// prefetches overlap decode, demand misses and late prefetches stall
+    /// it, and staging writes contend on the shared DDR controller.
+    ///
+    /// # Errors
+    ///
+    /// Returns the allocation error if the model exceeds even the largest
+    /// virtual map.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the weight budget cannot hold the largest single layer.
+    pub fn new_tiered(
+        accel: AccelConfig,
+        model: &ModelConfig,
+        ctx_capacity: usize,
+        tier: TierConfig,
+    ) -> Result<DecodeEngine, AllocError> {
+        let image = ModelImage::build_tiered(model, accel.format, ctx_capacity)?;
+        Ok(DecodeEngine::with_image_tiered(accel, image, tier))
+    }
+
+    /// [`DecodeEngine::with_image`] plus a weight tier over the image's
+    /// layers. The cache starts warm in the policy's preferred order —
+    /// the boot-time model load is not decode time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the weight budget cannot hold the largest single layer.
+    pub fn with_image_tiered(
+        accel: AccelConfig,
+        image: ModelImage,
+        tier: TierConfig,
+    ) -> DecodeEngine {
+        let mut engine = DecodeEngine::with_image(accel, image);
+        engine.tier = Some(TierState::new(&engine.image, tier));
+        engine
+    }
+
+    /// The tier's activity so far, or `None` on a flat engine.
+    pub fn tier_report(&self) -> Option<TierReport> {
+        self.tier.as_ref().map(|t| t.report())
+    }
+
+    /// Physical DDR bytes a tiered deployment needs: everything placed
+    /// except layer weights, plus the layer weight budget. `None` on a
+    /// flat engine. This is the number that must fit the real board.
+    pub fn tier_physical_bytes(&self) -> Option<u64> {
+        self.tier
+            .as_ref()
+            .map(|t| self.image.non_layer_resident_bytes() + t.cache.budget_bytes())
     }
 
     /// The metrics registry every component of this engine publishes into.
@@ -573,7 +656,23 @@ impl DecodeEngine {
 
         let compute_ns = self.accel.cycles_to_ns(vpu_cycles + bubbles);
         let exposed_ns = self.accel.cycles_to_ns(exposed);
-        let wall_ns = report.wall_ns.max(compute_ns) + exposed_ns;
+        // Weight-tier effects: walk the token's layer runs against the
+        // flash timeline. Prefetch staging adds contention on the DDR bus
+        // (it shares the controller with the decode stream); demand
+        // misses and late prefetches stall the whole pipeline. The walk
+        // paces itself by the tier-free wall — conservative, since the
+        // real token is never faster than that.
+        let base_wall_ns = report.wall_ns.max(compute_ns) + exposed_ns;
+        let (stall_ns, staging_ns) = match self.tier.as_mut() {
+            Some(tier) => tier.walk_token(
+                &mut self.mem,
+                &cached.layer_segments,
+                report.bytes,
+                base_wall_ns,
+            ),
+            None => (0.0, 0.0),
+        };
+        let wall_ns = (report.wall_ns + staging_ns).max(compute_ns) + exposed_ns + stall_ns;
         let tokens_per_s = batch as f64 * 1e9 / wall_ns;
         let seq_tokens_per_s = 1e9 / wall_ns;
 
@@ -620,6 +719,10 @@ impl DecodeEngine {
         // Batch gauges appear only once a batched step has been priced,
         // so single-sequence snapshots (and the committed baseline) keep
         // exactly their pre-batching key set.
+        let ns_per_cycle = self.accel.cycles_to_ns(1);
+        if let Some(tier) = self.tier.as_mut() {
+            tier.publish(&mut self.registry, ns_per_cycle);
+        }
         if batch > 1 {
             self.registry.gauge("decode.batch.size").set(batch as f64);
             self.registry
@@ -978,6 +1081,54 @@ mod tests {
         // stream time.
         let floor = engine.prefill_matrix_engine_ns(32, usize::MAX / 2);
         assert!(matrix_big >= floor * 0.999);
+    }
+
+    #[test]
+    fn all_resident_tier_prices_identically_to_flat_engine() {
+        // With a budget that holds every layer the tier fetches nothing,
+        // stalls nothing and stages nothing — so a tiered engine must be
+        // byte- and cycle-identical to the flat one, and must register
+        // no tier metrics at all. This is what lets the `tiered.*`
+        // scenario enter the perf baseline without perturbing any
+        // pre-existing key.
+        for policy in ["schedule_aware", "blind_lru"] {
+            let mut flat = small_engine(PipelineMode::Fused);
+            let flash = zllm_ddr::FlashConfig::emmc_hs400();
+            let tier = match policy {
+                "schedule_aware" => TierConfig::schedule_aware(flash, u64::MAX / 2),
+                _ => TierConfig::blind_lru(flash, u64::MAX / 2),
+            };
+            let mut tiered = DecodeEngine::new_tiered(
+                AccelConfig::kv260(),
+                &ModelConfig::test_small(),
+                32,
+                tier,
+            )
+            .expect("test model fits without a virtual map");
+            assert!(!tiered.image().is_tiered_virtual());
+            for ctx in [0, 4, 15, 31] {
+                let f = flat.decode_token(ctx);
+                let t = tiered.decode_token(ctx);
+                assert_eq!(f.bytes, t.bytes, "{policy} ctx {ctx}");
+                assert_eq!(f.vpu_cycles, t.vpu_cycles, "{policy} ctx {ctx}");
+                assert_eq!(f.bubble_cycles, t.bubble_cycles, "{policy} ctx {ctx}");
+                assert_eq!(f.wall_ns, t.wall_ns, "{policy} ctx {ctx}");
+                assert_eq!(f.tokens_per_s, t.tokens_per_s, "{policy} ctx {ctx}");
+                assert_eq!(f.breakdown, t.breakdown, "{policy} ctx {ctx}");
+            }
+            let report = tiered.tier_report().expect("tiered engine");
+            assert_eq!(report.demand_misses + report.prefetch_issued, 0);
+            assert_eq!(report.flash_bytes, 0);
+            assert_eq!(report.stall_ns, 0.0);
+            let fs = flat.metrics_snapshot();
+            let ts = tiered.metrics_snapshot();
+            assert_eq!(fs.counters, ts.counters, "{policy}");
+            assert_eq!(
+                fs.gauges.keys().collect::<Vec<_>>(),
+                ts.gauges.keys().collect::<Vec<_>>(),
+                "{policy}"
+            );
+        }
     }
 
     #[test]

@@ -114,6 +114,31 @@ impl MemoryMap {
         }
     }
 
+    /// A *virtual* map for tiered (flash-backed) weight storage: the
+    /// KV260's low window plus a high window extended to `total_bytes`.
+    ///
+    /// Layers that live on flash still need canonical, stable DDR
+    /// addresses — residency under a weight cache is an accounting
+    /// overlay, not a re-placement — so a model bigger than the physical
+    /// 4 GiB is placed in this extended address space and the *physical*
+    /// budget is enforced by `WeightCache` byte accounting instead of by
+    /// placement. The DDR controller's address interleave is a pure
+    /// function of the address, so pricing is deterministic at any size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `total_bytes` is below the physical 4 GiB.
+    pub fn tiered_virtual(total_bytes: u64) -> MemoryMap {
+        assert!(
+            total_bytes >= 4 << 30,
+            "virtual map must be at least the 4 GiB physical map"
+        );
+        let mut map = MemoryMap::kv260();
+        map.high_end = map.high_base + (total_bytes - (map.low_end - map.low_base));
+        map.total_bytes = total_bytes;
+        map
+    }
+
     /// Total physical DDR bytes (4 GiB on the KV260).
     pub fn total_bytes(&self) -> u64 {
         self.total_bytes

@@ -300,5 +300,71 @@ mod properties {
                 prop_assert!(used_bytes <= budget_bytes);
             }
         }
+
+        /// The recycle path specifically: a freed page is reissued
+        /// (smallest free index first), a grant never hands out a page
+        /// still charged to some table, and cumulative grant/free
+        /// accounting balances exactly — so random admit/grow/preempt
+        /// churn neither leaks pages nor double-charges them.
+        #[test]
+        fn freed_pages_recycle_without_leak_or_double_charge(
+            ops in proptest::collection::vec(op_strategy(3), 1..200),
+            total_pages in 1usize..16,
+        ) {
+            let mut pool = PagedKvAllocator::new(total_pages, 3, PAGE_TOKEN_QUANTUM);
+            // Shadow free set: which physical pages are legal to grant.
+            let mut free: BTreeSet<usize> = (0..total_pages).collect();
+            let mut granted: u64 = 0;
+            let mut freed: u64 = 0;
+            for op in ops {
+                match op {
+                    Op::Grow { seq } => {
+                        let expect = free.iter().next().copied();
+                        match pool.grow(seq) {
+                            Some(p) => {
+                                // Reissue is exactly the smallest free
+                                // page — including ones freed earlier.
+                                prop_assert_eq!(Some(p), expect);
+                                prop_assert!(
+                                    free.remove(&p),
+                                    "page {} granted while still charged", p
+                                );
+                                granted += 1;
+                            }
+                            None => prop_assert!(free.is_empty()),
+                        }
+                    }
+                    Op::GrowTo { seq, tokens } => {
+                        let before = pool.pages_of(seq).len();
+                        if pool.grow_to(seq, tokens) {
+                            let table = pool.pages_of(seq).to_vec();
+                            for &p in &table[before..] {
+                                prop_assert!(
+                                    free.remove(&p),
+                                    "page {} granted while still charged", p
+                                );
+                                granted += 1;
+                            }
+                        }
+                    }
+                    Op::Release { seq } => {
+                        for p in pool.release(seq) {
+                            prop_assert!(free.insert(p), "page {} freed twice", p);
+                            freed += 1;
+                        }
+                    }
+                }
+                // Every grant is balanced by a hold or a free: nothing
+                // is charged twice, nothing is charged and forgotten.
+                prop_assert_eq!(granted - freed, pool.used_pages() as u64);
+                prop_assert_eq!(free.len(), pool.free_pages());
+            }
+            // Drain everything: the pool recovers its full capacity.
+            for seq in 0..3 {
+                freed += pool.release(seq).len() as u64;
+            }
+            prop_assert_eq!(granted, freed);
+            prop_assert_eq!(pool.free_pages(), pool.total_pages());
+        }
     }
 }

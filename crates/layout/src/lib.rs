@@ -21,6 +21,9 @@
 //! * [`addr_map`] — the bare-metal 4 GB address map of Fig. 1 (lower 2 GB
 //!   minus the compiler-reserved megabyte, upper 2 GB) with region
 //!   accounting for the 93.3 % capacity-utilization figure.
+//! * [`weight_cache`] — layer-granular resident-set accounting against a
+//!   DDR weight budget, the mechanism under the tiered (flash-backed)
+//!   weight storage's prefetch policies.
 //! * [`beat`] / [`burst`] — 512-bit bus beats and burst descriptors, the
 //!   currency both the layouts and the DDR simulator trade in.
 
@@ -33,7 +36,9 @@ pub mod burst;
 pub mod kv_pack;
 pub mod kv_page;
 pub mod weight;
+pub mod weight_cache;
 
 pub use beat::{Beat, BEAT_BYTES};
 pub use burst::BurstDescriptor;
 pub use kv_page::PagedKvAllocator;
+pub use weight_cache::WeightCache;

@@ -1,0 +1,231 @@
+//! Layer-granular resident-set accounting for tiered weight storage.
+//!
+//! When a model's weights live on flash and only a subset fits the DDR
+//! budget, something must track *which* layers are resident and how many
+//! bytes they pin. [`WeightCache`] is that mechanism — pure bookkeeping,
+//! no policy: it answers "is layer `i` resident", "does layer `i` fit",
+//! and "who is least-recently used", and it asserts the byte budget on
+//! every insert. Prefetch and eviction *decisions* live behind the
+//! `PrefetchPolicy` trait in `zllm-accel`, which drives this cache from
+//! the decode schedule.
+//!
+//! Layers keep their canonical image addresses whether or not they are
+//! resident (residency is an accounting overlay, not a re-placement), so
+//! schedules stay cacheable and an all-resident cache is bit-identical to
+//! not having a tier at all.
+
+/// Resident-set accounting for per-layer weight blocks against a DDR
+/// byte budget.
+///
+/// # Example
+///
+/// ```
+/// use zllm_layout::WeightCache;
+///
+/// // Three 100-byte layers, budget for two.
+/// let mut cache = WeightCache::new(vec![100, 100, 100], 200);
+/// cache.insert(0);
+/// cache.insert(1);
+/// assert!(!cache.can_fit(2));
+/// assert_eq!(cache.lru(&[1]), Some(0)); // 1 excluded, 0 is the victim
+/// cache.evict(0);
+/// cache.insert(2);
+/// assert_eq!(cache.resident_count(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct WeightCache {
+    layer_bytes: Vec<u64>,
+    budget_bytes: u64,
+    used_bytes: u64,
+    resident: Vec<bool>,
+    /// Monotone use stamp per layer; 0 = never used.
+    last_use: Vec<u64>,
+    tick: u64,
+}
+
+impl WeightCache {
+    /// A cache over `layer_bytes.len()` layers with the given byte
+    /// budget. Starts empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if there are no layers or the budget cannot hold even the
+    /// largest single layer — a tier that can never make a layer
+    /// resident prices nothing meaningful.
+    pub fn new(layer_bytes: Vec<u64>, budget_bytes: u64) -> WeightCache {
+        assert!(!layer_bytes.is_empty(), "at least one layer required");
+        let largest = *layer_bytes.iter().max().expect("non-empty");
+        assert!(
+            budget_bytes >= largest,
+            "budget {budget_bytes} B cannot hold the largest layer ({largest} B)"
+        );
+        let n = layer_bytes.len();
+        WeightCache {
+            layer_bytes,
+            budget_bytes,
+            used_bytes: 0,
+            resident: vec![false; n],
+            last_use: vec![0; n],
+            tick: 0,
+        }
+    }
+
+    /// Number of layers the cache tracks.
+    pub fn n_layers(&self) -> usize {
+        self.layer_bytes.len()
+    }
+
+    /// Bytes of layer `layer`'s weights.
+    pub fn layer_bytes(&self, layer: usize) -> u64 {
+        self.layer_bytes[layer]
+    }
+
+    /// The DDR byte budget.
+    pub fn budget_bytes(&self) -> u64 {
+        self.budget_bytes
+    }
+
+    /// Bytes currently pinned by resident layers.
+    pub fn used_bytes(&self) -> u64 {
+        self.used_bytes
+    }
+
+    /// Whether layer `layer` is resident (or reserved by an in-flight
+    /// fetch — space accounting does not distinguish).
+    pub fn resident(&self, layer: usize) -> bool {
+        self.resident[layer]
+    }
+
+    /// Number of resident layers.
+    pub fn resident_count(&self) -> usize {
+        self.resident.iter().filter(|&&r| r).count()
+    }
+
+    /// Whether layer `layer` fits the remaining budget right now.
+    pub fn can_fit(&self, layer: usize) -> bool {
+        self.resident[layer] || self.used_bytes + self.layer_bytes[layer] <= self.budget_bytes
+    }
+
+    /// Largest number of layers the budget can hold at once, filling in
+    /// the given order. The capacity a pin/stream plan divides up.
+    pub fn capacity_layers(&self) -> usize {
+        let mut sizes: Vec<u64> = self.layer_bytes.clone();
+        sizes.sort_unstable();
+        let mut used = 0;
+        let mut n = 0;
+        for s in sizes {
+            if used + s > self.budget_bytes {
+                break;
+            }
+            used += s;
+            n += 1;
+        }
+        n
+    }
+
+    /// Marks layer `layer` resident, charging its bytes. Also stamps it
+    /// as most-recently used (a fetched layer is hot).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the layer is already resident or does not fit —
+    /// policies must evict first; silent over-budget would defeat the
+    /// accounting this type exists for.
+    pub fn insert(&mut self, layer: usize) {
+        assert!(!self.resident[layer], "layer {layer} already resident");
+        assert!(
+            self.used_bytes + self.layer_bytes[layer] <= self.budget_bytes,
+            "layer {layer} ({} B) over budget ({} of {} B used)",
+            self.layer_bytes[layer],
+            self.used_bytes,
+            self.budget_bytes
+        );
+        self.resident[layer] = true;
+        self.used_bytes += self.layer_bytes[layer];
+        self.touch(layer);
+    }
+
+    /// Marks layer `layer` non-resident, releasing its bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the layer is not resident (double-evict is a policy
+    /// bug).
+    pub fn evict(&mut self, layer: usize) {
+        assert!(self.resident[layer], "layer {layer} not resident");
+        self.resident[layer] = false;
+        self.used_bytes -= self.layer_bytes[layer];
+    }
+
+    /// Stamps layer `layer` as most-recently used.
+    pub fn touch(&mut self, layer: usize) {
+        self.tick += 1;
+        self.last_use[layer] = self.tick;
+    }
+
+    /// The least-recently-used resident layer, excluding `exclude`.
+    /// `None` if no resident layer remains after exclusions.
+    pub fn lru(&self, exclude: &[usize]) -> Option<usize> {
+        (0..self.n_layers())
+            .filter(|&l| self.resident[l] && !exclude.contains(&l))
+            .min_by_key(|&l| self.last_use[l])
+    }
+
+    /// Resident layers in index order (tests and debugging).
+    pub fn resident_layers(&self) -> Vec<usize> {
+        (0..self.n_layers()).filter(|&l| self.resident[l]).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn budget_accounting_charges_and_releases() {
+        let mut c = WeightCache::new(vec![10, 20, 30], 40);
+        c.insert(0);
+        c.insert(1);
+        assert_eq!(c.used_bytes(), 30);
+        assert!(!c.can_fit(2));
+        c.evict(1);
+        assert_eq!(c.used_bytes(), 10);
+        assert!(c.can_fit(2));
+        c.insert(2);
+        assert_eq!(c.resident_layers(), vec![0, 2]);
+    }
+
+    #[test]
+    fn lru_tracks_touch_order_and_respects_exclusions() {
+        let mut c = WeightCache::new(vec![1, 1, 1], 3);
+        c.insert(0);
+        c.insert(1);
+        c.insert(2);
+        c.touch(0); // order now: 1, 2, 0
+        assert_eq!(c.lru(&[]), Some(1));
+        assert_eq!(c.lru(&[1]), Some(2));
+        assert_eq!(c.lru(&[1, 2, 0]), None);
+    }
+
+    #[test]
+    fn capacity_layers_counts_whole_layers() {
+        let c = WeightCache::new(vec![100, 100, 100, 100], 250);
+        assert_eq!(c.capacity_layers(), 2);
+        let full = WeightCache::new(vec![100, 100], 200);
+        assert_eq!(full.capacity_layers(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "over budget")]
+    fn insert_past_budget_panics() {
+        let mut c = WeightCache::new(vec![100, 100], 150);
+        c.insert(0);
+        c.insert(1);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot hold the largest layer")]
+    fn budget_below_one_layer_is_rejected() {
+        let _ = WeightCache::new(vec![100, 200], 150);
+    }
+}

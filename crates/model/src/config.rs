@@ -58,6 +58,25 @@ impl ModelConfig {
         }
     }
 
+    /// LLaMA2-13B: the shape that does *not* fit the KV260's 4 GB even
+    /// at 4-bit — the capacity wall the tiered weight storage exists to
+    /// cross (weights live on flash, a DDR-resident layer cache streams
+    /// them through).
+    pub fn llama2_13b() -> ModelConfig {
+        ModelConfig {
+            name: "LLaMA2-13B".to_owned(),
+            n_layers: 40,
+            d_model: 5120,
+            n_heads: 40,
+            n_kv_heads: 40,
+            d_ff: 13824,
+            vocab_size: 32000,
+            max_seq_len: 1024,
+            norm_eps: 1e-5,
+            rope_base: 10000.0,
+        }
+    }
+
     /// TinyLlama-1.1B (SECDA-LLM and LlamaF's workload).
     pub fn tiny_llama_1_1b() -> ModelConfig {
         ModelConfig {
