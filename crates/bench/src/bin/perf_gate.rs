@@ -31,7 +31,13 @@
 //!   prefetcher must sustain ≥ 2× the blind-LRU strawman's tok/s; and
 //!   the 13B shape must decode with a physical DDR footprint within a
 //!   real 4 GiB board. All three are hard gates, not just baseline
-//!   diffs.
+//!   diffs;
+//! * **speculative** — the `spec_sweep` representative point (keys
+//!   prefixed `spec.`): a TinyLlama-1.1B generation of 48 committed
+//!   tokens through verify windows at α = 0.8, K = 4 on the
+//!   lanes-widened KV260 (DDR4-2400), against the same generation
+//!   decoded sequentially. The scenario hard-fails if the tok/s uplift
+//!   drops below 1.5× — the tentpole claim of speculative decoding.
 //!
 //! Byte and cycle counters must match exactly (the simulation is
 //! deterministic); derived rates (gauges) get ±2% to absorb intentional
@@ -53,10 +59,11 @@
 
 use std::path::PathBuf;
 use zllm_accel::telemetry::{DiffStatus, MetricKind, Snapshot};
-use zllm_accel::{AccelConfig, DecodeEngine, ModelImage, TierConfig};
-use zllm_bench::{cli_value_arg, decode_heavy_traffic, print_table};
+use zllm_accel::{AccelConfig, DecodeEngine, DraftCost, ModelImage, SpecWindow, TierConfig};
+use zllm_bench::{cli_value_arg, decode_heavy_traffic, print_table, spec_accel};
 use zllm_ddr::FlashConfig;
 use zllm_model::ModelConfig;
+use zllm_rng::StdRng;
 use zllm_serve::{
     generate, ArrivalModel, PagedConfig, ServeReport, Server, ServerConfig, TrafficConfig,
 };
@@ -124,11 +131,31 @@ const MIN_TIERED_UPLIFT: f64 = 2.0;
 /// (one layer short of everything resident, NVMe link).
 const MAX_COVER_LOSS: f64 = 0.05;
 
+/// Speculative-scenario per-sequence KV provisioning (tokens).
+const SPEC_CTX_CAPACITY: usize = 256;
+/// Context the speculative generation starts from.
+const SPEC_START_CTX: usize = 64;
+/// Committed tokens per speculative run (both twins price exactly
+/// these positions).
+const SPEC_TOKENS: usize = 48;
+/// Representative accept rate (matches `spec_sweep`'s gate point).
+const SPEC_ALPHA: f64 = 0.8;
+/// Representative draft window size.
+const SPEC_K: usize = 4;
+/// Acceptance-draw seed (same acceptance path as `spec_sweep`'s
+/// default).
+const SPEC_SEED: u64 = 9;
+/// Flat draft cost per drafted token, nanoseconds.
+const SPEC_DRAFT_NS: f64 = 2_000_000.0;
+/// Tok/s uplift the speculative scenario must sustain over sequential
+/// decode.
+const MIN_SPEC_UPLIFT: f64 = 1.5;
+
 /// Relative tolerance for derived rates (gauges).
 const GAUGE_TOLERANCE: f64 = 0.02;
 
 /// Scenario names accepted by `--only`, in run order.
-const SCENARIOS: [&str; 5] = ["single", "batch4", "serve", "paged", "tiered"];
+const SCENARIOS: [&str; 6] = ["single", "batch4", "serve", "paged", "tiered", "spec"];
 
 /// The scenario a metric key belongs to, by prefix. Single-sequence
 /// keys are the unprefixed remainder.
@@ -138,6 +165,7 @@ fn scenario_of(key: &str) -> &'static str {
         k if k.starts_with("serve.") => "serve",
         k if k.starts_with("paged.") => "paged",
         k if k.starts_with("tiered.") => "tiered",
+        k if k.starts_with("spec.") => "spec",
         _ => "single",
     }
 }
@@ -347,6 +375,52 @@ fn tiered_scenario() -> TieredOutcome {
         board_tps,
         board_physical_bytes,
     }
+}
+
+/// Prices the speculative representative point twice — a TinyLlama-1.1B
+/// generation of [`SPEC_TOKENS`] committed tokens through verify
+/// windows at (α, K), then the same positions decoded sequentially on a
+/// fresh twin engine. Returns the speculative engine's snapshot (which
+/// includes the engine's own `spec.*` counters) and the tok/s uplift.
+fn spec_scenario_snapshot() -> (Snapshot, f64) {
+    let accel = spec_accel();
+    let model = ModelConfig::tiny_llama_1_1b();
+    let mut engine = DecodeEngine::new_batched(accel.clone(), &model, SPEC_CTX_CAPACITY, 1)
+        .expect("TinyLlama-1.1B fits the 4GB device");
+    let mut rng = StdRng::seed_from_u64(SPEC_SEED);
+    let draft = DraftCost::FlatNs {
+        ns_per_token: SPEC_DRAFT_NS,
+    };
+    let (mut ctx, mut committed) = (SPEC_START_CTX, 0usize);
+    let mut spec_wall_ns = 0.0f64;
+    while committed < SPEC_TOKENS {
+        let remaining = SPEC_TOKENS - committed;
+        let k_eff = SPEC_K.min(remaining - 1).min(SPEC_CTX_CAPACITY - 1 - ctx);
+        let mut accepted = 0;
+        for _ in 0..k_eff {
+            if rng.gen_bool(SPEC_ALPHA) {
+                accepted += 1;
+            } else {
+                break;
+            }
+        }
+        let w = SpecWindow {
+            slot: 0,
+            ctx,
+            drafted: k_eff,
+            accepted,
+        };
+        spec_wall_ns += engine.decode_speculative(&[w], &draft).wall_ns;
+        committed += accepted + 1;
+        ctx += accepted + 1;
+    }
+    let mut base = DecodeEngine::new_batched(accel, &model, SPEC_CTX_CAPACITY, 1)
+        .expect("TinyLlama-1.1B fits the 4GB device");
+    let mut base_wall_ns = 0.0f64;
+    for c in SPEC_START_CTX..SPEC_START_CTX + SPEC_TOKENS {
+        base_wall_ns += base.decode_token(c).wall_ns;
+    }
+    (engine.metrics_snapshot(), base_wall_ns / spec_wall_ns)
 }
 
 fn fmt_value(kind: MetricKind, v: Option<f64>) -> String {
@@ -669,6 +743,55 @@ fn main() {
         tiered_stats = Some((tiered_host_seconds, outcome));
     }
 
+    let mut spec_stats: Option<(f64, f64)> = None;
+    if selected("spec") {
+        eprintln!(
+            "perf gate: speculative scenario — {SPEC_TOKENS} committed tokens through verify \
+             windows at alpha = {SPEC_ALPHA}, K = {SPEC_K} on the lanes-widened KV260, vs the \
+             same positions decoded sequentially (deterministic)..."
+        );
+        let spec_start = std::time::Instant::now();
+        let (spec_snap, spec_uplift) = spec_scenario_snapshot();
+        let spec_host_seconds = spec_start.elapsed().as_secs_f64();
+        // The tentpole property is gated directly, not just as a
+        // baseline diff: one weight stream amortized across the
+        // accepted prefix must keep multiplying bandwidth-bound tok/s.
+        if spec_uplift < MIN_SPEC_UPLIFT {
+            eprintln!(
+                "perf gate FAILED: speculation sustained {spec_uplift:.3}x sequential decode at \
+                 alpha = {SPEC_ALPHA}, K = {SPEC_K}, below the required {MIN_SPEC_UPLIFT:.1}x"
+            );
+            std::process::exit(1);
+        }
+        eprintln!(
+            "perf gate: speculative decode {spec_uplift:.3}x sequential tok/s \
+             (>= {MIN_SPEC_UPLIFT:.1}x required)"
+        );
+
+        // Merge the speculative scenario under `spec.`. The engine's own
+        // speculation counters are already namespaced `spec.*` and keep
+        // their names; the underlying engine metrics become
+        // `spec.decode.*`, `spec.ddr.*`, ... — including the rollback
+        // metadata bursts that only exist on speculative steps.
+        let spec_key = |k: &str| {
+            if k.starts_with("spec.") {
+                k.to_owned()
+            } else {
+                format!("spec.{k}")
+            }
+        };
+        for (k, v) in &spec_snap.counters {
+            current.counters.insert(spec_key(k), *v);
+        }
+        for (k, v) in &spec_snap.gauges {
+            current.gauges.insert(spec_key(k), *v);
+        }
+        // The cross-run uplift the gate above enforces, pinned
+        // explicitly.
+        current.gauges.insert("spec.uplift".to_owned(), spec_uplift);
+        spec_stats = Some((spec_host_seconds, spec_uplift));
+    }
+
     // Machine-readable host metrics for CI artifacts. These are wall-clock
     // figures of the *host*, not part of the gated (deterministic) snapshot.
     // `--only` is refused above, so every scenario ran on this path.
@@ -682,6 +805,7 @@ fn main() {
         let (paged_host_seconds, paged_uplift, paged_report, paged_wc_report) =
             paged_stats.as_ref().expect("paged ran");
         let (tiered_host_seconds, tiered) = tiered_stats.as_ref().expect("tiered ran");
+        let (spec_host_seconds, spec_uplift) = spec_stats.expect("spec ran");
         let json = format!(
             "{{\n  \"wall_seconds\": {host_seconds:.6},\n  \
              \"simulated_gb\": {simulated_gb:.6},\n  \
@@ -701,7 +825,9 @@ fn main() {
              \"tiered_wall_seconds\": {tiered_host_seconds:.6},\n  \
              \"tiered_cover_loss\": {:.6},\n  \
              \"tiered_thrash_uplift\": {:.6},\n  \
-             \"tiered_board4g_tokens_per_s\": {:.6}\n}}\n",
+             \"tiered_board4g_tokens_per_s\": {:.6},\n  \
+             \"spec_wall_seconds\": {spec_host_seconds:.6},\n  \
+             \"spec_uplift\": {spec_uplift:.6}\n}}\n",
             serve_report.tokens_per_s,
             serve_report.completed,
             serve_report.rejected_queue_full + serve_report.rejected_infeasible,
@@ -746,10 +872,21 @@ fn main() {
     };
 
     // Under `--only`, gate just that scenario's slice of the baseline;
-    // `current` already holds only those keys.
+    // `current` already holds only those keys. A valid scenario name
+    // whose slice of the baseline is *empty* would gate zero keys and
+    // pass vacuously (a baseline recorded before the scenario existed),
+    // so that is a usage error, not a pass.
     if let Some(o) = only.as_deref() {
         baseline.counters.retain(|k, _| scenario_of(k) == o);
         baseline.gauges.retain(|k, _| scenario_of(k) == o);
+        if baseline.counters.is_empty() && baseline.gauges.is_empty() {
+            eprintln!(
+                "perf gate: baseline {} holds no {o:?} keys — gating it would vacuously pass; \
+                 re-bless the full baseline first",
+                path.display()
+            );
+            std::process::exit(2);
+        }
     }
 
     // Exact match for counters (byte/cycle counts of a deterministic

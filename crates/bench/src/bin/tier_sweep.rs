@@ -19,7 +19,7 @@
 //! ```
 
 use zllm_accel::{AccelConfig, DecodeEngine, TierConfig, TierReport};
-use zllm_bench::{cli_value_arg, fmt_mib, json_report, print_table, JsonField};
+use zllm_bench::{cli_seed_arg, cli_value_arg, fmt_mib, json_report, print_table, JsonField};
 use zllm_ddr::FlashConfig;
 use zllm_model::ModelConfig;
 
@@ -248,6 +248,11 @@ fn to_json(runs: &[Run]) -> String {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let json_path = cli_value_arg("tier_sweep", &args, "--json");
+    // Every sim bin takes the shared `--seed` flag so harness scripts
+    // can pass it uniformly; this sweep replays no stochastic trace —
+    // it is fully deterministic — so the value is validated (malformed
+    // input still exits 2 like everywhere else) but drives nothing.
+    let _seed = cli_seed_arg("tier_sweep", &args, 0);
 
     let ddr4 = AccelConfig::kv260();
     let mut lpddr5 = AccelConfig::kv260();

@@ -198,6 +198,21 @@ pub fn sweep_traffic(
     cfg
 }
 
+/// The lanes-widened KV260 the speculative scenarios price on. The
+/// stock engine is *exactly* compute/bandwidth balanced — 128 lanes
+/// consume one 128-weight beat per cycle at the fabric's pace — so a
+/// verify window's `K + 1` compute fanout costs exactly the cycles it
+/// saves in weight traffic and speculation gains nothing. Widening the
+/// VPU to 1024 lanes (the fabric and DDR untouched) leaves the engine
+/// bandwidth-bound at fanout 1, so non-speculative pricing is
+/// unchanged, while verify windows up to fanout 8 stay a single cycle
+/// per beat and the weight-stream amortization becomes visible.
+pub fn spec_accel() -> zllm_accel::AccelConfig {
+    let mut cfg = zllm_accel::AccelConfig::kv260();
+    cfg.lanes = 1024;
+    cfg
+}
+
 /// Decode-heavy traffic for the paged-KV sweep: short prompts, long
 /// generation *caps*, and three quarters of the requests hitting EOS
 /// before their cap. Worst-case admission must reserve

@@ -979,6 +979,145 @@ impl<'m> AccelBatchDecoder<'m> {
         }
         logits
     }
+
+    /// Runs the target model over one speculative verify window:
+    /// `tokens[0]` is the last committed token and `tokens[1..]` are the
+    /// draft proposals, each processed at the sequence's next position.
+    /// Returns one logits vector per window position.
+    ///
+    /// The window runs token by token through
+    /// [`AccelBatchDecoder::decode_at`], so every logits vector is
+    /// bit-identical to sequential decode *by construction* — the
+    /// hardware's batched verify pass amortizes the weight stream (priced
+    /// by [`crate::schedule::speculative_verify_schedule`]) without
+    /// changing any arithmetic. All window tokens are committed to the KV
+    /// cache as they run; the rejected suffix is un-committed afterwards
+    /// with [`AccelBatchDecoder::rollback_seq`].
+    ///
+    /// # Panics
+    ///
+    /// Panics as [`AccelBatchDecoder::decode_at`] does, or if the window
+    /// is empty.
+    pub fn verify_window(&mut self, slot: usize, tokens: &[usize]) -> Vec<Vec<f32>> {
+        assert!(!tokens.is_empty(), "verify window needs at least one token");
+        tokens
+            .iter()
+            .map(|&t| self.decode_at(&[(slot, t)]).remove(0))
+            .collect()
+    }
+
+    /// Rolls `slot` back to a history of `keep_pos` tokens, discarding a
+    /// rejected speculative suffix: KV codes past the boundary are
+    /// truncated (a paged slot also returns wholly-freed pages to the
+    /// pool), the position rewinds, and the online quantizer's pack FIFO
+    /// is rebuilt by replaying the retained tokens' scale-zero packs in
+    /// their original append order. The codes themselves are already in
+    /// the cache, so nothing is re-quantized; the replay runs against a
+    /// detached FIFO and the shared telemetry counters are re-attached
+    /// afterwards, so they see no new packs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` is out of range or `keep_pos` exceeds the
+    /// sequence's position.
+    pub fn rollback_seq(&mut self, slot: usize, keep_pos: usize) {
+        let cfg = self.model.config();
+        assert!(slot < self.seqs.len(), "slot {slot} out of range");
+        assert!(
+            keep_pos <= self.seqs[slot].pos,
+            "cannot roll forward: keep {keep_pos} > pos {}",
+            self.seqs[slot].pos
+        );
+        if keep_pos == self.seqs[slot].pos {
+            return;
+        }
+        // Truncate the KV storage to the retained prefix.
+        match &mut self.pool {
+            Some(pool) => {
+                let pt = pool.alloc.page_tokens();
+                if !keep_pos.is_multiple_of(pt) {
+                    // The boundary page survives partially occupied.
+                    let phys = pool.alloc.pages_of(slot)[keep_pos / pt];
+                    for kv in &mut pool.pages[phys] {
+                        kv.keys.truncate((keep_pos % pt) * cfg.n_kv_heads);
+                        kv.values.truncate((keep_pos % pt) * cfg.n_kv_heads);
+                    }
+                }
+                // Freed pages need no clearing here: `ensure` clears
+                // every freshly granted page for its new owner.
+                pool.alloc.shrink_to(slot, keep_pos);
+            }
+            None => {
+                for kv in &mut self.seqs[slot].kv {
+                    kv.keys.truncate(keep_pos * cfg.n_kv_heads);
+                    kv.values.truncate(keep_pos * cfg.n_kv_heads);
+                }
+            }
+        }
+        // Rebuild the pack FIFO: replay the retained packs in quantize
+        // order (token → layer → kv-head → K then V, exactly as
+        // `batch_layer_forward` appended them).
+        let mut packs = Vec::with_capacity(keep_pos * cfg.n_layers * cfg.n_kv_heads * 2);
+        for t in 0..keep_pos {
+            for layer in 0..cfg.n_layers {
+                for h in 0..cfg.n_kv_heads {
+                    let (k, v) = match &self.pool {
+                        Some(pool) => (
+                            pool.key(slot, layer, t, h, cfg.n_kv_heads),
+                            pool.value(slot, layer, t, h, cfg.n_kv_heads),
+                        ),
+                        None => {
+                            let kv = &self.seqs[slot].kv[layer];
+                            (
+                                &kv.keys[t * cfg.n_kv_heads + h],
+                                &kv.values[t * cfg.n_kv_heads + h],
+                            )
+                        }
+                    };
+                    packs.push(k.meta().to_pack());
+                    packs.push(v.meta().to_pack());
+                }
+            }
+        }
+        let state = &mut self.seqs[slot];
+        let counters = state.quantizer.counters().clone();
+        let mut fresh = KvQuantizer::new(cfg.n_layers * cfg.n_kv_heads * 2);
+        for pack in packs {
+            fresh.replay_pack(pack);
+        }
+        fresh.attach_counters(counters);
+        state.quantizer = fresh;
+        state.pos = keep_pos;
+    }
+}
+
+/// Greedy accept/reject of a verify window's logits against the draft
+/// proposals: `logits[j]` is the target's next-token distribution after
+/// window position `j` and `drafts[j]` is the draft model's proposal for
+/// that next token, so `logits.len() == drafts.len() + 1` (the window
+/// also ran the last proposal). Returns `(accepted, next_token)`: the
+/// length of the longest prefix of drafts the target would itself have
+/// produced under greedy sampling, plus the target's own token after the
+/// accepted prefix — the "bonus" token when every draft is accepted, the
+/// correction otherwise. The caller commits `accepted + 1` tokens either
+/// way, which is why speculation never emits fewer tokens per verify
+/// pass than plain decode.
+///
+/// # Panics
+///
+/// Panics if `logits.len() != drafts.len() + 1`.
+pub fn greedy_accept(logits: &[Vec<f32>], drafts: &[usize]) -> (usize, usize) {
+    assert_eq!(
+        logits.len(),
+        drafts.len() + 1,
+        "one logits vector per verify position (drafts + 1)"
+    );
+    let accepted = drafts
+        .iter()
+        .zip(logits)
+        .take_while(|&(&d, l)| zllm_model::sampler::argmax(l) == d)
+        .count();
+    (accepted, zllm_model::sampler::argmax(&logits[accepted]))
 }
 
 /// One transformer layer of the batched datapath — the exact operation
@@ -1678,5 +1817,134 @@ mod tests {
         let mut batch = AccelBatchDecoder::new(&qmodel, 2);
         let _ = batch.decode_at(&[(0, 1)]);
         let _ = batch.decode_batch(&[1, 2]);
+    }
+
+    #[test]
+    fn verify_window_logits_match_sequential_decode_bitwise() {
+        let (_, _, qmodel) = setup(37);
+        let mut spec = AccelBatchDecoder::new(&qmodel, 2);
+        let mut seq = AccelDecoder::new(&qmodel);
+        for t in [5usize, 9, 2] {
+            let _ = spec.decode_at(&[(1, t)]);
+            let _ = seq.forward(t);
+        }
+        let window = [11usize, 40, 7, 3];
+        let got = spec.verify_window(1, &window);
+        assert_eq!(got.len(), window.len());
+        for (j, &t) in window.iter().enumerate() {
+            let want = seq.forward(t);
+            let gb: Vec<u32> = got[j].iter().map(|v| v.to_bits()).collect();
+            let wb: Vec<u32> = want.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(gb, wb, "window position {j} diverged");
+        }
+    }
+
+    #[test]
+    fn greedy_accept_takes_the_longest_matching_prefix_plus_bonus() {
+        let l = |top: usize| {
+            let mut v = vec![0.0f32; 8];
+            v[top] = 1.0;
+            v
+        };
+        // The target would produce 4, then 2, then 6.
+        let logits = vec![l(4), l(2), l(6)];
+        assert_eq!(greedy_accept(&logits, &[4, 5]), (1, 2));
+        assert_eq!(greedy_accept(&logits, &[4, 2]), (2, 6));
+        assert_eq!(greedy_accept(&logits, &[0, 2]), (0, 4));
+        assert_eq!(greedy_accept(&logits[..1], &[]), (0, 4));
+    }
+
+    #[test]
+    fn rollback_then_continue_matches_a_never_speculated_decoder() {
+        use zllm_telemetry::MetricsRegistry;
+        let (cfg, _, qmodel) = setup(41);
+        let mut reg = MetricsRegistry::new();
+        let mut spec = AccelBatchDecoder::with_metrics(&qmodel, 2, &mut reg);
+        let mut plain = AccelBatchDecoder::new(&qmodel, 2);
+        for t in [3usize, 8, 50] {
+            let _ = spec.decode_at(&[(0, t)]);
+            let _ = plain.decode_at(&[(0, t)]);
+        }
+        // Speculate three drafts after the committed token; pretend only
+        // the first draft was accepted (committed inputs = window[..2]).
+        let window = [7usize, 12, 90, 34];
+        let _ = spec.verify_window(0, &window);
+        let packs_before = reg.snapshot().counters["kv_pack.packs"];
+        spec.rollback_seq(0, 3 + 2);
+        assert_eq!(
+            reg.snapshot().counters["kv_pack.packs"],
+            packs_before,
+            "the FIFO replay must not be counted as new quantization"
+        );
+        for &t in &window[..2] {
+            let _ = plain.decode_at(&[(0, t)]);
+        }
+        assert_eq!(spec.seq_pos(0), plain.seq_pos(0));
+        // Continue far enough to cross the 16-token KV pack window, so a
+        // stale FIFO or KV suffix would surface as diverging logits or a
+        // mistimed metadata flush.
+        for i in 0..14 {
+            let t = (i * 13 + 5) % cfg.vocab_size;
+            let g = spec.decode_at(&[(0, t)]);
+            let w = plain.decode_at(&[(0, t)]);
+            let gb: Vec<u32> = g[0].iter().map(|v| v.to_bits()).collect();
+            let wb: Vec<u32> = w[0].iter().map(|v| v.to_bits()).collect();
+            assert_eq!(gb, wb, "step {i} after rollback diverged");
+        }
+    }
+
+    #[test]
+    fn rollback_to_current_position_is_a_no_op() {
+        let (_, _, qmodel) = setup(2);
+        let mut dec = AccelBatchDecoder::new(&qmodel, 1);
+        let before = dec.decode_at(&[(0, 5)]);
+        dec.rollback_seq(0, 1);
+        assert_eq!(dec.seq_pos(0), 1);
+        let after = dec.decode_at(&[(0, 5)]);
+        let _ = (before, after);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot roll forward")]
+    fn rollback_past_the_position_panics() {
+        let (_, _, qmodel) = setup(2);
+        let mut dec = AccelBatchDecoder::new(&qmodel, 1);
+        let _ = dec.decode_at(&[(0, 5)]);
+        dec.rollback_seq(0, 2);
+    }
+
+    #[test]
+    fn paged_rollback_returns_pages_and_stays_bit_identical() {
+        let (_, _, qmodel) = setup(43);
+        // 4 pages of 16 tokens for 2 slots: the finale below only fits
+        // because rollback really returns the speculated-into page.
+        let mut paged = AccelBatchDecoder::new_paged(&qmodel, 2, 4, 16);
+        let mut flat = AccelBatchDecoder::new(&qmodel, 2);
+        for i in 0..14 {
+            let _ = paged.decode_at(&[(0, 2 + i)]);
+            let _ = flat.decode_at(&[(0, 2 + i)]);
+        }
+        // Speculate six tokens: crosses the page boundary at 16, pulling
+        // a second page; then reject everything past the first token.
+        let window = [1usize, 2, 3, 4, 5, 6];
+        let _ = paged.verify_window(0, &window);
+        paged.rollback_seq(0, 15);
+        let _ = flat.decode_at(&[(0, window[0])]);
+        flat.rollback_seq(0, 15);
+        assert_eq!(paged.seq_pos(0), 15);
+        // Both slots now grow to two pages each — exactly the pool, so a
+        // leaked rollback page would exhaust it — and every logits vector
+        // stays bit-identical to the contiguous decoder's.
+        let vocab = qmodel.config().vocab_size;
+        for i in 0..17 {
+            let steps = [(0, (3 * i + 1) % vocab), (1, (5 * i + 2) % vocab)];
+            let g = paged.decode_at(&steps);
+            let w = flat.decode_at(&steps);
+            for (seq, (gv, wv)) in g.iter().zip(&w).enumerate() {
+                let gb: Vec<u32> = gv.iter().map(|v| v.to_bits()).collect();
+                let wb: Vec<u32> = wv.iter().map(|v| v.to_bits()).collect();
+                assert_eq!(gb, wb, "step {i} participant {seq} diverged");
+            }
+        }
     }
 }

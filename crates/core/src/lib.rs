@@ -49,11 +49,13 @@ pub mod trace;
 pub mod vpu;
 
 pub use config::AccelConfig;
-pub use functional::{AccelBatchDecoder, AccelDecoder, QuantizedModel, ShardedBatchDecoder};
+pub use functional::{
+    greedy_accept, AccelBatchDecoder, AccelDecoder, QuantizedModel, ShardedBatchDecoder,
+};
 pub use image::{split_layers, ModelImage};
-pub use schedule::PrefillChunk;
+pub use schedule::{PrefillChunk, SpecWindow};
 pub use tier::{BlindLru, PrefetchPolicy, ScheduleAware, TierConfig, TierReport};
-pub use trace::{BatchTokenReport, DecodeEngine, TokenReport};
+pub use trace::{BatchTokenReport, DecodeEngine, DraftCost, TokenReport};
 
 /// The unified metrics registry every unit publishes into — re-exported
 /// so downstream crates need no direct `zllm-telemetry` dependency.

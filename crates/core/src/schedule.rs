@@ -581,6 +581,155 @@ pub fn chunked_prefill_schedule(
     }
 }
 
+/// One sequence's speculative verify window: `ctx` tokens are already
+/// committed to the KV cache, a draft model proposed `drafted` tokens,
+/// and the target verifies positions `ctx ..= ctx + drafted` in one
+/// batched pass (the last committed token plus every draft). `accepted`
+/// of the drafts survived greedy accept/reject.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SpecWindow {
+    /// KV slot the sequence occupies.
+    pub slot: usize,
+    /// Tokens already committed (the first verify position).
+    pub ctx: usize,
+    /// Draft tokens proposed (K); zero degenerates to a plain decode
+    /// step.
+    pub drafted: usize,
+    /// Drafts accepted (≤ `drafted`).
+    pub accepted: usize,
+}
+
+impl SpecWindow {
+    /// Tokens the window commits: the accepted drafts plus the bonus
+    /// token the target emits at the first non-accepted position.
+    pub fn committed(&self) -> usize {
+        self.accepted + 1
+    }
+
+    /// First position past the committed prefix — the rollback
+    /// boundary. Positions `keep() ..= end()` wrote KV that must be
+    /// invalidated.
+    pub fn keep(&self) -> usize {
+        self.ctx + self.accepted + 1
+    }
+
+    /// Last verify position.
+    pub fn end(&self) -> usize {
+        self.ctx + self.drafted
+    }
+}
+
+/// Builds the schedule for one speculative verify step over `windows`.
+///
+/// The verify pass is memory-wise a chunked prefill over each window's
+/// `drafted + 1` positions — every weight stream is fetched **once**
+/// with `compute_fanout = Σ (K+1)` ([`chunked_prefill_schedule`]'s
+/// amortization applied to the decode loop), each window reads its
+/// cached history `[0, ctx)` once per layer, and every verify position
+/// writes its KV back. Two things differ from prefill:
+///
+/// * **every** verify position needs logits (each one is compared
+///   against a draft), so the LM head fans out across all Σ (K+1)
+///   positions instead of once per chunk;
+/// * the rejected suffix `keep() ..= end()` must be *rolled back*:
+///   every 16-token scale-zero window it flushed is re-written to
+///   invalidate the dead packs (`kv_meta_rollback`), and — on a paged
+///   image — every page-table entry it appended is truncated away
+///   (`kv_pt_rollback`). Both are metadata-only DDR traffic, priced
+///   like their forward twins (`kv_meta_flush` / `kv_pt_write`) but
+///   feeding no VPU compute.
+///
+/// The returned schedule's `batch` is the number of tokens the step
+/// *commits* (Σ accepted + 1 — accepted drafts plus one bonus token per
+/// window), so pricing it yields honest tokens-per-second: rejected
+/// positions cost bytes and cycles but produce nothing.
+///
+/// # Panics
+///
+/// Panics if `windows` is empty, a window has `accepted > drafted`, a
+/// slot repeats or lies beyond `image.batch()`, or `ctx + drafted`
+/// reaches `image.ctx_capacity()`.
+pub fn speculative_verify_schedule(
+    image: &ModelImage,
+    windows: &[SpecWindow],
+    mode: PipelineMode,
+) -> TokenSchedule {
+    assert!(!windows.is_empty(), "verify step needs at least one window");
+    for w in windows {
+        assert!(
+            w.accepted <= w.drafted,
+            "cannot accept more drafts than were proposed"
+        );
+    }
+    let chunks: Vec<PrefillChunk> = windows
+        .iter()
+        .map(|w| PrefillChunk {
+            slot: w.slot,
+            start: w.ctx,
+            len: w.drafted + 1,
+        })
+        .collect();
+    let mut sched = chunked_prefill_schedule(image, &chunks, mode);
+
+    let model = image.model();
+    let total: usize = windows.iter().map(|w| w.drafted + 1).sum();
+    // Unlike prefill, every verify position's logits are consumed by
+    // accept/reject — the head's compute fans across all of them.
+    if let Some(head) = sched.ops.iter_mut().find(|o| o.label == "lm_head") {
+        head.compute_fanout = total as u32;
+        if mode == PipelineMode::Coarse {
+            head.exposed_misc = 2 * model.d_model as u64 * total as u64;
+        }
+    }
+
+    // Rollback: re-write every scale-zero window the rejected suffix
+    // flushed, invalidating the dead packs in place.
+    let streams = model.n_layers * model.n_kv_heads * 2;
+    let meta_bursts: Vec<BurstDescriptor> = windows
+        .iter()
+        .flat_map(|w| {
+            (w.keep()..=w.end())
+                .filter(|p| (p + 1).is_multiple_of(16))
+                .flat_map(move |p| {
+                    let window = (p as u64 + 1) / 16 - 1;
+                    (0..streams).map(move |s| image.kv_meta_write_burst_seq(s, window, w.slot))
+                })
+        })
+        .collect();
+    if !meta_bursts.is_empty() {
+        // Write bursts carry no VPU beats, so `MemOp::new` prices this
+        // as pure metadata traffic — same shape as `kv_meta_flush`.
+        sched
+            .ops
+            .push(MemOp::new("kv_meta_rollback".into(), meta_bursts));
+    }
+
+    // Rollback on a paged image: truncate every page-table entry the
+    // rejected suffix appended (the allocator hands the pages back).
+    if let Some(pt) = image.page_tokens() {
+        let pt_bursts: Vec<BurstDescriptor> = windows
+            .iter()
+            .flat_map(|w| {
+                (w.keep()..=w.end())
+                    .filter(|p| p.is_multiple_of(pt))
+                    .map(move |p| image.kv_page_table_write_burst(w.slot, p / pt))
+            })
+            .collect();
+        if !pt_bursts.is_empty() {
+            sched
+                .ops
+                .push(MemOp::meta("kv_pt_rollback".into(), pt_bursts));
+        }
+    }
+
+    sched.batch = windows.iter().map(SpecWindow::committed).sum();
+    sched.slots = windows
+        .iter()
+        .map(|w| (w.slot, w.ctx + w.accepted))
+        .collect();
+    sched
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -993,6 +1142,180 @@ mod tests {
         assert_eq!(write.bursts.len(), 3);
         let read = p.ops.iter().find(|o| o.label == "kv_pt_read").unwrap();
         assert_eq!(read.bursts.len(), 2, "one lookup per chunk");
+    }
+
+    #[test]
+    fn spec_window_of_zero_drafts_matches_decode_bytes() {
+        // drafted = 0, accepted = 0: the verify window is one position —
+        // a plain decode step, byte for byte.
+        let image = batched_image(2);
+        let w = [SpecWindow {
+            slot: 0,
+            ctx: 9,
+            drafted: 0,
+            accepted: 0,
+        }];
+        let spec = speculative_verify_schedule(&image, &w, PipelineMode::Fused);
+        let dec = token_schedule(&image, 9, PipelineMode::Fused);
+        assert_eq!(spec.total_bytes(), dec.total_bytes());
+        assert_eq!(spec.batch, 1);
+        assert_eq!(spec.slots, vec![(0, 9)]);
+        assert!(!spec.ops.iter().any(|o| o.label.ends_with("_rollback")));
+    }
+
+    #[test]
+    fn spec_verify_streams_weights_once_with_k_plus_1_fanout() {
+        let image = batched_image(2);
+        let w = [SpecWindow {
+            slot: 0,
+            ctx: 8,
+            drafted: 4,
+            accepted: 2,
+        }];
+        let spec = speculative_verify_schedule(&image, &w, PipelineMode::Fused);
+        // The dense streams appear once, at the bytes of a single decode
+        // step, with compute fanned across the K + 1 verify positions.
+        let qkv = spec.ops.iter().find(|o| o.label == "L0.qkv").unwrap();
+        assert_eq!(qkv.compute_fanout, 5);
+        let single = token_schedule(&image, 8, PipelineMode::Fused);
+        let sq = single.ops.iter().find(|o| o.label == "L0.qkv").unwrap();
+        assert_eq!(qkv.bytes(), sq.bytes(), "weights fetched once per window");
+        // Unlike prefill, every verify position needs logits.
+        let head = spec.ops.iter().find(|o| o.label == "lm_head").unwrap();
+        assert_eq!(head.compute_fanout, 5);
+        // The step commits accepted + 1 tokens, not K + 1.
+        assert_eq!(spec.batch, 3);
+        assert_eq!(spec.slots, vec![(0, 10)]);
+        // Coarse mode exposes one final RMSNorm per verify position.
+        let coarse = speculative_verify_schedule(&image, &w, PipelineMode::Coarse);
+        let head = coarse.ops.iter().find(|o| o.label == "lm_head").unwrap();
+        assert_eq!(
+            head.exposed_misc,
+            2 * image.model().d_model as u64 * 5,
+            "head norm exposed per verify position"
+        );
+    }
+
+    #[test]
+    fn spec_multi_window_fans_weights_across_all_verify_positions() {
+        let image = batched_image(2);
+        let ws = [
+            SpecWindow {
+                slot: 0,
+                ctx: 4,
+                drafted: 3,
+                accepted: 3,
+            },
+            SpecWindow {
+                slot: 1,
+                ctx: 9,
+                drafted: 2,
+                accepted: 0,
+            },
+        ];
+        let spec = speculative_verify_schedule(&image, &ws, PipelineMode::Fused);
+        let qkv = spec.ops.iter().find(|o| o.label == "L0.qkv").unwrap();
+        assert_eq!(qkv.compute_fanout, 4 + 3);
+        let head = spec.ops.iter().find(|o| o.label == "lm_head").unwrap();
+        assert_eq!(head.compute_fanout, 4 + 3);
+        assert_eq!(spec.batch, 4 + 1, "committed = Σ (accepted + 1)");
+        assert_eq!(spec.slots, vec![(0, 7), (1, 9)]);
+    }
+
+    #[test]
+    fn spec_rollback_prices_rejected_meta_windows() {
+        let image = batched_image(2);
+        // Verify positions 10..=18; keep = 12, so the rejected span
+        // 12..=18 contains the window flush at p = 15 — one stream set
+        // of invalidation bursts comes back out.
+        let w = [SpecWindow {
+            slot: 0,
+            ctx: 10,
+            drafted: 8,
+            accepted: 1,
+        }];
+        let spec = speculative_verify_schedule(&image, &w, PipelineMode::Fused);
+        let rb = spec
+            .ops
+            .iter()
+            .find(|o| o.label == "kv_meta_rollback")
+            .expect("rejected window flush is rolled back");
+        let m = image.model();
+        assert_eq!(rb.bursts.len(), m.n_layers * m.n_kv_heads * 2);
+        assert_eq!(rb.vpu_beats, 0, "metadata feeds no compute");
+        // Fully accepted windows roll nothing back.
+        let all = [SpecWindow {
+            slot: 0,
+            ctx: 10,
+            drafted: 8,
+            accepted: 8,
+        }];
+        let spec = speculative_verify_schedule(&image, &all, PipelineMode::Fused);
+        assert!(!spec.ops.iter().any(|o| o.label.ends_with("_rollback")));
+        // A rejected span that crosses no flush boundary costs nothing.
+        let cheap = [SpecWindow {
+            slot: 0,
+            ctx: 16,
+            drafted: 8,
+            accepted: 2,
+        }];
+        let spec = speculative_verify_schedule(&image, &cheap, PipelineMode::Fused);
+        assert!(!spec.ops.iter().any(|o| o.label == "kv_meta_rollback"));
+    }
+
+    #[test]
+    fn spec_rollback_prices_page_table_truncation_only_when_paged() {
+        let flat = batched_image(2);
+        let paged = paged_image(2);
+        // Verify positions 14..=22 append the page-table entry at
+        // p = 16; rejecting everything past position 14 truncates it.
+        let w = [SpecWindow {
+            slot: 0,
+            ctx: 14,
+            drafted: 8,
+            accepted: 0,
+        }];
+        let p = speculative_verify_schedule(&paged, &w, PipelineMode::Fused);
+        let rb = p
+            .ops
+            .iter()
+            .find(|o| o.label == "kv_pt_rollback")
+            .expect("paged rollback truncates the table");
+        assert_eq!(rb.bursts.len(), 1);
+        assert_eq!(rb.vpu_beats, 0);
+        let f = speculative_verify_schedule(&flat, &w, PipelineMode::Fused);
+        assert!(!f.ops.iter().any(|o| o.label == "kv_pt_rollback"));
+        // Modulo rollback + page-table metadata, both images move the
+        // same verify bytes.
+        let meta: u64 = p
+            .ops
+            .iter()
+            .filter(|o| o.label.starts_with("kv_pt_") || o.label == "kv_meta_rollback")
+            .map(MemOp::bytes)
+            .sum();
+        let f_meta: u64 = f
+            .ops
+            .iter()
+            .filter(|o| o.label == "kv_meta_rollback")
+            .map(MemOp::bytes)
+            .sum();
+        assert_eq!(p.total_bytes() - meta, f.total_bytes() - f_meta);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot accept more drafts")]
+    fn spec_rejects_overaccepted_window() {
+        let image = batched_image(2);
+        let _ = speculative_verify_schedule(
+            &image,
+            &[SpecWindow {
+                slot: 0,
+                ctx: 0,
+                drafted: 2,
+                accepted: 3,
+            }],
+            PipelineMode::Fused,
+        );
     }
 
     #[test]

@@ -69,6 +69,24 @@ impl KvQuantizer {
         }
     }
 
+    /// Replays an already-emitted scale-zero pack into the FIFO without
+    /// re-quantizing. Speculative rollback rebuilds a sequence's FIFO by
+    /// replaying the retained tokens' packs (recovered from the stored
+    /// [`QuantizedKv`] metadata) in their original append order; the
+    /// quantization itself is not repeated because the codes are already
+    /// in the KV cache.
+    pub fn replay_pack(&mut self, pack: u32) {
+        let _ = self.fifo.append(pack);
+    }
+
+    /// Swaps in a different set of telemetry handles (see
+    /// [`KvPackFifo::attach_counters`]): a rollback replay runs against
+    /// detached counters, then re-attaches the shared registered set so
+    /// the replay is not double-counted as new quantization traffic.
+    pub fn attach_counters(&mut self, counters: KvPackCounters) {
+        self.fifo.attach_counters(counters);
+    }
+
     /// Assembles 8-bit codes into full write beats (serial-to-parallel).
     /// Returns the beats plus the number of valid bytes in the last one.
     pub fn serialize_codes(codes: &[u8]) -> (Vec<Beat>, usize) {

@@ -151,6 +151,32 @@ impl PagedKvAllocator {
         true
     }
 
+    /// Shrinks `seq`'s table back to exactly the pages a context of
+    /// `tokens` needs, returning the freed physical pages in table
+    /// order. This is the speculative-decode rollback path: a verify
+    /// window grows the table by the transient K-token overhang, and
+    /// the rejected suffix hands its pages straight back.
+    ///
+    /// Shrinking to a token count the table already satisfies (or to a
+    /// larger one) frees nothing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seq` is out of range.
+    pub fn shrink_to(&mut self, seq: usize, tokens: usize) -> Vec<usize> {
+        assert!(seq < self.tables.len(), "sequence {seq} out of range");
+        let keep = self.pages_needed(tokens);
+        let table = &mut self.tables[seq];
+        if keep >= table.len() {
+            return Vec::new();
+        }
+        let freed = table.split_off(keep);
+        for &p in &freed {
+            assert!(self.free.insert(p), "page {p} double-freed");
+        }
+        freed
+    }
+
     /// Releases every page `seq` holds back to the pool, returning the
     /// freed physical pages in table order.
     ///
@@ -206,6 +232,25 @@ mod tests {
     }
 
     #[test]
+    fn shrink_to_frees_exactly_the_rejected_suffix() {
+        let mut pool = PagedKvAllocator::new(6, 2, 16);
+        assert!(pool.grow_to(0, 80), "5 pages for 80 tokens");
+        assert_eq!(pool.pages_of(0), &[0, 1, 2, 3, 4]);
+        // Rolling back from 80 to 40 tokens keeps ceil(40/16) = 3 pages.
+        assert_eq!(pool.shrink_to(0, 40), vec![3, 4]);
+        assert_eq!(pool.pages_of(0), &[0, 1, 2]);
+        // Shrinking to a covered (or larger) count is a no-op.
+        assert_eq!(pool.shrink_to(0, 48), Vec::<usize>::new());
+        assert_eq!(pool.shrink_to(0, 100), Vec::<usize>::new());
+        // Freed pages are immediately grantable again, smallest-first.
+        assert_eq!(pool.grow(1), Some(3));
+        // Shrinking to zero tokens releases the whole table.
+        assert_eq!(pool.shrink_to(0, 0), vec![0, 1, 2]);
+        assert!(pool.pages_of(0).is_empty());
+        assert_eq!(pool.free_pages() + pool.used_pages(), pool.total_pages());
+    }
+
+    #[test]
     #[should_panic(expected = "multiple of 16")]
     fn page_size_must_align_to_pack_window() {
         let _ = PagedKvAllocator::new(4, 1, 24);
@@ -229,6 +274,7 @@ mod properties {
     enum Op {
         Grow { seq: usize },
         GrowTo { seq: usize, tokens: usize },
+        ShrinkTo { seq: usize, tokens: usize },
         Release { seq: usize },
     }
 
@@ -236,6 +282,7 @@ mod properties {
         prop_oneof![
             (0..seqs).prop_map(|seq| Op::Grow { seq }),
             (0..seqs, 0usize..200).prop_map(|(seq, tokens)| Op::GrowTo { seq, tokens }),
+            (0..seqs, 0usize..200).prop_map(|(seq, tokens)| Op::ShrinkTo { seq, tokens }),
             (0..seqs).prop_map(|seq| Op::Release { seq }),
         ]
     }
@@ -276,6 +323,16 @@ mod properties {
                             // All-or-nothing: a failed grow changed nothing.
                             prop_assert_eq!(pool.pages_of(seq).len(), before);
                         }
+                    }
+                    Op::ShrinkTo { seq, tokens } => {
+                        // Speculative rollback: the freed pages are
+                        // exactly the table's suffix past what the
+                        // accepted prefix needs — no more, no less.
+                        let keep = pool.pages_needed(tokens).min(shadow[seq].len());
+                        let expect: Vec<usize> = shadow[seq][keep..].to_vec();
+                        let freed = pool.shrink_to(seq, tokens);
+                        prop_assert_eq!(&freed, &expect);
+                        shadow[seq].truncate(keep);
                     }
                     Op::Release { seq } => {
                         let freed = pool.release(seq);
@@ -347,6 +404,12 @@ mod properties {
                             }
                         }
                     }
+                    Op::ShrinkTo { seq, tokens } => {
+                        for p in pool.shrink_to(seq, tokens) {
+                            prop_assert!(free.insert(p), "page {} freed twice", p);
+                            freed += 1;
+                        }
+                    }
                     Op::Release { seq } => {
                         for p in pool.release(seq) {
                             prop_assert!(free.insert(p), "page {} freed twice", p);
@@ -365,6 +428,55 @@ mod properties {
             }
             prop_assert_eq!(granted, freed);
             prop_assert_eq!(pool.free_pages(), pool.total_pages());
+        }
+
+        /// Speculative-decode accounting: each verify window grows a
+        /// sequence by a transient K-token overhang, commits a random
+        /// accepted prefix, and rolls the rejected suffix back. Across
+        /// random windows the pool conserves pages exactly — rollback
+        /// returns precisely the pages the rejected tokens occupied
+        /// beyond the accepted prefix, nothing leaks, and nothing is
+        /// charged twice.
+        #[test]
+        fn speculative_windows_conserve_pages(
+            windows in proptest::collection::vec((0usize..3, 0usize..9), 1..80),
+        ) {
+            let total_pages = 24;
+            let mut pool = PagedKvAllocator::new(total_pages, 3, PAGE_TOKEN_QUANTUM);
+            // Committed context per sequence (tokens actually kept).
+            let mut ctx = [0usize; 3];
+            for (seq, k) in windows {
+                // Draft k tokens: the target verifies k + 1 positions, so
+                // the transient footprint covers ctx + 1 + k tokens.
+                let want = ctx[seq] + 1 + k;
+                if !pool.grow_to(seq, want) {
+                    // Pool pressure: retire the fullest sequence and move on,
+                    // like the server's preemption path would.
+                    let victim = (0..3).max_by_key(|&s| ctx[s]).unwrap();
+                    pool.release(victim);
+                    ctx[victim] = 0;
+                    continue;
+                }
+                let held = pool.pages_of(seq).len();
+                prop_assert_eq!(held, pool.pages_needed(want));
+                // Accept a random prefix of the k drafts (the `seq`/`k`
+                // pair doubles as the randomness source), emit the bonus
+                // token, and roll the rejected suffix back.
+                let accepted = if k == 0 { 0 } else { (seq * 31 + k * 7) % (k + 1) };
+                let keep = ctx[seq] + 1 + accepted;
+                let freed = pool.shrink_to(seq, keep);
+                prop_assert_eq!(
+                    freed.len(),
+                    held - pool.pages_needed(keep),
+                    "rollback must return exactly the rejected tokens' pages"
+                );
+                prop_assert_eq!(pool.pages_of(seq).len(), pool.pages_needed(keep));
+                ctx[seq] = keep;
+                // Conservation after every window.
+                let held_total: usize = (0..3).map(|s| pool.pages_of(s).len()).sum();
+                prop_assert_eq!(held_total, pool.used_pages());
+                prop_assert_eq!(pool.used_pages() + pool.free_pages(), total_pages);
+            }
         }
     }
 }

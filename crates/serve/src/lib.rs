@@ -42,5 +42,5 @@ pub use cluster::{
     ClusterConfig, ClusterReport, ClusterServer, InterconnectConfig, PlacementPolicy, ShardedEngine,
 };
 pub use request::{DeadlineClass, DropReason, Request, RequestOutcome};
-pub use server::{BatchingMode, PagedConfig, ServeReport, Server, ServerConfig};
+pub use server::{BatchingMode, PagedConfig, ServeReport, Server, ServerConfig, SpeculationConfig};
 pub use traffic::{generate, ArrivalModel, TrafficConfig};

@@ -5,7 +5,7 @@
 use std::sync::Mutex;
 use zllm::accel::converter::{convert, PtqMethod};
 use zllm::accel::{
-    AccelBatchDecoder, AccelConfig, AccelDecoder, DecodeEngine, ShardedBatchDecoder,
+    greedy_accept, AccelBatchDecoder, AccelConfig, AccelDecoder, DecodeEngine, ShardedBatchDecoder,
 };
 use zllm::fp16::set_fast_kernels;
 use zllm::model::calibration::capture;
@@ -241,6 +241,101 @@ fn paged_kv_decode_is_bit_identical_to_contiguous() {
             );
         }
     }
+}
+
+#[test]
+fn speculative_decode_is_bit_identical_to_sequential_decode() {
+    // The claim that makes speculative decoding safe to ship: a verify
+    // window changes WHEN positions run (batched behind one weight
+    // stream) and a rollback changes WHAT the cache retains, but the
+    // committed tokens and their logits must match a decoder that never
+    // speculated, bit for bit, on both kernel paths and at any thread
+    // cap — for the contiguous KV layout and the paged one.
+    let _guard = KERNEL_CONFIG.lock().unwrap();
+    let cfg = ModelConfig::test_small();
+    let w = ModelWeights::generate(&cfg, 777);
+    let calib = capture(&w, &[4, 8, 12]);
+    let qm = convert(&w, &calib, GroupQuantConfig::w4_g128(), PtqMethod::Rtn);
+    let bits = |l: &[f32]| l.iter().map(|v| v.to_bits()).collect::<Vec<u32>>();
+    const START: usize = 5;
+    const STEPS: usize = 20;
+    const K: usize = 3;
+
+    // Greedy sequential reference: one-token verify windows (no drafts)
+    // through the same accept path, so token selection ties break
+    // identically by construction.
+    set_fast_kernels(false);
+    set_max_threads(None);
+    let mut seq = AccelBatchDecoder::new(&qm, 1);
+    let mut ref_tokens = vec![START];
+    let mut ref_logits = Vec::new();
+    for i in 0..STEPS {
+        let logits = seq.verify_window(0, &[ref_tokens[i]]);
+        let (accepted, next) = greedy_accept(&logits, &[]);
+        assert_eq!(accepted, 0);
+        ref_logits.push(bits(&logits[0]));
+        ref_tokens.push(next);
+    }
+
+    // Speculative run: drafts are the true greedy continuation,
+    // deliberately corrupted at a rotating offset so every window shape
+    // occurs — full accept, reject-at-0 (rollback of the whole draft
+    // suffix), and partial accepts in between.
+    let spec_run = |batch: &mut AccelBatchDecoder| {
+        let mut got_tokens = vec![START];
+        let mut got_logits = Vec::new();
+        let mut done = 0;
+        let mut window_idx = 0usize;
+        while done < STEPS {
+            let k = K.min(STEPS - done - 1);
+            let mut drafts = ref_tokens[done + 1..done + 1 + k].to_vec();
+            if !window_idx.is_multiple_of(K + 1) && !drafts.is_empty() {
+                let c = (window_idx % (K + 1) - 1).min(drafts.len() - 1);
+                drafts[c] = (drafts[c] + 1) % cfg.vocab_size;
+            }
+            let mut window = vec![got_tokens[done]];
+            window.extend(&drafts);
+            let logits = batch.verify_window(0, &window);
+            let (accepted, next) = greedy_accept(&logits, &drafts);
+            for l in &logits[..accepted + 1] {
+                got_logits.push(bits(l));
+            }
+            got_tokens.extend(&drafts[..accepted]);
+            got_tokens.push(next);
+            done += accepted + 1;
+            if accepted + 1 < window.len() {
+                batch.rollback_seq(0, done);
+            }
+            assert_eq!(batch.seq_pos(0), done);
+            window_idx += 1;
+        }
+        (got_tokens, got_logits)
+    };
+    for fast in [false, true] {
+        for threads in [Some(1), Some(3), None] {
+            set_fast_kernels(fast);
+            set_max_threads(threads);
+            // 2 pages of 16 tokens: the run crosses the page boundary
+            // and rollbacks near it return a partially-filled page.
+            for paged in [false, true] {
+                let mut batch = if paged {
+                    AccelBatchDecoder::new_paged(&qm, 1, 2, 16)
+                } else {
+                    AccelBatchDecoder::new(&qm, 1)
+                };
+                let (got_tokens, got_logits) = spec_run(&mut batch);
+                assert_eq!(
+                    got_tokens, ref_tokens,
+                    "speculative tokens diverged at fast={fast} threads={threads:?} paged={paged}"
+                );
+                assert_eq!(
+                    got_logits, ref_logits,
+                    "speculative logits diverged at fast={fast} threads={threads:?} paged={paged}"
+                );
+            }
+        }
+    }
+    set_max_threads(None);
 }
 
 #[test]
