@@ -37,7 +37,16 @@
 //!   tokens through verify windows at α = 0.8, K = 4 on the
 //!   lanes-widened KV260 (DDR4-2400), against the same generation
 //!   decoded sequentially. The scenario hard-fails if the tok/s uplift
-//!   drops below 1.5× — the tentpole claim of speculative decoding.
+//!   drops below 1.5× — the tentpole claim of speculative decoding;
+//! * **compression** — the `compress_sweep` entropy-measured point
+//!   (keys prefixed `comp.`): a TinyLlama-1.1B generation priced
+//!   through the inline DDR (de)compression stage at the measured
+//!   stream ratios on the PL-overclocked KV260 (DDR4-2400), against a
+//!   plain twin. The scenario hard-fails if the effective-bandwidth
+//!   (tok/s) uplift drops below 1.3×, or if an all-identity compression
+//!   stage is not byte-invisible (identical wall and identical metrics
+//!   snapshot to the plain engine) — the tentpole claims of the
+//!   compression-aware controller.
 //!
 //! Byte and cycle counters must match exactly (the simulation is
 //! deterministic); derived rates (gauges) get ±2% to absorb intentional
@@ -60,9 +69,10 @@
 use std::path::PathBuf;
 use zllm_accel::telemetry::{DiffStatus, MetricKind, Snapshot};
 use zllm_accel::{AccelConfig, DecodeEngine, DraftCost, ModelImage, SpecWindow, TierConfig};
-use zllm_bench::{cli_value_arg, decode_heavy_traffic, print_table, spec_accel};
-use zllm_ddr::FlashConfig;
+use zllm_bench::{cli_value_arg, comp_accel, decode_heavy_traffic, print_table, spec_accel};
+use zllm_ddr::{CompressionConfig, FlashConfig, StreamRatio};
 use zllm_model::ModelConfig;
+use zllm_quant::entropy::measured_stream_ratios;
 use zllm_rng::StdRng;
 use zllm_serve::{
     generate, ArrivalModel, PagedConfig, ServeReport, Server, ServerConfig, TrafficConfig,
@@ -151,11 +161,27 @@ const SPEC_DRAFT_NS: f64 = 2_000_000.0;
 /// decode.
 const MIN_SPEC_UPLIFT: f64 = 1.5;
 
+/// Compression-scenario per-sequence KV provisioning (tokens).
+const COMP_CTX_CAPACITY: usize = 256;
+/// Context the compression generation starts from.
+const COMP_START_CTX: usize = 64;
+/// Tokens per compression run (all three twins price the same
+/// positions).
+const COMP_TOKENS: usize = 48;
+/// Entropy-measurement seed (same streams as `compress_sweep`'s
+/// default).
+const COMP_SEED: u64 = 7;
+/// Tok/s uplift the entropy-measured ratio point must sustain on
+/// DDR4-2400.
+const MIN_COMP_UPLIFT: f64 = 1.3;
+
 /// Relative tolerance for derived rates (gauges).
 const GAUGE_TOLERANCE: f64 = 0.02;
 
 /// Scenario names accepted by `--only`, in run order.
-const SCENARIOS: [&str; 6] = ["single", "batch4", "serve", "paged", "tiered", "spec"];
+const SCENARIOS: [&str; 7] = [
+    "single", "batch4", "serve", "paged", "tiered", "spec", "comp",
+];
 
 /// The scenario a metric key belongs to, by prefix. Single-sequence
 /// keys are the unprefixed remainder.
@@ -166,6 +192,7 @@ fn scenario_of(key: &str) -> &'static str {
         k if k.starts_with("paged.") => "paged",
         k if k.starts_with("tiered.") => "tiered",
         k if k.starts_with("spec.") => "spec",
+        k if k.starts_with("comp.") => "comp",
         _ => "single",
     }
 }
@@ -423,6 +450,57 @@ fn spec_scenario_snapshot() -> (Snapshot, f64) {
     (engine.metrics_snapshot(), base_wall_ns / spec_wall_ns)
 }
 
+/// Prices the compression representative point three ways on the
+/// PL-overclocked KV260 (DDR4-2400): a plain engine, an engine with the
+/// all-identity compression stage — whose wall and metrics snapshot
+/// must match the plain engine byte for byte (the compression-off
+/// gate) — and an engine at the entropy-measured stream ratios. Returns
+/// the measured engine's snapshot (which includes its own `comp.*`
+/// counters) and the tok/s uplift.
+fn comp_scenario_snapshot() -> (Snapshot, f64) {
+    let accel = comp_accel();
+    let model = ModelConfig::tiny_llama_1_1b();
+    let run = |mut eng: DecodeEngine| {
+        let mut wall_ns = 0.0f64;
+        for c in COMP_START_CTX..COMP_START_CTX + COMP_TOKENS {
+            wall_ns += eng.decode_token(c).wall_ns;
+        }
+        (eng.metrics_snapshot(), wall_ns)
+    };
+    let (plain_snap, plain_wall) = run(DecodeEngine::new(accel.clone(), &model, COMP_CTX_CAPACITY)
+        .expect("TinyLlama-1.1B fits the 4GB device"));
+    let (identity_snap, identity_wall) = run(DecodeEngine::new_compressed(
+        accel.clone(),
+        &model,
+        COMP_CTX_CAPACITY,
+        CompressionConfig::identity(),
+    )
+    .expect("TinyLlama-1.1B fits the 4GB device"));
+    // The compression-off gate: an all-identity stage must be invisible
+    // — same wall time, same counters, same key set, byte for byte.
+    if identity_wall.to_bits() != plain_wall.to_bits()
+        || identity_snap.to_json() != plain_snap.to_json()
+    {
+        eprintln!(
+            "perf gate FAILED: the all-identity compression stage is not byte-invisible \
+             (wall {identity_wall} vs {plain_wall})"
+        );
+        std::process::exit(1);
+    }
+    let m = measured_stream_ratios(COMP_SEED);
+    let cfg = CompressionConfig::with_ratios(
+        StreamRatio::from_ratio(m.weight.achievable_ratio),
+        StreamRatio::from_ratio(m.kv.achievable_ratio),
+        StreamRatio::from_ratio(m.activation.achievable_ratio),
+    );
+    let (comp_snap, comp_wall) =
+        run(
+            DecodeEngine::new_compressed(accel, &model, COMP_CTX_CAPACITY, cfg)
+                .expect("TinyLlama-1.1B fits the 4GB device"),
+        );
+    (comp_snap, plain_wall / comp_wall)
+}
+
 fn fmt_value(kind: MetricKind, v: Option<f64>) -> String {
     match (kind, v) {
         (_, None) => "—".to_owned(),
@@ -453,18 +531,7 @@ fn main() {
         }
     }
     let selected = |name: &str| only.as_deref().is_none_or(|o| o == name);
-    let host_metrics_path = args
-        .iter()
-        .position(|a| a == "--host-metrics-json")
-        .map(|i| {
-            args.get(i + 1)
-                .filter(|v| !v.starts_with("--"))
-                .unwrap_or_else(|| {
-                    eprintln!("perf gate: --host-metrics-json requires a path argument");
-                    std::process::exit(2);
-                })
-                .clone()
-        });
+    let host_metrics_path = cli_value_arg("perf gate", &args, "--host-metrics-json");
     if host_metrics_path.is_some() && only.is_some() {
         eprintln!("perf gate: --host-metrics-json needs the full run; drop --only");
         std::process::exit(2);
@@ -792,6 +859,55 @@ fn main() {
         spec_stats = Some((spec_host_seconds, spec_uplift));
     }
 
+    let mut comp_stats: Option<(f64, f64)> = None;
+    if selected("comp") {
+        eprintln!(
+            "perf gate: compression scenario — {COMP_TOKENS} tokens through the inline DDR \
+             (de)compression stage at entropy-measured ratios on the PL-overclocked KV260, vs \
+             the plain twin, plus the all-identity byte-invisibility check (deterministic)..."
+        );
+        let comp_start = std::time::Instant::now();
+        let (comp_snap, comp_uplift) = comp_scenario_snapshot();
+        let comp_host_seconds = comp_start.elapsed().as_secs_f64();
+        // The tentpole property is gated directly, not just as a
+        // baseline diff: bursts crossing the bus at compressed size
+        // must keep multiplying bandwidth-bound tok/s.
+        if comp_uplift < MIN_COMP_UPLIFT {
+            eprintln!(
+                "perf gate FAILED: measured-ratio compression sustained {comp_uplift:.3}x the \
+                 plain engine's tok/s, below the required {MIN_COMP_UPLIFT:.1}x"
+            );
+            std::process::exit(1);
+        }
+        eprintln!(
+            "perf gate: compressed decode {comp_uplift:.3}x plain tok/s \
+             (>= {MIN_COMP_UPLIFT:.1}x required)"
+        );
+
+        // Merge the compression scenario under `comp.`. The engine's
+        // own compression counters are already namespaced `comp.*` and
+        // keep their names; the underlying engine metrics become
+        // `comp.decode.*`, `comp.ddr.*`, ... — including the page-map
+        // metadata bursts that only exist with compression on.
+        let comp_key = |k: &str| {
+            if k.starts_with("comp.") {
+                k.to_owned()
+            } else {
+                format!("comp.{k}")
+            }
+        };
+        for (k, v) in &comp_snap.counters {
+            current.counters.insert(comp_key(k), *v);
+        }
+        for (k, v) in &comp_snap.gauges {
+            current.gauges.insert(comp_key(k), *v);
+        }
+        // The cross-run uplift the gate above enforces, pinned
+        // explicitly.
+        current.gauges.insert("comp.uplift".to_owned(), comp_uplift);
+        comp_stats = Some((comp_host_seconds, comp_uplift));
+    }
+
     // Machine-readable host metrics for CI artifacts. These are wall-clock
     // figures of the *host*, not part of the gated (deterministic) snapshot.
     // `--only` is refused above, so every scenario ran on this path.
@@ -806,6 +922,7 @@ fn main() {
             paged_stats.as_ref().expect("paged ran");
         let (tiered_host_seconds, tiered) = tiered_stats.as_ref().expect("tiered ran");
         let (spec_host_seconds, spec_uplift) = spec_stats.expect("spec ran");
+        let (comp_host_seconds, comp_uplift) = comp_stats.expect("comp ran");
         let json = format!(
             "{{\n  \"wall_seconds\": {host_seconds:.6},\n  \
              \"simulated_gb\": {simulated_gb:.6},\n  \
@@ -827,7 +944,9 @@ fn main() {
              \"tiered_thrash_uplift\": {:.6},\n  \
              \"tiered_board4g_tokens_per_s\": {:.6},\n  \
              \"spec_wall_seconds\": {spec_host_seconds:.6},\n  \
-             \"spec_uplift\": {spec_uplift:.6}\n}}\n",
+             \"spec_uplift\": {spec_uplift:.6},\n  \
+             \"comp_wall_seconds\": {comp_host_seconds:.6},\n  \
+             \"comp_uplift\": {comp_uplift:.6}\n}}\n",
             serve_report.tokens_per_s,
             serve_report.completed,
             serve_report.rejected_queue_full + serve_report.rejected_infeasible,

@@ -19,6 +19,7 @@ use crate::tier::{TierConfig, TierReport, TierState};
 use crate::vpu::{Vpu, VpuCounters};
 use std::collections::HashMap;
 use std::rc::Rc;
+use zllm_ddr::compress::{CompCounters, CompressedController, CompressionConfig, StreamClass};
 use zllm_ddr::{DdrCounters, MemorySystem};
 use zllm_layout::addr_map::AllocError;
 use zllm_model::{memory, ModelConfig};
@@ -133,6 +134,20 @@ fn is_per_sequence_kind(kind: &str) -> bool {
     )
 }
 
+/// The compression stream class of an operation kind: weight tiles, KV8
+/// cache lines, and FP16 activation (embedding) rows each carry their own
+/// entropy-measured ratio; everything else — scale-zero flushes, page
+/// tables, rollback metadata — is latency-critical control traffic the
+/// controller never compresses.
+fn stream_class_of(kind: &str) -> StreamClass {
+    match kind {
+        "qkv" | "wo" | "mlp" | "lm_head" => StreamClass::Weight,
+        "kv_read" | "kv_write" => StreamClass::Kv,
+        "embedding" => StreamClass::Activation,
+        _ => StreamClass::Meta,
+    }
+}
+
 /// How a speculative step's draft tokens are priced.
 ///
 /// The verify pass is simulated exactly (its schedule streams through the
@@ -201,6 +216,10 @@ pub struct DecodeEngine {
     /// Flash-backed weight tier ([`DecodeEngine::new_tiered`]); `None`
     /// for the ordinary all-in-DDR engine.
     tier: Option<TierState>,
+    /// Inline-compression stage in front of the DDR controller
+    /// ([`DecodeEngine::enable_compression`]); `None` prices every burst
+    /// at logical size.
+    comp: Option<CompState>,
     /// The paper's theoretical roofline for this model on this bandwidth.
     roofline_tokens_per_s: f64,
     /// All components publish into this registry; [`TokenReport`] and
@@ -236,6 +255,19 @@ const SCHEDULE_CACHE_CAP: usize = 64;
 /// moves on as sequences advance, so a small window captures the reuse.
 const RAGGED_CACHE_CAP: usize = 64;
 
+/// The engine's compression stage plus its telemetry registration state.
+///
+/// `comp.*` metrics follow the `tier.*`/`spec.*` registered-on-first-use
+/// pattern: they appear in the snapshot only once compressed traffic has
+/// actually been priced, so compression-off engines — and compressed
+/// engines whose every ratio is 1.0 — keep exactly the uncompressed key
+/// set.
+#[derive(Debug)]
+struct CompState {
+    ctrl: CompressedController,
+    registered: bool,
+}
+
 /// A token schedule plus everything `price` derives from it alone:
 /// schedule-wide totals, the per-kind byte breakdown, and the telemetry
 /// counters those kinds publish into — resolved once instead of a
@@ -258,6 +290,9 @@ struct CachedSchedule {
     /// embedding/head/meta traffic), with the group's bytes — the runs
     /// the tier walk paces a token by.
     layer_segments: Vec<(Option<usize>, u64)>,
+    /// Compression stream class per op, parallel to `sched.ops` — so the
+    /// compressed pricing path never re-parses labels.
+    classes: Vec<StreamClass>,
 }
 
 impl CachedSchedule {
@@ -267,12 +302,14 @@ impl CachedSchedule {
         let mut breakdown: Vec<(String, u64)> = Vec::new();
         let mut beat_groups: Vec<(u32, u64)> = Vec::new();
         let mut layer_segments: Vec<(Option<usize>, u64)> = Vec::new();
+        let mut classes: Vec<StreamClass> = Vec::with_capacity(sched.ops.len());
         for op in &sched.ops {
             let kind = op
                 .label
                 .split_once('.')
                 .map(|(_, k)| k)
                 .unwrap_or(&op.label);
+            classes.push(stream_class_of(kind));
             let layer = op
                 .label
                 .strip_prefix('L')
@@ -304,6 +341,7 @@ impl CachedSchedule {
             breakdown,
             kind_counters,
             layer_segments,
+            classes,
             sched,
         }
     }
@@ -432,6 +470,7 @@ impl DecodeEngine {
             image,
             mem,
             tier: None,
+            comp: None,
             roofline_tokens_per_s: roofline,
             registry,
             metrics,
@@ -502,6 +541,56 @@ impl DecodeEngine {
         self.tier
             .as_ref()
             .map(|t| self.image.non_layer_resident_bytes() + t.cache.budget_bytes())
+    }
+
+    /// Puts the inline-compression stage in front of the DDR controller:
+    /// weight, KV and activation bursts are priced at their compressed
+    /// wire size per the configuration's per-class ratios, page-map
+    /// metadata bursts are charged, and the decompressor's cut-through
+    /// stall is folded into the wall (see
+    /// [`zllm_ddr::compress::CompressedController`]).
+    ///
+    /// Logical accounting is unchanged: `decode.bytes.*` and the report's
+    /// `bytes` stay at logical size, while `comp.bytes.wire` and the
+    /// `ddr.port0.*` counters reflect what actually crossed the bus. With
+    /// every ratio at 1.0 the stage is a bit-identical pass-through and
+    /// registers no `comp.*` telemetry. Tiered staging and synthetic
+    /// draft traffic bypass the stage (they model bulk copies and an
+    /// off-datapath draft engine, not decode streams).
+    pub fn enable_compression(&mut self, cfg: CompressionConfig) {
+        self.comp = Some(CompState {
+            ctrl: CompressedController::new(cfg),
+            registered: false,
+        });
+    }
+
+    /// [`DecodeEngine::new`] with the compression stage enabled.
+    ///
+    /// # Errors
+    ///
+    /// Returns the allocation error if the model does not fit.
+    pub fn new_compressed(
+        accel: AccelConfig,
+        model: &ModelConfig,
+        ctx_capacity: usize,
+        cfg: CompressionConfig,
+    ) -> Result<DecodeEngine, AllocError> {
+        let mut engine = DecodeEngine::new(accel, model, ctx_capacity)?;
+        engine.enable_compression(cfg);
+        Ok(engine)
+    }
+
+    /// The compression stage's cumulative `(logical, wire, metadata)`
+    /// bytes so far, or `None` on an uncompressed engine.
+    pub fn compression_bytes(&self) -> Option<(u64, u64, u64)> {
+        self.comp.as_ref().map(|c| {
+            let k = c.ctrl.counters();
+            (
+                k.bytes_logical.get(),
+                k.bytes_wire.get(),
+                k.bytes_meta.get(),
+            )
+        })
     }
 
     /// The metrics registry every component of this engine publishes into.
@@ -807,11 +896,49 @@ impl DecodeEngine {
     fn price(&mut self, cached: &CachedSchedule) -> BatchTokenReport {
         let sched = &cached.sched;
         let batch = sched.batch;
+        // `comp.*` telemetry appears only once compressed traffic is
+        // actually priced (all-identity configurations stay invisible).
+        if let Some(comp) = self.comp.as_mut() {
+            if !comp.registered && !comp.ctrl.config().is_identity() {
+                let cfg = *comp.ctrl.config();
+                comp.ctrl
+                    .set_counters(CompCounters::register(&mut self.registry, "comp"));
+                self.registry
+                    .gauge("comp.ratio.weight")
+                    .set(cfg.weight.ratio());
+                self.registry.gauge("comp.ratio.kv").set(cfg.kv.ratio());
+                self.registry
+                    .gauge("comp.ratio.activation")
+                    .set(cfg.activation.ratio());
+                comp.registered = true;
+            }
+        }
         // Memory time: the whole step's bursts streamed through the DDR
-        // model, without materializing an intermediate Vec.
-        let report = self
-            .mem
-            .transfer_iter(sched.ops.iter().flat_map(|o| o.bursts.iter().copied()));
+        // model, without materializing an intermediate Vec — through the
+        // compression stage when one is enabled. The report keeps
+        // *logical* bytes (the engine's accounting currency); the wall is
+        // wire time, and the decompressor's exposed stall extends the
+        // memory term below.
+        let (report, comp_stall_ns) = match self.comp.as_mut() {
+            Some(comp) => {
+                let t = comp.ctrl.transfer(
+                    &mut self.mem,
+                    sched
+                        .ops
+                        .iter()
+                        .zip(&cached.classes)
+                        .flat_map(|(o, &class)| o.bursts.iter().map(move |b| (*b, class))),
+                );
+                let mut r = t.report;
+                r.bytes = t.logical_bytes;
+                (r, t.decomp_stall_ns)
+            }
+            None => (
+                self.mem
+                    .transfer_iter(sched.ops.iter().flat_map(|o| o.bursts.iter().copied())),
+                0.0,
+            ),
+        };
 
         let vpu_cycles: u64 = cached
             .beat_groups
@@ -831,7 +958,7 @@ impl DecodeEngine {
         // misses and late prefetches stall the whole pipeline. The walk
         // paces itself by the tier-free wall — conservative, since the
         // real token is never faster than that.
-        let base_wall_ns = report.wall_ns.max(compute_ns) + exposed_ns;
+        let base_wall_ns = (report.wall_ns + comp_stall_ns).max(compute_ns) + exposed_ns;
         let (stall_ns, staging_ns) = match self.tier.as_mut() {
             Some(tier) => tier.walk_token(
                 &mut self.mem,
@@ -841,7 +968,10 @@ impl DecodeEngine {
             ),
             None => (0.0, 0.0),
         };
-        let wall_ns = (report.wall_ns + staging_ns).max(compute_ns) + exposed_ns + stall_ns;
+        // The decompressor stall extends the memory term (cut-through: a
+        // compute-bound engine hides it), like the tier's staging time.
+        let wall_ns =
+            (report.wall_ns + comp_stall_ns + staging_ns).max(compute_ns) + exposed_ns + stall_ns;
         let tokens_per_s = batch as f64 * 1e9 / wall_ns;
         let seq_tokens_per_s = 1e9 / wall_ns;
 
@@ -1298,6 +1428,73 @@ mod tests {
                 "{policy}"
             );
         }
+    }
+
+    #[test]
+    fn identity_compression_prices_identically_to_plain_engine() {
+        // All ratios at 1.0: the stage passes every burst through
+        // untouched, stalls nothing, and registers no `comp.*` metrics —
+        // so a compression-off run is bit-identical in reports, DDR byte
+        // counters and snapshot keys. This is what lets the `comp.*`
+        // scenario enter the perf baseline without perturbing any
+        // pre-existing key.
+        let mut plain = small_engine(PipelineMode::Fused);
+        let mut comp = small_engine(PipelineMode::Fused);
+        comp.enable_compression(zllm_ddr::compress::CompressionConfig::identity());
+        for ctx in [0, 4, 15, 31] {
+            let p = plain.decode_token(ctx);
+            let c = comp.decode_token(ctx);
+            assert_eq!(p.bytes, c.bytes, "ctx {ctx}");
+            assert_eq!(p.mem_ns.to_bits(), c.mem_ns.to_bits(), "ctx {ctx}");
+            assert_eq!(p.wall_ns.to_bits(), c.wall_ns.to_bits(), "ctx {ctx}");
+            assert_eq!(p.tokens_per_s, c.tokens_per_s, "ctx {ctx}");
+            assert_eq!(p.breakdown, c.breakdown, "ctx {ctx}");
+        }
+        let (logical, wire, meta) = comp.compression_bytes().expect("stage enabled");
+        assert_eq!(logical, wire);
+        assert_eq!(meta, 0);
+        let ps = plain.metrics_snapshot();
+        let cs = comp.metrics_snapshot();
+        assert_eq!(ps.counters, cs.counters);
+        assert_eq!(
+            ps.gauges.keys().collect::<Vec<_>>(),
+            cs.gauges.keys().collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn compression_shrinks_wire_traffic_and_registers_metrics() {
+        let mut plain = small_engine(PipelineMode::Fused);
+        let mut comp = small_engine(PipelineMode::Fused);
+        comp.enable_compression(zllm_ddr::compress::CompressionConfig::with_ratios(
+            zllm_ddr::compress::StreamRatio::from_ratio(2.0),
+            zllm_ddr::compress::StreamRatio::from_ratio(1.2),
+            zllm_ddr::compress::StreamRatio::from_ratio(1.1),
+        ));
+        // `comp.*` appears only once compressed traffic flows.
+        assert!(!comp
+            .metrics_snapshot()
+            .counters
+            .keys()
+            .any(|k| k.starts_with("comp.")));
+        let p = plain.decode_token(8);
+        let c = comp.decode_token(8);
+        // Logical accounting is unchanged; wire traffic shrinks; the
+        // memory term (wire time + decomp stall) is cheaper than the
+        // uncompressed stream on this memory-bound schedule.
+        assert_eq!(p.bytes, c.bytes);
+        assert_eq!(p.breakdown, c.breakdown);
+        let (logical, wire, meta) = comp.compression_bytes().expect("stage enabled");
+        assert_eq!(logical, p.bytes);
+        assert!(wire < logical, "wire {wire} !< logical {logical}");
+        assert!(meta <= logical / 64);
+        let snap = comp.metrics_snapshot();
+        assert_eq!(snap.counters.get("comp.bytes.logical"), Some(&logical));
+        assert_eq!(snap.counters.get("comp.bytes.wire"), Some(&wire));
+        assert!(snap.gauges.contains_key("comp.ratio.weight"));
+        // The DDR controller saw fewer column accesses than the plain
+        // engine's.
+        assert!(comp.mem.stats().reads < plain.mem.stats().reads);
     }
 
     #[test]

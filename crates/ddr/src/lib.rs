@@ -29,6 +29,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod compress;
 pub mod config;
 pub mod controller;
 pub mod flash;
@@ -38,6 +39,10 @@ pub mod telemetry;
 pub mod tiered;
 pub mod traffic;
 
+pub use compress::{
+    CompCounters, CompressedController, CompressedTransfer, CompressionConfig, StreamClass,
+    StreamRatio,
+};
 pub use config::{AxiConfig, DdrConfig};
 pub use controller::DdrController;
 pub use flash::{FlashConfig, FlashDevice, FlashStats, FlashTransfer};

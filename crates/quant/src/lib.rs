@@ -29,6 +29,7 @@
 
 pub mod awq;
 pub mod clip;
+pub mod entropy;
 pub mod error;
 pub mod gptq;
 pub mod group;

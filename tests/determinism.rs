@@ -443,6 +443,92 @@ fn quantization_search_is_identical_with_fast_kernels_on_and_off() {
 }
 
 #[test]
+fn compressed_decode_is_bit_identical_to_compression_off() {
+    // The compression claim that makes the inline DDR (de)compression
+    // stage safe to ship: it reprices what bursts COST on the bus,
+    // never what is computed. A full generation priced step-by-step
+    // through a compressed trace engine must produce bit-identical
+    // logits and sampled tokens to compression-off, across kernel paths
+    // and thread caps — and the stage's logical traffic must equal the
+    // uncompressed engine's bytes exactly.
+    let _guard = KERNEL_CONFIG.lock().unwrap();
+    let cfg = ModelConfig::test_small();
+    let w = ModelWeights::generate(&cfg, 909);
+    let calib = capture(&w, &[3, 9, 27]);
+    let qm = convert(&w, &calib, GroupQuantConfig::w4_g128(), PtqMethod::Rtn);
+    let ratios = zllm::quant::entropy::measured_stream_ratios(7);
+    let comp_cfg = zllm::ddr::CompressionConfig::with_ratios(
+        zllm::ddr::StreamRatio::from_ratio(ratios.weight.achievable_ratio),
+        zllm::ddr::StreamRatio::from_ratio(ratios.kv.achievable_ratio),
+        zllm::ddr::StreamRatio::from_ratio(ratios.activation.achievable_ratio),
+    );
+    let run = |compressed: bool, fast: bool, threads: Option<usize>| {
+        set_fast_kernels(fast);
+        set_max_threads(threads);
+        let mut engine = if compressed {
+            DecodeEngine::new_compressed(AccelConfig::kv260(), &cfg, 32, comp_cfg).expect("fits")
+        } else {
+            DecodeEngine::new(AccelConfig::kv260(), &cfg, 32).expect("fits")
+        };
+        let mut dec = AccelDecoder::new(&qm);
+        let mut pos = 0usize;
+        let mut logits_bits: Vec<u32> = Vec::new();
+        let mut trace_bytes = 0u64;
+        let out = generate(
+            |t| {
+                // Price the step on the trace twin at the position the
+                // functional decoder consumes it.
+                trace_bytes += engine.decode_token(pos).bytes;
+                pos += 1;
+                let l = dec.forward(t);
+                logits_bits.extend(l.iter().map(|v| v.to_bits()));
+                l
+            },
+            &[10, 11, 4],
+            &GenerateOptions {
+                max_tokens: 6,
+                sampling: Sampling::TopK {
+                    k: 4,
+                    temperature: 0.8,
+                    seed: 33,
+                },
+                stop_token: None,
+            },
+        );
+        (out, logits_bits, trace_bytes, engine.compression_bytes())
+    };
+    let (ref_out, ref_logits, ref_bytes, none) = run(false, false, None);
+    assert!(none.is_none(), "plain engine has no compression stage");
+    for compressed in [false, true] {
+        for fast in [false, true] {
+            for threads in [Some(1), Some(3), None] {
+                let (out, logits, bytes, comp) = run(compressed, fast, threads);
+                assert_eq!(
+                    out, ref_out,
+                    "tokens diverged at compressed={compressed} fast={fast} threads={threads:?}"
+                );
+                assert_eq!(
+                    logits, ref_logits,
+                    "logits diverged at compressed={compressed} fast={fast} threads={threads:?}"
+                );
+                // The trace side reports logical traffic: identical to
+                // the uncompressed engine even while the wire shrinks.
+                assert_eq!(bytes, ref_bytes, "logical bytes diverged");
+                if compressed {
+                    let (logical, wire, meta) = comp.expect("compressed engine");
+                    assert_eq!(logical, ref_bytes, "stage logical bytes diverged");
+                    assert!(
+                        wire + meta < logical,
+                        "measured ratios must shrink the wire ({wire} + {meta} vs {logical})"
+                    );
+                }
+            }
+        }
+    }
+    set_max_threads(None);
+}
+
+#[test]
 fn full_generation_pipeline_is_deterministic() {
     let cfg = ModelConfig::test_small();
     let w = ModelWeights::generate(&cfg, 21);
